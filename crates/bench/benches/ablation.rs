@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **Protection on/off** — the runtime cost of the threshold check
+//!   (controlled) versus the capacity check (uncontrolled): the paper's
+//!   control is designed to be free at decision time, and this pins it.
+//! * **Hop bound `H`** — candidate-set size drives both plan construction
+//!   and per-call decision cost; `H = 6` vs `H = 11` on NSFNet.
+//! * **Decision rule** — threshold admission (the paper) versus summed
+//!   shadow prices (Ott–Krishnan): the paper's rule needs no per-link
+//!   table lookups and no floating-point accumulation on the hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use altroute_bench::bench_params;
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::{Decision, OccupancyView, PolicyKind, Router};
+use altroute_netgraph::estimate::nsfnet_nominal_traffic;
+use altroute_netgraph::topologies;
+use altroute_sim::experiment::Experiment;
+
+/// A fixed occupancy pattern that forces alternate-routing decisions.
+struct BusyView {
+    occ: Vec<u32>,
+}
+
+impl OccupancyView for BusyView {
+    fn occupancy(&self, link: usize) -> u32 {
+        self.occ[link]
+    }
+}
+
+fn decision_cost(c: &mut Criterion) {
+    let traffic = nsfnet_nominal_traffic().traffic;
+    let plan = RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 11);
+    // Primaries busy, alternates partially busy: decisions must walk the
+    // candidate lists.
+    let occ: Vec<u32> = plan
+        .link_loads()
+        .iter()
+        .map(|&l| (l.min(100.0)) as u32)
+        .collect();
+    let view = BusyView { occ };
+    let pairs: Vec<(usize, usize)> = topologies::nsfnet(100).ordered_pairs().collect();
+
+    let mut g = c.benchmark_group("ablation_decision_cost");
+    for kind in [
+        PolicyKind::SinglePath,
+        PolicyKind::UncontrolledAlternate { max_hops: 11 },
+        PolicyKind::ControlledAlternate { max_hops: 11 },
+        PolicyKind::OttKrishnan { max_hops: 11 },
+    ] {
+        let router = Router::new(&plan, kind);
+        g.bench_function(format!("all_pairs_{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut routed = 0usize;
+                for &(i, j) in &pairs {
+                    if matches!(router.decide(i, j, &view, black_box(0.3)), Decision::Route { .. })
+                    {
+                        routed += 1;
+                    }
+                }
+                routed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn hop_bound_ablation(c: &mut Criterion) {
+    let traffic = nsfnet_nominal_traffic().traffic;
+    let mut g = c.benchmark_group("ablation_hop_bound");
+    g.sample_size(10);
+    for h in [4u32, 6, 8, 11] {
+        g.bench_function(format!("plan_build_h{h}"), |b| {
+            b.iter(|| RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, h))
+        });
+    }
+    let params = bench_params();
+    let exp = Experiment::new(topologies::nsfnet(100), traffic).unwrap();
+    for h in [6u32, 11] {
+        g.bench_function(format!("simulate_controlled_h{h}"), |b| {
+            b.iter(|| {
+                exp.run(PolicyKind::ControlledAlternate { max_hops: h }, &params).blocking_mean()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn seed_parallelism(c: &mut Criterion) {
+    // Crossbeam-parallel replications vs. serial equivalents: the runner
+    // spawns one scoped thread per seed.
+    let traffic = nsfnet_nominal_traffic().traffic;
+    let exp = Experiment::new(topologies::nsfnet(100), traffic).unwrap();
+    let mut g = c.benchmark_group("ablation_seed_parallelism");
+    g.sample_size(10);
+    for seeds in [1u32, 4] {
+        let params = altroute_sim::experiment::SimParams {
+            warmup: 5.0,
+            horizon: 20.0,
+            seeds,
+            base_seed: 1,
+        };
+        g.bench_function(format!("seeds_{seeds}"), |b| {
+            b.iter(|| exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, decision_cost, hop_bound_ablation, seed_parallelism);
+criterion_main!(benches);

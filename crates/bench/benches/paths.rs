@@ -1,0 +1,49 @@
+//! Benchmarks of the path algorithms on the paper's topologies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use altroute_netgraph::paths::{dijkstra, loop_free_paths, min_hop_primaries, yen_k_shortest};
+use altroute_netgraph::topologies;
+
+fn bench_paths(c: &mut Criterion) {
+    let nsfnet = topologies::nsfnet(100);
+    let k8 = topologies::full_mesh(8, 10);
+
+    let mut g = c.benchmark_group("paths");
+    g.bench_function("min_hop_primaries_nsfnet", |b| b.iter(|| min_hop_primaries(&nsfnet)));
+    g.bench_function("loop_free_paths_nsfnet_h11", |b| {
+        b.iter(|| loop_free_paths(&nsfnet, black_box(0), black_box(6), 11))
+    });
+    g.bench_function("loop_free_paths_nsfnet_h6", |b| {
+        b.iter(|| loop_free_paths(&nsfnet, black_box(0), black_box(6), 6))
+    });
+    g.bench_function("loop_free_paths_k8_h3", |b| {
+        b.iter(|| loop_free_paths(&k8, black_box(0), black_box(7), 3))
+    });
+    g.bench_function("dijkstra_nsfnet", |b| {
+        b.iter(|| dijkstra(&nsfnet, black_box(0), black_box(6), |_| 1.0))
+    });
+    g.bench_function("yen_k10_nsfnet", |b| {
+        b.iter(|| yen_k_shortest(&nsfnet, black_box(0), black_box(6), 10, |_| 1.0))
+    });
+    g.finish();
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
+    c.bench_function("routing_plan_build_nsfnet_h11", |b| {
+        b.iter(|| {
+            altroute_core::plan::RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 11)
+        })
+    });
+}
+
+fn bench_matrix_fit(c: &mut Criterion) {
+    // The Table 1 traffic-matrix reconstruction (NNLS).
+    c.bench_function("table1_traffic_fit", |b| {
+        b.iter(altroute_netgraph::estimate::nsfnet_nominal_traffic)
+    });
+}
+
+criterion_group!(benches, bench_paths, bench_plan_build, bench_matrix_fit);
+criterion_main!(benches);

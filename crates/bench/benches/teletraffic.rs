@@ -1,0 +1,104 @@
+//! Microbenchmarks of the analytic kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use altroute_teletraffic::birth_death::BirthDeathChain;
+use altroute_teletraffic::erlang::{erlang_b, erlang_b_with_derivative, inverse_erlang_b_log_table};
+use altroute_teletraffic::fixed_point::{erlang_fixed_point, Route};
+use altroute_teletraffic::reservation::protection_level;
+use altroute_teletraffic::shadow::ShadowPriceTable;
+
+fn bench_erlang(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erlang");
+    g.bench_function("erlang_b_c100", |b| b.iter(|| erlang_b(black_box(90.0), black_box(100))));
+    g.bench_function("erlang_b_c1000", |b| b.iter(|| erlang_b(black_box(950.0), black_box(1000))));
+    g.bench_function("erlang_b_with_derivative_c100", |b| {
+        b.iter(|| erlang_b_with_derivative(black_box(90.0), black_box(100)))
+    });
+    g.bench_function("inverse_log_table_c100", |b| {
+        b.iter(|| inverse_erlang_b_log_table(black_box(74.0), black_box(100)))
+    });
+    g.finish();
+}
+
+fn bench_reservation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reservation");
+    // The Eq. 15 solver at the three H values of Fig. 2.
+    for h in [2u32, 6, 120] {
+        g.bench_function(format!("protection_level_h{h}"), |b| {
+            b.iter(|| protection_level(black_box(74.0), black_box(100), black_box(h)))
+        });
+    }
+    // A full Fig. 2 curve (100 loads x 3 curves).
+    g.bench_function("fig2_full_curves", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for h in [2u32, 6, 120] {
+                for load in 1..=100 {
+                    acc += protection_level(f64::from(load), 100, h);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_shadow_and_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chains");
+    g.bench_function("shadow_table_c100", |b| {
+        b.iter(|| ShadowPriceTable::new(black_box(74.0), black_box(100)))
+    });
+    let overflow = vec![20.0; 100];
+    g.bench_function("protected_chain_stationary", |b| {
+        b.iter(|| {
+            BirthDeathChain::protected_link(black_box(74.0), &overflow, 100, 7).stationary()
+        })
+    });
+    g.bench_function("first_passage_counts", |b| {
+        let chain = BirthDeathChain::protected_link(74.0, &overflow, 100, 7);
+        b.iter(|| chain.first_passage_up_counts())
+    });
+    g.finish();
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    // A 30-link, 132-route instance shaped like NSFNet.
+    let capacities = vec![100u32; 30];
+    let mut routes = Vec::new();
+    for i in 0..132 {
+        routes.push(Route {
+            links: vec![i % 30, (i * 7 + 3) % 30],
+            traffic: 10.0 + (i % 13) as f64,
+        });
+    }
+    c.bench_function("erlang_fixed_point_nsfnet_scale", |b| {
+        b.iter(|| erlang_fixed_point(&capacities, &routes, 1e-8, 10_000))
+    });
+}
+
+fn bench_multirate_kernels(c: &mut Criterion) {
+    use altroute_teletraffic::kaufman_roberts::{kaufman_roberts_blocking, TrafficClass};
+    use altroute_teletraffic::overflow::overflow_moments;
+    let classes = [
+        TrafficClass { intensity: 60.0, bandwidth: 1 },
+        TrafficClass { intensity: 8.0, bandwidth: 4 },
+        TrafficClass { intensity: 2.0, bandwidth: 10 },
+    ];
+    c.bench_function("kaufman_roberts_c100_3classes", |b| {
+        b.iter(|| kaufman_roberts_blocking(black_box(100), &classes))
+    });
+    c.bench_function("overflow_moments_c100", |b| {
+        b.iter(|| overflow_moments(black_box(90.0), black_box(100)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_erlang,
+    bench_reservation,
+    bench_shadow_and_chain,
+    bench_fixed_point,
+    bench_multirate_kernels
+);
+criterion_main!(benches);

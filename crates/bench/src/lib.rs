@@ -1,0 +1,38 @@
+//! Benchmark support crate.
+//!
+//! The benches live in `benches/` (Criterion harnesses):
+//!
+//! * `teletraffic` — the analytic kernels (Erlang-B, Eq. 15 solver,
+//!   shadow-price tables, birth–death chains, the Erlang fixed point).
+//! * `paths` — path algorithms on the paper's topologies.
+//! * `engine` — event-queue and call-by-call engine throughput.
+//! * `figures` — one bench per paper table/figure, at reduced fidelity
+//!   (short horizons, few seeds) so `cargo bench` terminates quickly while
+//!   exercising exactly the code paths the full experiment binaries use.
+//! * `ablation` — design-choice ablations called out in DESIGN.md:
+//!   protection on/off, the hop bound `H`, shadow-price routing cost.
+//!
+//! This library exposes the small shared helpers those benches use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use altroute_sim::experiment::SimParams;
+
+/// Reduced-fidelity parameters for benchmarked simulations: 2 seeds of
+/// 5 + 20 time units — enough events to be representative, short enough
+/// for Criterion's sampling.
+pub fn bench_params() -> SimParams {
+    SimParams { warmup: 5.0, horizon: 20.0, seeds: 2, base_seed: 0xBE7C }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_params_are_small() {
+        let p = bench_params();
+        assert!(p.horizon <= 20.0 && p.seeds <= 2);
+    }
+}

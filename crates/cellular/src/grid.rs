@@ -1,0 +1,188 @@
+//! Cell layouts with 3-cell frequency-reuse clusters.
+//!
+//! Cells are laid out on a `rows × cols` rhombic (hex-like) grid. Each
+//! cell belongs to a reuse cluster of 3 determined by the classical
+//! 3-colour hex colouring `(col + 2·row) mod 3`; a borrowed channel is
+//! locked in the lender's co-cells, which we model as the lender's two
+//! nearest same-colour cells (its *co-cell set* of 3 including itself, per
+//! the paper's "if a co-cell set consists of 3-cells").
+
+/// A grid of cells with neighbour and co-cell structure.
+#[derive(Debug, Clone)]
+pub struct CellGrid {
+    rows: usize,
+    cols: usize,
+    capacity: u32,
+    neighbors: Vec<Vec<usize>>,
+    cocells: Vec<[usize; 2]>,
+}
+
+impl CellGrid {
+    /// Builds a `rows × cols` grid, every cell with `capacity` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than 9 cells (co-cell structure needs
+    /// at least a 3×3 neighbourhood) or zero capacity.
+    pub fn new(rows: usize, cols: usize, capacity: u32) -> Self {
+        assert!(rows >= 3 && cols >= 3, "grid must be at least 3x3");
+        assert!(capacity > 0, "cells need channels");
+        let id = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        // Hex-like neighbourhood on a rhombic grid: E, W, N, S, NE, SW.
+        let mut neighbors = vec![Vec::new(); n];
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut push = |rr: isize, cc: isize| {
+                    if rr >= 0 && cc >= 0 && (rr as usize) < rows && (cc as usize) < cols {
+                        neighbors[id(r, c)].push(id(rr as usize, cc as usize));
+                    }
+                };
+                let (ri, ci) = (r as isize, c as isize);
+                push(ri, ci + 1);
+                push(ri, ci - 1);
+                push(ri - 1, ci);
+                push(ri + 1, ci);
+                push(ri - 1, ci + 1);
+                push(ri + 1, ci - 1);
+            }
+        }
+        for nb in &mut neighbors {
+            nb.sort_unstable();
+        }
+        // Co-cells: the two nearest cells of the same reuse colour
+        // (Manhattan-nearest, deterministic tie-break by id).
+        let color = |r: usize, c: usize| (c + 2 * r) % 3;
+        let mut cocells = Vec::with_capacity(n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let me = id(r, c);
+                let my_color = color(r, c);
+                let mut same: Vec<(usize, usize)> = Vec::new();
+                for rr in 0..rows {
+                    for cc in 0..cols {
+                        let other = id(rr, cc);
+                        if other != me && color(rr, cc) == my_color {
+                            let dist = r.abs_diff(rr) + c.abs_diff(cc);
+                            same.push((dist, other));
+                        }
+                    }
+                }
+                same.sort_unstable();
+                assert!(same.len() >= 2, "grid too small for co-cell sets");
+                cocells.push([same[0].1, same[1].1]);
+            }
+        }
+        Self { rows, cols, capacity, neighbors, cocells }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Channels per cell.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The neighbours of a cell (potential lenders), in ascending id
+    /// order.
+    pub fn neighbors(&self, cell: usize) -> &[usize] {
+        &self.neighbors[cell]
+    }
+
+    /// The two co-cells locked when `cell` lends a channel.
+    pub fn cocells(&self, cell: usize) -> [usize; 2] {
+        self.cocells[cell]
+    }
+
+    /// The full resource set a borrow from `lender` consumes: the lender
+    /// plus its two co-cells (3 cells, matching `H = 3`).
+    pub fn borrow_set(&self, lender: usize) -> [usize; 3] {
+        let [a, b] = self.cocells[lender];
+        [lender, a, b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_capacity() {
+        let g = CellGrid::new(4, 5, 50);
+        assert_eq!(g.num_cells(), 20);
+        assert_eq!(g.shape(), (4, 5));
+        assert_eq!(g.capacity(), 50);
+    }
+
+    #[test]
+    fn interior_cell_has_six_neighbors() {
+        let g = CellGrid::new(5, 5, 10);
+        // Cell (2, 2) = id 12 is interior.
+        assert_eq!(g.neighbors(12).len(), 6);
+        // Corner (0, 0) has E, S, SW-invalid, so: E, S only from our set
+        // {E, W, N, S, NE, SW} → E, S, and NE-invalid at top row... E, S.
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = CellGrid::new(4, 4, 10);
+        for cell in 0..g.num_cells() {
+            for &nb in g.neighbors(cell) {
+                assert!(
+                    g.neighbors(nb).contains(&cell),
+                    "neighbourhood must be symmetric ({cell} vs {nb})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cocells_share_reuse_color_and_exclude_self() {
+        let g = CellGrid::new(5, 6, 10);
+        let color = |cell: usize| {
+            let (r, c) = (cell / 6, cell % 6);
+            (c + 2 * r) % 3
+        };
+        for cell in 0..g.num_cells() {
+            let [a, b] = g.cocells(cell);
+            assert_ne!(a, cell);
+            assert_ne!(b, cell);
+            assert_ne!(a, b);
+            assert_eq!(color(a), color(cell));
+            assert_eq!(color(b), color(cell));
+        }
+    }
+
+    #[test]
+    fn borrow_set_is_lender_plus_cocells() {
+        let g = CellGrid::new(3, 3, 10);
+        for cell in 0..9 {
+            let set = g.borrow_set(cell);
+            assert_eq!(set[0], cell);
+            assert_eq!([set[1], set[2]], g.cocells(cell));
+        }
+    }
+
+    #[test]
+    fn neighbors_never_include_self() {
+        let g = CellGrid::new(4, 4, 10);
+        for cell in 0..16 {
+            assert!(!g.neighbors(cell).contains(&cell));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3x3")]
+    fn tiny_grid_panics() {
+        CellGrid::new(2, 5, 10);
+    }
+}

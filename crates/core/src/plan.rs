@@ -1,0 +1,307 @@
+//! The precomputed state-independent routing plan.
+//!
+//! A [`RoutingPlan`] binds together everything a node would learn or
+//! compute off-line in the paper's architecture:
+//!
+//! * the primary assignment (tier 1, possibly bifurcated),
+//! * per ordered pair, the alternate paths in order of increasing hop
+//!   count (as the DALFAR-style distributed computation would yield),
+//! * per link, the primary load `Λ^k` (Eq. 1), the state-protection level
+//!   `r^k` (Eq. 15), and — for the Ott–Krishnan baseline — the shadow
+//!   price table.
+//!
+//! The plan depends only on topology, traffic, the primary rule, and the
+//! design parameter `H`; the per-call state-dependent decision is made by
+//! [`crate::policy::Router`] against current occupancies.
+
+use crate::primary::PrimaryAssignment;
+use altroute_netgraph::graph::{LinkId, Topology};
+use altroute_netgraph::paths::{loop_free_paths, Path};
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_teletraffic::reservation::protection_level;
+use altroute_teletraffic::shadow::ShadowPriceTable;
+
+/// Everything state-independent that routing needs, precomputed.
+#[derive(Debug, Clone)]
+pub struct RoutingPlan {
+    topo: Topology,
+    primaries: PrimaryAssignment,
+    /// Row-major per pair: loop-free paths of ≤ `max_alternate_hops` hops
+    /// in attempt order (primary paths are *not* removed here — they are
+    /// skipped at decision time against the sampled primary).
+    candidates: Vec<Vec<Path>>,
+    /// Per-link primary load Λ^k.
+    loads: Vec<f64>,
+    /// Per-link protection level r^k.
+    protection: Vec<u32>,
+    /// Per-link shadow price table (for the Ott–Krishnan policy).
+    shadows: Vec<ShadowPriceTable>,
+    /// The design parameter H.
+    max_alternate_hops: u32,
+}
+
+impl RoutingPlan {
+    /// Builds a plan with minimum-hop primaries.
+    ///
+    /// `max_alternate_hops` is the paper's `H`: both the cap on alternate
+    /// path length and the divisor in Eq. 15.
+    pub fn min_hop(topo: Topology, traffic: &TrafficMatrix, max_alternate_hops: u32) -> Self {
+        let primaries = PrimaryAssignment::min_hop(&topo);
+        Self::with_primaries(topo, traffic, primaries, max_alternate_hops)
+    }
+
+    /// Builds a plan from an explicit (possibly bifurcated) primary
+    /// assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes mismatch or `max_alternate_hops == 0`.
+    pub fn with_primaries(
+        topo: Topology,
+        traffic: &TrafficMatrix,
+        primaries: PrimaryAssignment,
+        max_alternate_hops: u32,
+    ) -> Self {
+        assert!(max_alternate_hops > 0, "H must be positive");
+        assert_eq!(traffic.num_nodes(), topo.num_nodes(), "traffic matrix size mismatch");
+        assert_eq!(primaries.num_nodes(), topo.num_nodes(), "primary assignment size mismatch");
+        let n = topo.num_nodes();
+        let mut candidates = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                candidates.push(if i == j {
+                    Vec::new()
+                } else {
+                    loop_free_paths(&topo, i, j, max_alternate_hops as usize)
+                });
+            }
+        }
+        let loads = primaries.link_loads(&topo, traffic);
+        let protection = loads
+            .iter()
+            .zip(topo.links())
+            .map(|(&a, l)| protection_level(a, l.capacity, max_alternate_hops))
+            .collect();
+        let shadows = loads
+            .iter()
+            .zip(topo.links())
+            .map(|(&a, l)| ShadowPriceTable::new(a, l.capacity))
+            .collect();
+        Self { topo, primaries, candidates, loads, protection, shadows, max_alternate_hops }
+    }
+
+    /// Converts this plan to the **per-link hop bound** variant of the
+    /// paper's footnote 5: "each link k can pick its own H^k, which would
+    /// be the maximum hop-length of alternate-routed calls that traverse
+    /// link k."
+    ///
+    /// `H^k ≤ H` everywhere, and strictly smaller wherever no long
+    /// alternate path crosses the link, so the recomputed `r^k` are no
+    /// larger — alternate routing becomes freer while the Theorem 1
+    /// guarantee is preserved (every alternate path through `k` has at
+    /// most `H^k` hops by construction).
+    ///
+    /// Links traversed by no alternate candidate keep `r = 0` (they can
+    /// never carry an alternate-routed call).
+    pub fn with_per_link_hop_bounds(mut self) -> Self {
+        let mut per_link_h = vec![0u32; self.topo.num_links()];
+        for (idx, paths) in self.candidates.iter().enumerate() {
+            let n = self.topo.num_nodes();
+            let (i, j) = (idx / n, idx % n);
+            let primary_paths = self.primaries.split(i, j);
+            for path in paths {
+                // Only alternate-routed calls count towards H^k; paths
+                // that are (part of) the primary split never arrive as
+                // alternates on their own links.
+                let is_primary = primary_paths.iter().any(|(p, _)| p == path);
+                if is_primary {
+                    continue;
+                }
+                for &l in path.links() {
+                    per_link_h[l] = per_link_h[l].max(path.hops() as u32);
+                }
+            }
+        }
+        self.protection = self
+            .loads
+            .iter()
+            .zip(self.topo.links())
+            .zip(&per_link_h)
+            .map(|((&a, l), &h)| {
+                if h == 0 {
+                    0
+                } else {
+                    protection_level(a, l.capacity, h)
+                }
+            })
+            .collect();
+        self
+    }
+
+    /// The topology the plan was built for.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The primary assignment.
+    pub fn primaries(&self) -> &PrimaryAssignment {
+        &self.primaries
+    }
+
+    /// The candidate (loop-free, ≤ H hops) paths of a pair in attempt
+    /// order, including whichever paths serve as primaries.
+    pub fn candidates(&self, src: usize, dst: usize) -> &[Path] {
+        &self.candidates[src * self.topo.num_nodes() + dst]
+    }
+
+    /// Per-link primary loads `Λ^k`.
+    pub fn link_loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Per-link protection levels `r^k`.
+    pub fn protection_levels(&self) -> &[u32] {
+        &self.protection
+    }
+
+    /// The protection level of one link.
+    pub fn protection(&self, link: LinkId) -> u32 {
+        self.protection[link]
+    }
+
+    /// The shadow price table of one link.
+    pub fn shadow_table(&self, link: LinkId) -> &ShadowPriceTable {
+        &self.shadows[link]
+    }
+
+    /// The design parameter `H`.
+    pub fn max_alternate_hops(&self) -> u32 {
+        self.max_alternate_hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altroute_netgraph::topologies;
+
+    #[test]
+    fn plan_precomputes_consistent_tables() {
+        let topo = topologies::nsfnet(100);
+        let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
+        let plan = RoutingPlan::min_hop(topo, &traffic, 11);
+        assert_eq!(plan.link_loads().len(), 30);
+        assert_eq!(plan.protection_levels().len(), 30);
+        assert_eq!(plan.max_alternate_hops(), 11);
+        // Protection levels satisfy Eq. 15's minimality (cross-checked in
+        // teletraffic); here check the plan wired loads to levels.
+        for (l, (&load, &r)) in plan.link_loads().iter().zip(plan.protection_levels()).enumerate() {
+            let expect = protection_level(load, plan.topology().link(l).capacity, 11);
+            assert_eq!(r, expect, "link {l}");
+            assert_eq!(plan.protection(l), r);
+        }
+        // Shadow tables exist per link with the right capacity.
+        for l in 0..30 {
+            assert_eq!(plan.shadow_table(l).capacity(), 100);
+        }
+    }
+
+    #[test]
+    fn candidates_are_ordered_and_capped() {
+        let topo = topologies::nsfnet(100);
+        let traffic = TrafficMatrix::uniform(12, 1.0);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 6);
+        for (i, j) in plan.topology().ordered_pairs() {
+            let c = plan.candidates(i, j);
+            assert!(!c.is_empty(), "{i}->{j} must have candidates");
+            for w in c.windows(2) {
+                assert!(w[0].hops() <= w[1].hops());
+            }
+            assert!(c.iter().all(|p| p.hops() <= 6));
+            // The min-hop primary is the first candidate.
+            let prim = &plan.primaries().split(i, j)[0].0;
+            assert_eq!(c[0].hops(), prim.hops());
+        }
+        assert!(plan.candidates(4, 4).is_empty());
+    }
+
+    #[test]
+    fn uniform_symmetric_plan_has_uniform_protection() {
+        let topo = topologies::full_mesh(4, 100);
+        let traffic = TrafficMatrix::uniform(4, 90.0);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 3);
+        let r0 = plan.protection(0);
+        assert!(plan.protection_levels().iter().all(|&r| r == r0));
+        assert!(r0 >= 1, "busy symmetric mesh needs protection");
+    }
+
+    #[test]
+    fn per_link_hop_bounds_never_raise_protection() {
+        // NSFNet is so richly connected that every link carries an
+        // 11-hop alternate (verified exhaustively), so footnote 5 changes
+        // nothing there; the invariant after <= before must still hold.
+        let topo = topologies::nsfnet(100);
+        let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
+        let network_wide = RoutingPlan::min_hop(topo, &traffic, 11);
+        let baseline = network_wide.protection_levels().to_vec();
+        let per_link = network_wide.with_per_link_hop_bounds();
+        for (l, (&before, &after)) in
+            baseline.iter().zip(per_link.protection_levels()).enumerate()
+        {
+            assert!(after <= before, "link {l}: {after} > {before}");
+        }
+        assert_eq!(baseline, per_link.protection_levels(), "all NSFNet links see 11-hop alternates");
+    }
+
+    #[test]
+    fn per_link_hop_bounds_relax_where_alternates_are_short_or_absent() {
+        // K4 with a deliberately loose network-wide H = 5: the longest
+        // loop-free path has only 3 hops, so every link's H^k = 3 < 5 and
+        // the per-link levels must drop at this load.
+        let topo = topologies::full_mesh(4, 100);
+        let traffic = TrafficMatrix::uniform(4, 90.0);
+        let network_wide = RoutingPlan::min_hop(topo, &traffic, 5);
+        let baseline = network_wide.protection_levels().to_vec();
+        let per_link = network_wide.clone().with_per_link_hop_bounds();
+        let h3 = RoutingPlan::min_hop(topologies::full_mesh(4, 100), &traffic, 3);
+        assert_eq!(
+            per_link.protection_levels(),
+            h3.protection_levels(),
+            "per-link H must equal the true 3-hop bound"
+        );
+        let mut strictly_lower = 0;
+        for (&before, &after) in baseline.iter().zip(per_link.protection_levels()) {
+            assert!(after <= before);
+            if after < before {
+                strictly_lower += 1;
+            }
+        }
+        assert!(strictly_lower > 0, "r(90, 100, 3) < r(90, 100, 5) at this load");
+
+        // Pure line: no alternates anywhere => r = 0 on every link.
+        let line = topologies::line(4, 30);
+        let line_traffic = TrafficMatrix::uniform(4, 10.0);
+        let plan = RoutingPlan::min_hop(line, &line_traffic, 3).with_per_link_hop_bounds();
+        assert!(plan.protection_levels().iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn per_link_h_equals_network_h_on_symmetric_mesh() {
+        // On K4 every link carries 2- and 3-hop alternates, so H^k = 3 =
+        // H and the plans coincide.
+        let topo = topologies::full_mesh(4, 100);
+        let traffic = TrafficMatrix::uniform(4, 90.0);
+        let network_wide = RoutingPlan::min_hop(topo, &traffic, 3);
+        let baseline = network_wide.protection_levels().to_vec();
+        let per_link = network_wide.with_per_link_hop_bounds();
+        assert_eq!(baseline, per_link.protection_levels());
+    }
+
+    #[test]
+    #[should_panic(expected = "H must be positive")]
+    fn zero_h_panics() {
+        let topo = topologies::full_mesh(3, 10);
+        let traffic = TrafficMatrix::uniform(3, 1.0);
+        RoutingPlan::min_hop(topo, &traffic, 0);
+    }
+}

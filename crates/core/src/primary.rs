@@ -1,0 +1,403 @@
+//! Primary-path selection: the state-independent first tier.
+//!
+//! Two selectors are implemented:
+//!
+//! * [`PrimaryAssignment::min_hop`] — the paper's default: the unique
+//!   minimum-hop path per ordered pair (deterministic tie-break).
+//! * [`min_loss_splits`] — the §4.2.2 variant: primary flows chosen "so as
+//!   to minimize overall system blocking of primary calls, under the
+//!   independent link assumption", i.e. minimise the convex separable
+//!   objective `Σ_k Λ_k·B(Λ_k, C_k)` over how each pair splits its demand
+//!   across its loop-free paths. The optimum generally *bifurcates*: a
+//!   pair routes over several paths with probabilities. The paper solves
+//!   this with conjugate gradients; we use Frank–Wolfe flow deviation
+//!   (each iteration routes a shrinking fraction of all demand onto the
+//!   paths that are cheapest under the marginal costs
+//!   `d/dΛ [Λ·B(Λ, C)]`), which converges to the same global optimum of
+//!   this convex program.
+
+use altroute_netgraph::graph::Topology;
+use altroute_netgraph::paths::{loop_free_paths, min_hop_primaries, Path};
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_teletraffic::loss::{lost_traffic, lost_traffic_derivative};
+
+/// A (possibly bifurcated) primary assignment: for each ordered pair,
+/// a set of paths with routing probabilities summing to 1.
+///
+/// Indexed row-major (`src * n + dst`); diagonal entries and unreachable
+/// pairs are empty.
+#[derive(Debug, Clone)]
+pub struct PrimaryAssignment {
+    n: usize,
+    splits: Vec<Vec<(Path, f64)>>,
+}
+
+impl PrimaryAssignment {
+    /// The paper's default: the unique minimum-hop primary per pair
+    /// (probability 1).
+    pub fn min_hop(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let splits = min_hop_primaries(topo)
+            .into_iter()
+            .map(|p| p.map(|p| vec![(p, 1.0)]).unwrap_or_default())
+            .collect();
+        Self { n, splits }
+    }
+
+    /// Builds an assignment from explicit splits (validated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `splits.len() != n*n`, a non-empty split's fractions do
+    /// not sum to ~1, any fraction is negative, or a path does not match
+    /// its pair.
+    pub fn from_splits(topo: &Topology, splits: Vec<Vec<(Path, f64)>>) -> Self {
+        let n = topo.num_nodes();
+        assert_eq!(splits.len(), n * n, "one split per ordered pair");
+        for (idx, split) in splits.iter().enumerate() {
+            if split.is_empty() {
+                continue;
+            }
+            let (i, j) = (idx / n, idx % n);
+            let total: f64 = split.iter().map(|(_, f)| f).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "pair ({i}, {j}) fractions sum to {total}"
+            );
+            for (p, f) in split {
+                assert!(*f >= 0.0, "negative fraction for pair ({i}, {j})");
+                assert_eq!((p.src(), p.dst()), (i, j), "path endpoints mismatch");
+            }
+        }
+        Self { n, splits }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The split for an ordered pair (empty when unreachable/diagonal).
+    pub fn split(&self, src: usize, dst: usize) -> &[(Path, f64)] {
+        &self.splits[src * self.n + dst]
+    }
+
+    /// All splits, row-major.
+    pub fn splits(&self) -> &[Vec<(Path, f64)>] {
+        &self.splits
+    }
+
+    /// Whether any pair bifurcates over more than one path.
+    pub fn is_bifurcated(&self) -> bool {
+        self.splits.iter().any(|s| s.len() > 1)
+    }
+
+    /// Picks the primary path for a call using a uniform random number in
+    /// `[0, 1)` — the state-independent probabilistic choice of §4.2.2.
+    ///
+    /// Returns `None` for pairs without paths.
+    pub fn choose<'a>(&'a self, src: usize, dst: usize, u: f64) -> Option<&'a Path> {
+        let split = self.split(src, dst);
+        if split.is_empty() {
+            return None;
+        }
+        let mut acc = 0.0;
+        for (p, f) in split {
+            acc += f;
+            if u < acc {
+                return Some(p);
+            }
+        }
+        Some(&split.last().unwrap().0)
+    }
+
+    /// The expected per-link loads `Λ^k` induced by this assignment
+    /// (Eq. 1, generalised to bifurcated flows).
+    pub fn link_loads(&self, topo: &Topology, traffic: &TrafficMatrix) -> Vec<f64> {
+        let mut loads = vec![0.0; topo.num_links()];
+        for (i, j, t) in traffic.demands() {
+            let split = self.split(i, j);
+            assert!(!split.is_empty(), "pair ({i}, {j}) has demand but no primary path");
+            for (p, f) in split {
+                for &l in p.links() {
+                    loads[l] += t * f;
+                }
+            }
+        }
+        loads
+    }
+}
+
+/// Options for the min-loss Frank–Wolfe optimiser.
+#[derive(Debug, Clone, Copy)]
+pub struct MinLossOptions {
+    /// Candidate paths per pair: all loop-free paths up to this many hops.
+    pub max_hops: usize,
+    /// Frank–Wolfe iterations.
+    pub iterations: usize,
+    /// Split fractions below this are dropped and the rest renormalised.
+    pub prune_below: f64,
+}
+
+impl Default for MinLossOptions {
+    fn default() -> Self {
+        Self { max_hops: 11, iterations: 300, prune_below: 1e-3 }
+    }
+}
+
+/// Minimises `Σ_k Λ_k·B(Λ_k, C_k)` over per-pair path splits by
+/// Frank–Wolfe flow deviation; returns the bifurcated primary assignment.
+///
+/// # Panics
+///
+/// Panics if a pair with demand has no loop-free path within
+/// `opts.max_hops`, or sizes mismatch.
+pub fn min_loss_splits(
+    topo: &Topology,
+    traffic: &TrafficMatrix,
+    opts: MinLossOptions,
+) -> PrimaryAssignment {
+    let n = topo.num_nodes();
+    assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
+    // Candidate path sets per demand pair.
+    struct Pair {
+        idx: usize,
+        demand: f64,
+        paths: Vec<Path>,
+        frac: Vec<f64>,
+    }
+    let mut pairs: Vec<Pair> = Vec::new();
+    for (i, j, t) in traffic.demands() {
+        let paths = loop_free_paths(topo, i, j, opts.max_hops);
+        assert!(
+            !paths.is_empty(),
+            "pair ({i}, {j}) has demand but no path within {} hops",
+            opts.max_hops
+        );
+        let mut frac = vec![0.0; paths.len()];
+        frac[0] = 1.0; // start on the shortest path
+        pairs.push(Pair { idx: i * n + j, demand: t, paths, frac });
+    }
+    let caps: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+    let mut loads = vec![0.0; topo.num_links()];
+    let recompute_loads = |pairs: &[Pair], loads: &mut Vec<f64>| {
+        for v in loads.iter_mut() {
+            *v = 0.0;
+        }
+        for p in pairs {
+            for (path, &f) in p.paths.iter().zip(&p.frac) {
+                if f > 0.0 {
+                    for &l in path.links() {
+                        loads[l] += p.demand * f;
+                    }
+                }
+            }
+        }
+    };
+    recompute_loads(&pairs, &mut loads);
+    for it in 0..opts.iterations {
+        // Marginal link costs at the current loads.
+        let weights: Vec<f64> = loads
+            .iter()
+            .zip(&caps)
+            .map(|(&a, &c)| lost_traffic_derivative(a, c))
+            .collect();
+        // All-or-nothing assignment onto each pair's cheapest candidate.
+        let gamma = 2.0 / (it as f64 + 2.0);
+        for p in &mut pairs {
+            let mut best = 0;
+            let mut best_cost = f64::INFINITY;
+            for (k, path) in p.paths.iter().enumerate() {
+                let cost: f64 = path.links().iter().map(|&l| weights[l]).sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = k;
+                }
+            }
+            for f in &mut p.frac {
+                *f *= 1.0 - gamma;
+            }
+            p.frac[best] += gamma;
+        }
+        recompute_loads(&pairs, &mut loads);
+    }
+    // Prune negligible fractions and renormalise.
+    let mut splits: Vec<Vec<(Path, f64)>> = vec![Vec::new(); n * n];
+    for p in pairs {
+        let kept: Vec<(Path, f64)> = p
+            .paths
+            .into_iter()
+            .zip(p.frac)
+            .filter(|(_, f)| *f >= opts.prune_below)
+            .collect();
+        let total: f64 = kept.iter().map(|(_, f)| f).sum();
+        splits[p.idx] = kept.into_iter().map(|(path, f)| (path, f / total)).collect();
+    }
+    // Pairs without demand still need a primary for completeness: fall
+    // back to min-hop so the assignment covers every reachable pair.
+    let fallback = min_hop_primaries(topo);
+    for (idx, split) in splits.iter_mut().enumerate() {
+        if split.is_empty() {
+            if let Some(p) = &fallback[idx] {
+                split.push((p.clone(), 1.0));
+            }
+        }
+    }
+    PrimaryAssignment::from_splits(topo, splits)
+}
+
+/// The objective value `Σ_k Λ_k·B(Λ_k, C_k)` for an assignment — exposed
+/// for tests and the experiment binaries.
+pub fn expected_primary_loss(topo: &Topology, loads: &[f64]) -> f64 {
+    assert_eq!(loads.len(), topo.num_links(), "one load per link");
+    loads
+        .iter()
+        .zip(topo.links())
+        .map(|(&a, l)| lost_traffic(a, l.capacity))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altroute_netgraph::topologies;
+
+    #[test]
+    fn min_hop_assignment_is_unsplit() {
+        let topo = topologies::nsfnet(100);
+        let a = PrimaryAssignment::min_hop(&topo);
+        assert!(!a.is_bifurcated());
+        for (i, j) in topo.ordered_pairs() {
+            let s = a.split(i, j);
+            assert_eq!(s.len(), 1, "{i}->{j}");
+            assert_eq!(s[0].1, 1.0);
+            assert_eq!((s[0].0.src(), s[0].0.dst()), (i, j));
+        }
+        assert!(a.split(3, 3).is_empty());
+    }
+
+    #[test]
+    fn choose_respects_probabilities() {
+        let topo = topologies::full_mesh(3, 10);
+        let direct = Path::from_nodes(&topo, &[0, 1]).unwrap();
+        let via2 = Path::from_nodes(&topo, &[0, 2, 1]).unwrap();
+        let mut splits = vec![Vec::new(); 9];
+        splits[1] = vec![(direct.clone(), 0.3), (via2.clone(), 0.7)];
+        // Other pairs need their own trivial splits for validity.
+        for (i, j) in [(0, 2), (1, 0), (1, 2), (2, 0), (2, 1)] {
+            splits[i * 3 + j] =
+                vec![(Path::from_nodes(&topo, &[i, j]).unwrap(), 1.0)];
+        }
+        let a = PrimaryAssignment::from_splits(&topo, splits);
+        assert!(a.is_bifurcated());
+        assert_eq!(a.choose(0, 1, 0.0).unwrap(), &direct);
+        assert_eq!(a.choose(0, 1, 0.29).unwrap(), &direct);
+        assert_eq!(a.choose(0, 1, 0.31).unwrap(), &via2);
+        assert_eq!(a.choose(0, 1, 0.999).unwrap(), &via2);
+        assert!(a.choose(1, 1, 0.5).is_none());
+    }
+
+    #[test]
+    fn link_loads_match_traffic_eq1() {
+        let topo = topologies::full_mesh(4, 100);
+        let m = TrafficMatrix::uniform(4, 9.0);
+        let a = PrimaryAssignment::min_hop(&topo);
+        let loads = a.link_loads(&topo, &m);
+        for &l in &loads {
+            assert!((l - 9.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_loss_balances_a_two_path_bottleneck() {
+        // Two nodes joined by a direct small link and a two-hop detour of
+        // large links: with heavy demand the optimum splits the flow.
+        let mut topo = Topology::new();
+        topo.add_nodes(3);
+        topo.add_duplex(0, 1, 20); // direct, small
+        topo.add_duplex(0, 2, 100);
+        topo.add_duplex(2, 1, 100);
+        let mut m = TrafficMatrix::zero(3);
+        m.set(0, 1, 40.0);
+        let a = min_loss_splits(&topo, &m, MinLossOptions { max_hops: 2, ..Default::default() });
+        let s = a.split(0, 1);
+        assert!(s.len() == 2, "expected bifurcation, got {s:?}");
+        // The detour should carry a substantial share.
+        let detour_frac: f64 = s
+            .iter()
+            .filter(|(p, _)| p.hops() == 2)
+            .map(|(_, f)| *f)
+            .sum();
+        assert!(detour_frac > 0.3 && detour_frac < 1.0, "detour fraction {detour_frac}");
+        // The objective must beat pure min-hop.
+        let min_hop = PrimaryAssignment::min_hop(&topo);
+        let loss_opt = expected_primary_loss(&topo, &a.link_loads(&topo, &m));
+        let loss_mh = expected_primary_loss(&topo, &min_hop.link_loads(&topo, &m));
+        assert!(
+            loss_opt < loss_mh * 0.9,
+            "optimised {loss_opt} should beat min-hop {loss_mh}"
+        );
+    }
+
+    #[test]
+    fn min_loss_on_light_load_stays_near_min_hop() {
+        // With light traffic the marginal costs are tiny everywhere and
+        // shortest paths win; objective can't be (much) worse than min-hop.
+        let topo = topologies::nsfnet(100);
+        let m = TrafficMatrix::uniform(12, 1.0);
+        let a = min_loss_splits(
+            &topo,
+            &m,
+            MinLossOptions { max_hops: 11, iterations: 100, prune_below: 1e-3 },
+        );
+        let min_hop = PrimaryAssignment::min_hop(&topo);
+        let loss_opt = expected_primary_loss(&topo, &a.link_loads(&topo, &m));
+        let loss_mh = expected_primary_loss(&topo, &min_hop.link_loads(&topo, &m));
+        assert!(loss_opt <= loss_mh * 1.01 + 1e-9);
+    }
+
+    #[test]
+    fn min_loss_improves_on_min_hop_for_nominal_nsfnet() {
+        // §4.2.2: "The results for the case without alternate routing did
+        // better than in the minimum-hop primary path scenario."
+        let topo = topologies::nsfnet(100);
+        let m = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
+        let a = min_loss_splits(
+            &topo,
+            &m,
+            MinLossOptions { max_hops: 11, iterations: 200, prune_below: 1e-3 },
+        );
+        let min_hop = PrimaryAssignment::min_hop(&topo);
+        let loss_opt = expected_primary_loss(&topo, &a.link_loads(&topo, &m));
+        let loss_mh = expected_primary_loss(&topo, &min_hop.link_loads(&topo, &m));
+        assert!(
+            loss_opt < loss_mh,
+            "optimised {loss_opt} should beat min-hop {loss_mh}"
+        );
+        assert!(a.is_bifurcated(), "nominal NSFNet optimum should bifurcate");
+    }
+
+    #[test]
+    fn split_fractions_sum_to_one_after_pruning() {
+        let topo = topologies::nsfnet(100);
+        let m = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
+        let a = min_loss_splits(
+            &topo,
+            &m,
+            MinLossOptions { max_hops: 11, iterations: 60, prune_below: 1e-2 },
+        );
+        for (i, j) in topo.ordered_pairs() {
+            let total: f64 = a.split(i, j).iter().map(|(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{i}->{j} sums to {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions sum")]
+    fn invalid_split_fractions_panic() {
+        let topo = topologies::full_mesh(3, 10);
+        let mut splits = vec![Vec::new(); 9];
+        splits[1] = vec![(Path::from_nodes(&topo, &[0, 1]).unwrap(), 0.4)];
+        PrimaryAssignment::from_splits(&topo, splits);
+    }
+}

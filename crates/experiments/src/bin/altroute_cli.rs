@@ -1,0 +1,260 @@
+//! `altroute_cli` — run teletraffic calculations and routing experiments
+//! from the command line.
+//!
+//! ```text
+//! altroute_cli erlang <load> <capacity>             Erlang-B blocking / carried / lost
+//! altroute_cli dimension <load> <target-blocking>   smallest sufficient capacity
+//! altroute_cli protect <load> <capacity> <H>        Eq. 15 protection level + bound
+//! altroute_cli simulate <config.json>               full experiment from a JSON config
+//! altroute_cli example-config                       print a commented example config
+//! ```
+//!
+//! The JSON config selects a topology (built-in or explicit link list), a
+//! traffic matrix (uniform, explicit, or the reconstructed NSFNet
+//! nominal), the policies to compare, failed links, and the simulation
+//! parameters. See `example-config`.
+
+use altroute_core::policy::PolicyKind;
+use altroute_experiments::output::fmt_prob;
+use altroute_experiments::Table;
+use altroute_netgraph::estimate::nsfnet_nominal_traffic;
+use altroute_netgraph::graph::Topology;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::experiment::{Experiment, SimParams};
+use altroute_sim::failures::FailureSchedule;
+use altroute_teletraffic::erlang::{carried_traffic, dimension_link, erlang_b};
+use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
+use serde::Deserialize;
+use std::process::ExitCode;
+
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum TopologySpec {
+    /// A named built-in: "nsfnet" | "quadrangle".
+    Builtin(String),
+    FullMesh { nodes: usize, capacity: u32 },
+    Ring { nodes: usize, capacity: u32 },
+    /// Explicit duplex link list.
+    Links { nodes: usize, duplex: Vec<(usize, usize, u32)> },
+}
+
+#[derive(Debug, Deserialize)]
+#[serde(rename_all = "snake_case")]
+enum TrafficSpec {
+    /// Erlangs per ordered pair.
+    Uniform(f64),
+    /// The reconstructed NSFNet nominal matrix, linearly scaled.
+    NsfnetNominal { scale: f64 },
+    /// Explicit row-major matrix.
+    Matrix(Vec<Vec<f64>>),
+}
+
+#[derive(Debug, Deserialize)]
+struct Config {
+    topology: TopologySpec,
+    traffic: TrafficSpec,
+    /// Policies: "single-path" | "uncontrolled" | "controlled" | "ott-krishnan".
+    policies: Vec<String>,
+    max_hops: u32,
+    #[serde(default)]
+    failed_duplex: Vec<(usize, usize)>,
+    #[serde(default = "default_warmup")]
+    warmup: f64,
+    #[serde(default = "default_horizon")]
+    horizon: f64,
+    #[serde(default = "default_seeds")]
+    seeds: u32,
+    #[serde(default)]
+    base_seed: u64,
+}
+
+fn default_warmup() -> f64 {
+    10.0
+}
+fn default_horizon() -> f64 {
+    100.0
+}
+fn default_seeds() -> u32 {
+    10
+}
+
+const EXAMPLE_CONFIG: &str = r#"{
+  "topology": { "builtin": "nsfnet" },
+  "traffic": { "nsfnet_nominal": { "scale": 1.0 } },
+  "policies": ["single-path", "uncontrolled", "controlled"],
+  "max_hops": 11,
+  "failed_duplex": [],
+  "warmup": 10.0,
+  "horizon": 100.0,
+  "seeds": 10,
+  "base_seed": 0
+}"#;
+
+fn build_topology(spec: &TopologySpec) -> Result<Topology, String> {
+    match spec {
+        TopologySpec::Builtin(name) => match name.as_str() {
+            "nsfnet" => Ok(topologies::nsfnet(100)),
+            "quadrangle" => Ok(topologies::quadrangle()),
+            other => Err(format!("unknown builtin topology '{other}' (try nsfnet, quadrangle)")),
+        },
+        TopologySpec::FullMesh { nodes, capacity } => Ok(topologies::full_mesh(*nodes, *capacity)),
+        TopologySpec::Ring { nodes, capacity } => Ok(topologies::ring(*nodes, *capacity)),
+        TopologySpec::Links { nodes, duplex } => {
+            let mut t = Topology::new();
+            t.add_nodes(*nodes);
+            for &(a, b, c) in duplex {
+                if a >= *nodes || b >= *nodes {
+                    return Err(format!("link ({a}, {b}) references a node out of range"));
+                }
+                t.add_duplex(a, b, c);
+            }
+            Ok(t)
+        }
+    }
+}
+
+fn build_traffic(spec: &TrafficSpec, n: usize) -> Result<TrafficMatrix, String> {
+    match spec {
+        TrafficSpec::Uniform(x) => Ok(TrafficMatrix::uniform(n, *x)),
+        TrafficSpec::NsfnetNominal { scale } => {
+            if n != 12 {
+                return Err("nsfnet_nominal traffic needs the 12-node NSFNet topology".into());
+            }
+            Ok(nsfnet_nominal_traffic().traffic.scaled(*scale))
+        }
+        TrafficSpec::Matrix(rows) => {
+            if rows.len() != n || rows.iter().any(|r| r.len() != n) {
+                return Err(format!("matrix must be {n}x{n}"));
+            }
+            let mut m = TrafficMatrix::zero(n);
+            for (i, row) in rows.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    if i != j {
+                        m.set(i, j, v);
+                    }
+                }
+            }
+            Ok(m)
+        }
+    }
+}
+
+fn parse_policy(name: &str, h: u32) -> Result<PolicyKind, String> {
+    match name {
+        "single-path" => Ok(PolicyKind::SinglePath),
+        "uncontrolled" => Ok(PolicyKind::UncontrolledAlternate { max_hops: h }),
+        "controlled" => Ok(PolicyKind::ControlledAlternate { max_hops: h }),
+        "ott-krishnan" => Ok(PolicyKind::OttKrishnan { max_hops: h }),
+        other => Err(format!(
+            "unknown policy '{other}' (try single-path, uncontrolled, controlled, ott-krishnan)"
+        )),
+    }
+}
+
+fn cmd_simulate(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let config: Config = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let topo = build_topology(&config.topology)?;
+    let traffic = build_traffic(&config.traffic, topo.num_nodes())?;
+    let mut exp = Experiment::new(topo, traffic).map_err(|e| e.to_string())?;
+    if !config.failed_duplex.is_empty() {
+        let mut links = Vec::new();
+        for &(a, b) in &config.failed_duplex {
+            for (s, d) in [(a, b), (b, a)] {
+                links.push(
+                    exp.topology()
+                        .link_between(s, d)
+                        .ok_or_else(|| format!("no link {s}->{d} to fail"))?,
+                );
+            }
+        }
+        exp = exp.with_failures(FailureSchedule::static_down(links));
+    }
+    let params = SimParams {
+        warmup: config.warmup,
+        horizon: config.horizon,
+        seeds: config.seeds,
+        base_seed: config.base_seed,
+    };
+    let mut table = Table::new(["policy", "blocking", "stderr", "alt-fraction"]);
+    for name in &config.policies {
+        let kind = parse_policy(name, config.max_hops)?;
+        let r = exp.run(kind, &params);
+        table.row([
+            kind.name().to_string(),
+            fmt_prob(r.blocking_mean()),
+            fmt_prob(r.blocking_std_error()),
+            format!("{:.4}", r.alternate_fraction()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("erlang cut-set lower bound: {}", fmt_prob(exp.erlang_bound()));
+    Ok(())
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("{what} must be a number, got '{s}'"))
+}
+
+fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("{what} must be a non-negative integer, got '{s}'"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("erlang") if args.len() == 3 => {
+            let load = parse_f64(&args[1], "load")?;
+            let cap = parse_u32(&args[2], "capacity")?;
+            println!("B({load}, {cap})   = {:.6}", erlang_b(load, cap));
+            println!("carried      = {:.3} Erlangs", carried_traffic(load, cap));
+            println!("lost         = {:.3} Erlangs", load - carried_traffic(load, cap));
+            Ok(())
+        }
+        Some("dimension") if args.len() == 3 => {
+            let load = parse_f64(&args[1], "load")?;
+            let target = parse_f64(&args[2], "target blocking")?;
+            match dimension_link(load, target, 1_000_000) {
+                Some(c) => {
+                    println!("capacity {c} circuits (B = {:.6})", erlang_b(load, c));
+                    Ok(())
+                }
+                None => Err("no capacity up to 1e6 meets the target".into()),
+            }
+        }
+        Some("protect") if args.len() == 4 => {
+            let load = parse_f64(&args[1], "load")?;
+            let cap = parse_u32(&args[2], "capacity")?;
+            let h = parse_u32(&args[3], "H")?;
+            let r = protection_level(load, cap, h);
+            println!("r = {r}");
+            if load > 0.0 {
+                println!(
+                    "theorem-1 bound B(L,C)/B(L,C-r) = {:.6} (target 1/H = {:.6})",
+                    shadow_price_bound(load, cap, r),
+                    1.0 / f64::from(h)
+                );
+            }
+            Ok(())
+        }
+        Some("simulate") if args.len() == 2 => cmd_simulate(&args[1]),
+        Some("example-config") => {
+            println!("{EXAMPLE_CONFIG}");
+            Ok(())
+        }
+        _ => Err("usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
+                  protect LOAD CAP H | simulate CONFIG.json | example-config>"
+            .into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Extension — does the guarantee survive non-Poisson *arrivals*?
+//!
+//! Theorem 1's assumption A2 takes primary arrivals as Poisson. Here the
+//! per-pair arrival processes are made bursty — hyperexponential (H2)
+//! inter-arrival times with the same mean but a chosen squared
+//! coefficient of variation `cv² > 1` (balanced-means parameterisation) —
+//! and the three policies are compared on the quadrangle. The protection
+//! levels are still computed from Eq. 15 as if traffic were Poisson
+//! (exactly what a deployed system would do), so this measures the
+//! control's robustness to A2 violations: the ordering
+//! `controlled ≤ single-path` should persist even though the theorem no
+//! longer formally applies.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::{Decision, PolicyKind, Router};
+use altroute_experiments::output::fmt_prob;
+use altroute_experiments::Table;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::network::NetworkState;
+use altroute_simcore::queue::EventQueue;
+use altroute_simcore::rng::{RngStream, StreamFactory};
+
+/// Balanced-means H2: with probability `p` rate `r1`, else `r2`, chosen
+/// so the mean is `1/rate` and the squared CV is `cv2`.
+fn h2_gap(stream: &mut RngStream, rate: f64, cv2: f64) -> f64 {
+    if cv2 <= 1.0 {
+        return stream.exp(rate);
+    }
+    // Balanced means: p/r1 = (1-p)/r2 = 1/(2 rate).
+    let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+    let (r1, r2) = (2.0 * p * rate, 2.0 * (1.0 - p) * rate);
+    // Draw order is fixed (choice, then sample) to keep common random
+    // numbers across policies.
+    let choice = stream.uniform();
+    if choice < p {
+        stream.exp(r1)
+    } else {
+        stream.exp(r2)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Arrival { pair: u32 },
+    Departure { call: u32 },
+}
+
+fn run_bursty(
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    kind: PolicyKind,
+    cv2: f64,
+    warmup: f64,
+    horizon: f64,
+    seeds: u32,
+) -> f64 {
+    let topo = plan.topology();
+    let n = topo.num_nodes();
+    let router = Router::new(plan, kind);
+    let end = warmup + horizon;
+    let (mut blocked_total, mut offered_total) = (0u64, 0u64);
+    for s in 0..seeds {
+        let factory = StreamFactory::new(0xB0B5 + u64::from(s));
+        let mut network = NetworkState::new(topo);
+        let mut streams: Vec<Option<RngStream>> = (0..n * n).map(|_| None).collect();
+        let mut rates = vec![0.0; n * n];
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for (i, j, t) in traffic.demands() {
+            let pair = i * n + j;
+            rates[pair] = t;
+            let mut st = factory.stream(pair as u64);
+            let first = h2_gap(&mut st, t, cv2);
+            streams[pair] = Some(st);
+            if first < end {
+                queue.schedule(first, Ev::Arrival { pair: pair as u32 });
+            }
+        }
+        let mut calls: Vec<Option<Vec<usize>>> = Vec::new();
+        while let Some((now, ev)) = queue.pop() {
+            if now >= end {
+                break;
+            }
+            match ev {
+                Ev::Arrival { pair } => {
+                    let pair = pair as usize;
+                    let (src, dst) = (pair / n, pair % n);
+                    let st = streams[pair].as_mut().unwrap();
+                    let hold = st.holding_time();
+                    let upick = st.uniform();
+                    let gap = h2_gap(st, rates[pair], cv2);
+                    if now + gap < end {
+                        queue.schedule(now + gap, Ev::Arrival { pair: pair as u32 });
+                    }
+                    let measured = now >= warmup;
+                    if measured {
+                        offered_total += 1;
+                    }
+                    match router.decide(src, dst, &network, upick) {
+                        Decision::Route { path, .. } => {
+                            network.book(path.links());
+                            let id = calls.len() as u32;
+                            calls.push(Some(path.links().to_vec()));
+                            queue.schedule(now + hold, Ev::Departure { call: id });
+                        }
+                        Decision::Blocked => {
+                            if measured {
+                                blocked_total += 1;
+                            }
+                        }
+                    }
+                }
+                Ev::Departure { call } => {
+                    if let Some(links) = calls[call as usize].take() {
+                        network.release(&links);
+                    }
+                }
+            }
+        }
+    }
+    blocked_total as f64 / offered_total as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, horizon, seeds) = if quick { (5.0, 30.0, 3u32) } else { (10.0, 100.0, 10u32) };
+    let mut table = Table::new(["cv2", "load", "single-path", "uncontrolled", "controlled"]);
+    for cv2 in [1.0, 4.0, 9.0] {
+        for load in [85.0, 90.0, 95.0] {
+            let traffic = TrafficMatrix::uniform(4, load);
+            let plan = RoutingPlan::min_hop(topologies::quadrangle(), &traffic, 3);
+            let mut cells = vec![format!("{cv2:.0}"), format!("{load:.0}")];
+            for kind in [
+                PolicyKind::SinglePath,
+                PolicyKind::UncontrolledAlternate { max_hops: 3 },
+                PolicyKind::ControlledAlternate { max_hops: 3 },
+            ] {
+                cells.push(fmt_prob(run_bursty(&plan, &traffic, kind, cv2, warmup, horizon, seeds)));
+            }
+            table.row(cells);
+        }
+    }
+    println!("Bursty (H2) arrivals vs the Poisson assumption A2 (quadrangle, H = 3)\n");
+    println!("{}", table.render());
+    println!("expected: burstier arrivals raise blocking for every policy, but the");
+    println!("ordering controlled <= single-path persists — the control is robust to");
+    println!("arrival-process misspecification even though Theorem 1 assumes Poisson.");
+    if let Ok(path) = table.write_csv("bursty_arrivals") {
+        println!("wrote {}", path.display());
+    }
+}

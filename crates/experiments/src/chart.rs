@@ -1,0 +1,143 @@
+//! Minimal ASCII line charts for the experiment binaries.
+//!
+//! Renders blocking-vs-load series as a fixed-size character grid so the
+//! paper's figures can be eyeballed straight from a terminal, next to the
+//! exact numbers in the tables.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot marker.
+    pub label: String,
+    /// Data points (x must be finite; non-finite y values are skipped).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series onto a `width × height` grid with simple axes.
+///
+/// Y can optionally be log10-scaled (`log_y`), in which case non-positive
+/// values are skipped. Returns the multi-line chart including a legend.
+///
+/// # Panics
+///
+/// Panics if dimensions are degenerate or no plottable point exists.
+pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let transform = |y: f64| if log_y { (y > 0.0).then(|| y.log10()) } else { Some(y) };
+    let mut pts: Vec<(usize, f64, f64)> = Vec::new();
+    for (si, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            assert!(x.is_finite(), "x must be finite");
+            if let Some(ty) = transform(y) {
+                if ty.is_finite() {
+                    pts.push((si, x, ty));
+                }
+            }
+        }
+    }
+    assert!(!pts.is_empty(), "nothing to plot");
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 == y0 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(si, x, y) in &pts {
+        let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+        let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        let marker = series[si].label.chars().next().unwrap_or('?');
+        // Later series overwrite earlier ones at collisions; the tables
+        // carry the exact values.
+        grid[row][cx] = marker;
+    }
+    let mut out = String::new();
+    let y_label = |v: f64| if log_y { format!("1e{v:.1}") } else { format!("{v:.3}") };
+    for (i, row) in grid.iter().enumerate() {
+        let frac = 1.0 - i as f64 / (height - 1) as f64;
+        let yv = y0 + frac * (y1 - y0);
+        out.push_str(&format!("{:>9} |", y_label(yv)));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>10} {:<10.1}{:>width$.1}\n", "", x0, x1, width = width - 10));
+    out.push_str("legend: ");
+    for s in series {
+        let m = s.label.chars().next().unwrap_or('?');
+        out.push_str(&format!("[{m}] {}  ", s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "single".into(),
+                points: (0..10).map(|i| (f64::from(i), f64::from(i) * 0.01)).collect(),
+            },
+            Series {
+                label: "controlled".into(),
+                points: (0..10).map(|i| (f64::from(i), f64::from(i) * 0.005)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let chart = render(&demo_series(), 40, 10, false);
+        let lines: Vec<&str> = chart.lines().collect();
+        // 10 grid rows + axis + x labels + legend.
+        assert_eq!(lines.len(), 13);
+        assert!(chart.contains("[s] single"));
+        assert!(chart.contains("[c] controlled"));
+        // Markers present.
+        assert!(chart.contains('s'));
+        assert!(chart.contains('c'));
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive() {
+        let series = vec![Series {
+            label: "x".into(),
+            points: vec![(1.0, 0.0), (2.0, 0.001), (3.0, 0.1)],
+        }];
+        let chart = render(&series, 30, 6, true);
+        assert!(chart.contains("1e"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let series = vec![Series { label: "flat".into(), points: vec![(1.0, 0.5), (2.0, 0.5)] }];
+        let chart = render(&series, 20, 5, false);
+        assert!(chart.contains('f'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn all_skipped_panics() {
+        let series =
+            vec![Series { label: "x".into(), points: vec![(1.0, 0.0)] }];
+        render(&series, 20, 5, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_panics() {
+        render(&demo_series(), 5, 2, false);
+    }
+}

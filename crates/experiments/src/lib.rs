@@ -1,0 +1,17 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see `DESIGN.md` for the index). This library holds the
+//! pieces they share: aligned-table output, CSV export, the standard
+//! policy set, and the NSFNet instance construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod output;
+pub mod runs;
+
+pub use chart::{render as render_chart, Series};
+pub use output::Table;
+pub use runs::{nsfnet_experiment, policy_set, sweep, SweepRow};

@@ -1,0 +1,148 @@
+//! Link-disjoint path sets — resilience analysis for the failure
+//! experiments.
+//!
+//! Alternate routing's value under failures (§4.2.2) depends on how many
+//! link-disjoint routes a pair has: a pair whose paths all share one
+//! trunk loses everything when that trunk dies. [`link_disjoint_paths`]
+//! greedily extracts a maximal set of pairwise link-disjoint paths in
+//! increasing length order (a simple and deterministic lower bound on
+//! the max-flow value; exact for the paper's small meshes in practice),
+//! and [`disjointness_profile`] summarises the whole network.
+
+use crate::graph::{LinkId, NodeId, Topology};
+use crate::paths::{dijkstra, Path};
+
+/// A maximal set of pairwise link-disjoint paths from `src` to `dst`,
+/// greedily chosen shortest-first (deterministic).
+///
+/// Repeatedly runs shortest-path with already-used links removed until no
+/// path remains. The result size lower-bounds the max number of disjoint
+/// paths (greedy is not always optimal in pathological graphs, but the
+/// shortest-first order is exact on the paper's topologies).
+pub fn link_disjoint_paths(topo: &Topology, src: NodeId, dst: NodeId) -> Vec<Path> {
+    let mut used: Vec<bool> = vec![false; topo.num_links()];
+    let mut result = Vec::new();
+    loop {
+        let path = dijkstra(topo, src, dst, |l: LinkId| {
+            if used[l] {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        });
+        match path {
+            Some(p) => {
+                for &l in p.links() {
+                    used[l] = true;
+                }
+                result.push(p);
+            }
+            None => break,
+        }
+    }
+    result
+}
+
+/// Network-wide disjointness summary: per ordered pair, the size of its
+/// greedy link-disjoint path set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisjointnessProfile {
+    /// Minimum over pairs (the network's weakest pair).
+    pub min: usize,
+    /// Maximum over pairs.
+    pub max: usize,
+    /// Sum over pairs (divide by pair count for the average).
+    pub total: usize,
+    /// Number of ordered pairs considered.
+    pub pairs: usize,
+}
+
+impl DisjointnessProfile {
+    /// Average disjoint paths per pair.
+    pub fn average(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.pairs as f64
+        }
+    }
+}
+
+/// Computes the [`DisjointnessProfile`] over all ordered pairs.
+pub fn disjointness_profile(topo: &Topology) -> DisjointnessProfile {
+    let mut profile = DisjointnessProfile { min: usize::MAX, max: 0, total: 0, pairs: 0 };
+    for (i, j) in topo.ordered_pairs() {
+        let k = link_disjoint_paths(topo, i, j).len();
+        profile.min = profile.min.min(k);
+        profile.max = profile.max.max(k);
+        profile.total += k;
+        profile.pairs += 1;
+    }
+    if profile.pairs == 0 {
+        profile.min = 0;
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn full_mesh_has_n_minus_one_disjoint_paths() {
+        // K4: the direct link plus two 2-hop detours are link-disjoint.
+        let t = topologies::full_mesh(4, 10);
+        let set = link_disjoint_paths(&t, 0, 3);
+        assert_eq!(set.len(), 3);
+        // Pairwise disjoint.
+        for a in 0..set.len() {
+            for b in (a + 1)..set.len() {
+                for &l in set[a].links() {
+                    assert!(!set[b].uses_link(l), "paths {a} and {b} share link {l}");
+                }
+            }
+        }
+        // Shortest first.
+        assert_eq!(set[0].hops(), 1);
+    }
+
+    #[test]
+    fn line_has_single_path() {
+        let t = topologies::line(4, 5);
+        assert_eq!(link_disjoint_paths(&t, 0, 3).len(), 1);
+    }
+
+    #[test]
+    fn ring_has_two() {
+        let t = topologies::ring(6, 5);
+        let set = link_disjoint_paths(&t, 0, 3);
+        assert_eq!(set.len(), 2, "clockwise and counterclockwise");
+    }
+
+    #[test]
+    fn unreachable_pair_has_none() {
+        let mut t = Topology::new();
+        t.add_nodes(3);
+        t.add_link(0, 1, 1);
+        assert!(link_disjoint_paths(&t, 1, 0).is_empty());
+        assert!(link_disjoint_paths(&t, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn nsfnet_profile_matches_degree_structure() {
+        // Every NSFNet node has degree 2 or 3, so disjoint paths per pair
+        // are bounded by min(deg(src), deg(dst)) and at least 2 (the
+        // graph is 2-edge-connected).
+        let t = topologies::nsfnet(100);
+        let profile = disjointness_profile(&t);
+        assert_eq!(profile.pairs, 132);
+        assert_eq!(profile.min, 2, "NSFNet is 2-edge-connected");
+        assert!(profile.max <= 3);
+        assert!((2.0..=3.0).contains(&profile.average()));
+        for (i, j) in t.ordered_pairs() {
+            let k = link_disjoint_paths(&t, i, j).len();
+            assert!(k <= t.out_degree(i).min(t.out_degree(j)), "{i}->{j}");
+        }
+    }
+}

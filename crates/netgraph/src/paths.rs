@@ -1,0 +1,550 @@
+//! Path algorithms: minimum-hop routing, exhaustive loop-free alternate
+//! path enumeration, Dijkstra, and Yen's K-shortest paths.
+//!
+//! The paper's base state-independent policy routes every ordered pair on
+//! its unique **minimum-hop** path ([`min_hop_path`]), computed here by
+//! breadth-first search with a deterministic tie-break (prefer the
+//! lexicographically smallest node sequence), standing in for whatever
+//! fixed rule a deployed distributed protocol would converge on.
+//!
+//! Alternate paths are "computed using a K-shortest path algorithm" and
+//! "attempted in order of increasing length" (§1, §4.2.1). On the paper's
+//! sparse meshes the full set of loop-free paths is small (NSFNet averages
+//! about 9 usable alternates per pair), so [`loop_free_paths`] enumerates
+//! them all by depth-first search, ordered by `(hop count, node sequence)`
+//! — exactly the order the paper's calls try them in. [`yen_k_shortest`]
+//! provides the classical bounded-K algorithm for larger graphs, and
+//! [`dijkstra`] supports arbitrary non-negative link weights (used by the
+//! min-loss primary-path optimiser as its flow-deviation subproblem).
+
+use crate::graph::{LinkId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A loop-free directed path through a topology.
+///
+/// Stores both the node sequence and the traversed link ids; the two are
+/// kept consistent by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Builds a path from a node sequence, resolving links against `topo`.
+    ///
+    /// Returns `None` if consecutive nodes are unconnected, the sequence
+    /// has fewer than two nodes, or a node repeats (paths are loop-free).
+    pub fn from_nodes(topo: &Topology, nodes: &[NodeId]) -> Option<Self> {
+        if nodes.len() < 2 {
+            return None;
+        }
+        let mut seen = vec![false; topo.num_nodes()];
+        for &n in nodes {
+            if n >= topo.num_nodes() || seen[n] {
+                return None;
+            }
+            seen[n] = true;
+        }
+        let links = topo.links_along(nodes)?;
+        Some(Self { nodes: nodes.to_vec(), links })
+    }
+
+    /// Origin node.
+    pub fn src(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Number of links (hops).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The node sequence, origin first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The traversed link ids, in order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Whether the path traverses the given link.
+    pub fn uses_link(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+}
+
+/// The minimum-hop path from `src` to `dst`, breaking ties towards the
+/// lexicographically smallest node sequence; `None` if unreachable.
+///
+/// Determinism matters: the paper assigns every ordered pair a *unique*
+/// primary path, and the state-protection levels are derived from the
+/// loads that this fixed assignment induces.
+pub fn min_hop_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
+    if src == dst || src >= topo.num_nodes() || dst >= topo.num_nodes() {
+        return None;
+    }
+    // BFS from src; because out_links are sorted by destination id, the
+    // first parent assigned to each node yields the lexicographically
+    // smallest shortest node sequence when reconstructed from dst.
+    let n = topo.num_nodes();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut dist = vec![usize::MAX; n];
+    dist[src] = 0;
+    let mut frontier = std::collections::VecDeque::new();
+    frontier.push_back(src);
+    while let Some(u) = frontier.pop_front() {
+        if u == dst {
+            break;
+        }
+        for &l in topo.out_links(u) {
+            let v = topo.link(l).dst;
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                parent[v] = Some(u);
+                frontier.push_back(v);
+            }
+        }
+    }
+    if dist[dst] == usize::MAX {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = parent[cur] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    debug_assert_eq!(nodes[0], src);
+    Path::from_nodes(topo, &nodes)
+}
+
+/// The complete minimum-hop primary path assignment: one path per ordered
+/// pair (row-major `src * n + dst`; `None` on the diagonal and for
+/// unreachable pairs).
+pub fn min_hop_primaries(topo: &Topology) -> Vec<Option<Path>> {
+    let n = topo.num_nodes();
+    let mut out = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            out.push(if i == j { None } else { min_hop_path(topo, i, j) });
+        }
+    }
+    out
+}
+
+/// All loop-free paths from `src` to `dst` with at most `max_hops` links,
+/// ordered by `(hop count, node sequence)` — the order in which the
+/// paper's blocked calls attempt alternates.
+///
+/// The search is a depth-first enumeration over simple paths; on sparse
+/// meshes like NSFNet the result sets are small (§4.2.2 reports ~9 paths
+/// per pair on average).
+pub fn loop_free_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usize) -> Vec<Path> {
+    let mut result = Vec::new();
+    if src == dst || src >= topo.num_nodes() || dst >= topo.num_nodes() || max_hops == 0 {
+        return result;
+    }
+    let mut visited = vec![false; topo.num_nodes()];
+    let mut stack = vec![src];
+    visited[src] = true;
+    dfs_paths(topo, dst, max_hops, &mut visited, &mut stack, &mut result);
+    // DFS in sorted-adjacency order yields lexicographic order per length
+    // already for equal-length prefixes, but mixed lengths interleave;
+    // sort by (hops, node sequence) for the canonical attempt order.
+    result.sort_by(|a, b| a.hops().cmp(&b.hops()).then_with(|| a.nodes().cmp(b.nodes())));
+    result
+}
+
+fn dfs_paths(
+    topo: &Topology,
+    dst: NodeId,
+    max_hops: usize,
+    visited: &mut [bool],
+    stack: &mut Vec<NodeId>,
+    result: &mut Vec<Path>,
+) {
+    let u = *stack.last().unwrap();
+    if stack.len() - 1 == max_hops {
+        return;
+    }
+    for &l in topo.out_links(u) {
+        let v = topo.link(l).dst;
+        if v == dst {
+            stack.push(v);
+            result.push(Path::from_nodes(topo, stack).expect("constructed path is valid"));
+            stack.pop();
+        } else if !visited[v] {
+            visited[v] = true;
+            stack.push(v);
+            dfs_paths(topo, dst, max_hops, visited, stack, result);
+            stack.pop();
+            visited[v] = false;
+        }
+    }
+}
+
+/// The alternate-path set of an ordered pair: all loop-free paths of at
+/// most `max_hops` hops, in attempt order, with the primary path removed.
+pub fn alternate_paths(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    primary: &Path,
+) -> Vec<Path> {
+    loop_free_paths(topo, src, dst, max_hops)
+        .into_iter()
+        .filter(|p| p != primary)
+        .collect()
+}
+
+/// Dijkstra shortest path under non-negative per-link weights.
+///
+/// `weight(link_id)` must return a finite value `>= 0`; `f64::INFINITY`
+/// excludes a link. Ties broken towards lexicographically smaller node
+/// sequences via the sorted adjacency iteration order. Returns `None` if
+/// `dst` is unreachable.
+pub fn dijkstra<F>(topo: &Topology, src: NodeId, dst: NodeId, weight: F) -> Option<Path>
+where
+    F: Fn(LinkId) -> f64,
+{
+    if src == dst || src >= topo.num_nodes() || dst >= topo.num_nodes() {
+        return None;
+    }
+    let n = topo.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[src] = 0.0;
+    // Binary heap of (Reverse(dist), node) — f64 is not Ord, so use a
+    // simple O(n^2) scan; the paper's networks have ≤ a few dozen nodes
+    // and this routine sits outside the simulation hot loop.
+    for _ in 0..n {
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for v in 0..n {
+            if !done[v] && dist[v] < best {
+                best = dist[v];
+                u = v;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        done[u] = true;
+        if u == dst {
+            break;
+        }
+        for &l in topo.out_links(u) {
+            let w = weight(l);
+            assert!(!w.is_nan() && w >= 0.0, "link weights must be non-negative, got {w}");
+            let v = topo.link(l).dst;
+            let cand = dist[u] + w;
+            if cand < dist[v] {
+                dist[v] = cand;
+                parent[v] = Some(u);
+            }
+        }
+    }
+    if dist[dst].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = parent[cur] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    Path::from_nodes(topo, &nodes)
+}
+
+/// Yen's algorithm: the `k` shortest loop-free paths under the given
+/// weights, in non-decreasing cost order.
+///
+/// Returns fewer than `k` paths if fewer exist. Deterministic: candidate
+/// ties are broken by node sequence.
+pub fn yen_k_shortest<F>(topo: &Topology, src: NodeId, dst: NodeId, k: usize, weight: F) -> Vec<Path>
+where
+    F: Fn(LinkId) -> f64,
+{
+    let mut found: Vec<Path> = Vec::new();
+    if k == 0 {
+        return found;
+    }
+    let Some(first) = dijkstra(topo, src, dst, &weight) else {
+        return found;
+    };
+    found.push(first);
+    let cost = |p: &Path| -> f64 { p.links().iter().map(|&l| weight(l)).sum() };
+    let mut candidates: Vec<Path> = Vec::new();
+    while found.len() < k {
+        let last = found.last().unwrap().clone();
+        // Branch at every spur node of the previous shortest path.
+        for i in 0..last.hops() {
+            let spur_node = last.nodes()[i];
+            let root_nodes = &last.nodes()[..=i];
+            // Links to exclude: any link leaving the spur node that a
+            // previously found path with the same root also takes.
+            let mut banned_links: Vec<LinkId> = Vec::new();
+            for p in found.iter().chain(candidates.iter()) {
+                if p.nodes().len() > i && p.nodes()[..=i] == *root_nodes {
+                    banned_links.push(p.links()[i]);
+                }
+            }
+            // Nodes of the root (except the spur node) are banned to keep
+            // the total path loop-free.
+            let banned_nodes: Vec<NodeId> = root_nodes[..i].to_vec();
+            let spur = dijkstra(topo, spur_node, dst, |l| {
+                let link = topo.link(l);
+                if banned_links.contains(&l)
+                    || banned_nodes.contains(&link.dst)
+                    || banned_nodes.contains(&link.src)
+                {
+                    f64::INFINITY
+                } else {
+                    weight(l)
+                }
+            });
+            if let Some(spur_path) = spur {
+                let mut nodes = root_nodes[..i].to_vec();
+                nodes.extend_from_slice(spur_path.nodes());
+                if let Some(total) = Path::from_nodes(topo, &nodes) {
+                    if !found.contains(&total) && !candidates.contains(&total) {
+                        candidates.push(total);
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the cheapest candidate (stable tie-break by nodes).
+        let mut best = 0;
+        for i in 1..candidates.len() {
+            let (ci, cb) = (cost(&candidates[i]), cost(&candidates[best]));
+            if ci < cb || (ci == cb && candidates[i].nodes() < candidates[best].nodes()) {
+                best = i;
+            }
+        }
+        found.push(candidates.swap_remove(best));
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    fn diamond() -> Topology {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, plus reverse; and a long way 1 -> 2.
+        let mut t = Topology::new();
+        t.add_nodes(4);
+        t.add_duplex(0, 1, 5);
+        t.add_duplex(0, 2, 5);
+        t.add_duplex(1, 3, 5);
+        t.add_duplex(2, 3, 5);
+        t.add_duplex(1, 2, 5);
+        t
+    }
+
+    #[test]
+    fn path_construction_and_accessors() {
+        let t = diamond();
+        let p = Path::from_nodes(&t, &[0, 1, 3]).unwrap();
+        assert_eq!(p.src(), 0);
+        assert_eq!(p.dst(), 3);
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.nodes(), &[0, 1, 3]);
+        assert_eq!(p.links().len(), 2);
+        assert!(p.uses_link(t.link_between(0, 1).unwrap()));
+        assert!(!p.uses_link(t.link_between(0, 2).unwrap()));
+        // Loops rejected.
+        assert!(Path::from_nodes(&t, &[0, 1, 0]).is_none());
+        // Too short.
+        assert!(Path::from_nodes(&t, &[0]).is_none());
+        // Unconnected hop.
+        assert!(Path::from_nodes(&t, &[0, 3]).is_none());
+    }
+
+    #[test]
+    fn min_hop_prefers_lexicographic_tie_break() {
+        let t = diamond();
+        // Both 0-1-3 and 0-2-3 are two hops; the tie-break picks 0-1-3.
+        let p = min_hop_path(&t, 0, 3).unwrap();
+        assert_eq!(p.nodes(), &[0, 1, 3]);
+        // Adjacent pair gets the direct link.
+        assert_eq!(min_hop_path(&t, 1, 2).unwrap().hops(), 1);
+        // Diagonal/unknown.
+        assert!(min_hop_path(&t, 2, 2).is_none());
+        assert!(min_hop_path(&t, 0, 99).is_none());
+    }
+
+    #[test]
+    fn min_hop_unreachable_is_none() {
+        let mut t = Topology::new();
+        t.add_nodes(3);
+        t.add_link(0, 1, 1);
+        assert!(min_hop_path(&t, 1, 0).is_none());
+        assert!(min_hop_path(&t, 0, 2).is_none());
+    }
+
+    #[test]
+    fn primaries_table_layout() {
+        let t = diamond();
+        let prim = min_hop_primaries(&t);
+        assert_eq!(prim.len(), 16);
+        for i in 0..4 {
+            assert!(prim[i * 4 + i].is_none());
+            for j in 0..4 {
+                if i != j {
+                    let p = prim[i * 4 + j].as_ref().unwrap();
+                    assert_eq!((p.src(), p.dst()), (i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_free_enumeration_diamond() {
+        let t = diamond();
+        let paths = loop_free_paths(&t, 0, 3, 3);
+        // 0-1-3, 0-2-3 (2 hops), 0-1-2-3, 0-2-1-3 (3 hops).
+        let seqs: Vec<&[usize]> = paths.iter().map(|p| p.nodes()).collect();
+        assert_eq!(
+            seqs,
+            vec![&[0, 1, 3][..], &[0, 2, 3], &[0, 1, 2, 3], &[0, 2, 1, 3]]
+        );
+        // Hop cap respected.
+        assert_eq!(loop_free_paths(&t, 0, 3, 2).len(), 2);
+        assert_eq!(loop_free_paths(&t, 0, 3, 1).len(), 0);
+        assert_eq!(loop_free_paths(&t, 0, 3, 0).len(), 0);
+    }
+
+    #[test]
+    fn alternate_paths_exclude_primary() {
+        let t = diamond();
+        let primary = min_hop_path(&t, 0, 3).unwrap();
+        let alts = alternate_paths(&t, 0, 3, 3, &primary);
+        assert_eq!(alts.len(), 3);
+        assert!(!alts.contains(&primary));
+        // Ordered by increasing length.
+        for w in alts.windows(2) {
+            assert!(w[0].hops() <= w[1].hops());
+        }
+    }
+
+    #[test]
+    fn full_mesh_path_counts() {
+        // K4: between any pair there are 1 one-hop, 2 two-hop, 2 three-hop
+        // loop-free paths.
+        let t = topologies::full_mesh(4, 10);
+        let paths = loop_free_paths(&t, 0, 3, 3);
+        assert_eq!(paths.len(), 5);
+        assert_eq!(paths.iter().filter(|p| p.hops() == 1).count(), 1);
+        assert_eq!(paths.iter().filter(|p| p.hops() == 2).count(), 2);
+        assert_eq!(paths.iter().filter(|p| p.hops() == 3).count(), 2);
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_matches_min_hop() {
+        let t = topologies::nsfnet(100);
+        for (i, j) in t.ordered_pairs() {
+            let d = dijkstra(&t, i, j, |_| 1.0).unwrap();
+            let b = min_hop_path(&t, i, j).unwrap();
+            assert_eq!(d.hops(), b.hops(), "{i}->{j}");
+        }
+    }
+
+    #[test]
+    fn dijkstra_respects_weights() {
+        let t = diamond();
+        let heavy = t.link_between(0, 1).unwrap();
+        // Make the tie-break path expensive; Dijkstra must divert via 2.
+        let p = dijkstra(&t, 0, 3, |l| if l == heavy { 10.0 } else { 1.0 }).unwrap();
+        assert_eq!(p.nodes(), &[0, 2, 3]);
+        // Infinite weight excludes a link entirely.
+        let p = dijkstra(&t, 0, 1, |l| if l == heavy { f64::INFINITY } else { 1.0 }).unwrap();
+        assert_eq!(p.nodes(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn yen_enumerates_in_cost_order() {
+        let t = diamond();
+        let paths = yen_k_shortest(&t, 0, 3, 10, |_| 1.0);
+        assert_eq!(paths.len(), 4, "diamond has 4 loop-free 0->3 paths");
+        for w in paths.windows(2) {
+            assert!(w[0].hops() <= w[1].hops());
+        }
+        // Requesting fewer returns exactly k.
+        assert_eq!(yen_k_shortest(&t, 0, 3, 2, |_| 1.0).len(), 2);
+        assert!(yen_k_shortest(&t, 0, 3, 0, |_| 1.0).is_empty());
+    }
+
+    #[test]
+    fn yen_agrees_with_exhaustive_enumeration_on_nsfnet() {
+        let t = topologies::nsfnet(100);
+        for &(i, j) in &[(0usize, 6usize), (3, 9), (11, 2)] {
+            let all = loop_free_paths(&t, i, j, t.num_nodes() - 1);
+            let yen = yen_k_shortest(&t, i, j, all.len() + 5, |_| 1.0);
+            assert_eq!(yen.len(), all.len(), "{i}->{j}");
+            // Same multiset of hop counts.
+            let mut h1: Vec<_> = all.iter().map(Path::hops).collect();
+            let mut h2: Vec<_> = yen.iter().map(Path::hops).collect();
+            h1.sort_unstable();
+            h2.sort_unstable();
+            assert_eq!(h1, h2, "{i}->{j}");
+        }
+    }
+
+    #[test]
+    fn nsfnet_alternate_counts_match_paper() {
+        // §4.2.2: with unlimited (≤ 11 link) alternates, each pair has
+        // "about 9" alternate paths on average, max 15, min 5. Our
+        // reconstruction reproduces the max/min exactly (avg 8.33).
+        //
+        // For "limited to 6 hops" the paper reports avg ≈ 7, max 13, min 5,
+        // which a literal 6-link cap cannot produce on this topology
+        // (avg 3.3, max 6); the reported counts match a 9-link cap instead,
+        // so the paper's hop accounting there appears to differ from its
+        // H parameter. The unambiguous H = 6 quantity — the r^k column of
+        // Table 1 — is validated in the estimate module; here we pin the
+        // literal per-cap counts of the reconstructed topology.
+        let t = topologies::nsfnet(100);
+        let stats = |max_hops: usize| {
+            let (mut total, mut min, mut max) = (0usize, usize::MAX, 0usize);
+            let mut pairs = 0usize;
+            for (i, j) in t.ordered_pairs() {
+                let primary = min_hop_path(&t, i, j).unwrap();
+                let alts = alternate_paths(&t, i, j, max_hops, &primary);
+                total += alts.len();
+                min = min.min(alts.len());
+                max = max.max(alts.len());
+                pairs += 1;
+            }
+            (total as f64 / pairs as f64, min, max)
+        };
+        let (avg11, min11, max11) = stats(11);
+        assert!((8.0..=9.5).contains(&avg11), "avg alternates at H=11: {avg11}");
+        assert_eq!(min11, 5, "min alternates at H=11");
+        assert_eq!(max11, 15, "max alternates at H=11");
+        let (avg9, min9, max9) = stats(9);
+        assert!((7.0..=7.7).contains(&avg9), "avg alternates at 9-link cap: {avg9}");
+        assert_eq!(min9, 4, "min alternates at 9-link cap");
+        assert_eq!(max9, 13, "max alternates at 9-link cap");
+        let (avg6, min6, max6) = stats(6);
+        assert!((3.0..=3.6).contains(&avg6), "avg alternates at 6-link cap: {avg6}");
+        assert_eq!(min6, 1, "min alternates at 6-link cap");
+        assert_eq!(max6, 6, "max alternates at 6-link cap");
+    }
+}

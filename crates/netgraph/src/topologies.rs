@@ -1,0 +1,278 @@
+//! Built-in topologies: the paper's two experimental networks and generic
+//! generators.
+//!
+//! * [`quadrangle`] — the fully connected 4-node network of §4.1.
+//! * [`nsfnet`] — the 12-node NSFNet T3 backbone model of §4.2/Fig. 5,
+//!   reconstructed from the 30 directed links listed in Table 1.
+//! * [`full_mesh`], [`ring`], [`line()`], [`grid`], [`random_mesh`] —
+//!   generators for tests, examples, and benches.
+//!
+//! All links are duplex pairs of unidirectional links with equal capacity,
+//! matching the paper's modelling assumption.
+
+use crate::graph::Topology;
+
+/// The undirected edge list of the NSFNet T3 backbone model, exactly the
+/// 15 node pairs whose 30 directed links appear in Table 1 of the paper.
+pub const NSFNET_EDGES: [(usize, usize); 15] = [
+    (0, 1),
+    (0, 11),
+    (1, 2),
+    (1, 5),
+    (2, 3),
+    (3, 4),
+    (4, 5),
+    (4, 11),
+    (5, 6),
+    (6, 7),
+    (7, 8),
+    (7, 9),
+    (8, 10),
+    (9, 10),
+    (10, 11),
+];
+
+/// Illustrative city labels for the 12 NSFNet core nodes.
+///
+/// The paper's Fig. 5 names each Core Nodal Switching Subsystem after the
+/// Exterior NSS sites attached to it; the figure is not machine-readable in
+/// our source, so these labels are *approximate* stand-ins chosen from the
+/// Fall-1992 NSFNet sites, consistent in spirit with a west-to-east
+/// numbering. They are cosmetic: every experiment depends only on the
+/// adjacency and capacities.
+pub const NSFNET_NODE_NAMES: [&str; 12] = [
+    "Seattle",
+    "Palo Alto",
+    "San Diego",
+    "Houston",
+    "St. Louis",
+    "Boulder",
+    "Lincoln",
+    "Champaign",
+    "Ann Arbor",
+    "Pittsburgh",
+    "Ithaca",
+    "Salt Lake City",
+];
+
+/// The 12-node NSFNet T3 backbone model of the paper's §4.2 (Fig. 5),
+/// with every directed link given `capacity` circuits.
+///
+/// The paper forecasts 155 Mb/s links with 100 Mb/s reserved for
+/// rate-based traffic and 1 Mb/s prototype calls, i.e. `capacity = 100`.
+pub fn nsfnet(capacity: u32) -> Topology {
+    let mut t = Topology::new();
+    for name in NSFNET_NODE_NAMES {
+        t.add_node(name);
+    }
+    for (a, b) in NSFNET_EDGES {
+        t.add_duplex(a, b, capacity);
+    }
+    t
+}
+
+/// A fully connected network on `n` nodes (`n·(n−1)` directed links).
+pub fn full_mesh(n: usize, capacity: u32) -> Topology {
+    let mut t = Topology::new();
+    t.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            t.add_duplex(i, j, capacity);
+        }
+    }
+    t
+}
+
+/// The fully connected quadrangle of the paper's §4.1 with the
+/// conventional `C = 100` per directed link.
+pub fn quadrangle() -> Topology {
+    full_mesh(4, 100)
+}
+
+/// A bidirectional ring on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, capacity: u32) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut t = Topology::new();
+    t.add_nodes(n);
+    for i in 0..n {
+        t.add_duplex(i, (i + 1) % n, capacity);
+    }
+    t
+}
+
+/// A bidirectional line (path graph) on `n >= 2` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn line(n: usize, capacity: u32) -> Topology {
+    assert!(n >= 2, "a line needs at least 2 nodes");
+    let mut t = Topology::new();
+    t.add_nodes(n);
+    for i in 0..n - 1 {
+        t.add_duplex(i, i + 1, capacity);
+    }
+    t
+}
+
+/// A `rows × cols` bidirectional grid.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero or the grid has fewer than 2 nodes.
+pub fn grid(rows: usize, cols: usize, capacity: u32) -> Topology {
+    assert!(rows > 0 && cols > 0 && rows * cols >= 2, "grid too small");
+    let mut t = Topology::new();
+    t.add_nodes(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                t.add_duplex(id(r, c), id(r, c + 1), capacity);
+            }
+            if r + 1 < rows {
+                t.add_duplex(id(r, c), id(r + 1, c), capacity);
+            }
+        }
+    }
+    t
+}
+
+/// A deterministic pseudo-random connected mesh: a ring (guaranteeing
+/// strong connectivity) plus `extra_edges` chords chosen by a seeded
+/// xorshift generator.
+///
+/// Deterministic by construction (no external RNG dependency), so tests
+/// and benches get reproducible graphs from a seed.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `extra_edges` exceeds the number of available
+/// chords.
+pub fn random_mesh(n: usize, extra_edges: usize, capacity: u32, seed: u64) -> Topology {
+    assert!(n >= 3, "mesh needs at least 3 nodes");
+    let max_chords = n * (n - 1) / 2 - n;
+    assert!(
+        extra_edges <= max_chords,
+        "at most {max_chords} chords exist beyond the ring on {n} nodes"
+    );
+    let mut t = ring(n, capacity);
+    // splitmix64 seeding then xorshift64* — deterministic and
+    // dependency-free, and adjacent seeds give unrelated streams.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    state ^= state >> 31;
+    state |= 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut added = 0;
+    while added < extra_edges {
+        let a = (next() % n as u64) as usize;
+        let b = (next() % n as u64) as usize;
+        if a == b || t.link_between(a, b).is_some() {
+            continue;
+        }
+        t.add_duplex(a, b, capacity);
+        added += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nsfnet_shape_matches_table1() {
+        let t = nsfnet(100);
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.num_links(), 30);
+        assert!(t.is_strongly_connected());
+        // Every Table 1 directed link exists with capacity 100.
+        for (a, b) in NSFNET_EDGES {
+            for (s, d) in [(a, b), (b, a)] {
+                let l = t.link_between(s, d).expect("table link missing");
+                assert_eq!(t.link(l).capacity, 100);
+            }
+        }
+        // Degree profile implied by Table 1.
+        let degrees: Vec<usize> = (0..12).map(|n| t.out_degree(n)).collect();
+        assert_eq!(degrees, vec![2, 3, 2, 2, 3, 3, 2, 3, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn quadrangle_is_k4() {
+        let t = quadrangle();
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.num_links(), 12);
+        for (i, j) in t.ordered_pairs() {
+            assert!(t.link_between(i, j).is_some());
+            assert_eq!(t.link(t.link_between(i, j).unwrap()).capacity, 100);
+        }
+    }
+
+    #[test]
+    fn full_mesh_counts() {
+        for n in 2..7 {
+            let t = full_mesh(n, 5);
+            assert_eq!(t.num_links(), n * (n - 1));
+            assert!(t.is_strongly_connected());
+        }
+    }
+
+    #[test]
+    fn ring_line_grid_shapes() {
+        let r = ring(5, 3);
+        assert_eq!(r.num_links(), 10);
+        assert!(r.is_strongly_connected());
+        let l = line(4, 3);
+        assert_eq!(l.num_links(), 6);
+        assert!(l.is_strongly_connected());
+        let g = grid(3, 4, 2);
+        assert_eq!(g.num_nodes(), 12);
+        // 3*3 horizontal + 2*4 vertical undirected edges, duplexed.
+        assert_eq!(g.num_links(), 2 * (3 * 3 + 2 * 4));
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn random_mesh_is_deterministic_and_connected() {
+        let a = random_mesh(10, 8, 4, 42);
+        let b = random_mesh(10, 8, 4, 42);
+        assert_eq!(a.num_links(), b.num_links());
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(a.link_between(i, j).is_some(), b.link_between(i, j).is_some());
+            }
+        }
+        assert!(a.is_strongly_connected());
+        assert_eq!(a.num_links(), 2 * (10 + 8));
+        // Different seeds give (almost surely) different chord sets.
+        let c = random_mesh(10, 8, 4, 43);
+        let same = (0..10)
+            .flat_map(|i| (0..10).map(move |j| (i, j)))
+            .all(|(i, j)| a.link_between(i, j).is_some() == c.link_between(i, j).is_some());
+        assert!(!same, "distinct seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn random_mesh_chord_budget_enforced() {
+        random_mesh(4, 100, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        ring(2, 1);
+    }
+}

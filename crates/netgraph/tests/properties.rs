@@ -1,0 +1,136 @@
+//! Property-based tests of the graph substrate on randomized meshes.
+
+use altroute_netgraph::cuts::{cut_load, erlang_bound};
+use altroute_netgraph::paths::{
+    dijkstra, loop_free_paths, min_hop_path, min_hop_primaries, yen_k_shortest,
+};
+use altroute_netgraph::topologies::random_mesh;
+use altroute_netgraph::traffic::{min_hop_primary_loads, TrafficMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a connected random mesh of 4–10 nodes.
+fn mesh() -> impl Strategy<Value = altroute_netgraph::graph::Topology> {
+    (4usize..=10, 0usize..6, 1u64..1000).prop_map(|(n, extra, seed)| {
+        let max_chords = n * (n - 1) / 2 - n;
+        random_mesh(n, extra.min(max_chords), 10, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Min-hop paths are genuinely minimal: no enumerated loop-free path
+    /// is shorter.
+    #[test]
+    fn min_hop_is_minimal(topo in mesh(), src_sel in 0usize..100, dst_sel in 0usize..100) {
+        let n = topo.num_nodes();
+        let (src, dst) = (src_sel % n, dst_sel % n);
+        prop_assume!(src != dst);
+        let min = min_hop_path(&topo, src, dst).expect("ring base keeps meshes connected");
+        let all = loop_free_paths(&topo, src, dst, n - 1);
+        prop_assert!(!all.is_empty());
+        prop_assert_eq!(all[0].hops(), min.hops());
+        for p in &all {
+            prop_assert!(p.hops() >= min.hops());
+        }
+    }
+
+    /// Every enumerated path is loop-free, connects the endpoints, and
+    /// respects the hop cap; the list is sorted by length then nodes.
+    #[test]
+    fn enumeration_invariants(topo in mesh(), src_sel in 0usize..100, dst_sel in 0usize..100, cap in 1usize..9) {
+        let n = topo.num_nodes();
+        let (src, dst) = (src_sel % n, dst_sel % n);
+        prop_assume!(src != dst);
+        let paths = loop_free_paths(&topo, src, dst, cap);
+        for p in &paths {
+            prop_assert_eq!(p.src(), src);
+            prop_assert_eq!(p.dst(), dst);
+            prop_assert!(p.hops() <= cap);
+            // Loop-free: all nodes distinct.
+            let mut nodes = p.nodes().to_vec();
+            nodes.sort_unstable();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), p.nodes().len());
+            // Links consistent with nodes.
+            prop_assert_eq!(p.links().len() + 1, p.nodes().len());
+        }
+        for w in paths.windows(2) {
+            prop_assert!(
+                w[0].hops() < w[1].hops()
+                    || (w[0].hops() == w[1].hops() && w[0].nodes() < w[1].nodes())
+            );
+        }
+        // No duplicates.
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                prop_assert_ne!(&paths[i], &paths[j]);
+            }
+        }
+    }
+
+    /// Yen with unit weights returns paths in the same length order and
+    /// count as exhaustive enumeration (up to k).
+    #[test]
+    fn yen_matches_enumeration(topo in mesh(), src_sel in 0usize..100, dst_sel in 0usize..100) {
+        let n = topo.num_nodes();
+        let (src, dst) = (src_sel % n, dst_sel % n);
+        prop_assume!(src != dst);
+        let all = loop_free_paths(&topo, src, dst, n - 1);
+        let yen = yen_k_shortest(&topo, src, dst, all.len(), |_| 1.0);
+        prop_assert_eq!(yen.len(), all.len());
+        let mut h1: Vec<_> = all.iter().map(|p| p.hops()).collect();
+        let mut h2: Vec<_> = yen.iter().map(|p| p.hops()).collect();
+        h1.sort_unstable();
+        h2.sort_unstable();
+        prop_assert_eq!(h1, h2);
+    }
+
+    /// Dijkstra under unit weights equals BFS hop count.
+    #[test]
+    fn dijkstra_unit_weight_is_min_hop(topo in mesh(), src_sel in 0usize..100, dst_sel in 0usize..100) {
+        let n = topo.num_nodes();
+        let (src, dst) = (src_sel % n, dst_sel % n);
+        prop_assume!(src != dst);
+        let d = dijkstra(&topo, src, dst, |_| 1.0).unwrap();
+        let b = min_hop_path(&topo, src, dst).unwrap();
+        prop_assert_eq!(d.hops(), b.hops());
+    }
+
+    /// Eq. 1 conservation: total link load equals demand-weighted primary
+    /// hop count; loads scale linearly with traffic.
+    #[test]
+    fn primary_loads_conservation_and_linearity(topo in mesh(), per_pair in 0.1f64..20.0) {
+        let n = topo.num_nodes();
+        let m = TrafficMatrix::uniform(n, per_pair);
+        let primaries = min_hop_primaries(&topo);
+        let loads = min_hop_primary_loads(&topo, &m);
+        let total: f64 = loads.iter().sum();
+        let expect: f64 = m
+            .demands()
+            .map(|(i, j, t)| t * primaries[i * n + j].as_ref().unwrap().hops() as f64)
+            .sum();
+        prop_assert!((total - expect).abs() < 1e-6 * expect.max(1.0));
+        let doubled = min_hop_primary_loads(&topo, &m.scaled(2.0));
+        for (a, b) in loads.iter().zip(&doubled) {
+            prop_assert!((2.0 * a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Complementary cuts have mirrored loads, and the Erlang bound is a
+    /// probability no larger than 1.
+    #[test]
+    fn cut_symmetry_and_bound_range(topo in mesh(), per_pair in 0.1f64..40.0, mask_sel in 1u32..1000) {
+        let n = topo.num_nodes();
+        let m = TrafficMatrix::uniform(n, per_pair);
+        let full: u32 = (1 << n) - 1;
+        let mask = (mask_sel % (full - 1)) + 1; // non-trivial cut
+        let a = cut_load(&topo, &m, mask);
+        let b = cut_load(&topo, &m, full & !mask);
+        prop_assert_eq!(a.capacity_out, b.capacity_in);
+        prop_assert_eq!(a.capacity_in, b.capacity_out);
+        prop_assert!((a.traffic_out - b.traffic_in).abs() < 1e-9);
+        let eb = erlang_bound(&topo, &m);
+        prop_assert!((0.0..=1.0).contains(&eb.bound));
+    }
+}

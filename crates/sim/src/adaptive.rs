@@ -1,0 +1,357 @@
+//! Online estimation of primary loads with live protection levels.
+//!
+//! The paper assumes each link knows its primary traffic demand `Λ^k` a
+//! priori ("we simply assumed that a link knew Λ^k"), remarking that in
+//! deployment "the estimate can be found from the primary call set-ups
+//! that fly past the link" and leaning on the robustness of state
+//! protection (Key) for the gap. This module closes that gap: each link
+//! counts the primary call set-ups traversing it, maintains an
+//! exponentially weighted moving average of the implied offered rate, and
+//! periodically recomputes its protection level from the estimate via
+//! Eq. 15.
+//!
+//! Estimation counts *offered* primary set-ups on every link of each
+//! call's primary path (a set-up packet carries the full source route, so
+//! downstream links learn of the attempt even when an upstream link
+//! blocks it) — matching the unreduced `Λ^k` of Eq. 1 that the paper's
+//! oracle uses. With unit-mean holding times the offered rate in calls
+//! per unit time *is* the offered load in Erlangs.
+
+use crate::failures::FailureSchedule;
+use crate::network::NetworkState;
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::{Decision, PolicyKind, Router};
+use altroute_netgraph::graph::LinkId;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::queue::EventQueue;
+use altroute_simcore::rng::StreamFactory;
+use altroute_teletraffic::reservation::protection_level;
+
+/// Configuration of the adaptive controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// How often (simulation time units, i.e. mean holding times) each
+    /// link re-estimates its load and recomputes `r`.
+    pub update_interval: f64,
+    /// EWMA weight of the newest interval's measured rate (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// Protection levels used before the first update completes.
+    pub initial: InitialLevels,
+}
+
+/// What the links assume before any measurement exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialLevels {
+    /// Start at `r = 0` everywhere (behave like uncontrolled routing
+    /// until the first estimate lands).
+    Zero,
+    /// Start fully protected (behave like single-path routing at first).
+    Full,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { update_interval: 5.0, ewma_alpha: 0.4, initial: InitialLevels::Zero }
+    }
+}
+
+/// Outcome of one adaptive replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSeedResult {
+    /// Calls offered / blocked in the measurement window.
+    pub offered: u64,
+    /// Blocked calls.
+    pub blocked: u64,
+    /// Final per-link load estimates (Erlangs).
+    pub final_estimates: Vec<f64>,
+    /// Final per-link protection levels.
+    pub final_levels: Vec<u32>,
+}
+
+impl AdaptiveSeedResult {
+    /// Average network blocking.
+    pub fn blocking(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.offered as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival { pair: u32 },
+    Departure { call: u32 },
+    Reestimate,
+}
+
+/// Runs one replication of controlled alternate routing with *online*
+/// `Λ^k` estimation instead of the oracle loads.
+///
+/// The plan supplies topology, primaries and candidate paths; its oracle
+/// protection levels are ignored.
+///
+/// # Panics
+///
+/// Panics on inconsistent sizes or invalid configuration.
+pub fn run_adaptive_seed(
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    warmup: f64,
+    horizon: f64,
+    seed: u64,
+    failures: &FailureSchedule,
+    config: &AdaptiveConfig,
+) -> AdaptiveSeedResult {
+    let topo = plan.topology();
+    let n = topo.num_nodes();
+    assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
+    assert!(config.update_interval > 0.0, "update interval must be positive");
+    assert!(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0, "alpha in (0, 1]");
+    let end = warmup + horizon;
+    let h = plan.max_alternate_hops();
+
+    // The router is used only through decide_tiered_with, so the bound
+    // policy kind just needs a matching H.
+    let router = Router::new(plan, PolicyKind::ControlledAlternate { max_hops: h });
+    let mut network = NetworkState::new(topo);
+    for &l in failures.statically_down() {
+        network.set_down(l);
+    }
+
+    let mut levels: Vec<u32> = match config.initial {
+        InitialLevels::Zero => vec![0; topo.num_links()],
+        InitialLevels::Full => topo.links().iter().map(|l| l.capacity).collect(),
+    };
+    let mut estimates = vec![0.0_f64; topo.num_links()];
+    let mut have_estimate = vec![false; topo.num_links()];
+    let mut window_counts = vec![0u64; topo.num_links()];
+
+    let factory = StreamFactory::new(seed);
+    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> = (0..n * n).map(|_| None).collect();
+    let mut rates = vec![0.0_f64; n * n];
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, j, t) in traffic.demands() {
+        let pair = i * n + j;
+        rates[pair] = t;
+        let mut stream = factory.stream(pair as u64);
+        let first = stream.exp(t);
+        streams[pair] = Some(stream);
+        if first < end {
+            queue.schedule(first, Event::Arrival { pair: pair as u32 });
+        }
+    }
+    queue.schedule(config.update_interval, Event::Reestimate);
+
+    struct ActiveCall {
+        links: Vec<LinkId>,
+    }
+    let mut calls: Vec<Option<ActiveCall>> = Vec::new();
+    let (mut offered, mut blocked) = (0u64, 0u64);
+
+    while let Some((now, event)) = queue.pop() {
+        if now >= end {
+            break;
+        }
+        match event {
+            Event::Arrival { pair } => {
+                let pair = pair as usize;
+                let (src, dst) = (pair / n, pair % n);
+                let stream = streams[pair].as_mut().expect("active pair has a stream");
+                let hold = stream.holding_time();
+                let upick = stream.uniform();
+                let gap = stream.exp(rates[pair]);
+                if now + gap < end {
+                    queue.schedule(now + gap, Event::Arrival { pair: pair as u32 });
+                }
+                // Count the primary set-up on every link of the primary
+                // path (the estimator's measurement), before deciding.
+                if let Some(primary) = plan.primaries().choose(src, dst, upick) {
+                    for &l in primary.links() {
+                        window_counts[l] += 1;
+                    }
+                }
+                let measured = now >= warmup;
+                if measured {
+                    offered += 1;
+                }
+                match router.decide_tiered_with(src, dst, &network, upick, Some(&levels)) {
+                    Decision::Route { path, class: _ } => {
+                        network.book(path.links());
+                        let id = calls.len() as u32;
+                        calls.push(Some(ActiveCall { links: path.links().to_vec() }));
+                        queue.schedule(now + hold, Event::Departure { call: id });
+                    }
+                    Decision::Blocked => {
+                        if measured {
+                            blocked += 1;
+                        }
+                    }
+                }
+            }
+            Event::Departure { call } => {
+                if let Some(active) = calls[call as usize].take() {
+                    network.release(&active.links);
+                }
+            }
+            Event::Reestimate => {
+                for (l, count) in window_counts.iter_mut().enumerate() {
+                    let rate = *count as f64 / config.update_interval;
+                    *count = 0;
+                    estimates[l] = if have_estimate[l] {
+                        config.ewma_alpha * rate + (1.0 - config.ewma_alpha) * estimates[l]
+                    } else {
+                        have_estimate[l] = true;
+                        rate
+                    };
+                    levels[l] = if estimates[l] > 0.0 {
+                        protection_level(estimates[l], topo.link(l).capacity, h)
+                    } else {
+                        0
+                    };
+                }
+                if now + config.update_interval < end {
+                    queue.schedule(now + config.update_interval, Event::Reestimate);
+                }
+            }
+        }
+    }
+    AdaptiveSeedResult { offered, blocked, final_estimates: estimates, final_levels: levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altroute_netgraph::estimate::nsfnet_nominal_traffic;
+    use altroute_netgraph::topologies;
+
+    fn nsfnet_plan(scale: f64) -> (RoutingPlan, TrafficMatrix) {
+        let traffic = nsfnet_nominal_traffic().traffic.scaled(scale);
+        let plan = RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 11);
+        (plan, traffic)
+    }
+
+    #[test]
+    fn estimates_converge_to_true_loads() {
+        let (plan, traffic) = nsfnet_plan(1.0);
+        let failures = FailureSchedule::none();
+        let r = run_adaptive_seed(
+            &plan,
+            &traffic,
+            10.0,
+            100.0,
+            7,
+            &failures,
+            &AdaptiveConfig::default(),
+        );
+        // Final EWMA estimates should sit near the true Λ^k.
+        let mut rel_err_sum = 0.0;
+        let mut counted = 0;
+        for (est, &truth) in r.final_estimates.iter().zip(plan.link_loads()) {
+            if truth > 20.0 {
+                rel_err_sum += (est - truth).abs() / truth;
+                counted += 1;
+            }
+        }
+        let mean_rel_err = rel_err_sum / f64::from(counted);
+        assert!(mean_rel_err < 0.15, "mean relative estimate error {mean_rel_err}");
+    }
+
+    #[test]
+    fn adaptive_blocking_tracks_oracle() {
+        // The robustness claim: adaptive controlled routing performs
+        // close to the oracle-Λ controlled scheme.
+        let (plan, traffic) = nsfnet_plan(1.0);
+        let failures = FailureSchedule::none();
+        let mut adaptive_blocked = 0u64;
+        let mut adaptive_offered = 0u64;
+        let mut oracle_blocked = 0u64;
+        let mut oracle_offered = 0u64;
+        for seed in 0..4 {
+            let a = run_adaptive_seed(
+                &plan,
+                &traffic,
+                10.0,
+                60.0,
+                seed,
+                &failures,
+                &AdaptiveConfig::default(),
+            );
+            adaptive_blocked += a.blocked;
+            adaptive_offered += a.offered;
+            let o = crate::engine::run_seed(&crate::engine::RunConfig {
+                plan: &plan,
+                policy: PolicyKind::ControlledAlternate { max_hops: 11 },
+                traffic: &traffic,
+                warmup: 10.0,
+                horizon: 60.0,
+                seed,
+                failures: &failures,
+            });
+            oracle_blocked += o.blocked;
+            oracle_offered += o.offered;
+        }
+        assert_eq!(adaptive_offered, oracle_offered, "common random numbers hold");
+        let adaptive = adaptive_blocked as f64 / adaptive_offered as f64;
+        let oracle = oracle_blocked as f64 / oracle_offered as f64;
+        assert!(
+            (adaptive - oracle).abs() < 0.03,
+            "adaptive {adaptive} vs oracle {oracle}"
+        );
+    }
+
+    #[test]
+    fn initial_levels_modes_differ_then_converge() {
+        let (plan, traffic) = nsfnet_plan(1.0);
+        let failures = FailureSchedule::none();
+        let zero = run_adaptive_seed(
+            &plan,
+            &traffic,
+            10.0,
+            60.0,
+            3,
+            &failures,
+            &AdaptiveConfig { initial: InitialLevels::Zero, ..Default::default() },
+        );
+        let full = run_adaptive_seed(
+            &plan,
+            &traffic,
+            10.0,
+            60.0,
+            3,
+            &failures,
+            &AdaptiveConfig { initial: InitialLevels::Full, ..Default::default() },
+        );
+        // Same arrivals, same eventual levels (both converge to the same
+        // estimates), modest blocking difference.
+        assert_eq!(zero.offered, full.offered);
+        assert_eq!(zero.final_levels, full.final_levels);
+        assert!((zero.blocking() - full.blocking()).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (plan, traffic) = nsfnet_plan(0.8);
+        let failures = FailureSchedule::none();
+        let cfg = AdaptiveConfig::default();
+        let a = run_adaptive_seed(&plan, &traffic, 5.0, 30.0, 11, &failures, &cfg);
+        let b = run_adaptive_seed(&plan, &traffic, 5.0, 30.0, 11, &failures, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "update interval")]
+    fn zero_interval_panics() {
+        let (plan, traffic) = nsfnet_plan(1.0);
+        run_adaptive_seed(
+            &plan,
+            &traffic,
+            1.0,
+            5.0,
+            0,
+            &FailureSchedule::none(),
+            &AdaptiveConfig { update_interval: 0.0, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! The event-driven call-by-call simulation engine.
+//!
+//! One [`run_seed`] call reproduces one of the paper's sample runs: start
+//! from an idle network, generate Poisson call arrivals per
+//! origin–destination pair with exponential unit-mean holding times, warm
+//! up for `warmup` time units, measure for `horizon`, and count offered
+//! and blocked calls (network-wide and per pair).
+//!
+//! **Common random numbers.** Each pair draws its inter-arrival times,
+//! holding times, and primary-split picks from its own seed-derived
+//! stream, in a fixed order per arrival, *independent of routing
+//! decisions*. Two runs with the same seed therefore offer byte-identical
+//! call sequences to any two policies — the paper's "each algorithm was
+//! run with identical call arrivals and call holding times".
+
+use crate::failures::FailureSchedule;
+use crate::network::NetworkState;
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::{CallClass, Decision, PolicyKind, Router};
+use altroute_netgraph::graph::LinkId;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::queue::EventQueue;
+use altroute_simcore::rng::StreamFactory;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig<'a> {
+    /// The precomputed routing plan (topology, primaries, alternates,
+    /// protection levels).
+    pub plan: &'a RoutingPlan,
+    /// The policy deciding each call.
+    pub policy: PolicyKind,
+    /// Offered traffic in Erlangs per ordered pair.
+    pub traffic: &'a TrafficMatrix,
+    /// Warm-up duration discarded from statistics.
+    pub warmup: f64,
+    /// Measured duration after warm-up.
+    pub horizon: f64,
+    /// Master seed of this replication.
+    pub seed: u64,
+    /// Link failures to apply.
+    pub failures: &'a FailureSchedule,
+}
+
+/// Counters from one replication (one seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedResult {
+    /// The replication's seed.
+    pub seed: u64,
+    /// Calls offered during the measurement window.
+    pub offered: u64,
+    /// Calls blocked during the measurement window.
+    pub blocked: u64,
+    /// Calls carried on their primary path.
+    pub carried_primary: u64,
+    /// Calls carried on an alternate path.
+    pub carried_alternate: u64,
+    /// Calls torn down mid-service by a link failure (dynamic outages
+    /// only; not counted as blocked).
+    pub dropped: u64,
+    /// Offered calls per ordered pair (row-major `n × n`).
+    pub per_pair_offered: Vec<u64>,
+    /// Blocked calls per ordered pair (row-major `n × n`).
+    pub per_pair_blocked: Vec<u64>,
+}
+
+impl SeedResult {
+    /// Average network blocking: blocked / offered (0 if nothing offered).
+    pub fn blocking(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of carried calls that used an alternate path.
+    pub fn alternate_fraction(&self) -> f64 {
+        let carried = self.carried_primary + self.carried_alternate;
+        if carried == 0 {
+            0.0
+        } else {
+            self.carried_alternate as f64 / carried as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A call arrives for pair index `pair`.
+    Arrival { pair: u32 },
+    /// The call with this id completes service.
+    Departure { call: u32 },
+    /// A link changes operational state.
+    Link { link: u32, up: bool },
+}
+
+struct ActiveCall {
+    links: Vec<LinkId>,
+}
+
+/// Runs one replication and returns its counters.
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (sizes, negative durations) or if
+/// an internal invariant breaks (a policy admitting over a full link).
+pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
+    let plan = config.plan;
+    let topo = plan.topology();
+    let n = topo.num_nodes();
+    assert_eq!(config.traffic.num_nodes(), n, "traffic matrix size mismatch");
+    assert!(config.warmup >= 0.0 && config.horizon > 0.0, "invalid durations");
+    let end = config.warmup + config.horizon;
+
+    let router = Router::new(plan, config.policy);
+    let mut network = NetworkState::new(topo);
+    for &l in config.failures.statically_down() {
+        network.set_down(l);
+    }
+
+    let factory = StreamFactory::new(config.seed);
+    // One stream per pair, indexed by pair id; created lazily below for
+    // pairs with demand.
+    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> = (0..n * n).map(|_| None).collect();
+    let mut rates = vec![0.0_f64; n * n];
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, j, t) in config.traffic.demands() {
+        let pair = i * n + j;
+        rates[pair] = t;
+        let mut stream = factory.stream(pair as u64);
+        let first = stream.exp(t);
+        streams[pair] = Some(stream);
+        if first < end {
+            queue.schedule(first, Event::Arrival { pair: pair as u32 });
+        }
+    }
+    for ev in config.failures.events() {
+        if ev.at < end {
+            queue.schedule(ev.at, Event::Link { link: ev.link as u32, up: ev.up });
+        }
+    }
+
+    let mut calls: Vec<Option<ActiveCall>> = Vec::new();
+    let mut result = SeedResult {
+        seed: config.seed,
+        offered: 0,
+        blocked: 0,
+        carried_primary: 0,
+        carried_alternate: 0,
+        dropped: 0,
+        per_pair_offered: vec![0; n * n],
+        per_pair_blocked: vec![0; n * n],
+    };
+
+    while let Some((now, event)) = queue.pop() {
+        if now >= end {
+            break;
+        }
+        match event {
+            Event::Arrival { pair } => {
+                let pair = pair as usize;
+                let (src, dst) = (pair / n, pair % n);
+                // Fixed draw order per arrival keeps streams aligned
+                // across policies: holding time, primary pick, next gap.
+                let stream = streams[pair].as_mut().expect("stream exists for active pair");
+                let hold = stream.holding_time();
+                let upick = stream.uniform();
+                let gap = stream.exp(rates[pair]);
+                if now + gap < end {
+                    queue.schedule(now + gap, Event::Arrival { pair: pair as u32 });
+                }
+                let measured = now >= config.warmup;
+                if measured {
+                    result.offered += 1;
+                    result.per_pair_offered[pair] += 1;
+                }
+                match router.decide(src, dst, &network, upick) {
+                    Decision::Route { path, class } => {
+                        network.book(path.links());
+                        let id = calls.len() as u32;
+                        calls.push(Some(ActiveCall { links: path.links().to_vec() }));
+                        queue.schedule(now + hold, Event::Departure { call: id });
+                        if measured {
+                            match class {
+                                CallClass::Primary => result.carried_primary += 1,
+                                CallClass::Alternate => result.carried_alternate += 1,
+                            }
+                        }
+                    }
+                    Decision::Blocked => {
+                        if measured {
+                            result.blocked += 1;
+                            result.per_pair_blocked[pair] += 1;
+                        }
+                    }
+                }
+            }
+            Event::Departure { call } => {
+                // A call torn down by a failure leaves a stale departure.
+                if let Some(active) = calls[call as usize].take() {
+                    network.release(&active.links);
+                }
+            }
+            Event::Link { link, up } => {
+                let link = link as usize;
+                if up {
+                    network.set_up(link);
+                } else {
+                    network.set_down(link);
+                    // Tear down calls in progress over the failed link.
+                    for slot in calls.iter_mut() {
+                        if slot.as_ref().is_some_and(|c| c.links.contains(&link)) {
+                            let active = slot.take().expect("checked above");
+                            network.release(&active.links);
+                            if now >= config.warmup {
+                                result.dropped += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altroute_netgraph::topologies;
+    use altroute_teletraffic::erlang::erlang_b;
+
+    fn single_link_plan(capacity: u32, load: f64) -> (RoutingPlan, TrafficMatrix) {
+        let mut topo = altroute_netgraph::graph::Topology::new();
+        topo.add_nodes(2);
+        topo.add_duplex(0, 1, capacity);
+        let mut m = TrafficMatrix::zero(2);
+        m.set(0, 1, load);
+        let plan = RoutingPlan::min_hop(topo, &m, 1);
+        (plan, m)
+    }
+
+    #[test]
+    fn single_link_blocking_matches_erlang_b() {
+        // M/M/C/C sanity check: simulated blocking ≈ B(a, C).
+        let (plan, m) = single_link_plan(20, 16.0);
+        let failures = FailureSchedule::none();
+        let mut total_blocked = 0u64;
+        let mut total_offered = 0u64;
+        for seed in 0..8 {
+            let r = run_seed(&RunConfig {
+                plan: &plan,
+                policy: PolicyKind::SinglePath,
+                traffic: &m,
+                warmup: 20.0,
+                horizon: 500.0,
+                seed,
+                failures: &failures,
+            });
+            total_blocked += r.blocked;
+            total_offered += r.offered;
+        }
+        let simulated = total_blocked as f64 / total_offered as f64;
+        let analytic = erlang_b(16.0, 20);
+        assert!(
+            (simulated - analytic).abs() < 0.012,
+            "simulated {simulated} vs Erlang-B {analytic}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 85.0);
+        let plan = RoutingPlan::min_hop(topo, &m, 3);
+        let failures = FailureSchedule::none();
+        let cfg = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic: &m,
+            warmup: 5.0,
+            horizon: 30.0,
+            seed: 1234,
+            failures: &failures,
+        };
+        let a = run_seed(&cfg);
+        let b = run_seed(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_arrivals_across_policies() {
+        // Common random numbers: per-pair offered counts must match
+        // between policies for the same seed.
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 90.0);
+        let failures = FailureSchedule::none();
+        let mut offered = Vec::new();
+        for kind in [
+            PolicyKind::SinglePath,
+            PolicyKind::UncontrolledAlternate { max_hops: 3 },
+            PolicyKind::ControlledAlternate { max_hops: 3 },
+            PolicyKind::OttKrishnan { max_hops: 3 },
+        ] {
+            let plan = RoutingPlan::min_hop(topo.clone(), &m, 3);
+            let r = run_seed(&RunConfig {
+                plan: &plan,
+                policy: kind,
+                traffic: &m,
+                warmup: 5.0,
+                horizon: 40.0,
+                seed: 99,
+                failures: &failures,
+            });
+            offered.push((r.offered, r.per_pair_offered.clone()));
+        }
+        for w in offered.windows(2) {
+            assert_eq!(w[0], w[1], "policies must see identical arrivals");
+        }
+    }
+
+    #[test]
+    fn warmup_discards_early_calls() {
+        let (plan, m) = single_link_plan(5, 3.0);
+        let failures = FailureSchedule::none();
+        let with_warmup = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &m,
+            warmup: 50.0,
+            horizon: 50.0,
+            seed: 7,
+            failures: &failures,
+        });
+        let without = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &m,
+            warmup: 0.0,
+            horizon: 100.0,
+            seed: 7,
+            failures: &failures,
+        });
+        assert!(with_warmup.offered < without.offered);
+        // Expected arrivals in the 50-unit window ≈ 150.
+        assert!((with_warmup.offered as f64 - 150.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn static_failure_blocks_single_path_pair() {
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 10.0);
+        let plan = RoutingPlan::min_hop(topo, &m, 3);
+        let direct = plan.topology().link_between(0, 1).unwrap();
+        let failures = FailureSchedule::static_down([direct]);
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &m,
+            warmup: 2.0,
+            horizon: 30.0,
+            seed: 3,
+            failures: &failures,
+        });
+        let n = 4;
+        // Every offered (0,1) call blocks; other pairs barely block at all.
+        assert_eq!(r.per_pair_offered[1], r.per_pair_blocked[1]);
+        assert!(r.per_pair_offered[1] > 0);
+        assert_eq!(r.per_pair_blocked[2 * n + 3], 0);
+        // Alternate routing rescues the pair entirely at this light load.
+        let r2 = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic: &m,
+            warmup: 2.0,
+            horizon: 30.0,
+            seed: 3,
+            failures: &failures,
+        });
+        assert_eq!(r2.per_pair_blocked[1], 0);
+        assert!(r2.carried_alternate > 0);
+    }
+
+    #[test]
+    fn dynamic_outage_drops_calls_and_recovers() {
+        let (plan, m) = single_link_plan(50, 40.0);
+        let link01 = plan.topology().link_between(0, 1).unwrap();
+        let failures = FailureSchedule::none().with_outage(link01, 30.0, 60.0);
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &m,
+            warmup: 10.0,
+            horizon: 90.0,
+            seed: 11,
+            failures: &failures,
+        });
+        assert!(r.dropped > 0, "calls in progress at t=30 must be dropped");
+        // During [30, 60) every arrival blocks: roughly 30 % of the
+        // measured window.
+        assert!(r.blocking() > 0.2, "blocking {}", r.blocking());
+        // After recovery calls complete again: blocked < offered.
+        assert!(r.blocked < r.offered);
+    }
+
+    #[test]
+    fn no_traffic_means_no_events() {
+        let (plan, _) = single_link_plan(5, 1.0);
+        let empty = TrafficMatrix::zero(2);
+        let failures = FailureSchedule::none();
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &empty,
+            warmup: 1.0,
+            horizon: 10.0,
+            seed: 0,
+            failures: &failures,
+        });
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.blocking(), 0.0);
+        assert_eq!(r.alternate_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Live link state: occupancies and operational flags.
+//!
+//! [`NetworkState`] is the mutable counterpart of a
+//! [`Topology`] — how many calls each
+//! unidirectional link currently carries, and whether the link is up. It
+//! implements [`OccupancyView`] so routing policies can read it, and
+//! enforces the capacity invariant on every booking.
+
+use altroute_core::policy::OccupancyView;
+use altroute_netgraph::graph::{LinkId, Topology};
+
+/// Mutable per-link state for one simulation run.
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    capacity: Vec<u32>,
+    occupancy: Vec<u32>,
+    up: Vec<bool>,
+}
+
+impl NetworkState {
+    /// Fresh state: all links idle and up.
+    pub fn new(topo: &Topology) -> Self {
+        Self {
+            capacity: topo.links().iter().map(|l| l.capacity).collect(),
+            occupancy: vec![0; topo.num_links()],
+            up: vec![true; topo.num_links()],
+        }
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Books one call on every link of `path_links`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link is full or down — callers must only book paths
+    /// the policy admitted against this same state.
+    pub fn book(&mut self, path_links: &[LinkId]) {
+        for &l in path_links {
+            assert!(self.up[l], "booking over a down link {l}");
+            assert!(
+                self.occupancy[l] < self.capacity[l],
+                "booking over a full link {l} ({}/{})",
+                self.occupancy[l],
+                self.capacity[l]
+            );
+        }
+        for &l in path_links {
+            self.occupancy[l] += 1;
+        }
+    }
+
+    /// Releases one call from every link of `path_links`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link has no call to release (double release).
+    pub fn release(&mut self, path_links: &[LinkId]) {
+        for &l in path_links {
+            assert!(self.occupancy[l] > 0, "releasing an idle link {l}");
+            self.occupancy[l] -= 1;
+        }
+    }
+
+    /// Marks a link down. Its occupancy is untouched — the caller decides
+    /// what happens to calls in progress (the failure experiments tear
+    /// them down via the engine).
+    pub fn set_down(&mut self, link: LinkId) {
+        self.up[link] = false;
+    }
+
+    /// Marks a link up again.
+    pub fn set_up(&mut self, link: LinkId) {
+        self.up[link] = true;
+    }
+
+    /// Total calls currently in progress, weighted by hops (sum of link
+    /// occupancies).
+    pub fn total_occupancy(&self) -> u64 {
+        self.occupancy.iter().map(|&o| u64::from(o)).sum()
+    }
+
+    /// Free circuits on a link (0 if down).
+    pub fn free(&self, link: LinkId) -> u32 {
+        if self.up[link] {
+            self.capacity[link] - self.occupancy[link]
+        } else {
+            0
+        }
+    }
+}
+
+impl OccupancyView for NetworkState {
+    fn occupancy(&self, link: LinkId) -> u32 {
+        self.occupancy[link]
+    }
+    fn is_up(&self, link: LinkId) -> bool {
+        self.up[link]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altroute_netgraph::topologies;
+
+    #[test]
+    fn book_and_release_round_trip() {
+        let topo = topologies::full_mesh(3, 2);
+        let mut s = NetworkState::new(&topo);
+        assert_eq!(s.num_links(), 6);
+        let path = [0usize, 1];
+        s.book(&path);
+        assert_eq!(s.occupancy(0), 1);
+        assert_eq!(s.occupancy(1), 1);
+        assert_eq!(s.occupancy(2), 0);
+        assert_eq!(s.total_occupancy(), 2);
+        s.book(&path);
+        assert_eq!(s.free(0), 0);
+        s.release(&path);
+        s.release(&path);
+        assert_eq!(s.total_occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full link")]
+    fn overbooking_panics() {
+        let topo = topologies::full_mesh(3, 1);
+        let mut s = NetworkState::new(&topo);
+        s.book(&[0]);
+        s.book(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle link")]
+    fn double_release_panics() {
+        let topo = topologies::full_mesh(3, 1);
+        let mut s = NetworkState::new(&topo);
+        s.release(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "down link")]
+    fn booking_down_link_panics() {
+        let topo = topologies::full_mesh(3, 1);
+        let mut s = NetworkState::new(&topo);
+        s.set_down(0);
+        s.book(&[0]);
+    }
+
+    #[test]
+    fn down_links_report_through_view() {
+        let topo = topologies::full_mesh(3, 5);
+        let mut s = NetworkState::new(&topo);
+        assert!(s.is_up(3));
+        s.set_down(3);
+        assert!(!s.is_up(3));
+        assert_eq!(s.free(3), 0);
+        s.set_up(3);
+        assert!(s.is_up(3));
+        assert_eq!(s.free(3), 5);
+    }
+
+    #[test]
+    fn booking_is_atomic_across_path() {
+        // If a later link is full, no earlier link may be incremented.
+        let topo = topologies::full_mesh(3, 1);
+        let mut s = NetworkState::new(&topo);
+        s.book(&[1]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.book(&[0, 1]);
+        }));
+        assert!(result.is_err());
+        assert_eq!(s.occupancy(0), 0, "failed booking must not leak onto link 0");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the simulator: conservation laws and
+//! determinism over randomized instances.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::topologies::random_mesh;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{run_seed, RunConfig};
+use altroute_sim::failures::FailureSchedule;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: offered = blocked + carried, per pair and overall,
+    /// for every policy, on random instances.
+    #[test]
+    fn offered_equals_blocked_plus_carried(
+        seed in 1u64..300,
+        per_pair in 1.0f64..12.0,
+        policy_sel in 0usize..4,
+    ) {
+        let topo = random_mesh(5, 2, 15, seed);
+        let traffic = TrafficMatrix::uniform(5, per_pair);
+        let h = 4;
+        let plan = RoutingPlan::min_hop(topo, &traffic, h);
+        let policy = [
+            PolicyKind::SinglePath,
+            PolicyKind::UncontrolledAlternate { max_hops: h },
+            PolicyKind::ControlledAlternate { max_hops: h },
+            PolicyKind::OttKrishnan { max_hops: h },
+        ][policy_sel];
+        let failures = FailureSchedule::none();
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy,
+            traffic: &traffic,
+            warmup: 2.0,
+            horizon: 15.0,
+            seed,
+            failures: &failures,
+        });
+        prop_assert_eq!(r.offered, r.blocked + r.carried_primary + r.carried_alternate);
+        let pair_offered: u64 = r.per_pair_offered.iter().sum();
+        let pair_blocked: u64 = r.per_pair_blocked.iter().sum();
+        prop_assert_eq!(pair_offered, r.offered);
+        prop_assert_eq!(pair_blocked, r.blocked);
+        prop_assert!(r.blocking() >= 0.0 && r.blocking() <= 1.0);
+    }
+
+    /// Determinism over random instances: identical config, identical
+    /// counters.
+    #[test]
+    fn runs_are_deterministic(seed in 1u64..300, per_pair in 1.0f64..10.0) {
+        let topo = random_mesh(5, 2, 12, seed);
+        let traffic = TrafficMatrix::uniform(5, per_pair);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 4);
+        let failures = FailureSchedule::none();
+        let cfg = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 4 },
+            traffic: &traffic,
+            warmup: 2.0,
+            horizon: 12.0,
+            seed,
+            failures: &failures,
+        };
+        prop_assert_eq!(run_seed(&cfg), run_seed(&cfg));
+    }
+
+    /// Common random numbers: per-pair offered counts identical across
+    /// policies on random instances.
+    #[test]
+    fn arrivals_identical_across_policies(seed in 1u64..300, per_pair in 1.0f64..10.0) {
+        let topo = random_mesh(5, 2, 12, seed);
+        let traffic = TrafficMatrix::uniform(5, per_pair);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 4);
+        let failures = FailureSchedule::none();
+        let runs: Vec<Vec<u64>> = [
+            PolicyKind::SinglePath,
+            PolicyKind::UncontrolledAlternate { max_hops: 4 },
+            PolicyKind::ControlledAlternate { max_hops: 4 },
+        ]
+        .into_iter()
+        .map(|policy| {
+            run_seed(&RunConfig {
+                plan: &plan,
+                policy,
+                traffic: &traffic,
+                warmup: 2.0,
+                horizon: 12.0,
+                seed,
+                failures: &failures,
+            })
+            .per_pair_offered
+        })
+        .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[1], &runs[2]);
+    }
+
+    /// Static failures only reduce what can be carried — never the
+    /// offered count — and dropping links cannot reduce blocking for
+    /// single-path routing.
+    #[test]
+    fn static_failures_conserve_arrivals(seed in 1u64..300, link_sel in 0usize..100) {
+        let topo = random_mesh(5, 2, 12, seed);
+        let traffic = TrafficMatrix::uniform(5, 6.0);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 4);
+        let m = plan.topology().num_links();
+        let failed = link_sel % m;
+        let healthy = FailureSchedule::none();
+        let broken = FailureSchedule::static_down([failed]);
+        let mk = |failures: &FailureSchedule| {
+            run_seed(&RunConfig {
+                plan: &plan,
+                policy: PolicyKind::SinglePath,
+                traffic: &traffic,
+                warmup: 2.0,
+                horizon: 15.0,
+                seed,
+                failures,
+            })
+        };
+        let a = mk(&healthy);
+        let b = mk(&broken);
+        prop_assert_eq!(a.offered, b.offered, "arrivals are exogenous");
+        prop_assert!(b.blocked >= a.blocked, "losing a link cannot reduce single-path blocking");
+    }
+}

@@ -1,0 +1,125 @@
+//! Batch-means estimation: confidence intervals from a *single* run.
+//!
+//! The paper averages over 10 independent seeds. When replications are
+//! expensive, the classical alternative is the method of batch means:
+//! split one long run into `k` contiguous batches, treat the batch
+//! averages as approximately independent observations, and build the
+//! confidence interval from their spread. [`BatchMeans`] accumulates a
+//! time series of observations (e.g. per-call blocking indicators) into
+//! fixed-size batches.
+
+use crate::stats::RunningStats;
+
+/// Accumulates observations into fixed-size batches and summarises the
+/// batch averages.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_stats: RunningStats,
+}
+
+impl BatchMeans {
+    /// An estimator with the given number of observations per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batches need at least one observation");
+        Self { batch_size, current_sum: 0.0, current_count: 0, batch_stats: RunningStats::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observations must not be NaN");
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_stats.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Completed batches so far.
+    pub fn batches(&self) -> u64 {
+        self.batch_stats.count()
+    }
+
+    /// Mean of the completed batch averages (ignores the partial batch).
+    pub fn mean(&self) -> f64 {
+        self.batch_stats.mean()
+    }
+
+    /// Standard error of the mean over completed batches.
+    pub fn std_error(&self) -> f64 {
+        self.batch_stats.std_error()
+    }
+
+    /// Half-width of the 95 % normal-approximation confidence interval
+    /// (0 with fewer than two batches).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Whether enough batches exist for a meaningful interval
+    /// (conventionally ≥ 10).
+    pub fn is_mature(&self) -> bool {
+        self.batches() >= 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_fill_and_summarise() {
+        let mut bm = BatchMeans::new(4);
+        for i in 0..12 {
+            bm.push(f64::from(i % 4)); // each batch averages 1.5
+        }
+        assert_eq!(bm.batches(), 3);
+        assert!((bm.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(bm.std_error(), 0.0, "identical batches have zero spread");
+        assert!(!bm.is_mature());
+    }
+
+    #[test]
+    fn partial_batch_is_excluded() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..9 {
+            bm.push(100.0);
+        }
+        assert_eq!(bm.batches(), 0);
+        assert_eq!(bm.mean(), 0.0);
+        bm.push(100.0);
+        assert_eq!(bm.batches(), 1);
+        assert_eq!(bm.mean(), 100.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_batches() {
+        // Deterministic pseudo-noise.
+        let noise = |i: u64| ((i * 2654435761) % 1000) as f64 / 1000.0;
+        let mut short = BatchMeans::new(50);
+        let mut long = BatchMeans::new(50);
+        for i in 0..1_000 {
+            short.push(noise(i));
+        }
+        for i in 0..100_000 {
+            long.push(noise(i));
+        }
+        assert!(long.is_mature());
+        assert!(long.ci95_half_width() < short.ci95_half_width());
+        assert!((long.mean() - 0.4995).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn zero_batch_size_panics() {
+        BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic discrete-event simulation substrate.
+//!
+//! The paper's evaluation is a call-by-call simulation: Poisson call
+//! arrivals per origin–destination pair, exponential unit-mean holding
+//! times, 10 warm-up time units followed by 100 measured units, repeated
+//! over 10 seeds, with *every routing policy fed the identical arrivals
+//! and holding times*. This crate provides the pieces that make such a
+//! methodology reproducible:
+//!
+//! * [`queue`] — a stable event queue: events at equal timestamps pop in
+//!   insertion order, so simulations are bit-deterministic functions of
+//!   their inputs.
+//! * [`rng`] — seed-derived independent random-number streams (one per
+//!   O–D pair, for common random numbers across policies) with
+//!   exponential/Poisson sampling.
+//! * [`stats`] — warm-up-aware counters, running means/variances, and
+//!   across-replication summaries (mean, standard error, confidence
+//!   intervals).
+//! * [`batch`] — batch-means estimation for confidence intervals from a
+//!   single long run (the classical alternative to the paper's
+//!   independent replications).
+//! * [`timeweighted`] — time-weighted moments of piecewise-constant
+//!   processes (occupancies), used by the peakedness measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod timeweighted;
+
+pub use queue::EventQueue;
+pub use rng::{RngStream, StreamFactory};
+pub use stats::{Replications, RunningStats, WarmupCounter};

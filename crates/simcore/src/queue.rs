@@ -1,0 +1,199 @@
+//! A stable discrete-event queue.
+//!
+//! Events are ordered by timestamp; ties pop in insertion order (FIFO), so
+//! a simulation that schedules events deterministically *is* deterministic
+//! end to end — no dependence on heap internals. Timestamps are `f64`
+//! simulation time; NaN timestamps are rejected at insertion.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue ordered by `(time, insertion sequence)`.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first. Total order is safe: NaN is rejected on push.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or earlier than the current clock
+    /// (scheduling into the past breaks causality).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={}, requested={time}",
+            self.now
+        );
+        let entry = Entry { time, seq: self.seq, event };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `event` at `delay` after the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "delay must be >= 0, got {delay}");
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(1.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((1.0, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        assert_eq!(q.pop(), Some((1.0, "first")));
+        q.schedule_in(0.5, "second");
+        q.schedule_in(0.25, "between");
+        assert_eq!(q.pop(), Some((1.25, "between")));
+        assert_eq!(q.pop(), Some((1.5, "second")));
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.now(), 0.0);
+    }
+
+    #[test]
+    fn zero_delay_event_pops_after_already_queued_same_time() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "a");
+        q.schedule(1.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        q.schedule_in(0.0, "c"); // also at time 1.0, inserted later
+        assert_eq!(q.pop(), Some((1.0, "b")));
+        assert_eq!(q.pop(), Some((1.0, "c")));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be >= 0")]
+    fn negative_delay_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_in(-0.1, ());
+    }
+}

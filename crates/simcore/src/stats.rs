@@ -1,0 +1,253 @@
+//! Simulation statistics: warm-up-aware counters, running moments, and
+//! across-replication summaries.
+//!
+//! The paper's runs discard a 10-time-unit warm-up from an idle start,
+//! measure for 100 units, and average over 10 seeds. [`WarmupCounter`]
+//! implements the warm-up cut for event counts; [`RunningStats`] is
+//! Welford's online mean/variance; [`Replications`] aggregates one scalar
+//! per seed into mean, standard error, and a normal-approximation
+//! confidence interval.
+
+/// An event counter that ignores events before the warm-up time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupCounter {
+    warmup: f64,
+    count: u64,
+}
+
+impl WarmupCounter {
+    /// A counter that starts counting at simulation time `warmup`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is negative or NaN.
+    pub fn new(warmup: f64) -> Self {
+        assert!(warmup >= 0.0, "warm-up must be >= 0, got {warmup}");
+        Self { warmup, count: 0 }
+    }
+
+    /// Records one event at simulation time `now` (counted only if
+    /// `now >= warmup`).
+    pub fn record(&mut self, now: f64) {
+        if now >= self.warmup {
+            self.count += 1;
+        }
+    }
+
+    /// Events counted since warm-up.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The warm-up threshold.
+    pub fn warmup(&self) -> f64 {
+        self.warmup
+    }
+}
+
+/// Welford's online mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "observations must not be NaN");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// A summary of one scalar measured across independent replications
+/// (seeds): mean, standard error, and a 95% normal confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replications {
+    /// Across-seed mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Half-width of the 95% normal-approximation confidence interval.
+    pub ci95_half_width: f64,
+    /// Number of replications.
+    pub replications: u64,
+    /// Smallest per-seed value.
+    pub min: f64,
+    /// Largest per-seed value.
+    pub max: f64,
+}
+
+impl Replications {
+    /// Summarises per-seed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn summarize(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one replication");
+        let mut rs = RunningStats::new();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            rs.push(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let se = rs.std_error();
+        Self {
+            mean: rs.mean(),
+            std_error: se,
+            ci95_half_width: 1.96 * se,
+            replications: rs.count(),
+            min,
+            max,
+        }
+    }
+
+    /// Whether another summary's mean lies within this one's 95% CI.
+    pub fn ci_contains(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95_half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_counter_cuts_early_events() {
+        let mut c = WarmupCounter::new(10.0);
+        c.record(5.0);
+        c.record(9.999);
+        assert_eq!(c.count(), 0);
+        c.record(10.0);
+        c.record(50.0);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.warmup(), 10.0);
+    }
+
+    #[test]
+    fn zero_warmup_counts_everything() {
+        let mut c = WarmupCounter::new(0.0);
+        c.record(0.0);
+        c.record(1.0);
+        assert_eq!(c.count(), 2);
+    }
+
+    #[test]
+    fn running_stats_known_values() {
+        let mut rs = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((rs.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty_and_single() {
+        let rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        assert_eq!(rs.std_error(), 0.0);
+        let mut rs = RunningStats::new();
+        rs.push(3.5);
+        assert_eq!(rs.mean(), 3.5);
+        assert_eq!(rs.variance(), 0.0);
+    }
+
+    #[test]
+    fn running_stats_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 7.0).collect();
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((rs.mean() - mean).abs() < 1e-9);
+        assert!((rs.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replications_summary() {
+        let r = Replications::summarize(&[0.10, 0.12, 0.08, 0.11, 0.09]);
+        assert_eq!(r.replications, 5);
+        assert!((r.mean - 0.10).abs() < 1e-12);
+        assert_eq!(r.min, 0.08);
+        assert_eq!(r.max, 0.12);
+        assert!(r.std_error > 0.0);
+        assert!((r.ci95_half_width - 1.96 * r.std_error).abs() < 1e-15);
+        assert!(r.ci_contains(0.10));
+        assert!(!r.ci_contains(0.5));
+    }
+
+    #[test]
+    fn identical_replications_have_zero_error() {
+        let r = Replications::summarize(&[0.3; 10]);
+        assert_eq!(r.std_error, 0.0);
+        assert_eq!(r.ci95_half_width, 0.0);
+        assert!(r.ci_contains(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn empty_replications_panic() {
+        Replications::summarize(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_observation_panics() {
+        RunningStats::new().push(f64::NAN);
+    }
+}

@@ -1,0 +1,182 @@
+//! Time-weighted statistics of a piecewise-constant process.
+//!
+//! Loss-network quantities like "calls in progress" change only at event
+//! instants; their mean and variance must weight each value by how long
+//! it persisted. [`TimeWeighted`] accumulates those moments incrementally
+//! (with an optional warm-up cut), serving occupancy measurements such as
+//! the overflow-peakedness experiment and carried-load checks.
+
+/// Time-weighted mean/variance accumulator for a piecewise-constant
+/// signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    warmup: f64,
+    last_time: f64,
+    last_value: f64,
+    total_time: f64,
+    acc_mean: f64,
+    acc_sq: f64,
+    started: bool,
+}
+
+impl TimeWeighted {
+    /// An accumulator ignoring everything before `warmup`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is negative or NaN.
+    pub fn new(warmup: f64) -> Self {
+        assert!(warmup >= 0.0, "warm-up must be >= 0, got {warmup}");
+        Self {
+            warmup,
+            last_time: 0.0,
+            last_value: 0.0,
+            total_time: 0.0,
+            acc_mean: 0.0,
+            acc_sq: 0.0,
+            started: false,
+        }
+    }
+
+    /// Records that the signal takes `value` from time `now` onwards.
+    ///
+    /// Calls must have non-decreasing `now`; the interval since the
+    /// previous call is credited to the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time runs backwards or inputs are NaN.
+    pub fn record(&mut self, now: f64, value: f64) {
+        assert!(!now.is_nan() && !value.is_nan(), "inputs must not be NaN");
+        if self.started {
+            assert!(
+                now >= self.last_time,
+                "time ran backwards: {} after {}",
+                now,
+                self.last_time
+            );
+            let from = self.last_time.max(self.warmup);
+            let dt = now - from;
+            if dt > 0.0 {
+                self.acc_mean += self.last_value * dt;
+                self.acc_sq += self.last_value * self.last_value * dt;
+                self.total_time += dt;
+            }
+        }
+        self.started = true;
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// Closes the measurement at time `end`, crediting the final segment.
+    pub fn finish(&mut self, end: f64) {
+        let value = self.last_value;
+        self.record(end, value);
+    }
+
+    /// Observed (post-warm-up) duration.
+    pub fn duration(&self) -> f64 {
+        self.total_time
+    }
+
+    /// Time-weighted mean (0 before any time accrues).
+    pub fn mean(&self) -> f64 {
+        if self.total_time == 0.0 {
+            0.0
+        } else {
+            self.acc_mean / self.total_time
+        }
+    }
+
+    /// Time-weighted (population) variance.
+    pub fn variance(&self) -> f64 {
+        if self.total_time == 0.0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.acc_sq / self.total_time - m * m).max(0.0)
+    }
+
+    /// `variance / mean` — the peakedness of an occupancy process
+    /// (1 for a Poisson-fed infinite group). Returns 1 when the mean is 0.
+    pub fn peakedness(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            1.0
+        } else {
+            self.variance() / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.record(0.0, 5.0);
+        tw.finish(10.0);
+        assert_eq!(tw.duration(), 10.0);
+        assert_eq!(tw.mean(), 5.0);
+        assert_eq!(tw.variance(), 0.0);
+    }
+
+    #[test]
+    fn two_level_signal() {
+        // 0 for 3 units, then 6 for 1 unit: mean 1.5, E[X^2] = 9, var 6.75.
+        let mut tw = TimeWeighted::new(0.0);
+        tw.record(0.0, 0.0);
+        tw.record(3.0, 6.0);
+        tw.finish(4.0);
+        assert!((tw.mean() - 1.5).abs() < 1e-12);
+        assert!((tw.variance() - 6.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        // Value 100 during warm-up must not count.
+        let mut tw = TimeWeighted::new(10.0);
+        tw.record(0.0, 100.0);
+        tw.record(10.0, 2.0);
+        tw.finish(20.0);
+        assert_eq!(tw.duration(), 10.0);
+        assert_eq!(tw.mean(), 2.0);
+    }
+
+    #[test]
+    fn segment_straddling_warmup_counts_partially() {
+        let mut tw = TimeWeighted::new(5.0);
+        tw.record(0.0, 4.0); // persists 0..10, only 5..10 counts
+        tw.finish(10.0);
+        assert_eq!(tw.duration(), 5.0);
+        assert_eq!(tw.mean(), 4.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_neutral() {
+        let tw = TimeWeighted::new(0.0);
+        assert_eq!(tw.mean(), 0.0);
+        assert_eq!(tw.variance(), 0.0);
+        assert_eq!(tw.peakedness(), 1.0);
+        assert_eq!(tw.duration(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_updates_are_harmless() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.record(1.0, 3.0);
+        tw.record(1.0, 7.0);
+        tw.finish(2.0);
+        assert_eq!(tw.mean(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn backwards_time_panics() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.record(5.0, 1.0);
+        tw.record(4.0, 1.0);
+    }
+}

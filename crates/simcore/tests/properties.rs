@@ -1,0 +1,103 @@
+//! Property-based tests of the event queue, RNG streams, and statistics.
+
+use altroute_simcore::queue::EventQueue;
+use altroute_simcore::rng::{RngStream, StreamFactory};
+use altroute_simcore::stats::{Replications, RunningStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping returns events in non-decreasing time order, with FIFO
+    /// order at equal timestamps, regardless of insertion order.
+    #[test]
+    fn queue_pops_sorted_stable(times in proptest::collection::vec(0.0f64..100.0, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t, id));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at equal times");
+            }
+        }
+    }
+
+    /// The clock never runs backwards across interleaved operations.
+    #[test]
+    fn clock_is_monotone(delays in proptest::collection::vec(0.0f64..5.0, 1..100)) {
+        let mut q = EventQueue::new();
+        let mut last = 0.0;
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule_in(d, i);
+            if i % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Streams are pure functions of (master, id).
+    #[test]
+    fn streams_are_reproducible(master in any::<u64>(), id in any::<u64>()) {
+        let f = StreamFactory::new(master);
+        let a: Vec<f64> = { let mut s = f.stream(id); (0..16).map(|_| s.uniform()).collect() };
+        let b: Vec<f64> = { let mut s = f.stream(id); (0..16).map(|_| s.uniform()).collect() };
+        prop_assert_eq!(a, b);
+    }
+
+    /// Distinct stream ids give distinct sequences (SplitMix64 is a
+    /// bijection, so sub-seeds never collide for a fixed master).
+    #[test]
+    fn distinct_ids_distinct_streams(master in any::<u64>(), id in any::<u64>(), delta in 1u64..1000) {
+        let f = StreamFactory::new(master);
+        let mut a = f.stream(id);
+        let mut b = f.stream(id.wrapping_add(delta));
+        let va: Vec<u64> = (0..8).map(|_| (a.uniform() * 1e15) as u64).collect();
+        let vb: Vec<u64> = (0..8).map(|_| (b.uniform() * 1e15) as u64).collect();
+        prop_assert_ne!(va, vb);
+    }
+
+    /// Exponential samples are positive and finite for any valid rate.
+    #[test]
+    fn exponential_support(seed in any::<u64>(), rate in 0.001f64..1000.0) {
+        let mut s = RngStream::from_seed(seed);
+        for _ in 0..64 {
+            let x = s.exp(rate);
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    /// Welford matches the two-pass computation on arbitrary data.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((rs.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((rs.variance() - var).abs() < 1e-4 * var.max(1.0));
+    }
+
+    /// Replication summaries bracket their inputs.
+    #[test]
+    fn replications_bracket(xs in proptest::collection::vec(0.0f64..1.0, 1..50)) {
+        let r = Replications::summarize(&xs);
+        prop_assert!(r.min <= r.mean && r.mean <= r.max);
+        prop_assert!(r.std_error >= 0.0);
+        prop_assert_eq!(r.replications as usize, xs.len());
+        prop_assert!(r.ci_contains(r.mean));
+    }
+}

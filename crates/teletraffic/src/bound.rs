@@ -1,0 +1,117 @@
+//! The per-cut term of the Erlang bound (paper §4, displayed equation).
+//!
+//! The Erlang bound is a lower bound on the average network blocking that
+//! *no* routing scheme — even one allowed to re-pack calls — can beat. For
+//! a node cut `S`, pool all capacity crossing the cut in each direction and
+//! all traffic that must cross it; the blocking of the pooled Erlang links
+//! weights the two directions by their share of total network traffic:
+//!
+//! ```text
+//!   T(S→S̄)/T_total · B(T(S→S̄), C(S→S̄))  +  T(S̄→S)/T_total · B(T(S̄→S), C(S̄→S))
+//! ```
+//!
+//! The bound is the maximum of this expression over all cuts; the cut
+//! enumeration itself lives with the graph code (`altroute-sim`), this
+//! module computes the per-cut value.
+
+use crate::erlang::erlang_b;
+
+/// Traffic and pooled capacity crossing a node cut, per direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutLoad {
+    /// Total traffic (Erlangs) from inside the cut to outside.
+    pub traffic_out: f64,
+    /// Pooled capacity (circuits) of links from inside to outside.
+    pub capacity_out: u32,
+    /// Total traffic from outside the cut to inside.
+    pub traffic_in: f64,
+    /// Pooled capacity of links from outside to inside.
+    pub capacity_in: u32,
+}
+
+/// The Erlang-bound contribution of one cut, given total network traffic.
+///
+/// Returns 0 when `total_traffic` is 0. If a direction carries traffic but
+/// has zero pooled capacity, its Erlang blocking is 1 (all of it is lost),
+/// which the formula handles naturally via `B(a, 0) = 1`.
+///
+/// # Panics
+///
+/// Panics if any traffic value is negative/non-finite, or if
+/// `total_traffic` is smaller than the cut's own crossing traffic (up to
+/// rounding).
+pub fn cut_bound(cut: CutLoad, total_traffic: f64) -> f64 {
+    assert!(
+        cut.traffic_out.is_finite() && cut.traffic_out >= 0.0,
+        "invalid outbound traffic"
+    );
+    assert!(cut.traffic_in.is_finite() && cut.traffic_in >= 0.0, "invalid inbound traffic");
+    assert!(total_traffic.is_finite() && total_traffic >= 0.0, "invalid total traffic");
+    if total_traffic == 0.0 {
+        return 0.0;
+    }
+    assert!(
+        cut.traffic_out + cut.traffic_in <= total_traffic * (1.0 + 1e-9),
+        "cut traffic exceeds network total"
+    );
+    let mut bound = 0.0;
+    if cut.traffic_out > 0.0 {
+        bound += cut.traffic_out / total_traffic * erlang_b(cut.traffic_out, cut.capacity_out);
+    }
+    if cut.traffic_in > 0.0 {
+        bound += cut.traffic_in / total_traffic * erlang_b(cut.traffic_in, cut.capacity_in);
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_cut_reduces_to_weighted_erlang_b() {
+        let cut = CutLoad { traffic_out: 90.0, capacity_out: 100, traffic_in: 90.0, capacity_in: 100 };
+        let total = 360.0;
+        let expect = 2.0 * (90.0 / 360.0) * erlang_b(90.0, 100);
+        assert!((cut_bound(cut, total) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_direction_blocks_fully() {
+        let cut = CutLoad { traffic_out: 10.0, capacity_out: 0, traffic_in: 0.0, capacity_in: 50 };
+        let total = 20.0;
+        assert!((cut_bound(cut, total) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_network_bound_is_zero() {
+        let cut = CutLoad { traffic_out: 0.0, capacity_out: 10, traffic_in: 0.0, capacity_in: 10 };
+        assert_eq!(cut_bound(cut, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bound_grows_with_cut_traffic() {
+        let total = 1000.0;
+        let mut prev = 0.0;
+        for t in [50.0, 100.0, 150.0, 200.0] {
+            let cut = CutLoad { traffic_out: t, capacity_out: 100, traffic_in: t, capacity_in: 100 };
+            let b = cut_bound(cut, total);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn bound_is_a_probability() {
+        let cut = CutLoad { traffic_out: 500.0, capacity_out: 10, traffic_in: 400.0, capacity_in: 5 };
+        let b = cut_bound(cut, 900.0);
+        assert!(b > 0.0 && b <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut traffic exceeds network total")]
+    fn inconsistent_totals_panic() {
+        let cut = CutLoad { traffic_out: 10.0, capacity_out: 1, traffic_in: 10.0, capacity_in: 1 };
+        cut_bound(cut, 5.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The Erlang-B blocking function and numerically stable relatives.
+//!
+//! The Erlang-B function `B(a, C)` is the steady-state probability that all
+//! `C` circuits of a link are busy when the link is offered Poisson traffic
+//! of intensity `a` Erlangs with unit-mean holding times (an M/M/C/C queue).
+//! Every analytic quantity in the paper — the state-protection levels of
+//! Eq. 15, the shadow-price bound of Theorem 1, the Erlang bound of
+//! Section 4 — is built from `B`.
+//!
+//! Two complementary representations are provided:
+//!
+//! * [`erlang_b`] uses the forward recurrence
+//!   `B(a, k) = a·B(a, k−1) / (k + a·B(a, k−1))`, which stays in `[0, 1]`
+//!   and never overflows;
+//! * [`inverse_erlang_b_log_table`] tabulates `ln(1/B(a, k))` for
+//!   `k = 0..=C` via the inverse recursion `y_k = 1 + (k/a)·y_{k−1}`
+//!   (Eq. 12 of the paper, due to Jagerman), carried in log space so that
+//!   ratios `B(a, C)/B(a, C−r)` remain exact even when `1/B` overflows
+//!   `f64` — which happens already for lightly loaded links of a few
+//!   hundred circuits.
+
+/// Erlang-B blocking probability `B(a, capacity)`.
+///
+/// `a` is the offered load in Erlangs (must be non-negative and finite);
+/// `capacity` is the number of circuits. `B(a, 0) = 1` for any `a > 0`
+/// (a link with no circuits blocks everything), and `B(0, c) = 0` for
+/// `c > 0`.
+///
+/// Uses the standard forward recurrence, which is numerically stable for
+/// all argument ranges (each iterate lies in `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if `a` is negative, NaN, or infinite.
+///
+/// # Examples
+///
+/// ```
+/// use altroute_teletraffic::erlang::erlang_b;
+/// assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-12);
+/// assert!((erlang_b(2.0, 2) - 0.4).abs() < 1e-12);
+/// ```
+pub fn erlang_b(a: f64, capacity: u32) -> f64 {
+    assert!(a.is_finite() && a >= 0.0, "offered load must be finite and >= 0, got {a}");
+    if a == 0.0 {
+        return if capacity == 0 { 1.0 } else { 0.0 };
+    }
+    let mut b = 1.0_f64;
+    for k in 1..=capacity {
+        b = a * b / (f64::from(k) + a * b);
+    }
+    b
+}
+
+/// Erlang-B blocking probability together with its partial derivative
+/// `∂B/∂a` with respect to the offered load.
+///
+/// The derivative is obtained by differentiating the forward recurrence
+/// alongside it, so it inherits the recurrence's numerical stability. It is
+/// used by the Frank–Wolfe min-loss primary-path optimiser (via
+/// [`crate::loss::lost_traffic_derivative`]).
+///
+/// # Panics
+///
+/// Panics if `a` is negative, NaN, or infinite.
+pub fn erlang_b_with_derivative(a: f64, capacity: u32) -> (f64, f64) {
+    assert!(a.is_finite() && a >= 0.0, "offered load must be finite and >= 0, got {a}");
+    if a == 0.0 {
+        // B(0, 0) = 1 with zero sensitivity; for c >= 1, B ~ a^c / c! near 0,
+        // so the derivative at 0 is 1 for c == 1 and 0 for c >= 2.
+        return match capacity {
+            0 => (1.0, 0.0),
+            1 => (0.0, 1.0),
+            _ => (0.0, 0.0),
+        };
+    }
+    let mut b = 1.0_f64;
+    let mut db = 0.0_f64;
+    for k in 1..=capacity {
+        let kf = f64::from(k);
+        let u = a * b;
+        let du = b + a * db;
+        let denom = kf + u;
+        b = u / denom;
+        db = kf * du / (denom * denom);
+    }
+    (b, db)
+}
+
+/// Partial derivative `∂B/∂a` of the Erlang-B function.
+///
+/// Convenience wrapper around [`erlang_b_with_derivative`].
+pub fn erlang_b_derivative(a: f64, capacity: u32) -> f64 {
+    erlang_b_with_derivative(a, capacity).1
+}
+
+/// Table of `ln(1/B(a, k))` for `k = 0, 1, …, capacity`.
+///
+/// Entry `k` is `ln y_k` where `y_k = 1/B(a, k)` satisfies the Jagerman
+/// inverse recursion `y_k = 1 + (k/a)·y_{k−1}`, `y_0 = 1` (Eq. 12 of the
+/// paper). The recursion is carried in log space:
+///
+/// `ln y_k = ln y_{k−1} + ln( k/a + exp(−ln y_{k−1}) )`
+///
+/// which never overflows even though `y_k` itself grows like `k!/a^k`.
+///
+/// The table makes blocking *ratios* — the quantity Eq. 15 constrains —
+/// computable exactly for any capacity:
+/// `ln [ B(a, C) / B(a, C−r) ] = ln y_{C−r} − ln y_C`.
+///
+/// # Panics
+///
+/// Panics if `a` is not strictly positive and finite (the inverse function
+/// is undefined at zero load).
+pub fn inverse_erlang_b_log_table(a: f64, capacity: u32) -> Vec<f64> {
+    assert!(a.is_finite() && a > 0.0, "offered load must be finite and > 0, got {a}");
+    let mut table = Vec::with_capacity(capacity as usize + 1);
+    let mut log_y = 0.0_f64; // ln y_0 = ln 1
+    table.push(log_y);
+    for k in 1..=capacity {
+        log_y += (f64::from(k) / a + (-log_y).exp()).ln();
+        table.push(log_y);
+    }
+    table
+}
+
+/// Traffic carried by a link of `capacity` circuits offered `a` Erlangs:
+/// `a · (1 − B(a, capacity))`.
+pub fn carried_traffic(a: f64, capacity: u32) -> f64 {
+    a * (1.0 - erlang_b(a, capacity))
+}
+
+/// Smallest capacity whose Erlang-B blocking does not exceed `target`.
+///
+/// This is the classical dimensioning ("how many circuits do I need?")
+/// inverse of the Erlang-B function, used by the capacity-planning example.
+/// Returns `None` if no capacity up to `max_capacity` suffices.
+///
+/// # Panics
+///
+/// Panics if `target` is not in `(0, 1]` or `a` is invalid for
+/// [`erlang_b`].
+pub fn dimension_link(a: f64, target: f64, max_capacity: u32) -> Option<u32> {
+    assert!(target > 0.0 && target <= 1.0, "blocking target must be in (0, 1], got {target}");
+    if a == 0.0 {
+        return Some(0);
+    }
+    // B(a, c) is monotone decreasing in c, so binary search applies.
+    if erlang_b(a, max_capacity) > target {
+        return None;
+    }
+    let (mut lo, mut hi) = (0u32, max_capacity);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if erlang_b(a, mid) <= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation by direct summation in log space:
+    /// `B = (a^C/C!) / Σ_{k=0}^{C} a^k/k!`.
+    fn erlang_b_reference(a: f64, capacity: u32) -> f64 {
+        if a == 0.0 {
+            return if capacity == 0 { 1.0 } else { 0.0 };
+        }
+        // log terms t_k = k ln a - ln k!
+        let mut log_terms = Vec::with_capacity(capacity as usize + 1);
+        let mut log_fact = 0.0;
+        for k in 0..=capacity {
+            if k > 0 {
+                log_fact += f64::from(k).ln();
+            }
+            log_terms.push(f64::from(k) * a.ln() - log_fact);
+        }
+        let m = log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let denom: f64 = log_terms.iter().map(|t| (t - m).exp()).sum();
+        ((log_terms[capacity as usize] - m).exp()) / denom
+    }
+
+    #[test]
+    fn known_closed_form_values() {
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-14);
+        assert!((erlang_b(2.0, 2) - 0.4).abs() < 1e-14);
+        // B(a, 0) = 1 for any positive a.
+        assert_eq!(erlang_b(5.0, 0), 1.0);
+        // Zero load never blocks on a link with circuits.
+        assert_eq!(erlang_b(0.0, 10), 0.0);
+        assert_eq!(erlang_b(0.0, 0), 1.0);
+    }
+
+    #[test]
+    fn matches_direct_summation() {
+        for &(a, c) in &[
+            (0.5, 3u32),
+            (10.0, 10),
+            (90.0, 100),
+            (100.0, 100),
+            (120.0, 120),
+            (74.0, 100),
+            (167.0, 100),
+            (1.0, 50),
+            (300.0, 100),
+        ] {
+            let fast = erlang_b(a, c);
+            let slow = erlang_b_reference(a, c);
+            assert!(
+                (fast - slow).abs() < 1e-10 * slow.max(1e-30),
+                "mismatch at a={a} c={c}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn tabulated_textbook_values() {
+        // Values cross-checked against standard Erlang-B tables.
+        assert!((erlang_b(10.0, 10) - 0.214582).abs() < 1e-5);
+        assert!((erlang_b(100.0, 100) - 0.075700).abs() < 1e-5);
+        assert!((erlang_b(120.0, 120) - 0.069419).abs() < 1e-4);
+    }
+
+    #[test]
+    fn monotone_in_load_and_capacity() {
+        for c in [1u32, 5, 20, 100] {
+            let mut prev = erlang_b(0.1, c);
+            for i in 1..60 {
+                let a = 0.1 + f64::from(i) * 3.0;
+                let b = erlang_b(a, c);
+                assert!(b >= prev, "B should be non-decreasing in a (c={c}, a={a})");
+                prev = b;
+            }
+        }
+        for a in [0.5, 10.0, 90.0, 150.0] {
+            let mut prev = erlang_b(a, 0);
+            for c in 1..150 {
+                let b = erlang_b(a, c);
+                assert!(b <= prev, "B should be non-increasing in c (a={a}, c={c})");
+                prev = b;
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for &(a, c) in &[(10.0, 10u32), (90.0, 100), (74.0, 100), (150.0, 100), (2.0, 5)] {
+            let h = 1e-6 * a;
+            let fd = (erlang_b(a + h, c) - erlang_b(a - h, c)) / (2.0 * h);
+            let an = erlang_b_derivative(a, c);
+            assert!(
+                (fd - an).abs() < 1e-6 * an.abs().max(1e-12),
+                "derivative mismatch at a={a} c={c}: fd={fd} an={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_edge_cases_at_zero_load() {
+        assert_eq!(erlang_b_with_derivative(0.0, 0), (1.0, 0.0));
+        assert_eq!(erlang_b_with_derivative(0.0, 1), (0.0, 1.0));
+        assert_eq!(erlang_b_with_derivative(0.0, 7), (0.0, 0.0));
+    }
+
+    #[test]
+    fn inverse_log_table_consistent_with_direct() {
+        for &(a, c) in &[(10.0, 10u32), (90.0, 100), (74.0, 100), (0.5, 20)] {
+            let table = inverse_erlang_b_log_table(a, c);
+            assert_eq!(table.len(), c as usize + 1);
+            for (k, &log_y) in table.iter().enumerate() {
+                let b = erlang_b(a, k as u32);
+                // log_y == -ln B
+                assert!(
+                    (log_y + b.ln()).abs() < 1e-8 * log_y.max(1.0),
+                    "table mismatch at a={a} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_log_table_huge_capacity_does_not_overflow() {
+        let table = inverse_erlang_b_log_table(1.0, 2000);
+        let last = *table.last().unwrap();
+        assert!(last.is_finite() && last > 1000.0);
+        // Monotone increasing in k.
+        for w in table.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn carried_traffic_basics() {
+        assert_eq!(carried_traffic(0.0, 10), 0.0);
+        let c = carried_traffic(90.0, 100);
+        assert!(c > 85.0 && c < 90.0);
+        // Can never carry more than capacity (Erlang-B identity a(1-B) <= C).
+        assert!(carried_traffic(1000.0, 100) <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn dimensioning_inverse() {
+        // 1% blocking at 10 Erlangs requires 18 circuits (standard table).
+        assert_eq!(dimension_link(10.0, 0.01, 1000), Some(18));
+        // Target checks: returned capacity meets the target and c-1 does not.
+        for &(a, t) in &[(5.0, 0.02), (50.0, 0.001), (200.0, 0.05)] {
+            let c = dimension_link(a, t, 4000).unwrap();
+            assert!(erlang_b(a, c) <= t);
+            if c > 0 {
+                assert!(erlang_b(a, c - 1) > t);
+            }
+        }
+        assert_eq!(dimension_link(0.0, 0.01, 10), Some(0));
+        assert_eq!(dimension_link(1000.0, 1e-9, 10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn negative_load_panics() {
+        erlang_b(-1.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn nan_load_panics() {
+        erlang_b(f64::NAN, 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! The convex lost-traffic cost used by min-loss state-independent routing.
+//!
+//! §4.2.2 of the paper ("Primary paths chosen to minimize link loss")
+//! selects primary paths by minimising `Σ_k f(Λ_k)` with
+//! `f(Λ) = Λ·B(Λ, C)`, the expected number of calls lost per unit time on a
+//! link of capacity `C` fed by Poisson traffic of intensity `Λ`. Krishnan
+//! proved `f` convex in `Λ` (reference 23 in the paper), so the resulting
+//! multicommodity flow problem is convex and solvable by gradient methods
+//! (the paper uses conjugate gradient; our [`crate`]-mate `altroute-core`
+//! uses Frank–Wolfe flow deviation on the same objective).
+
+use crate::erlang::erlang_b_with_derivative;
+
+/// Expected lost traffic `Λ·B(Λ, capacity)` (calls lost per mean holding
+/// time).
+pub fn lost_traffic(load: f64, capacity: u32) -> f64 {
+    load * erlang_b_with_derivative(load, capacity).0
+}
+
+/// Derivative `d/dΛ [Λ·B(Λ, C)] = B + Λ·∂B/∂Λ` — the marginal cost of
+/// offering one more Erlang to the link, used as the link weight in the
+/// flow-deviation subproblem.
+pub fn lost_traffic_derivative(load: f64, capacity: u32) -> f64 {
+    let (b, db) = erlang_b_with_derivative(load, capacity);
+    b + load * db
+}
+
+/// Both [`lost_traffic`] and [`lost_traffic_derivative`] in one pass.
+pub fn lost_traffic_with_derivative(load: f64, capacity: u32) -> (f64, f64) {
+    let (b, db) = erlang_b_with_derivative(load, capacity);
+    (load * b, b + load * db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::erlang::erlang_b;
+
+    #[test]
+    fn loss_is_load_times_blocking() {
+        for &(a, c) in &[(10.0, 10u32), (74.0, 100), (167.0, 100)] {
+            assert!((lost_traffic(a, c) - a * erlang_b(a, c)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        for &(a, c) in &[(10.0_f64, 10u32), (74.0, 100), (120.0, 100), (1.0, 3)] {
+            let h = 1e-6 * a.max(1.0);
+            let fd = (lost_traffic(a + h, c) - lost_traffic(a - h, c)) / (2.0 * h);
+            let an = lost_traffic_derivative(a, c);
+            assert!((fd - an).abs() < 1e-5 * an.abs().max(1e-9), "a={a} c={c}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn convexity_in_load() {
+        // Krishnan's theorem: f(Λ) = Λ B(Λ, C) is convex. Check the
+        // discrete second difference is non-negative on a grid.
+        for c in [5u32, 20, 100] {
+            let h = 0.5;
+            for i in 1..300 {
+                let a = f64::from(i) * h;
+                let f0 = lost_traffic(a - h, c);
+                let f1 = lost_traffic(a, c);
+                let f2 = lost_traffic(a + h, c);
+                assert!(
+                    f0 + f2 - 2.0 * f1 >= -1e-9,
+                    "second difference negative at a={a}, c={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_is_monotone_and_in_unit_range_at_extremes() {
+        // Convexity => derivative non-decreasing; it tends to 1 as load
+        // saturates (every extra Erlang is lost) and to B(0+) at 0.
+        let c = 50;
+        let mut prev = -1.0;
+        for i in 1..=120 {
+            let a = f64::from(i);
+            let d = lost_traffic_derivative(a, c);
+            assert!(d >= prev - 1e-12);
+            assert!(d >= 0.0 && d <= 1.0 + 1e-9);
+            prev = d;
+        }
+        assert!(lost_traffic_derivative(500.0, 50) > 0.99);
+    }
+
+    #[test]
+    fn zero_capacity_loses_everything() {
+        assert_eq!(lost_traffic(7.0, 0), 7.0);
+        assert!((lost_traffic_derivative(7.0, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! State-protection (trunk-reservation) level selection — the paper's Eq. 15.
+//!
+//! Theorem 1 of the paper bounds `L^k`, the expected increase in lost
+//! primary calls on link `k` caused by accepting one alternate-routed call,
+//! by the blocking ratio `B(Λ^k, C^k) / B(Λ^k, C^k − r^k)`. If every link
+//! of an alternate path of at most `H` hops keeps that ratio below `1/H`,
+//! the path-wide expected extra loss `Σ_k L^k` is below 1, so carrying the
+//! call (worth exactly 1 completed call) always nets out positive versus
+//! blocking it. The control rule is therefore: pick, per link, the
+//! *smallest* protection level satisfying
+//!
+//! `B(Λ^k, C^k) / B(Λ^k, C^k − r^k) ≤ 1/H`.
+//!
+//! Smallest, because larger `r` needlessly suppresses alternate routing at
+//! low loads, where it is most valuable.
+//!
+//! The ratio is evaluated in log space via
+//! [`crate::erlang::inverse_erlang_b_log_table`] so that extremely small
+//! blocking probabilities (lightly loaded links) cannot underflow the
+//! comparison.
+
+use crate::erlang::inverse_erlang_b_log_table;
+
+/// Smallest state-protection level `r` such that
+/// `B(load, capacity) / B(load, capacity − r) ≤ 1/max_alternate_hops`
+/// (the paper's Eq. 15).
+///
+/// Returns `capacity` (protect everything — never accept an alternate call)
+/// when no smaller level satisfies the inequality, which is exactly the
+/// behaviour the paper tabulates for overloaded links (Table 1 shows
+/// `r = 100 = C` for links with `Λ > C`).
+///
+/// A zero `load` yields `r = 0`: a link carrying no primary traffic loses
+/// nothing by accepting alternate calls.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`, `max_alternate_hops == 0`, or `load` is
+/// negative/non-finite.
+///
+/// # Examples
+///
+/// Values from Table 1 of the paper (`C = 100`):
+///
+/// ```
+/// use altroute_teletraffic::reservation::protection_level;
+/// assert_eq!(protection_level(74.0, 100, 6), 7);   // link 0->1, H = 6
+/// assert_eq!(protection_level(74.0, 100, 11), 10); // link 0->1, H = 11
+/// assert_eq!(protection_level(167.0, 100, 6), 100); // link 10->11 (overloaded)
+/// ```
+pub fn protection_level(load: f64, capacity: u32, max_alternate_hops: u32) -> u32 {
+    assert!(capacity > 0, "capacity must be positive");
+    assert!(max_alternate_hops > 0, "H must be positive");
+    assert!(load.is_finite() && load >= 0.0, "load must be finite and >= 0, got {load}");
+    if load == 0.0 {
+        return 0;
+    }
+    let log_y = inverse_erlang_b_log_table(load, capacity);
+    let log_h = f64::from(max_alternate_hops).ln();
+    // Ratio B(Λ,C)/B(Λ,C−r) = y_{C−r}/y_C; require ln y_{C−r} ≤ ln y_C − ln H.
+    let target = log_y[capacity as usize] - log_h;
+    // ln y is non-decreasing in the state index, so the smallest r is found
+    // by scanning down from r = 0; binary search also applies.
+    let (mut lo, mut hi) = (0u32, capacity);
+    // Invariant: r = hi always satisfies (y_0 = 1, ln y_0 = 0 <= target
+    // unless target < 0, handled below).
+    if log_y[capacity as usize] < log_h {
+        // Even full protection cannot satisfy Eq. 15 (B(Λ,C) > 1/H alone):
+        // the paper's convention is to protect the whole link.
+        return capacity;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if log_y[(capacity - mid) as usize] <= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Theorem 1's bound on the expected extra primary-call loss caused by one
+/// accepted alternate-routed call: `B(load, capacity) / B(load, capacity − r)`.
+///
+/// Returns a probability-like value in `(0, 1]`. For `r = 0` the bound is
+/// exactly 1 (accepting an alternate call can at worst cost one primary
+/// call).
+///
+/// # Panics
+///
+/// Panics if `r > capacity`, `capacity == 0`, or `load` is not strictly
+/// positive and finite.
+pub fn shadow_price_bound(load: f64, capacity: u32, r: u32) -> f64 {
+    assert!(capacity > 0, "capacity must be positive");
+    assert!(r <= capacity, "protection level cannot exceed capacity");
+    assert!(load.is_finite() && load > 0.0, "load must be finite and > 0, got {load}");
+    let log_y = inverse_erlang_b_log_table(load, capacity);
+    (log_y[(capacity - r) as usize] - log_y[capacity as usize]).exp()
+}
+
+/// The protection curve of the paper's Fig. 2: `r` as a function of the
+/// primary load for a fixed capacity and hop bound.
+///
+/// Returns `(load, r)` pairs for `loads`.
+pub fn protection_curve(loads: &[f64], capacity: u32, max_alternate_hops: u32) -> Vec<(f64, u32)> {
+    loads
+        .iter()
+        .map(|&a| (a, protection_level(a, capacity, max_alternate_hops)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_spot_values() {
+        // (load, r for H=6, r for H=11) — from Table 1 of the paper, C=100.
+        // Table 1 prints Λ rounded to the nearest Erlang; recomputing r from
+        // the rounded loads reproduces the paper's values everywhere except
+        // three overloaded links where the rounding of Λ moves r by 1–2
+        // (paper: 56, 70 and 60 for loads 103, 107 and 104 at H=6; the
+        // rounded loads give 54, 69 and 58). The expectations below are the
+        // exact values for the rounded loads.
+        let cases = [
+            (74.0, 7u32, 10u32),
+            (77.0, 8, 12),
+            (37.0, 2, 3),
+            (16.0, 1, 2),
+            (103.0, 54, 100),
+            (87.0, 16, 26),
+            (124.0, 100, 100),
+            (167.0, 100, 100),
+            (85.0, 14, 22),
+            (107.0, 69, 100),
+            (104.0, 58, 100),
+        ];
+        for (load, r6, r11) in cases {
+            assert_eq!(protection_level(load, 100, 6), r6, "H=6, load={load}");
+            assert_eq!(protection_level(load, 100, 11), r11, "H=11, load={load}");
+        }
+    }
+
+    #[test]
+    fn minimality_of_the_level() {
+        // r satisfies Eq. 15 and r−1 does not.
+        for &(load, c, h) in &[(74.0, 100u32, 6u32), (90.0, 100, 11), (50.0, 100, 120), (110.0, 120, 2)] {
+            let r = protection_level(load, c, h);
+            let hinv = 1.0 / f64::from(h);
+            if r < c {
+                assert!(shadow_price_bound(load, c, r) <= hinv + 1e-12);
+            }
+            if r > 0 && r <= c {
+                assert!(
+                    shadow_price_bound(load, c, r - 1) > hinv,
+                    "r−1 should violate Eq. 15 (load={load}, c={c}, h={h})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_h_and_load() {
+        // Fig. 2: r grows with H (more hops need a tighter guarantee) and
+        // with load (busier links need more protection).
+        let mut prev = 0;
+        for h in [2u32, 6, 11, 120, 1000] {
+            let r = protection_level(70.0, 100, h);
+            assert!(r >= prev);
+            prev = r;
+        }
+        let mut prev = 0;
+        for load in [1.0, 10.0, 30.0, 50.0, 70.0, 90.0, 100.0, 130.0] {
+            let r = protection_level(load, 100, 6);
+            assert!(r >= prev, "r should not decrease with load (load={load})");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn contained_growth_with_h() {
+        // Paper §3.2: for H in [1000, 2000], r stays in [10, 20] at 50
+        // Erlangs on a 100-circuit link — growth in H is "contained".
+        for h in [1000u32, 1500, 2000] {
+            let r = protection_level(50.0, 100, h);
+            assert!((10..=20).contains(&r), "H={h} gave r={r}");
+        }
+    }
+
+    #[test]
+    fn zero_load_means_zero_protection() {
+        assert_eq!(protection_level(0.0, 100, 6), 0);
+    }
+
+    #[test]
+    fn light_load_means_little_protection() {
+        // At r = 0 the Theorem-1 bound is exactly 1 > 1/H, so the minimum
+        // protection at any positive load is 1 — but no more than that when
+        // the link is nearly idle.
+        assert_eq!(protection_level(1.0, 100, 11), 1);
+        assert!(protection_level(30.0, 100, 6) <= 2);
+    }
+
+    #[test]
+    fn overload_protects_everything() {
+        assert_eq!(protection_level(300.0, 100, 6), 100);
+        assert_eq!(protection_level(154.0, 100, 11), 100);
+    }
+
+    #[test]
+    fn bound_is_one_at_zero_protection() {
+        for &(load, c) in &[(10.0, 20u32), (74.0, 100), (167.0, 100)] {
+            assert!((shadow_price_bound(load, c, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bound_decreases_with_protection() {
+        let mut prev = f64::INFINITY;
+        for r in 0..=50 {
+            let b = shadow_price_bound(80.0, 100, r);
+            assert!(b <= prev + 1e-15);
+            assert!(b > 0.0 && b <= 1.0 + 1e-12);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn curve_has_expected_shape_for_fig2() {
+        let loads: Vec<f64> = (1..=100).map(f64::from).collect();
+        for h in [2u32, 6, 120] {
+            let curve = protection_curve(&loads, 100, h);
+            assert_eq!(curve.len(), 100);
+            // Non-decreasing in load.
+            for w in curve.windows(2) {
+                assert!(w[1].1 >= w[0].1);
+            }
+            // Small at light load (r = 1, 1, 3 for H = 2, 6, 120),
+            // substantial near capacity (r = 11, 45, 100).
+            assert!(curve[9].1 <= 3, "r at 10 Erlangs should be tiny (h={h})");
+            assert!(curve[99].1 >= 11, "r at 100 Erlangs should be sizeable (h={h})");
+        }
+    }
+
+    #[test]
+    fn mitra_gibbens_regime_values_are_moderate() {
+        // §3.2: at C = 120, Λ in [110, 120], H = 2, our r differs from the
+        // optimal trunk reservation of Mitra & Gibbens by at most ~2; their
+        // published optima in that regime are small single digits.
+        // Our exact values: r(110) = 7, r(115) = 9, r(120) = 12.
+        assert_eq!(protection_level(110.0, 120, 2), 7);
+        assert_eq!(protection_level(115.0, 120, 2), 9);
+        assert_eq!(protection_level(120.0, 120, 2), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "H must be positive")]
+    fn zero_h_panics() {
+        protection_level(10.0, 100, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        protection_level(10.0, 0, 6);
+    }
+}

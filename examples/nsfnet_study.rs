@@ -1,0 +1,70 @@
+//! The paper's §4.2 Internet study end-to-end:
+//!
+//! 1. build the NSFNet T3 backbone model (Fig. 5),
+//! 2. reconstruct the nominal traffic matrix from Table 1's link loads,
+//! 3. compute the per-link state-protection levels (Table 1's r columns),
+//! 4. simulate the three policies around the nominal load (Figs. 6-7).
+//!
+//! Run with: `cargo run --release --example nsfnet_study`
+
+use altroute::core::policy::PolicyKind;
+use altroute::netgraph::estimate::nsfnet_nominal_traffic;
+use altroute::netgraph::topologies;
+use altroute::sim::experiment::{Experiment, SimParams};
+
+fn main() {
+    let topo = topologies::nsfnet(100);
+    println!(
+        "NSFNet T3 model: {} nodes, {} directed links of 100 circuits",
+        topo.num_nodes(),
+        topo.num_links()
+    );
+
+    let fit = nsfnet_nominal_traffic();
+    println!(
+        "reconstructed nominal traffic matrix: {:.0} Erlangs total, fit residual {:.1e}",
+        fit.traffic.total(),
+        fit.relative_residual
+    );
+
+    // Protection levels for the ten busiest links (Table 1's r at H = 11).
+    let exp = Experiment::new(topo, fit.traffic.clone()).expect("valid instance");
+    let plan = exp.plan_for(PolicyKind::ControlledAlternate { max_hops: 11 });
+    let mut links: Vec<(usize, f64, u32)> = plan
+        .link_loads()
+        .iter()
+        .zip(plan.protection_levels())
+        .enumerate()
+        .map(|(l, (&load, &r))| (l, load, r))
+        .collect();
+    links.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nbusiest links (load -> protection level at H = 11):");
+    for &(l, load, r) in links.iter().take(10) {
+        let link = plan.topology().link(l);
+        println!(
+            "  {:>2} -> {:>2}  ({} -> {})  load {:>6.1}  r = {}",
+            link.src,
+            link.dst,
+            plan.topology().node_name(link.src),
+            plan.topology().node_name(link.dst),
+            load,
+            r
+        );
+    }
+
+    let params = SimParams { seeds: 5, ..SimParams::default() };
+    println!("\n{:>6} {:>12} {:>12} {:>12}", "load", "single", "uncontrolled", "controlled");
+    for load in [6.0, 8.0, 10.0, 12.0] {
+        let scaled = exp.scaled(load / 10.0);
+        let mut row = format!("{load:>6.0}");
+        for kind in [
+            PolicyKind::SinglePath,
+            PolicyKind::UncontrolledAlternate { max_hops: 11 },
+            PolicyKind::ControlledAlternate { max_hops: 11 },
+        ] {
+            row.push_str(&format!(" {:>12.5}", scaled.run(kind, &params).blocking_mean()));
+        }
+        println!("{row}");
+    }
+    println!("\n(load = 10 is the nominal Fall-1992 matrix; the paper's Figs. 6-7.)");
+}

@@ -1,0 +1,37 @@
+//! The paper's §4.1 study: blocking on a fully connected quadrangle as
+//! load sweeps through the critical region.
+//!
+//! Shows the three regimes the paper describes: uncontrolled alternate
+//! routing wins at low load, collapses past the critical load
+//! (the avalanche of two-hop calls), while the controlled scheme tracks
+//! the better policy everywhere.
+//!
+//! Run with: `cargo run --release --example quadrangle`
+
+use altroute::core::policy::PolicyKind;
+use altroute::netgraph::{topologies, traffic::TrafficMatrix};
+use altroute::sim::experiment::{Experiment, SimParams};
+
+fn main() {
+    let params = SimParams { seeds: 5, ..SimParams::default() };
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "load", "single", "uncontrolled", "controlled", "erlang-bound"
+    );
+    for load in [70.0, 80.0, 85.0, 90.0, 95.0, 100.0] {
+        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, load))
+            .expect("valid instance");
+        let mut row = format!("{load:>6.0}");
+        for kind in [
+            PolicyKind::SinglePath,
+            PolicyKind::UncontrolledAlternate { max_hops: 3 },
+            PolicyKind::ControlledAlternate { max_hops: 3 },
+        ] {
+            row.push_str(&format!(" {:>12.5}", exp.run(kind, &params).blocking_mean()));
+        }
+        row.push_str(&format!(" {:>12.5}", exp.erlang_bound()));
+        println!("{row}");
+    }
+    println!("\nWatch the 'uncontrolled' column: best below ~85 Erlangs, then it");
+    println!("degrades past single-path routing, while 'controlled' never does.");
+}

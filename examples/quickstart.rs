@@ -1,0 +1,39 @@
+//! Quickstart: build a mesh, offer traffic, compare routing policies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use altroute::core::policy::PolicyKind;
+use altroute::netgraph::{topologies, traffic::TrafficMatrix};
+use altroute::sim::experiment::{Experiment, SimParams};
+
+fn main() {
+    // A 4-node full mesh, 100 circuits per directed link.
+    let topo = topologies::full_mesh(4, 100);
+    // 88 Erlangs offered between every ordered pair — the interesting
+    // regime where alternate routing needs control.
+    let traffic = TrafficMatrix::uniform(4, 88.0);
+    let experiment = Experiment::new(topo, traffic).expect("valid instance");
+
+    // The paper's simulation methodology: 10 seeds of 10 warm-up + 100
+    // measured time units, identical arrivals for every policy.
+    let params = SimParams::default();
+
+    println!("{:<14} {:>10} {:>10} {:>12}", "policy", "blocking", "stderr", "alt-fraction");
+    for kind in [
+        PolicyKind::SinglePath,
+        PolicyKind::UncontrolledAlternate { max_hops: 3 },
+        PolicyKind::ControlledAlternate { max_hops: 3 },
+    ] {
+        let result = experiment.run(kind, &params);
+        println!(
+            "{:<14} {:>10.5} {:>10.5} {:>12.4}",
+            kind.name(),
+            result.blocking_mean(),
+            result.blocking_std_error(),
+            result.alternate_fraction(),
+        );
+    }
+    println!("\nErlang cut-set lower bound: {:.5}", experiment.erlang_bound());
+    println!("\nThe controlled scheme should match the better of the other two;");
+    println!("by Theorem 1 it can never do worse than single-path routing.");
+}

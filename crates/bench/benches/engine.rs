@@ -58,7 +58,10 @@ fn bench_run_seed(c: &mut Criterion) {
     // NSFNet at nominal load.
     let nsf_traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
     let nsf_plan = RoutingPlan::min_hop(topologies::nsfnet(100), &nsf_traffic, 11);
-    for kind in [PolicyKind::SinglePath, PolicyKind::ControlledAlternate { max_hops: 11 }] {
+    for kind in [
+        PolicyKind::SinglePath,
+        PolicyKind::ControlledAlternate { max_hops: 11 },
+    ] {
         g.bench_function(format!("nsfnet_{}", kind.name()), |b| {
             b.iter(|| {
                 run_seed(&RunConfig {
@@ -76,5 +79,51 @@ fn bench_run_seed(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_run_seed);
+/// The scalability stress the per-link teardown index was built for: a
+/// long horizon (millions of offered calls) with a brief outage every
+/// 2.5 time units. With teardown scanning the whole call table, each
+/// outage costs O(total calls offered so far) and the run goes
+/// quadratic in horizon; with the per-link index each outage only walks
+/// that link's live calls. Same scenario as the `time_churn` binary in
+/// `altroute-sim`, which measured the push-only-table engine at 2.8x
+/// this runtime.
+fn bench_outage_churn(c: &mut Criterion) {
+    let traffic = TrafficMatrix::uniform(4, 90.0);
+    let plan = RoutingPlan::min_hop(topologies::quadrangle(), &traffic, 3);
+    let link01 = plan
+        .topology()
+        .link_between(0, 1)
+        .expect("quadrangle has 0-1");
+    let horizon = 3000.0;
+    let mut failures = FailureSchedule::none();
+    let mut down = 10.0;
+    while down + 1.0 < horizon {
+        failures = failures.with_outage(link01, down, down + 1.0);
+        down += 2.5;
+    }
+
+    let mut g = c.benchmark_group("outage_churn");
+    g.sample_size(10);
+    g.bench_function("quadrangle_controlled_3000u_1196_outages", |b| {
+        b.iter(|| {
+            run_seed(&RunConfig {
+                plan: &plan,
+                policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+                traffic: &traffic,
+                warmup: 5.0,
+                horizon,
+                seed: black_box(1),
+                failures: &failures,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_run_seed,
+    bench_outage_churn
+);
 criterion_main!(benches);

@@ -34,24 +34,23 @@ fn fig1_chain(c: &mut Criterion) {
 fn fig2_curves(c: &mut Criterion) {
     let loads: Vec<f64> = (1..=100).map(f64::from).collect();
     c.bench_function("fig2_protection_curves", |b| {
-        b.iter(|| {
-            [2u32, 6, 120].map(|h| protection_curve(black_box(&loads), 100, h))
-        })
+        b.iter(|| [2u32, 6, 120].map(|h| protection_curve(black_box(&loads), 100, h)))
     });
 }
 
 fn fig3_quadrangle(c: &mut Criterion) {
     let params = bench_params();
-    let exp =
-        Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
+    let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
     let mut g = c.benchmark_group("fig3_fig4_quadrangle");
     g.sample_size(10);
     g.bench_function("one_load_point_three_policies", |b| {
         b.iter(|| {
             (
                 exp.run(PolicyKind::SinglePath, &params).blocking_mean(),
-                exp.run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &params).blocking_mean(),
-                exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &params).blocking_mean(),
+                exp.run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &params)
+                    .blocking_mean(),
+                exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &params)
+                    .blocking_mean(),
             )
         })
     });
@@ -83,8 +82,7 @@ fn table1(c: &mut Criterion) {
 
 fn fig6_nsfnet(c: &mut Criterion) {
     let params = bench_params();
-    let exp =
-        Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
+    let exp = Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
     let mut g = c.benchmark_group("fig6_fig7_nsfnet");
     g.sample_size(10);
     g.bench_function("nominal_point_four_policies", |b| {
@@ -93,8 +91,10 @@ fn fig6_nsfnet(c: &mut Criterion) {
                 exp.run(PolicyKind::SinglePath, &params).blocking_mean(),
                 exp.run(PolicyKind::UncontrolledAlternate { max_hops: 11 }, &params)
                     .blocking_mean(),
-                exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params).blocking_mean(),
-                exp.run(PolicyKind::OttKrishnan { max_hops: 11 }, &params).blocking_mean(),
+                exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params)
+                    .blocking_mean(),
+                exp.run(PolicyKind::OttKrishnan { max_hops: 11 }, &params)
+                    .blocking_mean(),
             )
         })
     });
@@ -104,35 +104,38 @@ fn fig6_nsfnet(c: &mut Criterion) {
 
 fn h6_limited(c: &mut Criterion) {
     let params = bench_params();
-    let exp =
-        Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
+    let exp = Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
     let mut g = c.benchmark_group("h6_limited");
     g.sample_size(10);
     g.bench_function("controlled_h6_nominal", |b| {
-        b.iter(|| exp.run(PolicyKind::ControlledAlternate { max_hops: 6 }, &params).blocking_mean())
+        b.iter(|| {
+            exp.run(PolicyKind::ControlledAlternate { max_hops: 6 }, &params)
+                .blocking_mean()
+        })
     });
     g.finish();
 }
 
 fn failures(c: &mut Criterion) {
     let params = bench_params();
-    let base =
-        Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
+    let base = Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
     let l23 = base.topology().link_between(2, 3).unwrap();
     let l32 = base.topology().link_between(3, 2).unwrap();
     let exp = base.with_failures(FailureSchedule::static_down([l23, l32]));
     let mut g = c.benchmark_group("failures");
     g.sample_size(10);
     g.bench_function("links_2_3_down_controlled", |b| {
-        b.iter(|| exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params).blocking_mean())
+        b.iter(|| {
+            exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params)
+                .blocking_mean()
+        })
     });
     g.finish();
 }
 
 fn od_skewness(c: &mut Criterion) {
     let params = bench_params();
-    let exp =
-        Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
+    let exp = Experiment::new(topologies::nsfnet(100), nsfnet_nominal_traffic().traffic).unwrap();
     let mut g = c.benchmark_group("od_skewness");
     g.sample_size(10);
     g.bench_function("per_pair_blocking_h6", |b| {
@@ -154,7 +157,11 @@ fn minloss_primaries(c: &mut Criterion) {
             min_loss_splits(
                 &topo,
                 &traffic,
-                MinLossOptions { max_hops: 11, iterations: 100, prune_below: 1e-3 },
+                MinLossOptions {
+                    max_hops: 11,
+                    iterations: 100,
+                    prune_below: 1e-3,
+                },
             )
         })
     });
@@ -164,7 +171,12 @@ fn minloss_primaries(c: &mut Criterion) {
 fn channel_borrowing(c: &mut Criterion) {
     let grid = CellGrid::new(5, 5, 50);
     let loads = vec![42.0; grid.num_cells()];
-    let params = CellularParams { warmup: 5.0, horizon: 20.0, seeds: 2, base_seed: 1 };
+    let params = CellularParams {
+        warmup: 5.0,
+        horizon: 20.0,
+        seeds: 2,
+        base_seed: 1,
+    };
     let mut g = c.benchmark_group("channel_borrowing");
     g.sample_size(10);
     for policy in [BorrowPolicy::NoBorrowing, BorrowPolicy::Controlled] {

@@ -10,7 +10,9 @@ fn bench_paths(c: &mut Criterion) {
     let k8 = topologies::full_mesh(8, 10);
 
     let mut g = c.benchmark_group("paths");
-    g.bench_function("min_hop_primaries_nsfnet", |b| b.iter(|| min_hop_primaries(&nsfnet)));
+    g.bench_function("min_hop_primaries_nsfnet", |b| {
+        b.iter(|| min_hop_primaries(&nsfnet))
+    });
     g.bench_function("loop_free_paths_nsfnet_h11", |b| {
         b.iter(|| loop_free_paths(&nsfnet, black_box(0), black_box(6), 11))
     });
@@ -32,9 +34,7 @@ fn bench_paths(c: &mut Criterion) {
 fn bench_plan_build(c: &mut Criterion) {
     let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
     c.bench_function("routing_plan_build_nsfnet_h11", |b| {
-        b.iter(|| {
-            altroute_core::plan::RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 11)
-        })
+        b.iter(|| altroute_core::plan::RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 11))
     });
 }
 

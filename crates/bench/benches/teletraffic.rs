@@ -3,15 +3,21 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use altroute_teletraffic::birth_death::BirthDeathChain;
-use altroute_teletraffic::erlang::{erlang_b, erlang_b_with_derivative, inverse_erlang_b_log_table};
+use altroute_teletraffic::erlang::{
+    erlang_b, erlang_b_with_derivative, inverse_erlang_b_log_table,
+};
 use altroute_teletraffic::fixed_point::{erlang_fixed_point, Route};
 use altroute_teletraffic::reservation::protection_level;
 use altroute_teletraffic::shadow::ShadowPriceTable;
 
 fn bench_erlang(c: &mut Criterion) {
     let mut g = c.benchmark_group("erlang");
-    g.bench_function("erlang_b_c100", |b| b.iter(|| erlang_b(black_box(90.0), black_box(100))));
-    g.bench_function("erlang_b_c1000", |b| b.iter(|| erlang_b(black_box(950.0), black_box(1000))));
+    g.bench_function("erlang_b_c100", |b| {
+        b.iter(|| erlang_b(black_box(90.0), black_box(100)))
+    });
+    g.bench_function("erlang_b_c1000", |b| {
+        b.iter(|| erlang_b(black_box(950.0), black_box(1000)))
+    });
     g.bench_function("erlang_b_with_derivative_c100", |b| {
         b.iter(|| erlang_b_with_derivative(black_box(90.0), black_box(100)))
     });
@@ -51,9 +57,7 @@ fn bench_shadow_and_chain(c: &mut Criterion) {
     });
     let overflow = vec![20.0; 100];
     g.bench_function("protected_chain_stationary", |b| {
-        b.iter(|| {
-            BirthDeathChain::protected_link(black_box(74.0), &overflow, 100, 7).stationary()
-        })
+        b.iter(|| BirthDeathChain::protected_link(black_box(74.0), &overflow, 100, 7).stationary())
     });
     g.bench_function("first_passage_counts", |b| {
         let chain = BirthDeathChain::protected_link(74.0, &overflow, 100, 7);
@@ -81,9 +85,18 @@ fn bench_multirate_kernels(c: &mut Criterion) {
     use altroute_teletraffic::kaufman_roberts::{kaufman_roberts_blocking, TrafficClass};
     use altroute_teletraffic::overflow::overflow_moments;
     let classes = [
-        TrafficClass { intensity: 60.0, bandwidth: 1 },
-        TrafficClass { intensity: 8.0, bandwidth: 4 },
-        TrafficClass { intensity: 2.0, bandwidth: 10 },
+        TrafficClass {
+            intensity: 60.0,
+            bandwidth: 1,
+        },
+        TrafficClass {
+            intensity: 8.0,
+            bandwidth: 4,
+        },
+        TrafficClass {
+            intensity: 2.0,
+            bandwidth: 10,
+        },
     ];
     c.bench_function("kaufman_roberts_c100_3classes", |b| {
         b.iter(|| kaufman_roberts_blocking(black_box(100), &classes))

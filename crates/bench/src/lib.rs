@@ -23,7 +23,12 @@ use altroute_sim::experiment::SimParams;
 /// 5 + 20 time units — enough events to be representative, short enough
 /// for Criterion's sampling.
 pub fn bench_params() -> SimParams {
-    SimParams { warmup: 5.0, horizon: 20.0, seeds: 2, base_seed: 0xBE7C }
+    SimParams {
+        warmup: 5.0,
+        horizon: 20.0,
+        seeds: 2,
+        base_seed: 0xBE7C,
+    }
 }
 
 #[cfg(test)]

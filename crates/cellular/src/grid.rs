@@ -73,7 +73,13 @@ impl CellGrid {
                 cocells.push([same[0].1, same[1].1]);
             }
         }
-        Self { rows, cols, capacity, neighbors, cocells }
+        Self {
+            rows,
+            cols,
+            capacity,
+            neighbors,
+            cocells,
+        }
     }
 
     /// Number of cells.

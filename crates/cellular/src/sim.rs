@@ -29,7 +29,12 @@ pub struct CellularParams {
 
 impl Default for CellularParams {
     fn default() -> Self {
-        Self { warmup: 10.0, horizon: 100.0, seeds: 10, base_seed: 0xCE11 }
+        Self {
+            warmup: 10.0,
+            horizon: 100.0,
+            seeds: 10,
+            base_seed: 0xCE11,
+        }
     }
 }
 
@@ -85,12 +90,22 @@ pub fn run_cellular(
     params: &CellularParams,
 ) -> CellularResult {
     assert_eq!(loads.len(), grid.num_cells(), "one load per cell");
-    assert!(loads.iter().all(|&l| l.is_finite() && l >= 0.0), "loads must be >= 0");
+    assert!(
+        loads.iter().all(|&l| l.is_finite() && l >= 0.0),
+        "loads must be >= 0"
+    );
     assert!(params.seeds > 0 && params.horizon > 0.0 && params.warmup >= 0.0);
     let protection = cell_protection_levels(loads, grid.capacity());
     let mut per_seed = Vec::with_capacity(params.seeds as usize);
     for i in 0..params.seeds {
-        per_seed.push(run_one(grid, loads, policy, &protection, params, params.base_seed + u64::from(i)));
+        per_seed.push(run_one(
+            grid,
+            loads,
+            policy,
+            &protection,
+            params,
+            params.base_seed + u64::from(i),
+        ));
     }
     let blocking = Replications::summarize(
         &per_seed
@@ -98,7 +113,11 @@ pub fn run_cellular(
             .map(|&(o, b, _)| if o == 0 { 0.0 } else { b as f64 / o as f64 })
             .collect::<Vec<_>>(),
     );
-    CellularResult { policy, blocking, per_seed }
+    CellularResult {
+        policy,
+        blocking,
+        per_seed,
+    }
 }
 
 fn run_one(
@@ -206,17 +225,32 @@ mod tests {
     use super::*;
 
     fn quick() -> CellularParams {
-        CellularParams { warmup: 5.0, horizon: 60.0, seeds: 5, base_seed: 77 }
+        CellularParams {
+            warmup: 5.0,
+            horizon: 60.0,
+            seeds: 5,
+            base_seed: 77,
+        }
     }
 
     #[test]
     fn identical_arrivals_across_policies() {
         let grid = CellGrid::new(4, 4, 20);
         let loads = vec![15.0; 16];
-        let offered: Vec<u64> = [BorrowPolicy::NoBorrowing, BorrowPolicy::Uncontrolled, BorrowPolicy::Controlled]
-            .iter()
-            .map(|&p| run_cellular(&grid, &loads, p, &quick()).per_seed.iter().map(|s| s.0).sum())
-            .collect();
+        let offered: Vec<u64> = [
+            BorrowPolicy::NoBorrowing,
+            BorrowPolicy::Uncontrolled,
+            BorrowPolicy::Controlled,
+        ]
+        .iter()
+        .map(|&p| {
+            run_cellular(&grid, &loads, p, &quick())
+                .per_seed
+                .iter()
+                .map(|s| s.0)
+                .sum()
+        })
+        .collect();
         assert_eq!(offered[0], offered[1]);
         assert_eq!(offered[1], offered[2]);
     }
@@ -237,7 +271,12 @@ mod tests {
         let grid = CellGrid::new(4, 4, 30);
         let mut loads = vec![8.0; 16];
         loads[5] = 45.0; // interior hotspot
-        let params = CellularParams { warmup: 10.0, horizon: 150.0, seeds: 6, base_seed: 3 };
+        let params = CellularParams {
+            warmup: 10.0,
+            horizon: 150.0,
+            seeds: 6,
+            base_seed: 3,
+        };
         let none = run_cellular(&grid, &loads, BorrowPolicy::NoBorrowing, &params);
         let controlled = run_cellular(&grid, &loads, BorrowPolicy::Controlled, &params);
         assert!(
@@ -257,7 +296,12 @@ mod tests {
         // controlled one.
         let grid = CellGrid::new(4, 4, 25);
         let loads = vec![28.0; 16];
-        let params = CellularParams { warmup: 10.0, horizon: 150.0, seeds: 6, base_seed: 9 };
+        let params = CellularParams {
+            warmup: 10.0,
+            horizon: 150.0,
+            seeds: 6,
+            base_seed: 9,
+        };
         let uncontrolled = run_cellular(&grid, &loads, BorrowPolicy::Uncontrolled, &params);
         let controlled = run_cellular(&grid, &loads, BorrowPolicy::Controlled, &params);
         let none = run_cellular(&grid, &loads, BorrowPolicy::NoBorrowing, &params);

@@ -63,8 +63,16 @@ impl RoutingPlan {
         max_alternate_hops: u32,
     ) -> Self {
         assert!(max_alternate_hops > 0, "H must be positive");
-        assert_eq!(traffic.num_nodes(), topo.num_nodes(), "traffic matrix size mismatch");
-        assert_eq!(primaries.num_nodes(), topo.num_nodes(), "primary assignment size mismatch");
+        assert_eq!(
+            traffic.num_nodes(),
+            topo.num_nodes(),
+            "traffic matrix size mismatch"
+        );
+        assert_eq!(
+            primaries.num_nodes(),
+            topo.num_nodes(),
+            "primary assignment size mismatch"
+        );
         let n = topo.num_nodes();
         let mut candidates = Vec::with_capacity(n * n);
         for i in 0..n {
@@ -87,7 +95,15 @@ impl RoutingPlan {
             .zip(topo.links())
             .map(|(&a, l)| ShadowPriceTable::new(a, l.capacity))
             .collect();
-        Self { topo, primaries, candidates, loads, protection, shadows, max_alternate_hops }
+        Self {
+            topo,
+            primaries,
+            candidates,
+            loads,
+            protection,
+            shadows,
+            max_alternate_hops,
+        }
     }
 
     /// Converts this plan to the **per-link hop bound** variant of the
@@ -195,7 +211,12 @@ mod tests {
         assert_eq!(plan.max_alternate_hops(), 11);
         // Protection levels satisfy Eq. 15's minimality (cross-checked in
         // teletraffic); here check the plan wired loads to levels.
-        for (l, (&load, &r)) in plan.link_loads().iter().zip(plan.protection_levels()).enumerate() {
+        for (l, (&load, &r)) in plan
+            .link_loads()
+            .iter()
+            .zip(plan.protection_levels())
+            .enumerate()
+        {
             let expect = protection_level(load, plan.topology().link(l).capacity, 11);
             assert_eq!(r, expect, "link {l}");
             assert_eq!(plan.protection(l), r);
@@ -245,12 +266,18 @@ mod tests {
         let network_wide = RoutingPlan::min_hop(topo, &traffic, 11);
         let baseline = network_wide.protection_levels().to_vec();
         let per_link = network_wide.with_per_link_hop_bounds();
-        for (l, (&before, &after)) in
-            baseline.iter().zip(per_link.protection_levels()).enumerate()
+        for (l, (&before, &after)) in baseline
+            .iter()
+            .zip(per_link.protection_levels())
+            .enumerate()
         {
             assert!(after <= before, "link {l}: {after} > {before}");
         }
-        assert_eq!(baseline, per_link.protection_levels(), "all NSFNet links see 11-hop alternates");
+        assert_eq!(
+            baseline,
+            per_link.protection_levels(),
+            "all NSFNet links see 11-hop alternates"
+        );
     }
 
     #[test]
@@ -276,7 +303,10 @@ mod tests {
                 strictly_lower += 1;
             }
         }
-        assert!(strictly_lower > 0, "r(90, 100, 3) < r(90, 100, 5) at this load");
+        assert!(
+            strictly_lower > 0,
+            "r(90, 100, 3) < r(90, 100, 5) at this load"
+        );
 
         // Pure line: no alternates anywhere => r = 0 on every link.
         let line = topologies::line(4, 30);

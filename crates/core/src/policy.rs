@@ -26,7 +26,6 @@
 use crate::plan::RoutingPlan;
 use altroute_netgraph::graph::LinkId;
 use altroute_netgraph::paths::Path;
-use serde::{Deserialize, Serialize};
 
 /// Read access to live link state.
 pub trait OccupancyView {
@@ -39,7 +38,7 @@ pub trait OccupancyView {
 }
 
 /// The routing policy to apply on top of a [`RoutingPlan`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyKind {
     /// Primary path only.
     SinglePath,
@@ -173,9 +172,13 @@ impl<'p> Router<'p> {
                 // No protection: every link behaves as if r = 0.
                 self.decide_tiered_with(src, dst, view, primary_u, Some(&[]))
             }
-            PolicyKind::ControlledAlternate { .. } => {
-                self.decide_tiered_with(src, dst, view, primary_u, Some(self.plan.protection_levels()))
-            }
+            PolicyKind::ControlledAlternate { .. } => self.decide_tiered_with(
+                src,
+                dst,
+                view,
+                primary_u,
+                Some(self.plan.protection_levels()),
+            ),
             PolicyKind::OttKrishnan { .. } => unreachable!("handled separately"),
         }
     }
@@ -201,7 +204,10 @@ impl<'p> Router<'p> {
             return Decision::Blocked;
         };
         if self.path_admits_with(primary, view, None) {
-            return Decision::Route { path: primary, class: CallClass::Primary };
+            return Decision::Route {
+                path: primary,
+                class: CallClass::Primary,
+            };
         }
         let Some(levels) = protection else {
             return Decision::Blocked;
@@ -211,13 +217,21 @@ impl<'p> Router<'p> {
                 continue;
             }
             if self.path_admits_with(path, view, Some(levels)) {
-                return Decision::Route { path, class: CallClass::Alternate };
+                return Decision::Route {
+                    path,
+                    class: CallClass::Alternate,
+                };
             }
         }
         Decision::Blocked
     }
 
-    fn decide_ott_krishnan(&self, src: usize, dst: usize, view: &impl OccupancyView) -> Decision<'p> {
+    fn decide_ott_krishnan(
+        &self,
+        src: usize,
+        dst: usize,
+        view: &impl OccupancyView,
+    ) -> Decision<'p> {
         const REVENUE: f64 = 1.0;
         let mut best: Option<(&'p Path, f64)> = None;
         for path in self.plan.candidates(src, dst) {
@@ -234,7 +248,7 @@ impl<'p> Router<'p> {
             }
             // Candidates are in increasing-length order; strict `<` keeps
             // the shortest of equal-cost paths.
-            if best.map_or(true, |(_, c)| cost < c) {
+            if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((path, cost));
             }
         }
@@ -251,7 +265,11 @@ impl<'p> Router<'p> {
                     .any(|(p, _)| p == path);
                 Decision::Route {
                     path,
-                    class: if is_primary { CallClass::Primary } else { CallClass::Alternate },
+                    class: if is_primary {
+                        CallClass::Primary
+                    } else {
+                        CallClass::Alternate
+                    },
                 }
             }
             _ => Decision::Blocked,
@@ -302,7 +320,10 @@ mod tests {
 
     impl View {
         fn new(n_links: usize) -> Self {
-            Self { occ: vec![0; n_links], down: vec![false; n_links] }
+            Self {
+                occ: vec![0; n_links],
+                down: vec![false; n_links],
+            }
         }
     }
 
@@ -352,7 +373,10 @@ mod tests {
         let router = Router::new(&plan, PolicyKind::SinglePath);
         assert_eq!(router.decide(0, 1, &view, 0.0), Decision::Blocked);
         // Other pairs unaffected.
-        assert!(matches!(router.decide(0, 2, &view, 0.0), Decision::Route { .. }));
+        assert!(matches!(
+            router.decide(0, 2, &view, 0.0),
+            Decision::Route { .. }
+        ));
     }
 
     #[test]
@@ -392,7 +416,10 @@ mod tests {
         assert_eq!(controlled.decide(0, 1, &view, 0.0), Decision::Blocked);
         // The uncontrolled policy would still route it.
         let uncontrolled = Router::new(&plan, PolicyKind::UncontrolledAlternate { max_hops: 3 });
-        assert!(matches!(uncontrolled.decide(0, 1, &view, 0.0), Decision::Route { .. }));
+        assert!(matches!(
+            uncontrolled.decide(0, 1, &view, 0.0),
+            Decision::Route { .. }
+        ));
         // One below the threshold, controlled admits again.
         for l in 0..plan.topology().num_links() {
             if l != direct {
@@ -503,7 +530,11 @@ mod tests {
             PolicyKind::OttKrishnan { max_hops: 3 },
         ] {
             let router = Router::new(&plan, kind);
-            assert_eq!(router.decide(2, 3, &view, 0.0), Decision::Blocked, "{kind:?}");
+            assert_eq!(
+                router.decide(2, 3, &view, 0.0),
+                Decision::Blocked,
+                "{kind:?}"
+            );
         }
     }
 

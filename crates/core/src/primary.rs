@@ -96,7 +96,7 @@ impl PrimaryAssignment {
     /// `[0, 1)` — the state-independent probabilistic choice of §4.2.2.
     ///
     /// Returns `None` for pairs without paths.
-    pub fn choose<'a>(&'a self, src: usize, dst: usize, u: f64) -> Option<&'a Path> {
+    pub fn choose(&self, src: usize, dst: usize, u: f64) -> Option<&Path> {
         let split = self.split(src, dst);
         if split.is_empty() {
             return None;
@@ -117,7 +117,10 @@ impl PrimaryAssignment {
         let mut loads = vec![0.0; topo.num_links()];
         for (i, j, t) in traffic.demands() {
             let split = self.split(i, j);
-            assert!(!split.is_empty(), "pair ({i}, {j}) has demand but no primary path");
+            assert!(
+                !split.is_empty(),
+                "pair ({i}, {j}) has demand but no primary path"
+            );
             for (p, f) in split {
                 for &l in p.links() {
                     loads[l] += t * f;
@@ -141,7 +144,11 @@ pub struct MinLossOptions {
 
 impl Default for MinLossOptions {
     fn default() -> Self {
-        Self { max_hops: 11, iterations: 300, prune_below: 1e-3 }
+        Self {
+            max_hops: 11,
+            iterations: 300,
+            prune_below: 1e-3,
+        }
     }
 }
 
@@ -176,7 +183,12 @@ pub fn min_loss_splits(
         );
         let mut frac = vec![0.0; paths.len()];
         frac[0] = 1.0; // start on the shortest path
-        pairs.push(Pair { idx: i * n + j, demand: t, paths, frac });
+        pairs.push(Pair {
+            idx: i * n + j,
+            demand: t,
+            paths,
+            frac,
+        });
     }
     let caps: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
     let mut loads = vec![0.0; topo.num_links()];
@@ -231,7 +243,10 @@ pub fn min_loss_splits(
             .filter(|(_, f)| *f >= opts.prune_below)
             .collect();
         let total: f64 = kept.iter().map(|(_, f)| f).sum();
-        splits[p.idx] = kept.into_iter().map(|(path, f)| (path, f / total)).collect();
+        splits[p.idx] = kept
+            .into_iter()
+            .map(|(path, f)| (path, f / total))
+            .collect();
     }
     // Pairs without demand still need a primary for completeness: fall
     // back to min-hop so the assignment covers every reachable pair.
@@ -285,8 +300,7 @@ mod tests {
         splits[1] = vec![(direct.clone(), 0.3), (via2.clone(), 0.7)];
         // Other pairs need their own trivial splits for validity.
         for (i, j) in [(0, 2), (1, 0), (1, 2), (2, 0), (2, 1)] {
-            splits[i * 3 + j] =
-                vec![(Path::from_nodes(&topo, &[i, j]).unwrap(), 1.0)];
+            splits[i * 3 + j] = vec![(Path::from_nodes(&topo, &[i, j]).unwrap(), 1.0)];
         }
         let a = PrimaryAssignment::from_splits(&topo, splits);
         assert!(a.is_bifurcated());
@@ -319,7 +333,14 @@ mod tests {
         topo.add_duplex(2, 1, 100);
         let mut m = TrafficMatrix::zero(3);
         m.set(0, 1, 40.0);
-        let a = min_loss_splits(&topo, &m, MinLossOptions { max_hops: 2, ..Default::default() });
+        let a = min_loss_splits(
+            &topo,
+            &m,
+            MinLossOptions {
+                max_hops: 2,
+                ..Default::default()
+            },
+        );
         let s = a.split(0, 1);
         assert!(s.len() == 2, "expected bifurcation, got {s:?}");
         // The detour should carry a substantial share.
@@ -328,7 +349,10 @@ mod tests {
             .filter(|(p, _)| p.hops() == 2)
             .map(|(_, f)| *f)
             .sum();
-        assert!(detour_frac > 0.3 && detour_frac < 1.0, "detour fraction {detour_frac}");
+        assert!(
+            detour_frac > 0.3 && detour_frac < 1.0,
+            "detour fraction {detour_frac}"
+        );
         // The objective must beat pure min-hop.
         let min_hop = PrimaryAssignment::min_hop(&topo);
         let loss_opt = expected_primary_loss(&topo, &a.link_loads(&topo, &m));
@@ -348,7 +372,11 @@ mod tests {
         let a = min_loss_splits(
             &topo,
             &m,
-            MinLossOptions { max_hops: 11, iterations: 100, prune_below: 1e-3 },
+            MinLossOptions {
+                max_hops: 11,
+                iterations: 100,
+                prune_below: 1e-3,
+            },
         );
         let min_hop = PrimaryAssignment::min_hop(&topo);
         let loss_opt = expected_primary_loss(&topo, &a.link_loads(&topo, &m));
@@ -365,7 +393,11 @@ mod tests {
         let a = min_loss_splits(
             &topo,
             &m,
-            MinLossOptions { max_hops: 11, iterations: 200, prune_below: 1e-3 },
+            MinLossOptions {
+                max_hops: 11,
+                iterations: 200,
+                prune_below: 1e-3,
+            },
         );
         let min_hop = PrimaryAssignment::min_hop(&topo);
         let loss_opt = expected_primary_loss(&topo, &a.link_loads(&topo, &m));
@@ -384,7 +416,11 @@ mod tests {
         let a = min_loss_splits(
             &topo,
             &m,
-            MinLossOptions { max_hops: 11, iterations: 60, prune_below: 1e-2 },
+            MinLossOptions {
+                max_hops: 11,
+                iterations: 60,
+                prune_below: 1e-2,
+            },
         );
         for (i, j) in topo.ordered_pairs() {
             let total: f64 = a.split(i, j).iter().map(|(_, f)| f).sum();

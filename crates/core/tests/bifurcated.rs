@@ -26,7 +26,14 @@ fn bifurcating_instance() -> (RoutingPlan, TrafficMatrix) {
     topo.add_duplex(2, 1, 100);
     let mut m = TrafficMatrix::zero(3);
     m.set(0, 1, 40.0);
-    let splits = min_loss_splits(&topo, &m, MinLossOptions { max_hops: 2, ..Default::default() });
+    let splits = min_loss_splits(
+        &topo,
+        &m,
+        MinLossOptions {
+            max_hops: 2,
+            ..Default::default()
+        },
+    );
     assert!(splits.is_bifurcated(), "instance must bifurcate");
     let plan = RoutingPlan::with_primaries(topo, &m, splits, 2);
     (plan, m)
@@ -36,7 +43,9 @@ fn bifurcating_instance() -> (RoutingPlan, TrafficMatrix) {
 fn primary_pick_follows_the_split_probability() {
     let (plan, _) = bifurcating_instance();
     let router = Router::new(&plan, PolicyKind::ControlledAlternate { max_hops: 2 });
-    let view = View { occ: vec![0; plan.topology().num_links()] };
+    let view = View {
+        occ: vec![0; plan.topology().num_links()],
+    };
     // Sample the primary pick across the unit interval; both paths must
     // appear as Primary-class routes on an idle network.
     let mut direct = 0;
@@ -97,7 +106,10 @@ fn protection_levels_use_bifurcated_loads() {
     // Erlangs, not the whole demand.
     let direct_link = plan.topology().link_between(0, 1).unwrap();
     let load = plan.link_loads()[direct_link];
-    assert!(load < 40.0, "split must offload the direct link, got {load}");
+    assert!(
+        load < 40.0,
+        "split must offload the direct link, got {load}"
+    );
     assert!(load > 0.0);
     // And the detour links carry the complement.
     let via = plan.topology().link_between(0, 2).unwrap();

@@ -17,7 +17,12 @@ use altroute_sim::failures::FailureSchedule;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
@@ -33,8 +38,9 @@ fn main() {
         let exp = nsfnet_experiment(load);
         let plan = exp.plan_for(PolicyKind::ControlledAlternate { max_hops: 11 });
         let single = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
-        let oracle =
-            exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params).blocking_mean();
+        let oracle = exp
+            .run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params)
+            .blocking_mean();
         let run_adaptive = |initial: InitialLevels| {
             let (mut blocked, mut offered) = (0u64, 0u64);
             for i in 0..params.seeds {
@@ -45,7 +51,10 @@ fn main() {
                     params.horizon,
                     params.base_seed + u64::from(i),
                     &failures,
-                    &AdaptiveConfig { initial, ..Default::default() },
+                    &AdaptiveConfig {
+                        initial,
+                        ..Default::default()
+                    },
                 );
                 blocked += r.blocked;
                 offered += r.offered;

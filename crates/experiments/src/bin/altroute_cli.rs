@@ -5,9 +5,15 @@
 //! altroute_cli erlang <load> <capacity>             Erlang-B blocking / carried / lost
 //! altroute_cli dimension <load> <target-blocking>   smallest sufficient capacity
 //! altroute_cli protect <load> <capacity> <H>        Eq. 15 protection level + bound
-//! altroute_cli simulate <config.json>               full experiment from a JSON config
+//! altroute_cli simulate <config.json> [--metrics-json]
+//!                                                   full experiment from a JSON config
 //! altroute_cli example-config                       print a commented example config
 //! ```
+//!
+//! With `--metrics-json` the simulate command prints a machine-readable
+//! JSON document instead of the table: per-policy blocking summary plus
+//! the aggregated engine metrics (event counts, queue and call-table
+//! peaks, per-link utilization, wall clock).
 //!
 //! The JSON config selects a topology (built-in or explicit link list), a
 //! traffic matrix (uniform, explicit, or the reconstructed NSFNet
@@ -15,8 +21,9 @@
 //! parameters. See `example-config`.
 
 use altroute_core::policy::PolicyKind;
-use altroute_experiments::output::fmt_prob;
+use altroute_experiments::output::{fmt_prob, metrics_document};
 use altroute_experiments::Table;
+use altroute_json::Value;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::graph::Topology;
 use altroute_netgraph::topologies;
@@ -25,22 +32,28 @@ use altroute_sim::experiment::{Experiment, SimParams};
 use altroute_sim::failures::FailureSchedule;
 use altroute_teletraffic::erlang::{carried_traffic, dimension_link, erlang_b};
 use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
-use serde::Deserialize;
 use std::process::ExitCode;
 
-#[derive(Debug, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug)]
 enum TopologySpec {
     /// A named built-in: "nsfnet" | "quadrangle".
     Builtin(String),
-    FullMesh { nodes: usize, capacity: u32 },
-    Ring { nodes: usize, capacity: u32 },
+    FullMesh {
+        nodes: usize,
+        capacity: u32,
+    },
+    Ring {
+        nodes: usize,
+        capacity: u32,
+    },
     /// Explicit duplex link list.
-    Links { nodes: usize, duplex: Vec<(usize, usize, u32)> },
+    Links {
+        nodes: usize,
+        duplex: Vec<(usize, usize, u32)>,
+    },
 }
 
-#[derive(Debug, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug)]
 enum TrafficSpec {
     /// Erlangs per ordered pair.
     Uniform(f64),
@@ -50,33 +63,214 @@ enum TrafficSpec {
     Matrix(Vec<Vec<f64>>),
 }
 
-#[derive(Debug, Deserialize)]
+#[derive(Debug)]
 struct Config {
     topology: TopologySpec,
     traffic: TrafficSpec,
     /// Policies: "single-path" | "uncontrolled" | "controlled" | "ott-krishnan".
     policies: Vec<String>,
     max_hops: u32,
-    #[serde(default)]
     failed_duplex: Vec<(usize, usize)>,
-    #[serde(default = "default_warmup")]
     warmup: f64,
-    #[serde(default = "default_horizon")]
     horizon: f64,
-    #[serde(default = "default_seeds")]
     seeds: u32,
-    #[serde(default)]
     base_seed: u64,
 }
 
-fn default_warmup() -> f64 {
-    10.0
+// Hand-rolled config decoding over `altroute_json` (no serde offline).
+// The schema is the externally-tagged layout the serde version accepted,
+// so existing config files keep working unchanged.
+
+fn field_f64(v: &Value, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| format!("\"{key}\" must be a number")),
+    }
 }
-fn default_horizon() -> f64 {
-    100.0
+
+fn field_u64(v: &Value, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
 }
-fn default_seeds() -> u32 {
-    10
+
+/// The single `"tag": value` member of an externally-tagged enum object.
+fn tagged<'v>(v: &'v Value, what: &str, tags: &[&str]) -> Result<(&'v str, &'v Value), String> {
+    match v.as_object() {
+        Some([(tag, inner)]) if tags.contains(&tag.as_str()) => Ok((tag, inner)),
+        _ => Err(format!(
+            "{what} must be an object with exactly one of: {}",
+            tags.join(", ")
+        )),
+    }
+}
+
+fn usize_pair_list(v: &Value, what: &str) -> Result<Vec<(usize, usize)>, String> {
+    v.as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?
+        .iter()
+        .map(|item| match item.as_array() {
+            Some([a, b]) => match (a.as_u64(), b.as_u64()) {
+                (Some(a), Some(b)) => Ok((a as usize, b as usize)),
+                _ => Err(format!("{what} entries must be integer pairs")),
+            },
+            _ => Err(format!("{what} entries must be [a, b] pairs, got {item}")),
+        })
+        .collect()
+}
+
+impl TopologySpec {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let (tag, inner) = tagged(
+            v,
+            "\"topology\"",
+            &["builtin", "full_mesh", "ring", "links"],
+        )?;
+        let nodes_and_capacity = |inner: &Value| -> Result<(usize, u32), String> {
+            let nodes = inner
+                .get("nodes")
+                .and_then(Value::as_u64)
+                .ok_or("topology needs integer \"nodes\"")?;
+            let capacity = inner
+                .get("capacity")
+                .and_then(Value::as_u64)
+                .ok_or("topology needs integer \"capacity\"")?;
+            Ok((nodes as usize, capacity as u32))
+        };
+        match tag {
+            "builtin" => Ok(TopologySpec::Builtin(
+                inner
+                    .as_str()
+                    .ok_or("\"builtin\" must name a topology")?
+                    .to_string(),
+            )),
+            "full_mesh" => {
+                let (nodes, capacity) = nodes_and_capacity(inner)?;
+                Ok(TopologySpec::FullMesh { nodes, capacity })
+            }
+            "ring" => {
+                let (nodes, capacity) = nodes_and_capacity(inner)?;
+                Ok(TopologySpec::Ring { nodes, capacity })
+            }
+            "links" => {
+                let nodes = inner
+                    .get("nodes")
+                    .and_then(Value::as_u64)
+                    .ok_or("\"links\" topology needs integer \"nodes\"")?
+                    as usize;
+                let duplex = inner
+                    .get("duplex")
+                    .and_then(Value::as_array)
+                    .ok_or("\"links\" topology needs a \"duplex\" array")?
+                    .iter()
+                    .map(|t| match t.as_array() {
+                        Some([a, b, c]) => match (a.as_u64(), b.as_u64(), c.as_u64()) {
+                            (Some(a), Some(b), Some(c)) => Ok((a as usize, b as usize, c as u32)),
+                            _ => Err("duplex entries must be integer triples".to_string()),
+                        },
+                        _ => Err(format!("duplex entries must be [a, b, capacity], got {t}")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(TopologySpec::Links { nodes, duplex })
+            }
+            _ => unreachable!("tagged() filtered"),
+        }
+    }
+}
+
+impl TrafficSpec {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let (tag, inner) = tagged(v, "\"traffic\"", &["uniform", "nsfnet_nominal", "matrix"])?;
+        match tag {
+            "uniform" => {
+                Ok(TrafficSpec::Uniform(inner.as_f64().ok_or(
+                    "\"uniform\" traffic must be a number of Erlangs",
+                )?))
+            }
+            "nsfnet_nominal" => Ok(TrafficSpec::NsfnetNominal {
+                scale: field_f64(inner, "scale", f64::NAN)?,
+            }),
+            "matrix" => inner
+                .as_array()
+                .ok_or("\"matrix\" traffic must be an array of rows")?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or("matrix rows must be arrays".to_string())?
+                        .iter()
+                        .map(|x| {
+                            x.as_f64()
+                                .ok_or("matrix entries must be numbers".to_string())
+                        })
+                        .collect()
+                })
+                .collect::<Result<_, _>>()
+                .map(TrafficSpec::Matrix),
+            _ => unreachable!("tagged() filtered"),
+        }
+    }
+}
+
+impl Config {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        if v.as_object().is_none() {
+            return Err("config must be a JSON object".into());
+        }
+        let known = [
+            "topology",
+            "traffic",
+            "policies",
+            "max_hops",
+            "failed_duplex",
+            "warmup",
+            "horizon",
+            "seeds",
+            "base_seed",
+        ];
+        if let Some(unknown) = v.keys().iter().find(|k| !known.contains(k)) {
+            return Err(format!("unknown config key \"{unknown}\""));
+        }
+        let traffic = TrafficSpec::from_json(v.get("traffic").ok_or("config needs \"traffic\"")?)?;
+        if let TrafficSpec::NsfnetNominal { scale } = traffic {
+            if !scale.is_finite() {
+                return Err("\"nsfnet_nominal\" traffic needs a numeric \"scale\"".into());
+            }
+        }
+        Ok(Config {
+            topology: TopologySpec::from_json(
+                v.get("topology").ok_or("config needs \"topology\"")?,
+            )?,
+            traffic,
+            policies: v
+                .get("policies")
+                .and_then(Value::as_array)
+                .ok_or("config needs a \"policies\" array")?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(String::from)
+                        .ok_or("policies must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            max_hops: v
+                .get("max_hops")
+                .and_then(Value::as_u64)
+                .ok_or("config needs integer \"max_hops\"")? as u32,
+            failed_duplex: match v.get("failed_duplex") {
+                None => Vec::new(),
+                Some(list) => usize_pair_list(list, "\"failed_duplex\"")?,
+            },
+            warmup: field_f64(v, "warmup", 10.0)?,
+            horizon: field_f64(v, "horizon", 100.0)?,
+            seeds: field_u64(v, "seeds", 10)? as u32,
+            base_seed: field_u64(v, "base_seed", 0)?,
+        })
+    }
 }
 
 const EXAMPLE_CONFIG: &str = r#"{
@@ -96,7 +290,9 @@ fn build_topology(spec: &TopologySpec) -> Result<Topology, String> {
         TopologySpec::Builtin(name) => match name.as_str() {
             "nsfnet" => Ok(topologies::nsfnet(100)),
             "quadrangle" => Ok(topologies::quadrangle()),
-            other => Err(format!("unknown builtin topology '{other}' (try nsfnet, quadrangle)")),
+            other => Err(format!(
+                "unknown builtin topology '{other}' (try nsfnet, quadrangle)"
+            )),
         },
         TopologySpec::FullMesh { nodes, capacity } => Ok(topologies::full_mesh(*nodes, *capacity)),
         TopologySpec::Ring { nodes, capacity } => Ok(topologies::ring(*nodes, *capacity)),
@@ -152,9 +348,10 @@ fn parse_policy(name: &str, h: u32) -> Result<PolicyKind, String> {
     }
 }
 
-fn cmd_simulate(path: &str) -> Result<(), String> {
+fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let config: Config = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let value = altroute_json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let config = Config::from_json(&value).map_err(|e| format!("parsing {path}: {e}"))?;
     let topo = build_topology(&config.topology)?;
     let traffic = build_traffic(&config.traffic, topo.num_nodes())?;
     let mut exp = Experiment::new(topo, traffic).map_err(|e| e.to_string())?;
@@ -178,6 +375,7 @@ fn cmd_simulate(path: &str) -> Result<(), String> {
         base_seed: config.base_seed,
     };
     let mut table = Table::new(["policy", "blocking", "stderr", "alt-fraction"]);
+    let mut results = Vec::with_capacity(config.policies.len());
     for name in &config.policies {
         let kind = parse_policy(name, config.max_hops)?;
         let r = exp.run(kind, &params);
@@ -187,18 +385,41 @@ fn cmd_simulate(path: &str) -> Result<(), String> {
             fmt_prob(r.blocking_std_error()),
             format!("{:.4}", r.alternate_fraction()),
         ]);
+        results.push(r);
     }
-    println!("{}", table.render());
-    println!("erlang cut-set lower bound: {}", fmt_prob(exp.erlang_bound()));
+    if metrics_json {
+        let doc = metrics_document(
+            path,
+            vec![
+                (
+                    "erlang_cut_set_lower_bound".to_string(),
+                    Value::from(exp.erlang_bound()),
+                ),
+                ("seeds".to_string(), Value::from(params.seeds)),
+                ("warmup".to_string(), Value::from(params.warmup)),
+                ("horizon".to_string(), Value::from(params.horizon)),
+            ],
+            &results,
+        );
+        println!("{}", doc.to_string_pretty());
+    } else {
+        println!("{}", table.render());
+        println!(
+            "erlang cut-set lower bound: {}",
+            fmt_prob(exp.erlang_bound())
+        );
+    }
     Ok(())
 }
 
 fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
-    s.parse().map_err(|_| format!("{what} must be a number, got '{s}'"))
+    s.parse()
+        .map_err(|_| format!("{what} must be a number, got '{s}'"))
 }
 
 fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
-    s.parse().map_err(|_| format!("{what} must be a non-negative integer, got '{s}'"))
+    s.parse()
+        .map_err(|_| format!("{what} must be a non-negative integer, got '{s}'"))
 }
 
 fn run() -> Result<(), String> {
@@ -209,7 +430,10 @@ fn run() -> Result<(), String> {
             let cap = parse_u32(&args[2], "capacity")?;
             println!("B({load}, {cap})   = {:.6}", erlang_b(load, cap));
             println!("carried      = {:.3} Erlangs", carried_traffic(load, cap));
-            println!("lost         = {:.3} Erlangs", load - carried_traffic(load, cap));
+            println!(
+                "lost         = {:.3} Erlangs",
+                load - carried_traffic(load, cap)
+            );
             Ok(())
         }
         Some("dimension") if args.len() == 3 => {
@@ -238,14 +462,19 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        Some("simulate") if args.len() == 2 => cmd_simulate(&args[1]),
+        Some("simulate") if args.len() == 2 => cmd_simulate(&args[1], false),
+        Some("simulate") if args.len() == 3 && args[2] == "--metrics-json" => {
+            cmd_simulate(&args[1], true)
+        }
         Some("example-config") => {
             println!("{EXAMPLE_CONFIG}");
             Ok(())
         }
-        _ => Err("usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
-                  protect LOAD CAP H | simulate CONFIG.json | example-config>"
-            .into()),
+        _ => Err(
+            "usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
+                  protect LOAD CAP H | simulate CONFIG.json [--metrics-json] | example-config>"
+                .into(),
+        ),
     }
 }
 

@@ -123,7 +123,11 @@ fn run_bursty(
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (warmup, horizon, seeds) = if quick { (5.0, 30.0, 3u32) } else { (10.0, 100.0, 10u32) };
+    let (warmup, horizon, seeds) = if quick {
+        (5.0, 30.0, 3u32)
+    } else {
+        (10.0, 100.0, 10u32)
+    };
     let mut table = Table::new(["cv2", "load", "single-path", "uncontrolled", "controlled"]);
     for cv2 in [1.0, 4.0, 9.0] {
         for load in [85.0, 90.0, 95.0] {
@@ -135,7 +139,9 @@ fn main() {
                 PolicyKind::UncontrolledAlternate { max_hops: 3 },
                 PolicyKind::ControlledAlternate { max_hops: 3 },
             ] {
-                cells.push(fmt_prob(run_bursty(&plan, &traffic, kind, cv2, warmup, horizon, seeds)));
+                cells.push(fmt_prob(run_bursty(
+                    &plan, &traffic, kind, cv2, warmup, horizon, seeds,
+                )));
             }
             table.row(cells);
         }

@@ -16,14 +16,29 @@ use altroute_experiments::Table;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        CellularParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..CellularParams::default() }
+        CellularParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..CellularParams::default()
+        }
     } else {
         CellularParams::default()
     };
     let grid = CellGrid::new(5, 5, 50);
-    let policies = [BorrowPolicy::NoBorrowing, BorrowPolicy::Uncontrolled, BorrowPolicy::Controlled];
+    let policies = [
+        BorrowPolicy::NoBorrowing,
+        BorrowPolicy::Uncontrolled,
+        BorrowPolicy::Controlled,
+    ];
 
-    let mut table = Table::new(["load/cell", "no-borrowing", "uncontrolled", "controlled", "borrow_frac_ctl"]);
+    let mut table = Table::new([
+        "load/cell",
+        "no-borrowing",
+        "uncontrolled",
+        "controlled",
+        "borrow_frac_ctl",
+    ]);
     for load in [30.0, 38.0, 42.0, 46.0, 50.0, 55.0, 60.0] {
         let loads = vec![load; grid.num_cells()];
         let mut cells = vec![format!("{load:.0}")];
@@ -47,12 +62,18 @@ fn main() {
     let mut hotspot = Table::new(["policy", "blocking", "borrow_fraction"]);
     for &p in &policies {
         let r = run_cellular(&grid, &loads, p, &params);
-        hotspot.row([p.name().to_string(), fmt_prob(r.blocking_mean()), format!("{:.4}", r.borrow_fraction())]);
+        hotspot.row([
+            p.name().to_string(),
+            fmt_prob(r.blocking_mean()),
+            format!("{:.4}", r.borrow_fraction()),
+        ]);
     }
     println!("Hotspot scenario (centre cell at 75 Erlangs, others 25):\n");
     println!("{}", hotspot.render());
     println!("expected: controlled <= no-borrowing everywhere (Theorem 1 with H = 3);");
-    println!("uncontrolled wins only under light/hotspot load and degrades under uniform overload.");
+    println!(
+        "uncontrolled wins only under light/hotspot load and degrades under uniform overload."
+    );
     if let Ok(path) = table.write_csv("channel_borrowing") {
         println!("wrote {}", path.display());
     }

@@ -12,12 +12,20 @@ use altroute_sim::failures::FailureSchedule;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
-    let scenarios: [(&str, &[(usize, usize)]); 3] =
-        [("healthy", &[]), ("2<->3 down", &[(2, 3), (3, 2)]), ("7<->9 down", &[(7, 9), (9, 7)])];
+    let scenarios: [(&str, &[(usize, usize)]); 3] = [
+        ("healthy", &[]),
+        ("2<->3 down", &[(2, 3), (3, 2)]),
+        ("7<->9 down", &[(7, 9), (9, 7)]),
+    ];
     let loads = [8.0, 10.0, 12.0];
     let policies = policy_set(11, false);
 

@@ -27,26 +27,46 @@ fn main() {
     let pi = chain.stationary();
 
     let mut table = Table::new(["state", "birth_rate", "death_rate", "stationary_pi"]);
-    for s in (0..=capacity as usize).step_by(10).chain([capacity as usize - 1, capacity as usize]) {
-        let birth = if s < capacity as usize { chain.birth_rates()[s] } else { f64::NAN };
+    for s in (0..=capacity as usize)
+        .step_by(10)
+        .chain([capacity as usize - 1, capacity as usize])
+    {
+        let birth = if s < capacity as usize {
+            chain.birth_rates()[s]
+        } else {
+            f64::NAN
+        };
         let death = s as f64;
         table.row([
             s.to_string(),
-            if birth.is_nan() { "-".into() } else { format!("{birth:.1}") },
+            if birth.is_nan() {
+                "-".into()
+            } else {
+                format!("{birth:.1}")
+            },
             format!("{death:.0}"),
             format!("{:.3e}", pi[s]),
         ]);
     }
     println!("{}", table.render());
 
-    println!("time congestion of the protected chain: {:.6}", chain.time_congestion());
-    println!("Erlang-B of the primary stream alone:   {:.6}", erlang_b(nu, capacity));
+    println!(
+        "time congestion of the protected chain: {:.6}",
+        chain.time_congestion()
+    );
+    println!(
+        "Erlang-B of the primary stream alone:   {:.6}",
+        erlang_b(nu, capacity)
+    );
 
     // Theorem 1 demonstration: the exact extra loss for an accepted
     // alternate call in the worst accepting state (s = C−r−1) equals the
     // bound at zero overflow and is below 1/H in all cases.
     let bound = shadow_price_bound(nu, capacity, r);
-    println!("\nTheorem 1 bound B(L,C)/B(L,C-r) = {bound:.6} <= 1/H = {:.6}", 1.0 / f64::from(h));
+    println!(
+        "\nTheorem 1 bound B(L,C)/B(L,C-r) = {bound:.6} <= 1/H = {:.6}",
+        1.0 / f64::from(h)
+    );
     assert!(bound <= 1.0 / f64::from(h) + 1e-12);
 
     // First-passage counts of the chain (Eqs. 4-5) respect Eq. 9's bound.

@@ -17,7 +17,12 @@ use altroute_sim::experiment::{Experiment, SimParams};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
@@ -39,7 +44,13 @@ fn main() {
         "log10_controlled",
     ]);
     for row in &rows {
-        let log10 = |p: f64| if p > 0.0 { format!("{:.3}", p.log10()) } else { "-inf".into() };
+        let log10 = |p: f64| {
+            if p > 0.0 {
+                format!("{:.3}", p.log10())
+            } else {
+                "-inf".into()
+            }
+        };
         table.row([
             format!("{:.0}", row.load),
             fmt_prob(row.blocking[0].1),
@@ -67,7 +78,10 @@ fn main() {
             points: rows.iter().map(|r| (r.load, r.blocking[k].1)).collect(),
         })
         .collect();
-    println!("{}", altroute_experiments::render_chart(&series, 64, 16, false));
+    println!(
+        "{}",
+        altroute_experiments::render_chart(&series, 64, 16, false)
+    );
     if let Ok(path) = table.write_csv("fig3_fig4_quadrangle") {
         println!("wrote {}", path.display());
     }

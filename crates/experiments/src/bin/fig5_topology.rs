@@ -31,7 +31,12 @@ fn main() {
 
     let mut links = Table::new(["link", "src", "dst", "capacity"]);
     for (id, l) in topo.links().iter().enumerate() {
-        links.row([id.to_string(), l.src.to_string(), l.dst.to_string(), l.capacity.to_string()]);
+        links.row([
+            id.to_string(),
+            l.src.to_string(),
+            l.dst.to_string(),
+            l.capacity.to_string(),
+        ]);
     }
     println!("{}", links.render());
 

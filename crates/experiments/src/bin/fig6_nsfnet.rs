@@ -7,22 +7,66 @@
 //! poorly on this sparse mesh), and the Erlang bound. The nominal traffic
 //! matrix (reconstructed from Table 1) corresponds to `load = 10`; other
 //! loads scale it linearly, as in the paper. Pass `--quick` for a fast
-//! low-fidelity run.
+//! low-fidelity run, `--metrics-json` to print the sweep (blocking plus
+//! per-policy engine metrics and link utilization) as JSON instead of
+//! the tables.
 
-use altroute_experiments::output::fmt_prob;
+use altroute_experiments::output::{fmt_prob, metrics_json};
 use altroute_experiments::{nsfnet_experiment, policy_set, sweep, Table};
+use altroute_json::{obj, Value};
 use altroute_sim::experiment::SimParams;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let as_json = std::env::args().any(|a| a == "--metrics-json");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
     let loads: Vec<f64> = (2..=14).map(f64::from).collect();
     let policies = policy_set(11, true);
     let rows = sweep(&loads, &policies, &params, nsfnet_experiment);
+
+    if as_json {
+        let json_rows: Vec<Value> = rows
+            .iter()
+            .map(|row| {
+                let policies: Vec<Value> = row
+                    .blocking
+                    .iter()
+                    .zip(&row.metrics)
+                    .map(|(&(name, mean, se), m)| {
+                        obj! {
+                            "policy" => name,
+                            "blocking_mean" => mean,
+                            "blocking_std_error" => se,
+                            "engine" => metrics_json(m),
+                        }
+                    })
+                    .collect();
+                obj! {
+                    "load" => row.load,
+                    "erlang_bound" => row.erlang_bound,
+                    "policies" => Value::Array(policies),
+                }
+            })
+            .collect();
+        let doc = obj! {
+            "label" => "fig6_fig7_nsfnet",
+            "seeds" => params.seeds,
+            "warmup" => params.warmup,
+            "horizon" => params.horizon,
+            "rows" => Value::Array(json_rows),
+        };
+        println!("{}", doc.to_string_pretty());
+        return;
+    }
 
     let mut table = Table::new([
         "load",
@@ -36,7 +80,13 @@ fn main() {
         "log10_controlled",
     ]);
     for row in &rows {
-        let log10 = |p: f64| if p > 0.0 { format!("{:.3}", p.log10()) } else { "-inf".into() };
+        let log10 = |p: f64| {
+            if p > 0.0 {
+                format!("{:.3}", p.log10())
+            } else {
+                "-inf".into()
+            }
+        };
         table.row([
             format!("{:.0}", row.load),
             fmt_prob(row.blocking[0].1),
@@ -66,7 +116,10 @@ fn main() {
                 points: rows.iter().map(|r| (r.load, r.blocking[k].1)).collect(),
             })
             .collect();
-    println!("{}", altroute_experiments::render_chart(&series, 64, 16, false));
+    println!(
+        "{}",
+        altroute_experiments::render_chart(&series, 64, 16, false)
+    );
     if let Ok(path) = table.write_csv("fig6_fig7_nsfnet") {
         println!("wrote {}", path.display());
     }

@@ -6,9 +6,9 @@
 //! is freer) and little change for single-path and uncontrolled. Also
 //! prints the alternate-path-count statistics at both caps.
 
+use altroute_core::policy::PolicyKind;
 use altroute_experiments::output::fmt_prob;
 use altroute_experiments::{nsfnet_experiment, sweep, Table};
-use altroute_core::policy::PolicyKind;
 use altroute_netgraph::paths::{alternate_paths, min_hop_path};
 use altroute_netgraph::topologies;
 use altroute_sim::experiment::SimParams;
@@ -16,7 +16,12 @@ use altroute_sim::experiment::SimParams;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };

@@ -6,16 +6,23 @@
 //! primary rules are nearly coincident — the control is robust to how the
 //! primaries are chosen.
 
+use altroute_core::policy::PolicyKind;
+use altroute_core::primary::{
+    expected_primary_loss, min_loss_splits, MinLossOptions, PrimaryAssignment,
+};
 use altroute_experiments::output::fmt_prob;
 use altroute_experiments::{nsfnet_experiment, Table};
-use altroute_core::policy::PolicyKind;
-use altroute_core::primary::{expected_primary_loss, min_loss_splits, MinLossOptions, PrimaryAssignment};
 use altroute_sim::experiment::SimParams;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
@@ -32,11 +39,21 @@ fn main() {
         let splits = min_loss_splits(
             exp.topology(),
             exp.traffic(),
-            MinLossOptions { max_hops: 11, iterations: if quick { 80 } else { 300 }, prune_below: 1e-3 },
+            MinLossOptions {
+                max_hops: 11,
+                iterations: if quick { 80 } else { 300 },
+                prune_below: 1e-3,
+            },
         );
         let min_hop = PrimaryAssignment::min_hop(exp.topology());
-        let analytic_mh = expected_primary_loss(exp.topology(), &min_hop.link_loads(exp.topology(), exp.traffic()));
-        let analytic_ml = expected_primary_loss(exp.topology(), &splits.link_loads(exp.topology(), exp.traffic()));
+        let analytic_mh = expected_primary_loss(
+            exp.topology(),
+            &min_hop.link_loads(exp.topology(), exp.traffic()),
+        );
+        let analytic_ml = expected_primary_loss(
+            exp.topology(),
+            &splits.link_loads(exp.topology(), exp.traffic()),
+        );
         println!(
             "load {load:.0}: analytic expected primary loss  min-hop {analytic_mh:.2}  min-loss {analytic_ml:.2}"
         );
@@ -44,10 +61,12 @@ fn main() {
 
         let single_mh = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
         let single_ml = exp_ml.run(PolicyKind::SinglePath, &params).blocking_mean();
-        let ctl_mh =
-            exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params).blocking_mean();
-        let ctl_ml =
-            exp_ml.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params).blocking_mean();
+        let ctl_mh = exp
+            .run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params)
+            .blocking_mean();
+        let ctl_ml = exp_ml
+            .run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params)
+            .blocking_mean();
         table.row([
             format!("{load:.0}"),
             fmt_prob(single_mh),
@@ -58,9 +77,7 @@ fn main() {
     }
     println!("\nMin-loss vs min-hop primaries (paper §4.2.2)\n");
     println!("{}", table.render());
-    println!(
-        "expected: single_minloss < single_minhop; controlled_minloss ~ controlled_minhop."
-    );
+    println!("expected: single_minloss < single_minhop; controlled_minloss ~ controlled_minhop.");
     if let Ok(path) = table.write_csv("minloss_primaries") {
         println!("wrote {}", path.display());
     }

@@ -18,7 +18,10 @@ use altroute_sim::multirate::{run_multirate, BandwidthClass, MultirateParams, Mu
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let mut params = MultirateParams { max_hops: 3, ..MultirateParams::default() };
+    let mut params = MultirateParams {
+        max_hops: 3,
+        ..MultirateParams::default()
+    };
     if quick {
         params.warmup = 5.0;
         params.horizon = 30.0;
@@ -39,12 +42,20 @@ fn main() {
         // Keep the wideband class at 1/10 the narrowband call rate: the
         // bandwidth split is then ~60/40 narrow/wide.
         let classes = [
-            BandwidthClass { bandwidth: 1, traffic: TrafficMatrix::uniform(4, narrow) },
-            BandwidthClass { bandwidth: 4, traffic: TrafficMatrix::uniform(4, narrow / 10.0) },
+            BandwidthClass {
+                bandwidth: 1,
+                traffic: TrafficMatrix::uniform(4, narrow),
+            },
+            BandwidthClass {
+                bandwidth: 4,
+                traffic: TrafficMatrix::uniform(4, narrow / 10.0),
+            },
         ];
-        for policy in
-            [MultiratePolicy::SinglePath, MultiratePolicy::Uncontrolled, MultiratePolicy::Controlled]
-        {
+        for policy in [
+            MultiratePolicy::SinglePath,
+            MultiratePolicy::Uncontrolled,
+            MultiratePolicy::Controlled,
+        ] {
             let r = run_multirate(&topo, &classes, policy, &params, &failures);
             table.row([
                 format!("{narrow:.0}"),

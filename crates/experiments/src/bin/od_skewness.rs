@@ -15,14 +15,25 @@ use altroute_sim::experiment::SimParams;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
     let exp = nsfnet_experiment(10.0);
     let policies = policy_set(6, false);
 
-    let mut summary = Table::new(["policy", "mean_pair_blocking", "std_dev", "cv", "worst_pair"]);
+    let mut summary = Table::new([
+        "policy",
+        "mean_pair_blocking",
+        "std_dev",
+        "cv",
+        "worst_pair",
+    ]);
     let mut per_policy = Vec::new();
     for &kind in &policies {
         let r = exp.run(kind, &params);
@@ -38,15 +49,17 @@ fn main() {
     }
     println!("Per-O-D-pair blocking skewness at H = 6, nominal load (paper §4.2.2)\n");
     println!("{}", summary.render());
-    println!(
-        "expected ordering of skew (cv): single-path > controlled > uncontrolled\n"
-    );
+    println!("expected ordering of skew (cv): single-path > controlled > uncontrolled\n");
 
     // The worst pairs under single-path, compared across policies.
     let n = exp.topology().num_nodes();
     let single = &per_policy[0].1;
-    let mut pairs: Vec<(usize, f64)> =
-        single.iter().enumerate().filter(|(_, &b)| b > 0.0).map(|(i, &b)| (i, b)).collect();
+    let mut pairs: Vec<(usize, f64)> = single
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b > 0.0)
+        .map(|(i, &b)| (i, b))
+        .collect();
     pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut worst = Table::new(["pair", "single-path", "uncontrolled", "controlled"]);
     for &(idx, _) in pairs.iter().take(10) {

@@ -97,10 +97,20 @@ fn main() {
         "riordan_z",
         "measured_z",
     ]);
-    for &(load, cap) in &[(8.0, 10u32), (10.0, 10), (13.0, 10), (45.0, 50), (90.0, 100)] {
+    for &(load, cap) in &[
+        (8.0, 10u32),
+        (10.0, 10),
+        (13.0, 10),
+        (45.0, 50),
+        (90.0, 100),
+    ] {
         let analytic = overflow_moments(load, cap);
         let sim = simulate_overflow(load, cap, horizon, seeds);
-        let z_sim = if sim.mean > 0.0 { sim.variance / sim.mean } else { 1.0 };
+        let z_sim = if sim.mean > 0.0 {
+            sim.variance / sim.mean
+        } else {
+            1.0
+        };
         table.row([
             format!("{load:.0}"),
             cap.to_string(),

@@ -29,7 +29,9 @@ fn simulate(plan: &RoutingPlan, traffic: &TrafficMatrix, params: &SimParams) -> 
     for i in 0..params.seeds {
         let r = run_seed(&RunConfig {
             plan,
-            policy: PolicyKind::ControlledAlternate { max_hops: plan.max_alternate_hops() },
+            policy: PolicyKind::ControlledAlternate {
+                max_hops: plan.max_alternate_hops(),
+            },
             traffic,
             warmup: params.warmup,
             horizon: params.horizon,
@@ -45,7 +47,12 @@ fn simulate(plan: &RoutingPlan, traffic: &TrafficMatrix, params: &SimParams) -> 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
@@ -60,9 +67,7 @@ fn main() {
         .zip(per_link.protection_levels())
         .filter(|(a, b)| a != b)
         .count();
-    println!(
-        "case 1 — NSFNet, H = 11: per-link H^k changes {changed}/30 protection levels."
-    );
+    println!("case 1 — NSFNet, H = 11: per-link H^k changes {changed}/30 protection levels.");
     println!("(every NSFNet link carries an 11-hop alternate, so footnote 5 is inert here)\n");
 
     // Case 2 — a conservatively large configured H on a small dense

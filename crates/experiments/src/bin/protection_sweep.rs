@@ -17,7 +17,12 @@ use altroute_sim::experiment::SimParams;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
-        SimParams { warmup: 5.0, horizon: 30.0, seeds: 3, ..SimParams::default() }
+        SimParams {
+            warmup: 5.0,
+            horizon: 30.0,
+            seeds: 3,
+            ..SimParams::default()
+        }
     } else {
         SimParams::default()
     };
@@ -57,12 +62,7 @@ fn main() {
 /// Simulates the controlled policy with every link's protection forced to
 /// `r`, sharing the production decision logic via
 /// `Router::decide_tiered_with`.
-fn sweep_uniform(
-    plan: &RoutingPlan,
-    traffic: &TrafficMatrix,
-    r: u32,
-    params: &SimParams,
-) -> f64 {
+fn sweep_uniform(plan: &RoutingPlan, traffic: &TrafficMatrix, r: u32, params: &SimParams) -> f64 {
     use altroute_sim::network::NetworkState;
     use altroute_simcore::queue::EventQueue;
     use altroute_simcore::rng::StreamFactory;
@@ -76,7 +76,12 @@ fn sweep_uniform(
     let topo = plan.topology();
     let n = topo.num_nodes();
     let levels = vec![r; topo.num_links()];
-    let router = Router::new(plan, PolicyKind::ControlledAlternate { max_hops: plan.max_alternate_hops() });
+    let router = Router::new(
+        plan,
+        PolicyKind::ControlledAlternate {
+            max_hops: plan.max_alternate_hops(),
+        },
+    );
     let end = params.warmup + params.horizon;
     let (mut blocked_total, mut offered_total) = (0u64, 0u64);
     for s in 0..params.seeds {

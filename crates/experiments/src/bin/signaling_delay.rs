@@ -31,9 +31,11 @@ fn main() {
     // Delays in mean holding times: a 3-minute call over a continental
     // link (~30 ms one-way) is ~1.7e-4; sweep beyond that to stress.
     for delay in [0.0, 0.0002, 0.002, 0.02] {
-        for policy in
-            [SignalingPolicy::SinglePath, SignalingPolicy::Uncontrolled, SignalingPolicy::Controlled]
-        {
+        for policy in [
+            SignalingPolicy::SinglePath,
+            SignalingPolicy::Uncontrolled,
+            SignalingPolicy::Controlled,
+        ] {
             let (mut blocked, mut offered, mut races) = (0u64, 0u64, 0u64);
             let mut latency = 0.0;
             let mut attempts = 0.0;

@@ -61,6 +61,9 @@ fn main() {
         println!("wrote {}", path.display());
     }
 
-    println!("\nReconstructed nominal traffic matrix (Erlangs):\n{}", format_matrix(&fit.traffic));
+    println!(
+        "\nReconstructed nominal traffic matrix (Erlangs):\n{}",
+        format_matrix(&fit.traffic)
+    );
     println!("total offered traffic: {:.1} Erlangs", fit.traffic.total());
 }

@@ -23,7 +23,13 @@ pub struct Series {
 /// Panics if dimensions are degenerate or no plottable point exists.
 pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
-    let transform = |y: f64| if log_y { (y > 0.0).then(|| y.log10()) } else { Some(y) };
+    let transform = |y: f64| {
+        if log_y {
+            (y > 0.0).then(|| y.log10())
+        } else {
+            Some(y)
+        }
+    };
     let mut pts: Vec<(usize, f64, f64)> = Vec::new();
     for (si, s) in series.iter().enumerate() {
         for &(x, y) in &s.points {
@@ -61,7 +67,13 @@ pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> St
         grid[row][cx] = marker;
     }
     let mut out = String::new();
-    let y_label = |v: f64| if log_y { format!("1e{v:.1}") } else { format!("{v:.3}") };
+    let y_label = |v: f64| {
+        if log_y {
+            format!("1e{v:.1}")
+        } else {
+            format!("{v:.3}")
+        }
+    };
     for (i, row) in grid.iter().enumerate() {
         let frac = 1.0 - i as f64 / (height - 1) as f64;
         let yv = y0 + frac * (y1 - y0);
@@ -70,7 +82,13 @@ pub fn render(series: &[Series], width: usize, height: usize, log_y: bool) -> St
         out.push('\n');
     }
     out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>10} {:<10.1}{:>width$.1}\n", "", x0, x1, width = width - 10));
+    out.push_str(&format!(
+        "{:>10} {:<10.1}{:>width$.1}\n",
+        "",
+        x0,
+        x1,
+        width = width - 10
+    ));
     out.push_str("legend: ");
     for s in series {
         let m = s.label.chars().next().unwrap_or('?');
@@ -88,11 +106,15 @@ mod tests {
         vec![
             Series {
                 label: "single".into(),
-                points: (0..10).map(|i| (f64::from(i), f64::from(i) * 0.01)).collect(),
+                points: (0..10)
+                    .map(|i| (f64::from(i), f64::from(i) * 0.01))
+                    .collect(),
             },
             Series {
                 label: "controlled".into(),
-                points: (0..10).map(|i| (f64::from(i), f64::from(i) * 0.005)).collect(),
+                points: (0..10)
+                    .map(|i| (f64::from(i), f64::from(i) * 0.005))
+                    .collect(),
             },
         ]
     }
@@ -122,7 +144,10 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let series = vec![Series { label: "flat".into(), points: vec![(1.0, 0.5), (2.0, 0.5)] }];
+        let series = vec![Series {
+            label: "flat".into(),
+            points: vec![(1.0, 0.5), (2.0, 0.5)],
+        }];
         let chart = render(&series, 20, 5, false);
         assert!(chart.contains('f'));
     }
@@ -130,8 +155,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "nothing to plot")]
     fn all_skipped_panics() {
-        let series =
-            vec![Series { label: "x".into(), points: vec![(1.0, 0.0)] }];
+        let series = vec![Series {
+            label: "x".into(),
+            points: vec![(1.0, 0.0)],
+        }];
         render(&series, 20, 5, true);
     }
 

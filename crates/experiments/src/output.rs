@@ -1,8 +1,14 @@
-//! Aligned text tables and CSV export for experiment results.
+//! Aligned text tables, CSV export, and machine-readable metrics JSON
+//! for experiment results.
 //!
 //! Experiment binaries print the same rows/series the paper reports, as
 //! fixed-width text to stdout and (optionally) as CSV under `results/`.
+//! Binaries accepting `--metrics-json` additionally emit the engine
+//! observability counters via [`metrics_json`] / [`result_json`].
 
+use altroute_json::{obj, Value};
+use altroute_sim::experiment::ExperimentResult;
+use altroute_simcore::EngineMetrics;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -18,7 +24,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -95,6 +104,53 @@ impl Table {
     }
 }
 
+/// Engine observability counters as a JSON object (events, peaks,
+/// call-table high water, wall clock, per-link utilization).
+pub fn metrics_json(m: &EngineMetrics) -> Value {
+    obj! {
+        "events_processed" => m.events_processed,
+        "peak_queue_len" => m.peak_queue_len,
+        "peak_concurrent_calls" => m.peak_concurrent_calls,
+        "call_table_high_water" => m.call_table_high_water,
+        "wall_clock_secs" => m.wall_clock_secs,
+        "link_utilization" => Value::Array(
+            m.link_utilization.iter().map(|&u| Value::from(u)).collect(),
+        ),
+    }
+}
+
+/// One experiment result as a JSON object: blocking summary, alternate
+/// usage, drops, and the aggregated engine metrics.
+pub fn result_json(r: &ExperimentResult) -> Value {
+    obj! {
+        "policy" => r.policy.name(),
+        "blocking_mean" => r.blocking_mean(),
+        "blocking_std_error" => r.blocking_std_error(),
+        "blocking_ci95_half_width" => r.blocking.ci95_half_width,
+        "replications" => r.blocking.replications,
+        "alternate_fraction" => r.alternate_fraction(),
+        "dropped" => r.total_dropped(),
+        "engine" => metrics_json(&r.metrics_summary()),
+    }
+}
+
+/// Wraps per-policy [`result_json`] objects in a top-level document with
+/// shared context (`label` names the run; extra key/value pairs ride
+/// along, e.g. the Erlang bound or the load point).
+pub fn metrics_document(
+    label: &str,
+    extra: Vec<(String, Value)>,
+    results: &[ExperimentResult],
+) -> Value {
+    let mut fields = vec![("label".to_string(), Value::from(label))];
+    fields.extend(extra);
+    fields.push((
+        "policies".to_string(),
+        Value::Array(results.iter().map(result_json).collect()),
+    ));
+    Value::Object(fields)
+}
+
 /// Formats a probability for display: scientific-ish fixed width that
 /// keeps tiny blocking values legible.
 pub fn fmt_prob(p: f64) -> String {
@@ -144,5 +200,52 @@ mod tests {
         assert_eq!(fmt_prob(0.0), "0");
         assert_eq!(fmt_prob(0.25), "0.25000");
         assert!(fmt_prob(3.2e-6).contains('e'));
+    }
+
+    #[test]
+    fn metrics_document_round_trips_through_parser() {
+        use altroute_core::policy::PolicyKind;
+        use altroute_netgraph::topologies;
+        use altroute_netgraph::traffic::TrafficMatrix;
+        use altroute_sim::experiment::{Experiment, SimParams};
+
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 60.0)).unwrap();
+        let params = SimParams {
+            warmup: 2.0,
+            horizon: 10.0,
+            seeds: 2,
+            base_seed: 3,
+        };
+        let r = exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &params);
+        let doc = metrics_document(
+            "unit-test",
+            vec![("erlang_bound".to_string(), Value::from(exp.erlang_bound()))],
+            std::slice::from_ref(&r),
+        );
+        let parsed = altroute_json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("label").and_then(Value::as_str),
+            Some("unit-test")
+        );
+        let policies = parsed.get("policies").and_then(Value::as_array).unwrap();
+        assert_eq!(policies.len(), 1);
+        let p = &policies[0];
+        assert_eq!(p.get("policy").and_then(Value::as_str), Some("controlled"));
+        assert_eq!(p.get("replications").and_then(Value::as_u64), Some(2));
+        let engine = p.get("engine").unwrap();
+        let summary = r.metrics_summary();
+        assert_eq!(
+            engine.get("events_processed").and_then(Value::as_u64),
+            Some(summary.events_processed)
+        );
+        let util = engine
+            .get("link_utilization")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(util.len(), 12, "quadrangle has 12 directed links");
+        assert!(util
+            .iter()
+            .all(|u| u.as_f64().is_some_and(|x| (0.0..=1.0).contains(&x))));
     }
 }

@@ -4,6 +4,7 @@ use altroute_core::policy::PolicyKind;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
 use altroute_sim::experiment::{Experiment, SimParams};
+use altroute_simcore::EngineMetrics;
 
 /// The standard comparison set at hop bound `h`: single-path,
 /// uncontrolled, controlled (plus Ott–Krishnan when `with_ok`).
@@ -36,6 +37,8 @@ pub struct SweepRow {
     /// `(policy name, mean blocking, std error)` per policy, in the order
     /// given to [`sweep`].
     pub blocking: Vec<(&'static str, f64, f64)>,
+    /// Aggregated engine metrics per policy, parallel to `blocking`.
+    pub metrics: Vec<EngineMetrics>,
     /// The Erlang cut-set lower bound at this load.
     pub erlang_bound: f64,
 }
@@ -54,14 +57,19 @@ pub fn sweep(
         .iter()
         .map(|&load| {
             let exp = make(load);
-            let blocking = policies
-                .iter()
-                .map(|&kind| {
-                    let r = exp.run(kind, params);
-                    (kind.name(), r.blocking_mean(), r.blocking_std_error())
-                })
-                .collect();
-            SweepRow { load, blocking, erlang_bound: exp.erlang_bound() }
+            let mut blocking = Vec::with_capacity(policies.len());
+            let mut metrics = Vec::with_capacity(policies.len());
+            for &kind in policies {
+                let r = exp.run(kind, params);
+                blocking.push((kind.name(), r.blocking_mean(), r.blocking_std_error()));
+                metrics.push(r.metrics_summary());
+            }
+            SweepRow {
+                load,
+                blocking,
+                metrics,
+                erlang_bound: exp.erlang_bound(),
+            }
         })
         .collect()
 }
@@ -92,12 +100,19 @@ mod tests {
     #[test]
     fn sweep_produces_one_row_per_load() {
         use altroute_netgraph::traffic::TrafficMatrix;
-        let params = SimParams { warmup: 2.0, horizon: 10.0, seeds: 2, base_seed: 1 };
+        let params = SimParams {
+            warmup: 2.0,
+            horizon: 10.0,
+            seeds: 2,
+            base_seed: 1,
+        };
         let rows = sweep(&[50.0, 80.0], &policy_set(3, false), &params, |load| {
             Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, load)).unwrap()
         });
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].blocking.len(), 3);
+        assert_eq!(rows[0].metrics.len(), 3);
+        assert!(rows[0].metrics.iter().all(|m| m.events_processed > 0));
         assert!(rows[0].erlang_bound <= rows[1].erlang_bound);
     }
 }

@@ -27,7 +27,12 @@ pub struct ErlangBound {
 /// `mask` (bit `i` set ⇔ node `i` inside the cut).
 pub fn cut_load(topo: &Topology, traffic: &TrafficMatrix, mask: u32) -> CutLoad {
     let inside = |n: usize| mask & (1 << n) != 0;
-    let mut cl = CutLoad { traffic_out: 0.0, capacity_out: 0, traffic_in: 0.0, capacity_in: 0 };
+    let mut cl = CutLoad {
+        traffic_out: 0.0,
+        capacity_out: 0,
+        traffic_in: 0.0,
+        capacity_in: 0,
+    };
     for link in topo.links() {
         match (inside(link.src), inside(link.dst)) {
             (true, false) => cl.capacity_out += link.capacity,
@@ -58,10 +63,16 @@ pub fn cut_load(topo: &Topology, traffic: &TrafficMatrix, mask: u32) -> CutLoad 
 pub fn erlang_bound(topo: &Topology, traffic: &TrafficMatrix) -> ErlangBound {
     let n = topo.num_nodes();
     assert!(n >= 2, "need at least two nodes");
-    assert!(n <= 24, "cut enumeration supports at most 24 nodes, got {n}");
+    assert!(
+        n <= 24,
+        "cut enumeration supports at most 24 nodes, got {n}"
+    );
     assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
     let total = traffic.total();
-    let mut best = ErlangBound { bound: 0.0, cut_mask: 0 };
+    let mut best = ErlangBound {
+        bound: 0.0,
+        cut_mask: 0,
+    };
     // Enumerate subsets of {1, …, n−1}: node 0 always outside S.
     let limit: u32 = 1 << (n - 1);
     for rest in 1..limit {
@@ -69,7 +80,10 @@ pub fn erlang_bound(topo: &Topology, traffic: &TrafficMatrix) -> ErlangBound {
         let cl = cut_load(topo, traffic, mask);
         let b = cut_bound(cl, total);
         if b > best.bound {
-            best = ErlangBound { bound: b, cut_mask: mask };
+            best = ErlangBound {
+                bound: b,
+                cut_mask: mask,
+            };
         }
     }
     best

@@ -23,13 +23,18 @@ pub fn link_disjoint_paths(topo: &Topology, src: NodeId, dst: NodeId) -> Vec<Pat
     let mut used: Vec<bool> = vec![false; topo.num_links()];
     let mut result = Vec::new();
     loop {
-        let path = dijkstra(topo, src, dst, |l: LinkId| {
-            if used[l] {
-                f64::INFINITY
-            } else {
-                1.0
-            }
-        });
+        let path = dijkstra(
+            topo,
+            src,
+            dst,
+            |l: LinkId| {
+                if used[l] {
+                    f64::INFINITY
+                } else {
+                    1.0
+                }
+            },
+        );
         match path {
             Some(p) => {
                 for &l in p.links() {
@@ -70,7 +75,12 @@ impl DisjointnessProfile {
 
 /// Computes the [`DisjointnessProfile`] over all ordered pairs.
 pub fn disjointness_profile(topo: &Topology) -> DisjointnessProfile {
-    let mut profile = DisjointnessProfile { min: usize::MAX, max: 0, total: 0, pairs: 0 };
+    let mut profile = DisjointnessProfile {
+        min: usize::MAX,
+        max: 0,
+        total: 0,
+        pairs: 0,
+    };
     for (i, j) in topo.ordered_pairs() {
         let k = link_disjoint_paths(topo, i, j).len();
         profile.min = profile.min.min(k);

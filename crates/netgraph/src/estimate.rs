@@ -39,7 +39,11 @@ pub struct FitOptions {
 
 impl Default for FitOptions {
     fn default() -> Self {
-        Self { max_iterations: 20_000, tolerance: 1e-10, initial_demand: 1.0 }
+        Self {
+            max_iterations: 20_000,
+            tolerance: 1e-10,
+            initial_demand: 1.0,
+        }
     }
 }
 
@@ -104,9 +108,7 @@ pub fn fit_traffic_to_loads(
     for it in 0..opts.max_iterations {
         iterations = it + 1;
         // achieved = A·t
-        for v in &mut achieved {
-            *v = 0.0;
-        }
+        achieved.fill(0.0);
         for ((_, links), &tp) in pair_links.iter().zip(&t) {
             for &l in links {
                 achieved[l] += tp;
@@ -118,7 +120,11 @@ pub fn fit_traffic_to_loads(
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();
-        let rel = if target_norm > 0.0 { residual / target_norm } else { residual };
+        let rel = if target_norm > 0.0 {
+            residual / target_norm
+        } else {
+            residual
+        };
         if rel < opts.tolerance {
             break;
         }
@@ -133,9 +139,7 @@ pub fn fit_traffic_to_loads(
         }
     }
     // Final achieved loads for the returned t.
-    for v in &mut achieved {
-        *v = 0.0;
-    }
+    achieved.fill(0.0);
     for ((_, links), &tp) in pair_links.iter().zip(&t) {
         for &l in links {
             achieved[l] += tp;
@@ -147,13 +151,22 @@ pub fn fit_traffic_to_loads(
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()
         .sqrt();
-    let relative_residual = if target_norm > 0.0 { residual / target_norm } else { residual };
+    let relative_residual = if target_norm > 0.0 {
+        residual / target_norm
+    } else {
+        residual
+    };
 
     let mut traffic = TrafficMatrix::zero(n);
     for ((idx, _), &tp) in pair_links.iter().zip(&t) {
         traffic.set(idx / n, idx % n, tp);
     }
-    FitResult { traffic, achieved_loads: achieved, relative_residual, iterations }
+    FitResult {
+        traffic,
+        achieved_loads: achieved,
+        relative_residual,
+        iterations,
+    }
 }
 
 /// The paper's Table 1: `(src, dst, Λ^k, r^k at H=6, r^k at H=11)` for the
@@ -240,7 +253,11 @@ mod tests {
         let targets = min_hop_primary_loads(&topo, &truth);
         let primaries = min_hop_primaries(&topo);
         let fit = fit_traffic_to_loads(&topo, &primaries, &targets, FitOptions::default());
-        assert!(fit.relative_residual < 1e-8, "residual {}", fit.relative_residual);
+        assert!(
+            fit.relative_residual < 1e-8,
+            "residual {}",
+            fit.relative_residual
+        );
         let achieved = primary_loads(&topo, &fit.traffic, &primaries);
         for (a, b) in achieved.iter().zip(&targets) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
@@ -317,7 +334,7 @@ mod tests {
     fn zero_targets_give_zero_matrix() {
         let topo = topologies::full_mesh(3, 10);
         let primaries = min_hop_primaries(&topo);
-        let fit = fit_traffic_to_loads(&topo, &primaries, &vec![0.0; 6], FitOptions::default());
+        let fit = fit_traffic_to_loads(&topo, &primaries, &[0.0; 6], FitOptions::default());
         assert_eq!(fit.traffic.total(), 0.0);
         assert!(fit.relative_residual < 1e-9);
     }

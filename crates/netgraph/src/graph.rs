@@ -8,7 +8,7 @@
 //! pair (the paper's networks are simple graphs; parallel trunks would be
 //! modelled by summing capacity).
 
-use serde::{Deserialize, Serialize};
+use altroute_json::{obj, Value};
 
 /// Index of a node within a [`Topology`] (dense, `0..num_nodes`).
 pub type NodeId = usize;
@@ -17,7 +17,7 @@ pub type NodeId = usize;
 pub type LinkId = usize;
 
 /// A unidirectional capacitated link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
     /// Transmitting node.
     pub src: NodeId,
@@ -33,7 +33,7 @@ pub struct Link {
 /// The structure is immutable once built except for adding nodes/links;
 /// algorithms take `&Topology` and identify everything by dense indices,
 /// so lookups are array reads on the hot path.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     names: Vec<String>,
     links: Vec<Link>,
@@ -215,6 +215,62 @@ impl Topology {
     pub fn total_capacity(&self) -> u64 {
         self.links.iter().map(|l| u64::from(l.capacity)).sum()
     }
+
+    /// Serializes to a JSON value: node names plus `[src, dst, capacity]`
+    /// link triples (the derived indices are rebuilt on load).
+    pub fn to_json(&self) -> Value {
+        obj! {
+            "nodes" => Value::Array(self.names.iter().map(|n| Value::from(n.as_str())).collect()),
+            "links" => Value::Array(
+                self.links
+                    .iter()
+                    .map(|l| Value::Array(vec![l.src.into(), l.dst.into(), l.capacity.into()]))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Rebuilds a topology from [`Topology::to_json`] output.
+    pub fn from_json(value: &Value) -> Result<Self, String> {
+        let nodes = value
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or("topology: missing \"nodes\" array")?;
+        let mut t = Topology::new();
+        for n in nodes {
+            t.add_node(n.as_str().ok_or("topology: node names must be strings")?);
+        }
+        let links = value
+            .get("links")
+            .and_then(Value::as_array)
+            .ok_or("topology: missing \"links\" array")?;
+        for l in links {
+            let triple = l
+                .as_array()
+                .filter(|a| a.len() == 3)
+                .ok_or_else(|| format!("topology: link must be [src, dst, capacity], got {l}"))?;
+            let field = |i: usize| {
+                triple[i]
+                    .as_u64()
+                    .ok_or_else(|| format!("topology: link field {i} must be an integer"))
+            };
+            let (src, dst, cap) = (field(0)? as usize, field(1)? as usize, field(2)?);
+            if src >= t.num_nodes() || dst >= t.num_nodes() {
+                return Err(format!(
+                    "topology: link {src}->{dst} references unknown node"
+                ));
+            }
+            if src == dst
+                || cap == 0
+                || cap > u64::from(u32::MAX)
+                || t.link_between(src, dst).is_some()
+            {
+                return Err(format!("topology: invalid link [{src}, {dst}, {cap}]"));
+            }
+            t.add_link(src, dst, cap as u32);
+        }
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +295,14 @@ mod tests {
         assert_eq!(t.num_links(), 6);
         assert_eq!(t.node_name(0), "a");
         let l = t.link_between(0, 1).unwrap();
-        assert_eq!(t.link(l), Link { src: 0, dst: 1, capacity: 10 });
+        assert_eq!(
+            t.link(l),
+            Link {
+                src: 0,
+                dst: 1,
+                capacity: 10
+            }
+        );
         let back = t.link_between(1, 0).unwrap();
         assert_ne!(l, back);
         assert_eq!(t.link(back).capacity, 10);
@@ -336,12 +399,29 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = triangle();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Topology = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().to_string_pretty();
+        let back = Topology::from_json(&altroute_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.num_nodes(), 3);
         assert_eq!(back.num_links(), 6);
         assert_eq!(back.link_between(2, 0), t.link_between(2, 0));
+        assert_eq!(back.node_name(1), "b");
+        assert_eq!(back.link(back.link_between(2, 0).unwrap()).capacity, 30);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            r#"{"links": []}"#,
+            r#"{"nodes": ["a"], "links": [[0, 0, 1]]}"#,
+            r#"{"nodes": ["a", "b"], "links": [[0, 5, 1]]}"#,
+            r#"{"nodes": ["a", "b"], "links": [[0, 1]]}"#,
+            r#"{"nodes": ["a", "b"], "links": [[0, 1, 0]]}"#,
+            r#"{"nodes": ["a", "b"], "links": [[0, 1, 2], [0, 1, 3]]}"#,
+        ] {
+            let v = altroute_json::parse(bad).unwrap();
+            assert!(Topology::from_json(&v).is_err(), "should reject {bad}");
+        }
     }
 }

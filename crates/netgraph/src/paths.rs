@@ -18,13 +18,12 @@
 //! min-loss primary-path optimiser as its flow-deviation subproblem).
 
 use crate::graph::{LinkId, NodeId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A loop-free directed path through a topology.
 ///
 /// Stores both the node sequence and the traversed link ids; the two are
 /// kept consistent by construction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Path {
     nodes: Vec<NodeId>,
     links: Vec<LinkId>,
@@ -47,7 +46,10 @@ impl Path {
             seen[n] = true;
         }
         let links = topo.links_along(nodes)?;
-        Some(Self { nodes: nodes.to_vec(), links })
+        Some(Self {
+            nodes: nodes.to_vec(),
+            links,
+        })
     }
 
     /// Origin node.
@@ -135,7 +137,11 @@ pub fn min_hop_primaries(topo: &Topology) -> Vec<Option<Path>> {
     let mut out = Vec::with_capacity(n * n);
     for i in 0..n {
         for j in 0..n {
-            out.push(if i == j { None } else { min_hop_path(topo, i, j) });
+            out.push(if i == j {
+                None
+            } else {
+                min_hop_path(topo, i, j)
+            });
         }
     }
     out
@@ -160,7 +166,11 @@ pub fn loop_free_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usiz
     // DFS in sorted-adjacency order yields lexicographic order per length
     // already for equal-length prefixes, but mixed lengths interleave;
     // sort by (hops, node sequence) for the canonical attempt order.
-    result.sort_by(|a, b| a.hops().cmp(&b.hops()).then_with(|| a.nodes().cmp(b.nodes())));
+    result.sort_by(|a, b| {
+        a.hops()
+            .cmp(&b.hops())
+            .then_with(|| a.nodes().cmp(b.nodes()))
+    });
     result
 }
 
@@ -246,7 +256,10 @@ where
         }
         for &l in topo.out_links(u) {
             let w = weight(l);
-            assert!(!w.is_nan() && w >= 0.0, "link weights must be non-negative, got {w}");
+            assert!(
+                !w.is_nan() && w >= 0.0,
+                "link weights must be non-negative, got {w}"
+            );
             let v = topo.link(l).dst;
             let cand = dist[u] + w;
             if cand < dist[v] {
@@ -273,7 +286,13 @@ where
 ///
 /// Returns fewer than `k` paths if fewer exist. Deterministic: candidate
 /// ties are broken by node sequence.
-pub fn yen_k_shortest<F>(topo: &Topology, src: NodeId, dst: NodeId, k: usize, weight: F) -> Vec<Path>
+pub fn yen_k_shortest<F>(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    weight: F,
+) -> Vec<Path>
 where
     F: Fn(LinkId) -> f64,
 {
@@ -535,15 +554,24 @@ mod tests {
             (total as f64 / pairs as f64, min, max)
         };
         let (avg11, min11, max11) = stats(11);
-        assert!((8.0..=9.5).contains(&avg11), "avg alternates at H=11: {avg11}");
+        assert!(
+            (8.0..=9.5).contains(&avg11),
+            "avg alternates at H=11: {avg11}"
+        );
         assert_eq!(min11, 5, "min alternates at H=11");
         assert_eq!(max11, 15, "max alternates at H=11");
         let (avg9, min9, max9) = stats(9);
-        assert!((7.0..=7.7).contains(&avg9), "avg alternates at 9-link cap: {avg9}");
+        assert!(
+            (7.0..=7.7).contains(&avg9),
+            "avg alternates at 9-link cap: {avg9}"
+        );
         assert_eq!(min9, 4, "min alternates at 9-link cap");
         assert_eq!(max9, 13, "max alternates at 9-link cap");
         let (avg6, min6, max6) = stats(6);
-        assert!((3.0..=3.6).contains(&avg6), "avg alternates at 6-link cap: {avg6}");
+        assert!(
+            (3.0..=3.6).contains(&avg6),
+            "avg alternates at 6-link cap: {avg6}"
+        );
         assert_eq!(min6, 1, "min alternates at 6-link cap");
         assert_eq!(max6, 6, "max alternates at 6-link cap");
     }

@@ -251,7 +251,10 @@ mod tests {
         assert_eq!(a.num_links(), b.num_links());
         for i in 0..10 {
             for j in 0..10 {
-                assert_eq!(a.link_between(i, j).is_some(), b.link_between(i, j).is_some());
+                assert_eq!(
+                    a.link_between(i, j).is_some(),
+                    b.link_between(i, j).is_some()
+                );
             }
         }
         assert!(a.is_strongly_connected());

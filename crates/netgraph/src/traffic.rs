@@ -9,12 +9,11 @@
 
 use crate::graph::Topology;
 use crate::paths::Path;
-use serde::{Deserialize, Serialize};
 
 /// Offered traffic in Erlangs per ordered node pair.
 ///
 /// Row-major `n × n`; the diagonal is zero by construction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficMatrix {
     n: usize,
     values: Vec<f64>,
@@ -23,7 +22,10 @@ pub struct TrafficMatrix {
 impl TrafficMatrix {
     /// An all-zero matrix for `n` nodes.
     pub fn zero(n: usize) -> Self {
-        Self { n, values: vec![0.0; n * n] }
+        Self {
+            n,
+            values: vec![0.0; n * n],
+        }
     }
 
     /// Uniform traffic: `per_pair` Erlangs for every ordered pair.
@@ -63,11 +65,17 @@ impl TrafficMatrix {
     /// weights are zero while `total > 0`.
     pub fn gravity(n: usize, weights: &[f64], total: f64) -> Self {
         assert_eq!(weights.len(), n, "one weight per node");
-        assert!(weights.iter().all(|&w| w.is_finite() && w >= 0.0), "weights must be >= 0");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be >= 0"
+        );
         let mut m = Self::from_fn(n, |i, j| weights[i] * weights[j]);
         let sum = m.total();
         if total > 0.0 {
-            assert!(sum > 0.0, "cannot scale all-zero gravity weights to positive total");
+            assert!(
+                sum > 0.0,
+                "cannot scale all-zero gravity weights to positive total"
+            );
             let k = total / sum;
             for v in &mut m.values {
                 *v *= k;
@@ -125,8 +133,14 @@ impl TrafficMatrix {
     ///
     /// Panics if `factor` is negative or non-finite.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be >= 0");
-        Self { n: self.n, values: self.values.iter().map(|v| v * factor).collect() }
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be >= 0"
+        );
+        Self {
+            n: self.n,
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
     }
 
     /// Iterates over `(src, dst, erlangs)` entries with positive demand.
@@ -151,7 +165,11 @@ impl TrafficMatrix {
 ///
 /// Panics if a pair with positive demand has no primary path, or the
 /// matrix size does not match the topology.
-pub fn primary_loads(topo: &Topology, traffic: &TrafficMatrix, primaries: &[Option<Path>]) -> Vec<f64> {
+pub fn primary_loads(
+    topo: &Topology,
+    traffic: &TrafficMatrix,
+    primaries: &[Option<Path>],
+) -> Vec<f64> {
     let n = topo.num_nodes();
     assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
     assert_eq!(primaries.len(), n * n, "primary table size mismatch");

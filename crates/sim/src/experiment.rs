@@ -2,11 +2,12 @@
 //!
 //! An [`Experiment`] is a network instance (topology + traffic matrix,
 //! optionally custom primaries and link failures). [`Experiment::run`]
-//! executes `seeds` independent replications — in parallel, via crossbeam
-//! scoped threads — of 10-unit warm-up + 100-unit measurement (both
-//! configurable via [`SimParams`]), and aggregates them into an
-//! [`ExperimentResult`]: across-seed blocking statistics, per-pair
-//! blocking for the fairness study, and routing-class breakdowns.
+//! executes `seeds` independent replications — in parallel, on a worker
+//! pool bounded by the machine's available parallelism — of 10-unit
+//! warm-up + 100-unit measurement (both configurable via [`SimParams`]),
+//! and aggregates them into an [`ExperimentResult`]: across-seed blocking
+//! statistics, per-pair blocking for the fairness study, and
+//! routing-class breakdowns.
 //! [`Experiment::erlang_bound`] computes the cut-set lower bound for the
 //! same instance (accounting for statically failed links).
 
@@ -19,6 +20,7 @@ use altroute_netgraph::cuts;
 use altroute_netgraph::graph::Topology;
 use altroute_netgraph::paths::min_hop_path;
 use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::metrics::EngineMetrics;
 use altroute_simcore::stats::Replications;
 
 /// Simulation parameters shared by every replication.
@@ -36,7 +38,12 @@ pub struct SimParams {
 
 impl Default for SimParams {
     fn default() -> Self {
-        Self { warmup: 10.0, horizon: 100.0, seeds: 10, base_seed: 0x0A17_0B75 }
+        Self {
+            warmup: 10.0,
+            horizon: 100.0,
+            seeds: 10,
+            base_seed: 0x0A17_0B75,
+        }
     }
 }
 
@@ -62,7 +69,10 @@ pub enum ExperimentError {
 impl std::fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExperimentError::SizeMismatch { topology_nodes, traffic_nodes } => write!(
+            ExperimentError::SizeMismatch {
+                topology_nodes,
+                traffic_nodes,
+            } => write!(
                 f,
                 "traffic matrix sized for {traffic_nodes} nodes but topology has {topology_nodes}"
             ),
@@ -99,7 +109,12 @@ impl Experiment {
                 return Err(ExperimentError::UnroutablePair { src: i, dst: j });
             }
         }
-        Ok(Self { topo, traffic, primaries: None, failures: FailureSchedule::none() })
+        Ok(Self {
+            topo,
+            traffic,
+            primaries: None,
+            failures: FailureSchedule::none(),
+        })
     }
 
     /// Replaces the primary assignment (e.g. the min-loss bifurcated one).
@@ -148,41 +163,69 @@ impl Experiment {
         // loop-free maximum for the alternate policies.
         let h = kind.max_hops().unwrap_or(1);
         match &self.primaries {
-            Some(p) => {
-                RoutingPlan::with_primaries(self.topo.clone(), &self.traffic, p.clone(), h)
-            }
+            Some(p) => RoutingPlan::with_primaries(self.topo.clone(), &self.traffic, p.clone(), h),
             None => RoutingPlan::min_hop(self.topo.clone(), &self.traffic, h),
         }
     }
 
     /// Runs `params.seeds` replications of `kind`, in parallel.
+    ///
+    /// Replications are distributed over a worker pool capped at the
+    /// machine's available parallelism (a thread per *seed* — the old
+    /// scheme — oversubscribes the scheduler and exhausts stacks once
+    /// sweeps ask for hundreds of replications). Each worker pulls seed
+    /// indices from a shared queue and writes into that seed's dedicated
+    /// slot, so results are positionally ordered and byte-identical to a
+    /// sequential run regardless of which worker ran which seed.
     pub fn run(&self, kind: PolicyKind, params: &SimParams) -> ExperimentResult {
         assert!(params.seeds > 0, "need at least one replication");
         let plan = self.plan_for(kind);
         let mut per_seed: Vec<Option<SeedResult>> = (0..params.seeds).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (i, slot) in per_seed.iter_mut().enumerate() {
-                let plan = &plan;
-                let traffic = &self.traffic;
-                let failures = &self.failures;
-                scope.spawn(move |_| {
-                    *slot = Some(run_seed(&RunConfig {
-                        plan,
-                        policy: kind,
-                        traffic,
-                        warmup: params.warmup,
-                        horizon: params.horizon,
-                        seed: params.base_seed + i as u64,
-                        failures,
-                    }));
-                });
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(per_seed.len());
+        {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, &mut Option<SeedResult>)>();
+            for job in per_seed.iter_mut().enumerate() {
+                tx.send(job).expect("queue is open while jobs are enqueued");
             }
-        })
-        .expect("replication thread panicked");
-        let per_seed: Vec<SeedResult> = per_seed.into_iter().map(|s| s.expect("seed ran")).collect();
-        let blocking =
-            Replications::summarize(&per_seed.iter().map(SeedResult::blocking).collect::<Vec<_>>());
-        ExperimentResult { policy: kind, n: self.topo.num_nodes(), per_seed, blocking }
+            drop(tx);
+            let rx = std::sync::Mutex::new(rx);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        // Hold the lock only to dequeue; the simulation
+                        // runs outside it.
+                        let job = rx.lock().expect("no panic while dequeueing").recv();
+                        let Ok((i, slot)) = job else { break };
+                        *slot = Some(run_seed(&RunConfig {
+                            plan: &plan,
+                            policy: kind,
+                            traffic: &self.traffic,
+                            warmup: params.warmup,
+                            horizon: params.horizon,
+                            seed: params.base_seed + i as u64,
+                            failures: &self.failures,
+                        }));
+                    });
+                }
+            });
+        }
+        let per_seed: Vec<SeedResult> =
+            per_seed.into_iter().map(|s| s.expect("seed ran")).collect();
+        let blocking = Replications::summarize(
+            &per_seed
+                .iter()
+                .map(SeedResult::blocking)
+                .collect::<Vec<_>>(),
+        );
+        ExperimentResult {
+            policy: kind,
+            n: self.topo.num_nodes(),
+            per_seed,
+            blocking,
+        }
     }
 
     /// The Erlang cut-set lower bound on average blocking for this
@@ -273,14 +316,24 @@ impl ExperimentResult {
             .map(|(&b, _)| b)
             .collect();
         if values.is_empty() {
-            return PairSpread { mean: 0.0, std_dev: 0.0, max: 0.0, coefficient_of_variation: 0.0 };
+            return PairSpread {
+                mean: 0.0,
+                std_dev: 0.0,
+                max: 0.0,
+                coefficient_of_variation: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         let std_dev = var.sqrt();
         let max = values.iter().cloned().fold(0.0, f64::max);
         let cv = if mean > 0.0 { std_dev / mean } else { 0.0 };
-        PairSpread { mean, std_dev, max, coefficient_of_variation: cv }
+        PairSpread {
+            mean,
+            std_dev,
+            max,
+            coefficient_of_variation: cv,
+        }
     }
 
     /// Fraction of carried calls routed on alternates, pooled over seeds.
@@ -300,6 +353,18 @@ impl ExperimentResult {
     /// Total calls dropped by dynamic failures, pooled over seeds.
     pub fn total_dropped(&self) -> u64 {
         self.per_seed.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Engine metrics aggregated across replications: event counts and
+    /// wall clock are summed, queue/call peaks take the maximum, and
+    /// per-link utilization is the across-seed mean.
+    pub fn metrics_summary(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for s in &self.per_seed {
+            total.absorb(&s.metrics);
+        }
+        total.scale_utilization(self.per_seed.len());
+        total
     }
 }
 
@@ -322,7 +387,12 @@ mod tests {
     use altroute_netgraph::topologies;
 
     fn quick() -> SimParams {
-        SimParams { warmup: 5.0, horizon: 40.0, seeds: 4, base_seed: 7 }
+        SimParams {
+            warmup: 5.0,
+            horizon: 40.0,
+            seeds: 4,
+            base_seed: 7,
+        }
     }
 
     #[test]
@@ -330,7 +400,10 @@ mod tests {
         let topo = topologies::quadrangle();
         assert!(matches!(
             Experiment::new(topo.clone(), TrafficMatrix::uniform(5, 1.0)),
-            Err(ExperimentError::SizeMismatch { topology_nodes: 4, traffic_nodes: 5 })
+            Err(ExperimentError::SizeMismatch {
+                topology_nodes: 4,
+                traffic_nodes: 5
+            })
         ));
         let mut disconnected = Topology::new();
         disconnected.add_nodes(3);
@@ -345,7 +418,8 @@ mod tests {
 
     #[test]
     fn run_aggregates_replications() {
-        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 80.0)).unwrap();
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 80.0)).unwrap();
         let r = exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &quick());
         assert_eq!(r.per_seed.len(), 4);
         assert_eq!(r.blocking.replications, 4);
@@ -357,7 +431,8 @@ mod tests {
 
     #[test]
     fn parallel_run_matches_sequential_runs() {
-        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 85.0)).unwrap();
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 85.0)).unwrap();
         let params = quick();
         let kind = PolicyKind::UncontrolledAlternate { max_hops: 3 };
         let parallel = exp.run(kind, &params);
@@ -365,10 +440,70 @@ mod tests {
         for (i, seed_result) in parallel.per_seed.iter().enumerate() {
             let single = exp.run(
                 kind,
-                &SimParams { seeds: 1, base_seed: params.base_seed + i as u64, ..params },
+                &SimParams {
+                    seeds: 1,
+                    base_seed: params.base_seed + i as u64,
+                    ..params
+                },
             );
             assert_eq!(&single.per_seed[0], seed_result);
         }
+    }
+
+    #[test]
+    fn worker_pool_is_deterministic_with_more_seeds_than_workers() {
+        // More seeds than any plausible core count: seeds queue behind
+        // the bounded pool, and results must still come back in seed
+        // order, byte-identical across runs and to solo executions.
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 80.0)).unwrap();
+        let params = SimParams {
+            warmup: 2.0,
+            horizon: 10.0,
+            seeds: 32,
+            base_seed: 100,
+        };
+        let kind = PolicyKind::ControlledAlternate { max_hops: 3 };
+        let first = exp.run(kind, &params);
+        let second = exp.run(kind, &params);
+        assert_eq!(first.per_seed, second.per_seed);
+        let seeds: Vec<u64> = first.per_seed.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds, (100..132).collect::<Vec<u64>>());
+        for i in [0usize, 17, 31] {
+            let solo = exp.run(
+                kind,
+                &SimParams {
+                    seeds: 1,
+                    base_seed: params.base_seed + i as u64,
+                    ..params
+                },
+            );
+            assert_eq!(solo.per_seed[0], first.per_seed[i], "seed index {i}");
+        }
+    }
+
+    #[test]
+    fn metrics_summary_aggregates_across_seeds() {
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 80.0)).unwrap();
+        let r = exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &quick());
+        let total = r.metrics_summary();
+        let events: u64 = r.per_seed.iter().map(|s| s.metrics.events_processed).sum();
+        assert_eq!(total.events_processed, events);
+        assert!(total.events_processed > 0);
+        let peak = r
+            .per_seed
+            .iter()
+            .map(|s| s.metrics.peak_concurrent_calls)
+            .max()
+            .unwrap();
+        assert_eq!(total.peak_concurrent_calls, peak);
+        assert_eq!(total.link_utilization.len(), exp.topology().num_links());
+        for (l, &u) in total.link_utilization.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&u), "link {l} utilization {u}");
+        }
+        // Quadrangle at 80 Erlangs/pair keeps every link busy.
+        assert!(total.link_utilization.iter().all(|&u| u > 0.5));
     }
 
     #[test]
@@ -392,9 +527,15 @@ mod tests {
 
     #[test]
     fn erlang_bound_lower_bounds_simulated_blocking() {
-        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 95.0)).unwrap();
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 95.0)).unwrap();
         let bound = exp.erlang_bound();
-        let params = SimParams { warmup: 10.0, horizon: 100.0, seeds: 5, base_seed: 3 };
+        let params = SimParams {
+            warmup: 10.0,
+            horizon: 100.0,
+            seeds: 5,
+            base_seed: 3,
+        };
         for kind in [
             PolicyKind::SinglePath,
             PolicyKind::UncontrolledAlternate { max_hops: 3 },
@@ -412,10 +553,13 @@ mod tests {
 
     #[test]
     fn failed_links_raise_bound_and_blocking() {
-        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
         let l01 = exp.topology().link_between(0, 1).unwrap();
         let l10 = exp.topology().link_between(1, 0).unwrap();
-        let failed = exp.clone().with_failures(FailureSchedule::static_down([l01, l10]));
+        let failed = exp
+            .clone()
+            .with_failures(FailureSchedule::static_down([l01, l10]));
         assert!(failed.erlang_bound() >= exp.erlang_bound());
         let params = quick();
         let kind = PolicyKind::ControlledAlternate { max_hops: 3 };
@@ -426,7 +570,8 @@ mod tests {
 
     #[test]
     fn per_pair_blocking_shape_and_range() {
-        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
         let r = exp.run(PolicyKind::SinglePath, &quick());
         let pp = r.per_pair_blocking();
         assert_eq!(pp.len(), 16);
@@ -444,7 +589,8 @@ mod tests {
 
     #[test]
     fn scaled_experiment_scales_traffic() {
-        let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 50.0)).unwrap();
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 50.0)).unwrap();
         let doubled = exp.scaled(2.0);
         assert!((doubled.traffic().get(0, 1) - 100.0).abs() < 1e-12);
         assert_eq!(doubled.topology().num_links(), 12);
@@ -453,14 +599,27 @@ mod tests {
     #[test]
     fn bifurcated_primaries_run_end_to_end() {
         let topo = topologies::nsfnet(100);
-        let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic.scaled(0.6);
+        let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic()
+            .traffic
+            .scaled(0.6);
         let splits = altroute_core::primary::min_loss_splits(
             &topo,
             &traffic,
-            altroute_core::primary::MinLossOptions { max_hops: 11, iterations: 50, prune_below: 1e-2 },
+            altroute_core::primary::MinLossOptions {
+                max_hops: 11,
+                iterations: 50,
+                prune_below: 1e-2,
+            },
         );
-        let exp = Experiment::new(topo, traffic).unwrap().with_primaries(splits);
-        let params = SimParams { warmup: 3.0, horizon: 20.0, seeds: 2, base_seed: 5 };
+        let exp = Experiment::new(topo, traffic)
+            .unwrap()
+            .with_primaries(splits);
+        let params = SimParams {
+            warmup: 3.0,
+            horizon: 20.0,
+            seeds: 2,
+            base_seed: 5,
+        };
         let r = exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params);
         assert!(r.blocking_mean() < 0.2);
     }

@@ -36,7 +36,10 @@ impl FailureSchedule {
 
     /// Links down from the start and never repaired (the paper's form).
     pub fn static_down(links: impl IntoIterator<Item = LinkId>) -> Self {
-        Self { statically_down: links.into_iter().collect(), events: Vec::new() }
+        Self {
+            statically_down: links.into_iter().collect(),
+            events: Vec::new(),
+        }
     }
 
     /// Adds a timed outage `[down_at, up_at)`.
@@ -49,8 +52,16 @@ impl FailureSchedule {
             down_at.is_finite() && up_at.is_finite() && down_at >= 0.0 && down_at < up_at,
             "invalid outage window [{down_at}, {up_at})"
         );
-        self.events.push(FailureEvent { link, at: down_at, up: false });
-        self.events.push(FailureEvent { link, at: up_at, up: true });
+        self.events.push(FailureEvent {
+            link,
+            at: down_at,
+            up: false,
+        });
+        self.events.push(FailureEvent {
+            link,
+            at: up_at,
+            up: true,
+        });
         self
     }
 
@@ -85,10 +96,20 @@ mod tests {
 
     #[test]
     fn outage_produces_paired_events() {
-        let s = FailureSchedule::none().with_outage(2, 10.0, 20.0).with_outage(5, 15.0, 16.0);
+        let s = FailureSchedule::none()
+            .with_outage(2, 10.0, 20.0)
+            .with_outage(5, 15.0, 16.0);
         assert_eq!(s.events().len(), 4);
-        assert!(s.events().contains(&FailureEvent { link: 2, at: 10.0, up: false }));
-        assert!(s.events().contains(&FailureEvent { link: 2, at: 20.0, up: true }));
+        assert!(s.events().contains(&FailureEvent {
+            link: 2,
+            at: 10.0,
+            up: false
+        }));
+        assert!(s.events().contains(&FailureEvent {
+            link: 2,
+            at: 20.0,
+            up: true
+        }));
     }
 
     #[test]

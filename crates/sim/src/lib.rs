@@ -10,9 +10,9 @@
 //!   times**, as in the paper), exponential unit-mean holding times,
 //!   warm-up deletion, scheduled link failures/repairs.
 //! * [`experiment`] — the multi-seed experiment runner: replications in
-//!   parallel (crossbeam scoped threads), across-seed summaries, per-pair
-//!   blocking for the fairness/skewness study, and the Erlang cut-set
-//!   bound for the same instance.
+//!   parallel (a bounded scoped-thread worker pool), across-seed
+//!   summaries, per-pair blocking for the fairness/skewness study, and
+//!   the Erlang cut-set bound for the same instance.
 //! * [`failures`] — failure schedules (static disabled links and timed
 //!   down/up events).
 //! * [`adaptive`] — controlled alternate routing with **online** `Λ^k`

@@ -72,7 +72,13 @@ pub struct MultirateParams {
 
 impl Default for MultirateParams {
     fn default() -> Self {
-        Self { warmup: 10.0, horizon: 100.0, seeds: 10, base_seed: 0x11BA, max_hops: 5 }
+        Self {
+            warmup: 10.0,
+            horizon: 100.0,
+            seeds: 10,
+            base_seed: 0x11BA,
+            max_hops: 5,
+        }
     }
 }
 
@@ -125,8 +131,10 @@ pub fn run_multirate(
     // plan also supplies candidates/primaries (identical across classes).
     let mut weighted = TrafficMatrix::zero(n);
     for (i, j) in topo.ordered_pairs() {
-        let total: f64 =
-            classes.iter().map(|c| c.traffic.get(i, j) * f64::from(c.bandwidth)).sum();
+        let total: f64 = classes
+            .iter()
+            .map(|c| c.traffic.get(i, j) * f64::from(c.bandwidth))
+            .sum();
         weighted.set(i, j, total);
     }
     let primaries = PrimaryAssignment::min_hop(topo);
@@ -147,7 +155,11 @@ pub fn run_multirate(
         let run = run_one(&plan, classes, policy, &levels, params, seed, failures);
         let offered: u64 = run.offered.iter().sum();
         let blocked: u64 = run.blocked.iter().sum();
-        per_seed_call.push(if offered == 0 { 0.0 } else { blocked as f64 / offered as f64 });
+        per_seed_call.push(if offered == 0 {
+            0.0
+        } else {
+            blocked as f64 / offered as f64
+        });
         let offered_bw: u64 = run
             .offered
             .iter()
@@ -160,7 +172,11 @@ pub fn run_multirate(
             .zip(classes)
             .map(|(&b, c)| b * u64::from(c.bandwidth))
             .sum();
-        per_seed_bw.push(if offered_bw == 0 { 0.0 } else { blocked_bw as f64 / offered_bw as f64 });
+        per_seed_bw.push(if offered_bw == 0 {
+            0.0
+        } else {
+            blocked_bw as f64 / offered_bw as f64
+        });
         for (acc, v) in class_offered.iter_mut().zip(&run.offered) {
             *acc += v;
         }
@@ -218,7 +234,13 @@ fn run_one(
             let first = stream.exp(t);
             streams[ci * n * n + pair] = Some(stream);
             if first < end {
-                queue.schedule(first, Event::Arrival { class: ci as u32, pair: pair as u32 });
+                queue.schedule(
+                    first,
+                    Event::Arrival {
+                        class: ci as u32,
+                        pair: pair as u32,
+                    },
+                );
             }
         }
     }
@@ -231,9 +253,12 @@ fn run_one(
     let mut offered = vec![0u64; classes.len()];
     let mut blocked = vec![0u64; classes.len()];
 
-    let admits = |occ: &[u32], up: &[bool], path: &Path, b: u32, threshold: &dyn Fn(usize) -> u32| {
-        path.links().iter().all(|&l| up[l] && occ[l] + b <= threshold(l))
-    };
+    let admits =
+        |occ: &[u32], up: &[bool], path: &Path, b: u32, threshold: &dyn Fn(usize) -> u32| {
+            path.links()
+                .iter()
+                .all(|&l| up[l] && occ[l] + b <= threshold(l))
+        };
 
     while let Some((now, event)) = queue.pop() {
         if now >= end {
@@ -250,7 +275,13 @@ fn run_one(
                 let upick = stream.uniform();
                 let gap = stream.exp(rate);
                 if now + gap < end {
-                    queue.schedule(now + gap, Event::Arrival { class: ci as u32, pair: pair as u32 });
+                    queue.schedule(
+                        now + gap,
+                        Event::Arrival {
+                            class: ci as u32,
+                            pair: pair as u32,
+                        },
+                    );
                 }
                 let measured = now >= params.warmup;
                 if measured {
@@ -290,7 +321,10 @@ fn run_one(
                             debug_assert!(occupancy[l] <= caps[l]);
                         }
                         let id = calls.len() as u32;
-                        calls.push(Some(ActiveCall { links: path.links().to_vec(), bandwidth: b }));
+                        calls.push(Some(ActiveCall {
+                            links: path.links().to_vec(),
+                            bandwidth: b,
+                        }));
                         queue.schedule(now + hold, Event::Departure { call: id });
                     }
                     None => {
@@ -335,8 +369,14 @@ mod tests {
     fn single_link_matches_kaufman_roberts() {
         let topo = two_node(40);
         let classes = [
-            BandwidthClass { bandwidth: 1, traffic: one_way(2, 0, 1, 20.0) },
-            BandwidthClass { bandwidth: 4, traffic: one_way(2, 0, 1, 3.0) },
+            BandwidthClass {
+                bandwidth: 1,
+                traffic: one_way(2, 0, 1, 20.0),
+            },
+            BandwidthClass {
+                bandwidth: 4,
+                traffic: one_way(2, 0, 1, 3.0),
+            },
         ];
         let params = MultirateParams {
             warmup: 20.0,
@@ -345,12 +385,24 @@ mod tests {
             base_seed: 2,
             max_hops: 1,
         };
-        let r = run_multirate(&topo, &classes, MultiratePolicy::SinglePath, &params, &FailureSchedule::none());
+        let r = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::SinglePath,
+            &params,
+            &FailureSchedule::none(),
+        );
         let analytic = kaufman_roberts_blocking(
             40,
             &[
-                TrafficClass { intensity: 20.0, bandwidth: 1 },
-                TrafficClass { intensity: 3.0, bandwidth: 4 },
+                TrafficClass {
+                    intensity: 20.0,
+                    bandwidth: 1,
+                },
+                TrafficClass {
+                    intensity: 3.0,
+                    bandwidth: 4,
+                },
             ],
         );
         for (ci, (&sim, &exact)) in r.per_class_blocking.iter().zip(&analytic).enumerate() {
@@ -367,8 +419,14 @@ mod tests {
     fn controlled_not_worse_than_single_path_multirate() {
         let topo = topologies::quadrangle();
         let classes = [
-            BandwidthClass { bandwidth: 1, traffic: TrafficMatrix::uniform(4, 60.0) },
-            BandwidthClass { bandwidth: 4, traffic: TrafficMatrix::uniform(4, 8.0) },
+            BandwidthClass {
+                bandwidth: 1,
+                traffic: TrafficMatrix::uniform(4, 60.0),
+            },
+            BandwidthClass {
+                bandwidth: 4,
+                traffic: TrafficMatrix::uniform(4, 8.0),
+            },
         ];
         let params = MultirateParams {
             warmup: 10.0,
@@ -377,10 +435,20 @@ mod tests {
             base_seed: 5,
             max_hops: 3,
         };
-        let single =
-            run_multirate(&topo, &classes, MultiratePolicy::SinglePath, &params, &FailureSchedule::none());
-        let controlled =
-            run_multirate(&topo, &classes, MultiratePolicy::Controlled, &params, &FailureSchedule::none());
+        let single = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::SinglePath,
+            &params,
+            &FailureSchedule::none(),
+        );
+        let controlled = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::Controlled,
+            &params,
+            &FailureSchedule::none(),
+        );
         let tol = 2.0 * (single.blocking.std_error + controlled.blocking.std_error) + 1e-3;
         assert!(
             controlled.blocking_mean() <= single.blocking_mean() + tol,
@@ -394,8 +462,14 @@ mod tests {
     fn identical_arrivals_across_multirate_policies() {
         let topo = topologies::quadrangle();
         let classes = [
-            BandwidthClass { bandwidth: 1, traffic: TrafficMatrix::uniform(4, 40.0) },
-            BandwidthClass { bandwidth: 2, traffic: TrafficMatrix::uniform(4, 10.0) },
+            BandwidthClass {
+                bandwidth: 1,
+                traffic: TrafficMatrix::uniform(4, 40.0),
+            },
+            BandwidthClass {
+                bandwidth: 2,
+                traffic: TrafficMatrix::uniform(4, 10.0),
+            },
         ];
         let params = MultirateParams {
             warmup: 5.0,
@@ -412,8 +486,20 @@ mod tests {
         // offered streams by construction (same stream ids) — assert the
         // two runs' per-seed call blocking vectors have the same length
         // and the controlled one is no worse.
-        let a = run_multirate(&topo, &classes, MultiratePolicy::Controlled, &params, &FailureSchedule::none());
-        let b = run_multirate(&topo, &classes, MultiratePolicy::Controlled, &params, &FailureSchedule::none());
+        let a = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::Controlled,
+            &params,
+            &FailureSchedule::none(),
+        );
+        let b = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::Controlled,
+            &params,
+            &FailureSchedule::none(),
+        );
         assert_eq!(a.per_class_blocking, b.per_class_blocking);
         assert_eq!(a.blocking, b.blocking);
     }
@@ -422,8 +508,14 @@ mod tests {
     fn wideband_class_suffers_more_on_mesh_too() {
         let topo = topologies::quadrangle();
         let classes = [
-            BandwidthClass { bandwidth: 1, traffic: TrafficMatrix::uniform(4, 70.0) },
-            BandwidthClass { bandwidth: 5, traffic: TrafficMatrix::uniform(4, 4.0) },
+            BandwidthClass {
+                bandwidth: 1,
+                traffic: TrafficMatrix::uniform(4, 70.0),
+            },
+            BandwidthClass {
+                bandwidth: 5,
+                traffic: TrafficMatrix::uniform(4, 4.0),
+            },
         ];
         let params = MultirateParams {
             warmup: 10.0,
@@ -432,7 +524,13 @@ mod tests {
             base_seed: 13,
             max_hops: 3,
         };
-        let r = run_multirate(&topo, &classes, MultiratePolicy::Controlled, &params, &FailureSchedule::none());
+        let r = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::Controlled,
+            &params,
+            &FailureSchedule::none(),
+        );
         assert!(r.per_class_blocking[1] >= r.per_class_blocking[0]);
     }
 
@@ -442,7 +540,10 @@ mod tests {
         let topo = two_node(10);
         run_multirate(
             &topo,
-            &[BandwidthClass { bandwidth: 0, traffic: one_way(2, 0, 1, 1.0) }],
+            &[BandwidthClass {
+                bandwidth: 0,
+                traffic: one_way(2, 0, 1, 1.0),
+            }],
             MultiratePolicy::SinglePath,
             &MultirateParams::default(),
             &FailureSchedule::none(),

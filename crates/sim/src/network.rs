@@ -174,6 +174,10 @@ mod tests {
             s.book(&[0, 1]);
         }));
         assert!(result.is_err());
-        assert_eq!(s.occupancy(0), 0, "failed booking must not leak onto link 0");
+        assert_eq!(
+            s.occupancy(0),
+            0,
+            "failed booking must not leak onto link 0"
+        );
     }
 }

@@ -104,15 +104,27 @@ impl SignalingResult {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Arrival { pair: u32 },
+    Arrival {
+        pair: u32,
+    },
     /// The set-up packet reaches the far end of `hop` on the forward pass.
-    Forward { call: u32, hop: u32 },
+    Forward {
+        call: u32,
+        hop: u32,
+    },
     /// The return packet books `hop` (counting from the destination side).
-    Return { call: u32, hop: u32 },
+    Return {
+        call: u32,
+        hop: u32,
+    },
     /// A failure notice reaches the origin; attempt the next path.
-    NextAttempt { call: u32 },
+    NextAttempt {
+        call: u32,
+    },
     /// The call completes service.
-    Departure { call: u32 },
+    Departure {
+        call: u32,
+    },
 }
 
 struct PendingCall {
@@ -148,7 +160,10 @@ pub fn run_signaling(
     let n = topo.num_nodes();
     assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
     assert!(config.hop_delay >= 0.0, "delay must be >= 0");
-    assert!(config.warmup >= 0.0 && config.horizon > 0.0, "invalid durations");
+    assert!(
+        config.warmup >= 0.0 && config.horizon > 0.0,
+        "invalid durations"
+    );
     let end = config.warmup + config.horizon;
 
     let mut network = NetworkState::new(topo);
@@ -156,7 +171,8 @@ pub fn run_signaling(
         network.set_down(l);
     }
     let factory = StreamFactory::new(config.seed);
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> = (0..n * n).map(|_| None).collect();
+    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
+        (0..n * n).map(|_| None).collect();
     let mut rates = vec![0.0_f64; n * n];
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (i, j, t) in traffic.demands() {
@@ -284,14 +300,14 @@ pub fn run_signaling(
                 if admits(&network, levels, link, call.is_primary) {
                     if hop + 1 == call.links.len() {
                         // Reached the destination: book backwards.
-                        queue.schedule(
-                            now + config.hop_delay,
-                            Event::Return { call: id, hop: 0 },
-                        );
+                        queue.schedule(now + config.hop_delay, Event::Return { call: id, hop: 0 });
                     } else {
                         queue.schedule(
                             now + config.hop_delay,
-                            Event::Forward { call: id, hop: hop as u32 + 1 },
+                            Event::Forward {
+                                call: id,
+                                hop: hop as u32 + 1,
+                            },
                         );
                     }
                 } else {
@@ -326,7 +342,10 @@ pub fn run_signaling(
                     } else {
                         queue.schedule(
                             now + config.hop_delay,
-                            Event::Return { call: id, hop: hop as u32 + 1 },
+                            Event::Return {
+                                call: id,
+                                hop: hop as u32 + 1,
+                            },
                         );
                     }
                 } else {
@@ -403,7 +422,13 @@ mod tests {
             plan,
             traffic,
             &FailureSchedule::none(),
-            &SignalingConfig { hop_delay, policy, warmup: 10.0, horizon: 80.0, seed },
+            &SignalingConfig {
+                hop_delay,
+                policy,
+                warmup: 10.0,
+                horizon: 80.0,
+                seed,
+            },
         )
     }
 
@@ -462,7 +487,10 @@ mod tests {
         let (plan, traffic) = quadrangle_plan(95.0);
         let ideal = run(&plan, &traffic, SignalingPolicy::Controlled, 0.0, 5);
         let slow = run(&plan, &traffic, SignalingPolicy::Controlled, 0.05, 5);
-        assert!(slow.booking_races > 0, "stale checks must collide at booking");
+        assert!(
+            slow.booking_races > 0,
+            "stale checks must collide at booking"
+        );
         assert!(
             slow.blocking() >= ideal.blocking() - 0.01,
             "delay should not reduce blocking: {} vs {}",
@@ -476,7 +504,10 @@ mod tests {
         let (plan, traffic) = quadrangle_plan(95.0);
         let r = run(&plan, &traffic, SignalingPolicy::SinglePath, 0.01, 2);
         assert!(r.blocking() > 0.0);
-        assert!((r.mean_attempts - 1.0).abs() < 1e-9, "carried calls used one attempt");
+        assert!(
+            (r.mean_attempts - 1.0).abs() < 1e-9,
+            "carried calls used one attempt"
+        );
     }
 
     #[test]

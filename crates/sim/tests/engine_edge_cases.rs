@@ -48,7 +48,10 @@ fn tiny_horizon_is_safe() {
         failures: &failures,
     });
     assert!(r.offered <= 1);
-    assert_eq!(r.blocked + r.carried_primary + r.carried_alternate, r.offered);
+    assert_eq!(
+        r.blocked + r.carried_primary + r.carried_alternate,
+        r.offered
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn capacity_one_link_alternates_between_busy_and_idle() {
     // M/M/1/1 with a = 0.5: blocking = a/(1+a) = 1/3.
     let expect = 0.5 / 1.5;
     let blocking = blocked as f64 / offered as f64;
-    assert!((blocking - expect).abs() < 0.02, "blocking {blocking} vs {expect}");
+    assert!(
+        (blocking - expect).abs() < 0.02,
+        "blocking {blocking} vs {expect}"
+    );
 }
 
 #[test]
@@ -95,7 +101,9 @@ fn asymmetric_demand_only_loads_one_direction() {
 
 #[test]
 fn ott_krishnan_runs_end_to_end_on_nsfnet() {
-    let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic.scaled(0.7);
+    let traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic()
+        .traffic
+        .scaled(0.7);
     let plan = RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 11);
     let failures = FailureSchedule::none();
     let r = run_seed(&RunConfig {
@@ -108,7 +116,10 @@ fn ott_krishnan_runs_end_to_end_on_nsfnet() {
         failures: &failures,
     });
     assert!(r.offered > 0);
-    assert!(r.blocking() < 0.05, "light load should carry almost everything");
+    assert!(
+        r.blocking() < 0.05,
+        "light load should carry almost everything"
+    );
     // The OK policy spreads some calls onto non-min-hop paths.
     assert!(r.carried_primary > 0);
 }
@@ -133,7 +144,11 @@ fn repeated_outages_recover_cleanly() {
     assert!(r.dropped > 0);
     // 15 down units out of 90 measured: blocking well above the healthy
     // B(15, 20) ≈ 0.05 but far below 1.
-    assert!(r.blocking() > 0.1 && r.blocking() < 0.5, "blocking {}", r.blocking());
+    assert!(
+        r.blocking() > 0.1 && r.blocking() < 0.5,
+        "blocking {}",
+        r.blocking()
+    );
 }
 
 #[test]
@@ -157,5 +172,8 @@ fn overlapping_outage_and_departure_ordering_is_stable() {
         seed: 6,
         failures: &failures,
     });
-    assert_eq!(r.offered, r.blocked + r.carried_primary + r.carried_alternate);
+    assert_eq!(
+        r.offered,
+        r.blocked + r.carried_primary + r.carried_alternate
+    );
 }

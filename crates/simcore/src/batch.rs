@@ -28,7 +28,12 @@ impl BatchMeans {
     /// Panics if `batch_size == 0`.
     pub fn new(batch_size: u64) -> Self {
         assert!(batch_size > 0, "batches need at least one observation");
-        Self { batch_size, current_sum: 0.0, current_count: 0, batch_stats: RunningStats::new() }
+        Self {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_stats: RunningStats::new(),
+        }
     }
 
     /// Adds one observation.
@@ -37,7 +42,8 @@ impl BatchMeans {
         self.current_sum += x;
         self.current_count += 1;
         if self.current_count == self.batch_size {
-            self.batch_stats.push(self.current_sum / self.batch_size as f64);
+            self.batch_stats
+                .push(self.current_sum / self.batch_size as f64);
             self.current_sum = 0.0;
             self.current_count = 0;
         }
@@ -58,10 +64,10 @@ impl BatchMeans {
         self.batch_stats.std_error()
     }
 
-    /// Half-width of the 95 % normal-approximation confidence interval
-    /// (0 with fewer than two batches).
+    /// Half-width of the 95 % Student-t confidence interval over batch
+    /// averages (0 with fewer than two batches).
     pub fn ci95_half_width(&self) -> f64 {
-        1.96 * self.std_error()
+        crate::stats::t95(self.batches().saturating_sub(1)) * self.std_error()
     }
 
     /// Whether enough batches exist for a meaningful interval

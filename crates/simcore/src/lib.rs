@@ -19,6 +19,9 @@
 //! * [`batch`] — batch-means estimation for confidence intervals from a
 //!   single long run (the classical alternative to the paper's
 //!   independent replications).
+//! * [`metrics`] — engine observability gauges (event counts, queue and
+//!   call-table peaks, per-link utilization, wall clock) carried on every
+//!   replication result.
 //! * [`timeweighted`] — time-weighted moments of piecewise-constant
 //!   processes (occupancies), used by the peakedness measurements.
 
@@ -26,11 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod timeweighted;
 
+pub use metrics::EngineMetrics;
 pub use queue::EventQueue;
 pub use rng::{RngStream, StreamFactory};
 pub use stats::{Replications, RunningStats, WarmupCounter};

@@ -1,0 +1,153 @@
+//! Engine observability counters.
+//!
+//! A simulation that misbehaves at scale (runaway event queues, a call
+//! table that never shrinks, teardown storms during outages) is invisible
+//! from blocking statistics alone. [`EngineMetrics`] carries the internal
+//! gauges of one replication out to the caller: how many events ran, how
+//! large the event queue and the concurrent-call population ever got, how
+//! many slots the call table ever allocated, per-link time-weighted
+//! utilization, and wall-clock duration.
+//!
+//! All fields except `wall_clock_secs` are deterministic functions of the
+//! replication's inputs; equality therefore ignores wall clock, so whole
+//! per-seed results stay byte-comparable across runs and thread
+//! schedules.
+
+/// Internal gauges of one simulation replication.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Events popped from the queue (arrivals, departures, link changes).
+    pub events_processed: u64,
+    /// Maximum number of scheduled events ever pending at once.
+    pub peak_queue_len: usize,
+    /// Maximum number of calls ever in progress at once.
+    pub peak_concurrent_calls: usize,
+    /// Maximum number of slots the call table ever allocated. With slot
+    /// reuse this tracks `peak_concurrent_calls`, not total calls offered.
+    pub call_table_high_water: usize,
+    /// Mean time-weighted utilization (occupancy / capacity, in `[0, 1]`
+    /// while up; 0 while down) per link over the measurement window.
+    pub link_utilization: Vec<f64>,
+    /// Wall-clock seconds the replication took. Excluded from equality.
+    pub wall_clock_secs: f64,
+}
+
+impl PartialEq for EngineMetrics {
+    /// Equality over the deterministic fields only; `wall_clock_secs`
+    /// varies between runs of the same seed and is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.events_processed == other.events_processed
+            && self.peak_queue_len == other.peak_queue_len
+            && self.peak_concurrent_calls == other.peak_concurrent_calls
+            && self.call_table_high_water == other.call_table_high_water
+            && self.link_utilization == other.link_utilization
+    }
+}
+
+impl EngineMetrics {
+    /// Records a queue length observation, keeping the running peak.
+    pub fn observe_queue_len(&mut self, len: usize) {
+        self.peak_queue_len = self.peak_queue_len.max(len);
+    }
+
+    /// Records a concurrent-call count observation, keeping the peak.
+    pub fn observe_concurrent_calls(&mut self, live: usize) {
+        self.peak_concurrent_calls = self.peak_concurrent_calls.max(live);
+    }
+
+    /// Folds another replication's metrics into this one: counts and wall
+    /// clock add, peaks take the maximum, and utilization accumulates
+    /// per link (finish with [`EngineMetrics::scale_utilization`] to get
+    /// the across-replication mean).
+    pub fn absorb(&mut self, other: &EngineMetrics) {
+        self.events_processed += other.events_processed;
+        self.peak_queue_len = self.peak_queue_len.max(other.peak_queue_len);
+        self.peak_concurrent_calls = self.peak_concurrent_calls.max(other.peak_concurrent_calls);
+        self.call_table_high_water = self.call_table_high_water.max(other.call_table_high_water);
+        self.wall_clock_secs += other.wall_clock_secs;
+        if self.link_utilization.is_empty() {
+            self.link_utilization = other.link_utilization.clone();
+        } else {
+            assert_eq!(
+                self.link_utilization.len(),
+                other.link_utilization.len(),
+                "metrics from different topologies"
+            );
+            for (acc, &u) in self
+                .link_utilization
+                .iter_mut()
+                .zip(&other.link_utilization)
+            {
+                *acc += u;
+            }
+        }
+    }
+
+    /// Divides accumulated per-link utilization by the replication count
+    /// after a series of [`EngineMetrics::absorb`] calls.
+    pub fn scale_utilization(&mut self, replications: usize) {
+        assert!(replications > 0, "need at least one replication");
+        for u in &mut self.link_utilization {
+            *u /= replications as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(events: u64, wall: f64) -> EngineMetrics {
+        EngineMetrics {
+            events_processed: events,
+            peak_queue_len: 10,
+            peak_concurrent_calls: 5,
+            call_table_high_water: 6,
+            link_utilization: vec![0.5, 0.25],
+            wall_clock_secs: wall,
+        }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        assert_eq!(sample(100, 1.0), sample(100, 2.0));
+        assert_ne!(sample(100, 1.0), sample(101, 1.0));
+    }
+
+    #[test]
+    fn peaks_track_maxima() {
+        let mut m = EngineMetrics::default();
+        m.observe_queue_len(3);
+        m.observe_queue_len(1);
+        m.observe_concurrent_calls(7);
+        m.observe_concurrent_calls(2);
+        assert_eq!(m.peak_queue_len, 3);
+        assert_eq!(m.peak_concurrent_calls, 7);
+    }
+
+    #[test]
+    fn absorb_sums_counts_and_maxes_peaks() {
+        let mut total = EngineMetrics::default();
+        let mut b = sample(40, 0.5);
+        b.peak_queue_len = 25;
+        total.absorb(&sample(100, 1.0));
+        total.absorb(&b);
+        total.scale_utilization(2);
+        assert_eq!(total.events_processed, 140);
+        assert_eq!(total.peak_queue_len, 25);
+        assert_eq!(total.peak_concurrent_calls, 5);
+        assert_eq!(total.call_table_high_water, 6);
+        assert!((total.wall_clock_secs - 1.5).abs() < 1e-12);
+        assert_eq!(total.link_utilization, vec![0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different topologies")]
+    fn absorb_rejects_mismatched_link_counts() {
+        let mut a = sample(1, 0.0);
+        a.absorb(&EngineMetrics {
+            link_utilization: vec![0.1],
+            ..EngineMetrics::default()
+        });
+    }
+}

@@ -55,7 +55,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at time 0.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -71,7 +75,11 @@ impl<E> EventQueue<E> {
             "cannot schedule into the past: now={}, requested={time}",
             self.now
         );
-        let entry = Entry { time, seq: self.seq, event };
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            event,
+        };
         self.seq += 1;
         self.heap.push(entry);
     }

@@ -11,11 +11,11 @@
 //!
 //! [`StreamFactory`] derives sub-seeds via SplitMix64 (a bijective mixer,
 //! so distinct stream ids can never collide on the same sub-seed for a
-//! given master seed); [`RngStream`] wraps a ChaCha-based [`StdRng`] with
-//! the distributions the simulators need.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! given master seed); [`RngStream`] wraps a local xoshiro256++ generator
+//! with the distributions the simulators need. The generator is
+//! hand-rolled because this build environment has no crates.io access:
+//! xoshiro256++ is tiny (four `u64`s of state), passes BigCrush, and is
+//! trivially reproducible across platforms.
 
 /// Derives independent [`RngStream`]s from a master seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,26 +43,71 @@ impl StreamFactory {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        RngStream { rng: StdRng::seed_from_u64(z) }
+        RngStream::from_seed(z)
+    }
+}
+
+/// xoshiro256++ core state (Blackman & Vigna 2019).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Fills the 256-bit state from a 64-bit seed with SplitMix64, the
+    /// seeding procedure the xoshiro authors recommend (guarantees a
+    /// non-zero state for every seed).
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        Self { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits (all values exactly
+    /// representable, standard mantissa-fill construction).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
 /// One deterministic random stream with teletraffic distributions.
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: StdRng,
+    rng: Xoshiro256pp,
 }
 
 impl RngStream {
     /// A stream seeded directly (mostly for tests; prefer
     /// [`StreamFactory::stream`]).
     pub fn from_seed(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: Xoshiro256pp::seed_from_u64(seed),
+        }
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        self.rng.next_f64()
     }
 
     /// Exponential with the given rate (mean `1/rate`).
@@ -71,9 +116,12 @@ impl RngStream {
     ///
     /// Panics if `rate` is not strictly positive and finite.
     pub fn exp(&mut self, rate: f64) -> f64 {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be finite and > 0, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be finite and > 0, got {rate}"
+        );
         // Inverse CDF on 1-U in (0,1]: avoids ln(0).
-        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        let u: f64 = 1.0 - self.rng.next_f64();
         -u.ln() / rate
     }
 
@@ -89,7 +137,10 @@ impl RngStream {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.rng.gen_range(0..n)
+        // Fixed-point multiply (Lemire): maps 64 random bits onto [0, n)
+        // with bias at most n/2^64 — immaterial for the n ≤ a few hundred
+        // used here, and cheaper than rejection sampling.
+        ((u128::from(self.rng.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Bernoulli with probability `p`.
@@ -98,8 +149,11 @@ impl RngStream {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
-        self.rng.gen::<f64>() < p
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
+        self.rng.next_f64() < p
     }
 }
 
@@ -147,7 +201,10 @@ mod tests {
             sum += x;
         }
         let mean = sum / n as f64;
-        assert!((mean - 0.5).abs() < 0.01, "mean of Exp(2) should be 0.5, got {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.01,
+            "mean of Exp(2) should be 0.5, got {mean}"
+        );
     }
 
     #[test]
@@ -175,10 +232,17 @@ mod tests {
     }
 
     #[test]
-    fn below_and_chance_edges() {
+    fn below_is_in_range_and_roughly_uniform() {
         let mut s = RngStream::from_seed(5);
-        for _ in 0..1000 {
-            assert!(s.below(3) < 3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            let k = s.below(3);
+            assert!(k < 3);
+            counts[k] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "bucket fraction {frac}");
         }
         assert_eq!(s.below(1), 0);
         // Degenerate probabilities.

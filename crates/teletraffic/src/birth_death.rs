@@ -41,9 +41,16 @@ impl BirthDeathChain {
     /// or non-finite.
     pub fn new(birth: Vec<f64>, death: Vec<f64>) -> Self {
         assert!(!birth.is_empty(), "chain must have at least one transition");
-        assert_eq!(birth.len(), death.len(), "birth and death vectors must have equal length");
+        assert_eq!(
+            birth.len(),
+            death.len(),
+            "birth and death vectors must have equal length"
+        );
         for (s, &b) in birth.iter().enumerate() {
-            assert!(b.is_finite() && b >= 0.0, "birth rate at state {s} must be finite and >= 0, got {b}");
+            assert!(
+                b.is_finite() && b >= 0.0,
+                "birth rate at state {s} must be finite and >= 0, got {b}"
+            );
         }
         for (s, &d) in death.iter().enumerate() {
             assert!(
@@ -62,7 +69,10 @@ impl BirthDeathChain {
     /// Panics if `capacity == 0` or `a` is negative/non-finite.
     pub fn erlang(a: f64, capacity: u32) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        assert!(a.is_finite() && a >= 0.0, "offered load must be finite and >= 0");
+        assert!(
+            a.is_finite() && a >= 0.0,
+            "offered load must be finite and >= 0"
+        );
         let birth = vec![a; capacity as usize];
         let death = (1..=capacity).map(f64::from).collect();
         Self { birth, death }
@@ -87,7 +97,10 @@ impl BirthDeathChain {
             capacity as usize,
             "need one overflow rate per accepting state (0..capacity)"
         );
-        assert!(protection <= capacity, "protection level cannot exceed capacity");
+        assert!(
+            protection <= capacity,
+            "protection level cannot exceed capacity"
+        );
         let threshold = (capacity - protection) as usize;
         let birth = (0..capacity as usize)
             .map(|s| if s < threshold { nu + overflow[s] } else { nu })
@@ -164,8 +177,12 @@ impl BirthDeathChain {
         assert!(full_state_rate >= 0.0 && full_state_rate.is_finite());
         let pi = self.stationary();
         let c = self.birth.len();
-        let offered: f64 =
-            pi[..c].iter().zip(&self.birth).map(|(p, l)| p * l).sum::<f64>() + pi[c] * full_state_rate;
+        let offered: f64 = pi[..c]
+            .iter()
+            .zip(&self.birth)
+            .map(|(p, l)| p * l)
+            .sum::<f64>()
+            + pi[c] * full_state_rate;
         if offered == 0.0 {
             return 0.0;
         }
@@ -225,11 +242,20 @@ mod tests {
 
     #[test]
     fn erlang_chain_matches_erlang_b() {
-        for &(a, c) in &[(1.0, 1u32), (10.0, 10), (90.0, 100), (74.0, 100), (167.0, 100)] {
+        for &(a, c) in &[
+            (1.0, 1u32),
+            (10.0, 10),
+            (90.0, 100),
+            (74.0, 100),
+            (167.0, 100),
+        ] {
             let chain = BirthDeathChain::erlang(a, c);
             let tc = chain.time_congestion();
             let b = erlang_b(a, c);
-            assert!((tc - b).abs() < 1e-10 * b.max(1e-15), "a={a} c={c}: {tc} vs {b}");
+            assert!(
+                (tc - b).abs() < 1e-10 * b.max(1e-15),
+                "a={a} c={c}: {tc} vs {b}"
+            );
         }
     }
 

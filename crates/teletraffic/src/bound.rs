@@ -45,8 +45,14 @@ pub fn cut_bound(cut: CutLoad, total_traffic: f64) -> f64 {
         cut.traffic_out.is_finite() && cut.traffic_out >= 0.0,
         "invalid outbound traffic"
     );
-    assert!(cut.traffic_in.is_finite() && cut.traffic_in >= 0.0, "invalid inbound traffic");
-    assert!(total_traffic.is_finite() && total_traffic >= 0.0, "invalid total traffic");
+    assert!(
+        cut.traffic_in.is_finite() && cut.traffic_in >= 0.0,
+        "invalid inbound traffic"
+    );
+    assert!(
+        total_traffic.is_finite() && total_traffic >= 0.0,
+        "invalid total traffic"
+    );
     if total_traffic == 0.0 {
         return 0.0;
     }
@@ -70,7 +76,12 @@ mod tests {
 
     #[test]
     fn symmetric_cut_reduces_to_weighted_erlang_b() {
-        let cut = CutLoad { traffic_out: 90.0, capacity_out: 100, traffic_in: 90.0, capacity_in: 100 };
+        let cut = CutLoad {
+            traffic_out: 90.0,
+            capacity_out: 100,
+            traffic_in: 90.0,
+            capacity_in: 100,
+        };
         let total = 360.0;
         let expect = 2.0 * (90.0 / 360.0) * erlang_b(90.0, 100);
         assert!((cut_bound(cut, total) - expect).abs() < 1e-12);
@@ -78,14 +89,24 @@ mod tests {
 
     #[test]
     fn zero_capacity_direction_blocks_fully() {
-        let cut = CutLoad { traffic_out: 10.0, capacity_out: 0, traffic_in: 0.0, capacity_in: 50 };
+        let cut = CutLoad {
+            traffic_out: 10.0,
+            capacity_out: 0,
+            traffic_in: 0.0,
+            capacity_in: 50,
+        };
         let total = 20.0;
         assert!((cut_bound(cut, total) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn zero_traffic_network_bound_is_zero() {
-        let cut = CutLoad { traffic_out: 0.0, capacity_out: 10, traffic_in: 0.0, capacity_in: 10 };
+        let cut = CutLoad {
+            traffic_out: 0.0,
+            capacity_out: 10,
+            traffic_in: 0.0,
+            capacity_in: 10,
+        };
         assert_eq!(cut_bound(cut, 0.0), 0.0);
     }
 
@@ -94,7 +115,12 @@ mod tests {
         let total = 1000.0;
         let mut prev = 0.0;
         for t in [50.0, 100.0, 150.0, 200.0] {
-            let cut = CutLoad { traffic_out: t, capacity_out: 100, traffic_in: t, capacity_in: 100 };
+            let cut = CutLoad {
+                traffic_out: t,
+                capacity_out: 100,
+                traffic_in: t,
+                capacity_in: 100,
+            };
             let b = cut_bound(cut, total);
             assert!(b >= prev);
             prev = b;
@@ -103,7 +129,12 @@ mod tests {
 
     #[test]
     fn bound_is_a_probability() {
-        let cut = CutLoad { traffic_out: 500.0, capacity_out: 10, traffic_in: 400.0, capacity_in: 5 };
+        let cut = CutLoad {
+            traffic_out: 500.0,
+            capacity_out: 10,
+            traffic_in: 400.0,
+            capacity_in: 5,
+        };
         let b = cut_bound(cut, 900.0);
         assert!(b > 0.0 && b <= 1.0);
     }
@@ -111,7 +142,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "cut traffic exceeds network total")]
     fn inconsistent_totals_panic() {
-        let cut = CutLoad { traffic_out: 10.0, capacity_out: 1, traffic_in: 10.0, capacity_in: 1 };
+        let cut = CutLoad {
+            traffic_out: 10.0,
+            capacity_out: 1,
+            traffic_in: 10.0,
+            capacity_in: 1,
+        };
         cut_bound(cut, 5.0);
     }
 }

@@ -41,7 +41,10 @@
 /// assert!((erlang_b(2.0, 2) - 0.4).abs() < 1e-12);
 /// ```
 pub fn erlang_b(a: f64, capacity: u32) -> f64 {
-    assert!(a.is_finite() && a >= 0.0, "offered load must be finite and >= 0, got {a}");
+    assert!(
+        a.is_finite() && a >= 0.0,
+        "offered load must be finite and >= 0, got {a}"
+    );
     if a == 0.0 {
         return if capacity == 0 { 1.0 } else { 0.0 };
     }
@@ -64,7 +67,10 @@ pub fn erlang_b(a: f64, capacity: u32) -> f64 {
 ///
 /// Panics if `a` is negative, NaN, or infinite.
 pub fn erlang_b_with_derivative(a: f64, capacity: u32) -> (f64, f64) {
-    assert!(a.is_finite() && a >= 0.0, "offered load must be finite and >= 0, got {a}");
+    assert!(
+        a.is_finite() && a >= 0.0,
+        "offered load must be finite and >= 0, got {a}"
+    );
     if a == 0.0 {
         // B(0, 0) = 1 with zero sensitivity; for c >= 1, B ~ a^c / c! near 0,
         // so the derivative at 0 is 1 for c == 1 and 0 for c >= 2.
@@ -113,7 +119,10 @@ pub fn erlang_b_derivative(a: f64, capacity: u32) -> f64 {
 /// Panics if `a` is not strictly positive and finite (the inverse function
 /// is undefined at zero load).
 pub fn inverse_erlang_b_log_table(a: f64, capacity: u32) -> Vec<f64> {
-    assert!(a.is_finite() && a > 0.0, "offered load must be finite and > 0, got {a}");
+    assert!(
+        a.is_finite() && a > 0.0,
+        "offered load must be finite and > 0, got {a}"
+    );
     let mut table = Vec::with_capacity(capacity as usize + 1);
     let mut log_y = 0.0_f64; // ln y_0 = ln 1
     table.push(log_y);
@@ -141,7 +150,10 @@ pub fn carried_traffic(a: f64, capacity: u32) -> f64 {
 /// Panics if `target` is not in `(0, 1]` or `a` is invalid for
 /// [`erlang_b`].
 pub fn dimension_link(a: f64, target: f64, max_capacity: u32) -> Option<u32> {
-    assert!(target > 0.0 && target <= 1.0, "blocking target must be in (0, 1], got {target}");
+    assert!(
+        target > 0.0 && target <= 1.0,
+        "blocking target must be in (0, 1], got {target}"
+    );
     if a == 0.0 {
         return Some(0);
     }
@@ -249,7 +261,13 @@ mod tests {
 
     #[test]
     fn derivative_matches_finite_difference() {
-        for &(a, c) in &[(10.0, 10u32), (90.0, 100), (74.0, 100), (150.0, 100), (2.0, 5)] {
+        for &(a, c) in &[
+            (10.0, 10u32),
+            (90.0, 100),
+            (74.0, 100),
+            (150.0, 100),
+            (2.0, 5),
+        ] {
             let h = 1e-6 * a;
             let fd = (erlang_b(a + h, c) - erlang_b(a - h, c)) / (2.0 * h);
             let an = erlang_b_derivative(a, c);

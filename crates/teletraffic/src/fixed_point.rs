@@ -65,7 +65,10 @@ pub fn erlang_fixed_point(
             r.traffic
         );
         for &k in &r.links {
-            assert!(k < capacities.len(), "route {i} references unknown link {k}");
+            assert!(
+                k < capacities.len(),
+                "route {i} references unknown link {k}"
+            );
         }
     }
     let n = capacities.len();
@@ -76,9 +79,7 @@ pub fn erlang_fixed_point(
     while iterations < max_iterations {
         iterations += 1;
         // Reduced load per link under current blocking estimates.
-        for v in &mut reduced {
-            *v = 0.0;
-        }
+        reduced.fill(0.0);
         for r in routes {
             if r.traffic == 0.0 {
                 continue;
@@ -111,7 +112,12 @@ pub fn erlang_fixed_point(
             break;
         }
     }
-    FixedPoint { blocking, reduced_load: reduced, iterations, converged }
+    FixedPoint {
+        blocking,
+        reduced_load: reduced,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +128,10 @@ mod tests {
     fn single_link_fixed_point_is_erlang_b() {
         let fp = erlang_fixed_point(
             &[100],
-            &[Route { links: vec![0], traffic: 90.0 }],
+            &[Route {
+                links: vec![0],
+                traffic: 90.0,
+            }],
             1e-12,
             10_000,
         );
@@ -137,7 +146,10 @@ mod tests {
         // other's blocking, so its blocking is below the unreduced value.
         let fp = erlang_fixed_point(
             &[50, 50],
-            &[Route { links: vec![0, 1], traffic: 55.0 }],
+            &[Route {
+                links: vec![0, 1],
+                traffic: 55.0,
+            }],
             1e-12,
             10_000,
         );
@@ -155,15 +167,27 @@ mod tests {
     fn fixed_point_satisfies_its_own_equation() {
         let capacities = [30u32, 40, 50];
         let routes = [
-            Route { links: vec![0, 1], traffic: 25.0 },
-            Route { links: vec![1, 2], traffic: 30.0 },
-            Route { links: vec![0, 2], traffic: 10.0 },
-            Route { links: vec![2], traffic: 15.0 },
+            Route {
+                links: vec![0, 1],
+                traffic: 25.0,
+            },
+            Route {
+                links: vec![1, 2],
+                traffic: 30.0,
+            },
+            Route {
+                links: vec![0, 2],
+                traffic: 10.0,
+            },
+            Route {
+                links: vec![2],
+                traffic: 15.0,
+            },
         ];
         let fp = erlang_fixed_point(&capacities, &routes, 1e-13, 100_000);
         assert!(fp.converged);
-        for k in 0..3 {
-            let residual = (erlang_b(fp.reduced_load[k], capacities[k]) - fp.blocking[k]).abs();
+        for (k, &cap) in capacities.iter().enumerate() {
+            let residual = (erlang_b(fp.reduced_load[k], cap) - fp.blocking[k]).abs();
             assert!(residual < 1e-9, "link {k} residual {residual}");
         }
     }
@@ -172,7 +196,10 @@ mod tests {
     fn zero_traffic_network_has_zero_blocking() {
         let fp = erlang_fixed_point(
             &[10, 10],
-            &[Route { links: vec![0, 1], traffic: 0.0 }],
+            &[Route {
+                links: vec![0, 1],
+                traffic: 0.0,
+            }],
             1e-9,
             100,
         );
@@ -184,7 +211,10 @@ mod tests {
     fn overload_converges_to_high_blocking() {
         let fp = erlang_fixed_point(
             &[10],
-            &[Route { links: vec![0], traffic: 100.0 }],
+            &[Route {
+                links: vec![0],
+                traffic: 100.0,
+            }],
             1e-12,
             10_000,
         );
@@ -197,7 +227,10 @@ mod tests {
         // A route crossing the same link twice thins by it twice.
         let fp = erlang_fixed_point(
             &[20],
-            &[Route { links: vec![0, 0], traffic: 15.0 }],
+            &[Route {
+                links: vec![0, 0],
+                traffic: 15.0,
+            }],
             1e-12,
             10_000,
         );
@@ -210,6 +243,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "references unknown link")]
     fn out_of_range_link_panics() {
-        erlang_fixed_point(&[10], &[Route { links: vec![3], traffic: 1.0 }], 1e-9, 10);
+        erlang_fixed_point(
+            &[10],
+            &[Route {
+                links: vec![3],
+                traffic: 1.0,
+            }],
+            1e-9,
+            10,
+        );
     }
 }

@@ -114,7 +114,13 @@ mod tests {
     #[test]
     fn single_unit_class_is_erlang_b() {
         for &(a, c) in &[(10.0, 10u32), (74.0, 100), (120.0, 100)] {
-            let b = kaufman_roberts_blocking(c, &[TrafficClass { intensity: a, bandwidth: 1 }]);
+            let b = kaufman_roberts_blocking(
+                c,
+                &[TrafficClass {
+                    intensity: a,
+                    bandwidth: 1,
+                }],
+            );
             assert!((b[0] - erlang_b(a, c)).abs() < 1e-10, "a={a} c={c}");
         }
     }
@@ -123,26 +129,49 @@ mod tests {
     fn wideband_class_scaling_identity() {
         // One class of bandwidth b on capacity b*C behaves like unit
         // calls on capacity C.
-        let b = kaufman_roberts_blocking(40, &[TrafficClass { intensity: 8.0, bandwidth: 4 }]);
+        let b = kaufman_roberts_blocking(
+            40,
+            &[TrafficClass {
+                intensity: 8.0,
+                bandwidth: 4,
+            }],
+        );
         assert!((b[0] - erlang_b(8.0, 10)).abs() < 1e-10);
     }
 
     #[test]
     fn wider_calls_block_more() {
         let classes = [
-            TrafficClass { intensity: 20.0, bandwidth: 1 },
-            TrafficClass { intensity: 5.0, bandwidth: 4 },
+            TrafficClass {
+                intensity: 20.0,
+                bandwidth: 1,
+            },
+            TrafficClass {
+                intensity: 5.0,
+                bandwidth: 4,
+            },
         ];
         let b = kaufman_roberts_blocking(50, &classes);
-        assert!(b[1] > b[0], "wideband blocking {} should exceed narrowband {}", b[1], b[0]);
+        assert!(
+            b[1] > b[0],
+            "wideband blocking {} should exceed narrowband {}",
+            b[1],
+            b[0]
+        );
         assert!(b.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     #[test]
     fn occupancy_is_distribution_and_consistent() {
         let classes = [
-            TrafficClass { intensity: 10.0, bandwidth: 1 },
-            TrafficClass { intensity: 3.0, bandwidth: 5 },
+            TrafficClass {
+                intensity: 10.0,
+                bandwidth: 1,
+            },
+            TrafficClass {
+                intensity: 3.0,
+                bandwidth: 5,
+            },
         ];
         let q = kaufman_roberts_occupancy(40, &classes);
         assert_eq!(q.len(), 41);
@@ -160,12 +189,23 @@ mod tests {
         let with = kaufman_roberts_blocking(
             30,
             &[
-                TrafficClass { intensity: 15.0, bandwidth: 1 },
-                TrafficClass { intensity: 0.0, bandwidth: 6 },
+                TrafficClass {
+                    intensity: 15.0,
+                    bandwidth: 1,
+                },
+                TrafficClass {
+                    intensity: 0.0,
+                    bandwidth: 6,
+                },
             ],
         );
-        let without =
-            kaufman_roberts_blocking(30, &[TrafficClass { intensity: 15.0, bandwidth: 1 }]);
+        let without = kaufman_roberts_blocking(
+            30,
+            &[TrafficClass {
+                intensity: 15.0,
+                bandwidth: 1,
+            }],
+        );
         assert!((with[0] - without[0]).abs() < 1e-12);
     }
 
@@ -176,8 +216,14 @@ mod tests {
             let b = kaufman_roberts_blocking(
                 30,
                 &[
-                    TrafficClass { intensity: a, bandwidth: 1 },
-                    TrafficClass { intensity: a / 4.0, bandwidth: 4 },
+                    TrafficClass {
+                        intensity: a,
+                        bandwidth: 1,
+                    },
+                    TrafficClass {
+                        intensity: a / 4.0,
+                        bandwidth: 4,
+                    },
                 ],
             );
             assert!(b[0] >= prev - 1e-12);
@@ -188,12 +234,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero bandwidth")]
     fn zero_bandwidth_panics() {
-        kaufman_roberts_blocking(10, &[TrafficClass { intensity: 1.0, bandwidth: 0 }]);
+        kaufman_roberts_blocking(
+            10,
+            &[TrafficClass {
+                intensity: 1.0,
+                bandwidth: 0,
+            }],
+        );
     }
 
     #[test]
     #[should_panic(expected = "demands")]
     fn oversized_class_panics() {
-        kaufman_roberts_blocking(10, &[TrafficClass { intensity: 1.0, bandwidth: 11 }]);
+        kaufman_roberts_blocking(
+            10,
+            &[TrafficClass {
+                intensity: 1.0,
+                bandwidth: 11,
+            }],
+        );
     }
 }

@@ -49,7 +49,10 @@ mod tests {
             let h = 1e-6 * a.max(1.0);
             let fd = (lost_traffic(a + h, c) - lost_traffic(a - h, c)) / (2.0 * h);
             let an = lost_traffic_derivative(a, c);
-            assert!((fd - an).abs() < 1e-5 * an.abs().max(1e-9), "a={a} c={c}: {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 1e-5 * an.abs().max(1e-9),
+                "a={a} c={c}: {fd} vs {an}"
+            );
         }
     }
 
@@ -82,7 +85,7 @@ mod tests {
             let a = f64::from(i);
             let d = lost_traffic_derivative(a, c);
             assert!(d >= prev - 1e-12);
-            assert!(d >= 0.0 && d <= 1.0 + 1e-9);
+            assert!((0.0..=1.0 + 1e-9).contains(&d));
             prev = d;
         }
         assert!(lost_traffic_derivative(500.0, 50) > 0.99);

@@ -50,13 +50,22 @@ impl OverflowMoments {
 ///
 /// Panics if `load` is negative/non-finite.
 pub fn overflow_moments(load: f64, capacity: u32) -> OverflowMoments {
-    assert!(load.is_finite() && load >= 0.0, "load must be finite and >= 0, got {load}");
+    assert!(
+        load.is_finite() && load >= 0.0,
+        "load must be finite and >= 0, got {load}"
+    );
     if load == 0.0 {
-        return OverflowMoments { mean: 0.0, variance: 0.0 };
+        return OverflowMoments {
+            mean: 0.0,
+            variance: 0.0,
+        };
     }
     let m = load * erlang_b(load, capacity);
     let v = m * (1.0 - m + load / (f64::from(capacity) + 1.0 - load + m));
-    OverflowMoments { mean: m, variance: v }
+    OverflowMoments {
+        mean: m,
+        variance: v,
+    }
 }
 
 /// Wilkinson's equivalent random method: find `(a*, c*)` such that
@@ -97,7 +106,13 @@ mod tests {
 
     #[test]
     fn peakedness_at_least_one() {
-        for &(a, c) in &[(5.0, 10u32), (10.0, 10), (50.0, 60), (74.0, 100), (120.0, 100)] {
+        for &(a, c) in &[
+            (5.0, 10u32),
+            (10.0, 10),
+            (50.0, 60),
+            (74.0, 100),
+            (120.0, 100),
+        ] {
             let z = overflow_moments(a, c).peakedness();
             assert!(z >= 1.0 - 1e-9, "a={a} c={c}: z={z}");
         }
@@ -119,7 +134,10 @@ mod tests {
         let z_crit = overflow_moments(10.0, 10).peakedness();
         let z_heavy = overflow_moments(100.0, 10).peakedness();
         assert!(z_crit > z_light);
-        assert!(z_crit > 1.3, "critical overflow must be clearly bursty, z={z_crit}");
+        assert!(
+            z_crit > 1.3,
+            "critical overflow must be clearly bursty, z={z_crit}"
+        );
         // In deep overload nearly everything overflows: stream tends back
         // towards the Poisson original.
         assert!(z_heavy < z_crit);
@@ -143,7 +161,12 @@ mod tests {
         assert!((a_star - 45.0).abs() < 6.0, "a* = {a_star}");
         assert!((c_star - 50.0).abs() < 6.0, "c* = {c_star}");
         let back = overflow_moments(a_star, c_star.round() as u32);
-        assert!((back.mean - src.mean).abs() < 0.15 * src.mean + 0.05, "mean {} vs {}", back.mean, src.mean);
+        assert!(
+            (back.mean - src.mean).abs() < 0.15 * src.mean + 0.05,
+            "mean {} vs {}",
+            back.mean,
+            src.mean
+        );
         assert!(
             (back.peakedness() - src.peakedness()).abs() < 0.3,
             "z {} vs {}",

@@ -51,7 +51,10 @@ use crate::erlang::inverse_erlang_b_log_table;
 pub fn protection_level(load: f64, capacity: u32, max_alternate_hops: u32) -> u32 {
     assert!(capacity > 0, "capacity must be positive");
     assert!(max_alternate_hops > 0, "H must be positive");
-    assert!(load.is_finite() && load >= 0.0, "load must be finite and >= 0, got {load}");
+    assert!(
+        load.is_finite() && load >= 0.0,
+        "load must be finite and >= 0, got {load}"
+    );
     if load == 0.0 {
         return 0;
     }
@@ -94,7 +97,10 @@ pub fn protection_level(load: f64, capacity: u32, max_alternate_hops: u32) -> u3
 pub fn shadow_price_bound(load: f64, capacity: u32, r: u32) -> f64 {
     assert!(capacity > 0, "capacity must be positive");
     assert!(r <= capacity, "protection level cannot exceed capacity");
-    assert!(load.is_finite() && load > 0.0, "load must be finite and > 0, got {load}");
+    assert!(
+        load.is_finite() && load > 0.0,
+        "load must be finite and > 0, got {load}"
+    );
     let log_y = inverse_erlang_b_log_table(load, capacity);
     (log_y[(capacity - r) as usize] - log_y[capacity as usize]).exp()
 }
@@ -145,7 +151,12 @@ mod tests {
     #[test]
     fn minimality_of_the_level() {
         // r satisfies Eq. 15 and r−1 does not.
-        for &(load, c, h) in &[(74.0, 100u32, 6u32), (90.0, 100, 11), (50.0, 100, 120), (110.0, 120, 2)] {
+        for &(load, c, h) in &[
+            (74.0, 100u32, 6u32),
+            (90.0, 100, 11),
+            (50.0, 100, 120),
+            (110.0, 120, 2),
+        ] {
             let r = protection_level(load, c, h);
             let hinv = 1.0 / f64::from(h);
             if r < c {
@@ -239,7 +250,10 @@ mod tests {
             // Small at light load (r = 1, 1, 3 for H = 2, 6, 120),
             // substantial near capacity (r = 11, 45, 100).
             assert!(curve[9].1 <= 3, "r at 10 Erlangs should be tiny (h={h})");
-            assert!(curve[99].1 >= 11, "r at 100 Erlangs should be sizeable (h={h})");
+            assert!(
+                curve[99].1 >= 11,
+                "r at 100 Erlangs should be sizeable (h={h})"
+            );
         }
     }
 

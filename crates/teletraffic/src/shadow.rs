@@ -45,7 +45,10 @@ impl ShadowPriceTable {
     /// Panics if `capacity == 0` or `load` is negative/non-finite.
     pub fn new(load: f64, capacity: u32) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        assert!(load.is_finite() && load >= 0.0, "load must be finite and >= 0, got {load}");
+        assert!(
+            load.is_finite() && load >= 0.0,
+            "load must be finite and >= 0, got {load}"
+        );
         let prices = if load == 0.0 {
             vec![0.0; capacity as usize]
         } else {

@@ -1,13 +1,12 @@
 //! Property-based tests of the analytic kernels.
 
 use altroute_teletraffic::birth_death::BirthDeathChain;
-use altroute_teletraffic::kaufman_roberts::{kaufman_roberts_blocking, TrafficClass};
-use altroute_teletraffic::overflow::overflow_moments;
 use altroute_teletraffic::erlang::{
-    carried_traffic, dimension_link, erlang_b, erlang_b_with_derivative,
-    inverse_erlang_b_log_table,
+    carried_traffic, dimension_link, erlang_b, erlang_b_with_derivative, inverse_erlang_b_log_table,
 };
+use altroute_teletraffic::kaufman_roberts::{kaufman_roberts_blocking, TrafficClass};
 use altroute_teletraffic::loss::{lost_traffic, lost_traffic_with_derivative};
+use altroute_teletraffic::overflow::overflow_moments;
 use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
 use altroute_teletraffic::shadow::ShadowPriceTable;
 use proptest::prelude::*;

@@ -24,7 +24,10 @@ fn main() {
     for i in 0..template.num_nodes() {
         planned.add_node(template.node_name(i));
     }
-    println!("{:>6} {:>10} {:>9} {:>10}", "link", "load", "circuits", "B(load,C)");
+    println!(
+        "{:>6} {:>10} {:>9} {:>10}",
+        "link", "load", "circuits", "B(load,C)"
+    );
     for (id, link) in template.links().iter().enumerate() {
         let capacity = dimension_link(loads[id], target, 10_000)
             .expect("target reachable")
@@ -42,7 +45,10 @@ fn main() {
 
     // Verify by simulation.
     let exp = Experiment::new(planned, traffic).expect("valid instance");
-    let params = SimParams { seeds: 5, ..SimParams::default() };
+    let params = SimParams {
+        seeds: 5,
+        ..SimParams::default()
+    };
     let single = exp.run(PolicyKind::SinglePath, &params);
     let controlled = exp.run(PolicyKind::ControlledAlternate { max_hops: 5 }, &params);
     println!("\nsimulated network blocking:");

@@ -19,10 +19,20 @@ fn main() {
     }
 
     let r = cell_protection_levels(&loads, grid.capacity());
-    println!("per-cell protection levels (H = 3): quiet cells r = {}, corridor r = {}", r[0], r[12]);
+    println!(
+        "per-cell protection levels (H = 3): quiet cells r = {}, corridor r = {}",
+        r[0], r[12]
+    );
 
-    println!("\n{:<14} {:>10} {:>14}", "policy", "blocking", "borrow-fraction");
-    for policy in [BorrowPolicy::NoBorrowing, BorrowPolicy::Uncontrolled, BorrowPolicy::Controlled] {
+    println!(
+        "\n{:<14} {:>10} {:>14}",
+        "policy", "blocking", "borrow-fraction"
+    );
+    for policy in [
+        BorrowPolicy::NoBorrowing,
+        BorrowPolicy::Uncontrolled,
+        BorrowPolicy::Controlled,
+    ] {
         let result = run_cellular(&grid, &loads, policy, &params);
         println!(
             "{:<14} {:>10.5} {:>14.4}",

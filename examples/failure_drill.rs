@@ -16,7 +16,10 @@ use altroute::sim::failures::FailureSchedule;
 fn main() {
     let traffic = nsfnet_nominal_traffic().traffic;
     let base = Experiment::new(topologies::nsfnet(100), traffic).expect("valid instance");
-    let params = SimParams { seeds: 5, ..SimParams::default() };
+    let params = SimParams {
+        seeds: 5,
+        ..SimParams::default()
+    };
     let policies = [
         PolicyKind::SinglePath,
         PolicyKind::UncontrolledAlternate { max_hops: 11 },

@@ -52,8 +52,14 @@ fn main() {
         );
     }
 
-    let params = SimParams { seeds: 5, ..SimParams::default() };
-    println!("\n{:>6} {:>12} {:>12} {:>12}", "load", "single", "uncontrolled", "controlled");
+    let params = SimParams {
+        seeds: 5,
+        ..SimParams::default()
+    };
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12}",
+        "load", "single", "uncontrolled", "controlled"
+    );
     for load in [6.0, 8.0, 10.0, 12.0] {
         let scaled = exp.scaled(load / 10.0);
         let mut row = format!("{load:>6.0}");
@@ -62,7 +68,10 @@ fn main() {
             PolicyKind::UncontrolledAlternate { max_hops: 11 },
             PolicyKind::ControlledAlternate { max_hops: 11 },
         ] {
-            row.push_str(&format!(" {:>12.5}", scaled.run(kind, &params).blocking_mean()));
+            row.push_str(&format!(
+                " {:>12.5}",
+                scaled.run(kind, &params).blocking_mean()
+            ));
         }
         println!("{row}");
     }

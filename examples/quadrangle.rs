@@ -13,7 +13,10 @@ use altroute::netgraph::{topologies, traffic::TrafficMatrix};
 use altroute::sim::experiment::{Experiment, SimParams};
 
 fn main() {
-    let params = SimParams { seeds: 5, ..SimParams::default() };
+    let params = SimParams {
+        seeds: 5,
+        ..SimParams::default()
+    };
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12}",
         "load", "single", "uncontrolled", "controlled", "erlang-bound"
@@ -27,7 +30,10 @@ fn main() {
             PolicyKind::UncontrolledAlternate { max_hops: 3 },
             PolicyKind::ControlledAlternate { max_hops: 3 },
         ] {
-            row.push_str(&format!(" {:>12.5}", exp.run(kind, &params).blocking_mean()));
+            row.push_str(&format!(
+                " {:>12.5}",
+                exp.run(kind, &params).blocking_mean()
+            ));
         }
         row.push_str(&format!(" {:>12.5}", exp.erlang_bound()));
         println!("{row}");

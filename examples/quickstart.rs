@@ -18,7 +18,10 @@ fn main() {
     // measured time units, identical arrivals for every policy.
     let params = SimParams::default();
 
-    println!("{:<14} {:>10} {:>10} {:>12}", "policy", "blocking", "stderr", "alt-fraction");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "policy", "blocking", "stderr", "alt-fraction"
+    );
     for kind in [
         PolicyKind::SinglePath,
         PolicyKind::UncontrolledAlternate { max_hops: 3 },
@@ -33,7 +36,10 @@ fn main() {
             result.alternate_fraction(),
         );
     }
-    println!("\nErlang cut-set lower bound: {:.5}", experiment.erlang_bound());
+    println!(
+        "\nErlang cut-set lower bound: {:.5}",
+        experiment.erlang_bound()
+    );
     println!("\nThe controlled scheme should match the better of the other two;");
     println!("by Theorem 1 it can never do worse than single-path routing.");
 }

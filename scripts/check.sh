@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints as errors, and the full test suite.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

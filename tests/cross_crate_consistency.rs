@@ -20,10 +20,18 @@ fn isolated_link_is_erlang_b() {
     let mut m = TrafficMatrix::zero(2);
     m.set(0, 1, 25.0);
     let exp = Experiment::new(topo, m).unwrap();
-    let params = SimParams { warmup: 20.0, horizon: 400.0, seeds: 8, base_seed: 2 };
+    let params = SimParams {
+        warmup: 20.0,
+        horizon: 400.0,
+        seeds: 8,
+        base_seed: 2,
+    };
     let sim = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
     let analytic = erlang_b(25.0, 30);
-    assert!((sim - analytic).abs() < 0.012, "sim {sim} vs Erlang-B {analytic}");
+    assert!(
+        (sim - analytic).abs() < 0.012,
+        "sim {sim} vs Erlang-B {analytic}"
+    );
 }
 
 /// A two-hop tandem carrying a single transit stream: both links hold
@@ -40,12 +48,23 @@ fn lockstep_tandem_blocks_like_a_single_link() {
     let mut m = TrafficMatrix::zero(3);
     m.set(0, 2, 14.0);
     let exp = Experiment::new(topo, m).unwrap();
-    let params = SimParams { warmup: 20.0, horizon: 400.0, seeds: 8, base_seed: 4 };
+    let params = SimParams {
+        warmup: 20.0,
+        horizon: 400.0,
+        seeds: 8,
+        base_seed: 4,
+    };
     let sim = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
     let single = erlang_b(14.0, 20);
-    assert!((sim - single).abs() < 0.01, "sim {sim} vs lockstep Erlang-B {single}");
+    assert!(
+        (sim - single).abs() < 0.01,
+        "sim {sim} vs lockstep Erlang-B {single}"
+    );
     let naive = 1.0 - (1.0 - single) * (1.0 - single);
-    assert!(sim < naive - 0.01, "correlation must beat the independent estimate {naive}");
+    assert!(
+        sim < naive - 0.01,
+        "correlation must beat the independent estimate {naive}"
+    );
 }
 
 /// The same tandem with local traffic on each hop decorrelates the
@@ -63,7 +82,12 @@ fn loaded_tandem_blocking_between_lockstep_and_independent() {
     m.set(0, 1, 8.0); // local hop 1
     m.set(1, 2, 8.0); // local hop 2
     let exp = Experiment::new(topo, m).unwrap();
-    let params = SimParams { warmup: 20.0, horizon: 400.0, seeds: 8, base_seed: 4 };
+    let params = SimParams {
+        warmup: 20.0,
+        horizon: 400.0,
+        seeds: 8,
+        base_seed: 4,
+    };
     let r = exp.run(PolicyKind::SinglePath, &params);
     let pp = r.per_pair_blocking();
     let transit = pp[2]; // pair (0, 2)
@@ -101,7 +125,12 @@ fn protected_link_chain_matches_triangle_simulation() {
     let mut m = TrafficMatrix::zero(2);
     m.set(0, 1, load);
     let exp = Experiment::new(topo, m).unwrap();
-    let params = SimParams { warmup: 20.0, horizon: 300.0, seeds: 6, base_seed: 8 };
+    let params = SimParams {
+        warmup: 20.0,
+        horizon: 300.0,
+        seeds: 6,
+        base_seed: 8,
+    };
     let sim = exp.run(PolicyKind::SinglePath, &params).blocking_mean();
     assert!(
         (sim - chain.time_congestion()).abs() < 0.02,
@@ -115,7 +144,12 @@ fn protected_link_chain_matches_triangle_simulation() {
 #[test]
 fn symmetric_network_has_symmetric_blocking() {
     let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 95.0)).unwrap();
-    let params = SimParams { warmup: 10.0, horizon: 200.0, seeds: 6, base_seed: 21 };
+    let params = SimParams {
+        warmup: 10.0,
+        horizon: 200.0,
+        seeds: 6,
+        base_seed: 21,
+    };
     for kind in [
         PolicyKind::SinglePath,
         PolicyKind::ControlledAlternate { max_hops: 3 },
@@ -143,12 +177,16 @@ fn symmetric_network_has_symmetric_blocking() {
 #[test]
 fn carried_traffic_bounded_by_capacity() {
     let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 200.0)).unwrap();
-    let params = SimParams { warmup: 10.0, horizon: 100.0, seeds: 3, base_seed: 33 };
+    let params = SimParams {
+        warmup: 10.0,
+        horizon: 100.0,
+        seeds: 3,
+        base_seed: 33,
+    };
     let r = exp.run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &params);
     for seed in &r.per_seed {
         // Carried calls per unit time x 1 hop minimum <= total capacity.
-        let carried_rate =
-            (seed.carried_primary + seed.carried_alternate) as f64 / params.horizon;
+        let carried_rate = (seed.carried_primary + seed.carried_alternate) as f64 / params.horizon;
         assert!(
             carried_rate <= exp.topology().total_capacity() as f64,
             "carried rate {carried_rate} exceeds physical capacity"

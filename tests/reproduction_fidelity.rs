@@ -17,7 +17,11 @@ use altroute::teletraffic::reservation::protection_level;
 fn table1_reproduction_fidelity() {
     let topo = topologies::nsfnet(100);
     let fit = nsfnet_nominal_traffic();
-    assert!(fit.relative_residual < 1e-6, "residual {}", fit.relative_residual);
+    assert!(
+        fit.relative_residual < 1e-6,
+        "residual {}",
+        fit.relative_residual
+    );
     let targets = nsfnet_table1_loads(&topo);
     for (l, (a, b)) in fit.achieved_loads.iter().zip(&targets).enumerate() {
         assert!((a - b).abs() < 0.51, "link {l}: {a} vs {b}");
@@ -28,8 +32,14 @@ fn table1_reproduction_fidelity() {
         let load = fit.achieved_loads[l];
         let ours6 = protection_level(load, 100, 6);
         let ours11 = protection_level(load, 100, 11);
-        assert!((i64::from(ours6) - i64::from(r6)).abs() <= 2, "{s}->{d} H=6");
-        assert!((i64::from(ours11) - i64::from(r11)).abs() <= 2, "{s}->{d} H=11");
+        assert!(
+            (i64::from(ours6) - i64::from(r6)).abs() <= 2,
+            "{s}->{d} H=6"
+        );
+        assert!(
+            (i64::from(ours11) - i64::from(r11)).abs() <= 2,
+            "{s}->{d} H=11"
+        );
         if ours6 == r6 && ours11 == r11 {
             exact += 1;
         }
@@ -64,7 +74,12 @@ fn nsfnet_alternate_availability_matches_paper() {
 fn end_to_end_determinism() {
     let traffic = nsfnet_nominal_traffic().traffic;
     let exp = Experiment::new(topologies::nsfnet(100), traffic).unwrap();
-    let params = SimParams { warmup: 5.0, horizon: 25.0, seeds: 3, base_seed: 42 };
+    let params = SimParams {
+        warmup: 5.0,
+        horizon: 25.0,
+        seeds: 3,
+        base_seed: 42,
+    };
     let kind = PolicyKind::ControlledAlternate { max_hops: 11 };
     let a = exp.run(kind, &params);
     let b = exp.run(kind, &params);
@@ -78,7 +93,12 @@ fn end_to_end_determinism() {
 fn common_random_numbers_across_policies() {
     let traffic = nsfnet_nominal_traffic().traffic;
     let exp = Experiment::new(topologies::nsfnet(100), traffic).unwrap();
-    let params = SimParams { warmup: 5.0, horizon: 20.0, seeds: 2, base_seed: 9 };
+    let params = SimParams {
+        warmup: 5.0,
+        horizon: 20.0,
+        seeds: 2,
+        base_seed: 9,
+    };
     let mut seen: Option<Vec<Vec<u64>>> = None;
     for kind in [
         PolicyKind::SinglePath,
@@ -87,8 +107,11 @@ fn common_random_numbers_across_policies() {
         PolicyKind::OttKrishnan { max_hops: 11 },
     ] {
         let r = exp.run(kind, &params);
-        let offered: Vec<Vec<u64>> =
-            r.per_seed.iter().map(|s| s.per_pair_offered.clone()).collect();
+        let offered: Vec<Vec<u64>> = r
+            .per_seed
+            .iter()
+            .map(|s| s.per_pair_offered.clone())
+            .collect();
         match &seen {
             None => seen = Some(offered),
             Some(prev) => assert_eq!(prev, &offered, "{}", kind.name()),
@@ -101,7 +124,12 @@ fn common_random_numbers_across_policies() {
 #[test]
 fn replications_are_independent_but_consistent() {
     let exp = Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0)).unwrap();
-    let params = SimParams { warmup: 10.0, horizon: 60.0, seeds: 6, base_seed: 100 };
+    let params = SimParams {
+        warmup: 10.0,
+        horizon: 60.0,
+        seeds: 6,
+        base_seed: 100,
+    };
     let r = exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &params);
     let blockings: Vec<f64> = r.per_seed.iter().map(|s| s.blocking()).collect();
     // All distinct (continuous statistics collide with probability ~0).
@@ -122,7 +150,12 @@ fn replications_are_independent_but_consistent() {
 fn load_scaling_reflects_in_offered_calls() {
     let traffic = nsfnet_nominal_traffic().traffic;
     let exp = Experiment::new(topologies::nsfnet(100), traffic).unwrap();
-    let params = SimParams { warmup: 2.0, horizon: 20.0, seeds: 2, base_seed: 5 };
+    let params = SimParams {
+        warmup: 2.0,
+        horizon: 20.0,
+        seeds: 2,
+        base_seed: 5,
+    };
     let base = exp.run(PolicyKind::SinglePath, &params);
     let double = exp.scaled(2.0).run(PolicyKind::SinglePath, &params);
     let o1: u64 = base.per_seed.iter().map(|s| s.offered).sum();
@@ -137,9 +170,20 @@ fn load_scaling_reflects_in_offered_calls() {
 fn ott_krishnan_underperforms_on_sparse_mesh_at_high_load() {
     let traffic = nsfnet_nominal_traffic().traffic.scaled(1.3);
     let exp = Experiment::new(topologies::nsfnet(100), traffic).unwrap();
-    let params = SimParams { warmup: 10.0, horizon: 60.0, seeds: 4, base_seed: 17 };
-    let ok = exp.run(PolicyKind::OttKrishnan { max_hops: 11 }, &params).blocking_mean();
-    let controlled =
-        exp.run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params).blocking_mean();
-    assert!(ok > controlled * 1.1, "ott-krishnan {ok} vs controlled {controlled}");
+    let params = SimParams {
+        warmup: 10.0,
+        horizon: 60.0,
+        seeds: 4,
+        base_seed: 17,
+    };
+    let ok = exp
+        .run(PolicyKind::OttKrishnan { max_hops: 11 }, &params)
+        .blocking_mean();
+    let controlled = exp
+        .run(PolicyKind::ControlledAlternate { max_hops: 11 }, &params)
+        .blocking_mean();
+    assert!(
+        ok > controlled * 1.1,
+        "ott-krishnan {ok} vs controlled {controlled}"
+    );
 }

@@ -9,7 +9,12 @@ use altroute::sim::experiment::{Experiment, SimParams};
 use altroute::teletraffic::reservation::{protection_level, shadow_price_bound};
 
 fn params(seeds: u32, horizon: f64) -> SimParams {
-    SimParams { warmup: 10.0, horizon, seeds, base_seed: 0xBEEF }
+    SimParams {
+        warmup: 10.0,
+        horizon,
+        seeds,
+        base_seed: 0xBEEF,
+    }
 }
 
 /// The headline guarantee on the quadrangle across the whole load range,
@@ -62,13 +67,20 @@ fn uncontrolled_avalanche_beyond_critical_load() {
         .expect("valid instance");
     let p = params(5, 60.0);
     let single = exp.run(PolicyKind::SinglePath, &p).blocking_mean();
-    let uncontrolled = exp.run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &p).blocking_mean();
-    let controlled = exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &p).blocking_mean();
+    let uncontrolled = exp
+        .run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &p)
+        .blocking_mean();
+    let controlled = exp
+        .run(PolicyKind::ControlledAlternate { max_hops: 3 }, &p)
+        .blocking_mean();
     assert!(
         uncontrolled > single * 1.5,
         "expected the avalanche: uncontrolled {uncontrolled} vs single {single}"
     );
-    assert!(controlled <= single * 1.1, "controlled {controlled} vs single {single}");
+    assert!(
+        controlled <= single * 1.1,
+        "controlled {controlled} vs single {single}"
+    );
 }
 
 /// At low load the controlled scheme behaves like uncontrolled alternate
@@ -80,10 +92,20 @@ fn controlled_mimics_uncontrolled_at_low_load() {
         .expect("valid instance");
     let p = params(5, 60.0);
     let single = exp.run(PolicyKind::SinglePath, &p).blocking_mean();
-    let uncontrolled = exp.run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &p).blocking_mean();
-    let controlled = exp.run(PolicyKind::ControlledAlternate { max_hops: 3 }, &p).blocking_mean();
-    assert!(uncontrolled < single * 0.5, "alternates must pay off at 80 Erlangs");
-    assert!(controlled < single * 0.5, "controlled must keep most of the benefit");
+    let uncontrolled = exp
+        .run(PolicyKind::UncontrolledAlternate { max_hops: 3 }, &p)
+        .blocking_mean();
+    let controlled = exp
+        .run(PolicyKind::ControlledAlternate { max_hops: 3 }, &p)
+        .blocking_mean();
+    assert!(
+        uncontrolled < single * 0.5,
+        "alternates must pay off at 80 Erlangs"
+    );
+    assert!(
+        controlled < single * 0.5,
+        "controlled must keep most of the benefit"
+    );
 }
 
 /// Simulated blocking always respects the Erlang cut-set lower bound.
@@ -154,7 +176,11 @@ fn pathwide_shadow_price_budget_below_one() {
 #[test]
 fn plans_wire_protection_levels_correctly() {
     for (topo, traffic, h) in [
-        (topologies::quadrangle(), TrafficMatrix::uniform(4, 90.0), 3u32),
+        (
+            topologies::quadrangle(),
+            TrafficMatrix::uniform(4, 90.0),
+            3u32,
+        ),
         (
             topologies::nsfnet(100),
             altroute::netgraph::estimate::nsfnet_nominal_traffic().traffic,

@@ -1,0 +1,252 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) API this workspace's
+//! benches use: `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be fetched. This stand-in times each benchmark with
+//! `std::time::Instant` and prints `name  mean ± spread (N samples)`
+//! lines instead of criterion's HTML/statistics machinery. Substring
+//! filtering (`cargo bench -- <filter>`) and `--test` mode (run each
+//! bench once, as `cargo test` does for bench targets) are supported.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one benchmark at default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            name.as_ref(),
+            DEFAULT_SAMPLES,
+            self.test_mode,
+            self.wants(name.as_ref()),
+            f,
+        );
+        self
+    }
+
+    /// Opens a named group whose benchmarks share settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+/// Per-benchmark wall-clock budget; sampling stops early past this.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// A group of benchmarks sharing a sample count, as
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(
+            &full,
+            self.sample_size,
+            self.parent.test_mode,
+            self.parent.wants(&full),
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    test_mode: bool,
+    wanted: bool,
+    mut f: F,
+) {
+    if !wanted {
+        return;
+    }
+    let samples = if test_mode { 1 } else { samples };
+    let mut times = Vec::with_capacity(samples);
+    let started = Instant::now();
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        if b.iterations > 0 {
+            times.push(b.elapsed.as_secs_f64() / b.iterations as f64);
+        }
+        if started.elapsed() > TIME_BUDGET && !times.is_empty() {
+            break;
+        }
+    }
+    if test_mode {
+        println!("bench {name} ... ok (test mode)");
+        return;
+    }
+    let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0_f64, f64::max);
+    println!(
+        "bench {name:<56} {:>12} (min {}, max {}, {} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        times.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times closures, as `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f`, accumulating one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Bundles benchmark functions into one runner fn, as
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_samples() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        b.iter(|| n += 1);
+        assert_eq!(b.iterations, 2);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn group_runs_and_filters() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            test_mode: true,
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("keep_me", |b| b.iter(|| ran.push("keep")));
+            g.finish();
+        }
+        c.bench_function("skipped", |b| b.iter(|| ran.push("skip")));
+        assert_eq!(ran, vec!["keep"]);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

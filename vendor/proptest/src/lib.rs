@@ -1,0 +1,300 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [proptest](https://crates.io/crates/proptest) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be fetched. This stand-in keeps the property tests' source
+//! unchanged: the [`proptest!`] macro, range / tuple / `any` / `Just` /
+//! `prop_map` strategies, `collection::vec`, and the `prop_assert*` /
+//! `prop_assume!` macros all behave API-compatibly.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generating inputs
+//!   formatted into the message instead of a minimized counterexample.
+//! * **Deterministic generation.** Each test derives its RNG seed from
+//!   the test's name, so failures reproduce exactly across runs.
+//! * Far fewer strategy combinators — only what the workspace needs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// How many elements a collection strategy may generate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec` — a vector of `size` samples of
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `use proptest::prelude::*` sites expect.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, fmt, ...)` — fail the
+/// current case without aborting the whole process (the harness turns it
+/// into a panic that names the case inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` — equality assertion usable inside
+/// [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` — inequality assertion usable inside
+/// [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// `prop_assume!(cond)` — discard the current case (it counts as neither
+/// pass nor fail) when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![a, b, ...]` — pick one of the listed strategies per case.
+/// All branches must yield the same `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// The `proptest! { ... }` block: turns each
+/// `fn name(arg in strategy, ...) { body }` into a `#[test]` running the
+/// body over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_item! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_item! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_item {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(100);
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "property '{}': too many rejected cases ({} attempts for {} passes)",
+                    stringify!($name),
+                    attempts,
+                    passed
+                );
+                $(let $arg = ($strategy).sample(&mut rng);)+
+                let inputs = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed after {} passing case(s)\n  inputs: {}\n  {}",
+                            stringify!($name),
+                            passed,
+                            inputs,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_item! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_respect_bounds(x in 3u32..10, y in 0.0f64..1.0, z in 5usize..=7) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((5..=7).contains(&z));
+        }
+
+        fn tuples_and_vec(pair in (1u64..100, 0i32..5), xs in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(pair.0 >= 1 && pair.1 < 5);
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&b| b < 4));
+        }
+
+        fn map_and_assume(n in (0u32..50).prop_map(|v| v * 2)) {
+            prop_assume!(n > 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    fn any_covers_wide_range() {
+        let mut rng = TestRng::for_test("any_covers_wide_range");
+        let s = any::<u64>();
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        assert_ne!(a, b, "consecutive full-range samples should differ");
+        let flags: Vec<bool> = (0..64).map(|_| any::<bool>().sample(&mut rng)).collect();
+        assert!(flags.iter().any(|&f| f) && flags.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("different");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn assertion_macros_produce_case_errors() {
+        fn body(x: u32) -> Result<(), TestCaseError> {
+            prop_assume!(x != 3);
+            prop_assert!(x < 100, "x was {}", x);
+            prop_assert_eq!(x / 2 + x.div_ceil(2), x);
+            Ok(())
+        }
+        assert!(matches!(body(3), Err(TestCaseError::Reject(_))));
+        assert!(matches!(body(200), Err(TestCaseError::Fail(_))));
+        assert!(body(7).is_ok());
+    }
+}

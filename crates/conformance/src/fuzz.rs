@@ -1,0 +1,203 @@
+//! Scenario fuzzing: metamorphic invariants on random instances.
+//!
+//! [`fuzz_instances`] draws random topologies, traffic matrices, and hop
+//! bounds from [`random_instance`] and cross-checks relations that must
+//! hold for *any* instance:
+//!
+//! * **Conservation** — offered = blocked + carried (primary +
+//!   alternate), exactly, network-wide and as per-pair sums. (Torn-down
+//!   calls are a subset of carried, and no dynamic outages are scheduled
+//!   here, so `dropped = 0`.)
+//! * **`r = 0` reduction** — the controlled policy with every protection
+//!   level forced to zero is *byte-identical* to free (uncontrolled)
+//!   alternate routing: same [`SeedResult`], including engine metrics.
+//! * **`H = 1` reduction** — with the hop bound at one, the only
+//!   candidate is the primary itself, so controlled alternate routing is
+//!   byte-identical to the primary-only policy.
+//! * **Load monotonicity** — scaling every demand up cannot decrease
+//!   network blocking, checked statistically (seeds pooled, small
+//!   margin) because the relation is a coupling argument, not a per-seed
+//!   identity.
+//!
+//! Violations are collected as human-readable strings naming the
+//! instance seed, so a failure is reproducible in isolation.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::topologies::random_instance;
+use altroute_sim::engine::{run_seed, RunConfig, SeedResult};
+use altroute_sim::failures::FailureSchedule;
+
+/// Margin granted to the statistical load-monotonicity check (the exact
+/// reductions get none).
+pub const MONOTONE_MARGIN: f64 = 0.02;
+
+/// Outcome of a fuzzing session.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Random instances examined.
+    pub instances: usize,
+    /// Engine runs executed in total.
+    pub runs: usize,
+    /// Invariant violations found (empty on success).
+    pub violations: Vec<String>,
+}
+
+fn conservation(tag: &str, seed: u64, r: &SeedResult, violations: &mut Vec<String>) {
+    let carried = r.carried_primary + r.carried_alternate;
+    if r.offered != r.blocked + carried {
+        violations.push(format!(
+            "[{seed:#x}] {tag}: offered {} != blocked {} + carried {}",
+            r.offered, r.blocked, carried
+        ));
+    }
+    if r.per_pair_offered.iter().sum::<u64>() != r.offered {
+        violations.push(format!(
+            "[{seed:#x}] {tag}: per-pair offered does not sum to {}",
+            r.offered
+        ));
+    }
+    if r.per_pair_blocked.iter().sum::<u64>() != r.blocked {
+        violations.push(format!(
+            "[{seed:#x}] {tag}: per-pair blocked does not sum to {}",
+            r.blocked
+        ));
+    }
+    if r.dropped != 0 {
+        violations.push(format!(
+            "[{seed:#x}] {tag}: {} calls dropped with no outage scheduled",
+            r.dropped
+        ));
+    }
+}
+
+/// Fuzzes `count` random instances derived from `master_seed`, checking
+/// every metamorphic invariant. Deterministic for a fixed seed.
+pub fn fuzz_instances(master_seed: u64, count: usize) -> FuzzReport {
+    let mut violations = Vec::new();
+    let mut runs = 0usize;
+    for k in 0..count {
+        let inst_seed = master_seed.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let inst = random_instance(inst_seed);
+        let h = inst.max_hops;
+        let plan = RoutingPlan::min_hop(inst.topology.clone(), &inst.traffic, h);
+        let failures = FailureSchedule::none();
+        let warmup = 0.5;
+        let horizon = 4.0;
+        let mut run = |plan: &RoutingPlan,
+                       policy: PolicyKind,
+                       traffic: &altroute_netgraph::traffic::TrafficMatrix,
+                       seed: u64| {
+            runs += 1;
+            run_seed(&RunConfig {
+                plan,
+                policy,
+                traffic,
+                warmup,
+                horizon,
+                seed,
+                failures: &failures,
+            })
+        };
+
+        // Conservation on the instance's own controlled policy.
+        let controlled = run(
+            &plan,
+            PolicyKind::ControlledAlternate { max_hops: h },
+            &inst.traffic,
+            inst_seed ^ 0xC0,
+        );
+        conservation("controlled", inst_seed, &controlled, &mut violations);
+
+        // r = 0: controlled alternate routing degenerates to free
+        // alternate routing, bit for bit.
+        let free_plan = plan
+            .clone()
+            .with_protection_levels(vec![0; plan.topology().num_links()]);
+        let zero_controlled = run(
+            &free_plan,
+            PolicyKind::ControlledAlternate { max_hops: h },
+            &inst.traffic,
+            inst_seed ^ 0xF1,
+        );
+        let uncontrolled = run(
+            &free_plan,
+            PolicyKind::UncontrolledAlternate { max_hops: h },
+            &inst.traffic,
+            inst_seed ^ 0xF1,
+        );
+        if zero_controlled != uncontrolled {
+            violations.push(format!(
+                "[{inst_seed:#x}] r=0 controlled != uncontrolled: blocking {} vs {}",
+                zero_controlled.blocking(),
+                uncontrolled.blocking()
+            ));
+        }
+        conservation("uncontrolled", inst_seed, &uncontrolled, &mut violations);
+
+        // H = 1: the primary is the only candidate, so controlled
+        // routing degenerates to single-path, bit for bit.
+        let plan_h1 = RoutingPlan::min_hop(inst.topology.clone(), &inst.traffic, 1);
+        let h1_controlled = run(
+            &plan_h1,
+            PolicyKind::ControlledAlternate { max_hops: 1 },
+            &inst.traffic,
+            inst_seed ^ 0x41,
+        );
+        let single = run(
+            &plan_h1,
+            PolicyKind::SinglePath,
+            &inst.traffic,
+            inst_seed ^ 0x41,
+        );
+        if h1_controlled != single {
+            violations.push(format!(
+                "[{inst_seed:#x}] H=1 controlled != single-path: blocking {} vs {}",
+                h1_controlled.blocking(),
+                single.blocking()
+            ));
+        }
+
+        // Load monotonicity: 1.4× the demand cannot lower blocking
+        // (statistical — common random numbers couple the runs, but the
+        // relation is not a per-seed identity).
+        let heavier = inst.traffic.scaled(1.4);
+        let pool = |traffic: &altroute_netgraph::traffic::TrafficMatrix,
+                    run: &mut dyn FnMut(
+            &RoutingPlan,
+            PolicyKind,
+            &altroute_netgraph::traffic::TrafficMatrix,
+            u64,
+        ) -> SeedResult| {
+            let mut offered = 0u64;
+            let mut blocked = 0u64;
+            for s in 0..3u64 {
+                let r = run(
+                    &plan,
+                    PolicyKind::ControlledAlternate { max_hops: h },
+                    traffic,
+                    inst_seed ^ (0x10AD + s),
+                );
+                offered += r.offered;
+                blocked += r.blocked;
+            }
+            if offered == 0 {
+                0.0
+            } else {
+                blocked as f64 / offered as f64
+            }
+        };
+        let base_blocking = pool(&inst.traffic, &mut run);
+        let heavy_blocking = pool(&heavier, &mut run);
+        if heavy_blocking + MONOTONE_MARGIN < base_blocking {
+            violations.push(format!(
+                "[{inst_seed:#x}] blocking not monotone in load: {base_blocking} at 1.0x vs {heavy_blocking} at 1.4x"
+            ));
+        }
+    }
+    FuzzReport {
+        instances: count,
+        runs,
+        violations,
+    }
+}

@@ -1,0 +1,163 @@
+//! Golden-trace recording and replay.
+//!
+//! Two fixed scenarios — the paper's Fig. 3 quadrangle and NSFNet — run
+//! through [`run_seed_traced`](altroute_sim::engine::run_seed_traced)
+//! with a [`BinaryTraceWriter`], and the resulting byte blobs are checked
+//! into `crates/conformance/golden/`. [`replay_check`] re-records a
+//! scenario and diffs it against the checked-in bytes: any change to
+//! event ordering, RNG stream layout, or admission logic surfaces as a
+//! divergence at a specific event index.
+//!
+//! Golden files are regenerated with the `conformance --bless` CLI
+//! subcommand (see [`bless`]) after an *intentional* behaviour change,
+//! and the new bytes are reviewed like any other diff.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::estimate::nsfnet_nominal_traffic;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{run_seed_traced, RunConfig};
+use altroute_sim::failures::FailureSchedule;
+use altroute_sim::trace::{diff_traces, BinaryTraceWriter, TraceDiff};
+use std::path::PathBuf;
+
+/// Whether to record a scenario as specified or with a deliberate
+/// admission-logic change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Record the scenario as specified.
+    Nominal,
+    /// Record with every protection level bumped by one (clamped to the
+    /// link capacity) — a minimal admission-logic change that must flip
+    /// the trace diff red, proving the replay check has teeth.
+    BumpProtection,
+}
+
+struct Scenario {
+    plan: RoutingPlan,
+    policy: PolicyKind,
+    traffic: TrafficMatrix,
+    failures: FailureSchedule,
+    warmup: f64,
+    horizon: f64,
+    seed: u64,
+}
+
+/// The checked-in golden scenarios.
+pub fn golden_names() -> &'static [&'static str] {
+    &["quadrangle-fig3", "nsfnet"]
+}
+
+fn scenario(name: &str) -> Scenario {
+    match name {
+        // The paper's Fig. 3 quadrangle under heavy symmetric load, with
+        // one link taken down mid-run so the trace also pins teardown,
+        // stale-departure, and link-event behaviour.
+        "quadrangle-fig3" => {
+            let topo = topologies::quadrangle();
+            let traffic = TrafficMatrix::uniform(4, 95.0);
+            let outage_link = topo.link_between(0, 1).expect("quadrangle has 0-1");
+            Scenario {
+                plan: RoutingPlan::min_hop(topo, &traffic, 3),
+                policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+                traffic,
+                failures: FailureSchedule::none().with_outage(outage_link, 1.0, 1.8),
+                warmup: 0.5,
+                horizon: 2.0,
+                seed: 0x601D_F163,
+            }
+        }
+        // NSFNet moderately above its fitted nominal load: a mesh large
+        // enough that the trace exercises many concurrent pair streams,
+        // congested enough that alternate admissions regularly probe the
+        // protection thresholds (the perturbation test depends on it)
+        // without saturating every link.
+        "nsfnet" => {
+            let topo = topologies::nsfnet(100);
+            let traffic = nsfnet_nominal_traffic().traffic.scaled(1.35);
+            Scenario {
+                plan: RoutingPlan::min_hop(topo, &traffic, 3),
+                policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+                traffic,
+                failures: FailureSchedule::none(),
+                warmup: 0.2,
+                horizon: 2.8,
+                seed: 0x0601_D05F,
+            }
+        }
+        other => panic!("unknown golden scenario `{other}`"),
+    }
+}
+
+/// Where the checked-in trace for `name` lives.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{name}.trace"))
+}
+
+/// Records scenario `name` and returns the encoded trace.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name.
+pub fn record_scenario(name: &str, perturbation: Perturbation) -> Vec<u8> {
+    let mut s = scenario(name);
+    if perturbation == Perturbation::BumpProtection {
+        let capacities: Vec<u32> = s
+            .plan
+            .topology()
+            .links()
+            .iter()
+            .map(|l| l.capacity)
+            .collect();
+        let bumped: Vec<u32> = s
+            .plan
+            .protection_levels()
+            .iter()
+            .zip(&capacities)
+            .map(|(&r, &c)| (r + 1).min(c))
+            .collect();
+        s.plan = s.plan.with_protection_levels(bumped);
+    }
+    let mut writer = BinaryTraceWriter::new(s.seed, name);
+    run_seed_traced(
+        &RunConfig {
+            plan: &s.plan,
+            policy: s.policy,
+            traffic: &s.traffic,
+            warmup: s.warmup,
+            horizon: s.horizon,
+            seed: s.seed,
+            failures: &s.failures,
+        },
+        &mut writer,
+    );
+    writer.finish()
+}
+
+/// Re-records scenario `name` and diffs against the checked-in golden
+/// trace. Returns `None` on an exact match, or a human-readable
+/// divergence description.
+pub fn replay_check(name: &str) -> Option<String> {
+    let path = golden_path(name);
+    let golden = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) => return Some(format!("cannot read {}: {e}", path.display())),
+    };
+    let fresh = record_scenario(name, Perturbation::Nominal);
+    match diff_traces(&golden, &fresh) {
+        Ok(TraceDiff::Identical) => None,
+        Ok(diff) => Some(diff.to_string()),
+        Err(e) => Some(format!("golden trace undecodable: {e}")),
+    }
+}
+
+/// Regenerates the golden trace for `name` on disk and returns its path.
+pub fn bless(name: &str) -> std::io::Result<PathBuf> {
+    let path = golden_path(name);
+    std::fs::create_dir_all(path.parent().expect("golden dir has parent"))?;
+    std::fs::write(&path, record_scenario(name, Perturbation::Nominal))?;
+    Ok(path)
+}

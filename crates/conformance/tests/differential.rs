@@ -1,0 +1,69 @@
+//! The differential-oracle acceptance suite: engine versus analytic
+//! references, fixed seeds, deterministic outcomes.
+
+use altroute_conformance::oracle::{mesh_checks, single_link_checks};
+use altroute_conformance::OracleCheck;
+
+fn report(checks: &[OracleCheck]) -> String {
+    checks
+        .iter()
+        .filter(|c| !c.pass)
+        .map(|c| {
+            format!(
+                "  {}: simulated {:.6} vs analytic {:.6} (sigma {:.6}, tolerance {:.6})\n",
+                c.name, c.simulated, c.analytic, c.sigma, c.tolerance
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn single_link_suite_covers_and_passes() {
+    let checks = single_link_checks();
+    // ≥ 20 scenarios: plain Erlang, trunk reservation (primary and
+    // alternate streams), and multirate Kaufman–Roberts classes.
+    assert!(
+        checks.len() >= 20,
+        "only {} single-link checks",
+        checks.len()
+    );
+    let erlang = checks
+        .iter()
+        .filter(|c| c.name.starts_with("erlang"))
+        .count();
+    let reservation = checks
+        .iter()
+        .filter(|c| c.name.starts_with("reservation"))
+        .count();
+    let multirate = checks
+        .iter()
+        .filter(|c| c.name.starts_with("kaufman-roberts"))
+        .count();
+    assert!(erlang >= 10, "only {erlang} Erlang checks");
+    assert!(reservation >= 14, "only {reservation} reservation checks");
+    assert!(multirate >= 3, "only {multirate} multirate checks");
+    let failures = report(&checks);
+    assert!(failures.is_empty(), "oracle disagreements:\n{failures}");
+}
+
+#[test]
+fn mesh_suite_covers_and_passes() {
+    let checks = mesh_checks();
+    assert!(checks.len() >= 5, "only {} mesh checks", checks.len());
+    let failures = report(&checks);
+    assert!(
+        failures.is_empty(),
+        "fixed-point disagreements:\n{failures}"
+    );
+}
+
+#[test]
+fn oracle_checks_are_deterministic() {
+    let a = single_link_checks();
+    let b = single_link_checks();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.simulated.to_bits(), y.simulated.to_bits());
+        assert_eq!(x.analytic.to_bits(), y.analytic.to_bits());
+    }
+}

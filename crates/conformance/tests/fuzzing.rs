@@ -1,0 +1,27 @@
+//! Scenario-fuzzer acceptance: metamorphic invariants hold on a batch of
+//! random instances.
+
+use altroute_conformance::fuzz_instances;
+
+#[test]
+fn fuzzer_finds_no_violations() {
+    // Fewer instances in debug builds keeps the tier-1 test run fast;
+    // release CI runs the full batch.
+    let count = if cfg!(debug_assertions) { 6 } else { 20 };
+    let report = fuzz_instances(0x5EED_FACE, count);
+    assert_eq!(report.instances, count);
+    assert!(report.runs >= count * 11, "unexpectedly few engine runs");
+    assert!(
+        report.violations.is_empty(),
+        "metamorphic violations:\n{}",
+        report.violations.join("\n")
+    );
+}
+
+#[test]
+fn fuzzer_is_deterministic() {
+    let a = fuzz_instances(0xDE7E_12A1, 2);
+    let b = fuzz_instances(0xDE7E_12A1, 2);
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.violations, b.violations);
+}

@@ -154,6 +154,37 @@ impl RoutingPlan {
         self
     }
 
+    /// Replaces the per-link protection levels with an explicit vector,
+    /// overriding the Eq. 15 values computed from the primary loads.
+    ///
+    /// This is the hook behind what-if studies and the conformance
+    /// subsystem's differential oracles: pinning `r^k` exactly lets a
+    /// simulated link be compared against the analytic protected
+    /// birth–death chain with the *same* protection level, and setting all
+    /// levels to zero makes the controlled policy provably coincide with
+    /// free (uncontrolled) alternate routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from the link count or any level
+    /// exceeds its link's capacity.
+    pub fn with_protection_levels(mut self, levels: Vec<u32>) -> Self {
+        assert_eq!(
+            levels.len(),
+            self.topo.num_links(),
+            "need one protection level per link"
+        );
+        for (l, (&r, link)) in levels.iter().zip(self.topo.links()).enumerate() {
+            assert!(
+                r <= link.capacity,
+                "link {l}: protection {r} exceeds capacity {}",
+                link.capacity
+            );
+        }
+        self.protection = levels;
+        self
+    }
+
     /// The topology the plan was built for.
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -225,6 +256,31 @@ mod tests {
         for l in 0..30 {
             assert_eq!(plan.shadow_table(l).capacity(), 100);
         }
+    }
+
+    #[test]
+    fn protection_override_replaces_eq15_levels() {
+        let topo = topologies::quadrangle();
+        let traffic = TrafficMatrix::uniform(4, 90.0);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 3);
+        let num_links = plan.topology().num_links();
+        let zeroed = plan.clone().with_protection_levels(vec![0; num_links]);
+        assert!(zeroed.protection_levels().iter().all(|&r| r == 0));
+        let mut levels = vec![0u32; num_links];
+        levels[3] = 7;
+        let custom = plan.with_protection_levels(levels.clone());
+        assert_eq!(custom.protection_levels(), &levels[..]);
+        assert_eq!(custom.protection(3), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn protection_override_rejects_oversized_level() {
+        let topo = topologies::quadrangle();
+        let traffic = TrafficMatrix::uniform(4, 10.0);
+        let plan = RoutingPlan::min_hop(topo, &traffic, 3);
+        let num_links = plan.topology().num_links();
+        plan.with_protection_levels(vec![101; num_links]);
     }
 
     #[test]

@@ -8,7 +8,14 @@
 //! altroute_cli simulate <config.json> [--metrics-json]
 //!                                                   full experiment from a JSON config
 //! altroute_cli example-config                       print a commented example config
+//! altroute_cli conformance [--bless]                run the conformance suite
 //! ```
+//!
+//! `conformance` runs the full differential-oracle, golden-trace-replay,
+//! and scenario-fuzzing suite from the `altroute-conformance` crate and
+//! exits non-zero on any disagreement. With `--bless` it instead
+//! regenerates the checked-in golden traces (after an *intentional*
+//! engine behaviour change) and exits.
 //!
 //! With `--metrics-json` the simulate command prints a machine-readable
 //! JSON document instead of the table: per-policy blocking summary plus
@@ -412,6 +419,51 @@ fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_conformance(bless: bool) -> Result<(), String> {
+    if bless {
+        for name in altroute_conformance::golden_names() {
+            let path = altroute_conformance::golden::bless(name)
+                .map_err(|e| format!("blessing {name}: {e}"))?;
+            println!("blessed {name} -> {}", path.display());
+        }
+        println!("review the regenerated traces like any other diff");
+        return Ok(());
+    }
+    let summary = altroute_conformance::run_all();
+    let mut table = Table::new(["oracle check", "simulated", "analytic", "tolerance", "ok"]);
+    for c in &summary.oracle {
+        table.row([
+            c.name.clone(),
+            fmt_prob(c.simulated),
+            fmt_prob(c.analytic),
+            fmt_prob(c.tolerance),
+            if c.pass { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    for (name, divergence) in &summary.golden {
+        match divergence {
+            None => println!("golden {name}: replay identical"),
+            Some(d) => println!("golden {name}: DIVERGED\n{d}"),
+        }
+    }
+    println!(
+        "fuzz: {} instances, {} engine runs, {} violations",
+        summary.fuzz.instances,
+        summary.fuzz.runs,
+        summary.fuzz.violations.len()
+    );
+    for v in &summary.fuzz.violations {
+        println!("  {v}");
+    }
+    if summary.all_passed() {
+        println!("conformance: all stages passed");
+        Ok(())
+    } else {
+        Err("conformance suite failed".into())
+    }
+}
+
 fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
     s.parse()
         .map_err(|_| format!("{what} must be a number, got '{s}'"))
@@ -470,9 +522,12 @@ fn run() -> Result<(), String> {
             println!("{EXAMPLE_CONFIG}");
             Ok(())
         }
+        Some("conformance") if args.len() == 1 => cmd_conformance(false),
+        Some("conformance") if args.len() == 2 && args[1] == "--bless" => cmd_conformance(true),
         _ => Err(
             "usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
-                  protect LOAD CAP H | simulate CONFIG.json [--metrics-json] | example-config>"
+                  protect LOAD CAP H | simulate CONFIG.json [--metrics-json] | \
+                  example-config | conformance [--bless]>"
                 .into(),
         ),
     }

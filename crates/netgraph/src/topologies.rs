@@ -11,6 +11,28 @@
 //! matching the paper's modelling assumption.
 
 use crate::graph::Topology;
+use crate::traffic::TrafficMatrix;
+
+/// Deterministic u64 stream: splitmix64 seeding then xorshift64*.
+/// Dependency-free, and adjacent seeds give unrelated streams.
+fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    state ^= state >> 31;
+    state |= 1;
+    move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Maps a raw u64 to a uniform f64 in `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// The undirected edge list of the NSFNet T3 backbone model, exactly the
 /// 15 node pairs whose 30 directed links appear in Table 1 of the paper.
@@ -161,19 +183,7 @@ pub fn random_mesh(n: usize, extra_edges: usize, capacity: u32, seed: u64) -> To
         "at most {max_chords} chords exist beyond the ring on {n} nodes"
     );
     let mut t = ring(n, capacity);
-    // splitmix64 seeding then xorshift64* — deterministic and
-    // dependency-free, and adjacent seeds give unrelated streams.
-    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    state ^= state >> 31;
-    state |= 1;
-    let mut next = move || {
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    };
+    let mut next = xorshift_stream(seed);
     let mut added = 0;
     while added < extra_edges {
         let a = (next() % n as u64) as usize;
@@ -185,6 +195,54 @@ pub fn random_mesh(n: usize, extra_edges: usize, capacity: u32, seed: u64) -> To
         added += 1;
     }
     t
+}
+
+/// A self-contained randomly generated problem instance: a connected
+/// topology, a traffic matrix sized for it, and a routing hop bound.
+#[derive(Debug, Clone)]
+pub struct RandomInstance {
+    /// The generated mesh (ring plus random chords; strongly connected).
+    pub topology: Topology,
+    /// Offered Erlangs per ordered pair (some pairs may be zero).
+    pub traffic: TrafficMatrix,
+    /// Maximum alternate-path hop count `H` for this instance.
+    pub max_hops: u32,
+}
+
+/// Generates a deterministic pseudo-random problem instance from `seed`:
+/// a [`random_mesh`] on 4–8 nodes, per-pair loads spanning light load to
+/// overload, and a hop bound `H ∈ 1..=4`.
+///
+/// This is the instance source behind the conformance crate's scenario
+/// fuzzer: the metamorphic invariants it checks (conservation, `r = 0`
+/// equals free alternate routing, `H = 1` equals primary-only routing)
+/// must hold on *every* instance this returns, so the generator aims for
+/// variety — node counts, sparse and chord-rich meshes, small and large
+/// capacities, silent pairs, and loads up to twice a link's capacity.
+pub fn random_instance(seed: u64) -> RandomInstance {
+    let mut next = xorshift_stream(seed ^ 0xC0FF_EE00_D15C_0DE5);
+    let n = 4 + (next() % 5) as usize; // 4..=8 nodes
+    let max_chords = n * (n - 1) / 2 - n;
+    let extra = (next() % (max_chords.min(4) + 1) as u64) as usize;
+    let capacity = 6 + (next() % 19) as u32; // 6..=24 circuits
+    let topology = random_mesh(n, extra, capacity, next());
+    let demand_probability = 0.4 + 0.5 * unit(next());
+    let peak = f64::from(capacity) * (0.3 + 1.7 * unit(next()));
+    let mut loads = vec![0.0_f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && unit(next()) < demand_probability {
+                loads[i * n + j] = 0.05 + peak * unit(next());
+            }
+        }
+    }
+    let traffic = TrafficMatrix::from_fn(n, |i, j| loads[i * n + j]);
+    let max_hops = 1 + (next() % 4) as u32; // 1..=4
+    RandomInstance {
+        topology,
+        traffic,
+        max_hops,
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +323,35 @@ mod tests {
             .flat_map(|i| (0..10).map(move |j| (i, j)))
             .all(|(i, j)| a.link_between(i, j).is_some() == c.link_between(i, j).is_some());
         assert!(!same, "distinct seeds should differ");
+    }
+
+    #[test]
+    fn random_instances_are_deterministic_and_varied() {
+        for seed in 0..40u64 {
+            let a = random_instance(seed);
+            let b = random_instance(seed);
+            assert_eq!(a.topology.num_links(), b.topology.num_links());
+            assert_eq!(
+                a.traffic.demands().collect::<Vec<_>>(),
+                b.traffic.demands().collect::<Vec<_>>()
+            );
+            assert_eq!(a.max_hops, b.max_hops);
+            assert!(a.topology.is_strongly_connected());
+            assert!((4..=8).contains(&a.topology.num_nodes()));
+            assert!((1..=4).contains(&a.max_hops));
+            for (_, _, t) in a.traffic.demands() {
+                assert!(t > 0.0 && t.is_finite());
+            }
+        }
+        // The generator must produce instances with traffic, and vary the
+        // hop bound and node count across seeds.
+        let instances: Vec<RandomInstance> = (0..40).map(random_instance).collect();
+        assert!(instances.iter().all(|i| i.traffic.total() > 0.0));
+        assert!(instances.iter().any(|i| i.max_hops == 1));
+        assert!(instances.iter().any(|i| i.max_hops > 2));
+        let nodes: std::collections::BTreeSet<usize> =
+            instances.iter().map(|i| i.topology.num_nodes()).collect();
+        assert!(nodes.len() >= 3, "node counts should vary: {nodes:?}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::failures::FailureSchedule;
 use crate::network::NetworkState;
+use crate::trace::{NullTraceSink, TraceDecision, TraceSink};
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::{CallClass, Decision, OccupancyView, PolicyKind, Router};
 use altroute_netgraph::graph::LinkId;
@@ -239,6 +240,21 @@ impl LinkIndex {
 /// Panics on inconsistent configuration (sizes, negative durations) or if
 /// an internal invariant breaks (a policy admitting over a full link).
 pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
+    run_seed_traced(config, &mut NullTraceSink)
+}
+
+/// Runs one replication while reporting every event to `sink`.
+///
+/// This is the deterministic replay entry point behind the conformance
+/// crate's golden traces: the event stream for a given `config` is a
+/// pure function of the configuration, so recording it once and
+/// replaying later (or on another worker count) must reproduce it byte
+/// for byte. [`run_seed`] is this function with a no-op sink.
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> SeedResult {
     let started = std::time::Instant::now();
     let plan = config.plan;
     let topo = plan.topology();
@@ -343,6 +359,7 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                 match router.decide(src, dst, &network, upick) {
                     Decision::Route { path, class } => {
                         let links = path.links();
+                        sink.arrival(now, pair as u32, TraceDecision::Routed { class, links });
                         network.book(links);
                         for &l in links {
                             occupancy[l].record(now, f64::from(network.occupancy(l)));
@@ -359,6 +376,7 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                         }
                     }
                     Decision::Blocked => {
+                        sink.arrival(now, pair as u32, TraceDecision::Blocked);
                         if measured {
                             result.blocked += 1;
                             result.per_pair_blocked[pair] += 1;
@@ -371,15 +389,19 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                 // the generation check also rejects it if the slot has
                 // been reassigned to a newer call since.
                 if let Some(links) = calls.take(call, gen) {
+                    sink.departure(now, call, gen, false);
                     network.release(links);
                     for &l in links {
                         occupancy[l].record(now, f64::from(network.occupancy(l)));
                         index.remove_one(l, &calls);
                     }
+                } else {
+                    sink.departure(now, call, gen, true);
                 }
             }
             Event::Link { link, up } => {
                 let link = link as usize;
+                sink.link_change(now, link as u32, up);
                 if up {
                     network.set_up(link);
                 } else {
@@ -390,6 +412,7 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
                         let Some(links) = calls.take(id, gen) else {
                             continue;
                         };
+                        sink.teardown(now, id, gen);
                         network.release(links);
                         for &l in links {
                             occupancy[l].record(now, f64::from(network.occupancy(l)));
@@ -684,6 +707,96 @@ mod tests {
         // The reverse link carries nothing.
         let l10 = plan.topology().link_between(1, 0).unwrap();
         assert_eq!(r.metrics.link_utilization[l10], 0.0);
+    }
+
+    #[test]
+    fn reused_slot_rejects_stale_departure_handle() {
+        // Direct regression for the generational call table: a call torn
+        // down by a link failure frees its slot; a later call reuses it;
+        // the torn-down call's departure event — still in the queue with
+        // the old generation — must not be able to release the new call.
+        let path_a: Vec<LinkId> = vec![0, 1];
+        let path_b: Vec<LinkId> = vec![2];
+        let mut table = CallTable::new();
+        let (slot_a, gen_a) = table.insert(&path_a);
+        // Failure teardown ends call A through its handle.
+        assert_eq!(table.take(slot_a, gen_a), Some(&path_a[..]));
+        // Call B reuses the same slot with a bumped generation.
+        let (slot_b, gen_b) = table.insert(&path_b);
+        assert_eq!(slot_b, slot_a, "free list must hand the slot back");
+        assert_ne!(gen_b, gen_a, "reuse must bump the generation");
+        // Call A's scheduled departure fires: it must be rejected and
+        // must leave call B untouched.
+        assert_eq!(table.take(slot_a, gen_a), None);
+        assert!(table.is_live(slot_b, gen_b), "stale take must not end B");
+        assert_eq!(table.live(), 1);
+        // Call B's own departure still works.
+        assert_eq!(table.take(slot_b, gen_b), Some(&path_b[..]));
+        assert_eq!(table.live(), 0);
+    }
+
+    #[test]
+    fn outage_trace_shows_teardowns_then_stale_departures() {
+        // End-to-end over the trace hook: with an outage that tears calls
+        // down and slots that get reused, every torn-down call's original
+        // departure must surface as a *stale* departure record, never as
+        // a live release of the reused slot.
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 60.0);
+        let plan = RoutingPlan::min_hop(topo, &m, 3);
+        let link01 = plan.topology().link_between(0, 1).unwrap();
+        let failures = FailureSchedule::none().with_outage(link01, 10.0, 20.0);
+        let cfg = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic: &m,
+            warmup: 0.0,
+            horizon: 40.0,
+            seed: 4242,
+            failures: &failures,
+        };
+        let mut writer = crate::trace::BinaryTraceWriter::new(cfg.seed, "outage-regression");
+        let r = run_seed_traced(&cfg, &mut writer);
+        assert!(r.dropped > 0);
+        let (_, records) = crate::trace::decode_trace(&writer.finish()).unwrap();
+        use crate::trace::TraceRecordKind as K;
+        let torn: Vec<(u32, u32)> = records
+            .iter()
+            .filter_map(|rec| match rec.kind {
+                K::Teardown { call, gen } => Some((call, gen)),
+                _ => None,
+            })
+            .collect();
+        assert!(!torn.is_empty(), "outage must tear down calls");
+        // Each teardown's handle must later fire as a stale departure
+        // (the handle can never match again once the generation bumps).
+        for &(call, gen) in &torn {
+            let mut saw_teardown = false;
+            for rec in &records {
+                match rec.kind {
+                    K::Teardown { call: c, gen: g } if (c, g) == (call, gen) => {
+                        saw_teardown = true;
+                    }
+                    K::Departure {
+                        call: c,
+                        gen: g,
+                        stale,
+                    } if (c, g) == (call, gen) && saw_teardown => {
+                        assert!(
+                            stale,
+                            "departure for torn-down handle ({call},{gen}) must be stale"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Slots were actually reused after teardown (the hazardous case).
+        let reused = records.iter().any(|rec| {
+            matches!(rec.kind, K::Departure { call, gen, stale: false }
+                if torn.iter().any(|&(c, g)| c == call && gen > g))
+        });
+        assert!(reused, "scenario must exercise slot reuse after teardown");
     }
 
     #[test]

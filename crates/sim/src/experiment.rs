@@ -178,13 +178,32 @@ impl Experiment {
     /// slot, so results are positionally ordered and byte-identical to a
     /// sequential run regardless of which worker ran which seed.
     pub fn run(&self, kind: PolicyKind, params: &SimParams) -> ExperimentResult {
-        assert!(params.seeds > 0, "need at least one replication");
-        let plan = self.plan_for(kind);
-        let mut per_seed: Vec<Option<SeedResult>> = (0..params.seeds).map(|_| None).collect();
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(per_seed.len());
+            .unwrap_or(1);
+        self.run_with_workers(kind, params, workers)
+    }
+
+    /// As [`Experiment::run`], but with an explicit worker-pool size.
+    ///
+    /// Results are required to be byte-identical for every `workers`
+    /// value (the conformance suite pins this down by comparing a
+    /// 1-worker run against an N-worker run, `EngineMetrics` included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.seeds` or `workers` is zero.
+    pub fn run_with_workers(
+        &self,
+        kind: PolicyKind,
+        params: &SimParams,
+        workers: usize,
+    ) -> ExperimentResult {
+        assert!(params.seeds > 0, "need at least one replication");
+        assert!(workers > 0, "need at least one worker");
+        let plan = self.plan_for(kind);
+        let mut per_seed: Vec<Option<SeedResult>> = (0..params.seeds).map(|_| None).collect();
+        let workers = workers.min(per_seed.len());
         {
             let (tx, rx) = std::sync::mpsc::channel::<(usize, &mut Option<SeedResult>)>();
             for job in per_seed.iter_mut().enumerate() {
@@ -479,6 +498,38 @@ mod tests {
                 },
             );
             assert_eq!(solo.per_seed[0], first.per_seed[i], "seed index {i}");
+        }
+    }
+
+    #[test]
+    fn one_worker_and_many_workers_agree_bit_for_bit() {
+        // The bounded replication pool must be a pure scheduling detail:
+        // the same seed set through 1 worker and through N workers must
+        // produce byte-identical SeedResults, EngineMetrics included
+        // (wall clock is excluded from metric equality by design).
+        let exp =
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, 85.0)).unwrap();
+        let params = SimParams {
+            warmup: 2.0,
+            horizon: 15.0,
+            seeds: 12,
+            base_seed: 0xD0_0D,
+        };
+        for kind in [
+            PolicyKind::SinglePath,
+            PolicyKind::ControlledAlternate { max_hops: 3 },
+        ] {
+            let sequential = exp.run_with_workers(kind, &params, 1);
+            for workers in [2, 4, 8, 32] {
+                let pooled = exp.run_with_workers(kind, &params, workers);
+                assert_eq!(
+                    sequential.per_seed, pooled.per_seed,
+                    "{kind:?} with {workers} workers diverged from sequential"
+                );
+                for (a, b) in sequential.per_seed.iter().zip(&pooled.per_seed) {
+                    assert_eq!(a.metrics, b.metrics);
+                }
+            }
         }
     }
 

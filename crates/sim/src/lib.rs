@@ -22,6 +22,9 @@
 //! * [`multirate`] — calls of multiple bandwidth classes (the paper's
 //!   excluded "multiple call types"), with bandwidth-weighted admission
 //!   and protection, validated against the Kaufman–Roberts recursion.
+//! * [`trace`] — event-trace hooks: a [`trace::TraceSink`] observes every
+//!   engine event, with a compact versioned binary codec used by the
+//!   conformance crate's golden-trace replay.
 //!
 //! # Example
 //!
@@ -50,8 +53,9 @@ pub mod failures;
 pub mod multirate;
 pub mod network;
 pub mod signaling;
+pub mod trace;
 
-pub use engine::{RunConfig, SeedResult};
+pub use engine::{run_seed, run_seed_traced, RunConfig, SeedResult};
 pub use experiment::{Experiment, ExperimentError, ExperimentResult, SimParams};
 pub use failures::FailureSchedule;
 pub use network::NetworkState;

@@ -7,3 +7,10 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+
+# Conformance: differential oracles, golden-trace replay, and scenario
+# fuzzing, in --release as well — the optimized build is what produces the
+# paper's numbers, and this catches optimization-only numeric drift. Fixed
+# seeds throughout; the whole stage runs in well under a minute.
+cargo test --release -q -p altroute-conformance
+cargo run --release -q -p altroute-experiments --bin altroute_cli -- conformance

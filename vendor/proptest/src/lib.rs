@@ -200,6 +200,38 @@ macro_rules! __proptest_item {
             #[allow(unused_imports)]
             use $crate::strategy::Strategy as _;
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Replay persisted regression cases first (the corpus in this
+            // crate's proptest-regressions/ directory), so past
+            // counterexamples are re-checked before any fresh sampling.
+            for seed in $crate::test_runner::persisted_seeds(
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+            ) {
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                $(let $arg = ($strategy).sample(&mut rng);)+
+                let inputs = format!(
+                    concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(())
+                    | ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{}' failed on persisted regression seed {:#018x}\n  inputs: {}\n  {}",
+                            stringify!($name),
+                            seed,
+                            inputs,
+                            msg
+                        );
+                    }
+                }
+            }
             let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
             let mut passed: u32 = 0;
             let mut attempts: u32 = 0;

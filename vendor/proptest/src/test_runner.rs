@@ -72,6 +72,22 @@ impl TestRng {
         Self { s }
     }
 
+    /// An RNG replaying a persisted regression seed (see
+    /// [`persisted_seeds`]): the state is filled from `seed` by
+    /// SplitMix64, so a corpus line pins the exact case inputs forever.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut h = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        Self { s }
+    }
+
     /// Next 64 uniform random bits.
     pub fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.s;
@@ -92,6 +108,70 @@ impl TestRng {
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+}
+
+/// Loads the persisted regression seeds for one property test.
+///
+/// The real proptest writes shrunk counterexamples to
+/// `proptest-regressions/<source-stem>.txt` and replays them before
+/// generating fresh cases. This stub supports the same workflow with a
+/// simpler, seed-based file format — one line per persisted case:
+///
+/// ```text
+/// cc <test_name> <seed-hex>    # optional comment
+/// ```
+///
+/// `manifest_dir` is the consuming crate's `CARGO_MANIFEST_DIR`,
+/// `source_file` the `file!()` of the test (only its stem is used), and
+/// `test_name` selects this property's lines. A missing corpus file means
+/// no persisted cases; a malformed line is a hard error so corpora stay
+/// parseable.
+///
+/// # Panics
+///
+/// Panics on unreadable (but existing) files or malformed lines.
+pub fn persisted_seeds(manifest_dir: &str, source_file: &str, test_name: &str) -> Vec<u64> {
+    let stem = std::path::Path::new(source_file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("properties");
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"));
+    let Ok(contents) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for (lineno, raw) in contents.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next();
+        let name = parts.next();
+        let seed = parts.next();
+        let (Some("cc"), Some(name), Some(seed), None) = (tag, name, seed, parts.next()) else {
+            panic!(
+                "{}:{}: malformed corpus line {raw:?} (want `cc <test> <seed-hex>`)",
+                path.display(),
+                lineno + 1
+            );
+        };
+        if name != test_name {
+            continue;
+        }
+        let digits = seed.strip_prefix("0x").unwrap_or(seed);
+        let value = u64::from_str_radix(digits, 16).unwrap_or_else(|_| {
+            panic!(
+                "{}:{}: bad seed {seed:?} (want hex u64)",
+                path.display(),
+                lineno + 1
+            )
+        });
+        seeds.push(value);
+    }
+    seeds
 }
 
 #[cfg(test)]
@@ -122,5 +202,66 @@ mod tests {
     fn config_defaults() {
         assert_eq!(ProptestConfig::default().cases, 64);
         assert_eq!(ProptestConfig::with_cases(24).cases, 24);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic_and_distinct_per_seed() {
+        let mut a = TestRng::from_seed(0xDEAD_BEEF);
+        let mut b = TestRng::from_seed(0xDEAD_BEEF);
+        let mut c = TestRng::from_seed(0xDEAD_BEF0);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn persisted_seeds_parses_corpus_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-stub-corpus-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions").join("properties.txt"),
+            "# corpus header comment\n\
+             cc my_prop 0x00000000000000ff # shrunk 2024-01-01\n\
+             cc other_prop 10\n\
+             cc my_prop abc\n",
+        )
+        .unwrap();
+        let dir_str = dir.to_str().unwrap();
+        let mine = persisted_seeds(dir_str, "crates/x/tests/properties.rs", "my_prop");
+        assert_eq!(mine, vec![0xff, 0xabc]);
+        let other = persisted_seeds(dir_str, "tests/properties.rs", "other_prop");
+        assert_eq!(other, vec![0x10]);
+        assert!(persisted_seeds(dir_str, "tests/properties.rs", "unknown").is_empty());
+        // Missing corpus file: no persisted cases, no error.
+        assert!(persisted_seeds(dir_str, "tests/no_such_suite.rs", "my_prop").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed corpus line")]
+    fn persisted_seeds_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-stub-badcorpus-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions").join("properties.txt"),
+            "cc only_two_fields\n",
+        )
+        .unwrap();
+        let result = std::panic::catch_unwind(|| {
+            persisted_seeds(dir.to_str().unwrap(), "tests/properties.rs", "x")
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        match result {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(_) => panic!("expected malformed line to panic"),
+        }
     }
 }

@@ -5,11 +5,17 @@
 //! altroute_cli erlang <load> <capacity>             Erlang-B blocking / carried / lost
 //! altroute_cli dimension <load> <target-blocking>   smallest sufficient capacity
 //! altroute_cli protect <load> <capacity> <H>        Eq. 15 protection level + bound
-//! altroute_cli simulate <config.json> [--metrics-json]
+//! altroute_cli simulate <config.json> [--metrics-json] [--progress]
+//!                       [--telemetry <dir>] [--window <width>]
 //!                                                   full experiment from a JSON config
+//! altroute_cli telemetry <dir>                      human-readable telemetry report
 //! altroute_cli example-config                       print a commented example config
 //! altroute_cli conformance [--bless]                run the conformance suite
 //! ```
+//!
+//! Flags are order-independent (`--flag value` and `--flag=value` both
+//! work); unknown flags and flags a subcommand does not accept are usage
+//! errors.
 //!
 //! `conformance` runs the full differential-oracle, golden-trace-replay,
 //! and scenario-fuzzing suite from the `altroute-conformance` crate and
@@ -22,23 +28,34 @@
 //! the aggregated engine metrics (event counts, queue and call-table
 //! peaks, per-link utilization, wall clock).
 //!
+//! With `--telemetry <dir>` every replication additionally records full
+//! time-resolved telemetry (sim-time-windowed series at `--window` width,
+//! histograms, span profiles) and the command writes, per policy,
+//! Prometheus text exposition (`<policy>.prom`) and CSV time series
+//! (`<policy>_blocking.csv`, `<policy>_links.csv`), plus a combined
+//! `telemetry.json` snapshot. `telemetry <dir>` renders that snapshot as
+//! a human-readable report. `--progress` prints a replications-completed
+//! heartbeat with an ETA to stderr.
+//!
 //! The JSON config selects a topology (built-in or explicit link list), a
 //! traffic matrix (uniform, explicit, or the reconstructed NSFNet
-//! nominal), the policies to compare, failed links, and the simulation
-//! parameters. See `example-config`.
+//! nominal), the policies to compare, failed links, timed outages, and
+//! the simulation parameters. See `example-config`.
 
 use altroute_core::policy::PolicyKind;
-use altroute_experiments::output::{fmt_prob, metrics_document};
-use altroute_experiments::Table;
+use altroute_experiments::output::{fmt_prob, metrics_document, telemetry_document};
+use altroute_experiments::{Heartbeat, Series, Table};
 use altroute_json::Value;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::graph::Topology;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_sim::experiment::{Experiment, SimParams};
+use altroute_sim::experiment::{Experiment, ProgressObserver, SimParams};
 use altroute_sim::failures::FailureSchedule;
+use altroute_telemetry::{export, RunTelemetry};
 use altroute_teletraffic::erlang::{carried_traffic, dimension_link, erlang_b};
 use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
+use std::path::Path;
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -78,6 +95,9 @@ struct Config {
     policies: Vec<String>,
     max_hops: u32,
     failed_duplex: Vec<(usize, usize)>,
+    /// Timed duplex outages `(a, b, down_at, up_at)` — both directed
+    /// links between `a` and `b` go down over `[down_at, up_at)`.
+    outages: Vec<(usize, usize, f64, f64)>,
     warmup: f64,
     horizon: f64,
     seeds: u32,
@@ -127,6 +147,27 @@ fn usize_pair_list(v: &Value, what: &str) -> Result<Vec<(usize, usize)>, String>
                 _ => Err(format!("{what} entries must be integer pairs")),
             },
             _ => Err(format!("{what} entries must be [a, b] pairs, got {item}")),
+        })
+        .collect()
+}
+
+fn outage_list(v: &Value) -> Result<Vec<(usize, usize, f64, f64)>, String> {
+    v.as_array()
+        .ok_or("\"outages\" must be an array")?
+        .iter()
+        .map(|item| match item.as_array() {
+            Some([a, b, down, up]) => match (a.as_u64(), b.as_u64(), down.as_f64(), up.as_f64()) {
+                (Some(a), Some(b), Some(down), Some(up)) => {
+                    if !(down.is_finite() && up.is_finite() && down >= 0.0 && down < up) {
+                        return Err(format!("outage window [{down}, {up}) is invalid"));
+                    }
+                    Ok((a as usize, b as usize, down, up))
+                }
+                _ => Err("outage entries must be [a, b, down_at, up_at] numbers".to_string()),
+            },
+            _ => Err(format!(
+                "outage entries must be [a, b, down_at, up_at], got {item}"
+            )),
         })
         .collect()
 }
@@ -234,6 +275,7 @@ impl Config {
             "policies",
             "max_hops",
             "failed_duplex",
+            "outages",
             "warmup",
             "horizon",
             "seeds",
@@ -272,6 +314,10 @@ impl Config {
                 None => Vec::new(),
                 Some(list) => usize_pair_list(list, "\"failed_duplex\"")?,
             },
+            outages: match v.get("outages") {
+                None => Vec::new(),
+                Some(list) => outage_list(list)?,
+            },
             warmup: field_f64(v, "warmup", 10.0)?,
             horizon: field_f64(v, "horizon", 100.0)?,
             seeds: field_u64(v, "seeds", 10)? as u32,
@@ -286,6 +332,7 @@ const EXAMPLE_CONFIG: &str = r#"{
   "policies": ["single-path", "uncontrolled", "controlled"],
   "max_hops": 11,
   "failed_duplex": [],
+  "outages": [],
   "warmup": 10.0,
   "horizon": 100.0,
   "seeds": 10,
@@ -355,14 +402,16 @@ fn parse_policy(name: &str, h: u32) -> Result<PolicyKind, String> {
     }
 }
 
-fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
+fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let value = altroute_json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let config = Config::from_json(&value).map_err(|e| format!("parsing {path}: {e}"))?;
     let topo = build_topology(&config.topology)?;
     let traffic = build_traffic(&config.traffic, topo.num_nodes())?;
     let mut exp = Experiment::new(topo, traffic).map_err(|e| e.to_string())?;
-    if !config.failed_duplex.is_empty() {
+    let mut failures = if config.failed_duplex.is_empty() {
+        FailureSchedule::none()
+    } else {
         let mut links = Vec::new();
         for &(a, b) in &config.failed_duplex {
             for (s, d) in [(a, b), (b, a)] {
@@ -373,7 +422,19 @@ fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
                 );
             }
         }
-        exp = exp.with_failures(FailureSchedule::static_down(links));
+        FailureSchedule::static_down(links)
+    };
+    for &(a, b, down, up) in &config.outages {
+        for (s, d) in [(a, b), (b, a)] {
+            let link = exp
+                .topology()
+                .link_between(s, d)
+                .ok_or_else(|| format!("no link {s}->{d} for outage"))?;
+            failures = failures.with_outage(link, down, up);
+        }
+    }
+    if !failures.is_empty() {
+        exp = exp.with_failures(failures);
     }
     let params = SimParams {
         warmup: config.warmup,
@@ -381,11 +442,36 @@ fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
         seeds: config.seeds,
         base_seed: config.base_seed,
     };
+    if flags.window.is_some() && flags.telemetry.is_none() {
+        return Err("--window only makes sense with --telemetry".into());
+    }
+    let window = match flags.window {
+        Some(w) if !(w.is_finite() && w > 0.0) => {
+            return Err(format!("--window must be positive, got {w}"));
+        }
+        Some(w) => w,
+        // Default: 40 windows across the run.
+        None => (params.warmup + params.horizon) / 40.0,
+    };
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let heartbeat = flags
+        .progress
+        .then(|| Heartbeat::new(config.policies.len() * params.seeds as usize));
+    let progress = heartbeat.as_ref().map(|h| h as &dyn ProgressObserver);
     let mut table = Table::new(["policy", "blocking", "stderr", "alt-fraction"]);
     let mut results = Vec::with_capacity(config.policies.len());
+    let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
     for name in &config.policies {
         let kind = parse_policy(name, config.max_hops)?;
-        let r = exp.run(kind, &params);
+        let r = if flags.telemetry.is_some() {
+            let (r, t) = exp.run_telemetry_with_workers(kind, &params, window, workers, progress);
+            snapshots.push((kind.name().to_string(), t));
+            r
+        } else {
+            exp.run_with_progress(kind, &params, workers, progress)
+        };
         table.row([
             kind.name().to_string(),
             fmt_prob(r.blocking_mean()),
@@ -394,7 +480,33 @@ fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
         ]);
         results.push(r);
     }
-    if metrics_json {
+    if let Some(dir) = &flags.telemetry {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let write = |file: String, contents: String| -> Result<(), String> {
+            let p = dir.join(file);
+            std::fs::write(&p, contents).map_err(|e| format!("writing {}: {e}", p.display()))
+        };
+        for (name, t) in &snapshots {
+            write(format!("{name}.prom"), export::prometheus(t))?;
+            write(format!("{name}_blocking.csv"), export::blocking_csv(t))?;
+            write(format!("{name}_links.csv"), export::link_utilization_csv(t))?;
+        }
+        let entries: Vec<(String, &RunTelemetry)> = snapshots
+            .iter()
+            .map(|(name, t)| (name.clone(), t))
+            .collect();
+        write(
+            "telemetry.json".to_string(),
+            telemetry_document(path, &entries).to_string_pretty(),
+        )?;
+        eprintln!(
+            "telemetry: wrote {} files under {}",
+            3 * snapshots.len() + 1,
+            dir.display()
+        );
+    }
+    if flags.metrics_json {
         let doc = metrics_document(
             path,
             vec![
@@ -416,6 +528,148 @@ fn cmd_simulate(path: &str, metrics_json: bool) -> Result<(), String> {
             fmt_prob(exp.erlang_bound())
         );
     }
+    Ok(())
+}
+
+/// Pulls a named array of numbers out of a telemetry JSON object.
+fn json_f64s(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("telemetry.json: missing array \"{key}\""))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("telemetry.json: \"{key}\" entries must be numbers"))
+        })
+        .collect()
+}
+
+fn json_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("telemetry.json: missing integer \"{key}\""))
+}
+
+/// Renders `<dir>/telemetry.json` (written by `simulate --telemetry`) as
+/// a human-readable report: per-policy counters, histogram summaries,
+/// wall-clock phase profile, and an ASCII chart of the per-window
+/// blocking series for all policies.
+fn cmd_telemetry_report(dir: &str) -> Result<(), String> {
+    let path = Path::new(dir).join("telemetry.json");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let doc =
+        altroute_json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    let label = doc.get("label").and_then(Value::as_str).unwrap_or("?");
+    let warmup = doc.get("warmup").and_then(Value::as_f64).unwrap_or(0.0);
+    let end = doc.get("end").and_then(Value::as_f64).unwrap_or(0.0);
+    let width = doc
+        .get("window_width")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    let starts = json_f64s(&doc, "window_start")?;
+    let ends = json_f64s(&doc, "window_end")?;
+    let policies = doc
+        .get("policies")
+        .and_then(Value::as_array)
+        .ok_or("telemetry.json: missing \"policies\" array")?;
+    println!("Telemetry report: {label}");
+    println!(
+        "sim time [0, {end}), warm-up {warmup}, {} windows of width {width}\n",
+        starts.len()
+    );
+
+    let mut counters = Table::new([
+        "policy",
+        "replications",
+        "offered",
+        "blocked",
+        "blocking",
+        "alternate",
+        "dropped",
+        "events",
+    ]);
+    let mut hist_table = Table::new(["policy", "histogram", "count", "mean", "p50", "p99", "max"]);
+    let mut span_table = Table::new(["policy", "phase", "seconds", "count"]);
+    let mut blocking_series: Vec<Series> = Vec::new();
+    for p in policies {
+        let name = p
+            .get("policy")
+            .and_then(Value::as_str)
+            .ok_or("telemetry.json: policy entry without \"policy\" name")?;
+        let c = p
+            .get("counters")
+            .ok_or("telemetry.json: policy entry without \"counters\"")?;
+        let offered = json_u64(c, "offered")?;
+        let blocked = json_u64(c, "blocked")?;
+        counters.row([
+            name.to_string(),
+            json_u64(p, "replications")?.to_string(),
+            offered.to_string(),
+            blocked.to_string(),
+            fmt_prob(if offered == 0 {
+                0.0
+            } else {
+                blocked as f64 / offered as f64
+            }),
+            json_u64(c, "carried_alternate")?.to_string(),
+            json_u64(c, "dropped")?.to_string(),
+            json_u64(c, "events")?.to_string(),
+        ]);
+        if let Some(hists) = p.get("histograms").and_then(Value::as_object) {
+            for (hname, h) in hists {
+                let stat = |k: &str| h.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                hist_table.row([
+                    name.to_string(),
+                    hname.clone(),
+                    json_u64(h, "count")?.to_string(),
+                    format!("{:.4}", stat("mean")),
+                    format!("{:.4}", stat("p50")),
+                    format!("{:.4}", stat("p99")),
+                    format!("{:.4}", stat("max")),
+                ]);
+            }
+        }
+        if let Some(spans) = p.get("spans").and_then(Value::as_array) {
+            for s in spans {
+                span_table.row([
+                    name.to_string(),
+                    s.get("phase")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    format!(
+                        "{:.4}",
+                        s.get("secs").and_then(Value::as_f64).unwrap_or(0.0)
+                    ),
+                    json_u64(s, "count")?.to_string(),
+                ]);
+            }
+        }
+        let series = p
+            .get("series")
+            .ok_or("telemetry.json: policy entry without \"series\"")?;
+        let blocking = json_f64s(series, "blocking")?;
+        blocking_series.push(Series {
+            label: name.to_string(),
+            points: starts
+                .iter()
+                .zip(&ends)
+                .zip(&blocking)
+                .map(|((&s, &e), &b)| ((s + e) / 2.0, b))
+                .collect(),
+        });
+    }
+    println!("{}", counters.render());
+    println!("{}", hist_table.render());
+    if !span_table.is_empty() {
+        println!("{}", span_table.render());
+    }
+    println!("per-window network blocking (x = sim time):");
+    println!(
+        "{}",
+        altroute_experiments::render_chart(&blocking_series, 64, 16, false)
+    );
     Ok(())
 }
 
@@ -474,12 +728,104 @@ fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
         .map_err(|_| format!("{what} must be a non-negative integer, got '{s}'"))
 }
 
+/// All flags any subcommand accepts, parsed order-independently.
+#[derive(Debug, Default)]
+struct Flags {
+    metrics_json: bool,
+    progress: bool,
+    bless: bool,
+    telemetry: Option<String>,
+    window: Option<f64>,
+}
+
+impl Flags {
+    /// The flags actually set, by name — for per-subcommand validation.
+    fn set(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.metrics_json {
+            v.push("--metrics-json");
+        }
+        if self.progress {
+            v.push("--progress");
+        }
+        if self.bless {
+            v.push("--bless");
+        }
+        if self.telemetry.is_some() {
+            v.push("--telemetry");
+        }
+        if self.window.is_some() {
+            v.push("--window");
+        }
+        v
+    }
+
+    /// Rejects any set flag the subcommand does not accept.
+    fn allow_only(&self, cmd: &str, allowed: &[&str]) -> Result<(), String> {
+        match self.set().iter().find(|f| !allowed.contains(*f)) {
+            Some(f) => Err(format!("'{cmd}' does not accept {f}")),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Splits argv into positionals and [`Flags`], accepting flags anywhere
+/// (`--flag value` or `--flag=value`). Unknown flags are usage errors.
+fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut flags = Flags::default();
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
+        let Some(rest) = arg.strip_prefix("--") else {
+            positionals.push(arg.clone());
+            continue;
+        };
+        let (name, inline) = match rest.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (rest, None),
+        };
+        let takes_value = matches!(name, "telemetry" | "window");
+        let value = if takes_value {
+            match inline {
+                Some(v) => Some(v),
+                None => {
+                    let v = args
+                        .get(i)
+                        .cloned()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    i += 1;
+                    Some(v)
+                }
+            }
+        } else {
+            if inline.is_some() {
+                return Err(format!("--{name} takes no value"));
+            }
+            None
+        };
+        match name {
+            "metrics-json" => flags.metrics_json = true,
+            "progress" => flags.progress = true,
+            "bless" => flags.bless = true,
+            "telemetry" => flags.telemetry = value,
+            "window" => flags.window = Some(parse_f64(&value.expect("takes_value"), "--window")?),
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    Ok((positionals, flags))
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("erlang") if args.len() == 3 => {
-            let load = parse_f64(&args[1], "load")?;
-            let cap = parse_u32(&args[2], "capacity")?;
+    let (pos, flags) = parse_args(&args)?;
+    let pos: Vec<&str> = pos.iter().map(String::as_str).collect();
+    match pos.as_slice() {
+        ["erlang", load, cap] => {
+            flags.allow_only("erlang", &[])?;
+            let load = parse_f64(load, "load")?;
+            let cap = parse_u32(cap, "capacity")?;
             println!("B({load}, {cap})   = {:.6}", erlang_b(load, cap));
             println!("carried      = {:.3} Erlangs", carried_traffic(load, cap));
             println!(
@@ -488,9 +834,10 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
-        Some("dimension") if args.len() == 3 => {
-            let load = parse_f64(&args[1], "load")?;
-            let target = parse_f64(&args[2], "target blocking")?;
+        ["dimension", load, target] => {
+            flags.allow_only("dimension", &[])?;
+            let load = parse_f64(load, "load")?;
+            let target = parse_f64(target, "target blocking")?;
             match dimension_link(load, target, 1_000_000) {
                 Some(c) => {
                     println!("capacity {c} circuits (B = {:.6})", erlang_b(load, c));
@@ -499,10 +846,11 @@ fn run() -> Result<(), String> {
                 None => Err("no capacity up to 1e6 meets the target".into()),
             }
         }
-        Some("protect") if args.len() == 4 => {
-            let load = parse_f64(&args[1], "load")?;
-            let cap = parse_u32(&args[2], "capacity")?;
-            let h = parse_u32(&args[3], "H")?;
+        ["protect", load, cap, h] => {
+            flags.allow_only("protect", &[])?;
+            let load = parse_f64(load, "load")?;
+            let cap = parse_u32(cap, "capacity")?;
+            let h = parse_u32(h, "H")?;
             let r = protection_level(load, cap, h);
             println!("r = {r}");
             if load > 0.0 {
@@ -514,20 +862,32 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
-        Some("simulate") if args.len() == 2 => cmd_simulate(&args[1], false),
-        Some("simulate") if args.len() == 3 && args[2] == "--metrics-json" => {
-            cmd_simulate(&args[1], true)
+        ["simulate", config] => {
+            flags.allow_only(
+                "simulate",
+                &["--metrics-json", "--progress", "--telemetry", "--window"],
+            )?;
+            cmd_simulate(config, &flags)
         }
-        Some("example-config") => {
+        ["telemetry", dir] => {
+            flags.allow_only("telemetry", &[])?;
+            cmd_telemetry_report(dir)
+        }
+        ["example-config"] => {
+            flags.allow_only("example-config", &[])?;
             println!("{EXAMPLE_CONFIG}");
             Ok(())
         }
-        Some("conformance") if args.len() == 1 => cmd_conformance(false),
-        Some("conformance") if args.len() == 2 && args[1] == "--bless" => cmd_conformance(true),
+        ["conformance"] => {
+            flags.allow_only("conformance", &["--bless"])?;
+            cmd_conformance(flags.bless)
+        }
         _ => Err(
             "usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
-                  protect LOAD CAP H | simulate CONFIG.json [--metrics-json] | \
-                  example-config | conformance [--bless]>"
+                  protect LOAD CAP H | \
+                  simulate CONFIG.json [--metrics-json] [--progress] \
+                  [--telemetry DIR] [--window W] | \
+                  telemetry DIR | example-config | conformance [--bless]>"
                 .into(),
         ),
     }

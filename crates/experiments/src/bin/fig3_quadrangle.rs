@@ -6,16 +6,17 @@
 //! traffic with the x-axis value offered per ordered pair, `H = 3`
 //! (N − 1 = unlimited loop-free alternates on K4), 10 seeds of 10 + 100
 //! time units (paper parameters). Pass `--quick` for a fast low-fidelity
-//! run.
+//! run, `--progress` for a replications-completed heartbeat on stderr.
 
 use altroute_experiments::output::fmt_prob;
-use altroute_experiments::{policy_set, sweep, Table};
+use altroute_experiments::{policy_set, sweep_observed, Heartbeat, Table};
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_sim::experiment::{Experiment, SimParams};
+use altroute_sim::experiment::{Experiment, ProgressObserver, SimParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let progress = std::env::args().any(|a| a == "--progress");
     let params = if quick {
         SimParams {
             warmup: 5.0,
@@ -28,10 +29,18 @@ fn main() {
     };
     let loads: Vec<f64> = (8..=22).map(|i| f64::from(i) * 5.0).collect(); // 40..110
     let policies = policy_set(3, false);
-    let rows = sweep(&loads, &policies, &params, |load| {
-        Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, load))
-            .expect("quadrangle instance is valid")
-    });
+    let heartbeat =
+        progress.then(|| Heartbeat::new(loads.len() * policies.len() * params.seeds as usize));
+    let rows = sweep_observed(
+        &loads,
+        &policies,
+        &params,
+        heartbeat.as_ref().map(|h| h as &dyn ProgressObserver),
+        |load| {
+            Experiment::new(topologies::quadrangle(), TrafficMatrix::uniform(4, load))
+                .expect("quadrangle instance is valid")
+        },
+    );
 
     let mut table = Table::new([
         "load",

@@ -9,16 +9,18 @@
 //! loads scale it linearly, as in the paper. Pass `--quick` for a fast
 //! low-fidelity run, `--metrics-json` to print the sweep (blocking plus
 //! per-policy engine metrics and link utilization) as JSON instead of
-//! the tables.
+//! the tables, `--progress` for a replications-completed heartbeat on
+//! stderr.
 
 use altroute_experiments::output::{fmt_prob, metrics_json};
-use altroute_experiments::{nsfnet_experiment, policy_set, sweep, Table};
+use altroute_experiments::{nsfnet_experiment, policy_set, sweep_observed, Heartbeat, Table};
 use altroute_json::{obj, Value};
-use altroute_sim::experiment::SimParams;
+use altroute_sim::experiment::{ProgressObserver, SimParams};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let as_json = std::env::args().any(|a| a == "--metrics-json");
+    let progress = std::env::args().any(|a| a == "--progress");
     let params = if quick {
         SimParams {
             warmup: 5.0,
@@ -31,7 +33,15 @@ fn main() {
     };
     let loads: Vec<f64> = (2..=14).map(f64::from).collect();
     let policies = policy_set(11, true);
-    let rows = sweep(&loads, &policies, &params, nsfnet_experiment);
+    let heartbeat =
+        progress.then(|| Heartbeat::new(loads.len() * policies.len() * params.seeds as usize));
+    let rows = sweep_observed(
+        &loads,
+        &policies,
+        &params,
+        heartbeat.as_ref().map(|h| h as &dyn ProgressObserver),
+        nsfnet_experiment,
+    );
 
     if as_json {
         let json_rows: Vec<Value> = rows

@@ -10,8 +10,10 @@
 
 pub mod chart;
 pub mod output;
+pub mod progress;
 pub mod runs;
 
 pub use chart::{render as render_chart, Series};
 pub use output::Table;
-pub use runs::{nsfnet_experiment, policy_set, sweep, SweepRow};
+pub use progress::Heartbeat;
+pub use runs::{nsfnet_experiment, policy_set, sweep, sweep_observed, SweepRow};

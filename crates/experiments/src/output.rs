@@ -9,6 +9,7 @@
 use altroute_json::{obj, Value};
 use altroute_sim::experiment::ExperimentResult;
 use altroute_simcore::EngineMetrics;
+use altroute_telemetry::{Histogram, RunTelemetry};
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -149,6 +150,134 @@ pub fn metrics_document(
         Value::Array(results.iter().map(result_json).collect()),
     ));
     Value::Object(fields)
+}
+
+fn f64_array(values: impl IntoIterator<Item = f64>) -> Value {
+    Value::Array(values.into_iter().map(Value::from).collect())
+}
+
+/// A histogram's summary statistics and non-empty buckets as JSON.
+pub fn histogram_json(h: &Histogram) -> Value {
+    obj! {
+        "count" => h.count(),
+        "sum" => h.sum(),
+        "mean" => h.mean(),
+        "min" => h.min(),
+        "max" => h.max(),
+        "p50" => h.quantile(0.5),
+        "p90" => h.quantile(0.9),
+        "p99" => h.quantile(0.99),
+        "buckets" => Value::Array(
+            h.nonzero_buckets()
+                .map(|(lo, hi, c)| {
+                    Value::Array(vec![
+                        Value::from(lo),
+                        if hi.is_finite() { Value::from(hi) } else { Value::Null },
+                        Value::from(c),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// One policy's [`RunTelemetry`] snapshot as a JSON object: counters,
+/// histogram summaries, the windowed series, per-link utilization, and
+/// the wall-clock span profile.
+pub fn telemetry_json(t: &RunTelemetry) -> Value {
+    let grid = t.grid();
+    let windows = grid.num_windows();
+    obj! {
+        "replications" => t.replications,
+        "counters" => obj! {
+            "events" => t.events,
+            "offered" => t.offered,
+            "blocked" => t.blocked,
+            "carried_primary" => t.carried_primary,
+            "carried_alternate" => t.carried_alternate,
+            "dropped" => t.dropped,
+            "stale_departures" => t.stale_departures,
+            "link_state_changes" => t.link_state_changes,
+        },
+        "histograms" => obj! {
+            "holding_time" => histogram_json(&t.holding_time),
+            "path_hops" => histogram_json(&t.hop_count),
+            "event_queue_depth" => histogram_json(&t.queue_depth),
+            "inter_event_gap" => histogram_json(&t.inter_event_gap),
+        },
+        "series" => obj! {
+            "offered" => Value::Array(
+                t.offered_series.counts().iter().map(|&c| Value::from(c)).collect(),
+            ),
+            "blocked" => Value::Array(
+                t.blocked_series.counts().iter().map(|&c| Value::from(c)).collect(),
+            ),
+            "teardowns" => Value::Array(
+                t.teardown_series.counts().iter().map(|&c| Value::from(c)).collect(),
+            ),
+            "blocking" => f64_array((0..windows).map(|k| t.window_blocking(k))),
+            "alternate_fraction" =>
+                f64_array((0..windows).map(|k| t.window_alternate_fraction(k))),
+        },
+        "links" => Value::Array(
+            (0..t.capacities.len())
+                .map(|l| {
+                    obj! {
+                        "link" => l,
+                        "capacity" => t.capacities[l],
+                        "utilization" => t.overall_utilization(l),
+                        "window_utilization" =>
+                            f64_array((0..windows).map(|k| t.window_utilization(l, k))),
+                    }
+                })
+                .collect(),
+        ),
+        "spans" => Value::Array(
+            t.spans
+                .iter()
+                .map(|(name, s)| {
+                    obj! { "phase" => name, "secs" => s.secs, "count" => s.count }
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// The whole-run telemetry document: shared window grid plus one
+/// [`telemetry_json`] snapshot per policy. All snapshots must share the
+/// same grid (they come from the same config).
+///
+/// # Panics
+///
+/// Panics if `entries` is empty or the grids disagree.
+pub fn telemetry_document(label: &str, entries: &[(String, &RunTelemetry)]) -> Value {
+    let grid = entries.first().expect("at least one policy").1.grid();
+    assert!(
+        entries.iter().all(|(_, t)| t.grid() == grid),
+        "telemetry snapshots from different grids"
+    );
+    let starts = f64_array((0..grid.num_windows()).map(|k| grid.window_range(k).0));
+    let ends = f64_array((0..grid.num_windows()).map(|k| grid.window_range(k).1));
+    obj! {
+        "label" => label,
+        "window_width" => grid.width(),
+        "warmup" => entries[0].1.warmup,
+        "end" => grid.end(),
+        "window_start" => starts,
+        "window_end" => ends,
+        "policies" => Value::Array(
+            entries
+                .iter()
+                .map(|(name, t)| {
+                    let mut fields = vec![("policy".to_string(), Value::from(name.as_str()))];
+                    if let Value::Object(rest) = telemetry_json(t) {
+                        fields.extend(rest);
+                    }
+                    Value::Object(fields)
+                })
+                .collect(),
+        ),
+    }
 }
 
 /// Formats a probability for display: scientific-ish fixed width that

@@ -1,0 +1,105 @@
+//! Live progress heartbeat for long experiment runs.
+//!
+//! [`Heartbeat`] implements [`ProgressObserver`] over a *global* job
+//! total (replications × policies × load points), so one instance can be
+//! threaded through an entire sweep and report a single coherent
+//! completed-count and ETA regardless of how the work is batched into
+//! individual [`Experiment::run`] calls.
+//!
+//! [`Experiment::run`]: altroute_sim::experiment::Experiment::run
+
+use altroute_sim::experiment::ProgressObserver;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Prints `progress: done/total (pct), elapsed, eta` lines to stderr as
+/// replications complete, throttled so fast runs do not flood the
+/// terminal. Purely an observer: it never affects results.
+#[derive(Debug)]
+pub struct Heartbeat {
+    total: usize,
+    done: AtomicUsize,
+    started: Instant,
+    /// Milliseconds since `started` of the last printed line.
+    last_print_ms: AtomicU64,
+    /// Minimum milliseconds between lines (the final line always prints).
+    min_interval_ms: u64,
+}
+
+impl Heartbeat {
+    /// A heartbeat expecting `total` replications overall, printing at
+    /// most four lines per second.
+    pub fn new(total: usize) -> Self {
+        Self {
+            total,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+            last_print_ms: AtomicU64::new(u64::MAX),
+            min_interval_ms: 250,
+        }
+    }
+
+    /// Replications completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, done: usize) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if done > 0 && done < self.total {
+            let remaining = (self.total - done) as f64;
+            format!(", eta {:.1}s", elapsed / done as f64 * remaining)
+        } else {
+            String::new()
+        };
+        format!(
+            "progress: {done}/{} replications ({:.0}%), elapsed {elapsed:.1}s{eta}",
+            self.total,
+            done as f64 / self.total.max(1) as f64 * 100.0,
+        )
+    }
+}
+
+impl ProgressObserver for Heartbeat {
+    fn replication_done(&self, _completed: usize, _total: usize) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        let due = last == u64::MAX || now_ms.saturating_sub(last) >= self.min_interval_ms;
+        if !(due || done == self.total) {
+            return;
+        }
+        self.last_print_ms.store(now_ms, Ordering::Relaxed);
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{}", self.render(done));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_completions_globally_across_batches() {
+        let hb = Heartbeat::new(6);
+        // Two "runs" of three replications each report per-run counts;
+        // the heartbeat tracks the global total.
+        for batch in 0..2 {
+            for i in 0..3 {
+                let _ = batch;
+                hb.replication_done(i + 1, 3);
+            }
+        }
+        assert_eq!(hb.completed(), 6);
+    }
+
+    #[test]
+    fn render_includes_eta_only_mid_run() {
+        let hb = Heartbeat::new(4);
+        assert!(!hb.render(0).contains("eta"));
+        assert!(hb.render(2).contains("eta"));
+        assert!(!hb.render(4).contains("eta"));
+        assert!(hb.render(2).contains("2/4"));
+    }
+}

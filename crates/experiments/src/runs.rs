@@ -3,7 +3,7 @@
 use altroute_core::policy::PolicyKind;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
-use altroute_sim::experiment::{Experiment, SimParams};
+use altroute_sim::experiment::{Experiment, ProgressObserver, SimParams};
 use altroute_simcore::EngineMetrics;
 
 /// The standard comparison set at hop bound `h`: single-path,
@@ -53,6 +53,22 @@ pub fn sweep(
     params: &SimParams,
     make: impl Fn(f64) -> Experiment,
 ) -> Vec<SweepRow> {
+    sweep_observed(loads, policies, params, None, make)
+}
+
+/// As [`sweep`], notifying `progress` after every completed replication
+/// (e.g. a [`crate::progress::Heartbeat`] sized
+/// `loads × policies × seeds` for a whole-sweep ETA).
+pub fn sweep_observed(
+    loads: &[f64],
+    policies: &[PolicyKind],
+    params: &SimParams,
+    progress: Option<&dyn ProgressObserver>,
+    make: impl Fn(f64) -> Experiment,
+) -> Vec<SweepRow> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     loads
         .iter()
         .map(|&load| {
@@ -60,7 +76,7 @@ pub fn sweep(
             let mut blocking = Vec::with_capacity(policies.len());
             let mut metrics = Vec::with_capacity(policies.len());
             for &kind in policies {
-                let r = exp.run(kind, params);
+                let r = exp.run_with_progress(kind, params, workers, progress);
                 blocking.push((kind.name(), r.blocking_mean(), r.blocking_std_error()));
                 metrics.push(r.metrics_summary());
             }

@@ -24,6 +24,7 @@ use altroute_simcore::metrics::EngineMetrics;
 use altroute_simcore::queue::EventQueue;
 use altroute_simcore::rng::StreamFactory;
 use altroute_simcore::timeweighted::TimeWeighted;
+use altroute_telemetry::{ArrivalOutcome, NullRecorder, Recorder};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -240,7 +241,7 @@ impl LinkIndex {
 /// Panics on inconsistent configuration (sizes, negative durations) or if
 /// an internal invariant breaks (a policy admitting over a full link).
 pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
-    run_seed_traced(config, &mut NullTraceSink)
+    run_seed_instrumented(config, &mut NullTraceSink, &mut NullRecorder)
 }
 
 /// Runs one replication while reporting every event to `sink`.
@@ -255,6 +256,36 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
 ///
 /// As [`run_seed`].
 pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> SeedResult {
+    run_seed_instrumented(config, sink, &mut NullRecorder)
+}
+
+/// Runs one replication while feeding time-resolved telemetry to
+/// `recorder` (counters, histograms, windowed series, spans — see
+/// `altroute_telemetry`).
+///
+/// The recorder is a pure observer: for any recorder, the returned
+/// [`SeedResult`] is byte-identical to [`run_seed`]'s.
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_recorded<R: Recorder>(config: &RunConfig<'_>, recorder: &mut R) -> SeedResult {
+    run_seed_instrumented(config, &mut NullTraceSink, recorder)
+}
+
+/// Runs one replication with both a trace sink and a telemetry recorder
+/// attached. [`run_seed`], [`run_seed_traced`], and [`run_seed_recorded`]
+/// are this function with the respective no-op observers; both no-ops
+/// monomorphize to nothing, so the plain path pays no cost.
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_instrumented<S: TraceSink, R: Recorder>(
+    config: &RunConfig<'_>,
+    sink: &mut S,
+    recorder: &mut R,
+) -> SeedResult {
     let started = std::time::Instant::now();
     let plan = config.plan;
     let topo = plan.topology();
@@ -318,17 +349,19 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
         .collect();
     let mut metrics = EngineMetrics::default();
     metrics.observe_queue_len(queue.len());
-    let mut result = SeedResult {
-        seed: config.seed,
-        offered: 0,
-        blocked: 0,
-        carried_primary: 0,
-        carried_alternate: 0,
-        dropped: 0,
-        per_pair_offered: vec![0; n * n],
-        per_pair_blocked: vec![0; n * n],
-        metrics: EngineMetrics::default(),
-    };
+    // Counters the loop accumulates; the SeedResult — `metrics` included —
+    // is assembled exactly once at the end, so a counter and the result
+    // can't drift apart.
+    let mut offered = 0u64;
+    let mut blocked = 0u64;
+    let mut carried_primary = 0u64;
+    let mut carried_alternate = 0u64;
+    let mut dropped = 0u64;
+    let mut per_pair_offered = vec![0u64; n * n];
+    let mut per_pair_blocked = vec![0u64; n * n];
+    // Wall clock at which the sim clock first crossed the warm-up cut,
+    // splitting the run's wall time into warmup/measurement spans.
+    let mut warmup_wall: Option<f64> = None;
 
     // Peek before popping so the clock (`queue.now()`) never advances
     // past `end`: the first event at or beyond the end of the measurement
@@ -336,6 +369,9 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
     while queue.peek_time().is_some_and(|t| t < end) {
         let (now, event) = queue.pop().expect("peeked event exists");
         metrics.events_processed += 1;
+        if warmup_wall.is_none() && now >= config.warmup {
+            warmup_wall = Some(started.elapsed().as_secs_f64());
+        }
         match event {
             Event::Arrival { pair } => {
                 let pair = pair as usize;
@@ -353,16 +389,22 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
                 }
                 let measured = now >= config.warmup;
                 if measured {
-                    result.offered += 1;
-                    result.per_pair_offered[pair] += 1;
+                    offered += 1;
+                    per_pair_offered[pair] += 1;
                 }
                 match router.decide(src, dst, &network, upick) {
                     Decision::Route { path, class } => {
                         let links = path.links();
                         sink.arrival(now, pair as u32, TraceDecision::Routed { class, links });
+                        let outcome = match class {
+                            CallClass::Primary => ArrivalOutcome::Primary,
+                            CallClass::Alternate => ArrivalOutcome::Alternate,
+                        };
+                        recorder.arrival(now, measured, outcome, links.len() as u8, hold);
                         network.book(links);
                         for &l in links {
                             occupancy[l].record(now, f64::from(network.occupancy(l)));
+                            recorder.occupancy(now, l as u32, network.occupancy(l));
                         }
                         let (id, gen) = calls.insert(links);
                         index.add(links, id, gen);
@@ -370,16 +412,17 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
                         queue.schedule(now + hold, Event::Departure { call: id, gen });
                         if measured {
                             match class {
-                                CallClass::Primary => result.carried_primary += 1,
-                                CallClass::Alternate => result.carried_alternate += 1,
+                                CallClass::Primary => carried_primary += 1,
+                                CallClass::Alternate => carried_alternate += 1,
                             }
                         }
                     }
                     Decision::Blocked => {
                         sink.arrival(now, pair as u32, TraceDecision::Blocked);
+                        recorder.arrival(now, measured, ArrivalOutcome::Blocked, 0, hold);
                         if measured {
-                            result.blocked += 1;
-                            result.per_pair_blocked[pair] += 1;
+                            blocked += 1;
+                            per_pair_blocked[pair] += 1;
                         }
                     }
                 }
@@ -390,18 +433,22 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
                 // been reassigned to a newer call since.
                 if let Some(links) = calls.take(call, gen) {
                     sink.departure(now, call, gen, false);
+                    recorder.departure(now, false);
                     network.release(links);
                     for &l in links {
                         occupancy[l].record(now, f64::from(network.occupancy(l)));
+                        recorder.occupancy(now, l as u32, network.occupancy(l));
                         index.remove_one(l, &calls);
                     }
                 } else {
                     sink.departure(now, call, gen, true);
+                    recorder.departure(now, true);
                 }
             }
             Event::Link { link, up } => {
                 let link = link as usize;
                 sink.link_change(now, link as u32, up);
+                recorder.link_state(now, link as u32, up);
                 if up {
                     network.set_up(link);
                 } else {
@@ -413,21 +460,24 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
                             continue;
                         };
                         sink.teardown(now, id, gen);
+                        recorder.teardown(now, now >= config.warmup);
                         network.release(links);
                         for &l in links {
                             occupancy[l].record(now, f64::from(network.occupancy(l)));
+                            recorder.occupancy(now, l as u32, network.occupancy(l));
                             if l != link {
                                 index.remove_one(l, &calls);
                             }
                         }
                         if now >= config.warmup {
-                            result.dropped += 1;
+                            dropped += 1;
                         }
                     }
                 }
             }
         }
         metrics.observe_queue_len(queue.len());
+        recorder.event(now, queue.len());
     }
 
     metrics.call_table_high_water = calls.high_water();
@@ -439,9 +489,25 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
             tw.mean() / f64::from(link.capacity)
         })
         .collect();
-    metrics.wall_clock_secs = started.elapsed().as_secs_f64();
-    result.metrics = metrics;
-    result
+    let total_wall = started.elapsed().as_secs_f64();
+    metrics.wall_clock_secs = total_wall;
+    // A run whose clock never reached the warm-up cut spent all its wall
+    // time warming up.
+    let warmup_wall = warmup_wall.unwrap_or(total_wall);
+    recorder.span("seed_warmup", warmup_wall);
+    recorder.span("seed_measurement", total_wall - warmup_wall);
+    recorder.finish(end);
+    SeedResult {
+        seed: config.seed,
+        offered,
+        blocked,
+        carried_primary,
+        carried_alternate,
+        dropped,
+        per_pair_offered,
+        per_pair_blocked,
+        metrics,
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! [`Experiment::erlang_bound`] computes the cut-set lower bound for the
 //! same instance (accounting for statically failed links).
 
-use crate::engine::{run_seed, RunConfig, SeedResult};
+use crate::engine::{run_seed, run_seed_recorded, RunConfig, SeedResult};
 use crate::failures::FailureSchedule;
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
@@ -22,6 +22,58 @@ use altroute_netgraph::paths::min_hop_path;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_simcore::metrics::EngineMetrics;
 use altroute_simcore::stats::Replications;
+use altroute_telemetry::{RunTelemetry, SpanProfile};
+
+/// Observer of replication completions, for live progress heartbeats on
+/// long experiments. Called from worker threads (hence `Sync`); the
+/// callback must not assume any completion order.
+pub trait ProgressObserver: Sync {
+    /// Replication number `completed` (1-based, monotone) of `total`
+    /// just finished.
+    fn replication_done(&self, completed: usize, total: usize);
+}
+
+/// Runs `job(i)` for every `i < jobs` on a bounded worker pool and
+/// returns the results positionally — byte-identical to a sequential run
+/// regardless of which worker ran which index. The shared factor behind
+/// [`Experiment::run_with_workers`] and
+/// [`Experiment::run_telemetry_with_workers`].
+fn pool_run<T: Send>(
+    jobs: usize,
+    workers: usize,
+    progress: Option<&dyn ProgressObserver>,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    assert!(jobs > 0, "need at least one job");
+    assert!(workers > 0, "need at least one worker");
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let workers = workers.min(jobs);
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, &mut Option<T>)>();
+        for entry in slots.iter_mut().enumerate() {
+            tx.send(entry)
+                .expect("queue is open while jobs are enqueued");
+        }
+        drop(tx);
+        let rx = std::sync::Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Hold the lock only to dequeue; the job runs outside.
+                    let next = rx.lock().expect("no panic while dequeueing").recv();
+                    let Ok((i, slot)) = next else { break };
+                    *slot = Some(job(i));
+                    if let Some(p) = progress {
+                        let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                        p.replication_done(completed, jobs);
+                    }
+                });
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("job ran")).collect()
+}
 
 /// Simulation parameters shared by every replication.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -199,40 +251,35 @@ impl Experiment {
         params: &SimParams,
         workers: usize,
     ) -> ExperimentResult {
+        self.run_with_progress(kind, params, workers, None)
+    }
+
+    /// As [`Experiment::run_with_workers`], notifying `progress` after
+    /// each completed replication (for heartbeat output on long runs).
+    pub fn run_with_progress(
+        &self,
+        kind: PolicyKind,
+        params: &SimParams,
+        workers: usize,
+        progress: Option<&dyn ProgressObserver>,
+    ) -> ExperimentResult {
         assert!(params.seeds > 0, "need at least one replication");
-        assert!(workers > 0, "need at least one worker");
         let plan = self.plan_for(kind);
-        let mut per_seed: Vec<Option<SeedResult>> = (0..params.seeds).map(|_| None).collect();
-        let workers = workers.min(per_seed.len());
-        {
-            let (tx, rx) = std::sync::mpsc::channel::<(usize, &mut Option<SeedResult>)>();
-            for job in per_seed.iter_mut().enumerate() {
-                tx.send(job).expect("queue is open while jobs are enqueued");
-            }
-            drop(tx);
-            let rx = std::sync::Mutex::new(rx);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        // Hold the lock only to dequeue; the simulation
-                        // runs outside it.
-                        let job = rx.lock().expect("no panic while dequeueing").recv();
-                        let Ok((i, slot)) = job else { break };
-                        *slot = Some(run_seed(&RunConfig {
-                            plan: &plan,
-                            policy: kind,
-                            traffic: &self.traffic,
-                            warmup: params.warmup,
-                            horizon: params.horizon,
-                            seed: params.base_seed + i as u64,
-                            failures: &self.failures,
-                        }));
-                    });
-                }
-            });
-        }
-        let per_seed: Vec<SeedResult> =
-            per_seed.into_iter().map(|s| s.expect("seed ran")).collect();
+        let per_seed = pool_run(params.seeds as usize, workers, progress, |i| {
+            run_seed(&RunConfig {
+                plan: &plan,
+                policy: kind,
+                traffic: &self.traffic,
+                warmup: params.warmup,
+                horizon: params.horizon,
+                seed: params.base_seed + i as u64,
+                failures: &self.failures,
+            })
+        });
+        self.summarize(kind, per_seed)
+    }
+
+    fn summarize(&self, kind: PolicyKind, per_seed: Vec<SeedResult>) -> ExperimentResult {
         let blocking = Replications::summarize(
             &per_seed
                 .iter()
@@ -245,6 +292,89 @@ impl Experiment {
             per_seed,
             blocking,
         }
+    }
+
+    /// As [`Experiment::run`], but with full time-resolved telemetry:
+    /// every replication records counters, histograms, and sim-time
+    /// windowed series (window width `window`), merged across seeds in
+    /// seed order into one deterministic [`RunTelemetry`] snapshot.
+    ///
+    /// Telemetry is a pure observation: the returned [`ExperimentResult`]
+    /// is byte-identical to [`Experiment::run`]'s for the same inputs.
+    pub fn run_telemetry(
+        &self,
+        kind: PolicyKind,
+        params: &SimParams,
+        window: f64,
+    ) -> (ExperimentResult, RunTelemetry) {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.run_telemetry_with_workers(kind, params, window, workers, None)
+    }
+
+    /// As [`Experiment::run_telemetry`] with an explicit worker count and
+    /// an optional progress observer notified after each replication.
+    ///
+    /// The snapshot's deterministic fields are required to be
+    /// bit-identical for every `workers` value: replications record
+    /// independently and merge strictly in seed order. Wall-clock span
+    /// profiles (`plan_build`, `seed_warmup`, `seed_measurement`,
+    /// `replication_fan_out`, `aggregation`) are merged across workers
+    /// but excluded from snapshot equality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.seeds` or `workers` is zero, or `window <= 0`.
+    pub fn run_telemetry_with_workers(
+        &self,
+        kind: PolicyKind,
+        params: &SimParams,
+        window: f64,
+        workers: usize,
+        progress: Option<&dyn ProgressObserver>,
+    ) -> (ExperimentResult, RunTelemetry) {
+        assert!(params.seeds > 0, "need at least one replication");
+        let mut spans = SpanProfile::new();
+        let plan = spans.time("plan_build", || self.plan_for(kind));
+        let capacities: Vec<u32> = self.topo.links().iter().map(|l| l.capacity).collect();
+        let fanout_started = std::time::Instant::now();
+        let recorded = pool_run(params.seeds as usize, workers, progress, |i| {
+            let mut telemetry =
+                RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
+            let result = run_seed_recorded(
+                &RunConfig {
+                    plan: &plan,
+                    policy: kind,
+                    traffic: &self.traffic,
+                    warmup: params.warmup,
+                    horizon: params.horizon,
+                    seed: params.base_seed + i as u64,
+                    failures: &self.failures,
+                },
+                &mut telemetry,
+            );
+            (result, telemetry)
+        });
+        spans.add(
+            "replication_fan_out",
+            fanout_started.elapsed().as_secs_f64(),
+        );
+        let aggregation_started = std::time::Instant::now();
+        let mut per_seed = Vec::with_capacity(recorded.len());
+        let mut merged: Option<RunTelemetry> = None;
+        for (result, telemetry) in recorded {
+            per_seed.push(result);
+            match &mut merged {
+                None => merged = Some(telemetry),
+                Some(m) => m.merge(&telemetry),
+            }
+        }
+        let mut telemetry = merged.expect("at least one replication");
+        let result = self.summarize(kind, per_seed);
+        spans.add("aggregation", aggregation_started.elapsed().as_secs_f64());
+        telemetry.spans.merge(&spans);
+        (result, telemetry)
     }
 
     /// The Erlang cut-set lower bound on average blocking for this

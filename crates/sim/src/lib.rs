@@ -55,7 +55,9 @@ pub mod network;
 pub mod signaling;
 pub mod trace;
 
-pub use engine::{run_seed, run_seed_traced, RunConfig, SeedResult};
+pub use engine::{
+    run_seed, run_seed_instrumented, run_seed_recorded, run_seed_traced, RunConfig, SeedResult,
+};
 pub use experiment::{Experiment, ExperimentError, ExperimentResult, SimParams};
 pub use failures::FailureSchedule;
 pub use network::NetworkState;

@@ -1,0 +1,263 @@
+//! Text exporters: Prometheus exposition format and CSV time series.
+//!
+//! The Prometheus export is a point-in-time exposition of the whole-run
+//! aggregates (counters, histograms, per-link utilization gauges, span
+//! totals); the windowed series, which Prometheus cannot carry, go to CSV
+//! — one file for the network-wide blocking series, one long-format file
+//! for per-link utilization. All numbers print with Rust's shortest
+//! round-trip `f64` formatting, so re-parsing the files recovers the
+//! exact values.
+
+use crate::hist::Histogram;
+use crate::recorder::RunTelemetry;
+use std::fmt::Write as _;
+
+/// Metric-name prefix shared by every exported family.
+const PREFIX: &str = "altroute";
+
+fn prom_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {PREFIX}_{name} {help}");
+    let _ = writeln!(out, "# TYPE {PREFIX}_{name} histogram");
+    for (le, cum) in h.cumulative_buckets() {
+        if le.is_finite() {
+            let _ = writeln!(out, "{PREFIX}_{name}_bucket{{le=\"{le}\"}} {cum}");
+        } else {
+            let _ = writeln!(out, "{PREFIX}_{name}_bucket{{le=\"+Inf\"}} {cum}");
+        }
+    }
+    let _ = writeln!(out, "{PREFIX}_{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{PREFIX}_{name}_count {}", h.count());
+}
+
+fn prom_counter(out: &mut String, name: &str, help: &str, v: u64) {
+    let _ = writeln!(out, "# HELP {PREFIX}_{name} {help}");
+    let _ = writeln!(out, "# TYPE {PREFIX}_{name} counter");
+    let _ = writeln!(out, "{PREFIX}_{name} {v}");
+}
+
+/// Renders the whole-run aggregates in Prometheus text exposition format.
+pub fn prometheus(t: &RunTelemetry) -> String {
+    let mut out = String::new();
+    prom_counter(
+        &mut out,
+        "events_total",
+        "Engine events processed",
+        t.events,
+    );
+    prom_counter(
+        &mut out,
+        "calls_offered_total",
+        "Calls offered during the measurement window",
+        t.offered,
+    );
+    prom_counter(
+        &mut out,
+        "calls_blocked_total",
+        "Calls blocked during the measurement window",
+        t.blocked,
+    );
+    prom_counter(
+        &mut out,
+        "calls_carried_primary_total",
+        "Measured calls carried on their primary path",
+        t.carried_primary,
+    );
+    prom_counter(
+        &mut out,
+        "calls_carried_alternate_total",
+        "Measured calls carried on an alternate path",
+        t.carried_alternate,
+    );
+    prom_counter(
+        &mut out,
+        "calls_dropped_total",
+        "Measured calls torn down by link failures",
+        t.dropped,
+    );
+    prom_counter(
+        &mut out,
+        "stale_departures_total",
+        "Departures rejected by the generational call table",
+        t.stale_departures,
+    );
+    prom_counter(
+        &mut out,
+        "link_state_changes_total",
+        "Link up/down transitions processed",
+        t.link_state_changes,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_replications Replications merged into this snapshot"
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_replications gauge");
+    let _ = writeln!(out, "{PREFIX}_replications {}", t.replications);
+
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_link_utilization Mean occupancy/capacity per link over the run"
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_link_utilization gauge");
+    for link in 0..t.capacities.len() {
+        let _ = writeln!(
+            out,
+            "{PREFIX}_link_utilization{{link=\"{link}\"}} {}",
+            t.overall_utilization(link)
+        );
+    }
+
+    prom_histogram(
+        &mut out,
+        "holding_time",
+        "Holding times of carried calls (sim-time units)",
+        &t.holding_time,
+    );
+    prom_histogram(
+        &mut out,
+        "path_hops",
+        "Hop counts of booked paths",
+        &t.hop_count,
+    );
+    prom_histogram(
+        &mut out,
+        "event_queue_depth",
+        "Pending events after each processed event",
+        &t.queue_depth,
+    );
+    prom_histogram(
+        &mut out,
+        "inter_event_gap",
+        "Sim-time gaps between consecutive events",
+        &t.inter_event_gap,
+    );
+
+    if !t.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP {PREFIX}_phase_seconds_total Wall-clock seconds per experiment phase"
+        );
+        let _ = writeln!(out, "# TYPE {PREFIX}_phase_seconds_total counter");
+        for (name, s) in t.spans.iter() {
+            let _ = writeln!(
+                out,
+                "{PREFIX}_phase_seconds_total{{phase=\"{name}\"}} {}",
+                s.secs
+            );
+        }
+    }
+    out
+}
+
+/// Renders the network-wide windowed series as CSV: one row per window
+/// with offered/blocked counts, the blocking probability, the
+/// alternate-routed fraction, and teardown counts.
+pub fn blocking_csv(t: &RunTelemetry) -> String {
+    let mut out = String::from(
+        "window_start,window_end,offered,blocked,blocking,alternate_fraction,teardowns\n",
+    );
+    let grid = t.grid();
+    for k in 0..grid.num_windows() {
+        let (s, e) = grid.window_range(k);
+        let _ = writeln!(
+            out,
+            "{s},{e},{},{},{},{},{}",
+            t.offered_series.counts()[k],
+            t.blocked_series.counts()[k],
+            t.window_blocking(k),
+            t.window_alternate_fraction(k),
+            t.teardown_series.counts()[k],
+        );
+    }
+    out
+}
+
+/// Renders per-link windowed utilization as long-format CSV: one row per
+/// `(link, window)` with the across-replication mean utilization.
+pub fn link_utilization_csv(t: &RunTelemetry) -> String {
+    let mut out = String::from("link,window_start,window_end,utilization\n");
+    let grid = t.grid();
+    for link in 0..t.capacities.len() {
+        for k in 0..grid.num_windows() {
+            let (s, e) = grid.window_range(k);
+            let _ = writeln!(out, "{link},{s},{e},{}", t.window_utilization(link, k));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ArrivalOutcome, Recorder};
+
+    fn snapshot() -> RunTelemetry {
+        let mut t = RunTelemetry::new(1.0, 3.0, 2.0, vec![5, 5]);
+        t.event(0.5, 2);
+        t.arrival(0.5, false, ArrivalOutcome::Primary, 1, 1.5);
+        t.occupancy(0.5, 0, 1);
+        t.event(2.5, 1);
+        t.arrival(2.5, true, ArrivalOutcome::Blocked, 0, 1.0);
+        t.span("measurement", 0.25);
+        t.finish(4.0);
+        t
+    }
+
+    #[test]
+    fn prometheus_has_every_family_and_parses_line_shaped() {
+        let text = prometheus(&snapshot());
+        for family in [
+            "altroute_events_total",
+            "altroute_calls_offered_total",
+            "altroute_calls_blocked_total",
+            "altroute_link_utilization{link=\"0\"}",
+            "altroute_holding_time_bucket",
+            "altroute_holding_time_sum",
+            "altroute_event_queue_depth_count",
+            "altroute_inter_event_gap_bucket",
+            "altroute_phase_seconds_total{phase=\"measurement\"}",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // Every non-comment line is `name[{labels}] value` with a numeric
+        // value — the exposition-format shape.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable value in line: {line}"
+            );
+        }
+        // Histogram buckets end with +Inf carrying the total count.
+        assert!(text.contains("_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn blocking_csv_has_one_row_per_window() {
+        let csv = blocking_csv(&snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        // Grid: width 2 over [0, 4) → 2 windows + header.
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "window_start,window_end,offered,blocked,blocking,alternate_fraction,teardowns"
+        );
+        let w1: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(w1[0], "2");
+        assert_eq!(w1[2], "1", "one offered call in window 1");
+        assert_eq!(w1[3], "1", "blocked in window 1");
+        assert_eq!(w1[4], "1", "window blocking 1.0");
+    }
+
+    #[test]
+    fn link_csv_is_long_format_over_links_and_windows() {
+        let csv = link_utilization_csv(&snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 * 2, "2 links x 2 windows + header");
+        for line in &lines[1..] {
+            let cells: Vec<&str> = line.split(',').collect();
+            assert_eq!(cells.len(), 4);
+            let u: f64 = cells[3].parse().unwrap();
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Log-bucketed histograms with deterministic, associative merging.
+//!
+//! Bucket boundaries are derived from the *bit pattern* of the recorded
+//! `f64` — the exponent selects an octave and the top two mantissa bits a
+//! sub-bucket within it — so bucketing never touches transcendental
+//! functions and two histograms built from the same values are
+//! bit-identical on every platform. Four sub-buckets per octave bound the
+//! relative quantile error at `2^(1/4) − 1 ≈ 19 %`, plenty for holding
+//! times, queue depths, and inter-event gaps.
+//!
+//! Merging adds bucket counts (`u64`, exactly associative) and value sums
+//! (`f64`, associative only up to rounding — callers that need
+//! bit-identical aggregates must merge in a fixed order, which the
+//! experiment runner does by always folding in seed order).
+
+/// Sub-buckets per octave (power of two).
+const SUB_PER_OCTAVE: usize = 4;
+/// Smallest distinguished exponent: values below `2^EXP_MIN` land in the
+/// underflow bucket 0.
+const EXP_MIN: i32 = -20;
+/// Largest distinguished exponent: values at or above `2^(EXP_MAX + 1)`
+/// clamp into the top bucket.
+const EXP_MAX: i32 = 40;
+/// Total bucket count (one underflow bucket + the log-linear grid).
+const NUM_BUCKETS: usize = 1 + (EXP_MAX - EXP_MIN + 1) as usize * SUB_PER_OCTAVE;
+
+/// A fixed-layout log-bucketed histogram of non-negative `f64` samples.
+///
+/// All histograms share the same bucket boundaries, so any two can merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index of `v`, from its bit pattern.
+    fn index(v: f64) -> usize {
+        if !(v.is_finite() && v >= 0.0) || v < f64::powi(2.0, EXP_MIN) {
+            return 0;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp > EXP_MAX {
+            return NUM_BUCKETS - 1;
+        }
+        // Top two mantissa bits pick the sub-bucket within the octave.
+        let sub = ((bits >> 50) & 0b11) as usize;
+        1 + (exp - EXP_MIN) as usize * SUB_PER_OCTAVE + sub
+    }
+
+    /// The `[lower, upper)` value range of bucket `idx`.
+    ///
+    /// Bucket 0 is the underflow bucket `[0, 2^EXP_MIN)`; the top bucket
+    /// is unbounded above (upper bound `+inf`).
+    pub fn bucket_bounds(idx: usize) -> (f64, f64) {
+        assert!(idx < NUM_BUCKETS, "bucket index out of range");
+        if idx == 0 {
+            return (0.0, f64::powi(2.0, EXP_MIN));
+        }
+        let grid = idx - 1;
+        let exp = EXP_MIN + (grid / SUB_PER_OCTAVE) as i32;
+        let sub = grid % SUB_PER_OCTAVE;
+        let base = f64::powi(2.0, exp);
+        let step = base / SUB_PER_OCTAVE as f64;
+        let lower = base + step * sub as f64;
+        let upper = if idx == NUM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            base + step * (sub + 1) as f64
+        };
+        (lower, upper)
+    }
+
+    /// Records one sample. Negative, NaN, and infinite values count into
+    /// the underflow bucket (they never occur in engine feeds but must
+    /// not poison the histogram).
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::index(v)] += n;
+        self.count += n;
+        if v.is_finite() {
+            self.sum += v * n as f64;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Folds `other` into `self`. Counts add exactly; sums add in `f64`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The lower bound of the bucket holding the `q`-quantile sample
+    /// (`0 <= q <= 1`), or 0 when empty. Deterministic: a pure function
+    /// of the bucket counts.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // Rank of the target sample, 1-based, clamped into [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(idx).0;
+            }
+        }
+        unreachable!("ranks are bounded by the total count")
+    }
+
+    /// Iterates the non-empty buckets as `(lower, upper, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                (lo, hi, c)
+            })
+    }
+
+    /// Cumulative counts at each non-empty bucket's upper bound, ending
+    /// with `(+inf, total)` — the shape Prometheus exposition needs.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut acc = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                acc += c;
+                let (_, hi) = Self::bucket_bounds(idx);
+                out.push((hi, acc));
+            }
+        }
+        if out.last().is_none_or(|&(hi, _)| hi.is_finite()) {
+            out.push((f64::INFINITY, acc));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_partition_the_positive_axis() {
+        // Every bucket's upper bound is the next bucket's lower bound.
+        for idx in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = Histogram::bucket_bounds(idx);
+            let (lo, _) = Histogram::bucket_bounds(idx + 1);
+            assert_eq!(hi, lo, "gap between buckets {idx} and {}", idx + 1);
+        }
+        assert_eq!(Histogram::bucket_bounds(0).0, 0.0);
+        assert_eq!(Histogram::bucket_bounds(NUM_BUCKETS - 1).1, f64::INFINITY);
+    }
+
+    #[test]
+    fn samples_land_in_their_bucket() {
+        let mut h = Histogram::new();
+        for v in [0.001, 0.5, 1.0, 1.3, 2.0, 100.0, 1e9, 1e15] {
+            h.record(v);
+        }
+        for (lo, hi, count) in h.nonzero_buckets() {
+            assert!(count > 0);
+            assert!(lo < hi);
+        }
+        // Each recorded value is inside a bucket covering it.
+        for v in [0.001, 0.5, 1.0, 1.3, 2.0, 100.0, 1e9] {
+            let idx = Histogram::index(v);
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+        }
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        // Four linear sub-buckets per octave: the widest bucket relative
+        // to its lower bound is the octave's first, at exactly 1.25.
+        for idx in 1..NUM_BUCKETS - 1 {
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(hi / lo <= 1.25 + 1e-12, "bucket {idx}: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_deterministically() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!((400.0..=500.0).contains(&q50), "median bucket {q50}");
+        assert!((768.0..=990.0).contains(&q99), "p99 bucket {q99}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.quantile(0.0), h.quantile(1e-9));
+    }
+
+    #[test]
+    fn merge_is_associative_on_counts_and_exact_sums() {
+        // Dyadic values keep the f64 sums exact, so both merge orders are
+        // bit-identical in full, counts and sums alike.
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0.25, 1.5, 3.0]);
+        let b = mk(&[0.5, 7.0, 1024.0]);
+        let c = mk(&[2.0, 2.25, 0.125]);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.count(), 9);
+        assert_eq!(
+            ab_c.sum(),
+            0.25 + 1.5 + 3.0 + 0.5 + 7.0 + 1024.0 + 2.0 + 2.25 + 0.125
+        );
+    }
+
+    #[test]
+    fn merge_identity_and_commutative_counts() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        let snapshot = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot, "merging an empty histogram is identity");
+    }
+
+    #[test]
+    fn pathological_values_underflow_without_poisoning() {
+        let mut h = Histogram::new();
+        h.record(-1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(0.0);
+        assert_eq!(h.count(), 4);
+        // Only finite samples enter the sum; NaN/inf must not poison it.
+        assert_eq!(h.sum(), -1.0);
+        // All landed in the underflow bucket.
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].2, 4);
+        assert_eq!(buckets[0].0, 0.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_infinity_with_total() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(2.0);
+        h.record(4.0);
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.last().copied(), Some((f64::INFINITY, 3)));
+        let mut prev = 0;
+        for &(_, c) in &cum {
+            assert!(c >= prev, "cumulative counts must be monotone");
+            prev = c;
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Time-resolved telemetry for the simulation stack.
+//!
+//! End-of-run aggregates (final blocking, peak queue length) hide exactly
+//! the phenomena controlled alternate routing is about: the paper's trunk
+//! reservation (Eq. 15) exists to keep the network out of the
+//! high-blocking regime, and such networks are known to linger in
+//! *metastable* states that steady-state averages average away. This
+//! crate provides the middle layer between "one number" and "every
+//! event":
+//!
+//! * [`hist`] — log-bucketed [`Histogram`]s with bit-deterministic
+//!   bucketing (no transcendental math) and associative count merging.
+//! * [`series`] — sim-time-windowed series: a [`TimeGrid`] of fixed
+//!   windows over `[0, warmup + horizon)`, with per-window event counts
+//!   ([`WindowedCounter`]) and per-window time integrals of
+//!   piecewise-constant processes ([`WindowedTimeWeighted`]).
+//! * [`recorder`] — the [`Recorder`] trait the engine is generic over
+//!   (the no-op [`NullRecorder`] monomorphizes to zero cost), plus
+//!   [`RunTelemetry`], the full recorder/snapshot with deterministic
+//!   across-replication [`RunTelemetry::merge`].
+//! * [`span`] — wall-clock [`SpanProfile`]s of experiment phases
+//!   (plan build, warmup, measurement, fan-out, aggregation); the only
+//!   nondeterministic part, excluded from snapshot equality.
+//! * [`export`] — Prometheus text exposition and CSV time-series
+//!   renderers (JSON export lives in `altroute-experiments`, next to the
+//!   existing metrics JSON).
+//!
+//! The crate is dependency-free (std only) so any layer of the workspace
+//! can use it without cycles, and recorder callbacks use primitive types
+//! only — no graph, plan, or policy types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod recorder;
+pub mod series;
+pub mod span;
+
+pub use hist::Histogram;
+pub use recorder::{ArrivalOutcome, NullRecorder, Recorder, RunTelemetry};
+pub use series::{TimeGrid, WindowedCounter, WindowedTimeWeighted};
+pub use span::{SpanProfile, SpanStats};

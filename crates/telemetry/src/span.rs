@@ -1,0 +1,132 @@
+//! Wall-clock span profiling of experiment phases.
+//!
+//! A [`SpanProfile`] accumulates `(name → total seconds, count)` for a
+//! small set of phases (plan build, warmup, measurement, replication
+//! fan-out, aggregation). Spans are *wall clock* and therefore
+//! nondeterministic: they are excluded from snapshot equality and exist
+//! purely to answer "where did the run spend its time". Merging across
+//! replications or workers sums seconds and counts per name.
+
+use std::time::Instant;
+
+/// Accumulated wall-clock time of one named phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanStats {
+    /// Total seconds across all occurrences.
+    pub secs: f64,
+    /// How many spans were recorded under this name.
+    pub count: u64,
+}
+
+/// A set of named wall-clock spans, ordered by first recording.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanProfile {
+    entries: Vec<(&'static str, SpanStats)>,
+}
+
+impl SpanProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `secs` of wall-clock time under `name`.
+    pub fn add(&mut self, name: &'static str, secs: f64) {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => {
+                s.secs += secs;
+                s.count += 1;
+            }
+            None => self.entries.push((name, SpanStats { secs, count: 1 })),
+        }
+    }
+
+    /// Times `f`, records it under `name`, and returns its result.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// The accumulated stats for `name`, if any span was recorded.
+    pub fn get(&self, name: &str) -> Option<SpanStats> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, s)| s)
+    }
+
+    /// Iterates `(name, stats)` in first-recorded order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, SpanStats)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds another profile in: per-name seconds and counts add; names
+    /// unseen so far append in the other profile's order.
+    pub fn merge(&mut self, other: &SpanProfile) {
+        for &(name, s) in &other.entries {
+            match self.entries.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => {
+                    mine.secs += s.secs;
+                    mine.count += s.count;
+                }
+                None => self.entries.push((name, s)),
+            }
+        }
+    }
+
+    /// Total seconds across all spans.
+    pub fn total_secs(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s.secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_name() {
+        let mut p = SpanProfile::new();
+        p.add("warmup", 0.5);
+        p.add("measurement", 2.0);
+        p.add("warmup", 0.25);
+        let w = p.get("warmup").unwrap();
+        assert!((w.secs - 0.75).abs() < 1e-12);
+        assert_eq!(w.count, 2);
+        assert_eq!(p.get("measurement").unwrap().count, 1);
+        assert!(p.get("missing").is_none());
+        assert!((p.total_secs() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_appends() {
+        let mut a = SpanProfile::new();
+        a.add("plan_build", 1.0);
+        let mut b = SpanProfile::new();
+        b.add("plan_build", 0.5);
+        b.add("aggregation", 0.1);
+        a.merge(&b);
+        assert!((a.get("plan_build").unwrap().secs - 1.5).abs() < 1e-12);
+        assert_eq!(a.get("plan_build").unwrap().count, 2);
+        assert_eq!(a.get("aggregation").unwrap().count, 1);
+        let names: Vec<_> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["plan_build", "aggregation"]);
+    }
+
+    #[test]
+    fn time_records_one_span() {
+        let mut p = SpanProfile::new();
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        let s = p.get("work").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.secs >= 0.0);
+    }
+}

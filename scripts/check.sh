@@ -14,3 +14,34 @@ cargo test --workspace -q
 # seeds throughout; the whole stage runs in well under a minute.
 cargo test --release -q -p altroute-conformance
 cargo run --release -q -p altroute-experiments --bin altroute_cli -- conformance
+
+# Telemetry: a fixed-seed quadrangle-outage run must produce all three
+# export formats (Prometheus text, CSV time series, JSON snapshot) and the
+# report subcommand must render the JSON back. Deterministic; a few seconds.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cat > "$tmpdir/outage.json" <<'EOF'
+{
+  "topology": { "builtin": "quadrangle" },
+  "traffic": { "uniform": 85.0 },
+  "policies": ["single-path", "controlled"],
+  "max_hops": 3,
+  "outages": [[0, 1, 40.0, 70.0]],
+  "warmup": 10.0,
+  "horizon": 100.0,
+  "seeds": 4,
+  "base_seed": 42
+}
+EOF
+cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+  simulate "$tmpdir/outage.json" --telemetry "$tmpdir/out" --window 5
+for policy in single-path controlled; do
+  grep -q '^altroute_calls_offered_total ' "$tmpdir/out/$policy.prom"
+  grep -q '^altroute_holding_time_bucket{' "$tmpdir/out/$policy.prom"
+  head -1 "$tmpdir/out/${policy}_blocking.csv" | \
+    grep -q '^window_start,window_end,offered,blocked,blocking,alternate_fraction,teardowns$'
+  head -1 "$tmpdir/out/${policy}_links.csv" | grep -q '^link,'
+done
+grep -q '"window_width": 5' "$tmpdir/out/telemetry.json"
+cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+  telemetry "$tmpdir/out" > /dev/null

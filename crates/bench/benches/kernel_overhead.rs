@@ -1,0 +1,365 @@
+//! Overhead of the shared discrete-event kernel.
+//!
+//! The engine used to own its event loop; it now runs on
+//! `simcore::kernel` with admission and route selection behind traits.
+//! This bench pins the cost of that indirection: `baseline` is the
+//! pre-refactor hot path (event queue, generational call table, per-link
+//! teardown index, hard-wired `Router` dispatch) vendored verbatim minus
+//! trace/telemetry hooks, and `kernel` is today's [`run_seed`]. The two
+//! are run on identical scenarios; the acceptance bar for the port is
+//! kernel within 5% of baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{run_seed, RunConfig};
+use altroute_sim::failures::FailureSchedule;
+
+/// The engine's event loop as it was before the kernel port, kept as the
+/// performance reference. Counters and gauges match the old code so the
+/// two sides do the same bookkeeping work; only the no-op trace and
+/// telemetry hooks are dropped (they monomorphized to nothing anyway).
+mod baseline {
+    use altroute_core::plan::RoutingPlan;
+    use altroute_core::policy::{Decision, OccupancyView, PolicyKind, Router};
+    use altroute_netgraph::graph::LinkId;
+    use altroute_netgraph::traffic::TrafficMatrix;
+    use altroute_sim::failures::FailureSchedule;
+    use altroute_sim::network::NetworkState;
+    use altroute_simcore::metrics::EngineMetrics;
+    use altroute_simcore::queue::EventQueue;
+    use altroute_simcore::rng::StreamFactory;
+    use altroute_simcore::timeweighted::TimeWeighted;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Event {
+        Arrival { pair: u32 },
+        Departure { call: u32, gen: u32 },
+        Link { link: u32, up: bool },
+    }
+
+    struct CallTable<'p> {
+        links: Vec<Option<&'p [LinkId]>>,
+        gens: Vec<u32>,
+        free: Vec<u32>,
+        live: usize,
+    }
+
+    impl<'p> CallTable<'p> {
+        fn new() -> Self {
+            Self {
+                links: Vec::new(),
+                gens: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+            }
+        }
+
+        fn insert(&mut self, links: &'p [LinkId]) -> (u32, u32) {
+            self.live += 1;
+            match self.free.pop() {
+                Some(id) => {
+                    self.links[id as usize] = Some(links);
+                    (id, self.gens[id as usize])
+                }
+                None => {
+                    let id =
+                        u32::try_from(self.links.len()).expect("fewer than 2^32 concurrent calls");
+                    self.links.push(Some(links));
+                    self.gens.push(0);
+                    (id, 0)
+                }
+            }
+        }
+
+        fn take(&mut self, id: u32, gen: u32) -> Option<&'p [LinkId]> {
+            let slot = id as usize;
+            if self.gens[slot] != gen {
+                return None;
+            }
+            let links = self.links[slot].take()?;
+            self.gens[slot] = gen.wrapping_add(1);
+            self.free.push(id);
+            self.live -= 1;
+            Some(links)
+        }
+
+        fn is_live(&self, id: u32, gen: u32) -> bool {
+            self.gens[id as usize] == gen && self.links[id as usize].is_some()
+        }
+
+        fn live(&self) -> usize {
+            self.live
+        }
+
+        fn high_water(&self) -> usize {
+            self.links.len()
+        }
+    }
+
+    struct LinkIndex {
+        entries: Vec<Vec<(u32, u32)>>,
+        live: Vec<usize>,
+    }
+
+    impl LinkIndex {
+        fn new(num_links: usize) -> Self {
+            Self {
+                entries: vec![Vec::new(); num_links],
+                live: vec![0; num_links],
+            }
+        }
+
+        fn add(&mut self, links: &[LinkId], id: u32, gen: u32) {
+            for &l in links {
+                self.entries[l].push((id, gen));
+                self.live[l] += 1;
+            }
+        }
+
+        fn remove_one(&mut self, link: LinkId, table: &CallTable<'_>) {
+            self.live[link] -= 1;
+            if self.entries[link].len() > 2 * self.live[link] + 8 {
+                self.entries[link].retain(|&(id, gen)| table.is_live(id, gen));
+            }
+        }
+
+        fn drain(&mut self, link: LinkId) -> Vec<(u32, u32)> {
+            self.live[link] = 0;
+            std::mem::take(&mut self.entries[link])
+        }
+    }
+
+    /// One replication through the pre-port loop; returns
+    /// `(offered, blocked)` for the cross-check against the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_seed(
+        plan: &RoutingPlan,
+        policy: PolicyKind,
+        traffic: &TrafficMatrix,
+        warmup: f64,
+        horizon: f64,
+        seed: u64,
+        failures: &FailureSchedule,
+    ) -> (u64, u64) {
+        let topo = plan.topology();
+        let n = topo.num_nodes();
+        let end = warmup + horizon;
+
+        let router = Router::new(plan, policy);
+        let mut network = NetworkState::new(topo);
+        for &l in failures.statically_down() {
+            network.set_down(l);
+        }
+
+        let factory = StreamFactory::new(seed);
+        let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
+            (0..n * n).map(|_| None).collect();
+        let mut rates = vec![0.0_f64; n * n];
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for (i, j, t) in traffic.demands() {
+            let pair = i * n + j;
+            rates[pair] = t;
+            let mut stream = factory.stream(pair as u64);
+            let first = stream.exp(t);
+            streams[pair] = Some(stream);
+            if first < end {
+                queue.schedule(first, Event::Arrival { pair: pair as u32 });
+            }
+        }
+        for ev in failures.events() {
+            if ev.at < end {
+                queue.schedule(
+                    ev.at,
+                    Event::Link {
+                        link: ev.link as u32,
+                        up: ev.up,
+                    },
+                );
+            }
+        }
+
+        let mut calls = CallTable::new();
+        let mut index = LinkIndex::new(topo.num_links());
+        let mut occupancy: Vec<TimeWeighted> = (0..topo.num_links())
+            .map(|_| {
+                let mut tw = TimeWeighted::new(warmup);
+                tw.record(0.0, 0.0);
+                tw
+            })
+            .collect();
+        let mut metrics = EngineMetrics::default();
+        metrics.observe_queue_len(queue.len());
+        let mut offered = 0u64;
+        let mut blocked = 0u64;
+
+        while queue.peek_time().is_some_and(|t| t < end) {
+            let (now, event) = queue.pop().expect("peeked event exists");
+            metrics.events_processed += 1;
+            match event {
+                Event::Arrival { pair } => {
+                    let pair = pair as usize;
+                    let (src, dst) = (pair / n, pair % n);
+                    let stream = streams[pair]
+                        .as_mut()
+                        .expect("stream exists for active pair");
+                    let hold = stream.holding_time();
+                    let upick = stream.uniform();
+                    let gap = stream.exp(rates[pair]);
+                    if now + gap < end {
+                        queue.schedule(now + gap, Event::Arrival { pair: pair as u32 });
+                    }
+                    let measured = now >= warmup;
+                    if measured {
+                        offered += 1;
+                    }
+                    match router.decide(src, dst, &network, upick) {
+                        Decision::Route { path, .. } => {
+                            let links = path.links();
+                            network.book(links);
+                            for &l in links {
+                                occupancy[l].record(now, f64::from(network.occupancy(l)));
+                            }
+                            let (id, gen) = calls.insert(links);
+                            index.add(links, id, gen);
+                            metrics.observe_concurrent_calls(calls.live());
+                            queue.schedule(now + hold, Event::Departure { call: id, gen });
+                        }
+                        Decision::Blocked => {
+                            if measured {
+                                blocked += 1;
+                            }
+                        }
+                    }
+                }
+                Event::Departure { call, gen } => {
+                    if let Some(links) = calls.take(call, gen) {
+                        network.release(links);
+                        for &l in links {
+                            occupancy[l].record(now, f64::from(network.occupancy(l)));
+                            index.remove_one(l, &calls);
+                        }
+                    }
+                }
+                Event::Link { link, up } => {
+                    let link = link as usize;
+                    if up {
+                        network.set_up(link);
+                    } else {
+                        network.set_down(link);
+                        for (id, gen) in index.drain(link) {
+                            let Some(links) = calls.take(id, gen) else {
+                                continue;
+                            };
+                            network.release(links);
+                            for &l in links {
+                                occupancy[l].record(now, f64::from(network.occupancy(l)));
+                                if l != link {
+                                    index.remove_one(l, &calls);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            metrics.observe_queue_len(queue.len());
+        }
+
+        metrics.call_table_high_water = calls.high_water();
+        for (tw, _) in occupancy.iter_mut().zip(topo.links()) {
+            tw.finish(end);
+        }
+        (offered, blocked)
+    }
+}
+
+fn bench_kernel_overhead(c: &mut Criterion) {
+    let failures = FailureSchedule::none();
+    let traffic = TrafficMatrix::uniform(4, 90.0);
+    let plan = RoutingPlan::min_hop(topologies::quadrangle(), &traffic, 3);
+    let nsf_traffic = altroute_netgraph::estimate::nsfnet_nominal_traffic().traffic;
+    let nsf_plan = RoutingPlan::min_hop(topologies::nsfnet(100), &nsf_traffic, 11);
+
+    let policies = [
+        PolicyKind::SinglePath,
+        PolicyKind::UncontrolledAlternate { max_hops: 3 },
+        PolicyKind::ControlledAlternate { max_hops: 3 },
+    ];
+
+    // The comparison is only meaningful if both sides simulate the same
+    // process: identical seeds must give identical counters.
+    for kind in policies {
+        let base = baseline::run_seed(&plan, kind, &traffic, 5.0, 20.0, 1, &failures);
+        let kernel = run_seed(&RunConfig {
+            plan: &plan,
+            policy: kind,
+            traffic: &traffic,
+            warmup: 5.0,
+            horizon: 20.0,
+            seed: 1,
+            failures: &failures,
+        });
+        assert_eq!(
+            base,
+            (kernel.offered, kernel.blocked),
+            "baseline and kernel disagree on {} — bench would compare different work",
+            kind.name()
+        );
+    }
+
+    let mut g = c.benchmark_group("kernel_overhead");
+    g.sample_size(20);
+    for kind in policies {
+        g.bench_function(format!("baseline_quadrangle_{}", kind.name()), |b| {
+            b.iter(|| baseline::run_seed(&plan, kind, &traffic, 5.0, 20.0, black_box(1), &failures))
+        });
+        g.bench_function(format!("kernel_quadrangle_{}", kind.name()), |b| {
+            b.iter(|| {
+                run_seed(&RunConfig {
+                    plan: &plan,
+                    policy: kind,
+                    traffic: &traffic,
+                    warmup: 5.0,
+                    horizon: 20.0,
+                    seed: black_box(1),
+                    failures: &failures,
+                })
+            })
+        });
+    }
+    let nsf = PolicyKind::ControlledAlternate { max_hops: 11 };
+    g.bench_function("baseline_nsfnet_controlled", |b| {
+        b.iter(|| {
+            baseline::run_seed(
+                &nsf_plan,
+                nsf,
+                &nsf_traffic,
+                5.0,
+                20.0,
+                black_box(1),
+                &failures,
+            )
+        })
+    });
+    g.bench_function("kernel_nsfnet_controlled", |b| {
+        b.iter(|| {
+            run_seed(&RunConfig {
+                plan: &nsf_plan,
+                policy: nsf,
+                traffic: &nsf_traffic,
+                warmup: 5.0,
+                horizon: 20.0,
+                seed: black_box(1),
+                failures: &failures,
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_overhead);
+criterion_main!(benches);

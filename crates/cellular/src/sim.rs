@@ -7,12 +7,24 @@
 //! occupies one channel in each cell of the lender's 3-cell co-cell set
 //! for the call's duration. Common random numbers across policies, as in
 //! the paper's methodology.
+//!
+//! On the simulation kernel each **cell is a link**: local service books
+//! the 1-"link" path `[cell]` at the primary tier, a borrow books the
+//! lender's 3-cell co-cell set at the alternate tier, and the borrowing
+//! policies are exactly the kernel's admission policies — uncontrolled
+//! capacity checks or trunk reservation with the per-cell Eq.-15 levels.
+//! `carried_alternate` therefore *is* the borrow count. Replications fan
+//! out over [`pool_run`] and any [`Recorder`] can observe a run.
 
 use crate::grid::CellGrid;
 use crate::policy::{cell_protection_levels, BorrowPolicy};
-use altroute_simcore::queue::EventQueue;
-use altroute_simcore::rng::StreamFactory;
-use altroute_simcore::stats::Replications;
+use altroute_simcore::kernel::{
+    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelSpec, LinkOccupancy, RouteSelector,
+    Selection, Tier, TrunkReservation, Uncontrolled,
+};
+use altroute_simcore::pool::{default_workers, pool_run};
+use altroute_simcore::stats::BlockingSummary;
+use altroute_telemetry::{NullRecorder, Recorder, RunTelemetry};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,7 +56,7 @@ pub struct CellularResult {
     /// The policy that ran.
     pub policy: BorrowPolicy,
     /// Across-seed summary of average blocking.
-    pub blocking: Replications,
+    pub blocking: BlockingSummary,
     /// Per-seed `(offered, blocked, borrowed)` counts.
     pub per_seed: Vec<(u64, u64, u64)>,
 }
@@ -52,7 +64,7 @@ pub struct CellularResult {
 impl CellularResult {
     /// Mean blocking across seeds.
     pub fn blocking_mean(&self) -> f64 {
-        self.blocking.mean
+        self.blocking.mean()
     }
 
     /// Fraction of carried calls that borrowed, pooled over seeds.
@@ -70,14 +82,74 @@ impl CellularResult {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival { cell: u32 },
-    Departure { call: u32 },
+/// Precomputed link sets the selector routes over: the 1-cell path of
+/// local service per cell, and the lender's 3-cell co-cell set. Owned
+/// outside the selector so routed paths can borrow for the kernel run's
+/// lifetime.
+struct BorrowTables {
+    singles: Vec<[usize; 1]>,
+    sets: Vec<[usize; 3]>,
+}
+
+impl BorrowTables {
+    fn new(grid: &CellGrid) -> Self {
+        Self {
+            singles: (0..grid.num_cells()).map(|c| [c]).collect(),
+            sets: (0..grid.num_cells()).map(|c| grid.borrow_set(c)).collect(),
+        }
+    }
+}
+
+/// The borrowing route selector: local channel first (primary tier),
+/// then each neighbour's co-cell set in ascending id order (alternate
+/// tier), admission-checked cell by cell.
+struct BorrowSelector<'p> {
+    grid: &'p CellGrid,
+    tables: &'p BorrowTables,
+    borrowing: bool,
+}
+
+impl<'p> RouteSelector<'p> for BorrowSelector<'p> {
+    fn select<A: AdmissionPolicy>(
+        &mut self,
+        src: usize,
+        _dst: usize,
+        _pick: f64,
+        view: &LinkOccupancy,
+        admission: &A,
+        bandwidth: u32,
+    ) -> Selection<'p> {
+        let cell = src;
+        if admission.admits(view, cell, Tier::Primary, bandwidth) {
+            return Selection::Route {
+                links: &self.tables.singles[cell],
+                tier: Tier::Primary,
+            };
+        }
+        if !self.borrowing {
+            return Selection::Blocked;
+        }
+        // Try neighbours in ascending id order as lenders; a lender
+        // works only if every cell of its co-cell set admits the call.
+        'lenders: for &lender in self.grid.neighbors(cell) {
+            let set = &self.tables.sets[lender];
+            for &c in set {
+                if !admission.admits(view, c, Tier::Alternate, bandwidth) {
+                    continue 'lenders;
+                }
+            }
+            return Selection::Route {
+                links: set,
+                tier: Tier::Alternate,
+            };
+        }
+        Selection::Blocked
+    }
 }
 
 /// Runs the borrowing policy on the grid offered `loads[i]` Erlangs per
-/// cell and returns across-seed blocking.
+/// cell and returns across-seed blocking, fanning replications out over
+/// the default worker count.
 ///
 /// # Panics
 ///
@@ -89,30 +161,101 @@ pub fn run_cellular(
     policy: BorrowPolicy,
     params: &CellularParams,
 ) -> CellularResult {
+    run_cellular_with_workers(grid, loads, policy, params, default_workers())
+}
+
+/// As [`run_cellular`] with an explicit worker count. Results are
+/// identical for every `workers` value: replications are collected in
+/// seed order.
+///
+/// # Panics
+///
+/// As [`run_cellular`]; additionally if `workers == 0`.
+pub fn run_cellular_with_workers(
+    grid: &CellGrid,
+    loads: &[f64],
+    policy: BorrowPolicy,
+    params: &CellularParams,
+    workers: usize,
+) -> CellularResult {
+    validate(grid, loads, params);
+    let protection = cell_protection_levels(loads, grid.capacity());
+    let tables = BorrowTables::new(grid);
+    let per_seed = pool_run(params.seeds as usize, workers, None, |i| {
+        run_one(
+            grid,
+            loads,
+            policy,
+            &protection,
+            &tables,
+            params,
+            params.base_seed + i as u64,
+            &mut NullRecorder,
+        )
+    });
+    summarize(policy, per_seed)
+}
+
+/// As [`run_cellular`], but every replication additionally records
+/// time-resolved telemetry (window width `window`), merged across seeds
+/// in seed order. Telemetry is a pure observation: the returned
+/// [`CellularResult`] is identical to [`run_cellular`]'s.
+///
+/// # Panics
+///
+/// As [`run_cellular`]; additionally if `window <= 0`.
+pub fn run_cellular_telemetry(
+    grid: &CellGrid,
+    loads: &[f64],
+    policy: BorrowPolicy,
+    params: &CellularParams,
+    window: f64,
+) -> (CellularResult, RunTelemetry) {
+    validate(grid, loads, params);
+    let protection = cell_protection_levels(loads, grid.capacity());
+    let tables = BorrowTables::new(grid);
+    let capacities = vec![grid.capacity(); grid.num_cells()];
+    let recorded = pool_run(params.seeds as usize, default_workers(), None, |i| {
+        let mut telemetry =
+            RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
+        let counts = run_one(
+            grid,
+            loads,
+            policy,
+            &protection,
+            &tables,
+            params,
+            params.base_seed + i as u64,
+            &mut telemetry,
+        );
+        (counts, telemetry)
+    });
+    let mut merged: Option<RunTelemetry> = None;
+    let mut per_seed = Vec::with_capacity(recorded.len());
+    for (counts, telemetry) in recorded {
+        match &mut merged {
+            None => merged = Some(telemetry),
+            Some(m) => m.merge(&telemetry),
+        }
+        per_seed.push(counts);
+    }
+    (
+        summarize(policy, per_seed),
+        merged.expect("at least one replication"),
+    )
+}
+
+fn validate(grid: &CellGrid, loads: &[f64], params: &CellularParams) {
     assert_eq!(loads.len(), grid.num_cells(), "one load per cell");
     assert!(
         loads.iter().all(|&l| l.is_finite() && l >= 0.0),
         "loads must be >= 0"
     );
     assert!(params.seeds > 0 && params.horizon > 0.0 && params.warmup >= 0.0);
-    let protection = cell_protection_levels(loads, grid.capacity());
-    let mut per_seed = Vec::with_capacity(params.seeds as usize);
-    for i in 0..params.seeds {
-        per_seed.push(run_one(
-            grid,
-            loads,
-            policy,
-            &protection,
-            params,
-            params.base_seed + u64::from(i),
-        ));
-    }
-    let blocking = Replications::summarize(
-        &per_seed
-            .iter()
-            .map(|&(o, b, _)| if o == 0 { 0.0 } else { b as f64 / o as f64 })
-            .collect::<Vec<_>>(),
-    );
+}
+
+fn summarize(policy: BorrowPolicy, per_seed: Vec<(u64, u64, u64)>) -> CellularResult {
+    let blocking = BlockingSummary::from_counts(per_seed.iter().map(|&(o, b, _)| (o, b)));
     CellularResult {
         policy,
         blocking,
@@ -120,104 +263,122 @@ pub fn run_cellular(
     }
 }
 
-fn run_one(
+/// Forwards the kernel's telemetry-relevant hooks to a [`Recorder`] (the
+/// cellular simulator has no trace-sink format).
+struct RecorderObserver<'a, R> {
+    recorder: &'a mut R,
+}
+
+impl<R: Recorder> kernel::KernelObserver for RecorderObserver<'_, R> {
+    fn arrival_routed(
+        &mut self,
+        now: f64,
+        _tag: u32,
+        tier: Tier,
+        links: &[usize],
+        hold: f64,
+        measured: bool,
+    ) {
+        let outcome = match tier {
+            Tier::Primary => altroute_telemetry::ArrivalOutcome::Primary,
+            Tier::Alternate => altroute_telemetry::ArrivalOutcome::Alternate,
+        };
+        self.recorder
+            .arrival(now, measured, outcome, links.len() as u8, hold);
+    }
+
+    fn arrival_blocked(&mut self, now: f64, _tag: u32, hold: f64, measured: bool) {
+        self.recorder.arrival(
+            now,
+            measured,
+            altroute_telemetry::ArrivalOutcome::Blocked,
+            0,
+            hold,
+        );
+    }
+
+    fn occupancy_changed(&mut self, now: f64, link: usize, occupancy: u32) {
+        self.recorder.occupancy(now, link as u32, occupancy);
+    }
+
+    fn departure(&mut self, now: f64, _call: u32, _gen: u32, stale: bool) {
+        self.recorder.departure(now, stale);
+    }
+
+    fn teardown(&mut self, now: f64, _call: u32, _gen: u32, measured: bool) {
+        self.recorder.teardown(now, measured);
+    }
+
+    fn link_change(&mut self, now: f64, link: u32, up: bool) {
+        self.recorder.link_state(now, link, up);
+    }
+
+    fn event_processed(&mut self, now: f64, queue_len: usize) {
+        self.recorder.event(now, queue_len);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one<R: Recorder>(
     grid: &CellGrid,
     loads: &[f64],
     policy: BorrowPolicy,
     protection: &[u32],
+    tables: &BorrowTables,
     params: &CellularParams,
     seed: u64,
+    recorder: &mut R,
 ) -> (u64, u64, u64) {
-    let end = params.warmup + params.horizon;
-    let capacity = grid.capacity();
-    let factory = StreamFactory::new(seed);
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
-        (0..grid.num_cells()).map(|_| None).collect();
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    for (cell, &load) in loads.iter().enumerate() {
-        if load > 0.0 {
-            let mut s = factory.stream(cell as u64);
-            let first = s.exp(load);
-            streams[cell] = Some(s);
-            if first < end {
-                queue.schedule(first, Event::Arrival { cell: cell as u32 });
-            }
+    let capacities = vec![grid.capacity(); grid.num_cells()];
+    let sources: Vec<ArrivalSource> = loads
+        .iter()
+        .enumerate()
+        .filter(|&(_, &load)| load > 0.0)
+        .map(|(cell, &load)| ArrivalSource {
+            stream: cell as u64,
+            src: cell,
+            dst: cell,
+            rate: load,
+            bandwidth: 1,
+            tag: cell as u32,
+            tally: cell as u32,
+        })
+        .collect();
+    let spec = KernelSpec {
+        config: KernelConfig {
+            warmup: params.warmup,
+            horizon: params.horizon,
+            seed,
+            draw_pick: false,
+            tick_interval: None,
+            tally_slots: grid.num_cells(),
+        },
+        capacities: &capacities,
+        static_down: &[],
+        sources: &sources,
+        link_events: &[],
+    };
+    let mut selector = BorrowSelector {
+        grid,
+        tables,
+        borrowing: policy != BorrowPolicy::NoBorrowing,
+    };
+    let mut observer = RecorderObserver {
+        recorder: &mut *recorder,
+    };
+    let outcome = match policy {
+        BorrowPolicy::Controlled => kernel::run(
+            &spec,
+            &mut TrunkReservation::new(protection.to_vec()),
+            &mut selector,
+            &mut observer,
+        ),
+        BorrowPolicy::NoBorrowing | BorrowPolicy::Uncontrolled => {
+            kernel::run(&spec, &mut Uncontrolled, &mut selector, &mut observer)
         }
-    }
-    let mut occupancy = vec![0u32; grid.num_cells()];
-    // Calls: the cells they occupy (1 for local service, 3 for a borrow).
-    let mut calls: Vec<Vec<usize>> = Vec::new();
-    let (mut offered, mut blocked, mut borrowed) = (0u64, 0u64, 0u64);
-    while let Some((now, event)) = queue.pop() {
-        if now >= end {
-            break;
-        }
-        match event {
-            Event::Arrival { cell } => {
-                let cell = cell as usize;
-                let stream = streams[cell].as_mut().expect("active cell has a stream");
-                let hold = stream.holding_time();
-                let gap = stream.exp(loads[cell]);
-                if now + gap < end {
-                    queue.schedule(now + gap, Event::Arrival { cell: cell as u32 });
-                }
-                let measured = now >= params.warmup;
-                if measured {
-                    offered += 1;
-                }
-                let occupied: Option<Vec<usize>> = if occupancy[cell] < capacity {
-                    occupancy[cell] += 1;
-                    Some(vec![cell])
-                } else if policy == BorrowPolicy::NoBorrowing {
-                    None
-                } else {
-                    // Try neighbours in ascending id order as lenders.
-                    let mut taken = None;
-                    'lenders: for &lender in grid.neighbors(cell) {
-                        let set = grid.borrow_set(lender);
-                        for &c in &set {
-                            let limit = match policy {
-                                BorrowPolicy::Uncontrolled => capacity,
-                                BorrowPolicy::Controlled => capacity.saturating_sub(protection[c]),
-                                BorrowPolicy::NoBorrowing => unreachable!(),
-                            };
-                            if occupancy[c] >= limit {
-                                continue 'lenders;
-                            }
-                        }
-                        for &c in &set {
-                            occupancy[c] += 1;
-                        }
-                        if measured {
-                            borrowed += 1;
-                        }
-                        taken = Some(set.to_vec());
-                        break;
-                    }
-                    taken
-                };
-                match occupied {
-                    Some(cells) => {
-                        let id = calls.len() as u32;
-                        calls.push(cells);
-                        queue.schedule(now + hold, Event::Departure { call: id });
-                    }
-                    None => {
-                        if measured {
-                            blocked += 1;
-                        }
-                    }
-                }
-            }
-            Event::Departure { call } => {
-                for &c in &std::mem::take(&mut calls[call as usize]) {
-                    debug_assert!(occupancy[c] > 0);
-                    occupancy[c] -= 1;
-                }
-            }
-        }
-    }
-    (offered, blocked, borrowed)
+    };
+    recorder.finish(params.warmup + params.horizon);
+    (outcome.offered, outcome.blocked, outcome.carried_alternate)
 }
 
 #[cfg(test)]
@@ -262,6 +423,30 @@ mod tests {
         let a = run_cellular(&grid, &loads, BorrowPolicy::Controlled, &quick());
         let b = run_cellular(&grid, &loads, BorrowPolicy::Controlled, &quick());
         assert_eq!(a.per_seed, b.per_seed);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_results() {
+        let grid = CellGrid::new(4, 4, 15);
+        let loads = vec![12.0; 16];
+        let a = run_cellular_with_workers(&grid, &loads, BorrowPolicy::Controlled, &quick(), 1);
+        let b = run_cellular_with_workers(&grid, &loads, BorrowPolicy::Controlled, &quick(), 4);
+        assert_eq!(a.per_seed, b.per_seed);
+        assert_eq!(a.blocking, b.blocking);
+    }
+
+    #[test]
+    fn telemetry_is_a_pure_observer() {
+        let grid = CellGrid::new(3, 3, 10);
+        let loads = vec![8.0; 9];
+        let (r, telemetry) =
+            run_cellular_telemetry(&grid, &loads, BorrowPolicy::Controlled, &quick(), 5.0);
+        let plain = run_cellular(&grid, &loads, BorrowPolicy::Controlled, &quick());
+        assert_eq!(r.per_seed, plain.per_seed);
+        assert_eq!(
+            telemetry.offered,
+            r.per_seed.iter().map(|s| s.0).sum::<u64>()
+        );
     }
 
     #[test]

@@ -19,14 +19,29 @@
 //!   margin) because the relation is a coupling argument, not a per-seed
 //!   identity.
 //!
+//! The `r = 0` and `H = 1` reductions are also applied to the other
+//! kernel-backed engines: the **multirate** engine (all-zero protection
+//! levels ≡ uncontrolled; hop bound one ≡ single-path, both per-class
+//! and in bandwidth blocking) and the **adaptive** engine (an update
+//! interval beyond the horizon with zero initial levels ≡ the
+//! uncontrolled engine on the same arrivals; a hop-one plan ≡ the
+//! single-path engine). Since all of these ride the same kernel, a
+//! violation pinpoints a policy/selector divergence, not an event-loop
+//! one.
+//!
 //! Violations are collected as human-readable strings naming the
 //! instance seed, so a failure is reproducible in isolation.
 
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
 use altroute_netgraph::topologies::random_instance;
+use altroute_sim::adaptive::{run_adaptive_seed, AdaptiveConfig, InitialLevels};
 use altroute_sim::engine::{run_seed, RunConfig, SeedResult};
 use altroute_sim::failures::FailureSchedule;
+use altroute_sim::multirate::{
+    run_multirate_with_levels, run_multirate_with_workers, BandwidthClass, MultirateParams,
+    MultiratePolicy, MultirateResult,
+};
 
 /// Margin granted to the statistical load-monotonicity check (the exact
 /// reductions get none).
@@ -41,6 +56,14 @@ pub struct FuzzReport {
     pub runs: usize,
     /// Invariant violations found (empty on success).
     pub violations: Vec<String>,
+}
+
+/// Equality of everything except the policy label (the two sides of a
+/// reduction necessarily carry different [`MultiratePolicy`] tags).
+fn multirate_agree(a: &MultirateResult, b: &MultirateResult) -> bool {
+    a.blocking == b.blocking
+        && a.per_class_blocking == b.per_class_blocking
+        && a.bandwidth_blocking == b.bandwidth_blocking
 }
 
 fn conservation(tag: &str, seed: u64, r: &SeedResult, violations: &mut Vec<String>) {
@@ -76,6 +99,7 @@ fn conservation(tag: &str, seed: u64, r: &SeedResult, violations: &mut Vec<Strin
 pub fn fuzz_instances(master_seed: u64, count: usize) -> FuzzReport {
     let mut violations = Vec::new();
     let mut runs = 0usize;
+    let mut extra_runs = 0usize;
     for k in 0..count {
         let inst_seed = master_seed.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let inst = random_instance(inst_seed);
@@ -194,10 +218,145 @@ pub fn fuzz_instances(master_seed: u64, count: usize) -> FuzzReport {
                 "[{inst_seed:#x}] blocking not monotone in load: {base_blocking} at 1.0x vs {heavy_blocking} at 1.4x"
             ));
         }
+
+        // Multirate reductions: two classes carved from the instance's
+        // traffic, narrowband and broadband.
+        let classes = [
+            BandwidthClass {
+                bandwidth: 1,
+                traffic: inst.traffic.scaled(0.6),
+            },
+            BandwidthClass {
+                bandwidth: 3,
+                traffic: inst.traffic.scaled(0.2),
+            },
+        ];
+        let mr_params = MultirateParams {
+            warmup,
+            horizon,
+            seeds: 2,
+            base_seed: inst_seed ^ 0x3A7E,
+            max_hops: h,
+        };
+        // r = 0: forcing every protection level to zero must collapse the
+        // controlled policy onto the uncontrolled one, bit for bit.
+        let zero_levels = vec![0u32; inst.topology.num_links()];
+        let mr_zero = run_multirate_with_levels(
+            &inst.topology,
+            &classes,
+            MultiratePolicy::Controlled,
+            &mr_params,
+            &failures,
+            &zero_levels,
+            1,
+        );
+        let mr_free = run_multirate_with_workers(
+            &inst.topology,
+            &classes,
+            MultiratePolicy::Uncontrolled,
+            &mr_params,
+            &failures,
+            1,
+        );
+        extra_runs += 2 * mr_params.seeds as usize;
+        if !multirate_agree(&mr_zero, &mr_free) {
+            violations.push(format!(
+                "[{inst_seed:#x}] multirate r=0 controlled != uncontrolled: blocking {} vs {}",
+                mr_zero.blocking_mean(),
+                mr_free.blocking_mean()
+            ));
+        }
+        // H = 1: a hop bound of one leaves the primary as the only
+        // candidate, so controlled routing degenerates to single-path.
+        let mr_h1_params = MultirateParams {
+            max_hops: 1,
+            ..mr_params
+        };
+        let mr_h1 = run_multirate_with_workers(
+            &inst.topology,
+            &classes,
+            MultiratePolicy::Controlled,
+            &mr_h1_params,
+            &failures,
+            1,
+        );
+        let mr_single = run_multirate_with_workers(
+            &inst.topology,
+            &classes,
+            MultiratePolicy::SinglePath,
+            &mr_h1_params,
+            &failures,
+            1,
+        );
+        extra_runs += 2 * mr_params.seeds as usize;
+        if !multirate_agree(&mr_h1, &mr_single) {
+            violations.push(format!(
+                "[{inst_seed:#x}] multirate H=1 controlled != single-path: blocking {} vs {}",
+                mr_h1.blocking_mean(),
+                mr_single.blocking_mean()
+            ));
+        }
+
+        // Adaptive reductions. With the first update scheduled past the
+        // end of the run and zero initial levels, the adaptive engine
+        // never protects anything and must reproduce the uncontrolled
+        // engine's counters on the same arrival process.
+        let frozen = AdaptiveConfig {
+            update_interval: warmup + horizon + 1.0,
+            ewma_alpha: 0.5,
+            initial: InitialLevels::Zero,
+        };
+        let ad_free = run_adaptive_seed(
+            &plan,
+            &inst.traffic,
+            warmup,
+            horizon,
+            inst_seed ^ 0xADA0,
+            &failures,
+            &frozen,
+        );
+        let eng_free = run(
+            &plan,
+            PolicyKind::UncontrolledAlternate { max_hops: h },
+            &inst.traffic,
+            inst_seed ^ 0xADA0,
+        );
+        extra_runs += 1;
+        if (ad_free.offered, ad_free.blocked) != (eng_free.offered, eng_free.blocked) {
+            violations.push(format!(
+                "[{inst_seed:#x}] adaptive r=0 != uncontrolled: {}/{} vs {}/{}",
+                ad_free.blocked, ad_free.offered, eng_free.blocked, eng_free.offered
+            ));
+        }
+        // H = 1: on a hop-one plan the adaptive engine has no alternates
+        // to protect, so it must match the single-path engine whatever
+        // its levels do.
+        let ad_h1 = run_adaptive_seed(
+            &plan_h1,
+            &inst.traffic,
+            warmup,
+            horizon,
+            inst_seed ^ 0xADA1,
+            &failures,
+            &AdaptiveConfig::default(),
+        );
+        let eng_single = run(
+            &plan_h1,
+            PolicyKind::SinglePath,
+            &inst.traffic,
+            inst_seed ^ 0xADA1,
+        );
+        extra_runs += 1;
+        if (ad_h1.offered, ad_h1.blocked) != (eng_single.offered, eng_single.blocked) {
+            violations.push(format!(
+                "[{inst_seed:#x}] adaptive H=1 != single-path: {}/{} vs {}/{}",
+                ad_h1.blocked, ad_h1.offered, eng_single.blocked, eng_single.offered
+            ));
+        }
     }
     FuzzReport {
         instances: count,
-        runs,
+        runs: runs + extra_runs,
         violations,
     }
 }

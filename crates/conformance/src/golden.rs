@@ -17,9 +17,10 @@ use altroute_core::policy::PolicyKind;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_sim::engine::{run_seed_traced, RunConfig};
+use altroute_sim::engine::{run_seed, run_seed_traced, RunConfig, SeedResult};
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::trace::{diff_traces, BinaryTraceWriter, TraceDiff};
+use altroute_simcore::pool::pool_run;
 use std::path::PathBuf;
 
 /// Whether to record a scenario as specified or with a deliberate
@@ -135,6 +136,30 @@ pub fn record_scenario(name: &str, perturbation: Perturbation) -> Vec<u8> {
         &mut writer,
     );
     writer.finish()
+}
+
+/// Runs scenario `name` as a multi-seed replication set (seed `i` uses
+/// the scenario seed + `i`) on `workers` workers and returns the
+/// per-seed results in seed order — the kernel-parity harness. The
+/// worker count must be a pure scheduling detail: any two counts must
+/// yield byte-identical results.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name or `seeds == 0` / `workers == 0`.
+pub fn scenario_replications(name: &str, seeds: u32, workers: usize) -> Vec<SeedResult> {
+    let s = scenario(name);
+    pool_run(seeds as usize, workers, None, |i| {
+        run_seed(&RunConfig {
+            plan: &s.plan,
+            policy: s.policy,
+            traffic: &s.traffic,
+            warmup: s.warmup,
+            horizon: s.horizon,
+            seed: s.seed + i as u64,
+            failures: &s.failures,
+        })
+    })
 }
 
 /// Re-records scenario `name` and diffs against the checked-in golden

@@ -314,9 +314,9 @@ fn multirate_checks(out: &mut Vec<OracleCheck>) {
         let tag = format!("kaufman-roberts C={capacity} classes={}", classes.len());
         out.push(OracleCheck::exact(
             format!("{tag}/call-blocking"),
-            result.blocking.mean,
+            result.blocking.mean(),
             analytic_call,
-            result.blocking.std_error,
+            result.blocking.std_error(),
         ));
         for (k, (&(bandwidth, intensity), &analytic)) in
             classes.iter().zip(&analytic_per_class).enumerate()
@@ -327,7 +327,7 @@ fn multirate_checks(out: &mut Vec<OracleCheck>) {
             // a class offered an `intensity / total` fraction of the
             // calls has roughly `sqrt(total / intensity)` times the
             // sampling error of the pooled estimator.
-            let sigma = result.blocking.std_error * (total_intensity / intensity).sqrt();
+            let sigma = result.blocking.std_error() * (total_intensity / intensity).sqrt();
             out.push(OracleCheck::exact(
                 format!("{tag}/class{k}-bw{bandwidth}"),
                 result.per_class_blocking[k],

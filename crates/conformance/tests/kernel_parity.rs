@@ -1,0 +1,39 @@
+//! Kernel-parity regression: after porting the engine onto the shared
+//! discrete-event kernel, the golden scenarios (NSFNet and the Fig. 3
+//! quadrangle) must replay byte-identically — solo, and fanned out over
+//! any worker count.
+
+use altroute_conformance::golden::{golden_names, replay_check, scenario_replications};
+
+/// The checked-in golden traces — recorded by the pre-port engine — must
+/// replay without a single diverging byte through the kernel-backed one.
+#[test]
+fn golden_traces_survive_the_kernel_port() {
+    for name in golden_names() {
+        if let Some(divergence) = replay_check(name) {
+            panic!("{name}: kernel-backed engine diverged from golden trace:\n{divergence}");
+        }
+    }
+}
+
+/// Replication fan-out over the kernel is a pure scheduling detail: the
+/// same seeds through 1 worker and through N workers must produce
+/// byte-identical `SeedResult`s (engine metrics included; wall clock is
+/// excluded from equality by design) on both golden scenarios.
+#[test]
+fn worker_fanout_is_bit_identical_on_golden_scenarios() {
+    for name in golden_names() {
+        let solo = scenario_replications(name, 6, 1);
+        assert_eq!(solo.len(), 6);
+        for workers in [2usize, 8] {
+            let pooled = scenario_replications(name, 6, workers);
+            assert_eq!(
+                solo, pooled,
+                "{name}: {workers} workers diverged from sequential"
+            );
+            for (a, b) in solo.iter().zip(&pooled) {
+                assert_eq!(a.metrics, b.metrics, "{name}: metrics diverged");
+            }
+        }
+    }
+}

@@ -33,7 +33,9 @@
 pub mod plan;
 pub mod policy;
 pub mod primary;
+pub mod select;
 
 pub use plan::RoutingPlan;
 pub use policy::{CallClass, Decision, OccupancyView, PolicyKind, Router};
 pub use primary::{min_loss_splits, MinLossOptions, PrimaryAssignment};
+pub use select::{DarStickySelector, OttKrishnanSelector, TieredSelector};

@@ -58,6 +58,16 @@ pub enum PolicyKind {
         /// Maximum candidate path hop count (must equal the plan's `H`).
         max_hops: u32,
     },
+    /// Dynamic alternative routing: primary first, then one *sticky*
+    /// alternate per pair, resampled uniformly at random whenever a
+    /// call is lost on it. Alternates are subject to the plan's Eq. 15
+    /// protection levels (trunk reservation keeps DAR stable). Stateful
+    /// — served by [`crate::select::DarStickySelector`] on the
+    /// simulation kernel, not by the stateless [`Router`].
+    DarSticky {
+        /// Maximum alternate path hop count (must equal the plan's `H`).
+        max_hops: u32,
+    },
 }
 
 impl PolicyKind {
@@ -68,6 +78,7 @@ impl PolicyKind {
             PolicyKind::UncontrolledAlternate { .. } => "uncontrolled",
             PolicyKind::ControlledAlternate { .. } => "controlled",
             PolicyKind::OttKrishnan { .. } => "ott-krishnan",
+            PolicyKind::DarSticky { .. } => "dar",
         }
     }
 
@@ -77,7 +88,8 @@ impl PolicyKind {
             PolicyKind::SinglePath => None,
             PolicyKind::UncontrolledAlternate { max_hops }
             | PolicyKind::ControlledAlternate { max_hops }
-            | PolicyKind::OttKrishnan { max_hops } => Some(max_hops),
+            | PolicyKind::OttKrishnan { max_hops }
+            | PolicyKind::DarSticky { max_hops } => Some(max_hops),
         }
     }
 }
@@ -155,6 +167,10 @@ impl<'p> Router<'p> {
     ) -> Decision<'p> {
         match self.kind {
             PolicyKind::OttKrishnan { .. } => self.decide_ott_krishnan(src, dst, view),
+            PolicyKind::DarSticky { .. } => panic!(
+                "DAR is stateful (sticky alternates); drive it through \
+                 select::DarStickySelector on the simulation kernel"
+            ),
             _ => self.decide_tiered(src, dst, view, primary_u),
         }
     }
@@ -179,7 +195,9 @@ impl<'p> Router<'p> {
                 primary_u,
                 Some(self.plan.protection_levels()),
             ),
-            PolicyKind::OttKrishnan { .. } => unreachable!("handled separately"),
+            PolicyKind::OttKrishnan { .. } | PolicyKind::DarSticky { .. } => {
+                unreachable!("handled separately")
+            }
         }
     }
 

@@ -5,9 +5,16 @@
 //! altroute_cli erlang <load> <capacity>             Erlang-B blocking / carried / lost
 //! altroute_cli dimension <load> <target-blocking>   smallest sufficient capacity
 //! altroute_cli protect <load> <capacity> <H>        Eq. 15 protection level + bound
-//! altroute_cli simulate <config.json> [--metrics-json] [--progress]
-//!                       [--telemetry <dir>] [--window <width>]
+//! altroute_cli simulate <config.json> [--policy <name>] [--metrics-json]
+//!                       [--progress] [--telemetry <dir>] [--window <width>]
 //!                                                   full experiment from a JSON config
+//! altroute_cli adaptive <config.json> [--metrics-json] [--telemetry <dir>]
+//!                       [--window <width>]          online-estimation engine
+//! altroute_cli multirate <config.json> [--metrics-json] [--telemetry <dir>]
+//!                       [--window <width>]          two-class multirate engine
+//! altroute_cli signaling <config.json> [--hop-delay <d>] [--metrics-json]
+//!                       [--telemetry <dir>] [--window <width>]
+//!                                                   hop-by-hop setup engine
 //! altroute_cli telemetry <dir>                      human-readable telemetry report
 //! altroute_cli example-config                       print a commented example config
 //! altroute_cli conformance [--bless]                run the conformance suite
@@ -41,17 +48,39 @@
 //! traffic matrix (uniform, explicit, or the reconstructed NSFNet
 //! nominal), the policies to compare, failed links, timed outages, and
 //! the simulation parameters. See `example-config`.
+//!
+//! `adaptive`, `multirate`, and `signaling` reuse the same config file
+//! and ride the instrumented simulation kernel, so `--metrics-json` and
+//! `--telemetry` work on all of them. `adaptive` runs the controlled
+//! policy with online `Λ^k` estimation (default update interval and
+//! EWMA weight). `multirate` derives two bandwidth classes from the
+//! config traffic: a 1-unit class at the configured load and a 4-unit
+//! class at a tenth of it. `signaling` runs the hop-by-hop set-up
+//! protocol at `--hop-delay` (default 0.0002 mean holding times) for
+//! each config policy. `simulate --policy NAME` overrides the config's
+//! policy list with a single policy — `--policy dar` runs the DAR/sticky
+//! selector, which needs no protection-level oracle.
 
 use altroute_core::policy::PolicyKind;
-use altroute_experiments::output::{fmt_prob, metrics_document, telemetry_document};
+use altroute_experiments::output::{
+    blocking_summary_json, fmt_prob, metrics_document, telemetry_document,
+};
 use altroute_experiments::{Heartbeat, Series, Table};
-use altroute_json::Value;
+use altroute_json::{obj, Value};
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::graph::Topology;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::adaptive::{run_adaptive_replications, run_adaptive_telemetry, AdaptiveConfig};
 use altroute_sim::experiment::{Experiment, ProgressObserver, SimParams};
 use altroute_sim::failures::FailureSchedule;
+use altroute_sim::multirate::{
+    run_multirate, run_multirate_telemetry, BandwidthClass, MultirateParams, MultiratePolicy,
+};
+use altroute_sim::signaling::{
+    run_signaling_replications, run_signaling_telemetry, SignalingConfig, SignalingPolicy,
+};
+use altroute_simcore::pool::default_workers;
 use altroute_telemetry::{export, RunTelemetry};
 use altroute_teletraffic::erlang::{carried_traffic, dimension_link, erlang_b};
 use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
@@ -396,13 +425,18 @@ fn parse_policy(name: &str, h: u32) -> Result<PolicyKind, String> {
         "uncontrolled" => Ok(PolicyKind::UncontrolledAlternate { max_hops: h }),
         "controlled" => Ok(PolicyKind::ControlledAlternate { max_hops: h }),
         "ott-krishnan" => Ok(PolicyKind::OttKrishnan { max_hops: h }),
+        "dar" => Ok(PolicyKind::DarSticky { max_hops: h }),
         other => Err(format!(
-            "unknown policy '{other}' (try single-path, uncontrolled, controlled, ott-krishnan)"
+            "unknown policy '{other}' (try single-path, uncontrolled, controlled, \
+             ott-krishnan, dar)"
         )),
     }
 }
 
-fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
+/// Parses a config file and builds the experiment (topology, traffic,
+/// failure schedule installed) — shared by `simulate`, `adaptive`,
+/// `multirate`, and `signaling`.
+fn load_experiment(path: &str) -> Result<(Config, Experiment, FailureSchedule), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let value = altroute_json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     let config = Config::from_json(&value).map_err(|e| format!("parsing {path}: {e}"))?;
@@ -434,7 +468,64 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
         }
     }
     if !failures.is_empty() {
-        exp = exp.with_failures(failures);
+        exp = exp.with_failures(failures.clone());
+    }
+    Ok((config, exp, failures))
+}
+
+/// Resolves `--window` against the run duration: the explicit value if
+/// given (validated), otherwise 40 windows across the run.
+fn resolve_window(flags: &Flags, warmup: f64, horizon: f64) -> Result<f64, String> {
+    if flags.window.is_some() && flags.telemetry.is_none() {
+        return Err("--window only makes sense with --telemetry".into());
+    }
+    match flags.window {
+        Some(w) if !(w.is_finite() && w > 0.0) => {
+            Err(format!("--window must be positive, got {w}"))
+        }
+        Some(w) => Ok(w),
+        None => Ok((warmup + horizon) / 40.0),
+    }
+}
+
+/// Writes the per-policy telemetry exports plus the combined
+/// `telemetry.json` under `dir`.
+fn write_telemetry_files(
+    dir: &str,
+    label: &str,
+    snapshots: &[(String, RunTelemetry)],
+) -> Result<(), String> {
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let write = |file: String, contents: String| -> Result<(), String> {
+        let p = dir.join(file);
+        std::fs::write(&p, contents).map_err(|e| format!("writing {}: {e}", p.display()))
+    };
+    for (name, t) in snapshots {
+        write(format!("{name}.prom"), export::prometheus(t))?;
+        write(format!("{name}_blocking.csv"), export::blocking_csv(t))?;
+        write(format!("{name}_links.csv"), export::link_utilization_csv(t))?;
+    }
+    let entries: Vec<(String, &RunTelemetry)> = snapshots
+        .iter()
+        .map(|(name, t)| (name.clone(), t))
+        .collect();
+    write(
+        "telemetry.json".to_string(),
+        telemetry_document(label, &entries).to_string_pretty(),
+    )?;
+    eprintln!(
+        "telemetry: wrote {} files under {}",
+        3 * snapshots.len() + 1,
+        dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
+    let (mut config, exp, _failures) = load_experiment(path)?;
+    if let Some(policy) = &flags.policy {
+        config.policies = vec![policy.clone()];
     }
     let params = SimParams {
         warmup: config.warmup,
@@ -442,17 +533,7 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
         seeds: config.seeds,
         base_seed: config.base_seed,
     };
-    if flags.window.is_some() && flags.telemetry.is_none() {
-        return Err("--window only makes sense with --telemetry".into());
-    }
-    let window = match flags.window {
-        Some(w) if !(w.is_finite() && w > 0.0) => {
-            return Err(format!("--window must be positive, got {w}"));
-        }
-        Some(w) => w,
-        // Default: 40 windows across the run.
-        None => (params.warmup + params.horizon) / 40.0,
-    };
+    let window = resolve_window(flags, params.warmup, params.horizon)?;
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -481,30 +562,7 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
         results.push(r);
     }
     if let Some(dir) = &flags.telemetry {
-        let dir = Path::new(dir);
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        let write = |file: String, contents: String| -> Result<(), String> {
-            let p = dir.join(file);
-            std::fs::write(&p, contents).map_err(|e| format!("writing {}: {e}", p.display()))
-        };
-        for (name, t) in &snapshots {
-            write(format!("{name}.prom"), export::prometheus(t))?;
-            write(format!("{name}_blocking.csv"), export::blocking_csv(t))?;
-            write(format!("{name}_links.csv"), export::link_utilization_csv(t))?;
-        }
-        let entries: Vec<(String, &RunTelemetry)> = snapshots
-            .iter()
-            .map(|(name, t)| (name.clone(), t))
-            .collect();
-        write(
-            "telemetry.json".to_string(),
-            telemetry_document(path, &entries).to_string_pretty(),
-        )?;
-        eprintln!(
-            "telemetry: wrote {} files under {}",
-            3 * snapshots.len() + 1,
-            dir.display()
-        );
+        write_telemetry_files(dir, path, &snapshots)?;
     }
     if flags.metrics_json {
         let doc = metrics_document(
@@ -527,6 +585,294 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
             "erlang cut-set lower bound: {}",
             fmt_prob(exp.erlang_bound())
         );
+    }
+    Ok(())
+}
+
+/// Emits either the aligned table or a `--metrics-json` document for the
+/// kernel-backed engines that summarise with a `BlockingSummary`.
+fn print_summary_output(
+    label: &str,
+    metrics_json: bool,
+    extra: Vec<(String, Value)>,
+    table: &Table,
+    policies: Vec<Value>,
+) {
+    if metrics_json {
+        let mut fields = vec![("label".to_string(), Value::from(label))];
+        fields.extend(extra);
+        fields.push(("policies".to_string(), Value::Array(policies)));
+        println!("{}", Value::Object(fields).to_string_pretty());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
+    let (config, exp, failures) = load_experiment(path)?;
+    let window = resolve_window(flags, config.warmup, config.horizon)?;
+    let plan = exp.plan_for(PolicyKind::ControlledAlternate {
+        max_hops: config.max_hops,
+    });
+    let adaptive = AdaptiveConfig::default();
+    let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
+    let (per_seed, summary) = if flags.telemetry.is_some() {
+        let (per_seed, summary, telemetry) = run_adaptive_telemetry(
+            &plan,
+            exp.traffic(),
+            config.warmup,
+            config.horizon,
+            config.base_seed,
+            config.seeds,
+            &failures,
+            &adaptive,
+            default_workers(),
+            window,
+        );
+        snapshots.push(("adaptive".to_string(), telemetry));
+        (per_seed, summary)
+    } else {
+        run_adaptive_replications(
+            &plan,
+            exp.traffic(),
+            config.warmup,
+            config.horizon,
+            config.base_seed,
+            config.seeds,
+            &failures,
+            &adaptive,
+            default_workers(),
+        )
+    };
+    let mut table = Table::new(["policy", "blocking", "stderr", "replications"]);
+    table.row([
+        "adaptive-controlled".to_string(),
+        fmt_prob(summary.mean()),
+        fmt_prob(summary.std_error()),
+        summary.replications().to_string(),
+    ]);
+    let (offered, blocked) = per_seed
+        .iter()
+        .fold((0u64, 0u64), |(o, b), r| (o + r.offered, b + r.blocked));
+    let policy_json = {
+        let mut fields = vec![("policy".to_string(), Value::from("adaptive-controlled"))];
+        if let Value::Object(rest) = blocking_summary_json(&summary) {
+            fields.extend(rest);
+        }
+        fields.push(("offered".to_string(), Value::from(offered)));
+        fields.push(("blocked".to_string(), Value::from(blocked)));
+        Value::Object(fields)
+    };
+    print_summary_output(
+        path,
+        flags.metrics_json,
+        vec![
+            ("seeds".to_string(), Value::from(config.seeds)),
+            (
+                "update_interval".to_string(),
+                Value::from(adaptive.update_interval),
+            ),
+            ("ewma_alpha".to_string(), Value::from(adaptive.ewma_alpha)),
+        ],
+        &table,
+        vec![policy_json],
+    );
+    if let Some(dir) = &flags.telemetry {
+        write_telemetry_files(dir, path, &snapshots)?;
+    }
+    Ok(())
+}
+
+fn cmd_multirate(path: &str, flags: &Flags) -> Result<(), String> {
+    let (config, exp, failures) = load_experiment(path)?;
+    let window = resolve_window(flags, config.warmup, config.horizon)?;
+    // Two classes carved from the config traffic: a 1-unit class at the
+    // configured load and a 4-unit wideband class at a tenth of it.
+    let classes = [
+        BandwidthClass {
+            bandwidth: 1,
+            traffic: exp.traffic().clone(),
+        },
+        BandwidthClass {
+            bandwidth: 4,
+            traffic: exp.traffic().scaled(0.1),
+        },
+    ];
+    let params = MultirateParams {
+        warmup: config.warmup,
+        horizon: config.horizon,
+        seeds: config.seeds,
+        base_seed: config.base_seed,
+        max_hops: config.max_hops,
+    };
+    let mut table = Table::new([
+        "policy",
+        "call_blocking",
+        "stderr",
+        "bw_blocking",
+        "narrowband",
+        "wideband",
+    ]);
+    let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
+    let mut policy_docs = Vec::new();
+    for name in &config.policies {
+        let policy = match name.as_str() {
+            "single-path" => MultiratePolicy::SinglePath,
+            "uncontrolled" => MultiratePolicy::Uncontrolled,
+            "controlled" => MultiratePolicy::Controlled,
+            other => {
+                return Err(format!(
+                    "multirate does not support policy '{other}' \
+                     (try single-path, uncontrolled, controlled)"
+                ))
+            }
+        };
+        let topo = exp.topology();
+        let r = if flags.telemetry.is_some() {
+            let (r, telemetry) =
+                run_multirate_telemetry(topo, &classes, policy, &params, &failures, window);
+            snapshots.push((policy.name().to_string(), telemetry));
+            r
+        } else {
+            run_multirate(topo, &classes, policy, &params, &failures)
+        };
+        table.row([
+            policy.name().to_string(),
+            fmt_prob(r.blocking_mean()),
+            fmt_prob(r.blocking.std_error()),
+            fmt_prob(r.bandwidth_blocking.mean()),
+            fmt_prob(r.per_class_blocking[0]),
+            fmt_prob(r.per_class_blocking[1]),
+        ]);
+        let mut fields = vec![("policy".to_string(), Value::from(policy.name()))];
+        if let Value::Object(rest) = blocking_summary_json(&r.blocking) {
+            fields.extend(rest);
+        }
+        fields.push((
+            "bandwidth_blocking".to_string(),
+            blocking_summary_json(&r.bandwidth_blocking),
+        ));
+        fields.push((
+            "per_class_blocking".to_string(),
+            Value::Array(
+                r.per_class_blocking
+                    .iter()
+                    .map(|&b| Value::from(b))
+                    .collect(),
+            ),
+        ));
+        policy_docs.push(Value::Object(fields));
+    }
+    print_summary_output(
+        path,
+        flags.metrics_json,
+        vec![
+            ("seeds".to_string(), Value::from(params.seeds)),
+            (
+                "classes".to_string(),
+                obj! {
+                    "narrowband_bandwidth" => 1u64,
+                    "wideband_bandwidth" => 4u64,
+                    "wideband_scale" => 0.1,
+                },
+            ),
+        ],
+        &table,
+        policy_docs,
+    );
+    if let Some(dir) = &flags.telemetry {
+        write_telemetry_files(dir, path, &snapshots)?;
+    }
+    Ok(())
+}
+
+fn cmd_signaling(path: &str, flags: &Flags) -> Result<(), String> {
+    let (config, exp, failures) = load_experiment(path)?;
+    let window = resolve_window(flags, config.warmup, config.horizon)?;
+    let hop_delay = flags.hop_delay.unwrap_or(2e-4);
+    if !(hop_delay.is_finite() && hop_delay >= 0.0) {
+        return Err(format!("--hop-delay must be >= 0, got {hop_delay}"));
+    }
+    let plan = exp.plan_for(PolicyKind::ControlledAlternate {
+        max_hops: config.max_hops,
+    });
+    let mut table = Table::new([
+        "policy",
+        "blocking",
+        "stderr",
+        "booking_races",
+        "setup_latency",
+        "attempts",
+    ]);
+    let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
+    let mut policy_docs = Vec::new();
+    for name in &config.policies {
+        let policy = match name.as_str() {
+            "single-path" => SignalingPolicy::SinglePath,
+            "uncontrolled" => SignalingPolicy::Uncontrolled,
+            "controlled" => SignalingPolicy::Controlled,
+            other => {
+                return Err(format!(
+                    "signaling does not support policy '{other}' \
+                     (try single-path, uncontrolled, controlled)"
+                ))
+            }
+        };
+        let sig_config = SignalingConfig {
+            hop_delay,
+            policy,
+            warmup: config.warmup,
+            horizon: config.horizon,
+            seed: config.base_seed,
+        };
+        let (per_seed, summary) = if flags.telemetry.is_some() {
+            let (per_seed, summary, telemetry) = run_signaling_telemetry(
+                &plan,
+                exp.traffic(),
+                &failures,
+                &sig_config,
+                config.seeds,
+                window,
+            );
+            snapshots.push((policy.name().to_string(), telemetry));
+            (per_seed, summary)
+        } else {
+            run_signaling_replications(&plan, exp.traffic(), &failures, &sig_config, config.seeds)
+        };
+        let races: u64 = per_seed.iter().map(|r| r.booking_races).sum();
+        let latency =
+            per_seed.iter().map(|r| r.mean_setup_latency).sum::<f64>() / per_seed.len() as f64;
+        let attempts =
+            per_seed.iter().map(|r| r.mean_attempts).sum::<f64>() / per_seed.len() as f64;
+        table.row([
+            policy.name().to_string(),
+            fmt_prob(summary.mean()),
+            fmt_prob(summary.std_error()),
+            races.to_string(),
+            format!("{latency:.5}"),
+            format!("{attempts:.3}"),
+        ]);
+        let mut fields = vec![("policy".to_string(), Value::from(policy.name()))];
+        if let Value::Object(rest) = blocking_summary_json(&summary) {
+            fields.extend(rest);
+        }
+        fields.push(("booking_races".to_string(), Value::from(races)));
+        fields.push(("mean_setup_latency".to_string(), Value::from(latency)));
+        fields.push(("mean_attempts".to_string(), Value::from(attempts)));
+        policy_docs.push(Value::Object(fields));
+    }
+    print_summary_output(
+        path,
+        flags.metrics_json,
+        vec![
+            ("seeds".to_string(), Value::from(config.seeds)),
+            ("hop_delay".to_string(), Value::from(hop_delay)),
+        ],
+        &table,
+        policy_docs,
+    );
+    if let Some(dir) = &flags.telemetry {
+        write_telemetry_files(dir, path, &snapshots)?;
     }
     Ok(())
 }
@@ -736,6 +1082,8 @@ struct Flags {
     bless: bool,
     telemetry: Option<String>,
     window: Option<f64>,
+    policy: Option<String>,
+    hop_delay: Option<f64>,
 }
 
 impl Flags {
@@ -756,6 +1104,12 @@ impl Flags {
         }
         if self.window.is_some() {
             v.push("--window");
+        }
+        if self.policy.is_some() {
+            v.push("--policy");
+        }
+        if self.hop_delay.is_some() {
+            v.push("--hop-delay");
         }
         v
     }
@@ -786,7 +1140,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             Some((n, v)) => (n, Some(v.to_string())),
             None => (rest, None),
         };
-        let takes_value = matches!(name, "telemetry" | "window");
+        let takes_value = matches!(name, "telemetry" | "window" | "policy" | "hop-delay");
         let value = if takes_value {
             match inline {
                 Some(v) => Some(v),
@@ -811,6 +1165,10 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "bless" => flags.bless = true,
             "telemetry" => flags.telemetry = value,
             "window" => flags.window = Some(parse_f64(&value.expect("takes_value"), "--window")?),
+            "policy" => flags.policy = value,
+            "hop-delay" => {
+                flags.hop_delay = Some(parse_f64(&value.expect("takes_value"), "--hop-delay")?)
+            }
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -865,9 +1223,30 @@ fn run() -> Result<(), String> {
         ["simulate", config] => {
             flags.allow_only(
                 "simulate",
-                &["--metrics-json", "--progress", "--telemetry", "--window"],
+                &[
+                    "--metrics-json",
+                    "--progress",
+                    "--telemetry",
+                    "--window",
+                    "--policy",
+                ],
             )?;
             cmd_simulate(config, &flags)
+        }
+        ["adaptive", config] => {
+            flags.allow_only("adaptive", &["--metrics-json", "--telemetry", "--window"])?;
+            cmd_adaptive(config, &flags)
+        }
+        ["multirate", config] => {
+            flags.allow_only("multirate", &["--metrics-json", "--telemetry", "--window"])?;
+            cmd_multirate(config, &flags)
+        }
+        ["signaling", config] => {
+            flags.allow_only(
+                "signaling",
+                &["--metrics-json", "--telemetry", "--window", "--hop-delay"],
+            )?;
+            cmd_signaling(config, &flags)
         }
         ["telemetry", dir] => {
             flags.allow_only("telemetry", &[])?;
@@ -886,7 +1265,11 @@ fn run() -> Result<(), String> {
             "usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
                   protect LOAD CAP H | \
                   simulate CONFIG.json [--metrics-json] [--progress] \
-                  [--telemetry DIR] [--window W] | \
+                  [--telemetry DIR] [--window W] [--policy NAME] | \
+                  adaptive CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] | \
+                  multirate CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] | \
+                  signaling CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
+                  [--hop-delay D] | \
                   telemetry DIR | example-config | conformance [--bless]>"
                 .into(),
         ),

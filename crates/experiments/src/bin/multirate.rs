@@ -61,7 +61,7 @@ fn main() {
                 format!("{narrow:.0}"),
                 policy.name().to_string(),
                 fmt_prob(r.blocking_mean()),
-                fmt_prob(r.bandwidth_blocking.mean),
+                fmt_prob(r.bandwidth_blocking.mean()),
                 fmt_prob(r.per_class_blocking[0]),
                 fmt_prob(r.per_class_blocking[1]),
             ]);

@@ -156,6 +156,18 @@ fn f64_array(values: impl IntoIterator<Item = f64>) -> Value {
     Value::Array(values.into_iter().map(Value::from).collect())
 }
 
+/// An across-seed [`BlockingSummary`](altroute_simcore::stats::BlockingSummary)
+/// as JSON: mean, spread, and the per-seed ratios.
+pub fn blocking_summary_json(s: &altroute_simcore::stats::BlockingSummary) -> Value {
+    obj! {
+        "blocking_mean" => s.mean(),
+        "blocking_std_error" => s.std_error(),
+        "blocking_ci95_half_width" => s.ci95_half_width(),
+        "replications" => s.replications(),
+        "per_seed" => f64_array(s.per_seed().iter().copied()),
+    }
+}
+
 /// A histogram's summary statistics and non-empty buckets as JSON.
 pub fn histogram_json(h: &Histogram) -> Value {
     obj! {

@@ -16,15 +16,26 @@
 //! blocks it) — matching the unreduced `Λ^k` of Eq. 1 that the paper's
 //! oracle uses. With unit-mean holding times the offered rate in calls
 //! per unit time *is* the offered load in Erlangs.
+//!
+//! On the simulation kernel the estimator is a [`RouteSelector`]
+//! wrapper: `observe_arrival` tallies set-ups, and the kernel's periodic
+//! tick (`update_interval`) folds the window into the EWMA and pushes
+//! fresh levels into the [`TrunkReservation`] admission policy via
+//! `set_levels` — the state-dependent tier reads them on the very next
+//! call.
 
 use crate::failures::FailureSchedule;
-use crate::network::NetworkState;
+use crate::trace::{NullTraceSink, TraceSink};
 use altroute_core::plan::RoutingPlan;
-use altroute_core::policy::{Decision, PolicyKind, Router};
-use altroute_netgraph::graph::LinkId;
+use altroute_core::select::TieredSelector;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_simcore::queue::EventQueue;
-use altroute_simcore::rng::StreamFactory;
+use altroute_simcore::kernel::{
+    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelSpec, LinkEvent, LinkOccupancy,
+    RouteSelector, Selection, TrunkReservation,
+};
+use altroute_simcore::pool::pool_run;
+use altroute_simcore::stats::BlockingSummary;
+use altroute_telemetry::{NullRecorder, Recorder, RunTelemetry};
 use altroute_teletraffic::reservation::protection_level;
 
 /// Configuration of the adaptive controller.
@@ -75,19 +86,89 @@ pub struct AdaptiveSeedResult {
 impl AdaptiveSeedResult {
     /// Average network blocking.
     pub fn blocking(&self) -> f64 {
-        if self.offered == 0 {
-            0.0
-        } else {
-            self.blocked as f64 / self.offered as f64
+        altroute_simcore::stats::blocking_ratio(self.blocked, self.offered)
+    }
+}
+
+/// The estimating selector: tiered primary-then-alternates routing whose
+/// tick folds the last window's set-up counts into an EWMA per link and
+/// refreshes the admission policy's protection levels from Eq. 15.
+struct AdaptiveSelector<'p> {
+    inner: TieredSelector<'p>,
+    capacities: Vec<u32>,
+    h: u32,
+    update_interval: f64,
+    ewma_alpha: f64,
+    levels: Vec<u32>,
+    estimates: Vec<f64>,
+    have_estimate: Vec<bool>,
+    window_counts: Vec<u64>,
+}
+
+impl<'p> AdaptiveSelector<'p> {
+    fn new(plan: &'p RoutingPlan, config: &AdaptiveConfig) -> Self {
+        let topo = plan.topology();
+        let capacities: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+        let levels = match config.initial {
+            InitialLevels::Zero => vec![0; topo.num_links()],
+            InitialLevels::Full => capacities.clone(),
+        };
+        Self {
+            inner: TieredSelector::new(plan),
+            h: plan.max_alternate_hops(),
+            update_interval: config.update_interval,
+            ewma_alpha: config.ewma_alpha,
+            levels,
+            estimates: vec![0.0; topo.num_links()],
+            have_estimate: vec![false; topo.num_links()],
+            window_counts: vec![0; topo.num_links()],
+            capacities,
         }
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival { pair: u32 },
-    Departure { call: u32 },
-    Reestimate,
+impl<'p> RouteSelector<'p> for AdaptiveSelector<'p> {
+    fn select<A: AdmissionPolicy>(
+        &mut self,
+        src: usize,
+        dst: usize,
+        pick: f64,
+        view: &LinkOccupancy,
+        admission: &A,
+        bandwidth: u32,
+    ) -> Selection<'p> {
+        self.inner
+            .select(src, dst, pick, view, admission, bandwidth)
+    }
+
+    fn observe_arrival(&mut self, src: usize, dst: usize, pick: f64) {
+        // Count the primary set-up on every link of the primary path
+        // (the estimator's measurement), whatever the routing outcome.
+        if let Some(primary) = self.inner.plan().primaries().choose(src, dst, pick) {
+            for &l in primary.links() {
+                self.window_counts[l] += 1;
+            }
+        }
+    }
+
+    fn tick<A: AdmissionPolicy>(&mut self, _now: f64, admission: &mut A) {
+        for (l, count) in self.window_counts.iter_mut().enumerate() {
+            let rate = *count as f64 / self.update_interval;
+            *count = 0;
+            self.estimates[l] = if self.have_estimate[l] {
+                self.ewma_alpha * rate + (1.0 - self.ewma_alpha) * self.estimates[l]
+            } else {
+                self.have_estimate[l] = true;
+                rate
+            };
+            self.levels[l] = if self.estimates[l] > 0.0 {
+                protection_level(self.estimates[l], self.capacities[l], self.h)
+            } else {
+                0
+            };
+        }
+        admission.set_levels(&self.levels);
+    }
 }
 
 /// Runs one replication of controlled alternate routing with *online*
@@ -108,6 +189,126 @@ pub fn run_adaptive_seed(
     failures: &FailureSchedule,
     config: &AdaptiveConfig,
 ) -> AdaptiveSeedResult {
+    run_adaptive_seed_instrumented(
+        plan,
+        traffic,
+        warmup,
+        horizon,
+        seed,
+        failures,
+        config,
+        &mut NullTraceSink,
+        &mut NullRecorder,
+    )
+}
+
+/// Runs `seeds` adaptive replications (seed `i` uses `base_seed + i`)
+/// over `workers` workers and summarises their blocking. Per-seed
+/// results come back in seed order regardless of the worker count.
+///
+/// # Panics
+///
+/// As [`run_adaptive_seed`]; additionally if `seeds == 0` or
+/// `workers == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_replications(
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    warmup: f64,
+    horizon: f64,
+    base_seed: u64,
+    seeds: u32,
+    failures: &FailureSchedule,
+    config: &AdaptiveConfig,
+    workers: usize,
+) -> (Vec<AdaptiveSeedResult>, BlockingSummary) {
+    assert!(seeds > 0, "need at least one replication");
+    let per_seed = pool_run(seeds as usize, workers, None, |i| {
+        run_adaptive_seed(
+            plan,
+            traffic,
+            warmup,
+            horizon,
+            base_seed + i as u64,
+            failures,
+            config,
+        )
+    });
+    let summary = BlockingSummary::from_counts(per_seed.iter().map(|r| (r.offered, r.blocked)));
+    (per_seed, summary)
+}
+
+/// As [`run_adaptive_replications`], with every replication additionally
+/// recording time-resolved telemetry (window width `window`), merged
+/// across seeds in seed order. Telemetry is a pure observation: the
+/// per-seed results are identical to [`run_adaptive_replications`]'s.
+///
+/// # Panics
+///
+/// As [`run_adaptive_replications`]; additionally if `window <= 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_telemetry(
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    warmup: f64,
+    horizon: f64,
+    base_seed: u64,
+    seeds: u32,
+    failures: &FailureSchedule,
+    config: &AdaptiveConfig,
+    workers: usize,
+    window: f64,
+) -> (Vec<AdaptiveSeedResult>, BlockingSummary, RunTelemetry) {
+    assert!(seeds > 0, "need at least one replication");
+    let capacities: Vec<u32> = plan.topology().links().iter().map(|l| l.capacity).collect();
+    let recorded = pool_run(seeds as usize, workers, None, |i| {
+        let mut telemetry = RunTelemetry::new(warmup, horizon, window, capacities.clone());
+        let r = run_adaptive_seed_instrumented(
+            plan,
+            traffic,
+            warmup,
+            horizon,
+            base_seed + i as u64,
+            failures,
+            config,
+            &mut NullTraceSink,
+            &mut telemetry,
+        );
+        (r, telemetry)
+    });
+    let mut per_seed = Vec::with_capacity(recorded.len());
+    let mut merged: Option<RunTelemetry> = None;
+    for (r, telemetry) in recorded {
+        per_seed.push(r);
+        match &mut merged {
+            None => merged = Some(telemetry),
+            Some(m) => m.merge(&telemetry),
+        }
+    }
+    let summary = BlockingSummary::from_counts(per_seed.iter().map(|r| (r.offered, r.blocked)));
+    (per_seed, summary, merged.expect("at least one replication"))
+}
+
+/// [`run_adaptive_seed`] with a trace sink and telemetry recorder
+/// attached — the kernel reports every arrival, departure, occupancy
+/// change, and link transition exactly as the main engine does. Both
+/// observers are pure: the returned result is identical for any choice.
+///
+/// # Panics
+///
+/// As [`run_adaptive_seed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_adaptive_seed_instrumented<S: TraceSink, R: Recorder>(
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    warmup: f64,
+    horizon: f64,
+    seed: u64,
+    failures: &FailureSchedule,
+    config: &AdaptiveConfig,
+    sink: &mut S,
+    recorder: &mut R,
+) -> AdaptiveSeedResult {
     let topo = plan.topology();
     let n = topo.num_nodes();
     assert_eq!(traffic.num_nodes(), n, "traffic matrix size mismatch");
@@ -119,128 +320,67 @@ pub fn run_adaptive_seed(
         config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
         "alpha in (0, 1]"
     );
-    let end = warmup + horizon;
-    let h = plan.max_alternate_hops();
 
-    // The router is used only through decide_tiered_with, so the bound
-    // policy kind just needs a matching H.
-    let router = Router::new(plan, PolicyKind::ControlledAlternate { max_hops: h });
-    let mut network = NetworkState::new(topo);
-    for &l in failures.statically_down() {
-        network.set_down(l);
-    }
-
-    let mut levels: Vec<u32> = match config.initial {
-        InitialLevels::Zero => vec![0; topo.num_links()],
-        InitialLevels::Full => topo.links().iter().map(|l| l.capacity).collect(),
+    let capacities: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+    let sources: Vec<ArrivalSource> = traffic
+        .demands()
+        .map(|(i, j, t)| {
+            let pair = i * n + j;
+            ArrivalSource {
+                stream: pair as u64,
+                src: i,
+                dst: j,
+                rate: t,
+                bandwidth: 1,
+                tag: pair as u32,
+                tally: pair as u32,
+            }
+        })
+        .collect();
+    let link_events: Vec<LinkEvent> = failures
+        .events()
+        .iter()
+        .map(|ev| LinkEvent {
+            at: ev.at,
+            link: ev.link,
+            up: ev.up,
+        })
+        .collect();
+    let spec = KernelSpec {
+        config: KernelConfig {
+            warmup,
+            horizon,
+            seed,
+            draw_pick: true,
+            tick_interval: Some(config.update_interval),
+            tally_slots: n * n,
+        },
+        capacities: &capacities,
+        static_down: failures.statically_down(),
+        sources: &sources,
+        link_events: &link_events,
     };
-    let mut estimates = vec![0.0_f64; topo.num_links()];
-    let mut have_estimate = vec![false; topo.num_links()];
-    let mut window_counts = vec![0u64; topo.num_links()];
 
-    let factory = StreamFactory::new(seed);
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
-        (0..n * n).map(|_| None).collect();
-    let mut rates = vec![0.0_f64; n * n];
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    for (i, j, t) in traffic.demands() {
-        let pair = i * n + j;
-        rates[pair] = t;
-        let mut stream = factory.stream(pair as u64);
-        let first = stream.exp(t);
-        streams[pair] = Some(stream);
-        if first < end {
-            queue.schedule(first, Event::Arrival { pair: pair as u32 });
-        }
-    }
-    queue.schedule(config.update_interval, Event::Reestimate);
-
-    struct ActiveCall {
-        links: Vec<LinkId>,
-    }
-    let mut calls: Vec<Option<ActiveCall>> = Vec::new();
-    let (mut offered, mut blocked) = (0u64, 0u64);
-
-    while let Some((now, event)) = queue.pop() {
-        if now >= end {
-            break;
-        }
-        match event {
-            Event::Arrival { pair } => {
-                let pair = pair as usize;
-                let (src, dst) = (pair / n, pair % n);
-                let stream = streams[pair].as_mut().expect("active pair has a stream");
-                let hold = stream.holding_time();
-                let upick = stream.uniform();
-                let gap = stream.exp(rates[pair]);
-                if now + gap < end {
-                    queue.schedule(now + gap, Event::Arrival { pair: pair as u32 });
-                }
-                // Count the primary set-up on every link of the primary
-                // path (the estimator's measurement), before deciding.
-                if let Some(primary) = plan.primaries().choose(src, dst, upick) {
-                    for &l in primary.links() {
-                        window_counts[l] += 1;
-                    }
-                }
-                let measured = now >= warmup;
-                if measured {
-                    offered += 1;
-                }
-                match router.decide_tiered_with(src, dst, &network, upick, Some(&levels)) {
-                    Decision::Route { path, class: _ } => {
-                        network.book(path.links());
-                        let id = calls.len() as u32;
-                        calls.push(Some(ActiveCall {
-                            links: path.links().to_vec(),
-                        }));
-                        queue.schedule(now + hold, Event::Departure { call: id });
-                    }
-                    Decision::Blocked => {
-                        if measured {
-                            blocked += 1;
-                        }
-                    }
-                }
-            }
-            Event::Departure { call } => {
-                if let Some(active) = calls[call as usize].take() {
-                    network.release(&active.links);
-                }
-            }
-            Event::Reestimate => {
-                for (l, count) in window_counts.iter_mut().enumerate() {
-                    let rate = *count as f64 / config.update_interval;
-                    *count = 0;
-                    estimates[l] = if have_estimate[l] {
-                        config.ewma_alpha * rate + (1.0 - config.ewma_alpha) * estimates[l]
-                    } else {
-                        have_estimate[l] = true;
-                        rate
-                    };
-                    levels[l] = if estimates[l] > 0.0 {
-                        protection_level(estimates[l], topo.link(l).capacity, h)
-                    } else {
-                        0
-                    };
-                }
-                if now + config.update_interval < end {
-                    queue.schedule(now + config.update_interval, Event::Reestimate);
-                }
-            }
-        }
-    }
+    let mut selector = AdaptiveSelector::new(plan, config);
+    let mut admission = TrunkReservation::new(selector.levels.clone());
+    let mut observer = crate::engine::Instruments {
+        sink,
+        recorder: &mut *recorder,
+    };
+    let outcome = kernel::run(&spec, &mut admission, &mut selector, &mut observer);
+    recorder.finish(warmup + horizon);
     AdaptiveSeedResult {
-        offered,
-        blocked,
-        final_estimates: estimates,
-        final_levels: levels,
+        offered: outcome.offered,
+        blocked: outcome.blocked,
+        final_estimates: selector.estimates,
+        final_levels: selector.levels,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use altroute_core::policy::PolicyKind;
     use altroute_netgraph::estimate::nsfnet_nominal_traffic;
     use altroute_netgraph::topologies;
 
@@ -368,6 +508,34 @@ mod tests {
         let a = run_adaptive_seed(&plan, &traffic, 5.0, 30.0, 11, &failures, &cfg);
         let b = run_adaptive_seed(&plan, &traffic, 5.0, 30.0, 11, &failures, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_recorder_sees_adaptive_run() {
+        // The kernel port threads the Recorder through: a real recorder
+        // must observe arrivals without perturbing the result.
+        let (plan, traffic) = nsfnet_plan(0.8);
+        let failures = FailureSchedule::none();
+        let cfg = AdaptiveConfig::default();
+        let capacities: Vec<u32> = plan.topology().links().iter().map(|l| l.capacity).collect();
+        let mut recorder = altroute_telemetry::RunTelemetry::new(5.0, 30.0, 5.0, capacities);
+        let recorded = run_adaptive_seed_instrumented(
+            &plan,
+            &traffic,
+            5.0,
+            30.0,
+            11,
+            &failures,
+            &cfg,
+            &mut NullTraceSink,
+            &mut recorder,
+        );
+        let plain = run_adaptive_seed(&plan, &traffic, 5.0, 30.0, 11, &failures, &cfg);
+        assert_eq!(recorded, plain, "recorder must be a pure observer");
+        assert_eq!(
+            recorder.offered, recorded.offered,
+            "recorder counted the measured arrivals"
+        );
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! up for `warmup` time units, measure for `horizon`, and count offered
 //! and blocked calls (network-wide and per pair).
 //!
+//! Since the kernel refactor this module is a thin instantiation of
+//! [`altroute_simcore::kernel`]: the event loop, call table, link index,
+//! and metrics live there, and this module contributes only the policy
+//! dispatch — mapping each [`PolicyKind`] to its
+//! (`AdmissionPolicy`, `RouteSelector`) pair — plus the adapter that
+//! feeds kernel observations to the [`TraceSink`] and [`Recorder`]
+//! hooks. The event stream (and every counter) is bit-identical to the
+//! pre-kernel engine; the conformance crate's golden traces pin that
+//! down.
+//!
 //! **Common random numbers.** Each pair draws its inter-arrival times,
 //! holding times, and primary-split picks from its own seed-derived
 //! stream, in a fixed order per arrival, *independent of routing
@@ -14,17 +24,24 @@
 //! run with identical call arrivals and call holding times".
 
 use crate::failures::FailureSchedule;
-use crate::network::NetworkState;
 use crate::trace::{NullTraceSink, TraceDecision, TraceSink};
 use altroute_core::plan::RoutingPlan;
-use altroute_core::policy::{CallClass, Decision, OccupancyView, PolicyKind, Router};
-use altroute_netgraph::graph::LinkId;
+use altroute_core::policy::{CallClass, PolicyKind};
+use altroute_core::select::{DarStickySelector, OttKrishnanSelector, TieredSelector};
 use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::kernel::{
+    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelObserver, KernelOutcome, KernelSpec,
+    LinkEvent, RouteSelector, Tier, TrunkReservation, Uncontrolled,
+};
 use altroute_simcore::metrics::EngineMetrics;
-use altroute_simcore::queue::EventQueue;
 use altroute_simcore::rng::StreamFactory;
-use altroute_simcore::timeweighted::TimeWeighted;
 use altroute_telemetry::{ArrivalOutcome, NullRecorder, Recorder};
+
+/// The RNG stream id of the DAR selector's private resampling stream.
+/// Arrival streams use pair ids (`< n²`), so the top of the id space can
+/// never collide with them — DAR resampling leaves the common random
+/// numbers untouched.
+const DAR_RESAMPLE_STREAM: u64 = u64::MAX;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -74,11 +91,7 @@ pub struct SeedResult {
 impl SeedResult {
     /// Average network blocking: blocked / offered (0 if nothing offered).
     pub fn blocking(&self) -> f64 {
-        if self.offered == 0 {
-            0.0
-        } else {
-            self.blocked as f64 / self.offered as f64
-        }
+        altroute_simcore::stats::blocking_ratio(self.blocked, self.offered)
     }
 
     /// Fraction of carried calls that used an alternate path.
@@ -92,145 +105,67 @@ impl SeedResult {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// A call arrives for pair index `pair`.
-    Arrival { pair: u32 },
-    /// The call in slot `call` completes service — valid only while the
-    /// slot still holds generation `gen` (outage teardown frees slots
-    /// early and slots are reused, so a departure may arrive stale).
-    Departure { call: u32, gen: u32 },
-    /// A link changes operational state.
-    Link { link: u32, up: bool },
+/// Adapts the kernel's observation hooks onto the engine's historical
+/// observers: every hook forwards to the [`TraceSink`] first and the
+/// [`Recorder`] second, at exactly the pre-kernel call sites (the golden
+/// traces encode this ordering). Shared by every kernel-backed simulator
+/// in this crate.
+pub(crate) struct Instruments<'a, S, R> {
+    pub(crate) sink: &'a mut S,
+    pub(crate) recorder: &'a mut R,
 }
 
-/// In-progress calls in a generational free-list table.
-///
-/// Slots are reused after calls end, so the table's size tracks the
-/// *concurrent* call population instead of growing with every call ever
-/// offered (the old `Vec<Option<_>>`-push scheme held every finished
-/// call's slot for the whole run — hundreds of MB on long horizons).
-/// Each slot carries a generation counter, bumped on free; a departure
-/// event whose generation does not match is stale (its call was torn
-/// down by an outage and the slot possibly reassigned) and is ignored.
-///
-/// A call's path is stored as the borrowed link slice `&'p [LinkId]` of
-/// the plan's path — one fat pointer per call, no per-call allocation.
-struct CallTable<'p> {
-    links: Vec<Option<&'p [LinkId]>>,
-    gens: Vec<u32>,
-    free: Vec<u32>,
-    live: usize,
-}
-
-impl<'p> CallTable<'p> {
-    fn new() -> Self {
-        Self {
-            links: Vec::new(),
-            gens: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-        }
+impl<S: TraceSink, R: Recorder> KernelObserver for Instruments<'_, S, R> {
+    fn arrival_routed(
+        &mut self,
+        now: f64,
+        tag: u32,
+        tier: Tier,
+        links: &[usize],
+        hold: f64,
+        measured: bool,
+    ) {
+        let class = match tier {
+            Tier::Primary => CallClass::Primary,
+            Tier::Alternate => CallClass::Alternate,
+        };
+        self.sink
+            .arrival(now, tag, TraceDecision::Routed { class, links });
+        let outcome = match tier {
+            Tier::Primary => ArrivalOutcome::Primary,
+            Tier::Alternate => ArrivalOutcome::Alternate,
+        };
+        self.recorder
+            .arrival(now, measured, outcome, links.len() as u8, hold);
     }
 
-    /// Registers a call; returns its `(slot, generation)` handle.
-    fn insert(&mut self, links: &'p [LinkId]) -> (u32, u32) {
-        self.live += 1;
-        match self.free.pop() {
-            Some(id) => {
-                debug_assert!(
-                    self.links[id as usize].is_none(),
-                    "free list held a live slot"
-                );
-                self.links[id as usize] = Some(links);
-                (id, self.gens[id as usize])
-            }
-            None => {
-                let id = u32::try_from(self.links.len()).expect("fewer than 2^32 concurrent calls");
-                self.links.push(Some(links));
-                self.gens.push(0);
-                (id, 0)
-            }
-        }
+    fn arrival_blocked(&mut self, now: f64, tag: u32, hold: f64, measured: bool) {
+        self.sink.arrival(now, tag, TraceDecision::Blocked);
+        self.recorder
+            .arrival(now, measured, ArrivalOutcome::Blocked, 0, hold);
     }
 
-    /// Ends the call `(id, gen)` and returns its path links, or `None` if
-    /// the handle is stale (already ended, slot possibly reused).
-    fn take(&mut self, id: u32, gen: u32) -> Option<&'p [LinkId]> {
-        let slot = id as usize;
-        if self.gens[slot] != gen {
-            return None;
-        }
-        let links = self.links[slot].take()?;
-        // Invalidate every outstanding handle to this slot before reuse.
-        self.gens[slot] = gen.wrapping_add(1);
-        self.free.push(id);
-        self.live -= 1;
-        Some(links)
+    fn occupancy_changed(&mut self, now: f64, link: usize, occupancy: u32) {
+        self.recorder.occupancy(now, link as u32, occupancy);
     }
 
-    /// Whether the handle still refers to a call in progress.
-    fn is_live(&self, id: u32, gen: u32) -> bool {
-        self.gens[id as usize] == gen && self.links[id as usize].is_some()
+    fn departure(&mut self, now: f64, call: u32, gen: u32, stale: bool) {
+        self.sink.departure(now, call, gen, stale);
+        self.recorder.departure(now, stale);
     }
 
-    /// Calls currently in progress.
-    fn live(&self) -> usize {
-        self.live
+    fn teardown(&mut self, now: f64, call: u32, gen: u32, measured: bool) {
+        self.sink.teardown(now, call, gen);
+        self.recorder.teardown(now, measured);
     }
 
-    /// Most slots ever allocated (≈ peak concurrent calls).
-    fn high_water(&self) -> usize {
-        self.links.len()
-    }
-}
-
-/// Per-link index of the calls traversing each link, with lazy deletion.
-///
-/// Failure teardown must find every call on the failed link. Scanning the
-/// whole call table makes each outage O(all concurrent calls) — and the
-/// old design's ever-growing table made it O(all calls *ever offered*),
-/// quadratic over a run with repeated outages. This index keeps, per
-/// link, the `(slot, generation)` handles of calls that booked it.
-/// Departures only decrement a live counter (O(1) per link of the path);
-/// stale handles are purged amortized, whenever a link's entry list
-/// grows past twice its live count.
-struct LinkIndex {
-    entries: Vec<Vec<(u32, u32)>>,
-    live: Vec<usize>,
-}
-
-impl LinkIndex {
-    fn new(num_links: usize) -> Self {
-        Self {
-            entries: vec![Vec::new(); num_links],
-            live: vec![0; num_links],
-        }
+    fn link_change(&mut self, now: f64, link: u32, up: bool) {
+        self.sink.link_change(now, link, up);
+        self.recorder.link_state(now, link, up);
     }
 
-    /// Registers a routed call on every link of its path.
-    fn add(&mut self, links: &[LinkId], id: u32, gen: u32) {
-        for &l in links {
-            self.entries[l].push((id, gen));
-            self.live[l] += 1;
-        }
-    }
-
-    /// Notes that the call held by `handle` left `link` (departure or
-    /// teardown); compacts the link's entries when stale handles dominate.
-    fn remove_one(&mut self, link: LinkId, table: &CallTable<'_>) {
-        self.live[link] -= 1;
-        // The +8 slack keeps tiny lists from compacting on every call.
-        if self.entries[link].len() > 2 * self.live[link] + 8 {
-            self.entries[link].retain(|&(id, gen)| table.is_live(id, gen));
-        }
-    }
-
-    /// Takes the failed link's full handle list (live and stale mixed;
-    /// the caller validates each against the call table).
-    fn drain(&mut self, link: LinkId) -> Vec<(u32, u32)> {
-        self.live[link] = 0;
-        std::mem::take(&mut self.entries[link])
+    fn event_processed(&mut self, now: f64, queue_len: usize) {
+        self.recorder.event(now, queue_len);
     }
 }
 
@@ -273,6 +208,54 @@ pub fn run_seed_recorded<R: Recorder>(config: &RunConfig<'_>, recorder: &mut R) 
     run_seed_instrumented(config, &mut NullTraceSink, recorder)
 }
 
+/// Builds the kernel's static description of this run: one arrival
+/// source per demand pair (stream = tag = tally = pair id, in
+/// `demands()` order — the source order breaks event-queue ties, so it
+/// is part of the determinism contract), the per-link capacities, and
+/// the failure schedule split into static downs and timed events.
+fn build_spec(
+    config: &RunConfig<'_>,
+) -> (Vec<u32>, Vec<ArrivalSource>, Vec<LinkEvent>, KernelConfig) {
+    let topo = config.plan.topology();
+    let n = topo.num_nodes();
+    let capacities: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+    let sources: Vec<ArrivalSource> = config
+        .traffic
+        .demands()
+        .map(|(i, j, t)| {
+            let pair = i * n + j;
+            ArrivalSource {
+                stream: pair as u64,
+                src: i,
+                dst: j,
+                rate: t,
+                bandwidth: 1,
+                tag: pair as u32,
+                tally: pair as u32,
+            }
+        })
+        .collect();
+    let link_events: Vec<LinkEvent> = config
+        .failures
+        .events()
+        .iter()
+        .map(|ev| LinkEvent {
+            at: ev.at,
+            link: ev.link,
+            up: ev.up,
+        })
+        .collect();
+    let kernel_config = KernelConfig {
+        warmup: config.warmup,
+        horizon: config.horizon,
+        seed: config.seed,
+        draw_pick: true,
+        tick_interval: None,
+        tally_slots: n * n,
+    };
+    (capacities, sources, link_events, kernel_config)
+}
+
 /// Runs one replication with both a trace sink and a telemetry recorder
 /// attached. [`run_seed`], [`run_seed_traced`], and [`run_seed_recorded`]
 /// are this function with the respective no-op observers; both no-ops
@@ -286,228 +269,145 @@ pub fn run_seed_instrumented<S: TraceSink, R: Recorder>(
     sink: &mut S,
     recorder: &mut R,
 ) -> SeedResult {
-    let started = std::time::Instant::now();
     let plan = config.plan;
-    let topo = plan.topology();
-    let n = topo.num_nodes();
+    let n = plan.topology().num_nodes();
     assert_eq!(
         config.traffic.num_nodes(),
         n,
         "traffic matrix size mismatch"
     );
-    assert!(
-        config.warmup >= 0.0 && config.horizon > 0.0,
-        "invalid durations"
-    );
-    let end = config.warmup + config.horizon;
-
-    let router = Router::new(plan, config.policy);
-    let mut network = NetworkState::new(topo);
-    for &l in config.failures.statically_down() {
-        network.set_down(l);
+    if let Some(h) = config.policy.max_hops() {
+        assert_eq!(
+            h,
+            plan.max_alternate_hops(),
+            "policy hop bound must match the plan's H"
+        );
     }
+    let (capacities, sources, link_events, kernel_config) = build_spec(config);
+    let spec = KernelSpec {
+        config: kernel_config,
+        capacities: &capacities,
+        static_down: config.failures.statically_down(),
+        sources: &sources,
+        link_events: &link_events,
+    };
+    let mut observer = Instruments {
+        sink,
+        recorder: &mut *recorder,
+    };
 
-    let factory = StreamFactory::new(config.seed);
-    // One stream per pair, indexed by pair id; created lazily below for
-    // pairs with demand.
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
-        (0..n * n).map(|_| None).collect();
-    let mut rates = vec![0.0_f64; n * n];
-
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    for (i, j, t) in config.traffic.demands() {
-        let pair = i * n + j;
-        rates[pair] = t;
-        let mut stream = factory.stream(pair as u64);
-        let first = stream.exp(t);
-        streams[pair] = Some(stream);
-        if first < end {
-            queue.schedule(first, Event::Arrival { pair: pair as u32 });
+    // Each policy is an (admission, selector) pair on the same kernel:
+    //
+    // | policy        | admission                    | selector            |
+    // |---------------|------------------------------|---------------------|
+    // | single-path   | capacity only                | tiered, no alternates |
+    // | uncontrolled  | capacity only                | tiered              |
+    // | controlled    | trunk reservation (Eq. 15)   | tiered              |
+    // | ott-krishnan  | (internal to the price test) | shadow-price argmin |
+    // | dar           | trunk reservation (Eq. 15)   | sticky random       |
+    let outcome = match config.policy {
+        PolicyKind::SinglePath => kernel::run(
+            &spec,
+            &mut Uncontrolled,
+            &mut TieredSelector::single_path(plan),
+            &mut observer,
+        ),
+        PolicyKind::UncontrolledAlternate { .. } => kernel::run(
+            &spec,
+            &mut Uncontrolled,
+            &mut TieredSelector::new(plan),
+            &mut observer,
+        ),
+        PolicyKind::ControlledAlternate { .. } => kernel::run(
+            &spec,
+            &mut TrunkReservation::new(plan.protection_levels().to_vec()),
+            &mut TieredSelector::new(plan),
+            &mut observer,
+        ),
+        PolicyKind::OttKrishnan { .. } => kernel::run(
+            &spec,
+            &mut Uncontrolled,
+            &mut OttKrishnanSelector::new(plan),
+            &mut observer,
+        ),
+        PolicyKind::DarSticky { .. } => {
+            let rng = StreamFactory::new(config.seed).stream(DAR_RESAMPLE_STREAM);
+            kernel::run(
+                &spec,
+                &mut TrunkReservation::new(plan.protection_levels().to_vec()),
+                &mut DarStickySelector::new(plan, rng),
+                &mut observer,
+            )
         }
-    }
-    for ev in config.failures.events() {
-        if ev.at < end {
-            queue.schedule(
-                ev.at,
-                Event::Link {
-                    link: ev.link as u32,
-                    up: ev.up,
-                },
-            );
-        }
-    }
+    };
+    finish_seed(config, outcome, recorder)
+}
 
-    let mut calls = CallTable::new();
-    let mut index = LinkIndex::new(topo.num_links());
-    // Time-weighted occupancy per link, for the utilization gauge.
-    let mut occupancy: Vec<TimeWeighted> = (0..topo.num_links())
-        .map(|_| {
-            let mut tw = TimeWeighted::new(config.warmup);
-            tw.record(0.0, 0.0);
-            tw
-        })
-        .collect();
-    let mut metrics = EngineMetrics::default();
-    metrics.observe_queue_len(queue.len());
-    // Counters the loop accumulates; the SeedResult — `metrics` included —
-    // is assembled exactly once at the end, so a counter and the result
-    // can't drift apart.
-    let mut offered = 0u64;
-    let mut blocked = 0u64;
-    let mut carried_primary = 0u64;
-    let mut carried_alternate = 0u64;
-    let mut dropped = 0u64;
-    let mut per_pair_offered = vec![0u64; n * n];
-    let mut per_pair_blocked = vec![0u64; n * n];
-    // Wall clock at which the sim clock first crossed the warm-up cut,
-    // splitting the run's wall time into warmup/measurement spans.
-    let mut warmup_wall: Option<f64> = None;
-
-    // Peek before popping so the clock (`queue.now()`) never advances
-    // past `end`: the first event at or beyond the end of the measurement
-    // window stays in the queue instead of being consumed.
-    while queue.peek_time().is_some_and(|t| t < end) {
-        let (now, event) = queue.pop().expect("peeked event exists");
-        metrics.events_processed += 1;
-        if warmup_wall.is_none() && now >= config.warmup {
-            warmup_wall = Some(started.elapsed().as_secs_f64());
-        }
-        match event {
-            Event::Arrival { pair } => {
-                let pair = pair as usize;
-                let (src, dst) = (pair / n, pair % n);
-                // Fixed draw order per arrival keeps streams aligned
-                // across policies: holding time, primary pick, next gap.
-                let stream = streams[pair]
-                    .as_mut()
-                    .expect("stream exists for active pair");
-                let hold = stream.holding_time();
-                let upick = stream.uniform();
-                let gap = stream.exp(rates[pair]);
-                if now + gap < end {
-                    queue.schedule(now + gap, Event::Arrival { pair: pair as u32 });
-                }
-                let measured = now >= config.warmup;
-                if measured {
-                    offered += 1;
-                    per_pair_offered[pair] += 1;
-                }
-                match router.decide(src, dst, &network, upick) {
-                    Decision::Route { path, class } => {
-                        let links = path.links();
-                        sink.arrival(now, pair as u32, TraceDecision::Routed { class, links });
-                        let outcome = match class {
-                            CallClass::Primary => ArrivalOutcome::Primary,
-                            CallClass::Alternate => ArrivalOutcome::Alternate,
-                        };
-                        recorder.arrival(now, measured, outcome, links.len() as u8, hold);
-                        network.book(links);
-                        for &l in links {
-                            occupancy[l].record(now, f64::from(network.occupancy(l)));
-                            recorder.occupancy(now, l as u32, network.occupancy(l));
-                        }
-                        let (id, gen) = calls.insert(links);
-                        index.add(links, id, gen);
-                        metrics.observe_concurrent_calls(calls.live());
-                        queue.schedule(now + hold, Event::Departure { call: id, gen });
-                        if measured {
-                            match class {
-                                CallClass::Primary => carried_primary += 1,
-                                CallClass::Alternate => carried_alternate += 1,
-                            }
-                        }
-                    }
-                    Decision::Blocked => {
-                        sink.arrival(now, pair as u32, TraceDecision::Blocked);
-                        recorder.arrival(now, measured, ArrivalOutcome::Blocked, 0, hold);
-                        if measured {
-                            blocked += 1;
-                            per_pair_blocked[pair] += 1;
-                        }
-                    }
-                }
-            }
-            Event::Departure { call, gen } => {
-                // A call torn down by a failure leaves a stale departure;
-                // the generation check also rejects it if the slot has
-                // been reassigned to a newer call since.
-                if let Some(links) = calls.take(call, gen) {
-                    sink.departure(now, call, gen, false);
-                    recorder.departure(now, false);
-                    network.release(links);
-                    for &l in links {
-                        occupancy[l].record(now, f64::from(network.occupancy(l)));
-                        recorder.occupancy(now, l as u32, network.occupancy(l));
-                        index.remove_one(l, &calls);
-                    }
-                } else {
-                    sink.departure(now, call, gen, true);
-                    recorder.departure(now, true);
-                }
-            }
-            Event::Link { link, up } => {
-                let link = link as usize;
-                sink.link_change(now, link as u32, up);
-                recorder.link_state(now, link as u32, up);
-                if up {
-                    network.set_up(link);
-                } else {
-                    network.set_down(link);
-                    // Tear down calls in progress over the failed link —
-                    // only that link's entries, not the whole call table.
-                    for (id, gen) in index.drain(link) {
-                        let Some(links) = calls.take(id, gen) else {
-                            continue;
-                        };
-                        sink.teardown(now, id, gen);
-                        recorder.teardown(now, now >= config.warmup);
-                        network.release(links);
-                        for &l in links {
-                            occupancy[l].record(now, f64::from(network.occupancy(l)));
-                            recorder.occupancy(now, l as u32, network.occupancy(l));
-                            if l != link {
-                                index.remove_one(l, &calls);
-                            }
-                        }
-                        if now >= config.warmup {
-                            dropped += 1;
-                        }
-                    }
-                }
-            }
-        }
-        metrics.observe_queue_len(queue.len());
-        recorder.event(now, queue.len());
-    }
-
-    metrics.call_table_high_water = calls.high_water();
-    metrics.link_utilization = occupancy
-        .iter_mut()
-        .zip(topo.links())
-        .map(|(tw, link)| {
-            tw.finish(end);
-            tw.mean() / f64::from(link.capacity)
-        })
-        .collect();
-    let total_wall = started.elapsed().as_secs_f64();
-    metrics.wall_clock_secs = total_wall;
-    // A run whose clock never reached the warm-up cut spent all its wall
-    // time warming up.
-    let warmup_wall = warmup_wall.unwrap_or(total_wall);
-    recorder.span("seed_warmup", warmup_wall);
-    recorder.span("seed_measurement", total_wall - warmup_wall);
-    recorder.finish(end);
+/// Assembles a [`SeedResult`] from a kernel outcome and closes out the
+/// recorder (wall-clock spans, end-of-run flush).
+fn finish_seed<R: Recorder>(
+    config: &RunConfig<'_>,
+    outcome: KernelOutcome,
+    recorder: &mut R,
+) -> SeedResult {
+    let total_wall = outcome.metrics.wall_clock_secs;
+    recorder.span("seed_warmup", outcome.warmup_wall);
+    recorder.span("seed_measurement", total_wall - outcome.warmup_wall);
+    recorder.finish(config.warmup + config.horizon);
     SeedResult {
         seed: config.seed,
-        offered,
-        blocked,
-        carried_primary,
-        carried_alternate,
-        dropped,
-        per_pair_offered,
-        per_pair_blocked,
-        metrics,
+        offered: outcome.offered,
+        blocked: outcome.blocked,
+        carried_primary: outcome.carried_primary,
+        carried_alternate: outcome.carried_alternate,
+        dropped: outcome.dropped,
+        per_pair_offered: outcome.tally_offered,
+        per_pair_blocked: outcome.tally_blocked,
+        metrics: outcome.metrics,
     }
+}
+
+/// Runs one replication with an explicit `(admission, selector)` pair
+/// instead of a named [`PolicyKind`] — the extension point for policies
+/// that are not (yet) named variants. Observers and counters behave
+/// exactly as in [`run_seed_instrumented`].
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_with_policy<'p, A, Sel, S, R>(
+    config: &RunConfig<'_>,
+    admission: &mut A,
+    selector: &mut Sel,
+    sink: &mut S,
+    recorder: &mut R,
+) -> SeedResult
+where
+    A: AdmissionPolicy,
+    Sel: RouteSelector<'p>,
+    S: TraceSink,
+    R: Recorder,
+{
+    let n = config.plan.topology().num_nodes();
+    assert_eq!(
+        config.traffic.num_nodes(),
+        n,
+        "traffic matrix size mismatch"
+    );
+    let (capacities, sources, link_events, kernel_config) = build_spec(config);
+    let spec = KernelSpec {
+        config: kernel_config,
+        capacities: &capacities,
+        static_down: config.failures.statically_down(),
+        sources: &sources,
+        link_events: &link_events,
+    };
+    let mut observer = Instruments {
+        sink,
+        recorder: &mut *recorder,
+    };
+    let outcome = kernel::run(&spec, admission, selector, &mut observer);
+    finish_seed(config, outcome, recorder)
 }
 
 #[cfg(test)]
@@ -577,7 +477,8 @@ mod tests {
     #[test]
     fn identical_arrivals_across_policies() {
         // Common random numbers: per-pair offered counts must match
-        // between policies for the same seed.
+        // between policies for the same seed — DAR included, because its
+        // resampling stream is separate from every arrival stream.
         let topo = topologies::quadrangle();
         let m = TrafficMatrix::uniform(4, 90.0);
         let failures = FailureSchedule::none();
@@ -587,6 +488,7 @@ mod tests {
             PolicyKind::UncontrolledAlternate { max_hops: 3 },
             PolicyKind::ControlledAlternate { max_hops: 3 },
             PolicyKind::OttKrishnan { max_hops: 3 },
+            PolicyKind::DarSticky { max_hops: 3 },
         ] {
             let plan = RoutingPlan::min_hop(topo.clone(), &m, 3);
             let r = run_seed(&RunConfig {
@@ -603,6 +505,40 @@ mod tests {
         for w in offered.windows(2) {
             assert_eq!(w[0], w[1], "policies must see identical arrivals");
         }
+    }
+
+    #[test]
+    fn dar_routes_alternates_and_stays_deterministic() {
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 95.0);
+        let plan = RoutingPlan::min_hop(topo, &m, 3);
+        let failures = FailureSchedule::none();
+        let cfg = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::DarSticky { max_hops: 3 },
+            traffic: &m,
+            warmup: 5.0,
+            horizon: 40.0,
+            seed: 17,
+            failures: &failures,
+        };
+        let a = run_seed(&cfg);
+        let b = run_seed(&cfg);
+        assert_eq!(a, b);
+        assert!(a.carried_alternate > 0, "DAR must use alternates at 95 E");
+        assert!(a.blocking() < 0.5, "blocking {}", a.blocking());
+        // DAR with trunk reservation must not collapse versus the paper's
+        // controlled scheme at this load.
+        let controlled = run_seed(&RunConfig {
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            ..cfg
+        });
+        assert!(
+            a.blocking() < controlled.blocking() + 0.1,
+            "dar {} vs controlled {}",
+            a.blocking(),
+            controlled.blocking()
+        );
     }
 
     #[test]
@@ -777,18 +713,20 @@ mod tests {
 
     #[test]
     fn reused_slot_rejects_stale_departure_handle() {
-        // Direct regression for the generational call table: a call torn
-        // down by a link failure frees its slot; a later call reuses it;
-        // the torn-down call's departure event — still in the queue with
-        // the old generation — must not be able to release the new call.
-        let path_a: Vec<LinkId> = vec![0, 1];
-        let path_b: Vec<LinkId> = vec![2];
+        // Direct regression for the generational call table (now owned by
+        // the kernel): a call torn down by a link failure frees its slot;
+        // a later call reuses it; the torn-down call's departure event —
+        // still in the queue with the old generation — must not be able
+        // to release the new call.
+        use altroute_simcore::kernel::CallTable;
+        let path_a: Vec<usize> = vec![0, 1];
+        let path_b: Vec<usize> = vec![2];
         let mut table = CallTable::new();
-        let (slot_a, gen_a) = table.insert(&path_a);
+        let (slot_a, gen_a) = table.insert(&path_a, 1);
         // Failure teardown ends call A through its handle.
-        assert_eq!(table.take(slot_a, gen_a), Some(&path_a[..]));
+        assert_eq!(table.take(slot_a, gen_a), Some((&path_a[..], 1)));
         // Call B reuses the same slot with a bumped generation.
-        let (slot_b, gen_b) = table.insert(&path_b);
+        let (slot_b, gen_b) = table.insert(&path_b, 1);
         assert_eq!(slot_b, slot_a, "free list must hand the slot back");
         assert_ne!(gen_b, gen_a, "reuse must bump the generation");
         // Call A's scheduled departure fires: it must be rejected and
@@ -797,7 +735,7 @@ mod tests {
         assert!(table.is_live(slot_b, gen_b), "stale take must not end B");
         assert_eq!(table.live(), 1);
         // Call B's own departure still works.
-        assert_eq!(table.take(slot_b, gen_b), Some(&path_b[..]));
+        assert_eq!(table.take(slot_b, gen_b), Some((&path_b[..], 1)));
         assert_eq!(table.live(), 0);
     }
 
@@ -871,7 +809,7 @@ mod tests {
         // down calls early, their slots are reused by later calls, and
         // the original calls' departure events are still in the queue.
         // Without generation tags those stale departures would release
-        // the *new* calls' circuits; NetworkState's occupancy asserts
+        // the *new* calls' circuits; the occupancy asserts
         // (double-release, negative occupancy) would abort the run.
         let topo = topologies::quadrangle();
         let m = TrafficMatrix::uniform(4, 60.0);

@@ -21,59 +21,11 @@ use altroute_netgraph::graph::Topology;
 use altroute_netgraph::paths::min_hop_path;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_simcore::metrics::EngineMetrics;
+use altroute_simcore::pool::{default_workers, pool_run};
 use altroute_simcore::stats::Replications;
 use altroute_telemetry::{RunTelemetry, SpanProfile};
 
-/// Observer of replication completions, for live progress heartbeats on
-/// long experiments. Called from worker threads (hence `Sync`); the
-/// callback must not assume any completion order.
-pub trait ProgressObserver: Sync {
-    /// Replication number `completed` (1-based, monotone) of `total`
-    /// just finished.
-    fn replication_done(&self, completed: usize, total: usize);
-}
-
-/// Runs `job(i)` for every `i < jobs` on a bounded worker pool and
-/// returns the results positionally — byte-identical to a sequential run
-/// regardless of which worker ran which index. The shared factor behind
-/// [`Experiment::run_with_workers`] and
-/// [`Experiment::run_telemetry_with_workers`].
-fn pool_run<T: Send>(
-    jobs: usize,
-    workers: usize,
-    progress: Option<&dyn ProgressObserver>,
-    job: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    assert!(jobs > 0, "need at least one job");
-    assert!(workers > 0, "need at least one worker");
-    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-    let workers = workers.min(jobs);
-    let done = std::sync::atomic::AtomicUsize::new(0);
-    {
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, &mut Option<T>)>();
-        for entry in slots.iter_mut().enumerate() {
-            tx.send(entry)
-                .expect("queue is open while jobs are enqueued");
-        }
-        drop(tx);
-        let rx = std::sync::Mutex::new(rx);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Hold the lock only to dequeue; the job runs outside.
-                    let next = rx.lock().expect("no panic while dequeueing").recv();
-                    let Ok((i, slot)) = next else { break };
-                    *slot = Some(job(i));
-                    if let Some(p) = progress {
-                        let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                        p.replication_done(completed, jobs);
-                    }
-                });
-            }
-        });
-    }
-    slots.into_iter().map(|s| s.expect("job ran")).collect()
-}
+pub use altroute_simcore::pool::ProgressObserver;
 
 /// Simulation parameters shared by every replication.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -230,10 +182,7 @@ impl Experiment {
     /// slot, so results are positionally ordered and byte-identical to a
     /// sequential run regardless of which worker ran which seed.
     pub fn run(&self, kind: PolicyKind, params: &SimParams) -> ExperimentResult {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        self.run_with_workers(kind, params, workers)
+        self.run_with_workers(kind, params, default_workers())
     }
 
     /// As [`Experiment::run`], but with an explicit worker-pool size.
@@ -307,10 +256,7 @@ impl Experiment {
         params: &SimParams,
         window: f64,
     ) -> (ExperimentResult, RunTelemetry) {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        self.run_telemetry_with_workers(kind, params, window, workers, None)
+        self.run_telemetry_with_workers(kind, params, window, default_workers(), None)
     }
 
     /// As [`Experiment::run_telemetry`] with an explicit worker count and

@@ -11,16 +11,28 @@
 //! not formally cover; the single-link behaviour is validated against
 //! the exact Kaufman–Roberts recursion
 //! ([`altroute_teletraffic::kaufman_roberts`]) in this module's tests.
+//!
+//! On the simulation kernel a multirate run is just the tiered selector
+//! with per-source bandwidths: each (class, pair) is one
+//! [`ArrivalSource`] whose `bandwidth` the kernel books and the
+//! admission policy tests, and whose `tally` is the class index — the
+//! kernel's tally vectors *are* the per-class offered/blocked counts.
+//! Replications fan out over [`pool_run`] and dynamic link failures are
+//! honoured (calls in progress are torn down, the paper's outage model).
 
 use crate::failures::FailureSchedule;
+use crate::trace::{NullTraceSink, TraceSink};
 use altroute_core::plan::RoutingPlan;
 use altroute_core::primary::PrimaryAssignment;
-use altroute_netgraph::graph::{LinkId, Topology};
-use altroute_netgraph::paths::Path;
+use altroute_core::select::TieredSelector;
+use altroute_netgraph::graph::Topology;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_simcore::queue::EventQueue;
-use altroute_simcore::rng::StreamFactory;
-use altroute_simcore::stats::Replications;
+use altroute_simcore::kernel::{
+    self, ArrivalSource, KernelConfig, KernelSpec, LinkEvent, TrunkReservation, Uncontrolled,
+};
+use altroute_simcore::pool::{default_workers, pool_run};
+use altroute_simcore::stats::BlockingSummary;
+use altroute_telemetry::{NullRecorder, Recorder, RunTelemetry};
 use altroute_teletraffic::reservation::protection_level;
 
 /// One bandwidth class of offered traffic.
@@ -83,50 +95,38 @@ impl Default for MultirateParams {
 }
 
 /// Aggregated multirate outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultirateResult {
     /// The policy that ran.
     pub policy: MultiratePolicy,
     /// Across-seed call blocking (all classes pooled).
-    pub blocking: Replications,
+    pub blocking: BlockingSummary,
     /// Per-class pooled blocking, in class order.
     pub per_class_blocking: Vec<f64>,
     /// Across-seed *bandwidth* blocking (lost units / offered units).
-    pub bandwidth_blocking: Replications,
+    pub bandwidth_blocking: BlockingSummary,
 }
 
 impl MultirateResult {
     /// Mean call blocking across seeds.
     pub fn blocking_mean(&self) -> f64 {
-        self.blocking.mean
+        self.blocking.mean()
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival { class: u32, pair: u32 },
-    Departure { call: u32 },
+/// Everything state-independent a multirate run needs: the plan built
+/// from the bandwidth-weighted aggregate traffic plus the Eq.-15 levels.
+struct MultiratePlan {
+    plan: RoutingPlan,
+    levels: Vec<u32>,
 }
 
-/// Runs a multirate experiment on `topo` with min-hop primaries.
-///
-/// # Panics
-///
-/// Panics on inconsistent sizes, empty classes, or invalid parameters.
-pub fn run_multirate(
+fn build_plan(
     topo: &Topology,
     classes: &[BandwidthClass],
-    policy: MultiratePolicy,
     params: &MultirateParams,
-    failures: &FailureSchedule,
-) -> MultirateResult {
-    assert!(!classes.is_empty(), "need at least one class");
-    assert!(params.seeds > 0 && params.horizon > 0.0 && params.warmup >= 0.0);
+) -> MultiratePlan {
     let n = topo.num_nodes();
-    for (i, c) in classes.iter().enumerate() {
-        assert!(c.bandwidth > 0, "class {i} has zero bandwidth");
-        assert_eq!(c.traffic.num_nodes(), n, "class {i} matrix size mismatch");
-    }
     // Aggregate bandwidth-weighted traffic for protection levels; the
     // plan also supplies candidates/primaries (identical across classes).
     let mut weighted = TrafficMatrix::zero(n);
@@ -145,21 +145,173 @@ pub fn run_multirate(
         .zip(topo.links())
         .map(|(&a, l)| protection_level(a, l.capacity, params.max_hops))
         .collect();
+    MultiratePlan { plan, levels }
+}
 
-    let mut per_seed_call = Vec::new();
-    let mut per_seed_bw = Vec::new();
+/// Runs a multirate experiment on `topo` with min-hop primaries,
+/// fanning replications out over the default worker count.
+///
+/// # Panics
+///
+/// Panics on inconsistent sizes, empty classes, or invalid parameters.
+pub fn run_multirate(
+    topo: &Topology,
+    classes: &[BandwidthClass],
+    policy: MultiratePolicy,
+    params: &MultirateParams,
+    failures: &FailureSchedule,
+) -> MultirateResult {
+    run_multirate_with_workers(topo, classes, policy, params, failures, default_workers())
+}
+
+/// As [`run_multirate`] with an explicit worker count. Results are
+/// bit-identical for every `workers` value: replications are merged
+/// strictly in seed order.
+///
+/// # Panics
+///
+/// As [`run_multirate`]; additionally if `workers == 0`.
+pub fn run_multirate_with_workers(
+    topo: &Topology,
+    classes: &[BandwidthClass],
+    policy: MultiratePolicy,
+    params: &MultirateParams,
+    failures: &FailureSchedule,
+    workers: usize,
+) -> MultirateResult {
+    validate(topo, classes, params);
+    let mp = build_plan(topo, classes, params);
+    let runs = pool_run(params.seeds as usize, workers, None, |i| {
+        let seed = params.base_seed + i as u64;
+        run_one(
+            &mp,
+            classes,
+            policy,
+            params,
+            seed,
+            failures,
+            &mut NullTraceSink,
+            &mut NullRecorder,
+        )
+    });
+    summarize(policy, classes, &runs)
+}
+
+/// As [`run_multirate_with_workers`], but with the Eq.-15 protection
+/// levels replaced by an explicit per-link vector — for reservation
+/// sensitivity studies and for the conformance suite's `r = 0` reduction
+/// (all-zero levels must make the controlled policy coincide with the
+/// uncontrolled one, bit for bit).
+///
+/// # Panics
+///
+/// As [`run_multirate_with_workers`]; additionally if `levels` is not
+/// one entry per link.
+pub fn run_multirate_with_levels(
+    topo: &Topology,
+    classes: &[BandwidthClass],
+    policy: MultiratePolicy,
+    params: &MultirateParams,
+    failures: &FailureSchedule,
+    levels: &[u32],
+    workers: usize,
+) -> MultirateResult {
+    validate(topo, classes, params);
+    assert_eq!(levels.len(), topo.num_links(), "one level per link");
+    let mut mp = build_plan(topo, classes, params);
+    mp.levels = levels.to_vec();
+    let runs = pool_run(params.seeds as usize, workers, None, |i| {
+        let seed = params.base_seed + i as u64;
+        run_one(
+            &mp,
+            classes,
+            policy,
+            params,
+            seed,
+            failures,
+            &mut NullTraceSink,
+            &mut NullRecorder,
+        )
+    });
+    summarize(policy, classes, &runs)
+}
+
+/// As [`run_multirate`], but every replication additionally records
+/// time-resolved telemetry (window width `window`), merged across seeds
+/// in seed order. Telemetry is a pure observation: the returned
+/// [`MultirateResult`] is identical to [`run_multirate`]'s.
+///
+/// # Panics
+///
+/// As [`run_multirate`]; additionally if `window <= 0`.
+pub fn run_multirate_telemetry(
+    topo: &Topology,
+    classes: &[BandwidthClass],
+    policy: MultiratePolicy,
+    params: &MultirateParams,
+    failures: &FailureSchedule,
+    window: f64,
+) -> (MultirateResult, RunTelemetry) {
+    validate(topo, classes, params);
+    let mp = build_plan(topo, classes, params);
+    let capacities: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+    let recorded = pool_run(params.seeds as usize, default_workers(), None, |i| {
+        let seed = params.base_seed + i as u64;
+        let mut telemetry =
+            RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
+        let run = run_one(
+            &mp,
+            classes,
+            policy,
+            params,
+            seed,
+            failures,
+            &mut NullTraceSink,
+            &mut telemetry,
+        );
+        (run, telemetry)
+    });
+    let mut merged: Option<RunTelemetry> = None;
+    let mut runs = Vec::with_capacity(recorded.len());
+    for (run, telemetry) in recorded {
+        match &mut merged {
+            None => merged = Some(telemetry),
+            Some(m) => m.merge(&telemetry),
+        }
+        runs.push(run);
+    }
+    (
+        summarize(policy, classes, &runs),
+        merged.expect("at least one replication"),
+    )
+}
+
+fn validate(topo: &Topology, classes: &[BandwidthClass], params: &MultirateParams) {
+    assert!(!classes.is_empty(), "need at least one class");
+    assert!(params.seeds > 0 && params.horizon > 0.0 && params.warmup >= 0.0);
+    let n = topo.num_nodes();
+    for (i, c) in classes.iter().enumerate() {
+        assert!(c.bandwidth > 0, "class {i} has zero bandwidth");
+        assert_eq!(c.traffic.num_nodes(), n, "class {i} matrix size mismatch");
+    }
+}
+
+struct OneRun {
+    offered: Vec<u64>,
+    blocked: Vec<u64>,
+}
+
+fn summarize(
+    policy: MultiratePolicy,
+    classes: &[BandwidthClass],
+    runs: &[OneRun],
+) -> MultirateResult {
     let mut class_offered = vec![0u64; classes.len()];
     let mut class_blocked = vec![0u64; classes.len()];
-    for i in 0..params.seeds {
-        let seed = params.base_seed + u64::from(i);
-        let run = run_one(&plan, classes, policy, &levels, params, seed, failures);
-        let offered: u64 = run.offered.iter().sum();
-        let blocked: u64 = run.blocked.iter().sum();
-        per_seed_call.push(if offered == 0 {
-            0.0
-        } else {
-            blocked as f64 / offered as f64
-        });
+    let mut call_counts = Vec::with_capacity(runs.len());
+    let mut bw_counts = Vec::with_capacity(runs.len());
+    for run in runs {
+        call_counts.push((run.offered.iter().sum(), run.blocked.iter().sum()));
         let offered_bw: u64 = run
             .offered
             .iter()
@@ -172,11 +324,7 @@ pub fn run_multirate(
             .zip(classes)
             .map(|(&b, c)| b * u64::from(c.bandwidth))
             .sum();
-        per_seed_bw.push(if offered_bw == 0 {
-            0.0
-        } else {
-            blocked_bw as f64 / offered_bw as f64
-        });
+        bw_counts.push((offered_bw, blocked_bw));
         for (acc, v) in class_offered.iter_mut().zip(&run.offered) {
             *acc += v;
         }
@@ -187,163 +335,101 @@ pub fn run_multirate(
     let per_class_blocking = class_offered
         .iter()
         .zip(&class_blocked)
-        .map(|(&o, &b)| if o == 0 { 0.0 } else { b as f64 / o as f64 })
+        .map(|(&o, &b)| altroute_simcore::stats::blocking_ratio(b, o))
         .collect();
     MultirateResult {
         policy,
-        blocking: Replications::summarize(&per_seed_call),
+        blocking: BlockingSummary::from_counts(call_counts),
         per_class_blocking,
-        bandwidth_blocking: Replications::summarize(&per_seed_bw),
+        bandwidth_blocking: BlockingSummary::from_counts(bw_counts),
     }
 }
 
-struct OneRun {
-    offered: Vec<u64>,
-    blocked: Vec<u64>,
-}
-
-fn run_one(
-    plan: &RoutingPlan,
+#[allow(clippy::too_many_arguments)]
+fn run_one<S: TraceSink, R: Recorder>(
+    mp: &MultiratePlan,
     classes: &[BandwidthClass],
     policy: MultiratePolicy,
-    levels: &[u32],
     params: &MultirateParams,
     seed: u64,
     failures: &FailureSchedule,
+    sink: &mut S,
+    recorder: &mut R,
 ) -> OneRun {
+    let plan = &mp.plan;
     let topo = plan.topology();
     let n = topo.num_nodes();
-    let end = params.warmup + params.horizon;
-    let caps: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
-    let mut occupancy = vec![0u32; topo.num_links()];
-    let mut up = vec![true; topo.num_links()];
-    for &l in failures.statically_down() {
-        up[l] = false;
-    }
-
-    let factory = StreamFactory::new(seed);
-    // One stream per (class, pair).
-    let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
-        (0..classes.len() * n * n).map(|_| None).collect();
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    let capacities: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+    // One arrival source per (class, pair), in class-major order — the
+    // stream id layout (`ci·n² + pair`) keeps the common random numbers
+    // of the single-rate engine for class 0 of an n-node network.
+    let mut sources = Vec::new();
     for (ci, class) in classes.iter().enumerate() {
         for (i, j, t) in class.traffic.demands() {
             let pair = i * n + j;
-            let sid = (ci * n * n + pair) as u64;
-            let mut stream = factory.stream(sid);
-            let first = stream.exp(t);
-            streams[ci * n * n + pair] = Some(stream);
-            if first < end {
-                queue.schedule(
-                    first,
-                    Event::Arrival {
-                        class: ci as u32,
-                        pair: pair as u32,
-                    },
-                );
-            }
+            sources.push(ArrivalSource {
+                stream: (ci * n * n + pair) as u64,
+                src: i,
+                dst: j,
+                rate: t,
+                bandwidth: class.bandwidth,
+                tag: (ci * n * n + pair) as u32,
+                tally: ci as u32,
+            });
         }
     }
-
-    struct ActiveCall {
-        links: Vec<LinkId>,
-        bandwidth: u32,
+    let link_events: Vec<LinkEvent> = failures
+        .events()
+        .iter()
+        .map(|ev| LinkEvent {
+            at: ev.at,
+            link: ev.link,
+            up: ev.up,
+        })
+        .collect();
+    let spec = KernelSpec {
+        config: KernelConfig {
+            warmup: params.warmup,
+            horizon: params.horizon,
+            seed,
+            draw_pick: true,
+            tick_interval: None,
+            tally_slots: classes.len(),
+        },
+        capacities: &capacities,
+        static_down: failures.statically_down(),
+        sources: &sources,
+        link_events: &link_events,
+    };
+    let mut observer = crate::engine::Instruments {
+        sink,
+        recorder: &mut *recorder,
+    };
+    let outcome = match policy {
+        MultiratePolicy::SinglePath => kernel::run(
+            &spec,
+            &mut Uncontrolled,
+            &mut TieredSelector::single_path(plan),
+            &mut observer,
+        ),
+        MultiratePolicy::Uncontrolled => kernel::run(
+            &spec,
+            &mut Uncontrolled,
+            &mut TieredSelector::new(plan),
+            &mut observer,
+        ),
+        MultiratePolicy::Controlled => kernel::run(
+            &spec,
+            &mut TrunkReservation::new(mp.levels.clone()),
+            &mut TieredSelector::new(plan),
+            &mut observer,
+        ),
+    };
+    recorder.finish(params.warmup + params.horizon);
+    OneRun {
+        offered: outcome.tally_offered,
+        blocked: outcome.tally_blocked,
     }
-    let mut calls: Vec<Option<ActiveCall>> = Vec::new();
-    let mut offered = vec![0u64; classes.len()];
-    let mut blocked = vec![0u64; classes.len()];
-
-    let admits =
-        |occ: &[u32], up: &[bool], path: &Path, b: u32, threshold: &dyn Fn(usize) -> u32| {
-            path.links()
-                .iter()
-                .all(|&l| up[l] && occ[l] + b <= threshold(l))
-        };
-
-    while let Some((now, event)) = queue.pop() {
-        if now >= end {
-            break;
-        }
-        match event {
-            Event::Arrival { class, pair } => {
-                let (ci, pair) = (class as usize, pair as usize);
-                let (src, dst) = (pair / n, pair % n);
-                let b = classes[ci].bandwidth;
-                let rate = classes[ci].traffic.get(src, dst);
-                let stream = streams[ci * n * n + pair].as_mut().expect("active stream");
-                let hold = stream.holding_time();
-                let upick = stream.uniform();
-                let gap = stream.exp(rate);
-                if now + gap < end {
-                    queue.schedule(
-                        now + gap,
-                        Event::Arrival {
-                            class: ci as u32,
-                            pair: pair as u32,
-                        },
-                    );
-                }
-                let measured = now >= params.warmup;
-                if measured {
-                    offered[ci] += 1;
-                }
-                let primary = plan
-                    .primaries()
-                    .choose(src, dst, upick)
-                    .expect("validated routable pair");
-                let mut route: Option<&Path> = None;
-                if admits(&occupancy, &up, primary, b, &|l| caps[l]) {
-                    route = Some(primary);
-                } else if policy != MultiratePolicy::SinglePath {
-                    for path in plan.candidates(src, dst) {
-                        if path == primary {
-                            continue;
-                        }
-                        let ok = match policy {
-                            MultiratePolicy::Uncontrolled => {
-                                admits(&occupancy, &up, path, b, &|l| caps[l])
-                            }
-                            MultiratePolicy::Controlled => admits(&occupancy, &up, path, b, &|l| {
-                                caps[l].saturating_sub(levels[l])
-                            }),
-                            MultiratePolicy::SinglePath => unreachable!(),
-                        };
-                        if ok {
-                            route = Some(path);
-                            break;
-                        }
-                    }
-                }
-                match route {
-                    Some(path) => {
-                        for &l in path.links() {
-                            occupancy[l] += b;
-                            debug_assert!(occupancy[l] <= caps[l]);
-                        }
-                        let id = calls.len() as u32;
-                        calls.push(Some(ActiveCall {
-                            links: path.links().to_vec(),
-                            bandwidth: b,
-                        }));
-                        queue.schedule(now + hold, Event::Departure { call: id });
-                    }
-                    None => {
-                        if measured {
-                            blocked[ci] += 1;
-                        }
-                    }
-                }
-            }
-            Event::Departure { call } => {
-                if let Some(active) = calls[call as usize].take() {
-                    for &l in &active.links {
-                        occupancy[l] -= active.bandwidth;
-                    }
-                }
-            }
-        }
-    }
-    OneRun { offered, blocked }
 }
 
 #[cfg(test)]
@@ -449,7 +535,7 @@ mod tests {
             &params,
             &FailureSchedule::none(),
         );
-        let tol = 2.0 * (single.blocking.std_error + controlled.blocking.std_error) + 1e-3;
+        let tol = 2.0 * (single.blocking.std_error() + controlled.blocking.std_error()) + 1e-3;
         assert!(
             controlled.blocking_mean() <= single.blocking_mean() + tol,
             "controlled {} vs single {}",
@@ -459,7 +545,7 @@ mod tests {
     }
 
     #[test]
-    fn identical_arrivals_across_multirate_policies() {
+    fn identical_results_across_worker_counts() {
         let topo = topologies::quadrangle();
         let classes = [
             BandwidthClass {
@@ -478,30 +564,100 @@ mod tests {
             base_seed: 9,
             max_hops: 3,
         };
-        // Blocking differs across policies but offered bandwidth is the
-        // same; compare via bandwidth_blocking denominators indirectly:
-        // rerun and check determinism + same per-class offered counts by
-        // re-deriving from blocking and blocked... simpler: same policy
-        // twice is identical, and SinglePath/Controlled have identical
-        // offered streams by construction (same stream ids) — assert the
-        // two runs' per-seed call blocking vectors have the same length
-        // and the controlled one is no worse.
-        let a = run_multirate(
+        let a = run_multirate_with_workers(
             &topo,
             &classes,
             MultiratePolicy::Controlled,
             &params,
             &FailureSchedule::none(),
+            1,
         );
-        let b = run_multirate(
+        let b = run_multirate_with_workers(
             &topo,
             &classes,
             MultiratePolicy::Controlled,
             &params,
             &FailureSchedule::none(),
+            4,
         );
         assert_eq!(a.per_class_blocking, b.per_class_blocking);
         assert_eq!(a.blocking, b.blocking);
+        assert_eq!(a.bandwidth_blocking, b.bandwidth_blocking);
+    }
+
+    #[test]
+    fn telemetry_is_a_pure_observer() {
+        let topo = topologies::quadrangle();
+        let classes = [BandwidthClass {
+            bandwidth: 2,
+            traffic: TrafficMatrix::uniform(4, 25.0),
+        }];
+        let params = MultirateParams {
+            warmup: 5.0,
+            horizon: 40.0,
+            seeds: 2,
+            base_seed: 21,
+            max_hops: 3,
+        };
+        let (r, telemetry) = run_multirate_telemetry(
+            &topo,
+            &classes,
+            MultiratePolicy::Controlled,
+            &params,
+            &FailureSchedule::none(),
+            5.0,
+        );
+        let plain = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::Controlled,
+            &params,
+            &FailureSchedule::none(),
+        );
+        assert_eq!(r.blocking, plain.blocking);
+        assert_eq!(r.per_class_blocking, plain.per_class_blocking);
+        // The recorder saw every measured arrival of every seed.
+        assert!(telemetry.offered > 0, "telemetry counted arrivals");
+    }
+
+    #[test]
+    fn dynamic_outage_tears_down_multirate_calls() {
+        // The kernel port honours timed link failures (the pre-kernel
+        // multirate loop ignored them): calls in progress on the failed
+        // link are torn down and arrivals during the outage block.
+        let topo = two_node(30);
+        let classes = [BandwidthClass {
+            bandwidth: 3,
+            traffic: one_way(2, 0, 1, 8.0),
+        }];
+        let params = MultirateParams {
+            warmup: 5.0,
+            horizon: 60.0,
+            seeds: 2,
+            base_seed: 7,
+            max_hops: 1,
+        };
+        let link01 = topo.link_between(0, 1).unwrap();
+        let quiet = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::SinglePath,
+            &params,
+            &FailureSchedule::none(),
+        );
+        let outage = run_multirate(
+            &topo,
+            &classes,
+            MultiratePolicy::SinglePath,
+            &params,
+            &FailureSchedule::none().with_outage(link01, 20.0, 40.0),
+        );
+        assert!(
+            outage.blocking_mean() > quiet.blocking_mean() + 0.1,
+            "outage {} vs quiet {}",
+            outage.blocking_mean(),
+            quiet.blocking_mean()
+        );
     }
 
     #[test]

@@ -1,0 +1,1099 @@
+//! The shared discrete-event simulation kernel.
+//!
+//! Every simulator in this repository is the same machine wearing a
+//! different policy: Poisson arrival sources drawing (holding time,
+//! routing pick, next gap) from per-source seed-derived streams, a
+//! stable event queue driven with *peek* semantics (the clock never
+//! passes the end of the measurement window), a generational call table
+//! with a per-link teardown index, warm-up-aware counters, and the
+//! [`EngineMetrics`](crate::metrics::EngineMetrics) gauges. This module
+//! owns that machine once; the five historical engines (single-rate
+//! mesh, adaptive estimation, multirate, signaling, cellular borrowing)
+//! instantiate it with two small strategy objects:
+//!
+//! * [`AdmissionPolicy`] — per-link accept/reject given occupancy,
+//!   capacity, and protection level ([`Uncontrolled`] capacity-only
+//!   admission, or [`TrunkReservation`] for the paper's Eq. 15 state
+//!   protection, bandwidth-weighted for the multirate extension);
+//! * [`RouteSelector`] — which path an admitted call takes (primary
+//!   then alternates in Eq. 15 order, shadow-price minimisation, sticky
+//!   DAR resampling, cellular channel borrowing, …). Selectors are
+//!   stateful: they may keep sticky choices, online estimators (fed via
+//!   [`RouteSelector::observe_arrival`] and the periodic
+//!   [`RouteSelector::tick`]), and private RNG streams.
+//!
+//! Observability is threaded through [`KernelObserver`]: one adapter
+//! maps the hooks onto the simulator's trace sinks and telemetry
+//! recorders, so every policy instantiation gains tracing and telemetry
+//! without touching the loop. The no-op [`NullObserver`] monomorphizes
+//! to nothing.
+//!
+//! **Determinism contract.** For a fixed [`KernelSpec`], admission
+//! policy, and selector, the event stream — and therefore the
+//! [`KernelOutcome`] — is a pure function of the configuration. Draws
+//! per arrival happen in a fixed order (holding time, routing pick,
+//! next inter-arrival gap), independent of routing decisions, so two
+//! runs with the same seed offer byte-identical call sequences to any
+//! two policies (the paper's common random numbers).
+
+use crate::metrics::EngineMetrics;
+use crate::queue::EventQueue;
+use crate::rng::{RngStream, StreamFactory};
+use crate::timeweighted::TimeWeighted;
+
+/// A link identifier (index into the kernel's link state).
+pub type Link = usize;
+
+/// Which admission tier a call occupies on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The call is on its primary (directly offered) path.
+    Primary,
+    /// The call is alternate-routed (overflow), subject to protection.
+    Alternate,
+}
+
+/// Live link state: capacities, occupancies, and up/down flags.
+///
+/// The single source of truth the kernel books against and policies
+/// read from. Booking is strict: admitting over a full or down link is
+/// a policy bug and panics immediately rather than corrupting counters.
+#[derive(Debug, Clone)]
+pub struct LinkOccupancy {
+    capacity: Vec<u32>,
+    occupancy: Vec<u32>,
+    up: Vec<bool>,
+}
+
+impl LinkOccupancy {
+    /// An idle, fully-up network with the given per-link capacities.
+    pub fn new(capacities: &[u32]) -> Self {
+        Self {
+            capacity: capacities.to_vec(),
+            occupancy: vec![0; capacities.len()],
+            up: vec![true; capacities.len()],
+        }
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// The link's capacity in circuit (bandwidth) units.
+    pub fn capacity(&self, link: Link) -> u32 {
+        self.capacity[link]
+    }
+
+    /// Units currently booked on the link.
+    pub fn occupancy(&self, link: Link) -> u32 {
+        self.occupancy[link]
+    }
+
+    /// Whether the link is operational.
+    pub fn is_up(&self, link: Link) -> bool {
+        self.up[link]
+    }
+
+    /// Idle units on the link (0 while down).
+    pub fn free(&self, link: Link) -> u32 {
+        if self.up[link] {
+            self.capacity[link] - self.occupancy[link]
+        } else {
+            0
+        }
+    }
+
+    /// Marks the link operational.
+    pub fn set_up(&mut self, link: Link) {
+        self.up[link] = true;
+    }
+
+    /// Marks the link failed. In-progress calls are the caller's
+    /// problem (the kernel tears them down via its link index).
+    pub fn set_down(&mut self, link: Link) {
+        self.up[link] = false;
+    }
+
+    /// Books `bandwidth` units on every link of `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link is down or lacks the capacity — the admission
+    /// decision and the booking must agree.
+    pub fn book(&mut self, path: &[Link], bandwidth: u32) {
+        for &l in path {
+            assert!(self.up[l], "booked over a down link {l}");
+            assert!(
+                self.occupancy[l] + bandwidth <= self.capacity[l],
+                "link {l} over capacity: {} + {bandwidth} > {}",
+                self.occupancy[l],
+                self.capacity[l]
+            );
+        }
+        for &l in path {
+            self.occupancy[l] += bandwidth;
+        }
+    }
+
+    /// Releases `bandwidth` units on every link of `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on releasing more than is booked (double release).
+    pub fn release(&mut self, path: &[Link], bandwidth: u32) {
+        for &l in path {
+            assert!(
+                self.occupancy[l] >= bandwidth,
+                "released idle capacity on link {l}"
+            );
+            self.occupancy[l] -= bandwidth;
+        }
+    }
+
+    /// Total units booked across all links.
+    pub fn total_occupancy(&self) -> u64 {
+        self.occupancy.iter().map(|&o| u64::from(o)).sum()
+    }
+}
+
+/// Per-link accept/reject for one call, given occupancy, capacity, and
+/// (for alternates) the link's protection level.
+///
+/// Implementations must be pure functions of the view and their own
+/// state: the kernel may probe many links per arrival.
+pub trait AdmissionPolicy {
+    /// May a call of `bandwidth` units at `tier` take link `link`?
+    fn admits(&self, view: &LinkOccupancy, link: Link, tier: Tier, bandwidth: u32) -> bool;
+
+    /// Whether every link of `path` admits the call.
+    fn path_admits(&self, view: &LinkOccupancy, path: &[Link], tier: Tier, bandwidth: u32) -> bool {
+        path.iter().all(|&l| self.admits(view, l, tier, bandwidth))
+    }
+
+    /// Installs new per-link protection levels (adaptive controllers
+    /// re-estimate mid-run). Policies without protection ignore it.
+    fn set_levels(&mut self, levels: &[u32]) {
+        let _ = levels;
+    }
+}
+
+/// Capacity-only admission: any up link with room admits, both tiers.
+///
+/// This is "uncontrolled alternate routing" — equivalently
+/// [`TrunkReservation`] with every protection level at zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncontrolled;
+
+impl AdmissionPolicy for Uncontrolled {
+    fn admits(&self, view: &LinkOccupancy, link: Link, _tier: Tier, bandwidth: u32) -> bool {
+        view.is_up(link) && view.occupancy(link) + bandwidth <= view.capacity(link)
+    }
+}
+
+/// The paper's state protection (Eq. 15), bandwidth-weighted: link `k`
+/// admits a primary call while `occupancy + b ≤ C^k` and an
+/// alternate-routed call only while `occupancy + b ≤ C^k − r^k` (never
+/// when `r^k ≥ C^k`). This is classical trunk reservation with `r^k`
+/// circuits reserved for directly offered traffic.
+#[derive(Debug, Clone, Default)]
+pub struct TrunkReservation {
+    levels: Vec<u32>,
+}
+
+impl TrunkReservation {
+    /// Reserves `levels[k]` circuits on link `k` against alternates. A
+    /// short (or empty) vector means zero protection on the tail links.
+    pub fn new(levels: Vec<u32>) -> Self {
+        Self { levels }
+    }
+
+    /// The current protection levels.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+}
+
+impl AdmissionPolicy for TrunkReservation {
+    fn admits(&self, view: &LinkOccupancy, link: Link, tier: Tier, bandwidth: u32) -> bool {
+        if !view.is_up(link) {
+            return false;
+        }
+        let cap = view.capacity(link);
+        let occ = view.occupancy(link);
+        match tier {
+            Tier::Primary => occ + bandwidth <= cap,
+            Tier::Alternate => {
+                let r = self.levels.get(link).copied().unwrap_or(0);
+                cap > r && occ + bandwidth <= cap - r
+            }
+        }
+    }
+
+    fn set_levels(&mut self, levels: &[u32]) {
+        self.levels.clear();
+        self.levels.extend_from_slice(levels);
+    }
+}
+
+/// The route selected for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection<'p> {
+    /// Carry the call over `links` at `tier`.
+    Route {
+        /// The links of the selected path, in path order (borrowed from
+        /// the selector's plan — the kernel never allocates per call).
+        links: &'p [Link],
+        /// Primary or alternate, for class accounting and protection.
+        tier: Tier,
+    },
+    /// Block (lose) the call.
+    Blocked,
+}
+
+/// Chooses the path (if any) for each arriving call.
+///
+/// Selectors may hold mutable state — sticky alternates, online load
+/// estimators, private RNG streams — which is what distinguishes them
+/// from the pure [`AdmissionPolicy`]. The lifetime `'p` ties returned
+/// paths to the routing structures the selector borrows from.
+pub trait RouteSelector<'p> {
+    /// Decides the route for a call `src → dst` of `bandwidth` units.
+    ///
+    /// `pick` is the arrival's routing-pick uniform in `[0, 1)` (used
+    /// e.g. to sample among bifurcated primaries); it is drawn from the
+    /// arrival's own stream whether or not the selector uses it, so
+    /// selection strategies never perturb the arrival processes.
+    fn select<A: AdmissionPolicy>(
+        &mut self,
+        src: usize,
+        dst: usize,
+        pick: f64,
+        view: &LinkOccupancy,
+        admission: &A,
+        bandwidth: u32,
+    ) -> Selection<'p>;
+
+    /// Called for every arrival (measured or not) before [`select`]
+    /// — the hook online estimators count set-ups through. Default:
+    /// nothing.
+    ///
+    /// [`select`]: RouteSelector::select
+    fn observe_arrival(&mut self, src: usize, dst: usize, pick: f64) {
+        let _ = (src, dst, pick);
+    }
+
+    /// Periodic hook at the configured
+    /// [`tick_interval`](KernelConfig::tick_interval); adaptive
+    /// controllers re-estimate here and push new levels through
+    /// [`AdmissionPolicy::set_levels`]. Default: nothing.
+    fn tick<A: AdmissionPolicy>(&mut self, now: f64, admission: &mut A) {
+        let _ = (now, admission);
+    }
+}
+
+/// Observer of the kernel's event stream, called at the same points the
+/// historical engine called its trace sink and telemetry recorder.
+/// The default methods do nothing; [`NullObserver`] monomorphizes away.
+pub trait KernelObserver {
+    /// An arrival for source `tag` was routed over `links` at `tier`,
+    /// about to be booked; `hold` is its drawn holding time.
+    fn arrival_routed(
+        &mut self,
+        now: f64,
+        tag: u32,
+        tier: Tier,
+        links: &[Link],
+        hold: f64,
+        measured: bool,
+    ) {
+        let _ = (now, tag, tier, links, hold, measured);
+    }
+
+    /// An arrival for source `tag` was blocked.
+    fn arrival_blocked(&mut self, now: f64, tag: u32, hold: f64, measured: bool) {
+        let _ = (now, tag, hold, measured);
+    }
+
+    /// Link `link` now carries `occupancy` units (after a booking,
+    /// release, or teardown touched it).
+    fn occupancy_changed(&mut self, now: f64, link: Link, occupancy: u32) {
+        let _ = (now, link, occupancy);
+    }
+
+    /// A departure event fired for call handle `(call, gen)`; `stale`
+    /// when the generational table rejected it.
+    fn departure(&mut self, now: f64, call: u32, gen: u32, stale: bool) {
+        let _ = (now, call, gen, stale);
+    }
+
+    /// A link failure tore down in-progress call `(call, gen)`.
+    fn teardown(&mut self, now: f64, call: u32, gen: u32, measured: bool) {
+        let _ = (now, call, gen, measured);
+    }
+
+    /// Link `link` changed operational state.
+    fn link_change(&mut self, now: f64, link: u32, up: bool) {
+        let _ = (now, link, up);
+    }
+
+    /// An event finished processing; `queue_len` is the pending count.
+    fn event_processed(&mut self, now: f64, queue_len: usize) {
+        let _ = (now, queue_len);
+    }
+}
+
+/// A [`KernelObserver`] that records nothing (the unobserved fast path).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl KernelObserver for NullObserver {}
+
+/// One Poisson arrival source (an O–D pair, a (class, pair), a cell).
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalSource {
+    /// Seed-derived RNG stream id. Stream ids are the common-random-
+    /// numbers contract: keep them stable across policies.
+    pub stream: u64,
+    /// Origin handed to the selector.
+    pub src: usize,
+    /// Destination handed to the selector.
+    pub dst: usize,
+    /// Arrival rate (Erlangs, with unit-mean holding times).
+    pub rate: f64,
+    /// Bandwidth units each call books on every link of its path.
+    pub bandwidth: u32,
+    /// Identifier reported to observers (e.g. the pair id).
+    pub tag: u32,
+    /// Index into the per-tally offered/blocked counters.
+    pub tally: u32,
+}
+
+/// A scheduled link state change.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkEvent {
+    /// When the change happens.
+    pub at: f64,
+    /// The link.
+    pub link: Link,
+    /// `true` for repair, `false` for failure.
+    pub up: bool,
+}
+
+/// Clock and accounting configuration of one replication.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// Warm-up duration discarded from statistics.
+    pub warmup: f64,
+    /// Measured duration after warm-up.
+    pub horizon: f64,
+    /// Master seed of this replication.
+    pub seed: u64,
+    /// Whether each arrival draws a routing-pick uniform between its
+    /// holding time and next gap (the mesh simulators do; the cellular
+    /// simulator historically does not, and flipping this would shift
+    /// its streams).
+    pub draw_pick: bool,
+    /// Interval of the selector's periodic [`RouteSelector::tick`], if
+    /// any.
+    pub tick_interval: Option<f64>,
+    /// Length of the per-tally offered/blocked vectors (e.g. `n²` for
+    /// per-pair accounting); every source's `tally` must be below it.
+    pub tally_slots: usize,
+}
+
+/// The static description of one replication: clock, links, sources,
+/// and scheduled outages.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSpec<'a> {
+    /// Clock and accounting configuration.
+    pub config: KernelConfig,
+    /// Per-link capacities.
+    pub capacities: &'a [u32],
+    /// Links down for the whole run.
+    pub static_down: &'a [Link],
+    /// The arrival sources, in a fixed order (scheduling order breaks
+    /// event-queue ties, so the order is part of the determinism
+    /// contract).
+    pub sources: &'a [ArrivalSource],
+    /// Timed link failures/repairs.
+    pub link_events: &'a [LinkEvent],
+}
+
+/// Counters and gauges from one kernel replication.
+///
+/// Equality compares the deterministic fields only: `warmup_wall` (and
+/// the wall clock inside [`EngineMetrics`]) is measured, not simulated.
+#[derive(Debug, Clone)]
+pub struct KernelOutcome {
+    /// Calls offered during the measurement window.
+    pub offered: u64,
+    /// Calls blocked during the measurement window.
+    pub blocked: u64,
+    /// Calls carried at [`Tier::Primary`].
+    pub carried_primary: u64,
+    /// Calls carried at [`Tier::Alternate`].
+    pub carried_alternate: u64,
+    /// Calls torn down mid-service by a link failure (not blocked).
+    pub dropped: u64,
+    /// Offered calls per tally slot.
+    pub tally_offered: Vec<u64>,
+    /// Blocked calls per tally slot.
+    pub tally_blocked: Vec<u64>,
+    /// Engine gauges (wall clock excluded from equality).
+    pub metrics: EngineMetrics,
+    /// Wall-clock seconds spent before the sim clock crossed the
+    /// warm-up cut (equal to the total wall time if it never did).
+    pub warmup_wall: f64,
+}
+
+impl PartialEq for KernelOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.offered == other.offered
+            && self.blocked == other.blocked
+            && self.carried_primary == other.carried_primary
+            && self.carried_alternate == other.carried_alternate
+            && self.dropped == other.dropped
+            && self.tally_offered == other.tally_offered
+            && self.tally_blocked == other.tally_blocked
+            && self.metrics == other.metrics
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival { source: u32 },
+    Departure { call: u32, gen: u32 },
+    Link { link: u32, up: bool },
+    Tick,
+}
+
+/// In-progress calls in a generational free-list table.
+///
+/// Slots are reused after calls end, so the table's size tracks the
+/// *concurrent* call population instead of growing with every call ever
+/// offered. Each slot carries a generation counter, bumped on free; a
+/// departure event whose generation does not match is stale (its call
+/// was torn down by an outage and the slot possibly reassigned) and is
+/// ignored.
+///
+/// A call's path is stored as the borrowed link slice `&'p [Link]` of
+/// the selector's plan — one fat pointer per call, no per-call
+/// allocation — together with its booked bandwidth.
+#[derive(Debug)]
+pub struct CallTable<'p> {
+    links: Vec<Option<&'p [Link]>>,
+    bandwidth: Vec<u32>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<'p> CallTable<'p> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self {
+            links: Vec::new(),
+            bandwidth: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Registers a call; returns its `(slot, generation)` handle.
+    pub fn insert(&mut self, links: &'p [Link], bandwidth: u32) -> (u32, u32) {
+        self.live += 1;
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(
+                    self.links[id as usize].is_none(),
+                    "free list held a live slot"
+                );
+                self.links[id as usize] = Some(links);
+                self.bandwidth[id as usize] = bandwidth;
+                (id, self.gens[id as usize])
+            }
+            None => {
+                let id = u32::try_from(self.links.len()).expect("fewer than 2^32 concurrent calls");
+                self.links.push(Some(links));
+                self.bandwidth.push(bandwidth);
+                self.gens.push(0);
+                (id, 0)
+            }
+        }
+    }
+
+    /// Ends the call `(id, gen)` and returns its path links and booked
+    /// bandwidth, or `None` if the handle is stale (already ended, slot
+    /// possibly reused).
+    pub fn take(&mut self, id: u32, gen: u32) -> Option<(&'p [Link], u32)> {
+        let slot = id as usize;
+        if self.gens[slot] != gen {
+            return None;
+        }
+        let links = self.links[slot].take()?;
+        // Invalidate every outstanding handle to this slot before reuse.
+        self.gens[slot] = gen.wrapping_add(1);
+        self.free.push(id);
+        self.live -= 1;
+        Some((links, self.bandwidth[slot]))
+    }
+
+    /// Whether the handle still refers to a call in progress.
+    pub fn is_live(&self, id: u32, gen: u32) -> bool {
+        self.gens[id as usize] == gen && self.links[id as usize].is_some()
+    }
+
+    /// Calls currently in progress.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most slots ever allocated (≈ peak concurrent calls).
+    pub fn high_water(&self) -> usize {
+        self.links.len()
+    }
+}
+
+impl Default for CallTable<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-link index of the calls traversing each link, with lazy deletion.
+///
+/// Failure teardown must find every call on the failed link; scanning
+/// the whole call table would make each outage O(all concurrent calls).
+/// This index keeps, per link, the `(slot, generation)` handles of
+/// calls that booked it. Departures only decrement a live counter (O(1)
+/// per link of the path); stale handles are purged amortized, whenever
+/// a link's entry list grows past twice its live count.
+#[derive(Debug)]
+pub struct LinkIndex {
+    entries: Vec<Vec<(u32, u32)>>,
+    live: Vec<usize>,
+}
+
+impl LinkIndex {
+    /// An empty index over `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            entries: vec![Vec::new(); num_links],
+            live: vec![0; num_links],
+        }
+    }
+
+    /// Registers a routed call on every link of its path.
+    pub fn add(&mut self, links: &[Link], id: u32, gen: u32) {
+        for &l in links {
+            self.entries[l].push((id, gen));
+            self.live[l] += 1;
+        }
+    }
+
+    /// Notes that the call held by a handle left `link` (departure or
+    /// teardown); compacts the link's entries when stale handles
+    /// dominate.
+    pub fn remove_one(&mut self, link: Link, table: &CallTable<'_>) {
+        self.live[link] -= 1;
+        // The +8 slack keeps tiny lists from compacting on every call.
+        if self.entries[link].len() > 2 * self.live[link] + 8 {
+            self.entries[link].retain(|&(id, gen)| table.is_live(id, gen));
+        }
+    }
+
+    /// Takes the failed link's full handle list (live and stale mixed;
+    /// the caller validates each against the call table).
+    pub fn drain(&mut self, link: Link) -> Vec<(u32, u32)> {
+        self.live[link] = 0;
+        std::mem::take(&mut self.entries[link])
+    }
+}
+
+/// Runs one replication of the kernel with the given admission policy,
+/// route selector, and observer.
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (negative durations, a source
+/// tally out of range) or if an internal invariant breaks (a selector
+/// returning a path its admission policy rejects at booking time).
+pub fn run<'p, A, R, O>(
+    spec: &KernelSpec<'_>,
+    admission: &mut A,
+    selector: &mut R,
+    observer: &mut O,
+) -> KernelOutcome
+where
+    A: AdmissionPolicy,
+    R: RouteSelector<'p>,
+    O: KernelObserver,
+{
+    let started = std::time::Instant::now();
+    let config = &spec.config;
+    assert!(
+        config.warmup >= 0.0 && config.horizon > 0.0,
+        "invalid durations"
+    );
+    if let Some(interval) = config.tick_interval {
+        assert!(interval > 0.0, "tick interval must be positive");
+    }
+    let end = config.warmup + config.horizon;
+
+    let mut links = LinkOccupancy::new(spec.capacities);
+    for &l in spec.static_down {
+        links.set_down(l);
+    }
+
+    let factory = StreamFactory::new(config.seed);
+    let mut streams: Vec<RngStream> = Vec::with_capacity(spec.sources.len());
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (i, source) in spec.sources.iter().enumerate() {
+        assert!(
+            (source.tally as usize) < config.tally_slots,
+            "source tally out of range"
+        );
+        let mut stream = factory.stream(source.stream);
+        let first = stream.exp(source.rate);
+        streams.push(stream);
+        if first < end {
+            queue.schedule(first, Event::Arrival { source: i as u32 });
+        }
+    }
+    for ev in spec.link_events {
+        if ev.at < end {
+            queue.schedule(
+                ev.at,
+                Event::Link {
+                    link: ev.link as u32,
+                    up: ev.up,
+                },
+            );
+        }
+    }
+    if let Some(interval) = config.tick_interval {
+        if interval < end {
+            queue.schedule(interval, Event::Tick);
+        }
+    }
+
+    let mut calls = CallTable::new();
+    let mut index = LinkIndex::new(links.num_links());
+    // Time-weighted occupancy per link, for the utilization gauge.
+    let mut occupancy: Vec<TimeWeighted> = (0..links.num_links())
+        .map(|_| {
+            let mut tw = TimeWeighted::new(config.warmup);
+            tw.record(0.0, 0.0);
+            tw
+        })
+        .collect();
+    let mut metrics = EngineMetrics::default();
+    metrics.observe_queue_len(queue.len());
+    // Counters the loop accumulates; the outcome is assembled exactly
+    // once at the end, so a counter and the result can't drift apart.
+    let mut offered = 0u64;
+    let mut blocked = 0u64;
+    let mut carried_primary = 0u64;
+    let mut carried_alternate = 0u64;
+    let mut dropped = 0u64;
+    let mut tally_offered = vec![0u64; config.tally_slots];
+    let mut tally_blocked = vec![0u64; config.tally_slots];
+    // Wall clock at which the sim clock first crossed the warm-up cut,
+    // splitting the run's wall time into warmup/measurement spans.
+    let mut warmup_wall: Option<f64> = None;
+
+    // Peek before popping so the clock (`queue.now()`) never advances
+    // past `end`: the first event at or beyond the end of the
+    // measurement window stays in the queue instead of being consumed.
+    while queue.peek_time().is_some_and(|t| t < end) {
+        let (now, event) = queue.pop().expect("peeked event exists");
+        metrics.events_processed += 1;
+        if warmup_wall.is_none() && now >= config.warmup {
+            warmup_wall = Some(started.elapsed().as_secs_f64());
+        }
+        match event {
+            Event::Arrival { source } => {
+                let s = &spec.sources[source as usize];
+                // Fixed draw order per arrival keeps streams aligned
+                // across policies: holding time, routing pick, next gap.
+                let stream = &mut streams[source as usize];
+                let hold = stream.holding_time();
+                let pick = if config.draw_pick {
+                    stream.uniform()
+                } else {
+                    0.0
+                };
+                let gap = stream.exp(s.rate);
+                if now + gap < end {
+                    queue.schedule(now + gap, Event::Arrival { source });
+                }
+                selector.observe_arrival(s.src, s.dst, pick);
+                let measured = now >= config.warmup;
+                if measured {
+                    offered += 1;
+                    tally_offered[s.tally as usize] += 1;
+                }
+                match selector.select(s.src, s.dst, pick, &links, admission, s.bandwidth) {
+                    Selection::Route { links: path, tier } => {
+                        observer.arrival_routed(now, s.tag, tier, path, hold, measured);
+                        links.book(path, s.bandwidth);
+                        for &l in path {
+                            occupancy[l].record(now, f64::from(links.occupancy(l)));
+                            observer.occupancy_changed(now, l, links.occupancy(l));
+                        }
+                        let (id, gen) = calls.insert(path, s.bandwidth);
+                        index.add(path, id, gen);
+                        metrics.observe_concurrent_calls(calls.live());
+                        queue.schedule(now + hold, Event::Departure { call: id, gen });
+                        if measured {
+                            match tier {
+                                Tier::Primary => carried_primary += 1,
+                                Tier::Alternate => carried_alternate += 1,
+                            }
+                        }
+                    }
+                    Selection::Blocked => {
+                        observer.arrival_blocked(now, s.tag, hold, measured);
+                        if measured {
+                            blocked += 1;
+                            tally_blocked[s.tally as usize] += 1;
+                        }
+                    }
+                }
+            }
+            Event::Departure { call, gen } => {
+                // A call torn down by a failure leaves a stale departure;
+                // the generation check also rejects it if the slot has
+                // been reassigned to a newer call since.
+                if let Some((path, bandwidth)) = calls.take(call, gen) {
+                    observer.departure(now, call, gen, false);
+                    links.release(path, bandwidth);
+                    for &l in path {
+                        occupancy[l].record(now, f64::from(links.occupancy(l)));
+                        observer.occupancy_changed(now, l, links.occupancy(l));
+                        index.remove_one(l, &calls);
+                    }
+                } else {
+                    observer.departure(now, call, gen, true);
+                }
+            }
+            Event::Link { link, up } => {
+                let link = link as usize;
+                observer.link_change(now, link as u32, up);
+                if up {
+                    links.set_up(link);
+                } else {
+                    links.set_down(link);
+                    // Tear down calls in progress over the failed link —
+                    // only that link's entries, not the whole call table.
+                    for (id, gen) in index.drain(link) {
+                        let Some((path, bandwidth)) = calls.take(id, gen) else {
+                            continue;
+                        };
+                        observer.teardown(now, id, gen, now >= config.warmup);
+                        links.release(path, bandwidth);
+                        for &l in path {
+                            occupancy[l].record(now, f64::from(links.occupancy(l)));
+                            observer.occupancy_changed(now, l, links.occupancy(l));
+                            if l != link {
+                                index.remove_one(l, &calls);
+                            }
+                        }
+                        if now >= config.warmup {
+                            dropped += 1;
+                        }
+                    }
+                }
+            }
+            Event::Tick => {
+                selector.tick(now, admission);
+                let interval = config
+                    .tick_interval
+                    .expect("tick events exist only with an interval");
+                if now + interval < end {
+                    queue.schedule(now + interval, Event::Tick);
+                }
+            }
+        }
+        metrics.observe_queue_len(queue.len());
+        observer.event_processed(now, queue.len());
+    }
+
+    metrics.call_table_high_water = calls.high_water();
+    metrics.link_utilization = occupancy
+        .iter_mut()
+        .enumerate()
+        .map(|(l, tw)| {
+            tw.finish(end);
+            tw.mean() / f64::from(links.capacity(l))
+        })
+        .collect();
+    let total_wall = started.elapsed().as_secs_f64();
+    metrics.wall_clock_secs = total_wall;
+    // A run whose clock never reached the warm-up cut spent all its
+    // wall time warming up.
+    let warmup_wall = warmup_wall.unwrap_or(total_wall);
+    KernelOutcome {
+        offered,
+        blocked,
+        carried_primary,
+        carried_alternate,
+        dropped,
+        tally_offered,
+        tally_blocked,
+        metrics,
+        warmup_wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A selector that always routes over link 0 while admitted.
+    struct OneLink;
+
+    impl RouteSelector<'static> for OneLink {
+        fn select<A: AdmissionPolicy>(
+            &mut self,
+            _src: usize,
+            _dst: usize,
+            _pick: f64,
+            view: &LinkOccupancy,
+            admission: &A,
+            bandwidth: u32,
+        ) -> Selection<'static> {
+            const PATH: &[Link] = &[0];
+            if admission.path_admits(view, PATH, Tier::Primary, bandwidth) {
+                Selection::Route {
+                    links: PATH,
+                    tier: Tier::Primary,
+                }
+            } else {
+                Selection::Blocked
+            }
+        }
+    }
+
+    fn single_link_spec(capacities: &[u32], sources: &[ArrivalSource]) -> KernelOutcome {
+        let spec = KernelSpec {
+            config: KernelConfig {
+                warmup: 10.0,
+                horizon: 200.0,
+                seed: 42,
+                draw_pick: true,
+                tick_interval: None,
+                tally_slots: 1,
+            },
+            capacities,
+            static_down: &[],
+            sources,
+            link_events: &[],
+        };
+        run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver)
+    }
+
+    #[test]
+    fn single_server_blocking_is_plausible() {
+        // M/M/C/C with a = 8, C = 10: blocking ≈ 12%.
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 8.0,
+            bandwidth: 1,
+            tag: 0,
+            tally: 0,
+        }];
+        let out = single_link_spec(&[10], &sources);
+        assert!(out.offered > 1000);
+        let b = out.blocked as f64 / out.offered as f64;
+        assert!((0.05..0.20).contains(&b), "blocking {b}");
+        assert_eq!(out.tally_offered[0], out.offered);
+        assert_eq!(out.tally_blocked[0], out.blocked);
+        assert!(out.metrics.peak_concurrent_calls <= 10);
+    }
+
+    #[test]
+    fn deterministic_replication() {
+        let sources = [ArrivalSource {
+            stream: 7,
+            src: 0,
+            dst: 1,
+            rate: 5.0,
+            bandwidth: 2,
+            tag: 0,
+            tally: 0,
+        }];
+        let a = single_link_spec(&[12], &sources);
+        let b = single_link_spec(&[12], &sources);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bandwidth_weighted_booking_respects_capacity() {
+        // Bandwidth-3 calls on a capacity-10 link: at most 3 concurrent.
+        let sources = [ArrivalSource {
+            stream: 1,
+            src: 0,
+            dst: 1,
+            rate: 6.0,
+            bandwidth: 3,
+            tag: 0,
+            tally: 0,
+        }];
+        let out = single_link_spec(&[10], &sources);
+        assert!(out.metrics.peak_concurrent_calls <= 3);
+        assert!(out.blocked > 0);
+    }
+
+    #[test]
+    fn trunk_reservation_protects_the_last_circuits() {
+        let view = {
+            let mut v = LinkOccupancy::new(&[10]);
+            v.book(&[0], 7);
+            v
+        };
+        let tr = TrunkReservation::new(vec![3]);
+        assert!(tr.admits(&view, 0, Tier::Primary, 1));
+        assert!(!tr.admits(&view, 0, Tier::Alternate, 1));
+        // One circuit below the threshold the alternate fits again.
+        let mut view = view;
+        view.release(&[0], 1);
+        assert!(tr.admits(&view, 0, Tier::Alternate, 1));
+        // Protection at or above capacity refuses alternates outright.
+        let full = TrunkReservation::new(vec![10]);
+        assert!(!full.admits(&view, 0, Tier::Alternate, 1));
+        assert!(full.admits(&view, 0, Tier::Primary, 1));
+    }
+
+    #[test]
+    fn set_levels_reconfigures_protection() {
+        let view = {
+            let mut v = LinkOccupancy::new(&[10]);
+            v.book(&[0], 8);
+            v
+        };
+        let mut tr = TrunkReservation::new(vec![0]);
+        assert!(tr.admits(&view, 0, Tier::Alternate, 1));
+        tr.set_levels(&[5]);
+        assert!(!tr.admits(&view, 0, Tier::Alternate, 1));
+        assert_eq!(tr.levels(), &[5]);
+    }
+
+    #[test]
+    fn link_events_tear_down_calls() {
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 8.0,
+            bandwidth: 1,
+            tag: 0,
+            tally: 0,
+        }];
+        let events = [
+            LinkEvent {
+                at: 50.0,
+                link: 0,
+                up: false,
+            },
+            LinkEvent {
+                at: 80.0,
+                link: 0,
+                up: true,
+            },
+        ];
+        let spec = KernelSpec {
+            config: KernelConfig {
+                warmup: 10.0,
+                horizon: 100.0,
+                seed: 3,
+                draw_pick: true,
+                tick_interval: None,
+                tally_slots: 1,
+            },
+            capacities: &[10],
+            static_down: &[],
+            sources: &sources,
+            link_events: &events,
+        };
+        let out = run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+        assert!(out.dropped > 0, "outage must tear down calls");
+        assert!(out.blocked > 0, "arrivals during the outage block");
+        assert!(out.blocked < out.offered, "recovery admits calls again");
+    }
+
+    #[test]
+    fn ticks_fire_at_the_interval() {
+        struct Counting {
+            ticks: u32,
+            last: f64,
+        }
+        impl RouteSelector<'static> for Counting {
+            fn select<A: AdmissionPolicy>(
+                &mut self,
+                _src: usize,
+                _dst: usize,
+                _pick: f64,
+                _view: &LinkOccupancy,
+                _admission: &A,
+                _bandwidth: u32,
+            ) -> Selection<'static> {
+                Selection::Blocked
+            }
+            fn tick<A: AdmissionPolicy>(&mut self, now: f64, _admission: &mut A) {
+                self.ticks += 1;
+                self.last = now;
+            }
+        }
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 1.0,
+            bandwidth: 1,
+            tag: 0,
+            tally: 0,
+        }];
+        let spec = KernelSpec {
+            config: KernelConfig {
+                warmup: 0.0,
+                horizon: 10.0,
+                seed: 1,
+                draw_pick: true,
+                tick_interval: Some(2.5),
+                tally_slots: 1,
+            },
+            capacities: &[5],
+            static_down: &[],
+            sources: &sources,
+            link_events: &[],
+        };
+        let mut sel = Counting {
+            ticks: 0,
+            last: 0.0,
+        };
+        run(&spec, &mut Uncontrolled, &mut sel, &mut NullObserver);
+        // Ticks at 2.5, 5.0, 7.5 — the next would land at 10.0 == end.
+        assert_eq!(sel.ticks, 3);
+        assert!((sel.last - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tally out of range")]
+    fn tally_bounds_are_checked() {
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 1.0,
+            bandwidth: 1,
+            tag: 0,
+            tally: 5,
+        }];
+        single_link_spec(&[5], &sources);
+    }
+}

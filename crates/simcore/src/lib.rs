@@ -19,6 +19,11 @@
 //! * [`batch`] — batch-means estimation for confidence intervals from a
 //!   single long run (the classical alternative to the paper's
 //!   independent replications).
+//! * [`kernel`] — the shared discrete-event loop every simulator in the
+//!   workspace instantiates, parameterized over an
+//!   [`kernel::AdmissionPolicy`] and a [`kernel::RouteSelector`].
+//! * [`pool`] — the bounded worker pool for multi-seed replication
+//!   fan-out with positionally deterministic results.
 //! * [`metrics`] — engine observability gauges (event counts, queue and
 //!   call-table peaks, per-link utilization, wall clock) carried on every
 //!   replication result.
@@ -29,13 +34,16 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod kernel;
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod timeweighted;
 
 pub use metrics::EngineMetrics;
+pub use pool::{pool_run, ProgressObserver};
 pub use queue::EventQueue;
 pub use rng::{RngStream, StreamFactory};
-pub use stats::{Replications, RunningStats, WarmupCounter};
+pub use stats::{BlockingSummary, Replications, RunningStats, WarmupCounter};

@@ -182,6 +182,88 @@ impl Replications {
     }
 }
 
+/// A blocking probability from counts: `blocked / offered`, with the
+/// convention (shared by every simulator result type) that a window
+/// offering no calls blocks nothing.
+pub fn blocking_ratio(blocked: u64, offered: u64) -> f64 {
+    if offered == 0 {
+        0.0
+    } else {
+        blocked as f64 / offered as f64
+    }
+}
+
+/// Across-seed blocking statistics: the per-seed blocking ratios plus
+/// their [`Replications`] summary (mean, standard error, Student-t 95%
+/// confidence half-width).
+///
+/// Every simulator's multi-seed result embeds one of these instead of
+/// re-deriving mean/CI helpers from its own counter layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingSummary {
+    per_seed: Vec<f64>,
+    summary: Replications,
+}
+
+impl BlockingSummary {
+    /// Summarises per-seed `(offered, blocked)` call counts, in seed
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn from_counts<I>(counts: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let per_seed: Vec<f64> = counts
+            .into_iter()
+            .map(|(offered, blocked)| blocking_ratio(blocked, offered))
+            .collect();
+        Self::from_ratios(per_seed)
+    }
+
+    /// Summarises already-computed per-seed blocking ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_seed` is empty or contains NaN.
+    pub fn from_ratios(per_seed: Vec<f64>) -> Self {
+        let summary = Replications::summarize(&per_seed);
+        Self { per_seed, summary }
+    }
+
+    /// The per-seed blocking ratios, in seed order.
+    pub fn per_seed(&self) -> &[f64] {
+        &self.per_seed
+    }
+
+    /// The across-seed summary.
+    pub fn summary(&self) -> &Replications {
+        &self.summary
+    }
+
+    /// Across-seed mean blocking.
+    pub fn mean(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// Standard error of the blocking mean.
+    pub fn std_error(&self) -> f64 {
+        self.summary.std_error
+    }
+
+    /// Half-width of the 95% Student-t confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        self.summary.ci95_half_width
+    }
+
+    /// Number of replications summarised.
+    pub fn replications(&self) -> u64 {
+        self.summary.replications
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +383,30 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_observation_panics() {
         RunningStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn blocking_ratio_handles_idle_windows() {
+        assert_eq!(blocking_ratio(0, 0), 0.0);
+        assert_eq!(blocking_ratio(0, 100), 0.0);
+        assert!((blocking_ratio(25, 100) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocking_summary_from_counts_matches_manual_ratios() {
+        let s = BlockingSummary::from_counts([(100, 10), (200, 30), (0, 0), (50, 5)]);
+        assert_eq!(s.per_seed(), &[0.10, 0.15, 0.0, 0.10]);
+        assert_eq!(s.replications(), 4);
+        let manual = Replications::summarize(&[0.10, 0.15, 0.0, 0.10]);
+        assert_eq!(*s.summary(), manual);
+        assert_eq!(s.mean(), manual.mean);
+        assert_eq!(s.std_error(), manual.std_error);
+        assert_eq!(s.ci95_half_width(), manual.ci95_half_width);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn empty_blocking_summary_panics() {
+        BlockingSummary::from_counts(std::iter::empty());
     }
 }

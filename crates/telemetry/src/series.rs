@@ -151,12 +151,21 @@ impl WindowedTimeWeighted {
         if self.last_v != 0.0 && t > self.last_t {
             let mut from = self.last_t;
             let upto = t.min(self.grid.end());
+            // Step the window index directly instead of re-deriving it
+            // from `from`: when the width is not exactly representable,
+            // `index(from)` can floor back into a window whose end equals
+            // `from`, and a sweep keyed on it never advances.
+            let mut k = self.grid.index(from);
             while from < upto {
-                let k = self.grid.index(from);
                 let (_, wend) = self.grid.window_range(k);
-                let seg = upto.min(wend) - from;
-                self.integral[k] += self.last_v * seg;
-                from = wend;
+                if wend > from {
+                    self.integral[k] += self.last_v * (upto.min(wend) - from);
+                    from = wend;
+                }
+                if k + 1 >= self.integral.len() {
+                    break;
+                }
+                k += 1;
             }
         }
         self.last_t = t;
@@ -314,6 +323,25 @@ mod tests {
         // finish is idempotent.
         w.finish();
         assert_eq!(w.integrals(), &[5.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn accumulate_advances_on_inexact_window_boundaries() {
+        // 0.55 is not exactly representable: at from = 16.5 the index
+        // floors into a window whose computed end equals `from`, which
+        // used to stall the accumulation sweep forever.
+        let mut w = WindowedTimeWeighted::new(TimeGrid::new(0.55, 22.0));
+        for k in 0..40 {
+            w.record(0.55 * f64::from(k), f64::from(k % 7) + 1.0);
+        }
+        w.finish();
+        let total: f64 = w.integrals().iter().sum();
+        // The mean value of the recorded staircase is 4 (values 1..=7
+        // cycling), held over [0, 22); allow slack for the partial cycle.
+        assert!(
+            total.is_finite() && total > 60.0 && total < 110.0,
+            "{total}"
+        );
     }
 
     #[test]

@@ -45,3 +45,36 @@ done
 grep -q '"window_width": 5' "$tmpdir/out/telemetry.json"
 cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
   telemetry "$tmpdir/out" > /dev/null
+
+# Kernel parity: the golden traces must replay byte-identically through
+# the kernel-backed engine, solo and fanned out (the dedicated test), and
+# a fixed-seed run of every policy combination on every kernel-backed
+# engine must succeed and be bit-stable across two invocations.
+cargo test --release -q -p altroute-conformance --test kernel_parity
+cat > "$tmpdir/parity.json" <<'EOF'
+{
+  "topology": { "builtin": "quadrangle" },
+  "traffic": { "uniform": 90.0 },
+  "policies": ["single-path", "uncontrolled", "controlled"],
+  "max_hops": 3,
+  "warmup": 5.0,
+  "horizon": 40.0,
+  "seeds": 4,
+  "base_seed": 7
+}
+EOF
+parity() { # <name> <cli args...>: run twice, require identical output
+  local name="$1"; shift
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    "$@" > "$tmpdir/parity_$name.a"
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    "$@" > "$tmpdir/parity_$name.b"
+  cmp "$tmpdir/parity_$name.a" "$tmpdir/parity_$name.b"
+  grep -q '0\.' "$tmpdir/parity_$name.a" # a blocking probability rendered
+}
+parity simulate  simulate  "$tmpdir/parity.json"
+parity ottk      simulate  "$tmpdir/parity.json" --policy ott-krishnan
+parity dar       simulate  "$tmpdir/parity.json" --policy dar
+parity adaptive  adaptive  "$tmpdir/parity.json"
+parity multirate multirate "$tmpdir/parity.json"
+parity signaling signaling "$tmpdir/parity.json"

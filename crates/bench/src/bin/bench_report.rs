@@ -1,0 +1,538 @@
+//! Machine-readable kernel performance baseline.
+//!
+//! Runs three fixed-seed macro workloads through the engine twice — once
+//! on the calendar-queue kernel (`run_seed_pooled` with one recycled
+//! [`KernelScratch`]) and once on the `BinaryHeap` reference backend
+//! (`run_seed_reference`) — asserts the results are byte-identical, and
+//! writes `BENCH_kernel.json` with wall-clock, events/sec, peak RSS, and
+//! the calendar/reference speedup per workload.
+//!
+//! The committed `BENCH_kernel.json` at the repo root is the baseline
+//! that `scripts/bench_gate.sh` compares fresh runs against. Refresh it
+//! with `cargo run --release -p altroute-bench --bin bench_report` on a
+//! quiet machine and commit the diff.
+//!
+//! Modes:
+//!
+//! - (default) run the full workloads and write the report (`--out PATH`,
+//!   default `BENCH_kernel.json` in the current directory).
+//! - `--quick` shrinks horizons and repetitions for CI smoke runs; the
+//!   report is marked `"quick": true` and refused by `--gate`.
+//! - `--validate PATH` schema-checks an existing report and exits
+//!   non-zero on any missing or malformed field.
+//! - `--gate BASELINE FRESH [--tolerance FRAC]` fails (exit 1) when any
+//!   workload's calendar events/sec regressed more than `FRAC` (default
+//!   0.15) below the baseline.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_json::{obj, parse, Value};
+use altroute_netgraph::estimate::nsfnet_nominal_traffic;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{run_seed_pooled, run_seed_reference, RunConfig, SeedResult};
+use altroute_sim::failures::FailureSchedule;
+use altroute_simcore::kernel::KernelScratch;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One self-contained run spec (owns what `RunConfig` borrows).
+struct Spec {
+    plan: RoutingPlan,
+    policy: PolicyKind,
+    traffic: TrafficMatrix,
+    failures: FailureSchedule,
+    warmup: f64,
+    horizon: f64,
+    seed: u64,
+}
+
+impl Spec {
+    fn config(&self) -> RunConfig<'_> {
+        RunConfig {
+            plan: &self.plan,
+            policy: self.policy,
+            traffic: &self.traffic,
+            warmup: self.warmup,
+            horizon: self.horizon,
+            seed: self.seed,
+            failures: &self.failures,
+        }
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    description: &'static str,
+    specs: Vec<Spec>,
+}
+
+/// The `time_churn`-style outage workload: the paper's quadrangle shape
+/// at 4x the conventional capacity under proportionally heavy load, with
+/// a 1.0-wide outage on link 0-1 every 2.5 time units — thousands of
+/// concurrent calls keep the queue deep while mass teardowns and
+/// re-arrivals keep churning it.
+fn outage_churn(horizon: f64) -> Workload {
+    let topo = topologies::full_mesh(4, 1000);
+    let traffic = TrafficMatrix::uniform(4, 900.0);
+    let link01 = topo.link_between(0, 1).expect("quadrangle has 0-1");
+    let plan = RoutingPlan::min_hop(topo, &traffic, 3);
+    let mut failures = FailureSchedule::none();
+    let mut down = 10.0;
+    while down + 1.0 < horizon {
+        failures = failures.with_outage(link01, down, down + 1.0);
+        down += 2.5;
+    }
+    Workload {
+        name: "outage_churn",
+        description: "quadrangle shape, C=1000, 900 Erlang/pair, link 0-1 down 1.0 of every 2.5",
+        specs: vec![Spec {
+            plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic,
+            failures,
+            warmup: 5.0,
+            horizon,
+            seed: 1,
+        }],
+    }
+}
+
+/// The quadrangle saturated well past nominal load, no failures: a
+/// steady-state hot path dominated by arrivals/departures.
+fn quadrangle_high_load(horizon: f64) -> Workload {
+    let traffic = TrafficMatrix::uniform(4, 110.0);
+    let plan = RoutingPlan::min_hop(topologies::quadrangle(), &traffic, 3);
+    Workload {
+        name: "quadrangle_high_load",
+        description: "quadrangle @ 110 Erlang/pair, no failures",
+        specs: vec![Spec {
+            plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic,
+            failures: FailureSchedule::none(),
+            warmup: 5.0,
+            horizon,
+            seed: 0xBE7C,
+        }],
+    }
+}
+
+/// NSFNet at three load scales around its fitted nominal point — a
+/// larger mesh with many concurrent pair streams per replication.
+fn nsfnet_sweep(horizon: f64) -> Workload {
+    let specs = [0.9, 1.1, 1.3]
+        .iter()
+        .enumerate()
+        .map(|(i, &scale)| {
+            let traffic = nsfnet_nominal_traffic().traffic.scaled(scale);
+            let plan = RoutingPlan::min_hop(topologies::nsfnet(100), &traffic, 3);
+            Spec {
+                plan,
+                policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+                traffic,
+                failures: FailureSchedule::none(),
+                warmup: 2.0,
+                horizon,
+                seed: 0x5EED + i as u64,
+            }
+        })
+        .collect();
+    Workload {
+        name: "nsfnet_sweep",
+        description: "NSFNet(100) at 0.9x/1.1x/1.3x nominal traffic",
+        specs,
+    }
+}
+
+struct Measurement {
+    name: &'static str,
+    description: &'static str,
+    events: u64,
+    offered: u64,
+    blocked: u64,
+    dropped: u64,
+    calendar_secs: f64,
+    reference_secs: f64,
+}
+
+impl Measurement {
+    fn calendar_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.calendar_secs
+    }
+
+    fn reference_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.reference_secs
+    }
+
+    fn speedup(&self) -> f64 {
+        self.reference_secs / self.calendar_secs
+    }
+}
+
+/// Times `reps` passes over the workload on both backends and keeps the
+/// best (minimum) wall clock of each, after one untimed pass that checks
+/// the two backends produce identical results.
+fn measure(workload: &Workload, reps: usize, scratch: &mut KernelScratch) -> Measurement {
+    let mut events = 0u64;
+    let mut offered = 0u64;
+    let mut blocked = 0u64;
+    let mut dropped = 0u64;
+    for spec in &workload.specs {
+        let cal = run_seed_pooled(&spec.config(), scratch);
+        let reference = run_seed_reference(&spec.config());
+        assert_eq!(
+            cal, reference,
+            "{}: calendar and reference kernels diverged",
+            workload.name
+        );
+        events += cal.metrics.events_processed;
+        offered += cal.offered;
+        blocked += cal.blocked;
+        dropped += cal.dropped;
+    }
+
+    let mut calendar_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for spec in &workload.specs {
+            black_box::<SeedResult>(run_seed_pooled(&spec.config(), scratch));
+        }
+        calendar_secs = calendar_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let mut reference_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for spec in &workload.specs {
+            black_box::<SeedResult>(run_seed_reference(&spec.config()));
+        }
+        reference_secs = reference_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    Measurement {
+        name: workload.name,
+        description: workload.description,
+        events,
+        offered,
+        blocked,
+        dropped,
+        calendar_secs,
+        reference_secs,
+    }
+}
+
+/// Peak resident set size in bytes, from `/proc/self/status` `VmHWM`
+/// (Linux only; 0 where the file or field is unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+const SCHEMA: &str = "altroute-bench-kernel/v1";
+
+fn report(measurements: &[Measurement], quick: bool) -> Value {
+    let workloads: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            obj! {
+                "name" => m.name,
+                "description" => m.description,
+                "events" => m.events as f64,
+                "offered" => m.offered as f64,
+                "blocked" => m.blocked as f64,
+                "dropped" => m.dropped as f64,
+                "calendar" => obj! {
+                    "wall_secs" => m.calendar_secs,
+                    "events_per_sec" => m.calendar_events_per_sec(),
+                },
+                "reference" => obj! {
+                    "wall_secs" => m.reference_secs,
+                    "events_per_sec" => m.reference_events_per_sec(),
+                },
+                "speedup" => m.speedup(),
+            }
+        })
+        .collect();
+    obj! {
+        "schema" => SCHEMA,
+        "quick" => quick,
+        "workloads" => Value::Array(workloads),
+        "peak_rss_bytes" => peak_rss_bytes() as f64,
+    }
+}
+
+/// Checks a parsed report against the v1 schema. Returns every problem
+/// found rather than stopping at the first.
+fn validate(value: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    match value.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => problems.push(format!("unknown schema `{other}` (want `{SCHEMA}`)")),
+        None => problems.push("missing string field `schema`".to_string()),
+    }
+    if value.get("quick").and_then(Value::as_bool).is_none() {
+        problems.push("missing boolean field `quick`".to_string());
+    }
+    if value
+        .get("peak_rss_bytes")
+        .and_then(Value::as_f64)
+        .is_none()
+    {
+        problems.push("missing numeric field `peak_rss_bytes`".to_string());
+    }
+    let Some(workloads) = value.get("workloads").and_then(Value::as_array) else {
+        problems.push("missing array field `workloads`".to_string());
+        return problems;
+    };
+    if workloads.is_empty() {
+        problems.push("`workloads` is empty".to_string());
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        let name = w
+            .get("name")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| {
+                problems.push(format!("workload {i}: missing string field `name`"));
+                format!("#{i}")
+            });
+        for field in ["events", "offered", "blocked", "dropped", "speedup"] {
+            if w.get(field).and_then(Value::as_f64).is_none() {
+                problems.push(format!("workload {name}: missing numeric field `{field}`"));
+            }
+        }
+        for backend in ["calendar", "reference"] {
+            for field in ["wall_secs", "events_per_sec"] {
+                match w
+                    .get(backend)
+                    .and_then(|b| b.get(field))
+                    .and_then(Value::as_f64)
+                {
+                    Some(x) if x > 0.0 && x.is_finite() => {}
+                    Some(x) => problems.push(format!(
+                        "workload {name}: `{backend}.{field}` = {x} is not positive and finite"
+                    )),
+                    None => problems.push(format!(
+                        "workload {name}: missing numeric field `{backend}.{field}`"
+                    )),
+                }
+            }
+        }
+    }
+    problems
+}
+
+fn load_report(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let problems = validate(&value);
+    if problems.is_empty() {
+        Ok(value)
+    } else {
+        Err(format!("{path}: {}", problems.join("; ")))
+    }
+}
+
+/// Compares `fresh` against `baseline`: any workload present in both
+/// whose calendar events/sec fell more than `tolerance` (fractional)
+/// below the baseline is a failure. Workloads only in one file are
+/// reported but not fatal (renames should not brick CI).
+fn gate(baseline: &Value, fresh: &Value, tolerance: f64) -> Result<Vec<String>, Vec<String>> {
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for v in [baseline, fresh] {
+        if v.get("quick").and_then(Value::as_bool) == Some(true) {
+            return Err(vec![
+                "refusing to gate a `--quick` report; regenerate with a full run".to_string(),
+            ]);
+        }
+    }
+    let fresh_workloads = fresh.get("workloads").and_then(Value::as_array).unwrap();
+    for b in baseline.get("workloads").and_then(Value::as_array).unwrap() {
+        let name = b.get("name").and_then(Value::as_str).unwrap_or("?");
+        let Some(f) = fresh_workloads
+            .iter()
+            .find(|w| w.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            lines.push(format!(
+                "{name}: in baseline but not in fresh report (skipped)"
+            ));
+            continue;
+        };
+        let eps = |w: &Value| {
+            w.get("calendar")
+                .and_then(|c| c.get("events_per_sec"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0)
+        };
+        let (base, now) = (eps(b), eps(f));
+        let ratio = now / base;
+        let line = format!(
+            "{name}: {:.0} -> {:.0} events/sec ({:+.1}%)",
+            base,
+            now,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{line} — regressed past the {:.0}% tolerance",
+                tolerance * 100.0
+            ));
+        } else {
+            lines.push(line);
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        failures.extend(lines);
+        Err(failures)
+    }
+}
+
+fn run_benchmarks(quick: bool, out: &str) -> ExitCode {
+    let (churn_h, quad_h, nsf_h, reps) = if quick {
+        (60.0, 40.0, 6.0, 1)
+    } else {
+        (400.0, 300.0, 25.0, 3)
+    };
+    let workloads = [
+        outage_churn(churn_h),
+        quadrangle_high_load(quad_h),
+        nsfnet_sweep(nsf_h),
+    ];
+    let mut scratch = KernelScratch::new();
+    let mut measurements = Vec::new();
+    for w in &workloads {
+        eprintln!("running {} ({})...", w.name, w.description);
+        let m = measure(w, reps, &mut scratch);
+        eprintln!(
+            "  {} events | calendar {:.3}s ({:.0} ev/s) | reference {:.3}s ({:.0} ev/s) | speedup {:.2}x",
+            m.events,
+            m.calendar_secs,
+            m.calendar_events_per_sec(),
+            m.reference_secs,
+            m.reference_events_per_sec(),
+            m.speedup(),
+        );
+        measurements.push(m);
+    }
+    let value = report(&measurements, quick);
+    debug_assert!(
+        validate(&value).is_empty(),
+        "emitted report fails own schema"
+    );
+    if let Err(e) = std::fs::write(out, value.to_string_pretty() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_report [--quick] [--out PATH]\n\
+         \x20      bench_report --validate PATH\n\
+         \x20      bench_report --gate BASELINE FRESH [--tolerance FRAC]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_kernel.json".to_string();
+    let mut validate_path: Option<String> = None;
+    let mut gate_paths: Option<(String, String)> = None;
+    let mut tolerance = 0.15;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                let Some(p) = args.get(i) else { return usage() };
+                out = p.clone();
+            }
+            "--validate" => {
+                i += 1;
+                let Some(p) = args.get(i) else { return usage() };
+                validate_path = Some(p.clone());
+            }
+            "--gate" => {
+                let (Some(b), Some(f)) = (args.get(i + 1), args.get(i + 2)) else {
+                    return usage();
+                };
+                gate_paths = Some((b.clone(), f.clone()));
+                i += 2;
+            }
+            "--tolerance" => {
+                i += 1;
+                let Some(t) = args.get(i).and_then(|t| t.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                tolerance = t;
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate_path {
+        return match load_report(&path) {
+            Ok(_) => {
+                eprintln!("{path}: valid {SCHEMA} report");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some((baseline_path, fresh_path)) = gate_paths {
+        let (baseline, fresh) = match (load_report(&baseline_path), load_report(&fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for e in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("{e}");
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+        return match gate(&baseline, &fresh, tolerance) {
+            Ok(lines) => {
+                for line in lines {
+                    eprintln!("ok: {line}");
+                }
+                eprintln!("bench gate passed ({:.0}% tolerance)", tolerance * 100.0);
+                ExitCode::SUCCESS
+            }
+            Err(lines) => {
+                for line in lines {
+                    eprintln!("FAIL: {line}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    run_benchmarks(quick, &out)
+}

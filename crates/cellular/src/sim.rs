@@ -19,10 +19,10 @@
 use crate::grid::CellGrid;
 use crate::policy::{cell_protection_levels, BorrowPolicy};
 use altroute_simcore::kernel::{
-    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelSpec, LinkOccupancy, RouteSelector,
-    Selection, Tier, TrunkReservation, Uncontrolled,
+    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelScratch, KernelSpec, LinkOccupancy,
+    RouteSelector, Selection, Tier, TrunkReservation, Uncontrolled,
 };
-use altroute_simcore::pool::{default_workers, pool_run};
+use altroute_simcore::pool::{default_workers, pool_run_with};
 use altroute_simcore::stats::BlockingSummary;
 use altroute_telemetry::{NullRecorder, Recorder, RunTelemetry};
 
@@ -181,18 +181,25 @@ pub fn run_cellular_with_workers(
     validate(grid, loads, params);
     let protection = cell_protection_levels(loads, grid.capacity());
     let tables = BorrowTables::new(grid);
-    let per_seed = pool_run(params.seeds as usize, workers, None, |i| {
-        run_one(
-            grid,
-            loads,
-            policy,
-            &protection,
-            &tables,
-            params,
-            params.base_seed + i as u64,
-            &mut NullRecorder,
-        )
-    });
+    let per_seed = pool_run_with(
+        params.seeds as usize,
+        workers,
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            run_one(
+                grid,
+                loads,
+                policy,
+                &protection,
+                &tables,
+                params,
+                params.base_seed + i as u64,
+                &mut NullRecorder,
+                scratch,
+            )
+        },
+    );
     summarize(policy, per_seed)
 }
 
@@ -215,21 +222,28 @@ pub fn run_cellular_telemetry(
     let protection = cell_protection_levels(loads, grid.capacity());
     let tables = BorrowTables::new(grid);
     let capacities = vec![grid.capacity(); grid.num_cells()];
-    let recorded = pool_run(params.seeds as usize, default_workers(), None, |i| {
-        let mut telemetry =
-            RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
-        let counts = run_one(
-            grid,
-            loads,
-            policy,
-            &protection,
-            &tables,
-            params,
-            params.base_seed + i as u64,
-            &mut telemetry,
-        );
-        (counts, telemetry)
-    });
+    let recorded = pool_run_with(
+        params.seeds as usize,
+        default_workers(),
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            let mut telemetry =
+                RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
+            let counts = run_one(
+                grid,
+                loads,
+                policy,
+                &protection,
+                &tables,
+                params,
+                params.base_seed + i as u64,
+                &mut telemetry,
+                scratch,
+            );
+            (counts, telemetry)
+        },
+    );
     let mut merged: Option<RunTelemetry> = None;
     let mut per_seed = Vec::with_capacity(recorded.len());
     for (counts, telemetry) in recorded {
@@ -328,6 +342,7 @@ fn run_one<R: Recorder>(
     params: &CellularParams,
     seed: u64,
     recorder: &mut R,
+    scratch: &mut KernelScratch,
 ) -> (u64, u64, u64) {
     let capacities = vec![grid.capacity(); grid.num_cells()];
     let sources: Vec<ArrivalSource> = loads
@@ -367,15 +382,20 @@ fn run_one<R: Recorder>(
         recorder: &mut *recorder,
     };
     let outcome = match policy {
-        BorrowPolicy::Controlled => kernel::run(
+        BorrowPolicy::Controlled => kernel::run_pooled(
             &spec,
             &mut TrunkReservation::new(protection.to_vec()),
             &mut selector,
             &mut observer,
+            scratch,
         ),
-        BorrowPolicy::NoBorrowing | BorrowPolicy::Uncontrolled => {
-            kernel::run(&spec, &mut Uncontrolled, &mut selector, &mut observer)
-        }
+        BorrowPolicy::NoBorrowing | BorrowPolicy::Uncontrolled => kernel::run_pooled(
+            &spec,
+            &mut Uncontrolled,
+            &mut selector,
+            &mut observer,
+            scratch,
+        ),
     };
     recorder.finish(params.warmup + params.horizon);
     (outcome.offered, outcome.blocked, outcome.carried_alternate)

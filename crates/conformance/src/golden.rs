@@ -17,10 +17,11 @@ use altroute_core::policy::PolicyKind;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_sim::engine::{run_seed, run_seed_traced, RunConfig, SeedResult};
+use altroute_sim::engine::{run_seed_pooled, run_seed_traced, RunConfig, SeedResult};
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::trace::{diff_traces, BinaryTraceWriter, TraceDiff};
-use altroute_simcore::pool::pool_run;
+use altroute_simcore::kernel::KernelScratch;
+use altroute_simcore::pool::pool_run_with;
 use std::path::PathBuf;
 
 /// Whether to record a scenario as specified or with a deliberate
@@ -149,17 +150,26 @@ pub fn record_scenario(name: &str, perturbation: Perturbation) -> Vec<u8> {
 /// Panics on an unknown scenario name or `seeds == 0` / `workers == 0`.
 pub fn scenario_replications(name: &str, seeds: u32, workers: usize) -> Vec<SeedResult> {
     let s = scenario(name);
-    pool_run(seeds as usize, workers, None, |i| {
-        run_seed(&RunConfig {
-            plan: &s.plan,
-            policy: s.policy,
-            traffic: &s.traffic,
-            warmup: s.warmup,
-            horizon: s.horizon,
-            seed: s.seed + i as u64,
-            failures: &s.failures,
-        })
-    })
+    pool_run_with(
+        seeds as usize,
+        workers,
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            run_seed_pooled(
+                &RunConfig {
+                    plan: &s.plan,
+                    policy: s.policy,
+                    traffic: &s.traffic,
+                    warmup: s.warmup,
+                    horizon: s.horizon,
+                    seed: s.seed + i as u64,
+                    failures: &s.failures,
+                },
+                scratch,
+            )
+        },
+    )
 }
 
 /// Re-records scenario `name` and diffs against the checked-in golden

@@ -30,10 +30,10 @@ use altroute_core::plan::RoutingPlan;
 use altroute_core::select::TieredSelector;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_simcore::kernel::{
-    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelSpec, LinkEvent, LinkOccupancy,
-    RouteSelector, Selection, TrunkReservation,
+    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelScratch, KernelSpec, LinkEvent,
+    LinkOccupancy, RouteSelector, Selection, TrunkReservation,
 };
-use altroute_simcore::pool::pool_run;
+use altroute_simcore::pool::pool_run_with;
 use altroute_simcore::stats::BlockingSummary;
 use altroute_telemetry::{NullRecorder, Recorder, RunTelemetry};
 use altroute_teletraffic::reservation::protection_level;
@@ -223,17 +223,26 @@ pub fn run_adaptive_replications(
     workers: usize,
 ) -> (Vec<AdaptiveSeedResult>, BlockingSummary) {
     assert!(seeds > 0, "need at least one replication");
-    let per_seed = pool_run(seeds as usize, workers, None, |i| {
-        run_adaptive_seed(
-            plan,
-            traffic,
-            warmup,
-            horizon,
-            base_seed + i as u64,
-            failures,
-            config,
-        )
-    });
+    let per_seed = pool_run_with(
+        seeds as usize,
+        workers,
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            run_adaptive_seed_scratch(
+                plan,
+                traffic,
+                warmup,
+                horizon,
+                base_seed + i as u64,
+                failures,
+                config,
+                &mut NullTraceSink,
+                &mut NullRecorder,
+                scratch,
+            )
+        },
+    );
     let summary = BlockingSummary::from_counts(per_seed.iter().map(|r| (r.offered, r.blocked)));
     (per_seed, summary)
 }
@@ -261,21 +270,28 @@ pub fn run_adaptive_telemetry(
 ) -> (Vec<AdaptiveSeedResult>, BlockingSummary, RunTelemetry) {
     assert!(seeds > 0, "need at least one replication");
     let capacities: Vec<u32> = plan.topology().links().iter().map(|l| l.capacity).collect();
-    let recorded = pool_run(seeds as usize, workers, None, |i| {
-        let mut telemetry = RunTelemetry::new(warmup, horizon, window, capacities.clone());
-        let r = run_adaptive_seed_instrumented(
-            plan,
-            traffic,
-            warmup,
-            horizon,
-            base_seed + i as u64,
-            failures,
-            config,
-            &mut NullTraceSink,
-            &mut telemetry,
-        );
-        (r, telemetry)
-    });
+    let recorded = pool_run_with(
+        seeds as usize,
+        workers,
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            let mut telemetry = RunTelemetry::new(warmup, horizon, window, capacities.clone());
+            let r = run_adaptive_seed_scratch(
+                plan,
+                traffic,
+                warmup,
+                horizon,
+                base_seed + i as u64,
+                failures,
+                config,
+                &mut NullTraceSink,
+                &mut telemetry,
+                scratch,
+            );
+            (r, telemetry)
+        },
+    );
     let mut per_seed = Vec::with_capacity(recorded.len());
     let mut merged: Option<RunTelemetry> = None;
     for (r, telemetry) in recorded {
@@ -308,6 +324,36 @@ pub fn run_adaptive_seed_instrumented<S: TraceSink, R: Recorder>(
     config: &AdaptiveConfig,
     sink: &mut S,
     recorder: &mut R,
+) -> AdaptiveSeedResult {
+    run_adaptive_seed_scratch(
+        plan,
+        traffic,
+        warmup,
+        horizon,
+        seed,
+        failures,
+        config,
+        sink,
+        recorder,
+        &mut KernelScratch::new(),
+    )
+}
+
+/// The body of every adaptive entry point: one kernel replication with
+/// the adaptive selector, on a caller-supplied scratch arena (the
+/// replication pools recycle one per worker).
+#[allow(clippy::too_many_arguments)]
+fn run_adaptive_seed_scratch<S: TraceSink, R: Recorder>(
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    warmup: f64,
+    horizon: f64,
+    seed: u64,
+    failures: &FailureSchedule,
+    config: &AdaptiveConfig,
+    sink: &mut S,
+    recorder: &mut R,
+    scratch: &mut KernelScratch,
 ) -> AdaptiveSeedResult {
     let topo = plan.topology();
     let n = topo.num_nodes();
@@ -367,7 +413,7 @@ pub fn run_adaptive_seed_instrumented<S: TraceSink, R: Recorder>(
         sink,
         recorder: &mut *recorder,
     };
-    let outcome = kernel::run(&spec, &mut admission, &mut selector, &mut observer);
+    let outcome = kernel::run_pooled(&spec, &mut admission, &mut selector, &mut observer, scratch);
     recorder.finish(warmup + horizon);
     AdaptiveSeedResult {
         offered: outcome.offered,

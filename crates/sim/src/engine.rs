@@ -30,8 +30,8 @@ use altroute_core::policy::{CallClass, PolicyKind};
 use altroute_core::select::{DarStickySelector, OttKrishnanSelector, TieredSelector};
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_simcore::kernel::{
-    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelObserver, KernelOutcome, KernelSpec,
-    LinkEvent, RouteSelector, Tier, TrunkReservation, Uncontrolled,
+    self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelObserver, KernelOutcome,
+    KernelScratch, KernelSpec, LinkEvent, RouteSelector, Tier, TrunkReservation, Uncontrolled,
 };
 use altroute_simcore::metrics::EngineMetrics;
 use altroute_simcore::rng::StreamFactory;
@@ -169,6 +169,39 @@ impl<S: TraceSink, R: Recorder> KernelObserver for Instruments<'_, S, R> {
     }
 }
 
+/// Which kernel entry point a replication runs through: the default
+/// fresh-scratch calendar queue, a caller-recycled [`KernelScratch`], or
+/// the `BinaryHeap` reference baseline. All three are outcome-identical
+/// by the kernel's contract; only allocation behavior and speed differ.
+enum KernelEntry<'s> {
+    Fresh,
+    Pooled(&'s mut KernelScratch),
+    Reference,
+}
+
+impl KernelEntry<'_> {
+    fn invoke<'p, A, Sel, O>(
+        &mut self,
+        spec: &KernelSpec<'_>,
+        admission: &mut A,
+        selector: &mut Sel,
+        observer: &mut O,
+    ) -> KernelOutcome
+    where
+        A: AdmissionPolicy,
+        Sel: RouteSelector<'p>,
+        O: KernelObserver,
+    {
+        match self {
+            KernelEntry::Fresh => kernel::run(spec, admission, selector, observer),
+            KernelEntry::Pooled(scratch) => {
+                kernel::run_pooled(spec, admission, selector, observer, scratch)
+            }
+            KernelEntry::Reference => kernel::run_reference(spec, admission, selector, observer),
+        }
+    }
+}
+
 /// Runs one replication and returns its counters.
 ///
 /// # Panics
@@ -177,6 +210,40 @@ impl<S: TraceSink, R: Recorder> KernelObserver for Instruments<'_, S, R> {
 /// an internal invariant breaks (a policy admitting over a full link).
 pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
     run_seed_instrumented(config, &mut NullTraceSink, &mut NullRecorder)
+}
+
+/// As [`run_seed`], but recycling `scratch` (event-queue buckets, call
+/// table, link index, RNG streams) across calls instead of reallocating
+/// per replication — the entry point replication pools hand their
+/// per-worker scratch to. Results are byte-identical to [`run_seed`].
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_pooled(config: &RunConfig<'_>, scratch: &mut KernelScratch) -> SeedResult {
+    run_seed_entry(
+        config,
+        &mut NullTraceSink,
+        &mut NullRecorder,
+        KernelEntry::Pooled(scratch),
+    )
+}
+
+/// As [`run_seed`], but on the comparison-based `BinaryHeap` event queue
+/// instead of the calendar queue — the differential and benchmark
+/// baseline. Results are byte-identical to [`run_seed`]; only the wall
+/// clock differs.
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_reference(config: &RunConfig<'_>) -> SeedResult {
+    run_seed_entry(
+        config,
+        &mut NullTraceSink,
+        &mut NullRecorder,
+        KernelEntry::Reference,
+    )
 }
 
 /// Runs one replication while reporting every event to `sink`.
@@ -206,6 +273,26 @@ pub fn run_seed_traced<S: TraceSink>(config: &RunConfig<'_>, sink: &mut S) -> Se
 /// As [`run_seed`].
 pub fn run_seed_recorded<R: Recorder>(config: &RunConfig<'_>, recorder: &mut R) -> SeedResult {
     run_seed_instrumented(config, &mut NullTraceSink, recorder)
+}
+
+/// As [`run_seed_recorded`], recycling `scratch` across calls exactly
+/// like [`run_seed_pooled`]. Results and telemetry are byte-identical
+/// to [`run_seed_recorded`].
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_recorded_pooled<R: Recorder>(
+    config: &RunConfig<'_>,
+    recorder: &mut R,
+    scratch: &mut KernelScratch,
+) -> SeedResult {
+    run_seed_entry(
+        config,
+        &mut NullTraceSink,
+        recorder,
+        KernelEntry::Pooled(scratch),
+    )
 }
 
 /// Builds the kernel's static description of this run: one arrival
@@ -269,6 +356,17 @@ pub fn run_seed_instrumented<S: TraceSink, R: Recorder>(
     sink: &mut S,
     recorder: &mut R,
 ) -> SeedResult {
+    run_seed_entry(config, sink, recorder, KernelEntry::Fresh)
+}
+
+/// The shared body of every `run_seed*` entry point: policy dispatch
+/// over one kernel invocation through `entry`.
+fn run_seed_entry<S: TraceSink, R: Recorder>(
+    config: &RunConfig<'_>,
+    sink: &mut S,
+    recorder: &mut R,
+    mut entry: KernelEntry<'_>,
+) -> SeedResult {
     let plan = config.plan;
     let n = plan.topology().num_nodes();
     assert_eq!(
@@ -306,25 +404,25 @@ pub fn run_seed_instrumented<S: TraceSink, R: Recorder>(
     // | ott-krishnan  | (internal to the price test) | shadow-price argmin |
     // | dar           | trunk reservation (Eq. 15)   | sticky random       |
     let outcome = match config.policy {
-        PolicyKind::SinglePath => kernel::run(
+        PolicyKind::SinglePath => entry.invoke(
             &spec,
             &mut Uncontrolled,
             &mut TieredSelector::single_path(plan),
             &mut observer,
         ),
-        PolicyKind::UncontrolledAlternate { .. } => kernel::run(
+        PolicyKind::UncontrolledAlternate { .. } => entry.invoke(
             &spec,
             &mut Uncontrolled,
             &mut TieredSelector::new(plan),
             &mut observer,
         ),
-        PolicyKind::ControlledAlternate { .. } => kernel::run(
+        PolicyKind::ControlledAlternate { .. } => entry.invoke(
             &spec,
             &mut TrunkReservation::new(plan.protection_levels().to_vec()),
             &mut TieredSelector::new(plan),
             &mut observer,
         ),
-        PolicyKind::OttKrishnan { .. } => kernel::run(
+        PolicyKind::OttKrishnan { .. } => entry.invoke(
             &spec,
             &mut Uncontrolled,
             &mut OttKrishnanSelector::new(plan),
@@ -332,7 +430,7 @@ pub fn run_seed_instrumented<S: TraceSink, R: Recorder>(
         ),
         PolicyKind::DarSticky { .. } => {
             let rng = StreamFactory::new(config.seed).stream(DAR_RESAMPLE_STREAM);
-            kernel::run(
+            entry.invoke(
                 &spec,
                 &mut TrunkReservation::new(plan.protection_levels().to_vec()),
                 &mut DarStickySelector::new(plan, rng),
@@ -721,22 +819,67 @@ mod tests {
         use altroute_simcore::kernel::CallTable;
         let path_a: Vec<usize> = vec![0, 1];
         let path_b: Vec<usize> = vec![2];
+        let mut out = Vec::new();
         let mut table = CallTable::new();
         let (slot_a, gen_a) = table.insert(&path_a, 1);
         // Failure teardown ends call A through its handle.
-        assert_eq!(table.take(slot_a, gen_a), Some((&path_a[..], 1)));
+        assert_eq!(table.take_into(slot_a, gen_a, &mut out), Some(1));
+        assert_eq!(out, path_a);
         // Call B reuses the same slot with a bumped generation.
         let (slot_b, gen_b) = table.insert(&path_b, 1);
         assert_eq!(slot_b, slot_a, "free list must hand the slot back");
         assert_ne!(gen_b, gen_a, "reuse must bump the generation");
         // Call A's scheduled departure fires: it must be rejected and
-        // must leave call B untouched.
-        assert_eq!(table.take(slot_a, gen_a), None);
+        // must leave call B (and the caller's path buffer) untouched.
+        assert_eq!(table.take_into(slot_a, gen_a, &mut out), None);
+        assert_eq!(out, path_a, "stale take must not clobber the buffer");
         assert!(table.is_live(slot_b, gen_b), "stale take must not end B");
         assert_eq!(table.live(), 1);
         // Call B's own departure still works.
-        assert_eq!(table.take(slot_b, gen_b), Some((&path_b[..], 1)));
+        assert_eq!(table.take_into(slot_b, gen_b, &mut out), Some(1));
+        assert_eq!(out, path_b);
         assert_eq!(table.live(), 0);
+    }
+
+    #[test]
+    fn reference_backend_and_recycled_scratch_match_every_policy() {
+        // Differential check across the whole policy dispatch: for each
+        // policy, the BinaryHeap reference backend and a scratch arena
+        // recycled across all policies must reproduce the fresh-run
+        // counters exactly. An outage keeps the teardown paths honest.
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 60.0);
+        let link01 = RoutingPlan::min_hop(topo.clone(), &m, 3)
+            .topology()
+            .link_between(0, 1)
+            .unwrap();
+        let failures = FailureSchedule::none().with_outage(link01, 8.0, 14.0);
+        let mut scratch = altroute_simcore::kernel::KernelScratch::new();
+        for policy in [
+            PolicyKind::SinglePath,
+            PolicyKind::UncontrolledAlternate { max_hops: 3 },
+            PolicyKind::ControlledAlternate { max_hops: 3 },
+            PolicyKind::OttKrishnan { max_hops: 3 },
+            PolicyKind::DarSticky { max_hops: 3 },
+        ] {
+            let plan = RoutingPlan::min_hop(topo.clone(), &m, 3);
+            let config = RunConfig {
+                plan: &plan,
+                policy,
+                traffic: &m,
+                warmup: 5.0,
+                horizon: 30.0,
+                seed: 2026,
+                failures: &failures,
+            };
+            let fresh = run_seed(&config);
+            assert_eq!(fresh, run_seed_reference(&config), "{policy:?} reference");
+            assert_eq!(
+                fresh,
+                run_seed_pooled(&config, &mut scratch),
+                "{policy:?} pooled"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! [`Experiment::erlang_bound`] computes the cut-set lower bound for the
 //! same instance (accounting for statically failed links).
 
-use crate::engine::{run_seed, run_seed_recorded, RunConfig, SeedResult};
+use crate::engine::{run_seed_pooled, run_seed_recorded_pooled, RunConfig, SeedResult};
 use crate::failures::FailureSchedule;
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
@@ -20,8 +20,9 @@ use altroute_netgraph::cuts;
 use altroute_netgraph::graph::Topology;
 use altroute_netgraph::paths::min_hop_path;
 use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::kernel::KernelScratch;
 use altroute_simcore::metrics::EngineMetrics;
-use altroute_simcore::pool::{default_workers, pool_run};
+use altroute_simcore::pool::{default_workers, pool_run_with};
 use altroute_simcore::stats::Replications;
 use altroute_telemetry::{RunTelemetry, SpanProfile};
 
@@ -214,17 +215,26 @@ impl Experiment {
     ) -> ExperimentResult {
         assert!(params.seeds > 0, "need at least one replication");
         let plan = self.plan_for(kind);
-        let per_seed = pool_run(params.seeds as usize, workers, progress, |i| {
-            run_seed(&RunConfig {
-                plan: &plan,
-                policy: kind,
-                traffic: &self.traffic,
-                warmup: params.warmup,
-                horizon: params.horizon,
-                seed: params.base_seed + i as u64,
-                failures: &self.failures,
-            })
-        });
+        let per_seed = pool_run_with(
+            params.seeds as usize,
+            workers,
+            progress,
+            KernelScratch::new,
+            |scratch, i| {
+                run_seed_pooled(
+                    &RunConfig {
+                        plan: &plan,
+                        policy: kind,
+                        traffic: &self.traffic,
+                        warmup: params.warmup,
+                        horizon: params.horizon,
+                        seed: params.base_seed + i as u64,
+                        failures: &self.failures,
+                    },
+                    scratch,
+                )
+            },
+        );
         self.summarize(kind, per_seed)
     }
 
@@ -285,23 +295,30 @@ impl Experiment {
         let plan = spans.time("plan_build", || self.plan_for(kind));
         let capacities: Vec<u32> = self.topo.links().iter().map(|l| l.capacity).collect();
         let fanout_started = std::time::Instant::now();
-        let recorded = pool_run(params.seeds as usize, workers, progress, |i| {
-            let mut telemetry =
-                RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
-            let result = run_seed_recorded(
-                &RunConfig {
-                    plan: &plan,
-                    policy: kind,
-                    traffic: &self.traffic,
-                    warmup: params.warmup,
-                    horizon: params.horizon,
-                    seed: params.base_seed + i as u64,
-                    failures: &self.failures,
-                },
-                &mut telemetry,
-            );
-            (result, telemetry)
-        });
+        let recorded = pool_run_with(
+            params.seeds as usize,
+            workers,
+            progress,
+            KernelScratch::new,
+            |scratch, i| {
+                let mut telemetry =
+                    RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
+                let result = run_seed_recorded_pooled(
+                    &RunConfig {
+                        plan: &plan,
+                        policy: kind,
+                        traffic: &self.traffic,
+                        warmup: params.warmup,
+                        horizon: params.horizon,
+                        seed: params.base_seed + i as u64,
+                        failures: &self.failures,
+                    },
+                    &mut telemetry,
+                    scratch,
+                );
+                (result, telemetry)
+            },
+        );
         spans.add(
             "replication_fan_out",
             fanout_started.elapsed().as_secs_f64(),

@@ -28,9 +28,10 @@ use altroute_core::select::TieredSelector;
 use altroute_netgraph::graph::Topology;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_simcore::kernel::{
-    self, ArrivalSource, KernelConfig, KernelSpec, LinkEvent, TrunkReservation, Uncontrolled,
+    self, ArrivalSource, KernelConfig, KernelScratch, KernelSpec, LinkEvent, TrunkReservation,
+    Uncontrolled,
 };
-use altroute_simcore::pool::{default_workers, pool_run};
+use altroute_simcore::pool::{default_workers, pool_run_with};
 use altroute_simcore::stats::BlockingSummary;
 use altroute_telemetry::{NullRecorder, Recorder, RunTelemetry};
 use altroute_teletraffic::reservation::protection_level;
@@ -181,19 +182,26 @@ pub fn run_multirate_with_workers(
 ) -> MultirateResult {
     validate(topo, classes, params);
     let mp = build_plan(topo, classes, params);
-    let runs = pool_run(params.seeds as usize, workers, None, |i| {
-        let seed = params.base_seed + i as u64;
-        run_one(
-            &mp,
-            classes,
-            policy,
-            params,
-            seed,
-            failures,
-            &mut NullTraceSink,
-            &mut NullRecorder,
-        )
-    });
+    let runs = pool_run_with(
+        params.seeds as usize,
+        workers,
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            let seed = params.base_seed + i as u64;
+            run_one(
+                &mp,
+                classes,
+                policy,
+                params,
+                seed,
+                failures,
+                &mut NullTraceSink,
+                &mut NullRecorder,
+                scratch,
+            )
+        },
+    );
     summarize(policy, classes, &runs)
 }
 
@@ -220,19 +228,26 @@ pub fn run_multirate_with_levels(
     assert_eq!(levels.len(), topo.num_links(), "one level per link");
     let mut mp = build_plan(topo, classes, params);
     mp.levels = levels.to_vec();
-    let runs = pool_run(params.seeds as usize, workers, None, |i| {
-        let seed = params.base_seed + i as u64;
-        run_one(
-            &mp,
-            classes,
-            policy,
-            params,
-            seed,
-            failures,
-            &mut NullTraceSink,
-            &mut NullRecorder,
-        )
-    });
+    let runs = pool_run_with(
+        params.seeds as usize,
+        workers,
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            let seed = params.base_seed + i as u64;
+            run_one(
+                &mp,
+                classes,
+                policy,
+                params,
+                seed,
+                failures,
+                &mut NullTraceSink,
+                &mut NullRecorder,
+                scratch,
+            )
+        },
+    );
     summarize(policy, classes, &runs)
 }
 
@@ -255,22 +270,29 @@ pub fn run_multirate_telemetry(
     validate(topo, classes, params);
     let mp = build_plan(topo, classes, params);
     let capacities: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
-    let recorded = pool_run(params.seeds as usize, default_workers(), None, |i| {
-        let seed = params.base_seed + i as u64;
-        let mut telemetry =
-            RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
-        let run = run_one(
-            &mp,
-            classes,
-            policy,
-            params,
-            seed,
-            failures,
-            &mut NullTraceSink,
-            &mut telemetry,
-        );
-        (run, telemetry)
-    });
+    let recorded = pool_run_with(
+        params.seeds as usize,
+        default_workers(),
+        None,
+        KernelScratch::new,
+        |scratch, i| {
+            let seed = params.base_seed + i as u64;
+            let mut telemetry =
+                RunTelemetry::new(params.warmup, params.horizon, window, capacities.clone());
+            let run = run_one(
+                &mp,
+                classes,
+                policy,
+                params,
+                seed,
+                failures,
+                &mut NullTraceSink,
+                &mut telemetry,
+                scratch,
+            );
+            (run, telemetry)
+        },
+    );
     let mut merged: Option<RunTelemetry> = None;
     let mut runs = Vec::with_capacity(recorded.len());
     for (run, telemetry) in recorded {
@@ -355,6 +377,7 @@ fn run_one<S: TraceSink, R: Recorder>(
     failures: &FailureSchedule,
     sink: &mut S,
     recorder: &mut R,
+    scratch: &mut KernelScratch,
 ) -> OneRun {
     let plan = &mp.plan;
     let topo = plan.topology();
@@ -406,23 +429,26 @@ fn run_one<S: TraceSink, R: Recorder>(
         recorder: &mut *recorder,
     };
     let outcome = match policy {
-        MultiratePolicy::SinglePath => kernel::run(
+        MultiratePolicy::SinglePath => kernel::run_pooled(
             &spec,
             &mut Uncontrolled,
             &mut TieredSelector::single_path(plan),
             &mut observer,
+            scratch,
         ),
-        MultiratePolicy::Uncontrolled => kernel::run(
+        MultiratePolicy::Uncontrolled => kernel::run_pooled(
             &spec,
             &mut Uncontrolled,
             &mut TieredSelector::new(plan),
             &mut observer,
+            scratch,
         ),
-        MultiratePolicy::Controlled => kernel::run(
+        MultiratePolicy::Controlled => kernel::run_pooled(
             &spec,
             &mut TrunkReservation::new(mp.levels.clone()),
             &mut TieredSelector::new(plan),
             &mut observer,
+            scratch,
         ),
     };
     recorder.finish(params.warmup + params.horizon);

@@ -40,11 +40,11 @@ use crate::failures::FailureSchedule;
 use altroute_core::plan::RoutingPlan;
 use altroute_netgraph::graph::LinkId;
 use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_simcore::calendar::CalendarQueue;
 use altroute_simcore::kernel::{
     AdmissionPolicy, LinkOccupancy, Tier, TrunkReservation, Uncontrolled,
 };
 use altroute_simcore::pool::{default_workers, pool_run};
-use altroute_simcore::queue::EventQueue;
 use altroute_simcore::rng::StreamFactory;
 use altroute_simcore::stats::{BlockingSummary, RunningStats};
 use altroute_telemetry::{ArrivalOutcome, NullRecorder, Recorder, RunTelemetry};
@@ -311,7 +311,7 @@ fn run_with<A: AdmissionPolicy, R: Recorder>(
     let mut streams: Vec<Option<altroute_simcore::rng::RngStream>> =
         (0..n * n).map(|_| None).collect();
     let mut rates = vec![0.0_f64; n * n];
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut queue: CalendarQueue<Event> = CalendarQueue::new();
     for (i, j, t) in traffic.demands() {
         let pair = i * n + j;
         rates[pair] = t;

@@ -36,8 +36,9 @@
 //! runs with the same seed offer byte-identical call sequences to any
 //! two policies (the paper's common random numbers).
 
+use crate::calendar::CalendarQueue;
 use crate::metrics::EngineMetrics;
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, EventSchedule};
 use crate::rng::{RngStream, StreamFactory};
 use crate::timeweighted::TimeWeighted;
 
@@ -58,7 +59,7 @@ pub enum Tier {
 /// The single source of truth the kernel books against and policies
 /// read from. Booking is strict: admitting over a full or down link is
 /// a policy bug and panics immediately rather than corrupting counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LinkOccupancy {
     capacity: Vec<u32>,
     occupancy: Vec<u32>,
@@ -68,11 +69,26 @@ pub struct LinkOccupancy {
 impl LinkOccupancy {
     /// An idle, fully-up network with the given per-link capacities.
     pub fn new(capacities: &[u32]) -> Self {
-        Self {
-            capacity: capacities.to_vec(),
-            occupancy: vec![0; capacities.len()],
-            up: vec![true; capacities.len()],
-        }
+        let mut links = Self {
+            capacity: Vec::new(),
+            occupancy: Vec::new(),
+            up: Vec::new(),
+        };
+        links.reset(capacities);
+        links
+    }
+
+    /// Reinitializes to an idle, fully-up network with the given
+    /// capacities, reusing the existing allocations (the scratch-arena
+    /// path: replications recycle one `LinkOccupancy` instead of
+    /// reallocating three vectors per seed).
+    pub fn reset(&mut self, capacities: &[u32]) {
+        self.capacity.clear();
+        self.capacity.extend_from_slice(capacities);
+        self.occupancy.clear();
+        self.occupancy.resize(capacities.len(), 0);
+        self.up.clear();
+        self.up.resize(capacities.len(), true);
     }
 
     /// Number of links.
@@ -477,72 +493,108 @@ enum Event {
 /// was torn down by an outage and the slot possibly reassigned) and is
 /// ignored.
 ///
-/// A call's path is stored as the borrowed link slice `&'p [Link]` of
-/// the selector's plan — one fat pointer per call, no per-call
-/// allocation — together with its booked bandwidth.
-#[derive(Debug)]
-pub struct CallTable<'p> {
-    links: Vec<Option<&'p [Link]>>,
+/// Paths live in one flat arena (structure-of-arrays: per-slot region
+/// start/capacity/length alongside bandwidth and generation columns),
+/// copied in on [`insert`](CallTable::insert) and copied out on
+/// [`take_into`](CallTable::take_into). The table owns its storage —
+/// no borrowed lifetimes — so a [`KernelScratch`] can recycle it across
+/// replications; a freed slot keeps its arena region and reuses it for
+/// the next call whose path fits.
+#[derive(Debug, Default)]
+pub struct CallTable {
+    arena: Vec<Link>,
+    start: Vec<usize>,
+    region: Vec<u32>,
+    path_len: Vec<u32>,
+    occupied: Vec<bool>,
     bandwidth: Vec<u32>,
     gens: Vec<u32>,
     free: Vec<u32>,
     live: usize,
 }
 
-impl<'p> CallTable<'p> {
+impl CallTable {
     /// An empty table.
     pub fn new() -> Self {
-        Self {
-            links: Vec::new(),
-            bandwidth: Vec::new(),
-            gens: Vec::new(),
-            free: Vec::new(),
-            live: 0,
-        }
+        Self::default()
     }
 
-    /// Registers a call; returns its `(slot, generation)` handle.
-    pub fn insert(&mut self, links: &'p [Link], bandwidth: u32) -> (u32, u32) {
+    /// Empties the table for a fresh replication, keeping the arena and
+    /// column allocations (slot regions are rebuilt as calls arrive).
+    pub fn reset(&mut self) {
+        self.arena.clear();
+        self.start.clear();
+        self.region.clear();
+        self.path_len.clear();
+        self.occupied.clear();
+        self.bandwidth.clear();
+        self.gens.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+
+    /// Registers a call, copying its path into the arena; returns its
+    /// `(slot, generation)` handle.
+    pub fn insert(&mut self, links: &[Link], bandwidth: u32) -> (u32, u32) {
+        let plen = u32::try_from(links.len()).expect("path shorter than 2^32 links");
         self.live += 1;
         match self.free.pop() {
             Some(id) => {
-                debug_assert!(
-                    self.links[id as usize].is_none(),
-                    "free list held a live slot"
-                );
-                self.links[id as usize] = Some(links);
-                self.bandwidth[id as usize] = bandwidth;
-                (id, self.gens[id as usize])
+                let slot = id as usize;
+                debug_assert!(!self.occupied[slot], "free list held a live slot");
+                if self.region[slot] < plen {
+                    // The recycled region is too small: park the call in
+                    // a fresh region at the arena's end. The old region
+                    // leaks until reset — bounded, since regions only
+                    // grow to the longest path a slot ever carried.
+                    self.start[slot] = self.arena.len();
+                    self.region[slot] = plen;
+                    self.arena.resize(self.arena.len() + links.len(), 0);
+                }
+                let at = self.start[slot];
+                self.arena[at..at + links.len()].copy_from_slice(links);
+                self.path_len[slot] = plen;
+                self.occupied[slot] = true;
+                self.bandwidth[slot] = bandwidth;
+                (id, self.gens[slot])
             }
             None => {
-                let id = u32::try_from(self.links.len()).expect("fewer than 2^32 concurrent calls");
-                self.links.push(Some(links));
+                let id = u32::try_from(self.start.len()).expect("fewer than 2^32 concurrent calls");
+                self.start.push(self.arena.len());
+                self.region.push(plen);
+                self.path_len.push(plen);
+                self.occupied.push(true);
                 self.bandwidth.push(bandwidth);
                 self.gens.push(0);
+                self.arena.extend_from_slice(links);
                 (id, 0)
             }
         }
     }
 
-    /// Ends the call `(id, gen)` and returns its path links and booked
-    /// bandwidth, or `None` if the handle is stale (already ended, slot
-    /// possibly reused).
-    pub fn take(&mut self, id: u32, gen: u32) -> Option<(&'p [Link], u32)> {
+    /// Ends the call `(id, gen)`, copies its path into `path` (replacing
+    /// the previous contents), and returns its booked bandwidth — or
+    /// `None`, leaving `path` untouched, if the handle is stale (already
+    /// ended, slot possibly reused).
+    pub fn take_into(&mut self, id: u32, gen: u32, path: &mut Vec<Link>) -> Option<u32> {
         let slot = id as usize;
-        if self.gens[slot] != gen {
+        if self.gens[slot] != gen || !self.occupied[slot] {
             return None;
         }
-        let links = self.links[slot].take()?;
+        let at = self.start[slot];
+        path.clear();
+        path.extend_from_slice(&self.arena[at..at + self.path_len[slot] as usize]);
+        self.occupied[slot] = false;
         // Invalidate every outstanding handle to this slot before reuse.
         self.gens[slot] = gen.wrapping_add(1);
         self.free.push(id);
         self.live -= 1;
-        Some((links, self.bandwidth[slot]))
+        Some(self.bandwidth[slot])
     }
 
     /// Whether the handle still refers to a call in progress.
     pub fn is_live(&self, id: u32, gen: u32) -> bool {
-        self.gens[id as usize] == gen && self.links[id as usize].is_some()
+        self.gens[id as usize] == gen && self.occupied[id as usize]
     }
 
     /// Calls currently in progress.
@@ -552,13 +604,7 @@ impl<'p> CallTable<'p> {
 
     /// Most slots ever allocated (≈ peak concurrent calls).
     pub fn high_water(&self) -> usize {
-        self.links.len()
-    }
-}
-
-impl Default for CallTable<'_> {
-    fn default() -> Self {
-        Self::new()
+        self.start.len()
     }
 }
 
@@ -570,7 +616,7 @@ impl Default for CallTable<'_> {
 /// calls that booked it. Departures only decrement a live counter (O(1)
 /// per link of the path); stale handles are purged amortized, whenever
 /// a link's entry list grows past twice its live count.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct LinkIndex {
     entries: Vec<Vec<(u32, u32)>>,
     live: Vec<usize>,
@@ -579,10 +625,24 @@ pub struct LinkIndex {
 impl LinkIndex {
     /// An empty index over `num_links` links.
     pub fn new(num_links: usize) -> Self {
-        Self {
-            entries: vec![Vec::new(); num_links],
-            live: vec![0; num_links],
+        let mut index = Self {
+            entries: Vec::new(),
+            live: Vec::new(),
+        };
+        index.reset(num_links);
+        index
+    }
+
+    /// Empties the index and resizes it to `num_links` links, keeping
+    /// the per-link entry allocations where the link count allows.
+    pub fn reset(&mut self, num_links: usize) {
+        for entries in &mut self.entries {
+            entries.clear();
         }
+        self.entries.resize_with(num_links, Vec::new);
+        self.entries.truncate(num_links);
+        self.live.clear();
+        self.live.resize(num_links, 0);
     }
 
     /// Registers a routed call on every link of its path.
@@ -596,7 +656,7 @@ impl LinkIndex {
     /// Notes that the call held by a handle left `link` (departure or
     /// teardown); compacts the link's entries when stale handles
     /// dominate.
-    pub fn remove_one(&mut self, link: Link, table: &CallTable<'_>) {
+    pub fn remove_one(&mut self, link: Link, table: &CallTable) {
         self.live[link] -= 1;
         // The +8 slack keeps tiny lists from compacting on every call.
         if self.entries[link].len() > 2 * self.live[link] + 8 {
@@ -604,12 +664,54 @@ impl LinkIndex {
         }
     }
 
-    /// Takes the failed link's full handle list (live and stale mixed;
-    /// the caller validates each against the call table).
-    pub fn drain(&mut self, link: Link) -> Vec<(u32, u32)> {
+    /// Moves the failed link's full handle list (live and stale mixed;
+    /// the caller validates each against the call table) into `out`,
+    /// replacing its contents. The two buffers swap, so both the index
+    /// entry and the caller's buffer keep their allocations across
+    /// outages.
+    pub fn drain_into(&mut self, link: Link, out: &mut Vec<(u32, u32)>) {
         self.live[link] = 0;
-        std::mem::take(&mut self.entries[link])
+        out.clear();
+        std::mem::swap(out, &mut self.entries[link]);
     }
+}
+
+/// Reusable per-replication scratch: the calendar event queue, link
+/// state, call table, link index, and every working buffer one kernel
+/// run needs. [`run_pooled`] resets and reuses a scratch instead of
+/// reallocating it, so a worker thread replaying many seeds touches the
+/// allocator only when a run outgrows every previous one.
+///
+/// A freshly reset scratch behaves identically to a fresh one — reuse
+/// recycles capacity, never state — so pooled results stay
+/// byte-identical to [`run`].
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    queue: CalendarQueue<Event>,
+    state: LoopState,
+}
+
+impl KernelScratch {
+    /// An empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Everything [`run_loop`] needs besides the event queue, so the
+/// reference and calendar entry points share one reset path.
+#[derive(Debug, Default)]
+struct LoopState {
+    links: LinkOccupancy,
+    calls: CallTable,
+    index: LinkIndex,
+    /// Time-weighted occupancy per link, for the utilization gauge.
+    occupancy: Vec<TimeWeighted>,
+    streams: Vec<RngStream>,
+    /// The path of the call currently being torn down or departing.
+    path_buf: Vec<Link>,
+    /// Handles drained from a failed link's index entry.
+    torn: Vec<(u32, u32)>,
 }
 
 /// Runs one replication of the kernel with the given admission policy,
@@ -631,6 +733,86 @@ where
     R: RouteSelector<'p>,
     O: KernelObserver,
 {
+    run_pooled(
+        spec,
+        admission,
+        selector,
+        observer,
+        &mut KernelScratch::new(),
+    )
+}
+
+/// As [`run`], but recycling `scratch` across calls: all per-replication
+/// state is reset, not reallocated. The outcome is byte-identical to
+/// [`run`] for any scratch history (see [`KernelScratch`]).
+pub fn run_pooled<'p, A, R, O>(
+    spec: &KernelSpec<'_>,
+    admission: &mut A,
+    selector: &mut R,
+    observer: &mut O,
+    scratch: &mut KernelScratch,
+) -> KernelOutcome
+where
+    A: AdmissionPolicy,
+    R: RouteSelector<'p>,
+    O: KernelObserver,
+{
+    scratch.queue.reset();
+    run_loop(
+        spec,
+        admission,
+        selector,
+        observer,
+        &mut scratch.queue,
+        &mut scratch.state,
+    )
+}
+
+/// As [`run`], but on the comparison-based `BinaryHeap`
+/// [`EventQueue`] instead of the calendar queue — the differential
+/// baseline: both entry points must produce identical outcomes (and
+/// identical observer streams) for every spec, and their wall-clock
+/// ratio is the calendar queue's measured speedup.
+pub fn run_reference<'p, A, R, O>(
+    spec: &KernelSpec<'_>,
+    admission: &mut A,
+    selector: &mut R,
+    observer: &mut O,
+) -> KernelOutcome
+where
+    A: AdmissionPolicy,
+    R: RouteSelector<'p>,
+    O: KernelObserver,
+{
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    run_loop(
+        spec,
+        admission,
+        selector,
+        observer,
+        &mut queue,
+        &mut LoopState::default(),
+    )
+}
+
+/// The event loop itself, generic over the queue implementation. The
+/// caller hands in an empty queue with its clock at zero and a state
+/// arena in any condition; the loop resets the state from `spec` before
+/// scheduling anything.
+fn run_loop<'p, A, R, O, Q>(
+    spec: &KernelSpec<'_>,
+    admission: &mut A,
+    selector: &mut R,
+    observer: &mut O,
+    queue: &mut Q,
+    state: &mut LoopState,
+) -> KernelOutcome
+where
+    A: AdmissionPolicy,
+    R: RouteSelector<'p>,
+    O: KernelObserver,
+    Q: EventSchedule<Event>,
+{
     let started = std::time::Instant::now();
     let config = &spec.config;
     assert!(
@@ -640,16 +822,28 @@ where
     if let Some(interval) = config.tick_interval {
         assert!(interval > 0.0, "tick interval must be positive");
     }
+    debug_assert!(
+        queue.is_empty() && queue.now() == 0.0,
+        "run_loop needs a reset queue"
+    );
     let end = config.warmup + config.horizon;
 
-    let mut links = LinkOccupancy::new(spec.capacities);
+    let LoopState {
+        links,
+        calls,
+        index,
+        occupancy,
+        streams,
+        path_buf,
+        torn,
+    } = state;
+    links.reset(spec.capacities);
     for &l in spec.static_down {
         links.set_down(l);
     }
 
     let factory = StreamFactory::new(config.seed);
-    let mut streams: Vec<RngStream> = Vec::with_capacity(spec.sources.len());
-    let mut queue: EventQueue<Event> = EventQueue::new();
+    streams.clear();
     for (i, source) in spec.sources.iter().enumerate() {
         assert!(
             (source.tally as usize) < config.tally_slots,
@@ -679,16 +873,15 @@ where
         }
     }
 
-    let mut calls = CallTable::new();
-    let mut index = LinkIndex::new(links.num_links());
-    // Time-weighted occupancy per link, for the utilization gauge.
-    let mut occupancy: Vec<TimeWeighted> = (0..links.num_links())
-        .map(|_| {
-            let mut tw = TimeWeighted::new(config.warmup);
-            tw.record(0.0, 0.0);
-            tw
-        })
-        .collect();
+    calls.reset();
+    index.reset(links.num_links());
+    occupancy.clear();
+    let initial_occupancy = {
+        let mut tw = TimeWeighted::new(config.warmup);
+        tw.record(0.0, 0.0);
+        tw
+    };
+    occupancy.resize(links.num_links(), initial_occupancy);
     let mut metrics = EngineMetrics::default();
     metrics.observe_queue_len(queue.len());
     // Counters the loop accumulates; the outcome is assembled exactly
@@ -735,7 +928,7 @@ where
                     offered += 1;
                     tally_offered[s.tally as usize] += 1;
                 }
-                match selector.select(s.src, s.dst, pick, &links, admission, s.bandwidth) {
+                match selector.select(s.src, s.dst, pick, links, admission, s.bandwidth) {
                     Selection::Route { links: path, tier } => {
                         observer.arrival_routed(now, s.tag, tier, path, hold, measured);
                         links.book(path, s.bandwidth);
@@ -767,13 +960,13 @@ where
                 // A call torn down by a failure leaves a stale departure;
                 // the generation check also rejects it if the slot has
                 // been reassigned to a newer call since.
-                if let Some((path, bandwidth)) = calls.take(call, gen) {
+                if let Some(bandwidth) = calls.take_into(call, gen, path_buf) {
                     observer.departure(now, call, gen, false);
-                    links.release(path, bandwidth);
-                    for &l in path {
+                    links.release(path_buf, bandwidth);
+                    for &l in path_buf.iter() {
                         occupancy[l].record(now, f64::from(links.occupancy(l)));
                         observer.occupancy_changed(now, l, links.occupancy(l));
-                        index.remove_one(l, &calls);
+                        index.remove_one(l, calls);
                     }
                 } else {
                     observer.departure(now, call, gen, true);
@@ -788,17 +981,18 @@ where
                     links.set_down(link);
                     // Tear down calls in progress over the failed link —
                     // only that link's entries, not the whole call table.
-                    for (id, gen) in index.drain(link) {
-                        let Some((path, bandwidth)) = calls.take(id, gen) else {
+                    index.drain_into(link, torn);
+                    for &(id, gen) in torn.iter() {
+                        let Some(bandwidth) = calls.take_into(id, gen, path_buf) else {
                             continue;
                         };
                         observer.teardown(now, id, gen, now >= config.warmup);
-                        links.release(path, bandwidth);
-                        for &l in path {
+                        links.release(path_buf, bandwidth);
+                        for &l in path_buf.iter() {
                             occupancy[l].record(now, f64::from(links.occupancy(l)));
                             observer.occupancy_changed(now, l, links.occupancy(l));
                             if l != link {
-                                index.remove_one(l, &calls);
+                                index.remove_one(l, calls);
                             }
                         }
                         if now >= config.warmup {
@@ -930,6 +1124,73 @@ mod tests {
         let a = single_link_spec(&[12], &sources);
         let b = single_link_spec(&[12], &sources);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_queue_and_recycled_scratch_match_fresh_runs() {
+        // One spec with outages (stale departures, teardown paths) and a
+        // second, differently shaped spec: a fresh run, the BinaryHeap
+        // reference, and a scratch recycled across both specs must all
+        // produce identical outcomes.
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 8.0,
+            bandwidth: 1,
+            tag: 0,
+            tally: 0,
+        }];
+        let events: Vec<LinkEvent> = (0..20)
+            .map(|i| LinkEvent {
+                at: 5.0 + f64::from(i) * 5.0,
+                link: 0,
+                up: i % 2 == 1,
+            })
+            .collect();
+        let churn = KernelSpec {
+            config: KernelConfig {
+                warmup: 10.0,
+                horizon: 150.0,
+                seed: 9,
+                draw_pick: true,
+                tick_interval: Some(7.0),
+                tally_slots: 1,
+            },
+            capacities: &[10],
+            static_down: &[],
+            sources: &sources,
+            link_events: &events,
+        };
+        let calm = KernelSpec {
+            config: KernelConfig {
+                warmup: 0.0,
+                horizon: 80.0,
+                seed: 5,
+                draw_pick: false,
+                tick_interval: None,
+                tally_slots: 1,
+            },
+            capacities: &[6, 6],
+            static_down: &[1],
+            sources: &sources,
+            link_events: &[],
+        };
+
+        let mut scratch = KernelScratch::new();
+        for spec in [&churn, &calm, &churn] {
+            let fresh = run(spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+            let reference = run_reference(spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+            let pooled = run_pooled(
+                spec,
+                &mut Uncontrolled,
+                &mut OneLink,
+                &mut NullObserver,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reference);
+            assert_eq!(fresh, pooled);
+        }
     }
 
     #[test]

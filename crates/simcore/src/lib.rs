@@ -9,7 +9,13 @@
 //!
 //! * [`queue`] — a stable event queue: events at equal timestamps pop in
 //!   insertion order, so simulations are bit-deterministic functions of
-//!   their inputs.
+//!   their inputs. The binary-heap [`EventQueue`] is the reference
+//!   implementation; the O(1)-amortized [`calendar`] queue drives the
+//!   kernel's hot path with the identical `(time, seq)` pop order.
+//! * [`calendar`] — Brown's calendar queue behind the same
+//!   [`queue::EventSchedule`] contract, with far-future overflow
+//!   handling and a [`CalendarQueue::reset`] that recycles its buckets
+//!   across replications.
 //! * [`rng`] — seed-derived independent random-number streams (one per
 //!   O–D pair, for common random numbers across policies) with
 //!   exponential/Poisson sampling.
@@ -34,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod calendar;
 pub mod kernel;
 pub mod metrics;
 pub mod pool;
@@ -42,8 +49,9 @@ pub mod rng;
 pub mod stats;
 pub mod timeweighted;
 
+pub use calendar::CalendarQueue;
 pub use metrics::EngineMetrics;
-pub use pool::{pool_run, ProgressObserver};
-pub use queue::EventQueue;
+pub use pool::{pool_run, pool_run_with, ProgressObserver};
+pub use queue::{EventQueue, EventSchedule};
 pub use rng::{RngStream, StreamFactory};
 pub use stats::{BlockingSummary, Replications, RunningStats, WarmupCounter};

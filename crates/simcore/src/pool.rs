@@ -30,6 +30,31 @@ pub fn pool_run<T: Send>(
     progress: Option<&dyn ProgressObserver>,
     job: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    pool_run_with(jobs, workers, progress, || (), |(), i| job(i))
+}
+
+/// As [`pool_run`], with a per-worker scratch state: every worker thread
+/// builds one `S` with `init` when it starts and hands it to each job it
+/// runs. Replication runners use this to recycle a simulation scratch
+/// arena (event-queue buckets, call table, link index) across the seeds
+/// a worker processes, instead of reallocating per replication.
+///
+/// The scratch must never leak information between jobs that changes
+/// results: `job(&mut s, i)` is required to return the same value as it
+/// would with a fresh `S` (the kernel's scratch guarantees this by
+/// resetting everything it reuses), keeping results byte-identical to a
+/// sequential run for every worker count.
+///
+/// # Panics
+///
+/// Panics if `jobs` or `workers` is zero, or if a job panics.
+pub fn pool_run_with<S, T: Send>(
+    jobs: usize,
+    workers: usize,
+    progress: Option<&dyn ProgressObserver>,
+    init: impl Fn() -> S + Sync,
+    job: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T> {
     assert!(jobs > 0, "need at least one job");
     assert!(workers > 0, "need at least one worker");
     let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
@@ -45,14 +70,18 @@ pub fn pool_run<T: Send>(
         let rx = std::sync::Mutex::new(rx);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Hold the lock only to dequeue; the job runs outside.
-                    let next = rx.lock().expect("no panic while dequeueing").recv();
-                    let Ok((i, slot)) = next else { break };
-                    *slot = Some(job(i));
-                    if let Some(p) = progress {
-                        let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                        p.replication_done(completed, jobs);
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    loop {
+                        // Hold the lock only to dequeue; the job runs outside.
+                        let next = rx.lock().expect("no panic while dequeueing").recv();
+                        let Ok((i, slot)) = next else { break };
+                        *slot = Some(job(&mut scratch, i));
+                        if let Some(p) = progress {
+                            let completed =
+                                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                            p.replication_done(completed, jobs);
+                        }
                     }
                 });
             }
@@ -105,5 +134,26 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn zero_jobs_panics() {
         pool_run(0, 1, None, |i| i);
+    }
+
+    #[test]
+    fn scratch_is_per_worker_and_results_stay_positional() {
+        // Each worker's scratch counts the jobs it ran; results must be
+        // positional regardless, and the scratch instances must jointly
+        // cover all jobs exactly once.
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let out = pool_run_with(
+            50,
+            4,
+            None,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                i * 3
+            },
+        );
+        assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(ran.load(std::sync::atomic::Ordering::Relaxed), 50);
     }
 }

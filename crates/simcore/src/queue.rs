@@ -4,9 +4,46 @@
 //! a simulation that schedules events deterministically *is* deterministic
 //! end to end — no dependence on heap internals. Timestamps are `f64`
 //! simulation time; NaN timestamps are rejected at insertion.
+//!
+//! Two implementations share the `(time, seq)` contract through the
+//! [`EventSchedule`] trait: [`EventQueue`] here is the comparison-based
+//! `BinaryHeap` reference (O(log n) per operation, trivially correct),
+//! and [`CalendarQueue`](crate::calendar::CalendarQueue) is the
+//! O(1)-amortized calendar queue the simulation kernel runs on. The
+//! reference stays as the differential-testing and benchmark baseline:
+//! both must pop any NaN-free event stream in the identical order.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// The scheduling contract shared by every event-queue implementation:
+/// events pop in `(time, insertion sequence)` order, the clock advances
+/// only on [`pop`](EventSchedule::pop), and NaN timestamps are rejected.
+///
+/// Scheduling before the current clock is a causality bug in the caller;
+/// both implementations reject it with a *debug* assertion (the check is
+/// compiled out of release hot paths) and, when debug assertions are
+/// disabled, order such an event as if it fired at the earliest still
+/// poppable instant.
+pub trait EventSchedule<E> {
+    /// Schedules `event` at absolute time `time`.
+    fn schedule(&mut self, time: f64, event: E);
+    /// Schedules `event` at `delay` after the current clock.
+    fn schedule_in(&mut self, delay: f64, event: E);
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    fn pop(&mut self) -> Option<(f64, E)>;
+    /// The timestamp of the next event without popping it (`&mut` so
+    /// implementations may cache the search for the following pop).
+    fn peek_time(&mut self) -> Option<f64>;
+    /// Current simulation time (timestamp of the last popped event).
+    fn now(&self) -> f64;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// An event queue ordered by `(time, insertion sequence)`.
 #[derive(Debug, Clone)]
@@ -66,11 +103,14 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `time` is NaN or earlier than the current clock
-    /// (scheduling into the past breaks causality).
+    /// Panics if `time` is NaN, or (debug builds only) if `time` is
+    /// earlier than the current clock — scheduling into the past breaks
+    /// causality, so it is asserted where assertions are free and
+    /// tolerated (the event fires as early as possible) in optimized
+    /// hot paths.
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(
+        debug_assert!(
             time >= self.now,
             "cannot schedule into the past: now={}, requested={time}",
             self.now
@@ -88,9 +128,9 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `delay` is negative or NaN.
+    /// Panics if `delay` is NaN, or (debug builds only) negative.
     pub fn schedule_in(&mut self, delay: f64, event: E) {
-        assert!(delay >= 0.0, "delay must be >= 0, got {delay}");
+        debug_assert!(delay >= 0.0, "delay must be >= 0, got {delay}");
         self.schedule(self.now + delay, event);
     }
 
@@ -119,6 +159,38 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Empties the queue and rewinds the clock and sequence counter to
+    /// zero, retaining the heap's allocation for reuse.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = 0.0;
+    }
+}
+
+impl<E> EventSchedule<E> for EventQueue<E> {
+    fn schedule(&mut self, time: f64, event: E) {
+        EventQueue::schedule(self, time, event);
+    }
+    fn schedule_in(&mut self, delay: f64, event: E) {
+        EventQueue::schedule_in(self, delay, event);
+    }
+    fn pop(&mut self) -> Option<(f64, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<f64> {
+        EventQueue::peek_time(self)
+    }
+    fn now(&self) -> f64 {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
     }
 }
 
@@ -182,6 +254,10 @@ mod tests {
         assert_eq!(q.pop(), Some((1.0, "c")));
     }
 
+    // Past-time and negative-delay insertion are causality bugs in the
+    // caller; they are debug assertions (compiled out of release hot
+    // paths), so the regression tests only exist under debug assertions.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "into the past")]
     fn scheduling_into_the_past_panics() {
@@ -198,10 +274,23 @@ mod tests {
         q.schedule(f64::NAN, ());
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "delay must be >= 0")]
     fn negative_delay_panics() {
         let mut q: EventQueue<()> = EventQueue::new();
         q.schedule_in(-0.1, ());
+    }
+
+    #[test]
+    fn reset_reuses_the_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "x");
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), 0.0);
+        q.schedule(1.0, "fresh");
+        assert_eq!(q.pop(), Some((1.0, "fresh")));
     }
 }

@@ -1,5 +1,13 @@
-//! Property-based tests of the event queue, RNG streams, and statistics.
+//! Property-based tests of the event queues, RNG streams, and statistics.
+//!
+//! The calendar-queue suite at the bottom is the differential oracle for
+//! the kernel's hot path: for any NaN-free stream of `(time, seq)`
+//! insertions and pops, [`CalendarQueue`] must produce exactly the pop
+//! sequence of the comparison-based [`EventQueue`] — including FIFO
+//! order within equal-timestamp runs, across bucket-array resizes, year
+//! rotations, and the far-future overflow list.
 
+use altroute_simcore::calendar::CalendarQueue;
 use altroute_simcore::queue::EventQueue;
 use altroute_simcore::rng::{RngStream, StreamFactory};
 use altroute_simcore::stats::{Replications, RunningStats};
@@ -99,5 +107,129 @@ proptest! {
         prop_assert!(r.std_error >= 0.0);
         prop_assert_eq!(r.replications as usize, xs.len());
         prop_assert!(r.ci_contains(r.mean));
+    }
+}
+
+/// Drains both queues fully and asserts identical `(time, payload)` pop
+/// sequences.
+fn assert_drains_equal(
+    heap: &mut EventQueue<usize>,
+    cal: &mut CalendarQueue<usize>,
+) -> Result<(), TestCaseError> {
+    loop {
+        let (a, b) = (heap.pop(), cal.pop());
+        prop_assert_eq!(a, b, "calendar diverged from heap while draining");
+        if a.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+proptest! {
+    /// For an arbitrary NaN-free stream of interleaved schedules and
+    /// pops, the calendar queue reproduces the heap's pop sequence
+    /// exactly — same times, same payloads, same order.
+    #[test]
+    fn calendar_matches_heap_interleaved(
+        ops in proptest::collection::vec((0.0f64..50.0, 0u8..4), 1..300)
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, &(delay, kind)) in ops.iter().enumerate() {
+            if kind == 0 {
+                prop_assert_eq!(heap.pop(), cal.pop());
+            } else {
+                heap.schedule_in(delay, i);
+                cal.schedule_in(delay, i);
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        assert_drains_equal(&mut heap, &mut cal)?;
+    }
+
+    /// Timestamps drawn from a tiny discrete set produce long
+    /// equal-timestamp runs; the calendar queue must preserve the heap's
+    /// FIFO (sequence-number) order through every run.
+    #[test]
+    fn calendar_preserves_fifo_runs(
+        ticks in proptest::collection::vec(0u8..6, 1..400)
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, &tick) in ticks.iter().enumerate() {
+            let t = f64::from(tick);
+            heap.schedule(t, i);
+            cal.schedule(t, i);
+        }
+        let mut last: Option<(f64, usize)> = None;
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            prop_assert_eq!(a, b);
+            let Some((t, seq)) = a else { break };
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated within an equal-time run");
+                }
+            }
+            last = Some((t, seq));
+        }
+    }
+
+    /// Delays drawn from a bimodal mixture (dense sub-unit spacing and
+    /// sparse hundred-unit jumps) force the calendar to re-estimate its
+    /// bucket width and grow/shrink its bucket array mid-stream, and
+    /// drive the clock across many year rotations. The pop order must
+    /// survive every resize and rotation.
+    #[test]
+    fn calendar_survives_resize_and_rotation(
+        ops in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..500)
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, &(frac, sparse)) in ops.iter().enumerate() {
+            let delay = if sparse { frac * 400.0 } else { frac * 0.05 };
+            heap.schedule_in(delay, i);
+            cal.schedule_in(delay, i);
+            // Pop in bursts so the queue repeatedly empties toward a
+            // handful of events (shrink pressure) then refills (grow
+            // pressure) while the clock advances across bucket years.
+            if i % 7 == 0 {
+                for _ in 0..5 {
+                    prop_assert_eq!(heap.pop(), cal.pop());
+                }
+            }
+        }
+        assert_drains_equal(&mut heap, &mut cal)?;
+    }
+
+    /// Events far beyond the current calendar year land on the overflow
+    /// path; they must still interleave correctly with near-term events
+    /// once the clock reaches them.
+    #[test]
+    fn calendar_handles_far_future_overflow(
+        near in proptest::collection::vec(0.0f64..10.0, 1..100),
+        far in proptest::collection::vec(1e6f64..1e12, 1..20)
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut seq = 0usize;
+        for (i, &d) in near.iter().enumerate() {
+            heap.schedule_in(d, seq);
+            cal.schedule_in(d, seq);
+            seq += 1;
+            if i < far.len() {
+                heap.schedule_in(far[i], seq);
+                cal.schedule_in(far[i], seq);
+                seq += 1;
+            }
+        }
+        for &d in far.iter().skip(near.len()) {
+            heap.schedule_in(d, seq);
+            cal.schedule_in(d, seq);
+            seq += 1;
+        }
+        assert_drains_equal(&mut heap, &mut cal)?;
     }
 }

@@ -1,26 +1,45 @@
 #!/usr/bin/env bash
-# Repo-wide checks: formatting, lints as errors, and the full test suite.
-# Run from anywhere; operates on the workspace containing this script.
+# Repo-wide checks, split into selectable stages so CI can run them as
+# separate pipeline steps and developers can re-run just the one that
+# failed:
+#
+#   scripts/check.sh [stage ...]
+#
+# Stages: fmt | clippy | test | conformance | telemetry | parity |
+# bench-smoke | all (default). Unknown stages fail fast. Run from
+# anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --all --check
-cargo clippy --workspace --all-targets -- -D warnings
-cargo test --workspace -q
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+stage_fmt() {
+  cargo fmt --all --check
+}
+
+stage_clippy() {
+  cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_test() {
+  cargo test --workspace -q
+}
 
 # Conformance: differential oracles, golden-trace replay, and scenario
 # fuzzing, in --release as well — the optimized build is what produces the
 # paper's numbers, and this catches optimization-only numeric drift. Fixed
 # seeds throughout; the whole stage runs in well under a minute.
-cargo test --release -q -p altroute-conformance
-cargo run --release -q -p altroute-experiments --bin altroute_cli -- conformance
+stage_conformance() {
+  cargo test --release -q -p altroute-conformance
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- conformance
+}
 
 # Telemetry: a fixed-seed quadrangle-outage run must produce all three
 # export formats (Prometheus text, CSV time series, JSON snapshot) and the
 # report subcommand must render the JSON back. Deterministic; a few seconds.
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
-cat > "$tmpdir/outage.json" <<'EOF'
+stage_telemetry() {
+  cat > "$tmpdir/outage.json" <<'EOF'
 {
   "topology": { "builtin": "quadrangle" },
   "traffic": { "uniform": 85.0 },
@@ -33,25 +52,26 @@ cat > "$tmpdir/outage.json" <<'EOF'
   "base_seed": 42
 }
 EOF
-cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
-  simulate "$tmpdir/outage.json" --telemetry "$tmpdir/out" --window 5
-for policy in single-path controlled; do
-  grep -q '^altroute_calls_offered_total ' "$tmpdir/out/$policy.prom"
-  grep -q '^altroute_holding_time_bucket{' "$tmpdir/out/$policy.prom"
-  head -1 "$tmpdir/out/${policy}_blocking.csv" | \
-    grep -q '^window_start,window_end,offered,blocked,blocking,alternate_fraction,teardowns$'
-  head -1 "$tmpdir/out/${policy}_links.csv" | grep -q '^link,'
-done
-grep -q '"window_width": 5' "$tmpdir/out/telemetry.json"
-cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
-  telemetry "$tmpdir/out" > /dev/null
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    simulate "$tmpdir/outage.json" --telemetry "$tmpdir/out" --window 5
+  for policy in single-path controlled; do
+    grep -q '^altroute_calls_offered_total ' "$tmpdir/out/$policy.prom"
+    grep -q '^altroute_holding_time_bucket{' "$tmpdir/out/$policy.prom"
+    head -1 "$tmpdir/out/${policy}_blocking.csv" | \
+      grep -q '^window_start,window_end,offered,blocked,blocking,alternate_fraction,teardowns$'
+    head -1 "$tmpdir/out/${policy}_links.csv" | grep -q '^link,'
+  done
+  grep -q '"window_width": 5' "$tmpdir/out/telemetry.json"
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    telemetry "$tmpdir/out" > /dev/null
+}
 
 # Kernel parity: the golden traces must replay byte-identically through
 # the kernel-backed engine, solo and fanned out (the dedicated test), and
 # a fixed-seed run of every policy combination on every kernel-backed
 # engine must succeed and be bit-stable across two invocations.
-cargo test --release -q -p altroute-conformance --test kernel_parity
-cat > "$tmpdir/parity.json" <<'EOF'
+stage_parity() {
+  cat > "$tmpdir/parity.json" <<'EOF'
 {
   "topology": { "builtin": "quadrangle" },
   "traffic": { "uniform": 90.0 },
@@ -63,18 +83,59 @@ cat > "$tmpdir/parity.json" <<'EOF'
   "base_seed": 7
 }
 EOF
-parity() { # <name> <cli args...>: run twice, require identical output
-  local name="$1"; shift
-  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
-    "$@" > "$tmpdir/parity_$name.a"
-  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
-    "$@" > "$tmpdir/parity_$name.b"
-  cmp "$tmpdir/parity_$name.a" "$tmpdir/parity_$name.b"
-  grep -q '0\.' "$tmpdir/parity_$name.a" # a blocking probability rendered
+  cargo test --release -q -p altroute-conformance --test kernel_parity
+  parity() { # <name> <cli args...>: run twice, require identical output
+    local name="$1"; shift
+    cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+      "$@" > "$tmpdir/parity_$name.a"
+    cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+      "$@" > "$tmpdir/parity_$name.b"
+    cmp "$tmpdir/parity_$name.a" "$tmpdir/parity_$name.b"
+    grep -q '0\.' "$tmpdir/parity_$name.a" # a blocking probability rendered
+  }
+  parity simulate  simulate  "$tmpdir/parity.json"
+  parity ottk      simulate  "$tmpdir/parity.json" --policy ott-krishnan
+  parity dar       simulate  "$tmpdir/parity.json" --policy dar
+  parity adaptive  adaptive  "$tmpdir/parity.json"
+  parity multirate multirate "$tmpdir/parity.json"
+  parity signaling signaling "$tmpdir/parity.json"
 }
-parity simulate  simulate  "$tmpdir/parity.json"
-parity ottk      simulate  "$tmpdir/parity.json" --policy ott-krishnan
-parity dar       simulate  "$tmpdir/parity.json" --policy dar
-parity adaptive  adaptive  "$tmpdir/parity.json"
-parity multirate multirate "$tmpdir/parity.json"
-parity signaling signaling "$tmpdir/parity.json"
+
+# Bench smoke: the perf-baseline binary must run end to end in --quick
+# mode and emit a report that passes its own schema validation. No
+# timing thresholds here — the non-blocking regression gate is
+# scripts/bench_gate.sh.
+stage_bench_smoke() {
+  cargo run --release -q -p altroute-bench --bin bench_report -- \
+    --quick --out "$tmpdir/bench_quick.json"
+  cargo run --release -q -p altroute-bench --bin bench_report -- \
+    --validate "$tmpdir/bench_quick.json"
+}
+
+run_stage() {
+  case "$1" in
+    fmt)         stage_fmt ;;
+    clippy)      stage_clippy ;;
+    test)        stage_test ;;
+    conformance) stage_conformance ;;
+    telemetry)   stage_telemetry ;;
+    parity)      stage_parity ;;
+    bench-smoke) stage_bench_smoke ;;
+    all)
+      stage_fmt; stage_clippy; stage_test
+      stage_conformance; stage_telemetry; stage_parity; stage_bench_smoke
+      ;;
+    *)
+      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry parity bench-smoke all" >&2
+      exit 2
+      ;;
+  esac
+}
+
+if [ "$#" -eq 0 ]; then
+  set -- all
+fi
+for stage in "$@"; do
+  echo "== check.sh: $stage =="
+  run_stage "$stage"
+done

@@ -17,11 +17,15 @@ use altroute_core::policy::PolicyKind;
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_sim::engine::{run_seed_pooled, run_seed_traced, RunConfig, SeedResult};
+use altroute_sim::engine::{
+    run_seed_pooled, run_seed_sharded_pooled, run_seed_sharded_traced, run_seed_traced, RunConfig,
+    SeedResult,
+};
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::trace::{diff_traces, BinaryTraceWriter, TraceDiff};
 use altroute_simcore::kernel::KernelScratch;
 use altroute_simcore::pool::pool_run_with;
+use altroute_simcore::shard::{Partition, ShardSpec};
 use std::path::PathBuf;
 
 /// Whether to record a scenario as specified or with a deliberate
@@ -170,6 +174,78 @@ pub fn scenario_replications(name: &str, seeds: u32, workers: usize) -> Vec<Seed
             )
         },
     )
+}
+
+/// As [`record_scenario`] (nominal), but recorded through the sharded
+/// kernel entry with `num_shards` shards. A trace sink observes every
+/// event, which forces the serial fallback, so the bytes must match the
+/// checked-in golden trace exactly — this pins the sharded plumbing
+/// (footprint computation, spec validation, fallback detection) to the
+/// golden contract.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name or an invalid shard spec.
+pub fn record_scenario_sharded(name: &str, num_shards: usize) -> Vec<u8> {
+    let s = scenario(name);
+    let spec = ShardSpec::new(
+        s.plan.topology().num_links(),
+        num_shards,
+        Partition::Contiguous,
+    );
+    let mut writer = BinaryTraceWriter::new(s.seed, name);
+    run_seed_sharded_traced(
+        &RunConfig {
+            plan: &s.plan,
+            policy: s.policy,
+            traffic: &s.traffic,
+            warmup: s.warmup,
+            horizon: s.horizon,
+            seed: s.seed,
+            failures: &s.failures,
+        },
+        &spec,
+        &mut writer,
+    );
+    writer.finish()
+}
+
+/// As [`scenario_replications`], but through the sharded kernel backend
+/// with `num_shards` shards and the given link `partition` — the
+/// shard-parity harness. The shard count and partition must be pure
+/// scheduling details: every `(num_shards, partition)` pair must yield
+/// results byte-identical to `scenario_replications(name, seeds, 1)`.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name, `seeds == 0`, or an invalid
+/// shard spec.
+pub fn scenario_replications_sharded(
+    name: &str,
+    seeds: u32,
+    num_shards: usize,
+    partition: Partition,
+) -> Vec<SeedResult> {
+    let s = scenario(name);
+    let spec = ShardSpec::new(s.plan.topology().num_links(), num_shards, partition);
+    let mut scratch = KernelScratch::new();
+    (0..seeds)
+        .map(|i| {
+            run_seed_sharded_pooled(
+                &RunConfig {
+                    plan: &s.plan,
+                    policy: s.policy,
+                    traffic: &s.traffic,
+                    warmup: s.warmup,
+                    horizon: s.horizon,
+                    seed: s.seed + u64::from(i),
+                    failures: &s.failures,
+                },
+                &spec,
+                &mut scratch,
+            )
+        })
+        .collect()
 }
 
 /// Re-records scenario `name` and diffs against the checked-in golden

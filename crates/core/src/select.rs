@@ -104,6 +104,12 @@ impl<'p> RouteSelector<'p> for TieredSelector<'p> {
         }
         Selection::Blocked
     }
+
+    /// Stateless and a pure function of the pair's candidate-path
+    /// links, so shard-local clones are equivalent to the original.
+    fn shardable(&self) -> bool {
+        true
+    }
 }
 
 /// The Ott–Krishnan separable shadow-price rule: among the pair's
@@ -179,9 +185,19 @@ impl<'p> RouteSelector<'p> for OttKrishnanSelector<'p> {
             _ => Selection::Blocked,
         }
     }
+
+    /// The shadow-price tables are static and the decision reads only
+    /// the pair's candidate links, so shard-local clones are
+    /// equivalent to the original.
+    fn shardable(&self) -> bool {
+        true
+    }
 }
 
 /// Dynamic alternative routing with sticky random resampling (DAR).
+/// Deliberately **not** [`RouteSelector::shardable`]: the sticky state
+/// and the private resampling stream evolve with every overflow, so
+/// shard-local clones would diverge from the single-threaded oracle.
 ///
 /// Each pair remembers one *current* alternate. A call tries its
 /// primary; if the primary refuses, it tries the sticky alternate (at

@@ -75,7 +75,8 @@ use altroute_sim::adaptive::{run_adaptive_replications, run_adaptive_telemetry, 
 use altroute_sim::experiment::{Experiment, ProgressObserver, SimParams};
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::multirate::{
-    run_multirate, run_multirate_telemetry, BandwidthClass, MultirateParams, MultiratePolicy,
+    run_multirate_sharded, run_multirate_telemetry, run_multirate_with_workers, BandwidthClass,
+    MultirateParams, MultiratePolicy,
 };
 use altroute_sim::signaling::{
     run_signaling_replications, run_signaling_telemetry, SignalingConfig, SignalingPolicy,
@@ -534,9 +535,14 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
         base_seed: config.base_seed,
     };
     let window = resolve_window(flags, params.warmup, params.horizon)?;
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    flags.reject_worker_shard_conflict()?;
+    let workers = flags.worker_count();
+    if flags.shards.is_some() && flags.telemetry.is_some() {
+        eprintln!(
+            "note: --telemetry instruments every event, which requires the serial \
+             kernel; --shards only affects uninstrumented runs"
+        );
+    }
     let heartbeat = flags
         .progress
         .then(|| Heartbeat::new(config.policies.len() * params.seeds as usize));
@@ -550,6 +556,8 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
             let (r, t) = exp.run_telemetry_with_workers(kind, &params, window, workers, progress);
             snapshots.push((kind.name().to_string(), t));
             r
+        } else if let Some(shards) = flags.shards {
+            exp.run_sharded(kind, &params, shards, progress)
         } else {
             exp.run_with_progress(kind, &params, workers, progress)
         };
@@ -611,6 +619,14 @@ fn print_summary_output(
 fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
     let (config, exp, failures) = load_experiment(path)?;
     let window = resolve_window(flags, config.warmup, config.horizon)?;
+    flags.reject_worker_shard_conflict()?;
+    if flags.shards.is_some() {
+        eprintln!(
+            "note: the adaptive controller's measurement tick observes every \
+             event, which requires the serial kernel; --shards is accepted but \
+             each replication runs serially"
+        );
+    }
     let plan = exp.plan_for(PolicyKind::ControlledAlternate {
         max_hops: config.max_hops,
     });
@@ -626,7 +642,7 @@ fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
             config.seeds,
             &failures,
             &adaptive,
-            default_workers(),
+            flags.worker_count(),
             window,
         );
         snapshots.push(("adaptive".to_string(), telemetry));
@@ -641,7 +657,7 @@ fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
             config.seeds,
             &failures,
             &adaptive,
-            default_workers(),
+            flags.worker_count(),
         )
     };
     let mut table = Table::new(["policy", "blocking", "stderr", "replications"]);
@@ -686,6 +702,13 @@ fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
 fn cmd_multirate(path: &str, flags: &Flags) -> Result<(), String> {
     let (config, exp, failures) = load_experiment(path)?;
     let window = resolve_window(flags, config.warmup, config.horizon)?;
+    flags.reject_worker_shard_conflict()?;
+    if flags.shards.is_some() && flags.telemetry.is_some() {
+        eprintln!(
+            "note: --telemetry instruments every event, which requires the serial \
+             kernel; --shards only affects uninstrumented runs"
+        );
+    }
     // Two classes carved from the config traffic: a 1-unit class at the
     // configured load and a 4-unit wideband class at a tenth of it.
     let classes = [
@@ -733,8 +756,17 @@ fn cmd_multirate(path: &str, flags: &Flags) -> Result<(), String> {
                 run_multirate_telemetry(topo, &classes, policy, &params, &failures, window);
             snapshots.push((policy.name().to_string(), telemetry));
             r
+        } else if let Some(shards) = flags.shards {
+            run_multirate_sharded(topo, &classes, policy, &params, &failures, shards)
         } else {
-            run_multirate(topo, &classes, policy, &params, &failures)
+            run_multirate_with_workers(
+                topo,
+                &classes,
+                policy,
+                &params,
+                &failures,
+                flags.worker_count(),
+            )
         };
         table.row([
             policy.name().to_string(),
@@ -789,6 +821,13 @@ fn cmd_multirate(path: &str, flags: &Flags) -> Result<(), String> {
 fn cmd_signaling(path: &str, flags: &Flags) -> Result<(), String> {
     let (config, exp, failures) = load_experiment(path)?;
     let window = resolve_window(flags, config.warmup, config.horizon)?;
+    if flags.shards.is_some() {
+        eprintln!(
+            "note: the signaling simulator drives its own hop-by-hop event loop, \
+             which requires the serial kernel; --shards is accepted but each \
+             replication runs serially"
+        );
+    }
     let hop_delay = flags.hop_delay.unwrap_or(2e-4);
     if !(hop_delay.is_finite() && hop_delay >= 0.0) {
         return Err(format!("--hop-delay must be >= 0, got {hop_delay}"));
@@ -1074,6 +1113,20 @@ fn parse_u32(s: &str, what: &str) -> Result<u32, String> {
         .map_err(|_| format!("{what} must be a non-negative integer, got '{s}'"))
 }
 
+/// Parses a thread-count-style flag value: a positive integer. Zero is
+/// rejected here, at argument parsing, with a message naming the
+/// fallback — the worker pool's own `workers > 0` assertion is an
+/// internal invariant, not a user-facing diagnostic.
+fn parse_count(s: &str, what: &str, zero_hint: &str) -> Result<usize, String> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| format!("{what} must be a positive integer, got '{s}'"))?;
+    if n == 0 {
+        return Err(format!("{what} must be at least 1 ({zero_hint})"));
+    }
+    Ok(n)
+}
+
 /// All flags any subcommand accepts, parsed order-independently.
 #[derive(Debug, Default)]
 struct Flags {
@@ -1084,6 +1137,8 @@ struct Flags {
     window: Option<f64>,
     policy: Option<String>,
     hop_delay: Option<f64>,
+    workers: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl Flags {
@@ -1111,7 +1166,33 @@ impl Flags {
         if self.hop_delay.is_some() {
             v.push("--hop-delay");
         }
+        if self.workers.is_some() {
+            v.push("--workers");
+        }
+        if self.shards.is_some() {
+            v.push("--shards");
+        }
         v
+    }
+
+    /// The replication-pool size: `--workers N`, defaulting to the
+    /// machine's available parallelism.
+    fn worker_count(&self) -> usize {
+        self.workers.unwrap_or_else(default_workers)
+    }
+
+    /// `--workers` parallelizes *across* replications while `--shards`
+    /// parallelizes *within* each one; combining them would oversubscribe
+    /// the machine, so the CLI treats the pair as a usage error.
+    fn reject_worker_shard_conflict(&self) -> Result<(), String> {
+        if self.workers.is_some() && self.shards.is_some() {
+            return Err(
+                "--workers parallelizes across replications and --shards within \
+                 each one; pass at most one of the two"
+                    .into(),
+            );
+        }
+        Ok(())
     }
 
     /// Rejects any set flag the subcommand does not accept.
@@ -1140,7 +1221,10 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             Some((n, v)) => (n, Some(v.to_string())),
             None => (rest, None),
         };
-        let takes_value = matches!(name, "telemetry" | "window" | "policy" | "hop-delay");
+        let takes_value = matches!(
+            name,
+            "telemetry" | "window" | "policy" | "hop-delay" | "workers" | "shards"
+        );
         let value = if takes_value {
             match inline {
                 Some(v) => Some(v),
@@ -1168,6 +1252,23 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "policy" => flags.policy = value,
             "hop-delay" => {
                 flags.hop_delay = Some(parse_f64(&value.expect("takes_value"), "--hop-delay")?)
+            }
+            "workers" => {
+                flags.workers = Some(parse_count(
+                    &value.expect("takes_value"),
+                    "--workers",
+                    &format!(
+                        "omit the flag to use all {} available cores",
+                        default_workers()
+                    ),
+                )?)
+            }
+            "shards" => {
+                flags.shards = Some(parse_count(
+                    &value.expect("takes_value"),
+                    "--shards",
+                    "omit the flag or pass 1 for the serial kernel",
+                )?)
             }
             other => return Err(format!("unknown flag --{other}")),
         }
@@ -1229,22 +1330,48 @@ fn run() -> Result<(), String> {
                     "--telemetry",
                     "--window",
                     "--policy",
+                    "--workers",
+                    "--shards",
                 ],
             )?;
             cmd_simulate(config, &flags)
         }
         ["adaptive", config] => {
-            flags.allow_only("adaptive", &["--metrics-json", "--telemetry", "--window"])?;
+            flags.allow_only(
+                "adaptive",
+                &[
+                    "--metrics-json",
+                    "--telemetry",
+                    "--window",
+                    "--workers",
+                    "--shards",
+                ],
+            )?;
             cmd_adaptive(config, &flags)
         }
         ["multirate", config] => {
-            flags.allow_only("multirate", &["--metrics-json", "--telemetry", "--window"])?;
+            flags.allow_only(
+                "multirate",
+                &[
+                    "--metrics-json",
+                    "--telemetry",
+                    "--window",
+                    "--workers",
+                    "--shards",
+                ],
+            )?;
             cmd_multirate(config, &flags)
         }
         ["signaling", config] => {
             flags.allow_only(
                 "signaling",
-                &["--metrics-json", "--telemetry", "--window", "--hop-delay"],
+                &[
+                    "--metrics-json",
+                    "--telemetry",
+                    "--window",
+                    "--hop-delay",
+                    "--shards",
+                ],
             )?;
             cmd_signaling(config, &flags)
         }
@@ -1265,11 +1392,14 @@ fn run() -> Result<(), String> {
             "usage: altroute_cli <erlang LOAD CAP | dimension LOAD TARGET | \
                   protect LOAD CAP H | \
                   simulate CONFIG.json [--metrics-json] [--progress] \
-                  [--telemetry DIR] [--window W] [--policy NAME] | \
-                  adaptive CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] | \
-                  multirate CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] | \
+                  [--telemetry DIR] [--window W] [--policy NAME] \
+                  [--workers N] [--shards S] | \
+                  adaptive CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
+                  [--workers N] [--shards S] | \
+                  multirate CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
+                  [--workers N] [--shards S] | \
                   signaling CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
-                  [--hop-delay D] | \
+                  [--hop-delay D] [--shards S] | \
                   telemetry DIR | example-config | conformance [--bless]>"
                 .into(),
         ),

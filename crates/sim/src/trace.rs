@@ -67,6 +67,13 @@ pub enum TraceDecision<'a> {
 /// Implementations must be cheap: the engine calls a method per event.
 /// The no-op [`NullTraceSink`] keeps the untraced path free.
 pub trait TraceSink {
+    /// True when every hook is a no-op: the sharded kernel backend only
+    /// engages when *all* observers are inert (it reconstructs gauges
+    /// from merged per-shard logs and cannot replay per-event hooks in
+    /// global time order). Defaults to `false`; only sinks whose every
+    /// method body is empty may override it.
+    const IS_NOOP: bool = false;
+
     /// A call arrived for `pair` and the router decided `decision`.
     fn arrival(&mut self, time: f64, pair: u32, decision: TraceDecision<'_>);
     /// A departure event fired for call handle `(call, gen)`; `stale` is
@@ -84,6 +91,8 @@ pub trait TraceSink {
 pub struct NullTraceSink;
 
 impl TraceSink for NullTraceSink {
+    const IS_NOOP: bool = true;
+
     #[inline(always)]
     fn arrival(&mut self, _: f64, _: u32, _: TraceDecision<'_>) {}
     #[inline(always)]

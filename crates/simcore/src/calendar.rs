@@ -125,12 +125,16 @@ impl<E> CalendarQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `time` is NaN, or (debug builds only) if `time` is
-    /// earlier than the current clock; with debug assertions disabled a
-    /// past-time event is ordered as if it fired at the earliest still
-    /// poppable instant.
+    /// Panics if `time` is not finite (NaN or ±∞), or (debug builds
+    /// only) if `time` is earlier than the current clock; with debug
+    /// assertions disabled a past-time event is ordered as if it fired
+    /// at the earliest still poppable instant. Non-finite times are
+    /// rejected here, at the insertion site — an infinite timestamp
+    /// used to survive until [`estimate_width`]'s comparison sort or a
+    /// degenerate day computation instead of failing where the bad
+    /// value entered.
     pub fn schedule(&mut self, time: f64, event: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(time.is_finite(), "event time must be finite (got {time})");
         debug_assert!(
             time >= self.now,
             "cannot schedule into the past: now={}, requested={time}",
@@ -563,10 +567,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
+    #[should_panic(expected = "must be finite")]
     fn nan_time_panics() {
         let mut q: CalendarQueue<()> = CalendarQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    // Regression: `schedule(f64::INFINITY, ..)` used to pass the
+    // NaN-only check and panic later inside `estimate_width` once
+    // enough events accumulated to trigger a resize. Reject it at the
+    // insertion site instead, matching the `EventQueue` reference.
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_time_panics() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new();
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn negative_infinite_time_panics() {
+        let mut q: CalendarQueue<()> = CalendarQueue::new();
+        q.schedule(f64::NEG_INFINITY, ());
     }
 
     #[cfg(debug_assertions)]

@@ -131,18 +131,26 @@ impl LinkOccupancy {
         self.up[link] = false;
     }
 
-    /// Books `bandwidth` units on every link of `path`.
+    /// Books `bandwidth` units on every link of `path`. A link listed
+    /// `k` times books `k × bandwidth` units on it, and the precheck
+    /// accounts for that: a path revisiting a link must fit the summed
+    /// booking, not just one traversal at a time.
     ///
     /// # Panics
     ///
-    /// Panics if any link is down or lacks the capacity — the admission
-    /// decision and the booking must agree.
+    /// Panics if any link is down or lacks the capacity for every
+    /// traversal of it in `path` — the admission decision and the
+    /// booking must agree.
     pub fn book(&mut self, path: &[Link], bandwidth: u32) {
-        for &l in path {
+        for (i, &l) in path.iter().enumerate() {
             assert!(self.up[l], "booked over a down link {l}");
+            // Count this link's earlier occurrences in the path so the
+            // precheck sums repeated traversals instead of approving
+            // each one against the same pre-booking occupancy.
+            let traversals = 1 + path[..i].iter().filter(|&&p| p == l).count() as u32;
             assert!(
-                self.occupancy[l] + bandwidth <= self.capacity[l],
-                "link {l} over capacity: {} + {bandwidth} > {}",
+                self.occupancy[l] + traversals * bandwidth <= self.capacity[l],
+                "link {l} over capacity: {} + {traversals}x{bandwidth} > {}",
                 self.occupancy[l],
                 self.capacity[l]
             );
@@ -170,6 +178,16 @@ impl LinkOccupancy {
     /// Total units booked across all links.
     pub fn total_occupancy(&self) -> u64 {
         self.occupancy.iter().map(|&o| u64::from(o)).sum()
+    }
+
+    /// Overwrites the link's booked units directly, bypassing the
+    /// book/release invariants. Only the sharded backend's occupancy
+    /// synchronization uses this: at a barrier the coordinator copies
+    /// authoritative per-link values between its master view and the
+    /// owning shard's replica, which is a state transplant rather than
+    /// a booking.
+    pub(crate) fn set_occupancy_raw(&mut self, link: Link, units: u32) {
+        self.occupancy[link] = units;
     }
 }
 
@@ -306,6 +324,20 @@ pub trait RouteSelector<'p> {
     fn tick<A: AdmissionPolicy>(&mut self, now: f64, admission: &mut A) {
         let _ = (now, admission);
     }
+
+    /// Whether this selector may run on the sharded backend
+    /// ([`crate::shard::run_sharded`]). A shardable selector must be a
+    /// pure function of its call arguments and the occupancy view
+    /// restricted to the links it may route `src → dst` over (its
+    /// *footprint*): no mutable cross-arrival state, no private RNG
+    /// draws, and [`observe_arrival`](RouteSelector::observe_arrival) /
+    /// [`tick`](RouteSelector::tick) must be no-ops — clones of the
+    /// selector see only their own shard's arrivals. Defaults to
+    /// `false`; the sharded backend falls back to the single-threaded
+    /// oracle for selectors that keep it that way.
+    fn shardable(&self) -> bool {
+        false
+    }
 }
 
 /// Observer of the kernel's event stream, called at the same points the
@@ -357,13 +389,28 @@ pub trait KernelObserver {
     fn event_processed(&mut self, now: f64, queue_len: usize) {
         let _ = (now, queue_len);
     }
+
+    /// Whether this observer ignores every hook. The sharded backend
+    /// ([`crate::shard::run_sharded`]) parallelizes only unobserved
+    /// runs — reconstructing a byte-exact global observer stream would
+    /// serialize it — so a `true` here opts a run into the parallel
+    /// fast path while `false` routes it through the single-threaded
+    /// oracle. Only observers that genuinely discard everything may
+    /// return `true`.
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// A [`KernelObserver`] that records nothing (the unobserved fast path).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
 
-impl KernelObserver for NullObserver {}
+impl KernelObserver for NullObserver {
+    fn is_noop(&self) -> bool {
+        true
+    }
+}
 
 /// One Poisson arrival source (an O–D pair, a (class, pair), a cell).
 #[derive(Debug, Clone, Copy)]
@@ -477,7 +524,7 @@ impl PartialEq for KernelOutcome {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     Arrival { source: u32 },
     Departure { call: u32, gen: u32 },
     Link { link: u32, up: bool },
@@ -698,20 +745,331 @@ impl KernelScratch {
     }
 }
 
-/// Everything [`run_loop`] needs besides the event queue, so the
-/// reference and calendar entry points share one reset path.
+/// Warm-up-aware call counters and per-tally vectors, accumulated by
+/// the event handlers and assembled into a [`KernelOutcome`] exactly
+/// once at the end of a run. Shared with the sharded backend, where
+/// each shard accumulates its own `Counters` and the coordinator
+/// [`absorb`](Counters::absorb)s them — every field is additive.
 #[derive(Debug, Default)]
-struct LoopState {
-    links: LinkOccupancy,
-    calls: CallTable,
-    index: LinkIndex,
+pub(crate) struct Counters {
+    pub(crate) offered: u64,
+    pub(crate) blocked: u64,
+    pub(crate) carried_primary: u64,
+    pub(crate) carried_alternate: u64,
+    pub(crate) dropped: u64,
+    pub(crate) tally_offered: Vec<u64>,
+    pub(crate) tally_blocked: Vec<u64>,
+}
+
+impl Counters {
+    /// Zeroed counters with `slots` tally entries.
+    pub(crate) fn new(slots: usize) -> Self {
+        Self {
+            tally_offered: vec![0; slots],
+            tally_blocked: vec![0; slots],
+            ..Self::default()
+        }
+    }
+
+    /// Adds `other` into `self` field-by-field (tally vectors must have
+    /// the same length).
+    pub(crate) fn absorb(&mut self, other: &Counters) {
+        self.offered += other.offered;
+        self.blocked += other.blocked;
+        self.carried_primary += other.carried_primary;
+        self.carried_alternate += other.carried_alternate;
+        self.dropped += other.dropped;
+        debug_assert_eq!(self.tally_offered.len(), other.tally_offered.len());
+        for (a, b) in self.tally_offered.iter_mut().zip(&other.tally_offered) {
+            *a += b;
+        }
+        for (a, b) in self.tally_blocked.iter_mut().zip(&other.tally_blocked) {
+            *a += b;
+        }
+    }
+}
+
+/// Everything [`run_loop`] needs besides the event queue, so the
+/// reference and calendar entry points share one reset path — and the
+/// unit the sharded backend replicates per shard: the event handlers
+/// ([`arrival`](LoopState::arrival), [`departure`](LoopState::departure),
+/// [`link_change`](LoopState::link_change)) are methods here so the
+/// oracle loop and every shard worker execute literally the same code.
+#[derive(Debug, Default)]
+pub(crate) struct LoopState {
+    pub(crate) links: LinkOccupancy,
+    pub(crate) calls: CallTable,
+    pub(crate) index: LinkIndex,
     /// Time-weighted occupancy per link, for the utilization gauge.
-    occupancy: Vec<TimeWeighted>,
-    streams: Vec<RngStream>,
+    pub(crate) occupancy: Vec<TimeWeighted>,
+    pub(crate) streams: Vec<RngStream>,
     /// The path of the call currently being torn down or departing.
-    path_buf: Vec<Link>,
+    pub(crate) path_buf: Vec<Link>,
     /// Handles drained from a failed link's index entry.
-    torn: Vec<(u32, u32)>,
+    pub(crate) torn: Vec<(u32, u32)>,
+    /// Links whose occupancy changed since the sharded backend's last
+    /// barrier (duplicates allowed; drained and deduplicated there).
+    /// Empty unless `track_dirty` — the oracle never pays for it.
+    pub(crate) dirty: Vec<Link>,
+    /// Whether the event handlers append touched links to `dirty`.
+    pub(crate) track_dirty: bool,
+}
+
+impl LoopState {
+    /// Resets every piece of per-replication state from `spec`,
+    /// recycling allocations: link occupancies and up/down flags, the
+    /// call table, the link index, the per-link time-weighted gauges,
+    /// and the dirty-link log. RNG streams are cleared here and rebuilt
+    /// by [`seed_sources`](LoopState::seed_sources).
+    pub(crate) fn prepare(&mut self, spec: &KernelSpec<'_>) {
+        self.links.reset(spec.capacities);
+        for &l in spec.static_down {
+            self.links.set_down(l);
+        }
+        self.calls.reset();
+        self.index.reset(self.links.num_links());
+        self.occupancy.clear();
+        let initial_occupancy = {
+            let mut tw = TimeWeighted::new(spec.config.warmup);
+            tw.record(0.0, 0.0);
+            tw
+        };
+        self.occupancy
+            .resize(self.links.num_links(), initial_occupancy);
+        self.streams.clear();
+        self.dirty.clear();
+    }
+
+    /// Builds the per-source RNG streams (drawing every source's first
+    /// inter-arrival gap, so streams advance identically however the
+    /// sources are partitioned) and schedules the first arrival of each
+    /// source that `owns` — the oracle owns all of them; a shard worker
+    /// or the shard coordinator owns a subset.
+    pub(crate) fn seed_sources<Q: EventSchedule<Event>>(
+        &mut self,
+        spec: &KernelSpec<'_>,
+        queue: &mut Q,
+        owns: impl Fn(usize) -> bool,
+    ) {
+        let config = &spec.config;
+        let end = config.warmup + config.horizon;
+        let factory = StreamFactory::new(config.seed);
+        for (i, source) in spec.sources.iter().enumerate() {
+            assert!(
+                (source.tally as usize) < config.tally_slots,
+                "source tally out of range"
+            );
+            let mut stream = factory.stream(source.stream);
+            let first = stream.exp(source.rate);
+            self.streams.push(stream);
+            if owns(i) && first < end {
+                queue.schedule(first, Event::Arrival { source: i as u32 });
+            }
+        }
+    }
+
+    /// Handles one arrival of `source`: draws (hold, pick, gap) in the
+    /// fixed order, schedules the next arrival of the source, consults
+    /// the selector, and books or blocks — exactly the historical
+    /// arrival arm of the event loop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn arrival<'p, A, R, O, Q>(
+        &mut self,
+        now: f64,
+        source: u32,
+        spec: &KernelSpec<'_>,
+        admission: &A,
+        selector: &mut R,
+        observer: &mut O,
+        queue: &mut Q,
+        counters: &mut Counters,
+        metrics: &mut EngineMetrics,
+    ) where
+        A: AdmissionPolicy,
+        R: RouteSelector<'p>,
+        O: KernelObserver,
+        Q: EventSchedule<Event>,
+    {
+        let config = &spec.config;
+        let end = config.warmup + config.horizon;
+        let s = &spec.sources[source as usize];
+        // Fixed draw order per arrival keeps streams aligned across
+        // policies: holding time, routing pick, next gap.
+        let stream = &mut self.streams[source as usize];
+        let hold = stream.holding_time();
+        let pick = if config.draw_pick {
+            stream.uniform()
+        } else {
+            0.0
+        };
+        let gap = stream.exp(s.rate);
+        if now + gap < end {
+            queue.schedule(now + gap, Event::Arrival { source });
+        }
+        selector.observe_arrival(s.src, s.dst, pick);
+        let measured = now >= config.warmup;
+        if measured {
+            counters.offered += 1;
+            counters.tally_offered[s.tally as usize] += 1;
+        }
+        match selector.select(s.src, s.dst, pick, &self.links, admission, s.bandwidth) {
+            Selection::Route { links: path, tier } => {
+                observer.arrival_routed(now, s.tag, tier, path, hold, measured);
+                self.links.book(path, s.bandwidth);
+                for &l in path {
+                    self.occupancy[l].record(now, f64::from(self.links.occupancy(l)));
+                    observer.occupancy_changed(now, l, self.links.occupancy(l));
+                    if self.track_dirty {
+                        self.dirty.push(l);
+                    }
+                }
+                let (id, gen) = self.calls.insert(path, s.bandwidth);
+                self.index.add(path, id, gen);
+                metrics.observe_concurrent_calls(self.calls.live());
+                queue.schedule(now + hold, Event::Departure { call: id, gen });
+                if measured {
+                    match tier {
+                        Tier::Primary => counters.carried_primary += 1,
+                        Tier::Alternate => counters.carried_alternate += 1,
+                    }
+                }
+            }
+            Selection::Blocked => {
+                observer.arrival_blocked(now, s.tag, hold, measured);
+                if measured {
+                    counters.blocked += 1;
+                    counters.tally_blocked[s.tally as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Handles one departure event for call handle `(call, gen)` —
+    /// exactly the historical departure arm (stale handles from
+    /// outage teardowns are observed and dropped).
+    pub(crate) fn departure<O: KernelObserver>(
+        &mut self,
+        now: f64,
+        call: u32,
+        gen: u32,
+        observer: &mut O,
+    ) {
+        let Self {
+            links,
+            calls,
+            index,
+            occupancy,
+            path_buf,
+            dirty,
+            track_dirty,
+            ..
+        } = self;
+        // A call torn down by a failure leaves a stale departure; the
+        // generation check also rejects it if the slot has been
+        // reassigned to a newer call since.
+        if let Some(bandwidth) = calls.take_into(call, gen, path_buf) {
+            observer.departure(now, call, gen, false);
+            links.release(path_buf, bandwidth);
+            for &l in path_buf.iter() {
+                occupancy[l].record(now, f64::from(links.occupancy(l)));
+                observer.occupancy_changed(now, l, links.occupancy(l));
+                index.remove_one(l, calls);
+                if *track_dirty {
+                    dirty.push(l);
+                }
+            }
+        } else {
+            observer.departure(now, call, gen, true);
+        }
+    }
+
+    /// Handles one link state change — exactly the historical link
+    /// arm: a repair just raises the flag; a failure tears down every
+    /// in-progress call over the link via the link index. Returns the
+    /// number of calls torn down (the sharded backend needs it to
+    /// account the coordinator's concurrent-call gauge).
+    pub(crate) fn link_change<O: KernelObserver>(
+        &mut self,
+        now: f64,
+        link: Link,
+        up: bool,
+        warmup: f64,
+        observer: &mut O,
+        counters: &mut Counters,
+    ) -> usize {
+        observer.link_change(now, link as u32, up);
+        if up {
+            self.links.set_up(link);
+            return 0;
+        }
+        self.links.set_down(link);
+        let Self {
+            links,
+            calls,
+            index,
+            occupancy,
+            path_buf,
+            torn,
+            dirty,
+            track_dirty,
+            ..
+        } = self;
+        // Tear down calls in progress over the failed link — only that
+        // link's entries, not the whole call table.
+        index.drain_into(link, torn);
+        let mut torn_down = 0;
+        for &(id, gen) in torn.iter() {
+            let Some(bandwidth) = calls.take_into(id, gen, path_buf) else {
+                continue;
+            };
+            observer.teardown(now, id, gen, now >= warmup);
+            links.release(path_buf, bandwidth);
+            for &l in path_buf.iter() {
+                occupancy[l].record(now, f64::from(links.occupancy(l)));
+                observer.occupancy_changed(now, l, links.occupancy(l));
+                if l != link {
+                    index.remove_one(l, calls);
+                }
+                if *track_dirty {
+                    dirty.push(l);
+                }
+            }
+            if now >= warmup {
+                counters.dropped += 1;
+            }
+            torn_down += 1;
+        }
+        torn_down
+    }
+}
+
+/// Panics on inconsistent clock configuration; shared by the oracle
+/// loop and the sharded backend so both reject a bad spec identically.
+pub(crate) fn validate_config(config: &KernelConfig) {
+    assert!(
+        config.warmup >= 0.0 && config.horizon > 0.0,
+        "invalid durations"
+    );
+    if let Some(interval) = config.tick_interval {
+        assert!(interval > 0.0, "tick interval must be positive");
+    }
+}
+
+/// Schedules every timed link failure/repair inside the window into
+/// `queue`.
+pub(crate) fn seed_link_events<Q: EventSchedule<Event>>(spec: &KernelSpec<'_>, queue: &mut Q) {
+    let end = spec.config.warmup + spec.config.horizon;
+    for ev in spec.link_events {
+        if ev.at < end {
+            queue.schedule(
+                ev.at,
+                Event::Link {
+                    link: ev.link as u32,
+                    up: ev.up,
+                },
+            );
+        }
+    }
 }
 
 /// Runs one replication of the kernel with the given admission policy,
@@ -815,84 +1173,28 @@ where
 {
     let started = std::time::Instant::now();
     let config = &spec.config;
-    assert!(
-        config.warmup >= 0.0 && config.horizon > 0.0,
-        "invalid durations"
-    );
-    if let Some(interval) = config.tick_interval {
-        assert!(interval > 0.0, "tick interval must be positive");
-    }
+    validate_config(config);
     debug_assert!(
         queue.is_empty() && queue.now() == 0.0,
         "run_loop needs a reset queue"
     );
     let end = config.warmup + config.horizon;
 
-    let LoopState {
-        links,
-        calls,
-        index,
-        occupancy,
-        streams,
-        path_buf,
-        torn,
-    } = state;
-    links.reset(spec.capacities);
-    for &l in spec.static_down {
-        links.set_down(l);
-    }
-
-    let factory = StreamFactory::new(config.seed);
-    streams.clear();
-    for (i, source) in spec.sources.iter().enumerate() {
-        assert!(
-            (source.tally as usize) < config.tally_slots,
-            "source tally out of range"
-        );
-        let mut stream = factory.stream(source.stream);
-        let first = stream.exp(source.rate);
-        streams.push(stream);
-        if first < end {
-            queue.schedule(first, Event::Arrival { source: i as u32 });
-        }
-    }
-    for ev in spec.link_events {
-        if ev.at < end {
-            queue.schedule(
-                ev.at,
-                Event::Link {
-                    link: ev.link as u32,
-                    up: ev.up,
-                },
-            );
-        }
-    }
+    state.prepare(spec);
+    state.track_dirty = false;
+    state.seed_sources(spec, queue, |_| true);
+    seed_link_events(spec, queue);
     if let Some(interval) = config.tick_interval {
         if interval < end {
             queue.schedule(interval, Event::Tick);
         }
     }
 
-    calls.reset();
-    index.reset(links.num_links());
-    occupancy.clear();
-    let initial_occupancy = {
-        let mut tw = TimeWeighted::new(config.warmup);
-        tw.record(0.0, 0.0);
-        tw
-    };
-    occupancy.resize(links.num_links(), initial_occupancy);
     let mut metrics = EngineMetrics::default();
     metrics.observe_queue_len(queue.len());
-    // Counters the loop accumulates; the outcome is assembled exactly
+    // Counters the handlers accumulate; the outcome is assembled exactly
     // once at the end, so a counter and the result can't drift apart.
-    let mut offered = 0u64;
-    let mut blocked = 0u64;
-    let mut carried_primary = 0u64;
-    let mut carried_alternate = 0u64;
-    let mut dropped = 0u64;
-    let mut tally_offered = vec![0u64; config.tally_slots];
-    let mut tally_blocked = vec![0u64; config.tally_slots];
+    let mut counters = Counters::new(config.tally_slots);
     // Wall clock at which the sim clock first crossed the warm-up cut,
     // splitting the run's wall time into warmup/measurement spans.
     let mut warmup_wall: Option<f64> = None;
@@ -907,99 +1209,27 @@ where
             warmup_wall = Some(started.elapsed().as_secs_f64());
         }
         match event {
-            Event::Arrival { source } => {
-                let s = &spec.sources[source as usize];
-                // Fixed draw order per arrival keeps streams aligned
-                // across policies: holding time, routing pick, next gap.
-                let stream = &mut streams[source as usize];
-                let hold = stream.holding_time();
-                let pick = if config.draw_pick {
-                    stream.uniform()
-                } else {
-                    0.0
-                };
-                let gap = stream.exp(s.rate);
-                if now + gap < end {
-                    queue.schedule(now + gap, Event::Arrival { source });
-                }
-                selector.observe_arrival(s.src, s.dst, pick);
-                let measured = now >= config.warmup;
-                if measured {
-                    offered += 1;
-                    tally_offered[s.tally as usize] += 1;
-                }
-                match selector.select(s.src, s.dst, pick, links, admission, s.bandwidth) {
-                    Selection::Route { links: path, tier } => {
-                        observer.arrival_routed(now, s.tag, tier, path, hold, measured);
-                        links.book(path, s.bandwidth);
-                        for &l in path {
-                            occupancy[l].record(now, f64::from(links.occupancy(l)));
-                            observer.occupancy_changed(now, l, links.occupancy(l));
-                        }
-                        let (id, gen) = calls.insert(path, s.bandwidth);
-                        index.add(path, id, gen);
-                        metrics.observe_concurrent_calls(calls.live());
-                        queue.schedule(now + hold, Event::Departure { call: id, gen });
-                        if measured {
-                            match tier {
-                                Tier::Primary => carried_primary += 1,
-                                Tier::Alternate => carried_alternate += 1,
-                            }
-                        }
-                    }
-                    Selection::Blocked => {
-                        observer.arrival_blocked(now, s.tag, hold, measured);
-                        if measured {
-                            blocked += 1;
-                            tally_blocked[s.tally as usize] += 1;
-                        }
-                    }
-                }
-            }
-            Event::Departure { call, gen } => {
-                // A call torn down by a failure leaves a stale departure;
-                // the generation check also rejects it if the slot has
-                // been reassigned to a newer call since.
-                if let Some(bandwidth) = calls.take_into(call, gen, path_buf) {
-                    observer.departure(now, call, gen, false);
-                    links.release(path_buf, bandwidth);
-                    for &l in path_buf.iter() {
-                        occupancy[l].record(now, f64::from(links.occupancy(l)));
-                        observer.occupancy_changed(now, l, links.occupancy(l));
-                        index.remove_one(l, calls);
-                    }
-                } else {
-                    observer.departure(now, call, gen, true);
-                }
-            }
+            Event::Arrival { source } => state.arrival(
+                now,
+                source,
+                spec,
+                &*admission,
+                selector,
+                observer,
+                queue,
+                &mut counters,
+                &mut metrics,
+            ),
+            Event::Departure { call, gen } => state.departure(now, call, gen, observer),
             Event::Link { link, up } => {
-                let link = link as usize;
-                observer.link_change(now, link as u32, up);
-                if up {
-                    links.set_up(link);
-                } else {
-                    links.set_down(link);
-                    // Tear down calls in progress over the failed link —
-                    // only that link's entries, not the whole call table.
-                    index.drain_into(link, torn);
-                    for &(id, gen) in torn.iter() {
-                        let Some(bandwidth) = calls.take_into(id, gen, path_buf) else {
-                            continue;
-                        };
-                        observer.teardown(now, id, gen, now >= config.warmup);
-                        links.release(path_buf, bandwidth);
-                        for &l in path_buf.iter() {
-                            occupancy[l].record(now, f64::from(links.occupancy(l)));
-                            observer.occupancy_changed(now, l, links.occupancy(l));
-                            if l != link {
-                                index.remove_one(l, calls);
-                            }
-                        }
-                        if now >= config.warmup {
-                            dropped += 1;
-                        }
-                    }
-                }
+                state.link_change(
+                    now,
+                    link as usize,
+                    up,
+                    config.warmup,
+                    observer,
+                    &mut counters,
+                );
             }
             Event::Tick => {
                 selector.tick(now, admission);
@@ -1015,8 +1245,10 @@ where
         observer.event_processed(now, queue.len());
     }
 
-    metrics.call_table_high_water = calls.high_water();
-    metrics.link_utilization = occupancy
+    metrics.call_table_high_water = state.calls.high_water();
+    let links = &state.links;
+    metrics.link_utilization = state
+        .occupancy
         .iter_mut()
         .enumerate()
         .map(|(l, tw)| {
@@ -1029,6 +1261,15 @@ where
     // A run whose clock never reached the warm-up cut spent all its
     // wall time warming up.
     let warmup_wall = warmup_wall.unwrap_or(total_wall);
+    let Counters {
+        offered,
+        blocked,
+        carried_primary,
+        carried_alternate,
+        dropped,
+        tally_offered,
+        tally_blocked,
+    } = counters;
     KernelOutcome {
         offered,
         blocked,
@@ -1208,6 +1449,29 @@ mod tests {
         let out = single_link_spec(&[10], &sources);
         assert!(out.metrics.peak_concurrent_calls <= 3);
         assert!(out.blocked > 0);
+    }
+
+    // Regression: a path listing the same link twice used to pass the
+    // per-entry precheck (each traversal checked against the pre-booking
+    // occupancy) and then book 2x bandwidth, silently exceeding
+    // capacity. The precheck now sums repeated traversals.
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn booking_a_repeated_link_cannot_exceed_capacity() {
+        let mut v = LinkOccupancy::new(&[10]);
+        // 2 traversals x 6 units = 12 > 10: must panic at the precheck,
+        // even though a single traversal (6 <= 10) would fit.
+        v.book(&[0, 0], 6);
+    }
+
+    #[test]
+    fn booking_a_repeated_link_that_fits_books_cumulatively() {
+        let mut v = LinkOccupancy::new(&[10]);
+        v.book(&[0, 0], 4);
+        assert_eq!(v.occupancy(0), 8);
+        // The released units match what was booked.
+        v.release(&[0, 0], 4);
+        assert_eq!(v.occupancy(0), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Events are ordered by timestamp; ties pop in insertion order (FIFO), so
 //! a simulation that schedules events deterministically *is* deterministic
 //! end to end — no dependence on heap internals. Timestamps are `f64`
-//! simulation time; NaN timestamps are rejected at insertion.
+//! simulation time; non-finite timestamps are rejected at insertion.
 //!
 //! Two implementations share the `(time, seq)` contract through the
 //! [`EventSchedule`] trait: [`EventQueue`] here is the comparison-based
@@ -18,7 +18,8 @@ use std::collections::BinaryHeap;
 
 /// The scheduling contract shared by every event-queue implementation:
 /// events pop in `(time, insertion sequence)` order, the clock advances
-/// only on [`pop`](EventSchedule::pop), and NaN timestamps are rejected.
+/// only on [`pop`](EventSchedule::pop), and non-finite timestamps are
+/// rejected.
 ///
 /// Scheduling before the current clock is a causality bug in the caller;
 /// both implementations reject it with a *debug* assertion (the check is
@@ -103,13 +104,15 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `time` is NaN, or (debug builds only) if `time` is
-    /// earlier than the current clock — scheduling into the past breaks
-    /// causality, so it is asserted where assertions are free and
-    /// tolerated (the event fires as early as possible) in optimized
-    /// hot paths.
+    /// Panics if `time` is not finite (NaN or ±∞), or (debug builds
+    /// only) if `time` is earlier than the current clock — scheduling
+    /// into the past breaks causality, so it is asserted where
+    /// assertions are free and tolerated (the event fires as early as
+    /// possible) in optimized hot paths. Non-finite times are rejected
+    /// here, at the insertion site, rather than surfacing later as a
+    /// comparison failure deep inside the queue internals.
     pub fn schedule(&mut self, time: f64, event: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(time.is_finite(), "event time must be finite (got {time})");
         debug_assert!(
             time >= self.now,
             "cannot schedule into the past: now={}, requested={time}",
@@ -268,10 +271,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
+    #[should_panic(expected = "must be finite")]
     fn nan_time_panics() {
         let mut q: EventQueue<()> = EventQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    // Regression: a non-finite (infinite) time used to sail past the
+    // NaN-only check and only blow up later, deep inside the calendar
+    // queue's width estimation. Both backends now reject it at the
+    // insertion site.
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn negative_infinite_time_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NEG_INFINITY, ());
     }
 
     #[cfg(debug_assertions)]

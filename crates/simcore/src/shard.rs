@@ -1,0 +1,898 @@
+//! Sharded kernel execution: intra-replication parallelism.
+//!
+//! [`run_sharded`] partitions the network's links across `S` shards.
+//! Each shard owns a slice of the [`LinkOccupancy`] state and runs its
+//! own [`CalendarQueue`] on a worker thread, processing the arrivals
+//! and departures of *shard-local* sources — sources whose routing
+//! footprint (every link their selector may read or book) lies inside
+//! one shard. Sources whose footprint spans shards are *cross* sources,
+//! handled by the coordinator thread against a master view.
+//!
+//! **Conservative synchronization.** Every event's timestamp is known
+//! when it is scheduled, and cross-shard interactions happen only
+//! through coordinator events (cross arrivals/departures and link
+//! failures/repairs), whose times sit in the coordinator's queue. The
+//! coordinator therefore advances in windows: the next barrier `t_b` is
+//! the earliest coordinator event (or a periodic flush boundary, which
+//! bounds log memory), workers process their local events strictly
+//! before `t_b` in parallel, and at the barrier the coordinator
+//! reconciles state and executes its own events at exactly `t_b`. No
+//! event is ever executed before another event with a smaller
+//! timestamp anywhere in the system — the classical conservative
+//! lookahead argument, with the lookahead provided by the coordinator
+//! queue's peek.
+//!
+//! **State reconciliation.** Each shard holds a full-size private copy
+//! of the link state but maintains only its owned entries; the event
+//! handlers log every link they touch (`LoopState::dirty`). At a
+//! barrier the coordinator copies the dirty entries into its master
+//! view; after executing a coordinator event it writes the touched
+//! links back through to the owning shards' replicas (and records the
+//! owner's time-weighted occupancy gauge), so a shard's replica of an
+//! owned link always equals the global value whenever the shard is
+//! running. The same handlers ([`LoopState::arrival`],
+//! [`LoopState::departure`], [`LoopState::link_change`]) execute on
+//! both sides, so the oracle and the shards share one implementation
+//! of the simulation's semantics.
+//!
+//! **Oracle relationship.** The single-threaded [`run`](crate::kernel::run)
+//! is the oracle. A sharded run executes the same events at the same
+//! simulated times with the same per-source RNG streams, and rebuilds
+//! the global gauges (event count, queue-length and concurrent-call
+//! peaks) from per-shard logs merged in timestamp order, so its
+//! [`KernelOutcome`] — counters, tallies, and bitwise per-link
+//! utilization — equals the oracle's. The one caveat: if two events on
+//! *different* shards landed on the exact same `f64` timestamp the
+//! merged order could differ from the oracle's insertion order. Event
+//! times come from continuous exponential draws, so cross-shard ties
+//! have probability zero; the conformance suite's parity gates verify
+//! equality empirically on every tested topology and shard count.
+//!
+//! **Fallback.** Runs the sharded backend cannot reproduce exactly are
+//! routed to the serial oracle instead of running approximately:
+//! a single shard, a configured tick interval (global controller
+//! state), a selector that is not [`RouteSelector::shardable`], an
+//! observer that is not a no-op (a byte-exact global trace would
+//! serialize the shards anyway), or a workload with no shard-local
+//! source at all.
+
+use crate::calendar::CalendarQueue;
+use crate::kernel::{
+    run_pooled, seed_link_events, validate_config, AdmissionPolicy, Counters, Event,
+    KernelObserver, KernelOutcome, KernelScratch, KernelSpec, Link, LoopState, NullObserver,
+    RouteSelector,
+};
+use crate::metrics::EngineMetrics;
+
+/// How links are assigned to shards.
+///
+/// The partition is part of a sharded run's configuration, not of its
+/// result: every partition (and every shard count) produces the same
+/// [`KernelOutcome`]; it only moves work between threads.
+#[derive(Debug, Clone)]
+pub enum Partition {
+    /// Links `[k·⌈L/S⌉, (k+1)·⌈L/S⌉)` belong to shard `k` — the right
+    /// choice when link ids are laid out cluster-by-cluster.
+    Contiguous,
+    /// Link `l` belongs to shard `l mod S`.
+    RoundRobin,
+    /// An explicit per-link shard assignment (each entry `< S`).
+    Explicit(Vec<u32>),
+}
+
+/// Configuration of a sharded kernel run: the shard count, the link
+/// partition, and the barrier flush interval.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    num_shards: usize,
+    link_shard: Vec<u32>,
+    flush_interval: Option<f64>,
+}
+
+impl ShardSpec {
+    /// A spec partitioning `num_links` links across `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero, or if an
+    /// [`Partition::Explicit`] assignment has the wrong length or an
+    /// out-of-range shard id.
+    pub fn new(num_links: usize, num_shards: usize, partition: Partition) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let link_shard = match partition {
+            Partition::Contiguous => {
+                let chunk = num_links.div_ceil(num_shards).max(1);
+                (0..num_links).map(|l| (l / chunk) as u32).collect()
+            }
+            Partition::RoundRobin => (0..num_links).map(|l| (l % num_shards) as u32).collect(),
+            Partition::Explicit(assignment) => {
+                assert_eq!(
+                    assignment.len(),
+                    num_links,
+                    "explicit partition must assign every link"
+                );
+                assert!(
+                    assignment.iter().all(|&s| (s as usize) < num_shards),
+                    "explicit partition names a shard >= num_shards"
+                );
+                assignment
+            }
+        };
+        Self {
+            num_shards,
+            link_shard,
+            flush_interval: None,
+        }
+    }
+
+    /// Sets the barrier flush interval: even without a coordinator
+    /// event, workers synchronize at least this often in simulated
+    /// time, bounding per-shard log memory. Defaults to 1/64 of the
+    /// run's total duration. The choice never affects the outcome.
+    #[must_use]
+    pub fn with_flush_interval(mut self, interval: f64) -> Self {
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "flush interval must be positive"
+        );
+        self.flush_interval = Some(interval);
+        self
+    }
+
+    /// The shard count.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `link`.
+    pub fn shard_of(&self, link: Link) -> usize {
+        self.link_shard[link] as usize
+    }
+}
+
+/// One shard's complete working set, shipped to its worker thread each
+/// window and back at the barrier.
+struct ShardRun {
+    state: LoopState,
+    queue: CalendarQueue<Event>,
+    counters: Counters,
+    /// Scratch for the handlers' gauge hooks; the global peaks are
+    /// rebuilt from the merged logs instead.
+    metrics: EngineMetrics,
+    log: Vec<EventRec>,
+}
+
+/// One processed event in a shard's window log: its timestamp and the
+/// deltas it applied to that shard's pending-event count and live-call
+/// count. Merging the logs in `(t, shard)` order and prefix-summing the
+/// deltas reconstructs the oracle's exact post-event queue length and
+/// call population — and therefore its peaks — without any shared
+/// counter on the hot path.
+#[derive(Debug, Clone, Copy)]
+struct EventRec {
+    t: f64,
+    qd: i64,
+    ld: i64,
+}
+
+/// Running reconstruction of the oracle's global gauges.
+struct MergeAcc {
+    qlen: i64,
+    live: i64,
+    events: u64,
+}
+
+impl MergeAcc {
+    fn apply(&mut self, rec: EventRec, metrics: &mut EngineMetrics) {
+        self.events += 1;
+        self.qlen += rec.qd;
+        self.live += rec.ld;
+        metrics.observe_queue_len(usize::try_from(self.qlen).expect("queue length >= 0"));
+        if rec.ld > 0 {
+            // The oracle observes the call population only after an
+            // insert, so only positive deltas can set the peak.
+            metrics.observe_concurrent_calls(usize::try_from(self.live).expect("live >= 0"));
+        }
+    }
+}
+
+/// Processes every event of `run` strictly before `t_b`, appending one
+/// [`EventRec`] per event. Runs on the worker thread.
+fn run_window<'p, A, R>(
+    spec: &KernelSpec<'_>,
+    run: &mut ShardRun,
+    admission: &A,
+    selector: &mut R,
+    t_b: f64,
+) where
+    A: AdmissionPolicy,
+    R: RouteSelector<'p>,
+{
+    while run.queue.peek_time().is_some_and(|t| t < t_b) {
+        let (now, event) = run.queue.pop().expect("peeked event exists");
+        let q_before = run.queue.len() + 1;
+        let l_before = run.state.calls.live();
+        match event {
+            Event::Arrival { source } => run.state.arrival(
+                now,
+                source,
+                spec,
+                admission,
+                selector,
+                &mut NullObserver,
+                &mut run.queue,
+                &mut run.counters,
+                &mut run.metrics,
+            ),
+            Event::Departure { call, gen } => {
+                run.state.departure(now, call, gen, &mut NullObserver);
+            }
+            Event::Link { .. } | Event::Tick => {
+                unreachable!("link and tick events are coordinator-owned")
+            }
+        }
+        run.log.push(EventRec {
+            t: now,
+            qd: run.queue.len() as i64 - q_before as i64,
+            ld: run.state.calls.live() as i64 - l_before as i64,
+        });
+    }
+}
+
+/// Copies the links a coordinator event touched into the owning shards'
+/// replicas and records the owners' time-weighted occupancy gauges —
+/// once per touched path entry, exactly like the oracle's record loop.
+fn write_through(master: &mut LoopState, shards: &mut [ShardRun], link_shard: &[u32], now: f64) {
+    for &l in &master.dirty {
+        let v = master.links.occupancy(l);
+        let owner = &mut shards[link_shard[l] as usize];
+        owner.state.links.set_occupancy_raw(l, v);
+        owner.state.occupancy[l].record(now, f64::from(v));
+    }
+    master.dirty.clear();
+}
+
+/// Copies a shard's dirty links back into the master view (no gauge
+/// records: the owner shard already recorded them as it processed the
+/// events).
+fn sync_shard_to_master(master: &mut LoopState, run: &mut ShardRun) {
+    for &l in &run.state.dirty {
+        master
+            .links
+            .set_occupancy_raw(l, run.state.links.occupancy(l));
+    }
+    run.state.dirty.clear();
+}
+
+/// Merges the shards' window logs in `(timestamp, shard)` order into
+/// the global gauge reconstruction, then clears them.
+fn merge_window_logs(
+    shards: &mut [ShardRun],
+    idx: &mut Vec<usize>,
+    acc: &mut MergeAcc,
+    metrics: &mut EngineMetrics,
+) {
+    idx.clear();
+    idx.resize(shards.len(), 0);
+    loop {
+        let mut best: Option<(f64, usize)> = None;
+        for (s, run) in shards.iter().enumerate() {
+            if let Some(rec) = run.log.get(idx[s]) {
+                if best.is_none_or(|(bt, _)| rec.t < bt) {
+                    best = Some((rec.t, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else { break };
+        let rec = shards[s].log[idx[s]];
+        idx[s] += 1;
+        acc.apply(rec, metrics);
+    }
+    for run in shards.iter_mut() {
+        run.log.clear();
+    }
+}
+
+/// Runs one replication on `shards.num_shards()` worker threads, or on
+/// the single-threaded oracle when the configuration requires it (see
+/// the module docs' fallback list) — either way producing the oracle's
+/// exact [`KernelOutcome`].
+///
+/// `footprints[i]` must contain every link source `i`'s selector may
+/// read or book (its candidate paths' links); a source is parallelized
+/// only if its footprint fits inside one shard.
+///
+/// # Panics
+///
+/// Panics on an inconsistent configuration: `footprints` not matching
+/// the sources, a partition not matching the link count, or the
+/// spec-level invariant violations [`run`](crate::kernel::run) itself
+/// rejects.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded<'p, A, R, O>(
+    spec: &KernelSpec<'_>,
+    shards: &ShardSpec,
+    footprints: &[Vec<Link>],
+    admission: &mut A,
+    selector: &mut R,
+    observer: &mut O,
+    scratch: &mut KernelScratch,
+) -> KernelOutcome
+where
+    A: AdmissionPolicy + Clone + Send,
+    R: RouteSelector<'p> + Clone + Send,
+    O: KernelObserver,
+{
+    assert_eq!(
+        footprints.len(),
+        spec.sources.len(),
+        "one footprint per source"
+    );
+    assert_eq!(
+        shards.link_shard.len(),
+        spec.capacities.len(),
+        "partition must cover every link"
+    );
+    let serial = shards.num_shards <= 1
+        || spec.config.tick_interval.is_some()
+        || !selector.shardable()
+        || !observer.is_noop();
+    if serial {
+        return run_pooled(spec, admission, selector, observer, scratch);
+    }
+    // A source is local to shard `s` iff its whole footprint is owned
+    // by `s`; everything else runs on the coordinator. An empty
+    // footprint touches nothing and may live anywhere.
+    let source_shard: Vec<Option<usize>> = footprints
+        .iter()
+        .map(|fp| match fp.split_first() {
+            None => Some(0),
+            Some((&first, rest)) => {
+                let s = shards.shard_of(first);
+                rest.iter().all(|&l| shards.shard_of(l) == s).then_some(s)
+            }
+        })
+        .collect();
+    if source_shard.iter().all(Option::is_none) {
+        // Nothing to parallelize: every source is cross.
+        return run_pooled(spec, admission, selector, observer, scratch);
+    }
+
+    let started = std::time::Instant::now();
+    let config = &spec.config;
+    validate_config(config);
+    let end = config.warmup + config.horizon;
+
+    // The coordinator's master view: authoritative at every barrier.
+    // Its call table and link index hold the cross calls.
+    let mut master = LoopState::default();
+    master.prepare(spec);
+    master.track_dirty = true;
+    let mut coord_queue: CalendarQueue<Event> = CalendarQueue::default();
+    master.seed_sources(spec, &mut coord_queue, |i| source_shard[i].is_none());
+    seed_link_events(spec, &mut coord_queue);
+    let mut coord_counters = Counters::new(config.tally_slots);
+    // Handler gauge scratch for the coordinator; global peaks come
+    // from the merged reconstruction instead.
+    let mut coord_metrics = EngineMetrics::default();
+
+    let shard_runs: Vec<ShardRun> = (0..shards.num_shards)
+        .map(|s| {
+            let mut run = ShardRun {
+                state: LoopState::default(),
+                queue: CalendarQueue::default(),
+                counters: Counters::new(config.tally_slots),
+                metrics: EngineMetrics::default(),
+                log: Vec::new(),
+            };
+            run.state.prepare(spec);
+            run.state.track_dirty = true;
+            run.state
+                .seed_sources(spec, &mut run.queue, |i| source_shard[i] == Some(s));
+            run
+        })
+        .collect();
+
+    let mut metrics = EngineMetrics::default();
+    let qlen0 = coord_queue.len() + shard_runs.iter().map(|r| r.queue.len()).sum::<usize>();
+    metrics.observe_queue_len(qlen0);
+    let mut acc = MergeAcc {
+        qlen: qlen0 as i64,
+        live: 0,
+        events: 0,
+    };
+    let flush = shards.flush_interval.unwrap_or(end / 64.0);
+    let link_shard = shards.link_shard.as_slice();
+
+    let outcome_parts = std::thread::scope(|scope| {
+        let mut to_workers = Vec::with_capacity(shards.num_shards);
+        let mut from_workers = Vec::with_capacity(shards.num_shards);
+        for _ in 0..shards.num_shards {
+            let (job_tx, job_rx) = std::sync::mpsc::channel::<(ShardRun, f64)>();
+            let (res_tx, res_rx) = std::sync::mpsc::channel::<ShardRun>();
+            let worker_admission = admission.clone();
+            let mut worker_selector = selector.clone();
+            scope.spawn(move || {
+                while let Ok((mut run, t_b)) = job_rx.recv() {
+                    run_window(spec, &mut run, &worker_admission, &mut worker_selector, t_b);
+                    if res_tx.send(run).is_err() {
+                        break;
+                    }
+                }
+            });
+            to_workers.push(job_tx);
+            from_workers.push(res_rx);
+        }
+
+        let mut slots: Vec<Option<ShardRun>> = shard_runs.into_iter().map(Some).collect();
+        let mut merge_idx: Vec<usize> = Vec::new();
+        let mut next_flush = flush;
+        let mut warmup_wall: Option<f64> = None;
+        loop {
+            // The barrier: the earliest coordinator event still inside
+            // the window, the next flush boundary, or the end.
+            let coord_next = coord_queue.peek_time().filter(|&t| t < end);
+            let t_b = coord_next.unwrap_or(f64::INFINITY).min(next_flush).min(end);
+
+            // Workers process their local events strictly before t_b,
+            // in parallel.
+            for (s, tx) in to_workers.iter().enumerate() {
+                let run = slots[s].take().expect("run checked in at the barrier");
+                tx.send((run, t_b)).expect("worker is alive");
+            }
+            for (s, rx) in from_workers.iter().enumerate() {
+                slots[s] = Some(rx.recv().expect("worker returns its run"));
+            }
+            let mut runs: Vec<ShardRun> =
+                slots.iter_mut().map(|s| s.take().expect("run")).collect();
+
+            // Reconcile: master absorbs every link the shards touched,
+            // then the logs rebuild the global gauges up to t_b.
+            for run in runs.iter_mut() {
+                sync_shard_to_master(&mut master, run);
+            }
+            merge_window_logs(&mut runs, &mut merge_idx, &mut acc, &mut metrics);
+
+            // The coordinator's own events at exactly t_b.
+            while coord_queue.peek_time().is_some_and(|t| t < end && t <= t_b) {
+                let (now, event) = coord_queue.pop().expect("peeked event exists");
+                let q_before = coord_queue.len() + 1;
+                let live_before = master.calls.live();
+                let mut local_torn = 0usize;
+                match event {
+                    Event::Arrival { source } => {
+                        master.arrival(
+                            now,
+                            source,
+                            spec,
+                            &*admission,
+                            selector,
+                            &mut NullObserver,
+                            &mut coord_queue,
+                            &mut coord_counters,
+                            &mut coord_metrics,
+                        );
+                        write_through(&mut master, &mut runs, link_shard, now);
+                    }
+                    Event::Departure { call, gen } => {
+                        master.departure(now, call, gen, &mut NullObserver);
+                        write_through(&mut master, &mut runs, link_shard, now);
+                    }
+                    Event::Link { link, up } => {
+                        let link = link as usize;
+                        // Cross calls first (master's index holds them),
+                        // their releases written through; then the owner
+                        // shard tears down its local calls on the link
+                        // and its releases sync back. Either order
+                        // yields the oracle's state: same-time gauge
+                        // records carry zero weight and the releases
+                        // commute.
+                        master.link_change(
+                            now,
+                            link,
+                            up,
+                            config.warmup,
+                            &mut NullObserver,
+                            &mut coord_counters,
+                        );
+                        write_through(&mut master, &mut runs, link_shard, now);
+                        let owner = &mut runs[link_shard[link] as usize];
+                        local_torn = owner.state.link_change(
+                            now,
+                            link,
+                            up,
+                            config.warmup,
+                            &mut NullObserver,
+                            &mut owner.counters,
+                        );
+                        sync_shard_to_master(&mut master, owner);
+                    }
+                    Event::Tick => unreachable!("sharded runs never schedule ticks"),
+                }
+                let qd = coord_queue.len() as i64 - q_before as i64;
+                let ld = master.calls.live() as i64 - live_before as i64 - local_torn as i64;
+                acc.apply(EventRec { t: now, qd, ld }, &mut metrics);
+            }
+
+            if warmup_wall.is_none() && t_b >= config.warmup {
+                warmup_wall = Some(started.elapsed().as_secs_f64());
+            }
+            for (slot, run) in slots.iter_mut().zip(runs) {
+                *slot = Some(run);
+            }
+            if t_b >= end {
+                break;
+            }
+            while next_flush <= t_b {
+                next_flush += flush;
+            }
+        }
+        drop(to_workers);
+        let runs: Vec<ShardRun> = slots.into_iter().map(|s| s.expect("run")).collect();
+        (runs, warmup_wall)
+    });
+    let (mut runs, warmup_wall) = outcome_parts;
+
+    // Assemble the outcome exactly as the oracle does.
+    metrics.events_processed = acc.events;
+    // The call table's free list reuses slots before growing, so its
+    // high-water mark equals the concurrent-call peak.
+    metrics.call_table_high_water = metrics.peak_concurrent_calls;
+    metrics.link_utilization = (0..spec.capacities.len())
+        .map(|l| {
+            let tw = &mut runs[link_shard[l] as usize].state.occupancy[l];
+            tw.finish(end);
+            tw.mean() / f64::from(spec.capacities[l])
+        })
+        .collect();
+    let total_wall = started.elapsed().as_secs_f64();
+    metrics.wall_clock_secs = total_wall;
+
+    let mut counters = coord_counters;
+    for run in &runs {
+        counters.absorb(&run.counters);
+    }
+    let Counters {
+        offered,
+        blocked,
+        carried_primary,
+        carried_alternate,
+        dropped,
+        tally_offered,
+        tally_blocked,
+    } = counters;
+    KernelOutcome {
+        offered,
+        blocked,
+        carried_primary,
+        carried_alternate,
+        dropped,
+        tally_offered,
+        tally_blocked,
+        metrics,
+        warmup_wall: warmup_wall.unwrap_or(total_wall),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{
+        run, ArrivalSource, KernelConfig, LinkEvent, LinkOccupancy, Selection, Tier,
+        TrunkReservation, Uncontrolled,
+    };
+
+    /// Primary-then-alternate fixed-path selector, indexed by `src` —
+    /// stateless and footprint-pure, hence shardable.
+    #[derive(Clone)]
+    struct TwoChoice<'p> {
+        primary: &'p [Vec<Link>],
+        alternate: &'p [Vec<Link>],
+    }
+
+    impl<'p> RouteSelector<'p> for TwoChoice<'p> {
+        fn select<A: AdmissionPolicy>(
+            &mut self,
+            src: usize,
+            _dst: usize,
+            _pick: f64,
+            view: &LinkOccupancy,
+            admission: &A,
+            bandwidth: u32,
+        ) -> Selection<'p> {
+            let primary = self.primary[src].as_slice();
+            if admission.path_admits(view, primary, Tier::Primary, bandwidth) {
+                return Selection::Route {
+                    links: primary,
+                    tier: Tier::Primary,
+                };
+            }
+            let alternate = self.alternate[src].as_slice();
+            if !alternate.is_empty()
+                && admission.path_admits(view, alternate, Tier::Alternate, bandwidth)
+            {
+                return Selection::Route {
+                    links: alternate,
+                    tier: Tier::Alternate,
+                };
+            }
+            Selection::Blocked
+        }
+
+        fn shardable(&self) -> bool {
+            true
+        }
+    }
+
+    /// A shardable selector with `shardable()` left `false`, to drive
+    /// the fallback path.
+    #[derive(Clone)]
+    struct Opaque<'p>(TwoChoice<'p>);
+
+    impl<'p> RouteSelector<'p> for Opaque<'p> {
+        fn select<A: AdmissionPolicy>(
+            &mut self,
+            src: usize,
+            dst: usize,
+            pick: f64,
+            view: &LinkOccupancy,
+            admission: &A,
+            bandwidth: u32,
+        ) -> Selection<'p> {
+            self.0.select(src, dst, pick, view, admission, bandwidth)
+        }
+    }
+
+    fn sources(n: usize, rate: f64) -> Vec<ArrivalSource> {
+        (0..n)
+            .map(|i| ArrivalSource {
+                stream: i as u64,
+                src: i,
+                dst: i,
+                rate,
+                bandwidth: 1,
+                tag: i as u32,
+                tally: i as u32,
+            })
+            .collect()
+    }
+
+    fn footprints(primary: &[Vec<Link>], alternate: &[Vec<Link>]) -> Vec<Vec<Link>> {
+        primary
+            .iter()
+            .zip(alternate)
+            .map(|(p, a)| {
+                let mut fp: Vec<Link> = p.iter().chain(a).copied().collect();
+                fp.sort_unstable();
+                fp.dedup();
+                fp
+            })
+            .collect()
+    }
+
+    fn config(warmup: f64, horizon: f64, seed: u64, tally_slots: usize) -> KernelConfig {
+        KernelConfig {
+            warmup,
+            horizon,
+            seed,
+            draw_pick: true,
+            tick_interval: None,
+            tally_slots,
+        }
+    }
+
+    #[test]
+    fn disjoint_sources_match_the_oracle_at_every_shard_count() {
+        // Six independent single-link sources: every source is local
+        // under every partition.
+        let caps = [8u32; 6];
+        let primary: Vec<Vec<Link>> = (0..6).map(|i| vec![i]).collect();
+        let alternate: Vec<Vec<Link>> = vec![Vec::new(); 6];
+        let srcs = sources(6, 6.0);
+        let spec = KernelSpec {
+            config: config(5.0, 120.0, 11, 6),
+            capacities: &caps,
+            static_down: &[],
+            sources: &srcs,
+            link_events: &[],
+        };
+        let fps = footprints(&primary, &alternate);
+        let selector = TwoChoice {
+            primary: &primary,
+            alternate: &alternate,
+        };
+        let oracle = run(
+            &spec,
+            &mut Uncontrolled,
+            &mut selector.clone(),
+            &mut NullObserver,
+        );
+        for num_shards in [1, 2, 3, 4, 6, 8] {
+            for partition in [Partition::Contiguous, Partition::RoundRobin] {
+                let shards = ShardSpec::new(caps.len(), num_shards, partition.clone());
+                let out = run_sharded(
+                    &spec,
+                    &shards,
+                    &fps,
+                    &mut Uncontrolled,
+                    &mut selector.clone(),
+                    &mut NullObserver,
+                    &mut KernelScratch::new(),
+                );
+                assert_eq!(out, oracle, "{num_shards} shards, {partition:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_sources_and_outages_match_the_oracle() {
+        // Four local single-link sources plus two cross sources whose
+        // paths span both halves of a contiguous 2-shard partition,
+        // under trunk reservation, with an outage/repair cycle on a
+        // link carrying both local and cross calls.
+        let caps = [6u32, 6, 6, 6];
+        let primary: Vec<Vec<Link>> = vec![vec![0], vec![1], vec![2], vec![3], vec![0, 2], vec![1]];
+        let alternate: Vec<Vec<Link>> = vec![
+            vec![1],
+            Vec::new(),
+            vec![3],
+            Vec::new(),
+            vec![1, 3],
+            vec![0, 3],
+        ];
+        let srcs = sources(6, 4.0);
+        let events = [
+            LinkEvent {
+                at: 31.25,
+                link: 0,
+                up: false,
+            },
+            LinkEvent {
+                at: 57.5,
+                link: 0,
+                up: true,
+            },
+            LinkEvent {
+                at: 44.75,
+                link: 2,
+                up: false,
+            },
+            LinkEvent {
+                at: 71.0,
+                link: 2,
+                up: true,
+            },
+        ];
+        let spec = KernelSpec {
+            config: config(10.0, 150.0, 23, 6),
+            capacities: &caps,
+            static_down: &[],
+            sources: &srcs,
+            link_events: &events,
+        };
+        let fps = footprints(&primary, &alternate);
+        let selector = TwoChoice {
+            primary: &primary,
+            alternate: &alternate,
+        };
+        let admission = TrunkReservation::new(vec![2, 2, 2, 2]);
+        let oracle = run(
+            &spec,
+            &mut admission.clone(),
+            &mut selector.clone(),
+            &mut NullObserver,
+        );
+        assert!(oracle.dropped > 0, "the outage must tear down calls");
+        assert!(oracle.carried_alternate > 0, "alternates must be exercised");
+        for num_shards in [2, 4] {
+            let shards = ShardSpec::new(caps.len(), num_shards, Partition::Contiguous)
+                .with_flush_interval(3.0);
+            let out = run_sharded(
+                &spec,
+                &shards,
+                &fps,
+                &mut admission.clone(),
+                &mut selector.clone(),
+                &mut NullObserver,
+                &mut KernelScratch::new(),
+            );
+            assert_eq!(out, oracle, "{num_shards} shards");
+        }
+    }
+
+    #[test]
+    fn fallback_paths_still_match_the_oracle() {
+        let caps = [8u32, 8];
+        let primary: Vec<Vec<Link>> = vec![vec![0], vec![0, 1]];
+        let alternate: Vec<Vec<Link>> = vec![Vec::new(); 2];
+        let srcs = sources(2, 5.0);
+        let spec = KernelSpec {
+            config: config(0.0, 90.0, 7, 2),
+            capacities: &caps,
+            static_down: &[],
+            sources: &srcs,
+            link_events: &[],
+        };
+        let fps = footprints(&primary, &alternate);
+        let shards = ShardSpec::new(caps.len(), 2, Partition::RoundRobin);
+        let oracle = run(
+            &spec,
+            &mut Uncontrolled,
+            &mut TwoChoice {
+                primary: &primary,
+                alternate: &alternate,
+            },
+            &mut NullObserver,
+        );
+
+        // Unshardable selector: serial fallback, identical outcome.
+        let out = run_sharded(
+            &spec,
+            &shards,
+            &fps,
+            &mut Uncontrolled,
+            &mut Opaque(TwoChoice {
+                primary: &primary,
+                alternate: &alternate,
+            }),
+            &mut NullObserver,
+            &mut KernelScratch::new(),
+        );
+        assert_eq!(out, oracle);
+
+        // Every source cross (both map to different shards' links):
+        // serial fallback, identical outcome.
+        let cross_fps = vec![vec![0, 1], vec![0, 1]];
+        let out = run_sharded(
+            &spec,
+            &shards,
+            &cross_fps,
+            &mut Uncontrolled,
+            &mut TwoChoice {
+                primary: &primary,
+                alternate: &alternate,
+            },
+            &mut NullObserver,
+            &mut KernelScratch::new(),
+        );
+        assert_eq!(out, oracle);
+    }
+
+    #[test]
+    fn flush_interval_never_changes_the_outcome() {
+        let caps = [10u32; 4];
+        let primary: Vec<Vec<Link>> = (0..4).map(|i| vec![i]).collect();
+        let alternate: Vec<Vec<Link>> = vec![Vec::new(); 4];
+        let srcs = sources(4, 7.0);
+        let spec = KernelSpec {
+            config: config(2.0, 60.0, 3, 4),
+            capacities: &caps,
+            static_down: &[],
+            sources: &srcs,
+            link_events: &[],
+        };
+        let fps = footprints(&primary, &alternate);
+        let mut selector = TwoChoice {
+            primary: &primary,
+            alternate: &alternate,
+        };
+        let mut outs = Vec::new();
+        for flush in [0.25, 5.0, 1000.0] {
+            let shards =
+                ShardSpec::new(caps.len(), 2, Partition::Contiguous).with_flush_interval(flush);
+            outs.push(run_sharded(
+                &spec,
+                &shards,
+                &fps,
+                &mut Uncontrolled,
+                &mut selector.clone(),
+                &mut NullObserver,
+                &mut KernelScratch::new(),
+            ));
+        }
+        let oracle = run(&spec, &mut Uncontrolled, &mut selector, &mut NullObserver);
+        for out in &outs {
+            assert_eq!(*out, oracle);
+        }
+    }
+}

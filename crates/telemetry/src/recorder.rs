@@ -31,6 +31,12 @@ pub enum ArrivalOutcome {
 /// simulation (the engine's results are required to be byte-identical
 /// under any recorder).
 pub trait Recorder {
+    /// True when every hook is a no-op: parallel simulation backends may
+    /// only engage when all observers are inert, because they cannot
+    /// replay hooks in global event order. Defaults to `false`; only
+    /// recorders that override no methods may set it to `true`.
+    const IS_NOOP: bool = false;
+
     /// An event was popped and processed; `queue_len` is the pending
     /// count after processing.
     fn event(&mut self, now: f64, queue_len: usize) {
@@ -88,7 +94,9 @@ pub trait Recorder {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullRecorder;
 
-impl Recorder for NullRecorder {}
+impl Recorder for NullRecorder {
+    const IS_NOOP: bool = true;
+}
 
 /// Full time-resolved telemetry of one run — or, after merging, of many
 /// replications of the same scenario.

@@ -6,8 +6,8 @@
 #   scripts/check.sh [stage ...]
 #
 # Stages: fmt | clippy | test | conformance | telemetry | parity |
-# bench-smoke | all (default). Unknown stages fail fast. Run from
-# anywhere; operates on the workspace containing this script.
+# shard-parity | bench-smoke | all (default). Unknown stages fail fast.
+# Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -101,6 +101,39 @@ EOF
   parity signaling signaling "$tmpdir/parity.json"
 }
 
+# Shard parity: the sharded kernel backend must be a pure scheduling
+# detail. The dedicated conformance test pins byte-parity against the
+# serial oracle (golden traces, both built-in partitions, and random
+# instances under random partitions); on top of that, fixed-seed CLI
+# runs with and without --shards must render identical output for the
+# engine and multirate frontends.
+stage_shard_parity() {
+  cat > "$tmpdir/shard.json" <<'EOF'
+{
+  "topology": { "builtin": "quadrangle" },
+  "traffic": { "uniform": 90.0 },
+  "policies": ["single-path", "uncontrolled", "controlled"],
+  "max_hops": 3,
+  "warmup": 5.0,
+  "horizon": 40.0,
+  "seeds": 4,
+  "base_seed": 7
+}
+EOF
+  cargo test --release -q -p altroute-conformance --test shard_parity
+  shard_parity() { # <name> <cli args...>: serial vs --shards 3, identical stdout
+    local name="$1"; shift
+    cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+      "$@" > "$tmpdir/shard_$name.serial"
+    cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+      "$@" --shards 3 > "$tmpdir/shard_$name.sharded"
+    cmp "$tmpdir/shard_$name.serial" "$tmpdir/shard_$name.sharded"
+    grep -q '0\.' "$tmpdir/shard_$name.serial" # a blocking probability rendered
+  }
+  shard_parity simulate  simulate  "$tmpdir/shard.json"
+  shard_parity multirate multirate "$tmpdir/shard.json"
+}
+
 # Bench smoke: the perf-baseline binary must run end to end in --quick
 # mode and emit a report that passes its own schema validation. No
 # timing thresholds here — the non-blocking regression gate is
@@ -120,13 +153,15 @@ run_stage() {
     conformance) stage_conformance ;;
     telemetry)   stage_telemetry ;;
     parity)      stage_parity ;;
+    shard-parity) stage_shard_parity ;;
     bench-smoke) stage_bench_smoke ;;
     all)
       stage_fmt; stage_clippy; stage_test
-      stage_conformance; stage_telemetry; stage_parity; stage_bench_smoke
+      stage_conformance; stage_telemetry; stage_parity
+      stage_shard_parity; stage_bench_smoke
       ;;
     *)
-      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry parity bench-smoke all" >&2
+      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry parity shard-parity bench-smoke all" >&2
       exit 2
       ;;
   esac

@@ -1,6 +1,6 @@
 //! Machine-readable kernel performance baseline.
 //!
-//! Runs three fixed-seed macro workloads through the engine twice — once
+//! Runs four fixed-seed macro workloads through the engine twice — once
 //! on the calendar-queue kernel (`run_seed_pooled` with one recycled
 //! [`KernelScratch`]) and once on the `BinaryHeap` reference backend
 //! (`run_seed_reference`) — asserts the results are byte-identical, and
@@ -147,6 +147,30 @@ fn nsfnet_sweep(horizon: f64) -> Workload {
         name: "nsfnet_sweep",
         description: "NSFNet(100) at 0.9x/1.1x/1.3x nominal traffic",
         specs,
+    }
+}
+
+/// The metastability smoke operating point: `K_16` at the bistable load
+/// with best-of-2 tandem sampling — the hot path the `metastability`
+/// experiment tier runs at scale, tracked here so regressions in the
+/// best-of-d selector (per-overflow sampling + occupancy scans on a
+/// dense mesh) show up in the baseline.
+fn metastability(horizon: f64) -> Workload {
+    let topo = topologies::full_mesh(16, 200);
+    let traffic = TrafficMatrix::uniform(16, 177.0);
+    let plan = RoutingPlan::min_hop(topo, &traffic, 2);
+    Workload {
+        name: "metastability",
+        description: "K_16, C=200, 177 Erlang/pair, best-of-2 tandem sampling",
+        specs: vec![Spec {
+            plan,
+            policy: PolicyKind::BestOfD { max_hops: 2, d: 2 },
+            traffic,
+            failures: FailureSchedule::none(),
+            warmup: 2.0,
+            horizon,
+            seed: 0x0B0D_0010,
+        }],
     }
 }
 
@@ -644,15 +668,16 @@ fn gate(baseline: &Value, fresh: &Value, tolerance: f64) -> Result<Vec<String>, 
 }
 
 fn run_benchmarks(quick: bool, out: &str) -> ExitCode {
-    let (churn_h, quad_h, nsf_h, scaling_h, reps) = if quick {
-        (60.0, 40.0, 6.0, 8.0, 1)
+    let (churn_h, quad_h, nsf_h, meta_h, scaling_h, reps) = if quick {
+        (60.0, 40.0, 6.0, 2.0, 8.0, 1)
     } else {
-        (400.0, 300.0, 25.0, 400.0, 3)
+        (400.0, 300.0, 25.0, 20.0, 400.0, 3)
     };
     let workloads = [
         outage_churn(churn_h),
         quadrangle_high_load(quad_h),
         nsfnet_sweep(nsf_h),
+        metastability(meta_h),
     ];
     let mut scratch = KernelScratch::new();
     let mut measurements = Vec::new();

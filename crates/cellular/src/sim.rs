@@ -394,6 +394,7 @@ fn run_one<R: Recorder>(
         static_down: &[],
         sources: &sources,
         link_events: &[],
+        initial_occupancy: &[],
     };
     let mut selector = BorrowSelector {
         grid,
@@ -476,6 +477,7 @@ pub fn run_cellular_sharded(
                 static_down: &[],
                 sources: &sources,
                 link_events: &[],
+                initial_occupancy: &[],
             };
             let mut selector = BorrowSelector {
                 grid,

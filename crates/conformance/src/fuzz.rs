@@ -14,6 +14,11 @@
 //! * **`H = 1` reduction** — with the hop bound at one, the only
 //!   candidate is the primary itself, so controlled alternate routing is
 //!   byte-identical to the primary-only policy.
+//! * **Best-of-`d` reductions** — at `H = 1` the best-of-`d` policy has
+//!   no tandems to sample and must match single-path byte for byte; at
+//!   `r = 0` the named policy (trunk reservation + sampling selector)
+//!   must match the explicit `(Uncontrolled, BestOfDSelector)` pair on
+//!   the same private stream.
 //! * **Load monotonicity** — scaling every demand up cannot decrease
 //!   network blocking, checked statistically (seeds pooled, small
 //!   margin) because the relation is a coupling argument, not a per-seed
@@ -34,14 +39,21 @@
 
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
+use altroute_core::select::BestOfDSelector;
 use altroute_netgraph::topologies::random_instance;
 use altroute_sim::adaptive::{run_adaptive_seed, AdaptiveConfig, InitialLevels};
-use altroute_sim::engine::{run_seed, RunConfig, SeedResult};
+use altroute_sim::engine::{
+    run_seed, run_seed_with_policy, RunConfig, SeedResult, BOD_SAMPLE_STREAM,
+};
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::multirate::{
     run_multirate_with_levels, run_multirate_with_workers, BandwidthClass, MultirateParams,
     MultiratePolicy, MultirateResult,
 };
+use altroute_sim::trace::NullTraceSink;
+use altroute_simcore::kernel::Uncontrolled;
+use altroute_simcore::rng::StreamFactory;
+use altroute_telemetry::NullRecorder;
 
 /// Margin granted to the statistical load-monotonicity check (the exact
 /// reductions get none).
@@ -179,6 +191,69 @@ pub fn fuzz_instances(master_seed: u64, count: usize) -> FuzzReport {
                 "[{inst_seed:#x}] H=1 controlled != single-path: blocking {} vs {}",
                 h1_controlled.blocking(),
                 single.blocking()
+            ));
+        }
+
+        // Best-of-d, H = 1: with the primary as the only candidate there
+        // is nothing to sample, so the selector never touches its private
+        // stream and the policy is byte-identical to single-path.
+        let bod_h1 = run(
+            &plan_h1,
+            PolicyKind::BestOfD { max_hops: 1, d: 2 },
+            &inst.traffic,
+            inst_seed ^ 0xB0D1,
+        );
+        let single_for_bod = run(
+            &plan_h1,
+            PolicyKind::SinglePath,
+            &inst.traffic,
+            inst_seed ^ 0xB0D1,
+        );
+        if bod_h1 != single_for_bod {
+            violations.push(format!(
+                "[{inst_seed:#x}] bod H=1 != single-path: blocking {} vs {}",
+                bod_h1.blocking(),
+                single_for_bod.blocking()
+            ));
+        }
+
+        // Best-of-d, r = 0: the named policy rides trunk reservation;
+        // with every level zero it must collapse onto the explicit
+        // (Uncontrolled, BestOfDSelector) pair driven by the same
+        // sampling stream, byte for byte.
+        let bod_named = run(
+            &free_plan,
+            PolicyKind::BestOfD { max_hops: h, d: 2 },
+            &inst.traffic,
+            inst_seed ^ 0xB0D0,
+        );
+        let bod_config = RunConfig {
+            plan: &free_plan,
+            policy: PolicyKind::BestOfD { max_hops: h, d: 2 },
+            traffic: &inst.traffic,
+            warmup,
+            horizon,
+            seed: inst_seed ^ 0xB0D0,
+            failures: &failures,
+        };
+        let mut bod_selector = BestOfDSelector::new(
+            &free_plan,
+            2,
+            StreamFactory::new(bod_config.seed).stream(BOD_SAMPLE_STREAM),
+        );
+        let bod_explicit = run_seed_with_policy(
+            &bod_config,
+            &mut Uncontrolled,
+            &mut bod_selector,
+            &mut NullTraceSink,
+            &mut NullRecorder,
+        );
+        extra_runs += 1;
+        if bod_named != bod_explicit {
+            violations.push(format!(
+                "[{inst_seed:#x}] bod r=0 != uncontrolled best-of-d: blocking {} vs {}",
+                bod_named.blocking(),
+                bod_explicit.blocking()
             ));
         }
 

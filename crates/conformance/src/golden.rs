@@ -18,8 +18,8 @@ use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_sim::engine::{
-    run_seed_pooled, run_seed_sharded_pooled, run_seed_sharded_traced, run_seed_traced, RunConfig,
-    SeedResult,
+    run_seed_pooled, run_seed_sharded_pooled, run_seed_sharded_traced, run_seed_traced,
+    run_seed_warm, run_seed_warm_sharded, RunConfig, SeedResult,
 };
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::trace::{diff_traces, BinaryTraceWriter, TraceDiff};
@@ -52,7 +52,7 @@ struct Scenario {
 
 /// The checked-in golden scenarios.
 pub fn golden_names() -> &'static [&'static str] {
-    &["quadrangle-fig3", "nsfnet"]
+    &["quadrangle-fig3", "nsfnet", "k6-bod"]
 }
 
 fn scenario(name: &str) -> Scenario {
@@ -90,6 +90,33 @@ fn scenario(name: &str) -> Scenario {
                 warmup: 0.2,
                 horizon: 2.8,
                 seed: 0x0601_D05F,
+            }
+        }
+        // K_6 near critical load under the best-of-d selector: every
+        // overflow samples the private selector stream, so the trace
+        // pins the sampling draw order and tie-breaking alongside the
+        // trunk-reservation admission decisions.
+        "k6-bod" => {
+            let topo = topologies::full_mesh(6, 30);
+            // Load chosen so overflows regularly find tandems *near* the
+            // reservation boundary (occupancy C - r - 1): at 24 Erlangs
+            // the Eq.-15 level is r = 3 and the boundary sits in the
+            // bulk of the tandem-occupancy distribution, so the
+            // perturbation check (r bumped by one) has teeth. At loads
+            // near capacity, overflows only happen when the whole mesh
+            // is congested and every tandem is far above the boundary.
+            let traffic = TrafficMatrix::uniform(6, 26.0);
+            Scenario {
+                plan: RoutingPlan::min_hop(topo, &traffic, 2),
+                policy: PolicyKind::BestOfD { max_hops: 2, d: 2 },
+                traffic,
+                failures: FailureSchedule::none(),
+                // Long enough past the cold start that links actually
+                // fill (mean holding is one time unit), so the trace
+                // contains a healthy population of overflows.
+                warmup: 2.0,
+                horizon: 3.0,
+                seed: 0x0B0D_0006,
             }
         }
         other => panic!("unknown golden scenario `{other}`"),
@@ -174,6 +201,87 @@ pub fn scenario_replications(name: &str, seeds: u32, workers: usize) -> Vec<Seed
             )
         },
     )
+}
+
+/// The initial occupancy used by the warm-start harnesses: every link
+/// of scenario `name` filled to `fill_percent` of its capacity
+/// (rounded down; 0 is an explicit all-zero warm start, 100 is
+/// saturated).
+fn scenario_fill(s: &Scenario, fill_percent: u32) -> Vec<u32> {
+    s.plan
+        .topology()
+        .links()
+        .iter()
+        .map(|l| (u64::from(l.capacity) * u64::from(fill_percent) / 100) as u32)
+        .collect()
+}
+
+/// As [`scenario_replications`] on one worker, but through the
+/// warm-start entry with every link pre-filled to `fill_percent` of
+/// capacity — the warm-start parity harness. At `fill_percent = 0` the
+/// results must be byte-identical to the cold oracle; at any fill, the
+/// sharded counterpart
+/// ([`scenario_replications_warm_sharded`]) must match this serial one.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name.
+pub fn scenario_replications_warm(name: &str, seeds: u32, fill_percent: u32) -> Vec<SeedResult> {
+    let s = scenario(name);
+    let initial = scenario_fill(&s, fill_percent);
+    (0..seeds)
+        .map(|i| {
+            run_seed_warm(
+                &RunConfig {
+                    plan: &s.plan,
+                    policy: s.policy,
+                    traffic: &s.traffic,
+                    warmup: s.warmup,
+                    horizon: s.horizon,
+                    seed: s.seed + u64::from(i),
+                    failures: &s.failures,
+                },
+                &initial,
+            )
+        })
+        .collect()
+}
+
+/// As [`scenario_replications_warm`], but through the sharded kernel
+/// entry. A non-empty warm start forces the serial fallback inside the
+/// sharded entry, so every `(num_shards, partition)` pair must still be
+/// byte-identical to the serial warm oracle.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name or an invalid shard spec.
+pub fn scenario_replications_warm_sharded(
+    name: &str,
+    seeds: u32,
+    fill_percent: u32,
+    num_shards: usize,
+    partition: Partition,
+) -> Vec<SeedResult> {
+    let s = scenario(name);
+    let initial = scenario_fill(&s, fill_percent);
+    let spec = ShardSpec::new(s.plan.topology().num_links(), num_shards, partition);
+    (0..seeds)
+        .map(|i| {
+            run_seed_warm_sharded(
+                &RunConfig {
+                    plan: &s.plan,
+                    policy: s.policy,
+                    traffic: &s.traffic,
+                    warmup: s.warmup,
+                    horizon: s.horizon,
+                    seed: s.seed + u64::from(i),
+                    failures: &s.failures,
+                },
+                &initial,
+                &spec,
+            )
+        })
+        .collect()
 }
 
 /// As [`record_scenario`] (nominal), but recorded through the sharded

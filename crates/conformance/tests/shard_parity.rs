@@ -5,7 +5,7 @@
 
 use altroute_conformance::golden::{
     golden_names, golden_path, record_scenario_sharded, scenario_replications,
-    scenario_replications_sharded,
+    scenario_replications_sharded, scenario_replications_warm, scenario_replications_warm_sharded,
 };
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
@@ -50,6 +50,51 @@ fn sharded_outcomes_match_the_serial_oracle_on_golden_scenarios() {
                     oracle, sharded,
                     "{name}: {shards} shards ({partition:?}) diverged from the serial oracle"
                 );
+            }
+        }
+    }
+}
+
+/// An explicit all-zero warm start must be byte-identical to the cold
+/// oracle on every golden scenario: seeding zero units touches no link,
+/// draws nothing from the warm-start stream, and leaves the event
+/// schedule untouched.
+#[test]
+fn zero_fill_warm_starts_match_the_cold_oracle_on_golden_scenarios() {
+    for name in golden_names() {
+        let cold = scenario_replications(name, 2, 1);
+        let warm = scenario_replications_warm(name, 2, 0);
+        assert_eq!(
+            cold, warm,
+            "{name}: all-zero warm start diverged from the cold start"
+        );
+    }
+}
+
+/// Warm-started sharded runs must match the serial warm oracle for
+/// every shard count and partition. (A non-empty warm start forces the
+/// serial fallback inside the sharded entry, so this pins the fallback
+/// detection as much as the warm-start plumbing itself.)
+#[test]
+fn warm_starts_shard_identically_to_the_serial_warm_oracle() {
+    for name in golden_names() {
+        for fill in [50u32, 100] {
+            let oracle = scenario_replications_warm(name, 2, fill);
+            for shards in [1usize, 2, 4] {
+                for partition in [Partition::Contiguous, Partition::RoundRobin] {
+                    let sharded = scenario_replications_warm_sharded(
+                        name,
+                        2,
+                        fill,
+                        shards,
+                        partition.clone(),
+                    );
+                    assert_eq!(
+                        oracle, sharded,
+                        "{name}: warm fill {fill}% with {shards} shards ({partition:?}) \
+                         diverged from the serial warm oracle"
+                    );
+                }
             }
         }
     }

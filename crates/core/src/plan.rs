@@ -16,7 +16,7 @@
 
 use crate::primary::PrimaryAssignment;
 use altroute_netgraph::graph::{LinkId, Topology};
-use altroute_netgraph::paths::{loop_free_paths, Path};
+use altroute_netgraph::paths::{loop_free_paths, loop_free_paths_capped, Path};
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_teletraffic::reservation::protection_level;
 use altroute_teletraffic::shadow::ShadowPriceTable;
@@ -50,6 +50,34 @@ impl RoutingPlan {
         Self::with_primaries(topo, traffic, primaries, max_alternate_hops)
     }
 
+    /// Like [`min_hop`](Self::min_hop), but keeps at most `candidate_cap`
+    /// candidate paths per ordered pair — the first `candidate_cap`
+    /// entries of the canonical `(hop count, node sequence)` attempt
+    /// order.
+    ///
+    /// Dense meshes need this: on K_N every pair has N−2 two-hop tandems,
+    /// so the uncapped enumeration over all n² pairs allocates O(N³)
+    /// paths (≈ 8M at N = 200) before a single call is simulated. The
+    /// randomized selectors (DAR, best-of-d) only ever sample from the
+    /// candidate set, so a cap bounds plan construction to O(N²·cap)
+    /// while leaving every uncapped plan byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidate_cap == 0` (a plan without even the primary
+    /// candidate is useless) or on the [`with_primaries`](Self::with_primaries)
+    /// size mismatches.
+    pub fn min_hop_capped(
+        topo: Topology,
+        traffic: &TrafficMatrix,
+        max_alternate_hops: u32,
+        candidate_cap: usize,
+    ) -> Self {
+        assert!(candidate_cap > 0, "candidate cap must be positive");
+        let primaries = PrimaryAssignment::min_hop(&topo);
+        Self::build(topo, traffic, primaries, max_alternate_hops, candidate_cap)
+    }
+
     /// Builds a plan from an explicit (possibly bifurcated) primary
     /// assignment.
     ///
@@ -61,6 +89,16 @@ impl RoutingPlan {
         traffic: &TrafficMatrix,
         primaries: PrimaryAssignment,
         max_alternate_hops: u32,
+    ) -> Self {
+        Self::build(topo, traffic, primaries, max_alternate_hops, usize::MAX)
+    }
+
+    fn build(
+        topo: Topology,
+        traffic: &TrafficMatrix,
+        primaries: PrimaryAssignment,
+        max_alternate_hops: u32,
+        candidate_cap: usize,
     ) -> Self {
         assert!(max_alternate_hops > 0, "H must be positive");
         assert_eq!(
@@ -79,8 +117,10 @@ impl RoutingPlan {
             for j in 0..n {
                 candidates.push(if i == j {
                     Vec::new()
-                } else {
+                } else if candidate_cap == usize::MAX {
                     loop_free_paths(&topo, i, j, max_alternate_hops as usize)
+                } else {
+                    loop_free_paths_capped(&topo, i, j, max_alternate_hops as usize, candidate_cap)
                 });
             }
         }
@@ -300,6 +340,53 @@ mod tests {
             assert_eq!(c[0].hops(), prim.hops());
         }
         assert!(plan.candidates(4, 4).is_empty());
+    }
+
+    #[test]
+    fn capped_plan_candidates_are_a_prefix_of_the_uncapped_plan() {
+        let traffic = TrafficMatrix::uniform(6, 5.0);
+        let full = RoutingPlan::min_hop(topologies::full_mesh(6, 20), &traffic, 2);
+        for cap in [1usize, 2, 3, 10] {
+            let capped =
+                RoutingPlan::min_hop_capped(topologies::full_mesh(6, 20), &traffic, 2, cap);
+            for (i, j) in capped.topology().ordered_pairs() {
+                let all = full.candidates(i, j);
+                let got = capped.candidates(i, j);
+                assert_eq!(got, &all[..cap.min(all.len())], "{i}->{j} cap={cap}");
+            }
+            // Eq.-15 protection depends only on loads/capacities, never on
+            // the candidate listing.
+            assert_eq!(capped.protection_levels(), full.protection_levels());
+        }
+    }
+
+    #[test]
+    fn k200_capped_plan_construction_fits_a_time_budget() {
+        // Regression for the K_N tandem blowup: the uncapped enumeration
+        // at N = 200, H = 2 allocates ~200³/2 ≈ 8M paths; the capped plan
+        // must stay O(N²·cap) and finish quickly. The budget is generous
+        // (debug builds, loaded CI machines) — before the cap existed this
+        // took minutes and gigabytes.
+        let n = 200;
+        let traffic = TrafficMatrix::uniform(n, 10.0);
+        let start = std::time::Instant::now();
+        let plan = RoutingPlan::min_hop_capped(topologies::full_mesh(n, 50), &traffic, 2, 16);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(60),
+            "K_200 capped plan took {elapsed:?}"
+        );
+        let c = plan.candidates(0, 1);
+        assert_eq!(c.len(), 16);
+        assert_eq!(c[0].hops(), 1);
+        assert!(c[1..].iter().all(|p| p.hops() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate cap must be positive")]
+    fn zero_candidate_cap_is_rejected() {
+        let traffic = TrafficMatrix::uniform(4, 1.0);
+        RoutingPlan::min_hop_capped(topologies::full_mesh(4, 10), &traffic, 2, 0);
     }
 
     #[test]

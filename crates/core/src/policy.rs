@@ -68,6 +68,19 @@ pub enum PolicyKind {
         /// Maximum alternate path hop count (must equal the plan's `H`).
         max_hops: u32,
     },
+    /// Balanced-allocation DAR ("best of d"): primary first; on overflow
+    /// sample `d` alternates uniformly at random and carry the call on
+    /// the least-loaded admissible one. Alternates are subject to the
+    /// plan's Eq. 15 protection levels, like [`PolicyKind::DarSticky`].
+    /// Stateful (private RNG) — served by
+    /// [`crate::select::BestOfDSelector`] on the simulation kernel, not
+    /// by the stateless [`Router`].
+    BestOfD {
+        /// Maximum alternate path hop count (must equal the plan's `H`).
+        max_hops: u32,
+        /// Number of alternates sampled per overflow (`d ≥ 1`).
+        d: u32,
+    },
 }
 
 impl PolicyKind {
@@ -79,6 +92,7 @@ impl PolicyKind {
             PolicyKind::ControlledAlternate { .. } => "controlled",
             PolicyKind::OttKrishnan { .. } => "ott-krishnan",
             PolicyKind::DarSticky { .. } => "dar",
+            PolicyKind::BestOfD { .. } => "bod",
         }
     }
 
@@ -89,7 +103,8 @@ impl PolicyKind {
             PolicyKind::UncontrolledAlternate { max_hops }
             | PolicyKind::ControlledAlternate { max_hops }
             | PolicyKind::OttKrishnan { max_hops }
-            | PolicyKind::DarSticky { max_hops } => Some(max_hops),
+            | PolicyKind::DarSticky { max_hops }
+            | PolicyKind::BestOfD { max_hops, .. } => Some(max_hops),
         }
     }
 }
@@ -171,6 +186,10 @@ impl<'p> Router<'p> {
                 "DAR is stateful (sticky alternates); drive it through \
                  select::DarStickySelector on the simulation kernel"
             ),
+            PolicyKind::BestOfD { .. } => panic!(
+                "best-of-d is stateful (private sampling RNG); drive it \
+                 through select::BestOfDSelector on the simulation kernel"
+            ),
             _ => self.decide_tiered(src, dst, view, primary_u),
         }
     }
@@ -195,7 +214,9 @@ impl<'p> Router<'p> {
                 primary_u,
                 Some(self.plan.protection_levels()),
             ),
-            PolicyKind::OttKrishnan { .. } | PolicyKind::DarSticky { .. } => {
+            PolicyKind::OttKrishnan { .. }
+            | PolicyKind::DarSticky { .. }
+            | PolicyKind::BestOfD { .. } => {
                 unreachable!("handled separately")
             }
         }

@@ -295,6 +295,148 @@ impl<'p> RouteSelector<'p> for DarStickySelector<'p> {
     }
 }
 
+/// Balanced-allocation DAR — "best of d". Deliberately **not**
+/// [`RouteSelector::shardable`] for the same reason as
+/// [`DarStickySelector`]: the private sampling stream advances on every
+/// overflow, so shard-local clones would diverge from the
+/// single-threaded oracle.
+///
+/// A call tries its primary; if the primary refuses, the pair samples
+/// `d` alternates uniformly at random (with replacement) and carries
+/// the call on the least-loaded admissible one — the "power of d
+/// choices" rule from balanced allocation, applied to two-hop tandems.
+/// Load is the maximum link occupancy along the alternate, so a tandem
+/// is exactly as loaded as its busier leg. Alternates are attempted at
+/// [`Tier::Alternate`], so trunk reservation applies.
+///
+/// Degenerate corners are pinned by tests: `d = 1` is memoryless
+/// uniform resampling (DAR without stickiness), and `d ≥` the number of
+/// alternates scans them **all deterministically** — no RNG draws —
+/// picking the globally least-loaded admissible alternate (ties to the
+/// earliest in attempt order).
+///
+/// The sampling RNG is the selector's own stream, separate from the
+/// arrival streams, so every pair sees the identical call sequence as
+/// the other policies (common random numbers).
+#[derive(Debug, Clone)]
+pub struct BestOfDSelector<'p> {
+    plan: &'p RoutingPlan,
+    /// Per pair: the candidate alternates (candidates minus every path
+    /// in the pair's primary split).
+    alternates: Vec<Vec<&'p altroute_netgraph::paths::Path>>,
+    d: usize,
+    rng: RngStream,
+    n: usize,
+    samples: u64,
+}
+
+impl<'p> BestOfDSelector<'p> {
+    /// Binds the selector to a plan with its private sampling stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` — sampling zero alternates is single-path
+    /// routing, which [`TieredSelector::single_path`] already provides.
+    pub fn new(plan: &'p RoutingPlan, d: u32, rng: RngStream) -> Self {
+        assert!(d >= 1, "best-of-d needs d >= 1");
+        let n = plan.topology().num_nodes();
+        let mut alternates = Vec::with_capacity(n * n);
+        for src in 0..n {
+            for dst in 0..n {
+                let split = plan.primaries().split(src, dst);
+                let alts: Vec<&'p altroute_netgraph::paths::Path> = plan
+                    .candidates(src, dst)
+                    .iter()
+                    .filter(|path| !split.iter().any(|(p, _)| &p == path))
+                    .collect();
+                alternates.push(alts);
+            }
+        }
+        Self {
+            plan,
+            alternates,
+            d: d as usize,
+            rng,
+            n,
+            samples: 0,
+        }
+    }
+
+    /// How many uniform draws the sampling stream has made (zero when
+    /// every overflow so far fell in the deterministic full-scan
+    /// regime `d ≥ #alternates`).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The load of an alternate: the occupancy of its busiest link.
+    fn load(view: &LinkOccupancy, links: &[usize]) -> u32 {
+        links.iter().map(|&l| view.occupancy(l)).max().unwrap_or(0)
+    }
+}
+
+impl<'p> RouteSelector<'p> for BestOfDSelector<'p> {
+    fn select<A: AdmissionPolicy>(
+        &mut self,
+        src: usize,
+        dst: usize,
+        pick: f64,
+        view: &LinkOccupancy,
+        admission: &A,
+        bandwidth: u32,
+    ) -> Selection<'p> {
+        let Some(primary) = self.plan.primaries().choose(src, dst, pick) else {
+            return Selection::Blocked;
+        };
+        if admission.path_admits(view, primary.links(), Tier::Primary, bandwidth) {
+            return Selection::Route {
+                links: primary.links(),
+                tier: Tier::Primary,
+            };
+        }
+        let pair = src * self.n + dst;
+        let alts = &self.alternates[pair];
+        if alts.is_empty() {
+            return Selection::Blocked;
+        }
+        let mut best: Option<(&'p [usize], u32)> = None;
+        let mut consider = |links: &'p [usize], view: &LinkOccupancy| {
+            if admission.path_admits(view, links, Tier::Alternate, bandwidth) {
+                let load = Self::load(view, links);
+                // Strict `<` keeps the earliest of equally-loaded
+                // alternates (attempt order on a full scan, draw order
+                // when sampling).
+                if best.is_none_or(|(_, b)| load < b) {
+                    best = Some((links, load));
+                }
+            }
+        };
+        if self.d >= alts.len() {
+            // Enough samples to cover every alternate: scan them all
+            // deterministically, no RNG draws.
+            for path in alts {
+                consider(path.links(), view);
+            }
+        } else {
+            // Exactly d draws per overflow (with replacement), even if
+            // an early sample already admits — a fixed draw count keeps
+            // the stream aligned across runs.
+            for _ in 0..self.d {
+                let idx = self.rng.below(alts.len());
+                self.samples += 1;
+                consider(alts[idx].links(), view);
+            }
+        }
+        match best {
+            Some((links, _)) => Selection::Route {
+                links,
+                tier: Tier::Alternate,
+            },
+            None => Selection::Blocked,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +600,140 @@ mod tests {
             Selection::Blocked => panic!("empty network must route the primary"),
         }
         assert_eq!(sel.resamples(), 0);
+    }
+
+    #[test]
+    fn best_of_one_is_uniform_dar_resampling() {
+        // d = 1 is memoryless DAR: every overflow draws one uniform
+        // alternate and uses it iff admissible. A mirror of the sampling
+        // stream predicts the selection exactly.
+        let plan = k4_plan();
+        let mut view = view_for(&plan);
+        let direct = plan.topology().link_between(0, 1).unwrap();
+        fill(&mut view, direct, 100);
+        let mut sel = BestOfDSelector::new(&plan, 1, StreamFactory::new(9).stream(u64::MAX - 1));
+        let mut mirror = StreamFactory::new(9).stream(u64::MAX - 1);
+        let split = plan.primaries().split(0, 1);
+        let alts: Vec<_> = plan
+            .candidates(0, 1)
+            .iter()
+            .filter(|p| !split.iter().any(|(q, _)| &q == p))
+            .collect();
+        assert!(alts.len() > 1, "need a real sampling regime");
+        for call in 0..30 {
+            let expect = alts[mirror.below(alts.len())];
+            match sel.select(0, 1, 0.0, &view, &Uncontrolled, 1) {
+                Selection::Route { links, tier } => {
+                    assert_eq!(tier, Tier::Alternate);
+                    assert_eq!(links, expect.links(), "call {call}");
+                }
+                Selection::Blocked => panic!("call {call}: all alternates admit"),
+            }
+        }
+        assert_eq!(sel.samples(), 30);
+    }
+
+    #[test]
+    fn best_of_many_scans_all_alternates_deterministically() {
+        // d ≥ #alternates covers every alternate: the globally
+        // least-loaded admissible one wins, and the RNG is never drawn.
+        let plan = k4_plan();
+        let mut view = view_for(&plan);
+        let t = plan.topology();
+        fill(&mut view, t.link_between(0, 1).unwrap(), 100);
+        fill(&mut view, t.link_between(0, 2).unwrap(), 40);
+        fill(&mut view, t.link_between(2, 1).unwrap(), 30);
+        fill(&mut view, t.link_between(0, 3).unwrap(), 20);
+        fill(&mut view, t.link_between(3, 1).unwrap(), 25);
+        // Tandem loads for 0→1: [0,2,1] = 40, [0,3,1] = 25,
+        // [0,2,3,1] = 40, [0,3,2,1] = 30 → [0,3,1] wins.
+        let mut sel = BestOfDSelector::new(&plan, 10, StreamFactory::new(9).stream(u64::MAX - 1));
+        match sel.select(0, 1, 0.0, &view, &Uncontrolled, 1) {
+            Selection::Route { links, tier } => {
+                assert_eq!(tier, Tier::Alternate);
+                let want: Vec<usize> =
+                    vec![t.link_between(0, 3).unwrap(), t.link_between(3, 1).unwrap()];
+                assert_eq!(links, &want[..]);
+            }
+            Selection::Blocked => panic!("an admissible alternate exists"),
+        }
+        assert_eq!(sel.samples(), 0, "full scan must not draw from the RNG");
+        // Equal loads tie to the earliest alternate in attempt order.
+        fill(&mut view, t.link_between(0, 3).unwrap(), 40);
+        fill(&mut view, t.link_between(3, 1).unwrap(), 40);
+        fill(&mut view, t.link_between(2, 1).unwrap(), 40);
+        match sel.select(0, 1, 0.0, &view, &Uncontrolled, 1) {
+            Selection::Route { links, .. } => {
+                let want: Vec<usize> =
+                    vec![t.link_between(0, 2).unwrap(), t.link_between(2, 1).unwrap()];
+                assert_eq!(links, &want[..], "tie must go to attempt order");
+            }
+            Selection::Blocked => panic!("an admissible alternate exists"),
+        }
+    }
+
+    #[test]
+    fn best_of_d_respects_trunk_reservation() {
+        let plan = k4_plan();
+        let r = plan.protection(0);
+        assert!(r >= 1);
+        let mut view = view_for(&plan);
+        let direct = plan.topology().link_between(0, 1).unwrap();
+        fill(&mut view, direct, 100);
+        for l in 0..plan.topology().num_links() {
+            if l != direct {
+                fill(&mut view, l, 100 - plan.protection(l));
+            }
+        }
+        let tr = TrunkReservation::new(plan.protection_levels().to_vec());
+        let mut sel = BestOfDSelector::new(&plan, 10, StreamFactory::new(9).stream(u64::MAX - 1));
+        assert_eq!(sel.select(0, 1, 0.0, &view, &tr, 1), Selection::Blocked);
+        // Uncontrolled admission still routes.
+        assert!(matches!(
+            sel.select(0, 1, 0.0, &view, &Uncontrolled, 1),
+            Selection::Route { .. }
+        ));
+    }
+
+    #[test]
+    fn best_of_d_primary_unaffected_by_sampling() {
+        let plan = k4_plan();
+        let view = view_for(&plan);
+        let mut sel = BestOfDSelector::new(&plan, 2, StreamFactory::new(9).stream(u64::MAX - 1));
+        match sel.select(2, 3, 0.0, &view, &Uncontrolled, 1) {
+            Selection::Route { tier, links } => {
+                assert_eq!(tier, Tier::Primary);
+                assert_eq!(links.len(), 1);
+            }
+            Selection::Blocked => panic!("empty network must route the primary"),
+        }
+        assert_eq!(sel.samples(), 0);
+    }
+
+    #[test]
+    fn best_of_d_is_deterministic_per_stream_seed() {
+        let plan = k4_plan();
+        let mut view = view_for(&plan);
+        let direct = plan.topology().link_between(0, 1).unwrap();
+        fill(&mut view, direct, 100);
+        let run = |seed: u64| {
+            let mut sel =
+                BestOfDSelector::new(&plan, 2, StreamFactory::new(seed).stream(u64::MAX - 1));
+            let mut outcomes = Vec::new();
+            for _ in 0..20 {
+                outcomes.push(sel.select(0, 1, 0.0, &view, &Uncontrolled, 1));
+            }
+            (outcomes, sel.samples())
+        };
+        assert_eq!(run(3), run(3));
+        assert_eq!(run(3).1, 40, "two draws per overflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "best-of-d needs d >= 1")]
+    fn best_of_zero_is_rejected() {
+        let plan = k4_plan();
+        BestOfDSelector::new(&plan, 0, StreamFactory::new(9).stream(u64::MAX - 1));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! altroute_cli signaling <config.json> [--hop-delay <d>] [--metrics-json]
 //!                       [--telemetry <dir>] [--window <width>]
 //!                                                   hop-by-hop setup engine
+//! altroute_cli metastability [--preset <smoke|paper>] [--nodes <N>] [--d <K>]
+//!                       [--window <width>] [--metrics-json] [--telemetry <dir>]
+//!                                                   four-arm hysteresis demonstration
 //! altroute_cli telemetry <dir>                      human-readable telemetry report
 //! altroute_cli example-config                       print a commented example config
 //! altroute_cli conformance [--bless]                run the conformance suite
@@ -59,13 +62,27 @@
 //! protocol at `--hop-delay` (default 0.0002 mean holding times) for
 //! each config policy. `simulate --policy NAME` overrides the config's
 //! policy list with a single policy — `--policy dar` runs the DAR/sticky
-//! selector, which needs no protection-level oracle.
+//! selector, which needs no protection-level oracle, and `--policy bod
+//! --d K` runs the best-of-`d` selector (sample `K` tandems per
+//! overflow, pick the least loaded; `--d` defaults to 2).
+//!
+//! `metastability` runs the four-arm hysteresis demonstration from
+//! `altroute_experiments::metastability`: the same near-critical load on
+//! `K_N` from empty and saturated initial occupancy, with and without
+//! Eq.-15 trunk reservation, classified by the hysteresis mode detector.
+//! `--preset smoke` (default) is the CI-sized instance; `--preset
+//! paper` is the minutes-scale `K_100` instance; `--nodes`, `--d`, and
+//! `--window` override the preset. `--telemetry <dir>` additionally
+//! writes per-arm exports including the mode metrics and a
+//! `<arm>_modes.csv` switch log.
 
 use altroute_core::policy::PolicyKind;
 use altroute_experiments::output::{
     blocking_summary_json, fmt_prob, metrics_document, telemetry_document,
 };
-use altroute_experiments::{Heartbeat, Series, Table};
+use altroute_experiments::{
+    run_metastability, ArmResult, Heartbeat, MetastabilityConfig, Series, Table,
+};
 use altroute_json::{obj, Value};
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::graph::Topology;
@@ -82,7 +99,7 @@ use altroute_sim::signaling::{
     run_signaling_replications, run_signaling_telemetry, SignalingConfig, SignalingPolicy,
 };
 use altroute_simcore::pool::default_workers;
-use altroute_telemetry::{export, RunTelemetry};
+use altroute_telemetry::{export, Mode, RunTelemetry};
 use altroute_teletraffic::erlang::{carried_traffic, dimension_link, erlang_b};
 use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
 use std::path::Path;
@@ -420,16 +437,17 @@ fn build_traffic(spec: &TrafficSpec, n: usize) -> Result<TrafficMatrix, String> 
     }
 }
 
-fn parse_policy(name: &str, h: u32) -> Result<PolicyKind, String> {
+fn parse_policy(name: &str, h: u32, d: u32) -> Result<PolicyKind, String> {
     match name {
         "single-path" => Ok(PolicyKind::SinglePath),
         "uncontrolled" => Ok(PolicyKind::UncontrolledAlternate { max_hops: h }),
         "controlled" => Ok(PolicyKind::ControlledAlternate { max_hops: h }),
         "ott-krishnan" => Ok(PolicyKind::OttKrishnan { max_hops: h }),
         "dar" => Ok(PolicyKind::DarSticky { max_hops: h }),
+        "bod" => Ok(PolicyKind::BestOfD { max_hops: h, d }),
         other => Err(format!(
             "unknown policy '{other}' (try single-path, uncontrolled, controlled, \
-             ott-krishnan, dar)"
+             ott-krishnan, dar, bod)"
         )),
     }
 }
@@ -523,6 +541,158 @@ fn write_telemetry_files(
     Ok(())
 }
 
+/// Display name of one hysteresis arm (`r0_empty`, `eq15_saturated`, …)
+/// — doubles as the telemetry file stem.
+fn arm_name(arm: &ArmResult) -> String {
+    format!(
+        "{}_{}",
+        if arm.reserved { "eq15" } else { "r0" },
+        arm.start.name()
+    )
+}
+
+fn mode_name(m: Mode) -> &'static str {
+    match m {
+        Mode::Low => "low",
+        Mode::High => "high",
+    }
+}
+
+/// Runs the four-arm hysteresis demonstration (`metastability`): the
+/// same load from empty and saturated starts, with and without Eq.-15
+/// reservation, classified by the hysteresis mode detector.
+fn cmd_metastability(flags: &Flags) -> Result<(), String> {
+    let preset = flags.preset.as_deref().unwrap_or("smoke");
+    let mut cfg = MetastabilityConfig::preset(preset)
+        .ok_or_else(|| format!("unknown preset '{preset}' (try smoke, paper)"))?;
+    if let Some(n) = flags.nodes {
+        if n < 3 {
+            return Err("--nodes must be at least 3 (a mesh needs tandems)".into());
+        }
+        cfg.nodes = n;
+    }
+    if let Some(d) = flags.d {
+        cfg.d = d;
+    }
+    if let Some(w) = flags.window {
+        if !(w.is_finite() && w > 0.0) {
+            return Err(format!("--window must be positive, got {w}"));
+        }
+        cfg.window = w;
+    }
+    let report = run_metastability(&cfg);
+
+    if let Some(dir) = &flags.telemetry {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let write = |file: String, contents: String| -> Result<(), String> {
+            let p = dir.join(file);
+            std::fs::write(&p, contents).map_err(|e| format!("writing {}: {e}", p.display()))
+        };
+        for arm in &report.arms {
+            let name = arm_name(arm);
+            let mut prom = export::prometheus(&arm.telemetry);
+            prom.push_str(&export::mode_prometheus(&arm.modes));
+            write(format!("{name}.prom"), prom)?;
+            write(
+                format!("{name}_blocking.csv"),
+                export::blocking_csv(&arm.telemetry),
+            )?;
+            write(
+                format!("{name}_links.csv"),
+                export::link_utilization_csv(&arm.telemetry),
+            )?;
+            write(
+                format!("{name}_modes.csv"),
+                export::mode_switches_csv(&arm.modes),
+            )?;
+        }
+        let entries: Vec<(String, &RunTelemetry)> = report
+            .arms
+            .iter()
+            .map(|arm| (arm_name(arm), &arm.telemetry))
+            .collect();
+        write(
+            "telemetry.json".to_string(),
+            telemetry_document(&format!("metastability:{preset}"), &entries).to_string_pretty(),
+        )?;
+        eprintln!(
+            "telemetry: wrote {} files under {}",
+            4 * report.arms.len() + 1,
+            dir.display()
+        );
+    }
+
+    if flags.metrics_json {
+        let arms: Vec<Value> = report
+            .arms
+            .iter()
+            .map(|a| {
+                obj! {
+                    "arm" => arm_name(a),
+                    "reserved" => a.reserved,
+                    "start" => a.start.name(),
+                    "blocking" => a.blocking,
+                    "alternate_fraction" => a.alternate_fraction,
+                    "tail_utilization" => a.tail_utilization,
+                    "final_mode" => mode_name(a.modes.final_mode()),
+                    "fraction_high" => a.modes.fraction_high(),
+                    "mode_switches" => a.modes.num_switches() as u64,
+                }
+            })
+            .collect();
+        let doc = obj! {
+            "label" => format!("metastability:{preset}"),
+            "nodes" => cfg.nodes,
+            "capacity" => cfg.capacity,
+            "load_per_pair" => cfg.load_per_pair,
+            "d" => cfg.d,
+            "horizon" => cfg.horizon,
+            "window" => cfg.window,
+            "seeds" => cfg.seeds,
+            "mode_gap_unreserved" => report.mode_gap(false),
+            "mode_gap_reserved" => report.mode_gap(true),
+            "blocking_gap_unreserved" => report.blocking_gap(false),
+            "blocking_gap_reserved" => report.blocking_gap(true),
+            "arms" => Value::Array(arms),
+        };
+        println!("{}", doc.to_string_pretty());
+    } else {
+        let mut table = Table::new([
+            "arm",
+            "blocking",
+            "alt-fraction",
+            "tail-util",
+            "final-mode",
+            "frac-high",
+            "switches",
+        ]);
+        for a in &report.arms {
+            table.row([
+                arm_name(a),
+                fmt_prob(a.blocking),
+                format!("{:.4}", a.alternate_fraction),
+                format!("{:.4}", a.tail_utilization),
+                mode_name(a.modes.final_mode()).to_string(),
+                format!("{:.3}", a.modes.fraction_high()),
+                a.modes.num_switches().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "mode gap (saturated - empty):     r=0 {:+.3}   eq15 {:+.3}",
+            report.mode_gap(false),
+            report.mode_gap(true)
+        );
+        println!(
+            "blocking gap (saturated - empty): r=0 {:+.4}   eq15 {:+.4}",
+            report.blocking_gap(false),
+            report.blocking_gap(true)
+        );
+    }
+    Ok(())
+}
+
 fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
     let (mut config, exp, _failures) = load_experiment(path)?;
     if let Some(policy) = &flags.policy {
@@ -551,7 +721,7 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
     let mut results = Vec::with_capacity(config.policies.len());
     let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
     for name in &config.policies {
-        let kind = parse_policy(name, config.max_hops)?;
+        let kind = parse_policy(name, config.max_hops, flags.d.unwrap_or(2))?;
         let r = if flags.telemetry.is_some() {
             let (r, t) = exp.run_telemetry_with_workers(kind, &params, window, workers, progress);
             snapshots.push((kind.name().to_string(), t));
@@ -1139,6 +1309,9 @@ struct Flags {
     hop_delay: Option<f64>,
     workers: Option<usize>,
     shards: Option<usize>,
+    d: Option<u32>,
+    preset: Option<String>,
+    nodes: Option<usize>,
 }
 
 impl Flags {
@@ -1171,6 +1344,15 @@ impl Flags {
         }
         if self.shards.is_some() {
             v.push("--shards");
+        }
+        if self.d.is_some() {
+            v.push("--d");
+        }
+        if self.preset.is_some() {
+            v.push("--preset");
+        }
+        if self.nodes.is_some() {
+            v.push("--nodes");
         }
         v
     }
@@ -1223,7 +1405,15 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
         };
         let takes_value = matches!(
             name,
-            "telemetry" | "window" | "policy" | "hop-delay" | "workers" | "shards"
+            "telemetry"
+                | "window"
+                | "policy"
+                | "hop-delay"
+                | "workers"
+                | "shards"
+                | "d"
+                | "preset"
+                | "nodes"
         );
         let value = if takes_value {
             match inline {
@@ -1268,6 +1458,21 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     &value.expect("takes_value"),
                     "--shards",
                     "omit the flag or pass 1 for the serial kernel",
+                )?)
+            }
+            "d" => {
+                let d = parse_u32(&value.expect("takes_value"), "--d")?;
+                if d == 0 {
+                    return Err("--d must be at least 1 (tandems sampled per overflow)".into());
+                }
+                flags.d = Some(d);
+            }
+            "preset" => flags.preset = value,
+            "nodes" => {
+                flags.nodes = Some(parse_count(
+                    &value.expect("takes_value"),
+                    "--nodes",
+                    "pass a mesh size of at least 3",
                 )?)
             }
             other => return Err(format!("unknown flag --{other}")),
@@ -1332,9 +1537,24 @@ fn run() -> Result<(), String> {
                     "--policy",
                     "--workers",
                     "--shards",
+                    "--d",
                 ],
             )?;
             cmd_simulate(config, &flags)
+        }
+        ["metastability"] => {
+            flags.allow_only(
+                "metastability",
+                &[
+                    "--preset",
+                    "--nodes",
+                    "--d",
+                    "--window",
+                    "--metrics-json",
+                    "--telemetry",
+                ],
+            )?;
+            cmd_metastability(&flags)
         }
         ["adaptive", config] => {
             flags.allow_only(
@@ -1400,6 +1620,8 @@ fn run() -> Result<(), String> {
                   [--workers N] [--shards S] | \
                   signaling CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
                   [--hop-delay D] [--shards S] | \
+                  metastability [--preset smoke|paper] [--nodes N] [--d K] \
+                  [--window W] [--metrics-json] [--telemetry DIR] | \
                   telemetry DIR | example-config | conformance [--bless]>"
                 .into(),
         ),

@@ -9,11 +9,15 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod metastability;
 pub mod output;
 pub mod progress;
 pub mod runs;
 
 pub use chart::{render as render_chart, Series};
+pub use metastability::{
+    run_metastability, ArmResult, HysteresisReport, MetastabilityConfig, StartState,
+};
 pub use output::Table;
 pub use progress::Heartbeat;
 pub use runs::{nsfnet_experiment, policy_set, sweep, sweep_observed, SweepRow};

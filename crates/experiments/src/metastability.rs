@@ -1,0 +1,379 @@
+//! Hysteresis experiments on fully-connected networks.
+//!
+//! Alternate routing on a symmetric mesh is *bistable* near critical
+//! load: the same offered traffic supports a good mode (calls on
+//! one-link primaries, low blocking) and a bad mode (overflow onto
+//! two-link alternates, each carried call burning two circuits, high
+//! blocking). Which mode the network settles in depends on where it
+//! *starts* — the defining signature of metastability, invisible to any
+//! steady-state average. The paper's Eq.-15 trunk reservation exists
+//! precisely to destroy the bad fixed point.
+//!
+//! This tier runs the controlled four-arm demonstration on `K_N`:
+//!
+//! | reservation | start      | expected mode |
+//! |-------------|------------|---------------|
+//! | r = 0       | empty      | low           |
+//! | r = 0       | saturated  | high (stuck)  |
+//! | Eq. 15      | empty      | low           |
+//! | Eq. 15      | saturated  | low (escapes) |
+//!
+//! Each arm is the same load, the same seeds, the same best-of-`d`
+//! selector — only the initial occupancy (the kernel warm-start hook)
+//! and the protection levels differ. The windowed network-occupancy
+//! telemetry is classified by the hysteresis mode detector
+//! ([`altroute_telemetry::mode`]), and the report exposes the
+//! start-state gap with and without reservation.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::topologies;
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{run_seed_warm_recorded, RunConfig};
+use altroute_sim::failures::FailureSchedule;
+use altroute_telemetry::{ModeReport, ModeThresholds, RunTelemetry};
+
+/// Initial network state of one hysteresis arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartState {
+    /// Every link empty at `t = 0` (the usual cold start).
+    Empty,
+    /// Every link full at `t = 0`: the warm-start hook seeds
+    /// `capacity` single-link calls per link with fresh exponential
+    /// residual holding times.
+    Saturated,
+}
+
+impl StartState {
+    /// Display name (`empty` / `saturated`).
+    pub fn name(self) -> &'static str {
+        match self {
+            StartState::Empty => "empty",
+            StartState::Saturated => "saturated",
+        }
+    }
+}
+
+/// Parameters of one hysteresis experiment on `K_nodes`.
+#[derive(Debug, Clone)]
+pub struct MetastabilityConfig {
+    /// Mesh size `N` (every ordered pair is a demand).
+    pub nodes: usize,
+    /// Circuits per directed link.
+    pub capacity: u32,
+    /// Offered Erlangs per ordered pair (bistability wants this close
+    /// to, but under, `capacity`).
+    pub load_per_pair: f64,
+    /// Candidate cap handed to [`RoutingPlan::min_hop_capped`] — on
+    /// `K_N` the two-hop tandems are `N - 2` per pair, quadratically
+    /// many network-wide, and the selector samples them anyway.
+    pub candidate_cap: usize,
+    /// Tandems sampled per overflow (best-of-`d`).
+    pub d: u32,
+    /// Measured horizon per replication (sim-time units; warm-up is 0 —
+    /// the transient *is* the observable).
+    pub horizon: f64,
+    /// Telemetry window width.
+    pub window: f64,
+    /// Replications per arm.
+    pub seeds: u32,
+    /// Base seed (replication `s` uses `base_seed + s`).
+    pub base_seed: u64,
+    /// Hysteresis band on network utilization for the mode detector.
+    pub thresholds: ModeThresholds,
+}
+
+impl MetastabilityConfig {
+    /// The CI-sized instance: small enough for seconds-scale runs,
+    /// large enough that the unreserved saturated arm stays stuck in
+    /// the bad mode for the whole horizon.
+    ///
+    /// Bistability needs trunks large enough that fluctuations cannot
+    /// tip the network between modes on their own (`C = 200` here;
+    /// `C = 10` relaxes in one window) and loads in a narrow band just
+    /// under capacity — on this instance roughly 175–179 Erlangs per
+    /// pair. Below the band the saturated start drains; above it the
+    /// empty start nucleates into the bad mode mid-run.
+    pub fn smoke() -> Self {
+        Self {
+            nodes: 16,
+            capacity: 200,
+            load_per_pair: 177.0,
+            candidate_cap: 16,
+            d: 2,
+            horizon: 24.0,
+            window: 2.0,
+            seeds: 1,
+            base_seed: 1,
+            thresholds: ModeThresholds::new(0.93, 0.91),
+        }
+    }
+
+    /// The paper-scale instance: `K_100` (9 900 directed links), the
+    /// fixed-`K`, large-`N` regime the metastability literature
+    /// studies. Same per-link operating point as [`smoke`](Self::smoke);
+    /// minutes-scale, never run by the test suite.
+    pub fn paper() -> Self {
+        Self {
+            nodes: 100,
+            capacity: 200,
+            load_per_pair: 177.0,
+            candidate_cap: 32,
+            d: 2,
+            horizon: 40.0,
+            window: 2.0,
+            seeds: 2,
+            base_seed: 1,
+            thresholds: ModeThresholds::new(0.93, 0.91),
+        }
+    }
+
+    /// Looks up a named preset (`smoke` | `paper`).
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+}
+
+/// One arm of the four-arm demonstration.
+#[derive(Debug, Clone)]
+pub struct ArmResult {
+    /// Whether this arm ran with Eq.-15 protection levels (`false` is
+    /// the unreserved `r = 0` baseline).
+    pub reserved: bool,
+    /// The arm's initial occupancy.
+    pub start: StartState,
+    /// Network blocking over the whole horizon, summed across seeds.
+    pub blocking: f64,
+    /// Fraction of carried calls routed on two-link alternates.
+    pub alternate_fraction: f64,
+    /// The mode detector's account of the merged occupancy series.
+    pub modes: ModeReport,
+    /// Mean network utilization over the final quarter of the horizon —
+    /// where the arm *ends up*, transient excluded.
+    pub tail_utilization: f64,
+    /// The merged across-seed telemetry snapshot.
+    pub telemetry: RunTelemetry,
+}
+
+/// The full four-arm hysteresis report.
+#[derive(Debug, Clone)]
+pub struct HysteresisReport {
+    /// The configuration that produced it.
+    pub config: MetastabilityConfig,
+    /// Arms in fixed order: (r=0, empty), (r=0, saturated),
+    /// (Eq. 15, empty), (Eq. 15, saturated).
+    pub arms: Vec<ArmResult>,
+}
+
+impl HysteresisReport {
+    /// The arm with the given reservation and start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arm is missing (reports always carry all four).
+    pub fn arm(&self, reserved: bool, start: StartState) -> &ArmResult {
+        self.arms
+            .iter()
+            .find(|a| a.reserved == reserved && a.start == start)
+            .expect("report carries all four arms")
+    }
+
+    /// Start-state gap in time-fraction-congested at the given
+    /// reservation setting: `fraction_high(saturated) −
+    /// fraction_high(empty)`. Large without reservation (hysteresis),
+    /// near zero with Eq. 15 (the bad mode is destroyed).
+    pub fn mode_gap(&self, reserved: bool) -> f64 {
+        self.arm(reserved, StartState::Saturated)
+            .modes
+            .fraction_high()
+            - self.arm(reserved, StartState::Empty).modes.fraction_high()
+    }
+
+    /// Start-state gap in whole-run blocking at the given reservation
+    /// setting.
+    pub fn blocking_gap(&self, reserved: bool) -> f64 {
+        self.arm(reserved, StartState::Saturated).blocking
+            - self.arm(reserved, StartState::Empty).blocking
+    }
+}
+
+fn run_arm(
+    cfg: &MetastabilityConfig,
+    plan: &RoutingPlan,
+    traffic: &TrafficMatrix,
+    reserved: bool,
+    start: StartState,
+) -> ArmResult {
+    let capacities: Vec<u32> = plan.topology().links().iter().map(|l| l.capacity).collect();
+    let initial: Vec<u32> = match start {
+        StartState::Empty => Vec::new(),
+        StartState::Saturated => capacities.clone(),
+    };
+    let failures = FailureSchedule::none();
+    let mut merged: Option<RunTelemetry> = None;
+    let (mut offered, mut blocked, mut alternate) = (0u64, 0u64, 0u64);
+    for s in 0..cfg.seeds {
+        let config = RunConfig {
+            plan,
+            policy: PolicyKind::BestOfD {
+                max_hops: 2,
+                d: cfg.d,
+            },
+            traffic,
+            warmup: 0.0,
+            horizon: cfg.horizon,
+            seed: cfg.base_seed + u64::from(s),
+            failures: &failures,
+        };
+        let mut telemetry = RunTelemetry::new(0.0, cfg.horizon, cfg.window, capacities.clone());
+        let r = run_seed_warm_recorded(&config, &initial, &mut telemetry);
+        offered += r.offered;
+        blocked += r.blocked;
+        alternate += r.carried_alternate;
+        match &mut merged {
+            None => merged = Some(telemetry),
+            Some(m) => m.merge(&telemetry),
+        }
+    }
+    let telemetry = merged.expect("at least one seed");
+    let modes = telemetry.mode_report(cfg.thresholds);
+    let windows = telemetry.grid().num_windows();
+    let tail = windows - (windows / 4).max(1);
+    let tail_utilization = (tail..windows)
+        .map(|k| telemetry.window_network_utilization(k))
+        .sum::<f64>()
+        / (windows - tail) as f64;
+    let carried = offered - blocked;
+    ArmResult {
+        reserved,
+        start,
+        blocking: altroute_simcore::stats::blocking_ratio(blocked, offered),
+        alternate_fraction: if carried == 0 {
+            0.0
+        } else {
+            alternate as f64 / carried as f64
+        },
+        modes,
+        tail_utilization,
+        telemetry,
+    }
+}
+
+/// Runs the four-arm hysteresis demonstration.
+///
+/// Both reservation settings share one capped plan build (the
+/// protection levels are the only difference), and every arm shares the
+/// same seeds, so the arms are common-random-number comparable.
+pub fn run_metastability(cfg: &MetastabilityConfig) -> HysteresisReport {
+    let topo = topologies::full_mesh(cfg.nodes, cfg.capacity);
+    let traffic = TrafficMatrix::uniform(cfg.nodes, cfg.load_per_pair);
+    let reserved_plan = RoutingPlan::min_hop_capped(topo, &traffic, 2, cfg.candidate_cap);
+    let zero = vec![0u32; reserved_plan.topology().num_links()];
+    let unreserved_plan = reserved_plan.clone().with_protection_levels(zero);
+    let mut arms = Vec::with_capacity(4);
+    for (plan, reserved) in [(&unreserved_plan, false), (&reserved_plan, true)] {
+        for start in [StartState::Empty, StartState::Saturated] {
+            arms.push(run_arm(cfg, plan, &traffic, reserved, start));
+        }
+    }
+    HysteresisReport {
+        config: cfg.clone(),
+        arms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert_eq!(MetastabilityConfig::preset("smoke").unwrap().nodes, 16);
+        assert_eq!(MetastabilityConfig::preset("paper").unwrap().nodes, 100);
+        assert!(MetastabilityConfig::preset("nope").is_none());
+    }
+
+    /// The checked-in hysteresis demonstration (seed-deterministic):
+    /// without reservation the starting state decides the mode — the
+    /// empty start stays good, the saturated start stays bad — and
+    /// Eq.-15 trunk reservation collapses the gap.
+    #[test]
+    fn hysteresis_appears_without_reservation_and_eq15_collapses_it() {
+        let report = run_metastability(&MetastabilityConfig::smoke());
+
+        // r = 0: the two starts land in different modes for most of the
+        // horizon (the detector separates them by at least one full
+        // mode), and the saturated start blocks far more.
+        let cold = report.arm(false, StartState::Empty);
+        let hot = report.arm(false, StartState::Saturated);
+        assert!(
+            cold.modes.fraction_high() < 0.25,
+            "empty start should stay in the low mode, spent {}",
+            cold.modes.fraction_high()
+        );
+        assert!(
+            hot.modes.fraction_high() > 0.75,
+            "saturated start should stay stuck high, spent {}",
+            hot.modes.fraction_high()
+        );
+        assert!(
+            report.mode_gap(false) > 0.5,
+            "unreserved mode gap {}",
+            report.mode_gap(false)
+        );
+        assert!(
+            report.blocking_gap(false) > 0.05,
+            "unreserved blocking gap {}",
+            report.blocking_gap(false)
+        );
+        assert!(
+            hot.alternate_fraction > cold.alternate_fraction,
+            "the bad mode runs on alternates"
+        );
+
+        // Eq. 15: both starts end in the same (low) mode — the
+        // saturated arm escapes — and the gaps collapse.
+        let r_cold = report.arm(true, StartState::Empty);
+        let r_hot = report.arm(true, StartState::Saturated);
+        assert_eq!(
+            r_cold.modes.final_mode(),
+            r_hot.modes.final_mode(),
+            "reservation must send both starts to the same mode"
+        );
+        assert_eq!(hot.modes.num_switches(), 0, "stuck means zero switches");
+        assert!(
+            r_hot.modes.num_switches() >= 1,
+            "the detector should record the reserved arm's escape"
+        );
+        assert!(
+            report.mode_gap(true) < 0.2,
+            "reserved mode gap {}",
+            report.mode_gap(true)
+        );
+        assert!(
+            report.blocking_gap(true).abs() < 0.05,
+            "reserved blocking gap {}",
+            report.blocking_gap(true)
+        );
+        assert!(
+            r_hot.tail_utilization < hot.tail_utilization,
+            "reservation must drain the saturated start"
+        );
+
+        // Determinism: re-running one arm reproduces its telemetry
+        // byte for byte (the other arms share the same machinery).
+        let cfg = MetastabilityConfig::smoke();
+        let topo = topologies::full_mesh(cfg.nodes, cfg.capacity);
+        let traffic = TrafficMatrix::uniform(cfg.nodes, cfg.load_per_pair);
+        let plan = RoutingPlan::min_hop_capped(topo, &traffic, 2, cfg.candidate_cap);
+        let zero = vec![0u32; plan.topology().num_links()];
+        let unreserved = plan.with_protection_levels(zero);
+        let again = run_arm(&cfg, &unreserved, &traffic, false, StartState::Saturated);
+        assert_eq!(again.telemetry, hot.telemetry);
+        assert_eq!(again.modes, hot.modes);
+    }
+}

@@ -202,6 +202,83 @@ fn dfs_paths(
     }
 }
 
+/// The first `cap` entries of [`loop_free_paths`], in the same
+/// `(hop count, node sequence)` attempt order, without materialising the
+/// full set.
+///
+/// On dense topologies the loop-free path count explodes combinatorially
+/// (K_N has N−2 two-hop tandems per pair, and `loop_free_paths` over all
+/// n² pairs is O(N³) path allocations at H=2 alone), so large-mesh plans
+/// enumerate lazily: an iterative-deepening search emits paths of exactly
+/// 1, 2, … `max_hops` links, each length in sorted-adjacency (hence
+/// lexicographic node-sequence) order, and stops as soon as `cap` paths
+/// have been produced. The output is therefore a strict prefix of the
+/// uncapped enumeration.
+pub fn loop_free_paths_capped(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    cap: usize,
+) -> Vec<Path> {
+    let mut result = Vec::new();
+    if src == dst || src >= topo.num_nodes() || dst >= topo.num_nodes() || max_hops == 0 || cap == 0
+    {
+        return result;
+    }
+    let mut visited = vec![false; topo.num_nodes()];
+    let mut stack = vec![src];
+    visited[src] = true;
+    for hops in 1..=max_hops {
+        if result.len() >= cap {
+            break;
+        }
+        dfs_paths_exact(topo, dst, hops, &mut visited, &mut stack, &mut result, cap);
+    }
+    result
+}
+
+/// Emit the simple paths with exactly `hops` links ending at `dst`, in
+/// lexicographic node-sequence order, stopping once `result` holds `cap`
+/// paths.
+fn dfs_paths_exact(
+    topo: &Topology,
+    dst: NodeId,
+    hops: usize,
+    visited: &mut [bool],
+    stack: &mut Vec<NodeId>,
+    result: &mut Vec<Path>,
+    cap: usize,
+) {
+    if result.len() >= cap {
+        return;
+    }
+    let u = *stack.last().unwrap();
+    let remaining = hops + 1 - stack.len();
+    for &l in topo.out_links(u) {
+        let v = topo.link(l).dst;
+        if remaining == 1 {
+            if v == dst {
+                stack.push(v);
+                result.push(Path::from_nodes(topo, stack).expect("constructed path is valid"));
+                stack.pop();
+                if result.len() >= cap {
+                    return;
+                }
+            }
+        } else if v != dst && !visited[v] {
+            visited[v] = true;
+            stack.push(v);
+            dfs_paths_exact(topo, dst, hops, visited, stack, result, cap);
+            stack.pop();
+            visited[v] = false;
+            if result.len() >= cap {
+                return;
+            }
+        }
+    }
+}
+
 /// The alternate-path set of an ordered pair: all loop-free paths of at
 /// most `max_hops` hops, in attempt order, with the primary path removed.
 pub fn alternate_paths(
@@ -473,6 +550,47 @@ mod tests {
         assert_eq!(paths.iter().filter(|p| p.hops() == 1).count(), 1);
         assert_eq!(paths.iter().filter(|p| p.hops() == 2).count(), 2);
         assert_eq!(paths.iter().filter(|p| p.hops() == 3).count(), 2);
+    }
+
+    #[test]
+    fn capped_enumeration_is_a_prefix_of_the_uncapped_order() {
+        let diamond_t = diamond();
+        let nsf = topologies::nsfnet(100);
+        let k6 = topologies::full_mesh(6, 10);
+        let cases = [
+            (&diamond_t, [(0, 3), (1, 2)], 3),
+            (&nsf, [(0, 6), (3, 9)], 4),
+            (&k6, [(0, 5), (2, 1)], 3),
+        ];
+        for (t, pairs, h) in cases {
+            for (i, j) in pairs {
+                let all = loop_free_paths(t, i, j, h);
+                for cap in [0, 1, 2, 3, all.len(), all.len() + 7] {
+                    let capped = loop_free_paths_capped(t, i, j, h, cap);
+                    assert_eq!(
+                        capped.as_slice(),
+                        &all[..cap.min(all.len())],
+                        "{i}->{j} cap={cap}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capped_enumeration_stays_cheap_on_large_meshes() {
+        // K_200 at H=2 has 198 two-hop tandems per pair; the capped
+        // enumerator must emit only the first few in attempt order.
+        let t = topologies::full_mesh(200, 10);
+        let paths = loop_free_paths_capped(&t, 0, 1, 2, 8);
+        assert_eq!(paths.len(), 8);
+        assert_eq!(paths[0].hops(), 1);
+        for p in &paths[1..] {
+            assert_eq!(p.hops(), 2);
+        }
+        // Lowest-numbered intermediates come first.
+        assert_eq!(paths[1].nodes(), &[0, 2, 1]);
+        assert_eq!(paths[2].nodes(), &[0, 3, 1]);
     }
 
     #[test]

@@ -405,6 +405,7 @@ fn run_adaptive_seed_scratch<S: TraceSink, R: Recorder>(
         static_down: failures.statically_down(),
         sources: &sources,
         link_events: &link_events,
+        initial_occupancy: &[],
     };
 
     let mut selector = AdaptiveSelector::new(plan, config);

@@ -27,7 +27,9 @@ use crate::failures::FailureSchedule;
 use crate::trace::{NullTraceSink, TraceDecision, TraceSink};
 use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::{CallClass, PolicyKind};
-use altroute_core::select::{DarStickySelector, OttKrishnanSelector, TieredSelector};
+use altroute_core::select::{
+    BestOfDSelector, DarStickySelector, OttKrishnanSelector, TieredSelector,
+};
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_simcore::kernel::{
     self, AdmissionPolicy, ArrivalSource, KernelConfig, KernelObserver, KernelOutcome,
@@ -44,6 +46,13 @@ use altroute_telemetry::{ArrivalOutcome, NullRecorder, Recorder};
 /// never collide with them — DAR resampling leaves the common random
 /// numbers untouched.
 const DAR_RESAMPLE_STREAM: u64 = u64::MAX;
+
+/// The RNG stream id of the best-of-d selector's private sampling
+/// stream, one below DAR's so neither can collide with arrival streams
+/// nor with each other. (`u64::MAX - 2` is the kernel's warm-start
+/// stream.) Public so conformance harnesses can rebuild the exact
+/// stream the named [`PolicyKind::BestOfD`] dispatch uses.
+pub const BOD_SAMPLE_STREAM: u64 = u64::MAX - 1;
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -245,6 +254,7 @@ pub fn run_seed(config: &RunConfig<'_>) -> SeedResult {
 pub fn run_seed_pooled(config: &RunConfig<'_>, scratch: &mut KernelScratch) -> SeedResult {
     run_seed_entry(
         config,
+        &[],
         &mut NullTraceSink,
         &mut NullRecorder,
         KernelEntry::Pooled(scratch),
@@ -262,6 +272,7 @@ pub fn run_seed_pooled(config: &RunConfig<'_>, scratch: &mut KernelScratch) -> S
 pub fn run_seed_reference(config: &RunConfig<'_>) -> SeedResult {
     run_seed_entry(
         config,
+        &[],
         &mut NullTraceSink,
         &mut NullRecorder,
         KernelEntry::Reference,
@@ -311,9 +322,87 @@ pub fn run_seed_recorded_pooled<R: Recorder>(
 ) -> SeedResult {
     run_seed_entry(
         config,
+        &[],
         &mut NullTraceSink,
         recorder,
         KernelEntry::Pooled(scratch),
+    )
+}
+
+/// As [`run_seed`], but *warm-started*: `initial_occupancy` (one entry
+/// per link; empty means cold start) is booked at `t = 0` as real
+/// single-link calls with fresh unit-mean exponential residual holding
+/// times from the kernel's dedicated warm-start stream, so the seeded
+/// state decays naturally. Everything else — arrival streams, policy
+/// dispatch, counters — is identical to [`run_seed`], and an empty
+/// slice *is* [`run_seed`], byte for byte.
+///
+/// This is the initial-condition hook behind the metastability
+/// experiments: the same load run from an empty vs. a saturated network
+/// can land in different blocking modes (hysteresis).
+///
+/// # Panics
+///
+/// As [`run_seed`]; additionally if `initial_occupancy` is non-empty
+/// with the wrong length, exceeds a link's capacity, or seeds a
+/// statically-down link.
+pub fn run_seed_warm(config: &RunConfig<'_>, initial_occupancy: &[u32]) -> SeedResult {
+    run_seed_entry(
+        config,
+        initial_occupancy,
+        &mut NullTraceSink,
+        &mut NullRecorder,
+        KernelEntry::Fresh,
+    )
+}
+
+/// As [`run_seed_recorded`], warm-started like [`run_seed_warm`]. The
+/// recorder sees the seeded occupancy as `occupancy_changed` hooks at
+/// `t = 0`, so windowed telemetry starts from the warm state.
+///
+/// # Panics
+///
+/// As [`run_seed_warm`].
+pub fn run_seed_warm_recorded<R: Recorder>(
+    config: &RunConfig<'_>,
+    initial_occupancy: &[u32],
+    recorder: &mut R,
+) -> SeedResult {
+    run_seed_entry(
+        config,
+        initial_occupancy,
+        &mut NullTraceSink,
+        recorder,
+        KernelEntry::Fresh,
+    )
+}
+
+/// As [`run_seed_sharded`], warm-started like [`run_seed_warm`]. A
+/// non-empty warm start forces the sharded backend's serial fallback
+/// (seeded calls are cross-shard state the workers cannot replay), so
+/// results are byte-identical to [`run_seed_warm`] by construction; an
+/// empty slice behaves exactly like [`run_seed_sharded`].
+///
+/// # Panics
+///
+/// As [`run_seed_warm`].
+pub fn run_seed_warm_sharded(
+    config: &RunConfig<'_>,
+    initial_occupancy: &[u32],
+    shards: &ShardSpec,
+) -> SeedResult {
+    let footprints = pair_footprints(config.plan, config.traffic);
+    let mut scratch = KernelScratch::new();
+    run_seed_entry(
+        config,
+        initial_occupancy,
+        &mut NullTraceSink,
+        &mut NullRecorder,
+        KernelEntry::Sharded {
+            shards,
+            footprints: &footprints,
+            scratch: &mut scratch,
+        },
     )
 }
 
@@ -421,6 +510,7 @@ pub fn run_seed_sharded_instrumented<S: TraceSink, R: Recorder>(
     let footprints = pair_footprints(config.plan, config.traffic);
     run_seed_entry(
         config,
+        &[],
         sink,
         recorder,
         KernelEntry::Sharded {
@@ -492,13 +582,15 @@ pub fn run_seed_instrumented<S: TraceSink, R: Recorder>(
     sink: &mut S,
     recorder: &mut R,
 ) -> SeedResult {
-    run_seed_entry(config, sink, recorder, KernelEntry::Fresh)
+    run_seed_entry(config, &[], sink, recorder, KernelEntry::Fresh)
 }
 
 /// The shared body of every `run_seed*` entry point: policy dispatch
-/// over one kernel invocation through `entry`.
+/// over one kernel invocation through `entry`. `initial_occupancy` is
+/// the kernel's warm-start seed (empty for the usual cold start).
 fn run_seed_entry<S: TraceSink, R: Recorder>(
     config: &RunConfig<'_>,
+    initial_occupancy: &[u32],
     sink: &mut S,
     recorder: &mut R,
     mut entry: KernelEntry<'_>,
@@ -524,6 +616,7 @@ fn run_seed_entry<S: TraceSink, R: Recorder>(
         static_down: config.failures.statically_down(),
         sources: &sources,
         link_events: &link_events,
+        initial_occupancy,
     };
     let mut observer = Instruments {
         sink,
@@ -539,6 +632,7 @@ fn run_seed_entry<S: TraceSink, R: Recorder>(
     // | controlled    | trunk reservation (Eq. 15)   | tiered              |
     // | ott-krishnan  | (internal to the price test) | shadow-price argmin |
     // | dar           | trunk reservation (Eq. 15)   | sticky random       |
+    // | bod           | trunk reservation (Eq. 15)   | best-of-d sampling  |
     let outcome = match config.policy {
         PolicyKind::SinglePath => entry.invoke(
             &spec,
@@ -570,6 +664,15 @@ fn run_seed_entry<S: TraceSink, R: Recorder>(
                 &spec,
                 &mut TrunkReservation::new(plan.protection_levels().to_vec()),
                 &mut DarStickySelector::new(plan, rng),
+                &mut observer,
+            )
+        }
+        PolicyKind::BestOfD { d, .. } => {
+            let rng = StreamFactory::new(config.seed).stream(BOD_SAMPLE_STREAM);
+            entry.invoke(
+                &spec,
+                &mut TrunkReservation::new(plan.protection_levels().to_vec()),
+                &mut BestOfDSelector::new(plan, d, rng),
                 &mut observer,
             )
         }
@@ -635,6 +738,7 @@ where
         static_down: config.failures.statically_down(),
         sources: &sources,
         link_events: &link_events,
+        initial_occupancy: &[],
     };
     let mut observer = Instruments {
         sink,

@@ -438,6 +438,7 @@ fn run_one<S: TraceSink, R: Recorder>(
         static_down: failures.statically_down(),
         sources: &sources,
         link_events: &link_events,
+        initial_occupancy: &[],
     };
     let mut observer = crate::engine::Instruments {
         sink,
@@ -494,6 +495,7 @@ fn run_one_sharded(
         static_down: failures.statically_down(),
         sources: &sources,
         link_events: &link_events,
+        initial_occupancy: &[],
     };
     let outcome = match policy {
         MultiratePolicy::SinglePath => shard::run_sharded(

@@ -481,7 +481,21 @@ pub struct KernelSpec<'a> {
     pub sources: &'a [ArrivalSource],
     /// Timed link failures/repairs.
     pub link_events: &'a [LinkEvent],
+    /// Per-link occupancy seeded at `t = 0` (warm start). Empty means a
+    /// cold start; otherwise one entry per link, each at most the link's
+    /// capacity and zero on statically-down links. Seeded units become
+    /// *real* single-link calls with fresh unit-mean exponential
+    /// residual holding times drawn from the dedicated
+    /// [`WARM_START_STREAM`], so the seeded state decays naturally —
+    /// exactly what metastability experiments need from a saturated
+    /// start.
+    pub initial_occupancy: &'a [u32],
 }
+
+/// Stream id of the warm-start residual holding times. Arrival streams
+/// use small pair ids and selector-private streams count down from
+/// `u64::MAX`, so the id space cannot collide.
+pub const WARM_START_STREAM: u64 = u64::MAX - 2;
 
 /// Counters and gauges from one kernel replication.
 ///
@@ -840,6 +854,65 @@ impl LoopState {
         self.dirty.clear();
     }
 
+    /// Books the spec's `initial_occupancy` as real calls at `t = 0`:
+    /// each seeded unit on link `l` is a single-link, bandwidth-1 call
+    /// whose residual holding time is a fresh unit-mean exponential
+    /// drawn from [`WARM_START_STREAM`], in link-major order. The calls
+    /// live in the call table and the link index like any other, so
+    /// departures free circuits and link failures tear them down; links
+    /// with zero seeded units are untouched, which makes an all-zero
+    /// warm start byte-identical to a cold one (observer stream
+    /// included).
+    pub(crate) fn seed_warm_start<O, Q>(
+        &mut self,
+        spec: &KernelSpec<'_>,
+        queue: &mut Q,
+        observer: &mut O,
+        metrics: &mut EngineMetrics,
+    ) where
+        O: KernelObserver,
+        Q: EventSchedule<Event>,
+    {
+        let initial = spec.initial_occupancy;
+        if initial.is_empty() {
+            return;
+        }
+        assert_eq!(
+            initial.len(),
+            self.links.num_links(),
+            "initial occupancy length mismatch"
+        );
+        let end = spec.config.warmup + spec.config.horizon;
+        let mut stream = StreamFactory::new(spec.config.seed).stream(WARM_START_STREAM);
+        for (l, &units) in initial.iter().enumerate() {
+            if units == 0 {
+                continue;
+            }
+            assert!(self.links.is_up(l), "cannot seed occupancy on a down link");
+            assert!(
+                units <= self.links.capacity(l),
+                "initial occupancy exceeds capacity on link {l}"
+            );
+            let path = [l];
+            for _ in 0..units {
+                let hold = stream.holding_time();
+                self.links.book(&path, 1);
+                let (id, gen) = self.calls.insert(&path, 1);
+                self.index.add(&path, id, gen);
+                if hold < end {
+                    queue.schedule(hold, Event::Departure { call: id, gen });
+                }
+            }
+            let occ = self.links.occupancy(l);
+            self.occupancy[l].record(0.0, f64::from(occ));
+            observer.occupancy_changed(0.0, l, occ);
+            if self.track_dirty {
+                self.dirty.push(l);
+            }
+        }
+        metrics.observe_concurrent_calls(self.calls.live());
+    }
+
     /// Builds the per-source RNG streams (drawing every source's first
     /// inter-arrival gap, so streams advance identically however the
     /// sources are partitioned) and schedules the first arrival of each
@@ -1046,8 +1119,10 @@ impl LoopState {
 /// Panics on inconsistent clock configuration; shared by the oracle
 /// loop and the sharded backend so both reject a bad spec identically.
 pub(crate) fn validate_config(config: &KernelConfig) {
+    // A zero horizon is legal (warm-start tests freeze the seeded state
+    // by running no window at all); only negative durations are not.
     assert!(
-        config.warmup >= 0.0 && config.horizon > 0.0,
+        config.warmup >= 0.0 && config.horizon >= 0.0,
         "invalid durations"
     );
     if let Some(interval) = config.tick_interval {
@@ -1180,8 +1255,10 @@ where
     );
     let end = config.warmup + config.horizon;
 
+    let mut metrics = EngineMetrics::default();
     state.prepare(spec);
     state.track_dirty = false;
+    state.seed_warm_start(spec, queue, observer, &mut metrics);
     state.seed_sources(spec, queue, |_| true);
     seed_link_events(spec, queue);
     if let Some(interval) = config.tick_interval {
@@ -1190,7 +1267,6 @@ where
         }
     }
 
-    let mut metrics = EngineMetrics::default();
     metrics.observe_queue_len(queue.len());
     // Counters the handlers accumulate; the outcome is assembled exactly
     // once at the end, so a counter and the result can't drift apart.
@@ -1326,6 +1402,7 @@ mod tests {
             static_down: &[],
             sources,
             link_events: &[],
+            initial_occupancy: &[],
         };
         run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver)
     }
@@ -1402,6 +1479,7 @@ mod tests {
             static_down: &[],
             sources: &sources,
             link_events: &events,
+            initial_occupancy: &[],
         };
         let calm = KernelSpec {
             config: KernelConfig {
@@ -1416,6 +1494,7 @@ mod tests {
             static_down: &[1],
             sources: &sources,
             link_events: &[],
+            initial_occupancy: &[],
         };
 
         let mut scratch = KernelScratch::new();
@@ -1544,6 +1623,7 @@ mod tests {
             static_down: &[],
             sources: &sources,
             link_events: &events,
+            initial_occupancy: &[],
         };
         let out = run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
         assert!(out.dropped > 0, "outage must tear down calls");
@@ -1596,6 +1676,7 @@ mod tests {
             static_down: &[],
             sources: &sources,
             link_events: &[],
+            initial_occupancy: &[],
         };
         let mut sel = Counting {
             ticks: 0,
@@ -1620,5 +1701,157 @@ mod tests {
             tally: 5,
         }];
         single_link_spec(&[5], &sources);
+    }
+
+    /// An observer that logs every `occupancy_changed` hook.
+    #[derive(Default)]
+    struct OccupancyLog(Vec<(f64, Link, u32)>);
+
+    impl KernelObserver for OccupancyLog {
+        fn occupancy_changed(&mut self, now: f64, link: Link, occupancy: u32) {
+            self.0.push((now, link, occupancy));
+        }
+    }
+
+    fn warm_spec<'a>(
+        config: KernelConfig,
+        capacities: &'a [u32],
+        sources: &'a [ArrivalSource],
+        initial: &'a [u32],
+    ) -> KernelSpec<'a> {
+        KernelSpec {
+            config,
+            capacities,
+            static_down: &[],
+            sources,
+            link_events: &[],
+            initial_occupancy: initial,
+        }
+    }
+
+    fn zero_window(seed: u64) -> KernelConfig {
+        KernelConfig {
+            warmup: 0.0,
+            horizon: 0.0,
+            seed,
+            draw_pick: true,
+            tick_interval: None,
+            tally_slots: 1,
+        }
+    }
+
+    #[test]
+    fn warm_start_zero_horizon_preserves_state_exactly() {
+        // Seeding occupancy and then running no window at all must leave
+        // the seeded state untouched: every unit still booked, every call
+        // live, no departures scheduled (end = 0), no events processed.
+        let capacities = [5u32, 8, 3];
+        let initial = [2u32, 0, 3];
+        let spec = warm_spec(zero_window(11), &capacities, &[], &initial);
+
+        let mut state = LoopState::default();
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut metrics = EngineMetrics::default();
+        state.prepare(&spec);
+        state.seed_warm_start(&spec, &mut queue, &mut NullObserver, &mut metrics);
+        for (l, &units) in initial.iter().enumerate() {
+            assert_eq!(state.links.occupancy(l), units, "link {l}");
+        }
+        assert_eq!(state.calls.live(), 5);
+        assert!(queue.is_empty(), "no departure fits a zero-length window");
+        assert_eq!(metrics.peak_concurrent_calls, 5);
+
+        // The full entry point agrees, and the observer sees exactly the
+        // seeded links (zero-unit links untouched) at t = 0.
+        let mut log = OccupancyLog::default();
+        let out = run(&spec, &mut Uncontrolled, &mut OneLink, &mut log);
+        assert_eq!(out.metrics.events_processed, 0);
+        assert_eq!(out.metrics.peak_concurrent_calls, 5);
+        assert_eq!(out.metrics.call_table_high_water, 5);
+        assert_eq!(out.offered, 0);
+        assert_eq!(log.0, vec![(0.0, 0, 2), (0.0, 2, 3)]);
+    }
+
+    #[test]
+    fn all_zero_warm_start_is_byte_identical_to_cold_start() {
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 8.0,
+            bandwidth: 1,
+            tag: 0,
+            tally: 0,
+        }];
+        let config = KernelConfig {
+            warmup: 10.0,
+            horizon: 120.0,
+            seed: 21,
+            draw_pick: true,
+            tick_interval: None,
+            tally_slots: 1,
+        };
+        let cold = warm_spec(config, &[10], &sources, &[]);
+        let zeros = warm_spec(config, &[10], &sources, &[0]);
+        let mut cold_log = OccupancyLog::default();
+        let mut zero_log = OccupancyLog::default();
+        let a = run(&cold, &mut Uncontrolled, &mut OneLink, &mut cold_log);
+        let b = run(&zeros, &mut Uncontrolled, &mut OneLink, &mut zero_log);
+        assert_eq!(a, b);
+        assert_eq!(cold_log.0, zero_log.0, "observer streams must agree");
+    }
+
+    #[test]
+    fn warm_started_occupancy_decays_and_runs_deterministically() {
+        let sources = [ArrivalSource {
+            stream: 0,
+            src: 0,
+            dst: 1,
+            rate: 0.5,
+            bandwidth: 1,
+            tag: 0,
+            tally: 0,
+        }];
+        let config = KernelConfig {
+            warmup: 0.0,
+            horizon: 60.0,
+            seed: 4,
+            draw_pick: true,
+            tick_interval: None,
+            tally_slots: 1,
+        };
+        let spec = warm_spec(config, &[10], &sources, &[10]);
+        let out = run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+        // Seeded full: the peak is the seed, and with unit-mean holding
+        // times over a 60-unit horizon the state decays (mean utilization
+        // strictly inside (0, 1)).
+        assert_eq!(out.metrics.peak_concurrent_calls, 10);
+        assert!(out.metrics.events_processed >= 10, "departures must fire");
+        let util = out.metrics.link_utilization[0];
+        assert!(util > 0.0 && util < 1.0, "utilization {util}");
+        let again = run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn warm_start_over_capacity_is_rejected() {
+        let spec = warm_spec(zero_window(1), &[10], &[], &[11]);
+        run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn warm_start_length_mismatch_is_rejected() {
+        let spec = warm_spec(zero_window(1), &[10, 10], &[], &[1]);
+        run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
+    }
+
+    #[test]
+    #[should_panic(expected = "down link")]
+    fn warm_start_on_a_down_link_is_rejected() {
+        let mut spec = warm_spec(zero_window(1), &[10], &[], &[1]);
+        spec.static_down = &[0];
+        run(&spec, &mut Uncontrolled, &mut OneLink, &mut NullObserver);
     }
 }

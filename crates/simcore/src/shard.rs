@@ -53,8 +53,9 @@
 //! a single shard, a configured tick interval (global controller
 //! state), a selector that is not [`RouteSelector::shardable`], an
 //! observer that is not a no-op (a byte-exact global trace would
-//! serialize the shards anyway), or a workload with no shard-local
-//! source at all.
+//! serialize the shards anyway), a warm start (non-empty
+//! `initial_occupancy` seeds cross-shard calls at `t = 0`), or a
+//! workload with no shard-local source at all.
 
 use crate::calendar::CalendarQueue;
 use crate::kernel::{
@@ -333,10 +334,13 @@ where
         spec.capacities.len(),
         "partition must cover every link"
     );
+    // A warm start seeds cross-shard calls at t = 0 that the workers'
+    // private replicas could not replay, so it serializes too.
     let serial = shards.num_shards <= 1
         || spec.config.tick_interval.is_some()
         || !selector.shardable()
-        || !observer.is_noop();
+        || !observer.is_noop()
+        || !spec.initial_occupancy.is_empty();
     if serial {
         return run_pooled(spec, admission, selector, observer, scratch);
     }
@@ -695,6 +699,7 @@ mod tests {
             static_down: &[],
             sources: &srcs,
             link_events: &[],
+            initial_occupancy: &[],
         };
         let fps = footprints(&primary, &alternate);
         let selector = TwoChoice {
@@ -769,6 +774,7 @@ mod tests {
             static_down: &[],
             sources: &srcs,
             link_events: &events,
+            initial_occupancy: &[],
         };
         let fps = footprints(&primary, &alternate);
         let selector = TwoChoice {
@@ -812,6 +818,7 @@ mod tests {
             static_down: &[],
             sources: &srcs,
             link_events: &[],
+            initial_occupancy: &[],
         };
         let fps = footprints(&primary, &alternate);
         let shards = ShardSpec::new(caps.len(), 2, Partition::RoundRobin);
@@ -870,6 +877,7 @@ mod tests {
             static_down: &[],
             sources: &srcs,
             link_events: &[],
+            initial_occupancy: &[],
         };
         let fps = footprints(&primary, &alternate);
         let mut selector = TwoChoice {

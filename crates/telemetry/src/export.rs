@@ -9,6 +9,7 @@
 //! exact values.
 
 use crate::hist::Histogram;
+use crate::mode::{Mode, ModeReport};
 use crate::recorder::RunTelemetry;
 use std::fmt::Write as _;
 
@@ -171,6 +172,70 @@ pub fn blocking_csv(t: &RunTelemetry) -> String {
     out
 }
 
+fn mode_label(m: Mode) -> &'static str {
+    match m {
+        Mode::Low => "low",
+        Mode::High => "high",
+    }
+}
+
+/// Renders a [`ModeReport`] in Prometheus text exposition format
+/// (additive to [`prometheus`]: concatenate the two expositions).
+pub fn mode_prometheus(r: &ModeReport) -> String {
+    let mut out = String::new();
+    prom_counter(
+        &mut out,
+        "mode_switches_total",
+        "Regime changes detected in the network occupancy series",
+        r.num_switches() as u64,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_mode_fraction_high Fraction of sim time spent in the high-occupancy mode"
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_mode_fraction_high gauge");
+    let _ = writeln!(out, "{PREFIX}_mode_fraction_high {}", r.fraction_high());
+    let _ = writeln!(
+        out,
+        "# HELP {PREFIX}_mode_time_seconds Sim time classified into each mode"
+    );
+    let _ = writeln!(out, "# TYPE {PREFIX}_mode_time_seconds gauge");
+    let _ = writeln!(
+        out,
+        "{PREFIX}_mode_time_seconds{{mode=\"low\"}} {}",
+        r.time_low
+    );
+    let _ = writeln!(
+        out,
+        "{PREFIX}_mode_time_seconds{{mode=\"high\"}} {}",
+        r.time_high
+    );
+    prom_histogram(
+        &mut out,
+        "mode_dwell_low",
+        "Completed dwell times in the low mode (sim-time units)",
+        &r.dwell_low,
+    );
+    prom_histogram(
+        &mut out,
+        "mode_dwell_high",
+        "Completed dwell times in the high mode (sim-time units)",
+        &r.dwell_high,
+    );
+    out
+}
+
+/// Renders a [`ModeReport`]'s switch sequence as CSV: the initial mode as
+/// a row at time 0, then one row per regime change.
+pub fn mode_switches_csv(r: &ModeReport) -> String {
+    let mut out = String::from("time,mode\n");
+    let _ = writeln!(out, "0,{}", mode_label(r.initial));
+    for s in &r.switches {
+        let _ = writeln!(out, "{},{}", s.at, mode_label(s.to));
+    }
+    out
+}
+
 /// Renders per-link windowed utilization as long-format CSV: one row per
 /// `(link, window)` with the across-replication mean utilization.
 pub fn link_utilization_csv(t: &RunTelemetry) -> String {
@@ -246,6 +311,31 @@ mod tests {
         assert_eq!(w1[2], "1", "one offered call in window 1");
         assert_eq!(w1[3], "1", "blocked in window 1");
         assert_eq!(w1[4], "1", "window blocking 1.0");
+    }
+
+    #[test]
+    fn mode_exports_cover_switches_dwells_and_fractions() {
+        use crate::mode::{detect, ModeThresholds};
+        use crate::series::TimeGrid;
+        let grid = TimeGrid::new(1.0, 6.0);
+        let r = detect(
+            grid,
+            &[0.1, 0.9, 0.9, 0.2, 0.9, 0.9],
+            ModeThresholds::new(0.8, 0.5),
+        );
+        let text = mode_prometheus(&r);
+        for family in [
+            "altroute_mode_switches_total 3",
+            "altroute_mode_fraction_high",
+            "altroute_mode_time_seconds{mode=\"low\"} 2",
+            "altroute_mode_time_seconds{mode=\"high\"} 4",
+            "altroute_mode_dwell_low_count 2",
+            "altroute_mode_dwell_high_count 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        let csv = mode_switches_csv(&r);
+        assert_eq!(csv, "time,mode\n0,low\n1,high\n3,low\n4,high\n");
     }
 
     #[test]

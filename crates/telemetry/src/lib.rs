@@ -14,6 +14,10 @@
 //!   windows over `[0, warmup + horizon)`, with per-window event counts
 //!   ([`WindowedCounter`]) and per-window time integrals of
 //!   piecewise-constant processes ([`WindowedTimeWeighted`]).
+//! * [`mode`] — threshold-with-hysteresis mode-switch detection over a
+//!   windowed series: classifies the network-occupancy trace into
+//!   low/high (good/bad) regimes and reports switch times, dwell-time
+//!   histograms, and the fraction of time spent congested.
 //! * [`recorder`] — the [`Recorder`] trait the engine is generic over
 //!   (the no-op [`NullRecorder`] monomorphizes to zero cost), plus
 //!   [`RunTelemetry`], the full recorder/snapshot with deterministic
@@ -34,11 +38,13 @@
 
 pub mod export;
 pub mod hist;
+pub mod mode;
 pub mod recorder;
 pub mod series;
 pub mod span;
 
 pub use hist::Histogram;
+pub use mode::{Mode, ModeReport, ModeSwitch, ModeThresholds};
 pub use recorder::{ArrivalOutcome, NullRecorder, Recorder, RunTelemetry};
 pub use series::{TimeGrid, WindowedCounter, WindowedTimeWeighted};
 pub use span::{SpanProfile, SpanStats};

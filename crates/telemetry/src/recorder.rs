@@ -10,6 +10,7 @@
 //! consume.
 
 use crate::hist::Histogram;
+use crate::mode::{self, ModeReport, ModeThresholds};
 use crate::series::{TimeGrid, WindowedCounter, WindowedTimeWeighted};
 use crate::span::SpanProfile;
 
@@ -249,6 +250,39 @@ impl RunTelemetry {
         }
         let total: f64 = self.link_occupancy[link].integrals().iter().sum();
         total / self.grid.end() / cap / f64::from(self.replications)
+    }
+
+    /// Network-wide mean utilization over window `k`: total time-averaged
+    /// occupied circuits over total capacity, averaged over merged
+    /// replications. This is the occupancy signal the mode detector
+    /// classifies — in the bad regime alternates double-book trunks, so
+    /// it separates the two modes even when blocking alone is noisy.
+    pub fn window_network_utilization(&self, k: usize) -> f64 {
+        let cap: f64 = self.capacities.iter().map(|&c| f64::from(c)).sum();
+        if cap == 0.0 {
+            return 0.0;
+        }
+        let occ: f64 = self.link_occupancy.iter().map(|s| s.integrals()[k]).sum();
+        occ / self.grid.window_len(k) / cap / f64::from(self.replications)
+    }
+
+    /// The full per-window network utilization series (derived on demand;
+    /// nothing extra is stored, so merge and equality are unaffected).
+    pub fn network_utilization_series(&self) -> Vec<f64> {
+        (0..self.grid.num_windows())
+            .map(|k| self.window_network_utilization(k))
+            .collect()
+    }
+
+    /// Classifies the network utilization series into low/high occupancy
+    /// modes with the given hysteresis band (see [`crate::mode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is unfinished.
+    pub fn mode_report(&self, thresholds: ModeThresholds) -> ModeReport {
+        assert!(self.finished, "mode report requires finished telemetry");
+        mode::detect(self.grid, &self.network_utilization_series(), thresholds)
     }
 
     /// Folds another replication's telemetry into this one. Counters and
@@ -493,6 +527,45 @@ mod tests {
         let mut c = small();
         c.events += 1;
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn network_utilization_aggregates_links_and_feeds_mode_detection() {
+        use crate::mode::{Mode, ModeThresholds};
+        let t = small();
+        // Link 0 holds occ 1 over [0.5, 1.5) and 2 over [1.5, 2.5);
+        // link 1 holds occ 1 over [1.5, 2.5); total capacity 20.
+        let series = t.network_utilization_series();
+        assert_eq!(series.len(), 4);
+        assert!((series[0] - 0.025).abs() < 1e-12);
+        assert!((series[1] - 0.1).abs() < 1e-12);
+        assert!((series[2] - 0.075).abs() < 1e-12);
+        assert_eq!(series[3], 0.0);
+
+        // A band straddling the series: enter at window 1's level, hold
+        // through window 2 (inside the band), exit at window 3.
+        let r = t.mode_report(ModeThresholds::new(0.09, 0.05));
+        assert_eq!(r.initial, Mode::Low);
+        assert_eq!(
+            r.switches.iter().map(|s| (s.at, s.to)).collect::<Vec<_>>(),
+            vec![(1.0, Mode::High), (3.0, Mode::Low)]
+        );
+        assert_eq!(r.time_high, 2.0);
+        assert!((r.fraction_high() - 0.5).abs() < 1e-12);
+
+        // Merging a replication of the same scenario leaves the
+        // across-replication mean — and thus the mode structure — intact.
+        let mut m = t.clone();
+        m.merge(&small());
+        assert!((m.window_network_utilization(1) - 0.1).abs() < 1e-12);
+        assert_eq!(m.mode_report(ModeThresholds::new(0.09, 0.05)), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finished telemetry")]
+    fn mode_report_requires_finish() {
+        let t = RunTelemetry::new(1.0, 3.0, 1.0, vec![10]);
+        t.mode_report(crate::mode::ModeThresholds::new(0.8, 0.5));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 #   scripts/check.sh [stage ...]
 #
 # Stages: fmt | clippy | test | conformance | telemetry | parity |
-# shard-parity | bench-smoke | all (default). Unknown stages fail fast.
+# shard-parity | metastability-smoke | bench-smoke | all (default).
+# Unknown stages fail fast.
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -134,6 +135,27 @@ EOF
   shard_parity multirate multirate "$tmpdir/shard.json"
 }
 
+# Metastability smoke: the four-arm hysteresis demonstration must run
+# end to end on the CI-sized preset, be bit-stable across two
+# invocations, and actually exhibit the hysteresis it documents — the
+# unreserved arms in different modes, the reserved arms in the same one.
+# Deterministic (fixed seeds); ~10 s in release.
+stage_metastability_smoke() {
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    metastability --metrics-json > "$tmpdir/meta.a"
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    metastability --metrics-json --telemetry "$tmpdir/meta_out" > "$tmpdir/meta.b"
+  cmp "$tmpdir/meta.a" "$tmpdir/meta.b"
+  grep -q '"label": "metastability:smoke"' "$tmpdir/meta.a"
+  # The unreserved saturated arm is stuck high; every other arm ends low.
+  [ "$(grep -c '"final_mode": "high"' "$tmpdir/meta.a")" -eq 1 ]
+  [ "$(grep -c '"final_mode": "low"' "$tmpdir/meta.a")" -eq 3 ]
+  # Mode exports ride along with the standard telemetry families.
+  grep -q '^altroute_mode_fraction_high 1$' "$tmpdir/meta_out/r0_saturated.prom"
+  grep -q '^altroute_calls_offered_total ' "$tmpdir/meta_out/r0_saturated.prom"
+  head -1 "$tmpdir/meta_out/eq15_saturated_modes.csv" | grep -q '^time,mode$'
+}
+
 # Bench smoke: the perf-baseline binary must run end to end in --quick
 # mode and emit a report that passes its own schema validation. No
 # timing thresholds here — the non-blocking regression gate is
@@ -154,14 +176,15 @@ run_stage() {
     telemetry)   stage_telemetry ;;
     parity)      stage_parity ;;
     shard-parity) stage_shard_parity ;;
+    metastability-smoke) stage_metastability_smoke ;;
     bench-smoke) stage_bench_smoke ;;
     all)
       stage_fmt; stage_clippy; stage_test
       stage_conformance; stage_telemetry; stage_parity
-      stage_shard_parity; stage_bench_smoke
+      stage_shard_parity; stage_metastability_smoke; stage_bench_smoke
       ;;
     *)
-      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry parity shard-parity bench-smoke all" >&2
+      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry parity shard-parity metastability-smoke bench-smoke all" >&2
       exit 2
       ;;
   esac

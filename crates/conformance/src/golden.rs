@@ -18,14 +18,16 @@ use altroute_netgraph::estimate::nsfnet_nominal_traffic;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_sim::engine::{
-    run_seed_pooled, run_seed_sharded_pooled, run_seed_sharded_traced, run_seed_traced,
-    run_seed_warm, run_seed_warm_sharded, RunConfig, SeedResult,
+    run_seed_pooled, run_seed_recorded, run_seed_sharded_pooled, run_seed_sharded_recorded,
+    run_seed_sharded_traced, run_seed_traced, run_seed_warm, run_seed_warm_sharded, RunConfig,
+    SeedResult,
 };
 use altroute_sim::failures::FailureSchedule;
 use altroute_sim::trace::{diff_traces, BinaryTraceWriter, TraceDiff};
 use altroute_simcore::kernel::KernelScratch;
 use altroute_simcore::pool::pool_run_with;
 use altroute_simcore::shard::{Partition, ShardSpec};
+use altroute_telemetry::RunTelemetry;
 use std::path::PathBuf;
 
 /// Whether to record a scenario as specified or with a deliberate
@@ -352,6 +354,91 @@ pub fn scenario_replications_sharded(
                 &spec,
                 &mut scratch,
             )
+        })
+        .collect()
+}
+
+/// The telemetry grid width the recorded-parity harnesses use: ten
+/// windows over each scenario's covered range.
+fn scenario_window(s: &Scenario) -> f64 {
+    (s.warmup + s.horizon) / 10.0
+}
+
+fn scenario_telemetry(s: &Scenario) -> RunTelemetry {
+    let capacities: Vec<u32> = s
+        .plan
+        .topology()
+        .links()
+        .iter()
+        .map(|l| l.capacity)
+        .collect();
+    RunTelemetry::new(s.warmup, s.horizon, scenario_window(s), capacities)
+}
+
+/// As [`scenario_replications`] on one worker, but with a live
+/// [`RunTelemetry`] recorder attached to every seed — the serial
+/// instrumented oracle for the recorded-parity harness. Returns each
+/// seed's result alongside its finished telemetry snapshot.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name.
+pub fn scenario_replications_recorded(name: &str, seeds: u32) -> Vec<(SeedResult, RunTelemetry)> {
+    let s = scenario(name);
+    (0..seeds)
+        .map(|i| {
+            let mut telemetry = scenario_telemetry(&s);
+            let result = run_seed_recorded(
+                &RunConfig {
+                    plan: &s.plan,
+                    policy: s.policy,
+                    traffic: &s.traffic,
+                    warmup: s.warmup,
+                    horizon: s.horizon,
+                    seed: s.seed + u64::from(i),
+                    failures: &s.failures,
+                },
+                &mut telemetry,
+            );
+            (result, telemetry)
+        })
+        .collect()
+}
+
+/// As [`scenario_replications_recorded`], but through the sharded
+/// kernel entry. Recorder hooks are replayed at the barriers in global
+/// event order, so every `(num_shards, partition)` pair must produce
+/// results *and telemetry* byte-identical to the serial instrumented
+/// oracle — the shard-aware-recording parity harness.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name or an invalid shard spec.
+pub fn scenario_replications_recorded_sharded(
+    name: &str,
+    seeds: u32,
+    num_shards: usize,
+    partition: Partition,
+) -> Vec<(SeedResult, RunTelemetry)> {
+    let s = scenario(name);
+    let spec = ShardSpec::new(s.plan.topology().num_links(), num_shards, partition);
+    (0..seeds)
+        .map(|i| {
+            let mut telemetry = scenario_telemetry(&s);
+            let result = run_seed_sharded_recorded(
+                &RunConfig {
+                    plan: &s.plan,
+                    policy: s.policy,
+                    traffic: &s.traffic,
+                    warmup: s.warmup,
+                    horizon: s.horizon,
+                    seed: s.seed + u64::from(i),
+                    failures: &s.failures,
+                },
+                &spec,
+                &mut telemetry,
+            );
+            (result, telemetry)
         })
         .collect()
 }

@@ -1,0 +1,45 @@
+//! Shard-aware recording parity.
+//!
+//! A sharded run with a live [`RunTelemetry`] recorder attached must be
+//! byte-identical — `SeedResult` *and* telemetry — to the serial
+//! instrumented oracle on every golden workload: the kernel buffers
+//! recorder hooks per shard and replays them at the barriers in global
+//! `(time, shard)` event order, so instrumentation no longer forces the
+//! serial fallback. These tests pin that contract at every shard count
+//! and partition, alongside the older guarantee that attaching a
+//! recorder never perturbs the results themselves.
+//!
+//! [`RunTelemetry`]: altroute_telemetry::RunTelemetry
+
+use altroute_conformance::golden::{
+    golden_names, scenario_replications, scenario_replications_recorded,
+    scenario_replications_recorded_sharded,
+};
+use altroute_simcore::shard::Partition;
+
+#[test]
+fn recorded_sharded_runs_match_the_serial_instrumented_oracle() {
+    for name in golden_names() {
+        let oracle = scenario_replications_recorded(name, 2);
+        for num_shards in [2, 4] {
+            for partition in [Partition::Contiguous, Partition::RoundRobin] {
+                let sharded =
+                    scenario_replications_recorded_sharded(name, 2, num_shards, partition.clone());
+                assert_eq!(
+                    oracle, sharded,
+                    "{name} at {num_shards} shards, {partition:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn attaching_a_recorder_never_perturbs_the_results() {
+    for name in golden_names() {
+        let plain = scenario_replications(name, 1, 1);
+        let recorded = scenario_replications_recorded(name, 1);
+        let results: Vec<_> = recorded.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(plain, results, "{name}");
+    }
+}

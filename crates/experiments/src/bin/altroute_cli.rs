@@ -7,9 +7,10 @@
 //! altroute_cli protect <load> <capacity> <H>        Eq. 15 protection level + bound
 //! altroute_cli simulate <config.json> [--policy <name>] [--metrics-json]
 //!                       [--progress] [--telemetry <dir>] [--window <width>]
-//!                                                   full experiment from a JSON config
+//!                       [--serve <addr>]            full experiment from a JSON config
 //! altroute_cli adaptive <config.json> [--metrics-json] [--telemetry <dir>]
-//!                       [--window <width>]          online-estimation engine
+//!                       [--window <width>] [--serve <addr>]
+//!                                                   online-estimation engine
 //! altroute_cli multirate <config.json> [--metrics-json] [--telemetry <dir>]
 //!                       [--window <width>]          two-class multirate engine
 //! altroute_cli signaling <config.json> [--hop-delay <d>] [--metrics-json]
@@ -17,8 +18,9 @@
 //!                                                   hop-by-hop setup engine
 //! altroute_cli metastability [--preset <smoke|paper>] [--nodes <N>] [--d <K>]
 //!                       [--window <width>] [--metrics-json] [--telemetry <dir>]
-//!                                                   four-arm hysteresis demonstration
+//!                       [--serve <addr>]            four-arm hysteresis demonstration
 //! altroute_cli telemetry <dir>                      human-readable telemetry report
+//! altroute_cli replay <file.trace>                  decode and summarise a binary trace
 //! altroute_cli example-config                       print a commented example config
 //! altroute_cli conformance [--bless]                run the conformance suite
 //! ```
@@ -47,6 +49,15 @@
 //! a human-readable report. `--progress` prints a replications-completed
 //! heartbeat with an ETA to stderr.
 //!
+//! With `--serve <addr>` the long-running engines (`simulate`,
+//! `adaptive`, `metastability`) expose the run over HTTP while it
+//! executes: `GET /metrics` returns the latest Prometheus exposition
+//! (refreshed every completed window on `metastability`, per finished
+//! policy otherwise — `simulate`/`adaptive` publish only when
+//! `--telemetry` records), `/healthz` is a liveness probe, and
+//! `/status` is a JSON progress document. Pass port 0 to let the OS
+//! pick; the bound address is announced on stderr.
+//!
 //! The JSON config selects a topology (built-in or explicit link list), a
 //! traffic matrix (uniform, explicit, or the reconstructed NSFNet
 //! nominal), the policies to compare, failed links, timed outages, and
@@ -74,14 +85,17 @@
 //! paper` is the minutes-scale `K_100` instance; `--nodes`, `--d`, and
 //! `--window` override the preset. `--telemetry <dir>` additionally
 //! writes per-arm exports including the mode metrics and a
-//! `<arm>_modes.csv` switch log.
+//! `<arm>_modes.csv` switch log, plus — for every arm whose anomaly
+//! flight recorder froze — a replayable `<arm>_flight.trace` dump of
+//! the kernel events leading up to the trigger. `replay <file>`
+//! summarises such a dump (or any conformance golden trace).
 
 use altroute_core::policy::PolicyKind;
 use altroute_experiments::output::{
     blocking_summary_json, fmt_prob, metrics_document, telemetry_document,
 };
 use altroute_experiments::{
-    run_metastability, ArmResult, Heartbeat, MetastabilityConfig, Series, Table,
+    run_metastability_served, ArmResult, Heartbeat, MetastabilityConfig, Series, Table,
 };
 use altroute_json::{obj, Value};
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
@@ -98,8 +112,9 @@ use altroute_sim::multirate::{
 use altroute_sim::signaling::{
     run_signaling_replications, run_signaling_telemetry, SignalingConfig, SignalingPolicy,
 };
+use altroute_sim::trace::{decode_trace, TraceRecordKind};
 use altroute_simcore::pool::default_workers;
-use altroute_telemetry::{export, Mode, RunTelemetry};
+use altroute_telemetry::{export, MetricsServer, Mode, RunTelemetry};
 use altroute_teletraffic::erlang::{carried_traffic, dimension_link, erlang_b};
 use altroute_teletraffic::reservation::{protection_level, shadow_price_bound};
 use std::path::Path;
@@ -493,18 +508,13 @@ fn load_experiment(path: &str) -> Result<(Config, Experiment, FailureSchedule), 
 }
 
 /// Resolves `--window` against the run duration: the explicit value if
-/// given (validated), otherwise 40 windows across the run.
+/// given (positivity is enforced at argument parsing), otherwise 40
+/// windows across the run.
 fn resolve_window(flags: &Flags, warmup: f64, horizon: f64) -> Result<f64, String> {
     if flags.window.is_some() && flags.telemetry.is_none() {
         return Err("--window only makes sense with --telemetry".into());
     }
-    match flags.window {
-        Some(w) if !(w.is_finite() && w > 0.0) => {
-            Err(format!("--window must be positive, got {w}"))
-        }
-        Some(w) => Ok(w),
-        None => Ok((warmup + horizon) / 40.0),
-    }
+    Ok(flags.window.unwrap_or((warmup + horizon) / 40.0))
 }
 
 /// Writes the per-policy telemetry exports plus the combined
@@ -544,11 +554,7 @@ fn write_telemetry_files(
 /// Display name of one hysteresis arm (`r0_empty`, `eq15_saturated`, …)
 /// — doubles as the telemetry file stem.
 fn arm_name(arm: &ArmResult) -> String {
-    format!(
-        "{}_{}",
-        if arm.reserved { "eq15" } else { "r0" },
-        arm.start.name()
-    )
+    arm.name()
 }
 
 fn mode_name(m: Mode) -> &'static str {
@@ -575,12 +581,10 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
         cfg.d = d;
     }
     if let Some(w) = flags.window {
-        if !(w.is_finite() && w > 0.0) {
-            return Err(format!("--window must be positive, got {w}"));
-        }
         cfg.window = w;
     }
-    let report = run_metastability(&cfg);
+    let server = flags.bind_server(&format!("metastability:{preset}"))?;
+    let report = run_metastability_served(&cfg, server.as_ref());
 
     if let Some(dir) = &flags.telemetry {
         let dir = Path::new(dir);
@@ -589,6 +593,7 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
             let p = dir.join(file);
             std::fs::write(&p, contents).map_err(|e| format!("writing {}: {e}", p.display()))
         };
+        let mut files = 1; // telemetry.json
         for arm in &report.arms {
             let name = arm_name(arm);
             let mut prom = export::prometheus(&arm.telemetry);
@@ -606,6 +611,19 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
                 format!("{name}_modes.csv"),
                 export::mode_switches_csv(&arm.modes),
             )?;
+            files += 4;
+            if let Some(f) = &arm.flight {
+                let p = dir.join(format!("{name}_flight.trace"));
+                std::fs::write(&p, &f.bytes)
+                    .map_err(|e| format!("writing {}: {e}", p.display()))?;
+                files += 1;
+                eprintln!(
+                    "flight recorder: {name} froze on {} (seed {}) -> {}",
+                    f.reason,
+                    f.seed,
+                    p.display()
+                );
+            }
         }
         let entries: Vec<(String, &RunTelemetry)> = report
             .arms
@@ -616,11 +634,7 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
             "telemetry.json".to_string(),
             telemetry_document(&format!("metastability:{preset}"), &entries).to_string_pretty(),
         )?;
-        eprintln!(
-            "telemetry: wrote {} files under {}",
-            4 * report.arms.len() + 1,
-            dir.display()
-        );
+        eprintln!("telemetry: wrote {files} files under {}", dir.display());
     }
 
     if flags.metrics_json {
@@ -638,6 +652,10 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
                     "final_mode" => mode_name(a.modes.final_mode()),
                     "fraction_high" => a.modes.fraction_high(),
                     "mode_switches" => a.modes.num_switches() as u64,
+                    "flight_trigger" => match &a.flight {
+                        Some(f) => Value::from(f.reason.to_string()),
+                        None => Value::Null,
+                    },
                 }
             })
             .collect();
@@ -689,6 +707,20 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
             report.blocking_gap(false),
             report.blocking_gap(true)
         );
+        for a in &report.arms {
+            if let Some(f) = &a.flight {
+                let events = decode_trace(&f.bytes).map_or(0, |(_, r)| r.len());
+                println!(
+                    "flight recorder: {} froze on {} (seed {}, {events} events)",
+                    a.name(),
+                    f.reason,
+                    f.seed,
+                );
+            }
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
     Ok(())
 }
@@ -713,17 +745,32 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
              kernel; --shards only affects uninstrumented runs"
         );
     }
+    let server = flags.bind_server(path)?;
     let heartbeat = flags
         .progress
         .then(|| Heartbeat::new(config.policies.len() * params.seeds as usize));
-    let progress = heartbeat.as_ref().map(|h| h as &dyn ProgressObserver);
+    let inner = heartbeat.as_ref().map(|h| h as &dyn ProgressObserver);
+    let tee = server
+        .as_ref()
+        .map(|server| ServeProgress { server, inner });
+    let progress = match &tee {
+        Some(tee) => Some(tee as &dyn ProgressObserver),
+        None => inner,
+    };
     let mut table = Table::new(["policy", "blocking", "stderr", "alt-fraction"]);
     let mut results = Vec::with_capacity(config.policies.len());
     let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
     for name in &config.policies {
         let kind = parse_policy(name, config.max_hops, flags.d.unwrap_or(2))?;
+        if let Some(server) = &server {
+            let phase = kind.name().to_string();
+            server.update_status(|s| s.phase = phase);
+        }
         let r = if flags.telemetry.is_some() {
             let (r, t) = exp.run_telemetry_with_workers(kind, &params, window, workers, progress);
+            if let Some(server) = &server {
+                server.publish_metrics(export::prometheus(&t));
+            }
             snapshots.push((kind.name().to_string(), t));
             r
         } else if let Some(shards) = flags.shards {
@@ -764,7 +811,29 @@ fn cmd_simulate(path: &str, flags: &Flags) -> Result<(), String> {
             fmt_prob(exp.erlang_bound())
         );
     }
+    if let Some(server) = server {
+        server.shutdown();
+    }
     Ok(())
+}
+
+/// Forwards replication progress into the `--serve` status document,
+/// then to the wrapped `--progress` heartbeat (if any).
+struct ServeProgress<'a> {
+    server: &'a MetricsServer,
+    inner: Option<&'a dyn ProgressObserver>,
+}
+
+impl ProgressObserver for ServeProgress<'_> {
+    fn replication_done(&self, completed: usize, total: usize) {
+        self.server.update_status(|s| {
+            s.replications_done = completed;
+            s.replications_total = total;
+        });
+        if let Some(inner) = self.inner {
+            inner.replication_done(completed, total);
+        }
+    }
 }
 
 /// Emits either the aligned table or a `--metrics-json` document for the
@@ -801,6 +870,14 @@ fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
         max_hops: config.max_hops,
     });
     let adaptive = AdaptiveConfig::default();
+    let server = flags.bind_server(path)?;
+    if let Some(server) = &server {
+        let total = config.seeds as usize;
+        server.update_status(|s| {
+            s.phase = "adaptive".to_string();
+            s.replications_total = total;
+        });
+    }
     let mut snapshots: Vec<(String, RunTelemetry)> = Vec::new();
     let (per_seed, summary) = if flags.telemetry.is_some() {
         let (per_seed, summary, telemetry) = run_adaptive_telemetry(
@@ -815,6 +892,9 @@ fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
             flags.worker_count(),
             window,
         );
+        if let Some(server) = &server {
+            server.publish_metrics(export::prometheus(&telemetry));
+        }
         snapshots.push(("adaptive".to_string(), telemetry));
         (per_seed, summary)
     } else {
@@ -865,6 +945,11 @@ fn cmd_adaptive(path: &str, flags: &Flags) -> Result<(), String> {
     );
     if let Some(dir) = &flags.telemetry {
         write_telemetry_files(dir, path, &snapshots)?;
+    }
+    if let Some(server) = server {
+        let done = per_seed.len();
+        server.update_status(|s| s.replications_done = done);
+        server.shutdown();
     }
     Ok(())
 }
@@ -1147,11 +1232,13 @@ fn cmd_telemetry_report(dir: &str) -> Result<(), String> {
     let mut hist_table = Table::new(["policy", "histogram", "count", "mean", "p50", "p99", "max"]);
     let mut span_table = Table::new(["policy", "phase", "seconds", "count"]);
     let mut blocking_series: Vec<Series> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
     for p in policies {
         let name = p
             .get("policy")
             .and_then(Value::as_str)
             .ok_or("telemetry.json: policy entry without \"policy\" name")?;
+        names.push(name.to_string());
         let c = p
             .get("counters")
             .ok_or("telemetry.json: policy entry without \"counters\"")?;
@@ -1220,11 +1307,139 @@ fn cmd_telemetry_report(dir: &str) -> Result<(), String> {
     if !span_table.is_empty() {
         println!("{}", span_table.render());
     }
+    print_mode_section(Path::new(dir), &names, end);
     println!("per-window network blocking (x = sim time):");
     println!(
         "{}",
         altroute_experiments::render_chart(&blocking_series, 64, 16, false)
     );
+    Ok(())
+}
+
+/// Parses a `<policy>_modes.csv` switch log into `(time, is_high)` rows:
+/// the initial regime at time 0, then one row per mode switch.
+fn read_modes_csv(path: &Path) -> Option<Vec<(f64, bool)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let (t, mode) = line.split_once(',')?;
+        rows.push((t.parse().ok()?, mode == "high"));
+    }
+    (!rows.is_empty()).then_some(rows)
+}
+
+/// Renders the mode-structure section of the telemetry report from the
+/// `<policy>_modes.csv` switch logs (written by `metastability
+/// --telemetry`), when any are present: per-policy regime summary with
+/// dwell-time statistics, plus the switch sequence itself.
+fn print_mode_section(dir: &Path, names: &[String], end: f64) {
+    let regime = |high: bool| if high { "high" } else { "low" };
+    let mut table = Table::new([
+        "policy",
+        "initial",
+        "final",
+        "switches",
+        "frac-high",
+        "dwell-low",
+        "dwell-high",
+    ]);
+    let mut sequences = Vec::new();
+    for name in names {
+        let Some(rows) = read_modes_csv(&dir.join(format!("{name}_modes.csv"))) else {
+            continue;
+        };
+        // Dwell in each regime; the last one is censored at `end`.
+        let mut dwells = [Vec::new(), Vec::new()]; // [low, high]
+        for (i, &(t, high)) in rows.iter().enumerate() {
+            let until = rows.get(i + 1).map_or(end, |&(next, _)| next);
+            dwells[usize::from(high)].push((until - t).max(0.0));
+        }
+        let dwell_stats = |v: &[f64]| {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                format!("{mean:.3} x{}", v.len())
+            }
+        };
+        // `.max(0.0)` also normalises the -0.0 an empty sum produces.
+        let frac_high = if end > 0.0 {
+            (dwells[1].iter().sum::<f64>() / end).max(0.0)
+        } else {
+            0.0
+        };
+        table.row([
+            name.clone(),
+            regime(rows[0].1).to_string(),
+            regime(rows[rows.len() - 1].1).to_string(),
+            (rows.len() - 1).to_string(),
+            format!("{frac_high:.3}"),
+            dwell_stats(&dwells[0]),
+            dwell_stats(&dwells[1]),
+        ]);
+        if rows.len() > 1 {
+            let steps: Vec<String> = rows[1..]
+                .iter()
+                .map(|&(t, high)| format!("{} at t={t}", regime(high)))
+                .collect();
+            sequences.push(format!("  {name}: {}", steps.join(", ")));
+        }
+    }
+    if table.is_empty() {
+        return;
+    }
+    println!("mode structure (dwell columns are mean x count, censored at end):");
+    println!("{}", table.render());
+    if !sequences.is_empty() {
+        println!("mode switches:");
+        for s in &sequences {
+            println!("{s}");
+        }
+        println!();
+    }
+}
+
+/// Decodes a binary trace — a conformance golden or a flight-recorder
+/// dump — and prints its header, per-kind record counts, time span, and
+/// the last few records (the approach to the anomaly, for flight dumps).
+fn cmd_replay(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (header, records) = decode_trace(&bytes).map_err(|e| format!("decoding {path}: {e}"))?;
+    println!(
+        "trace {path}: format v{}, seed {}, label \"{}\"",
+        header.version, header.seed, header.label
+    );
+    let kinds = ["blocked", "routed", "departure", "teardown", "link"];
+    let mut counts = [0usize; 5];
+    for r in &records {
+        counts[match r.kind {
+            TraceRecordKind::Blocked { .. } => 0,
+            TraceRecordKind::Routed { .. } => 1,
+            TraceRecordKind::Departure { .. } => 2,
+            TraceRecordKind::Teardown { .. } => 3,
+            TraceRecordKind::Link { .. } => 4,
+        }] += 1;
+    }
+    let mut table = Table::new(["record", "count"]);
+    for (name, n) in kinds.iter().zip(counts) {
+        table.row([name.to_string(), n.to_string()]);
+    }
+    println!("{}", table.render());
+    let (Some(first), Some(last)) = (records.first(), records.last()) else {
+        println!("0 records");
+        return Ok(());
+    };
+    println!(
+        "{} records over t = [{:.6}, {:.6}]",
+        records.len(),
+        first.time(),
+        last.time()
+    );
+    const TAIL: usize = 10;
+    println!("last {} records:", records.len().min(TAIL));
+    for r in records.iter().skip(records.len().saturating_sub(TAIL)) {
+        println!("  {r}");
+    }
     Ok(())
 }
 
@@ -1312,6 +1527,7 @@ struct Flags {
     d: Option<u32>,
     preset: Option<String>,
     nodes: Option<usize>,
+    serve: Option<String>,
 }
 
 impl Flags {
@@ -1354,7 +1570,27 @@ impl Flags {
         if self.nodes.is_some() {
             v.push("--nodes");
         }
+        if self.serve.is_some() {
+            v.push("--serve");
+        }
         v
+    }
+
+    /// Binds the `--serve` metrics server (if requested) under `label`
+    /// and announces the endpoints on stderr.
+    fn bind_server(&self, label: &str) -> Result<Option<MetricsServer>, String> {
+        match &self.serve {
+            None => Ok(None),
+            Some(addr) => {
+                let server =
+                    MetricsServer::bind(addr, label).map_err(|e| format!("--serve {addr}: {e}"))?;
+                eprintln!(
+                    "serving http://{0}/metrics, http://{0}/healthz, http://{0}/status",
+                    server.addr()
+                );
+                Ok(Some(server))
+            }
+        }
     }
 
     /// The replication-pool size: `--workers N`, defaulting to the
@@ -1414,6 +1650,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 | "d"
                 | "preset"
                 | "nodes"
+                | "serve"
         );
         let value = if takes_value {
             match inline {
@@ -1438,7 +1675,15 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "progress" => flags.progress = true,
             "bless" => flags.bless = true,
             "telemetry" => flags.telemetry = value,
-            "window" => flags.window = Some(parse_f64(&value.expect("takes_value"), "--window")?),
+            "window" => {
+                // Validated here, not per-subcommand, so every command
+                // rejects a degenerate width with the same message.
+                let w = parse_f64(&value.expect("takes_value"), "--window")?;
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(format!("--window must be positive, got {w}"));
+                }
+                flags.window = Some(w);
+            }
             "policy" => flags.policy = value,
             "hop-delay" => {
                 flags.hop_delay = Some(parse_f64(&value.expect("takes_value"), "--hop-delay")?)
@@ -1475,6 +1720,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     "pass a mesh size of at least 3",
                 )?)
             }
+            "serve" => flags.serve = value,
             other => return Err(format!("unknown flag --{other}")),
         }
     }
@@ -1538,6 +1784,7 @@ fn run() -> Result<(), String> {
                     "--workers",
                     "--shards",
                     "--d",
+                    "--serve",
                 ],
             )?;
             cmd_simulate(config, &flags)
@@ -1552,6 +1799,7 @@ fn run() -> Result<(), String> {
                     "--window",
                     "--metrics-json",
                     "--telemetry",
+                    "--serve",
                 ],
             )?;
             cmd_metastability(&flags)
@@ -1565,6 +1813,7 @@ fn run() -> Result<(), String> {
                     "--window",
                     "--workers",
                     "--shards",
+                    "--serve",
                 ],
             )?;
             cmd_adaptive(config, &flags)
@@ -1599,6 +1848,10 @@ fn run() -> Result<(), String> {
             flags.allow_only("telemetry", &[])?;
             cmd_telemetry_report(dir)
         }
+        ["replay", file] => {
+            flags.allow_only("replay", &[])?;
+            cmd_replay(file)
+        }
         ["example-config"] => {
             flags.allow_only("example-config", &[])?;
             println!("{EXAMPLE_CONFIG}");
@@ -1613,16 +1866,16 @@ fn run() -> Result<(), String> {
                   protect LOAD CAP H | \
                   simulate CONFIG.json [--metrics-json] [--progress] \
                   [--telemetry DIR] [--window W] [--policy NAME] \
-                  [--workers N] [--shards S] | \
+                  [--workers N] [--shards S] [--serve ADDR] | \
                   adaptive CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
-                  [--workers N] [--shards S] | \
+                  [--workers N] [--shards S] [--serve ADDR] | \
                   multirate CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
                   [--workers N] [--shards S] | \
                   signaling CONFIG.json [--metrics-json] [--telemetry DIR] [--window W] \
                   [--hop-delay D] [--shards S] | \
                   metastability [--preset smoke|paper] [--nodes N] [--d K] \
-                  [--window W] [--metrics-json] [--telemetry DIR] | \
-                  telemetry DIR | example-config | conformance [--bless]>"
+                  [--window W] [--metrics-json] [--telemetry DIR] [--serve ADDR] | \
+                  telemetry DIR | replay TRACE | example-config | conformance [--bless]>"
                 .into(),
         ),
     }

@@ -16,7 +16,8 @@ pub mod runs;
 
 pub use chart::{render as render_chart, Series};
 pub use metastability::{
-    run_metastability, ArmResult, HysteresisReport, MetastabilityConfig, StartState,
+    run_metastability, run_metastability_served, ArmResult, FlightCapture, HysteresisReport,
+    MetastabilityConfig, StartState,
 };
 pub use output::Table;
 pub use progress::Heartbeat;

@@ -29,9 +29,19 @@ use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
-use altroute_sim::engine::{run_seed_warm_recorded, RunConfig};
+use altroute_sim::engine::{run_seed_warm_instrumented, RunConfig};
 use altroute_sim::failures::FailureSchedule;
-use altroute_telemetry::{ModeReport, ModeThresholds, RunTelemetry};
+use altroute_sim::trace::{encode_flight, FlightSink};
+use altroute_telemetry::flight::{FlightRing, FlightTrigger, TriggerReason};
+use altroute_telemetry::serve::{LiveRecorder, MetricsServer};
+use altroute_telemetry::{export, ModeReport, ModeThresholds, RunTelemetry};
+use std::cell::RefCell;
+
+/// Events held by each arm's anomaly flight ring. At the smoke preset's
+/// event rate this is a few hundredths of a sim-time unit of lead-up —
+/// the microscopic approach to the mode boundary, which is exactly what
+/// the windowed series cannot show.
+pub const FLIGHT_RING_CAPACITY: usize = 4096;
 
 /// Initial network state of one hysteresis arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +148,19 @@ impl MetastabilityConfig {
     }
 }
 
+/// One frozen flight-recorder capture: the ring's contents at the moment
+/// a trigger fired, encoded as a version-1 binary trace
+/// ([`altroute_sim::trace::decode_trace`] replays it).
+#[derive(Debug, Clone)]
+pub struct FlightCapture {
+    /// Why the ring froze.
+    pub reason: TriggerReason,
+    /// The replication seed the capture came from.
+    pub seed: u64,
+    /// The encoded trace (header label names the arm).
+    pub bytes: Vec<u8>,
+}
+
 /// One arm of the four-arm demonstration.
 #[derive(Debug, Clone)]
 pub struct ArmResult {
@@ -157,6 +180,21 @@ pub struct ArmResult {
     pub tail_utilization: f64,
     /// The merged across-seed telemetry snapshot.
     pub telemetry: RunTelemetry,
+    /// The anomaly flight dump, when a live trigger (mode switch) fired
+    /// during the arm: on the smoke preset exactly the Eq.-15 saturated
+    /// arm freezes one (its escape from the high mode).
+    pub flight: Option<FlightCapture>,
+}
+
+impl ArmResult {
+    /// Display name of the arm (`{r0|eq15}_{empty|saturated}`).
+    pub fn name(&self) -> String {
+        format!(
+            "{}_{}",
+            if self.reserved { "eq15" } else { "r0" },
+            self.start.name()
+        )
+    }
 }
 
 /// The full four-arm hysteresis report.
@@ -207,16 +245,34 @@ fn run_arm(
     traffic: &TrafficMatrix,
     reserved: bool,
     start: StartState,
+    server: Option<&MetricsServer>,
+    replications_done: &mut usize,
 ) -> ArmResult {
     let capacities: Vec<u32> = plan.topology().links().iter().map(|l| l.capacity).collect();
     let initial: Vec<u32> = match start {
         StartState::Empty => Vec::new(),
         StartState::Saturated => capacities.clone(),
     };
+    let arm_name = format!("{}_{}", if reserved { "eq15" } else { "r0" }, start.name());
+    if let Some(server) = server {
+        let phase = arm_name.clone();
+        server.update_status(|s| {
+            s.phase = phase;
+            s.sim_time = 0.0;
+            s.sim_end = cfg.horizon;
+            s.mode = None;
+        });
+    }
     let failures = FailureSchedule::none();
+    // The flight ring spans the whole arm: the first trigger (a mode
+    // switch on any seed's live occupancy series) freezes it, and later
+    // seeds' events are dropped, so the dump shows exactly one anomaly.
+    let ring = RefCell::new(FlightRing::new(FLIGHT_RING_CAPACITY));
+    let mut flight: Option<FlightCapture> = None;
     let mut merged: Option<RunTelemetry> = None;
     let (mut offered, mut blocked, mut alternate) = (0u64, 0u64, 0u64);
     for s in 0..cfg.seeds {
+        let seed = cfg.base_seed + u64::from(s);
         let config = RunConfig {
             plan,
             policy: PolicyKind::BestOfD {
@@ -226,17 +282,38 @@ fn run_arm(
             traffic,
             warmup: 0.0,
             horizon: cfg.horizon,
-            seed: cfg.base_seed + u64::from(s),
+            seed,
             failures: &failures,
         };
         let mut telemetry = RunTelemetry::new(0.0, cfg.horizon, cfg.window, capacities.clone());
-        let r = run_seed_warm_recorded(&config, &initial, &mut telemetry);
+        // The trigger's hysteresis state restarts with each seed (each
+        // replication's series starts at t = 0); the ring persists.
+        let mut trigger = FlightTrigger::new(Some(cfg.thresholds), None);
+        let r = {
+            let mut sink = FlightSink::new(&ring);
+            let mut live = LiveRecorder::new(&mut telemetry, server, Some((&ring, &mut trigger)));
+            run_seed_warm_instrumented(&config, &initial, &mut sink, &mut live)
+        };
+        if flight.is_none() {
+            if let Some(reason) = ring.borrow().trigger() {
+                flight = Some(FlightCapture {
+                    reason,
+                    seed,
+                    bytes: encode_flight(&ring.borrow(), seed, &format!("flight:{arm_name}")),
+                });
+            }
+        }
         offered += r.offered;
         blocked += r.blocked;
         alternate += r.carried_alternate;
         match &mut merged {
             None => merged = Some(telemetry),
             Some(m) => m.merge(&telemetry),
+        }
+        *replications_done += 1;
+        if let Some(server) = server {
+            let done = *replications_done;
+            server.update_status(|st| st.replications_done = done);
         }
     }
     let telemetry = merged.expect("at least one seed");
@@ -260,6 +337,7 @@ fn run_arm(
         modes,
         tail_utilization,
         telemetry,
+        flight,
     }
 }
 
@@ -269,15 +347,51 @@ fn run_arm(
 /// protection levels are the only difference), and every arm shares the
 /// same seeds, so the arms are common-random-number comparable.
 pub fn run_metastability(cfg: &MetastabilityConfig) -> HysteresisReport {
+    run_metastability_served(cfg, None)
+}
+
+/// As [`run_metastability`], publishing live progress to `server` while
+/// the arms run: per-window `/metrics` snapshots of the in-flight
+/// replication, `/status` phase and replication progress, and — after
+/// each arm completes — the arm's merged exposition (run aggregates plus
+/// mode families), so the final `/metrics` body equals the last arm's
+/// end-of-run export. The report itself is byte-identical with or
+/// without a server (the observers are pure).
+pub fn run_metastability_served(
+    cfg: &MetastabilityConfig,
+    server: Option<&MetricsServer>,
+) -> HysteresisReport {
     let topo = topologies::full_mesh(cfg.nodes, cfg.capacity);
     let traffic = TrafficMatrix::uniform(cfg.nodes, cfg.load_per_pair);
     let reserved_plan = RoutingPlan::min_hop_capped(topo, &traffic, 2, cfg.candidate_cap);
     let zero = vec![0u32; reserved_plan.topology().num_links()];
     let unreserved_plan = reserved_plan.clone().with_protection_levels(zero);
+    if let Some(server) = server {
+        let total = 4 * cfg.seeds as usize;
+        server.update_status(|s| {
+            s.replications_total = total;
+            s.sim_end = cfg.horizon;
+        });
+    }
+    let mut replications_done = 0usize;
     let mut arms = Vec::with_capacity(4);
     for (plan, reserved) in [(&unreserved_plan, false), (&reserved_plan, true)] {
         for start in [StartState::Empty, StartState::Saturated] {
-            arms.push(run_arm(cfg, plan, &traffic, reserved, start));
+            let arm = run_arm(
+                cfg,
+                plan,
+                &traffic,
+                reserved,
+                start,
+                server,
+                &mut replications_done,
+            );
+            if let Some(server) = server {
+                let mut text = export::prometheus(&arm.telemetry);
+                text.push_str(&export::mode_prometheus(&arm.modes));
+                server.publish_metrics(text);
+            }
+            arms.push(arm);
         }
     }
     HysteresisReport {
@@ -372,8 +486,71 @@ mod tests {
         let plan = RoutingPlan::min_hop_capped(topo, &traffic, 2, cfg.candidate_cap);
         let zero = vec![0u32; plan.topology().num_links()];
         let unreserved = plan.with_protection_levels(zero);
-        let again = run_arm(&cfg, &unreserved, &traffic, false, StartState::Saturated);
+        let mut done = 0;
+        let again = run_arm(
+            &cfg,
+            &unreserved,
+            &traffic,
+            false,
+            StartState::Saturated,
+            None,
+            &mut done,
+        );
         assert_eq!(again.telemetry, hot.telemetry);
         assert_eq!(again.modes, hot.modes);
+    }
+
+    /// The anomaly flight recorder freezes exactly where a live mode
+    /// switch happens: on the smoke preset that is the Eq.-15 saturated
+    /// arm (its escape from the high mode) and nowhere else, and the
+    /// dump is a well-formed version-1 trace the replay machinery
+    /// accepts.
+    #[test]
+    fn flight_recorder_captures_the_reserved_arms_escape() {
+        use altroute_sim::trace::{decode_trace, diff_traces};
+        use altroute_telemetry::Mode;
+
+        let report = run_metastability(&MetastabilityConfig::smoke());
+        for arm in &report.arms {
+            let expect_capture = arm.reserved && arm.start == StartState::Saturated;
+            assert_eq!(
+                arm.flight.is_some(),
+                expect_capture,
+                "arm {}: live mode switches and captures must coincide",
+                arm.name()
+            );
+        }
+        let capture = report
+            .arm(true, StartState::Saturated)
+            .flight
+            .as_ref()
+            .expect("checked above");
+        match capture.reason {
+            TriggerReason::ModeSwitch { to, at } => {
+                assert_eq!(to, Mode::Low, "the escape is high -> low");
+                assert!(at > 0.0);
+            }
+            ref other => panic!("expected a mode-switch trigger, got {other:?}"),
+        }
+        assert_eq!(capture.seed, report.config.base_seed);
+
+        let (header, records) = decode_trace(&capture.bytes).expect("dump must decode");
+        assert_eq!(header.label, "flight:eq15_saturated");
+        assert_eq!(header.seed, capture.seed);
+        assert_eq!(
+            records.len(),
+            FLIGHT_RING_CAPACITY,
+            "the ring fills long before the escape"
+        );
+        assert!(
+            diff_traces(&capture.bytes, &capture.bytes)
+                .unwrap()
+                .is_identical(),
+            "the dump replays through the golden-trace differ"
+        );
+        // Event times are nondecreasing: the ring preserved stream order.
+        for pair in records.windows(2) {
+            assert!(pair[0].time() <= pair[1].time());
+        }
     }
 }

@@ -185,6 +185,16 @@ impl<S: TraceSink, R: Recorder> KernelObserver for Instruments<'_, S, R> {
         // every traced/recorded run keeps the serial event order.
         S::IS_NOOP && R::IS_NOOP
     }
+
+    fn replayable(&self) -> bool {
+        // Compile-time: [`Recorder`] hooks never see call handles or any
+        // other shard-local identifier — times, tags, links, and flags
+        // only — so recorder-only instrumentation tolerates barrier
+        // replay and keeps the sharded fast path. A real trace sink
+        // writes `(call, gen)` handles byte-for-byte and must keep the
+        // serial oracle.
+        S::IS_NOOP
+    }
 }
 
 /// Which kernel entry point a replication runs through: the default
@@ -377,6 +387,34 @@ pub fn run_seed_warm_recorded<R: Recorder>(
     )
 }
 
+/// As [`run_seed_warm_recorded`], additionally reporting every event to
+/// `sink` — the warm-started counterpart of
+/// [`run_seed_instrumented`]. This is the entry point behind the
+/// metastability experiments' anomaly flight recorder: a
+/// [`FlightSink`](crate::trace::FlightSink) rides along a warm-started
+/// recorded run (warm starts always take the serial kernel path, so a
+/// live sink is safe) and the recorder's window hooks freeze the ring.
+/// Both observers are pure: results and telemetry are byte-identical to
+/// [`run_seed_warm_recorded`].
+///
+/// # Panics
+///
+/// As [`run_seed_warm`].
+pub fn run_seed_warm_instrumented<S: TraceSink, R: Recorder>(
+    config: &RunConfig<'_>,
+    initial_occupancy: &[u32],
+    sink: &mut S,
+    recorder: &mut R,
+) -> SeedResult {
+    run_seed_entry(
+        config,
+        initial_occupancy,
+        sink,
+        recorder,
+        KernelEntry::Fresh,
+    )
+}
+
 /// As [`run_seed_sharded`], warm-started like [`run_seed_warm`]. A
 /// non-empty warm start forces the sharded backend's serial fallback
 /// (seeded calls are cross-shard state the workers cannot replay), so
@@ -491,11 +529,33 @@ pub fn run_seed_sharded_traced<S: TraceSink>(
     run_seed_sharded_instrumented(config, shards, sink, &mut NullRecorder, &mut scratch)
 }
 
+/// As [`run_seed_recorded`], through the sharded entry. [`Recorder`]
+/// hooks carry no call handles, so the kernel buffers them per shard
+/// and replays them at the barriers in global `(time, shard)` event
+/// order — the run stays parallel *and* the recorder sees the serial
+/// oracle's stream: telemetry and [`SeedResult`] are byte-identical to
+/// [`run_seed_recorded`]'s. The conformance suite pins this.
+///
+/// # Panics
+///
+/// As [`run_seed`].
+pub fn run_seed_sharded_recorded<R: Recorder>(
+    config: &RunConfig<'_>,
+    shards: &ShardSpec,
+    recorder: &mut R,
+) -> SeedResult {
+    let mut scratch = KernelScratch::new();
+    run_seed_sharded_instrumented(config, shards, &mut NullTraceSink, recorder, &mut scratch)
+}
+
 /// The fully general sharded entry: a [`TraceSink`] and [`Recorder`]
-/// may be attached, but any non-no-op observer forces the serial
-/// fallback (a parallel run cannot replay hooks in global event
-/// order), so instrumented calls through here remain byte-identical to
-/// [`run_seed_instrumented`] by construction.
+/// may be attached. A recorder alone keeps the parallel path (its
+/// hooks are buffered per shard and replayed at the barriers in global
+/// event order — see [`run_seed_sharded_recorded`]); a real trace sink
+/// forces the serial fallback, since its byte-exact output embeds call
+/// handles only the serial oracle reproduces. Either way, instrumented
+/// calls through here remain byte-identical to
+/// [`run_seed_instrumented`].
 ///
 /// # Panics
 ///
@@ -1218,6 +1278,90 @@ mod tests {
                 run_seed_sharded_pooled(&config, &shards, &mut scratch),
                 "{num_shards} shards"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_recorded_run_matches_the_serial_instrumented_oracle() {
+        // A real recorder must no longer force the serial fallback: the
+        // sharded entry buffers its hooks per shard and replays them at
+        // the barriers, so both the SeedResult and the full RunTelemetry
+        // must be byte-identical to the serial instrumented oracle —
+        // under an outage (coordinator teardowns) and on the genuinely
+        // parallel disjoint-cluster workload alike.
+        use altroute_telemetry::RunTelemetry;
+
+        let telemetry_for = |plan: &RoutingPlan, run: &dyn Fn(&mut RunTelemetry) -> SeedResult| {
+            let capacities: Vec<u32> = plan.topology().links().iter().map(|l| l.capacity).collect();
+            let mut t = RunTelemetry::new(5.0, 30.0, 5.0, capacities);
+            let r = run(&mut t);
+            (r, t)
+        };
+
+        // Quadrangle with an outage: overlapping pairs keep the
+        // coordinator busy; teardown hooks cross the master/owner split.
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 60.0);
+        let plan = RoutingPlan::min_hop(topo, &m, 3);
+        let link01 = plan.topology().link_between(0, 1).unwrap();
+        let failures = FailureSchedule::none().with_outage(link01, 8.0, 14.0);
+        let config = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic: &m,
+            warmup: 5.0,
+            horizon: 30.0,
+            seed: 77,
+            failures: &failures,
+        };
+        let (serial, serial_t) = telemetry_for(&plan, &|t| run_seed_recorded(&config, t));
+        assert!(serial_t.dropped > 0, "the outage must reach the recorder");
+        for num_shards in [2, 4] {
+            let shards = ShardSpec::new(
+                plan.topology().num_links(),
+                num_shards,
+                Partition::Contiguous,
+            );
+            let (sharded, sharded_t) =
+                telemetry_for(&plan, &|t| run_seed_sharded_recorded(&config, &shards, t));
+            assert_eq!(serial, sharded, "{num_shards} shards");
+            assert_eq!(serial_t, sharded_t, "{num_shards} shards");
+        }
+
+        // Disjoint clusters: every source shard-local, the parallel hot
+        // path with live per-shard recording.
+        let clusters = 3;
+        let size = 3;
+        let topo = topologies::clustered_mesh(clusters, size, 15);
+        let m = TrafficMatrix::from_fn(clusters * size, |i, j| {
+            if i != j && i / size == j / size {
+                9.0
+            } else {
+                0.0
+            }
+        });
+        let plan = RoutingPlan::min_hop(topo, &m, 2);
+        let failures = FailureSchedule::none();
+        let config = RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 2 },
+            traffic: &m,
+            warmup: 5.0,
+            horizon: 30.0,
+            seed: 2026,
+            failures: &failures,
+        };
+        let (serial, serial_t) = telemetry_for(&plan, &|t| run_seed_recorded(&config, t));
+        for num_shards in [2, 3, 6] {
+            let shards = ShardSpec::new(
+                plan.topology().num_links(),
+                num_shards,
+                Partition::Contiguous,
+            );
+            let (sharded, sharded_t) =
+                telemetry_for(&plan, &|t| run_seed_sharded_recorded(&config, &shards, t));
+            assert_eq!(serial, sharded, "{num_shards} shards");
+            assert_eq!(serial_t, sharded_t, "{num_shards} shards");
         }
     }
 

@@ -391,13 +391,38 @@ pub trait KernelObserver {
     }
 
     /// Whether this observer ignores every hook. The sharded backend
-    /// ([`crate::shard::run_sharded`]) parallelizes only unobserved
-    /// runs — reconstructing a byte-exact global observer stream would
-    /// serialize it — so a `true` here opts a run into the parallel
-    /// fast path while `false` routes it through the single-threaded
-    /// oracle. Only observers that genuinely discard everything may
-    /// return `true`.
+    /// ([`crate::shard::run_sharded`]) parallelizes runs whose observer
+    /// is a no-op or [`replayable`](KernelObserver::replayable); any
+    /// other observer routes through the single-threaded oracle. Only
+    /// observers that genuinely discard everything may return `true`.
     fn is_noop(&self) -> bool {
+        false
+    }
+
+    /// Whether the sharded backend may *replay* this observer's hooks
+    /// at reconciliation instead of serializing the run.
+    ///
+    /// A replayable observer's hooks are buffered per shard while the
+    /// workers run and delivered at the barrier, merged across shards
+    /// in `(time, shard)` order — the oracle's event order, since
+    /// cross-shard timestamp ties have probability zero (see the module
+    /// docs of [`crate::shard`]). Within one event the hooks arrive in
+    /// the oracle's exact intra-event order. Two caveats make this an
+    /// opt-in rather than the default:
+    ///
+    /// * Call handles (`call`, `gen`) in [`departure`](KernelObserver::departure)
+    ///   and [`teardown`](KernelObserver::teardown) are *shard-local*:
+    ///   each shard allocates from its own table, so the handles differ
+    ///   from the serial oracle's. A replayable observer must not
+    ///   derive state from them (treating them as opaque or ignoring
+    ///   them is fine — aggregating recorders do).
+    /// * Hooks arrive with barrier latency, not live.
+    ///
+    /// Observers insensitive to both — statistical recorders keyed on
+    /// times, tags, links, and flags — may return `true` and keep the
+    /// parallel fast path. Byte-exact trace sinks must keep the default
+    /// `false`: their output embeds the handles.
+    fn replayable(&self) -> bool {
         false
     }
 }

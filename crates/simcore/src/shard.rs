@@ -48,20 +48,34 @@
 //! have probability zero; the conformance suite's parity gates verify
 //! equality empirically on every tested topology and shard count.
 //!
+//! **Observer replay.** A [`KernelObserver`] that opts in via
+//! [`KernelObserver::replayable`] rides the parallel path: each shard
+//! buffers the hook calls its handlers emit (an [`ObsLog`] next to its
+//! event log), and at every barrier the buffered hooks are delivered to
+//! the real observer in the `(time, shard)`-merged event order — the
+//! oracle's order — with the oracle's exact intra-event hook sequence
+//! and the globally reconstructed queue length for
+//! [`KernelObserver::event_processed`]. Coordinator events log their
+//! hooks the same way and deliver them inline. The one divergence from
+//! the serial oracle is that call handles are shard-local (each shard
+//! allocates from its own table), which is precisely what the
+//! `replayable` contract asks observers to tolerate.
+//!
 //! **Fallback.** Runs the sharded backend cannot reproduce exactly are
 //! routed to the serial oracle instead of running approximately:
 //! a single shard, a configured tick interval (global controller
 //! state), a selector that is not [`RouteSelector::shardable`], an
-//! observer that is not a no-op (a byte-exact global trace would
-//! serialize the shards anyway), a warm start (non-empty
-//! `initial_occupancy` seeds cross-shard calls at `t = 0`), or a
-//! workload with no shard-local source at all.
+//! observer that is neither a no-op nor
+//! [`replayable`](KernelObserver::replayable) (a byte-exact global
+//! trace embeds call handles only the serial oracle reproduces), a
+//! warm start (non-empty `initial_occupancy` seeds cross-shard calls
+//! at `t = 0`), or a workload with no shard-local source at all.
 
 use crate::calendar::CalendarQueue;
 use crate::kernel::{
     run_pooled, seed_link_events, validate_config, AdmissionPolicy, Counters, Event,
     KernelObserver, KernelOutcome, KernelScratch, KernelSpec, Link, LoopState, NullObserver,
-    RouteSelector,
+    RouteSelector, Tier,
 };
 use crate::metrics::EngineMetrics;
 
@@ -161,19 +175,217 @@ struct ShardRun {
     /// rebuilt from the merged logs instead.
     metrics: EngineMetrics,
     log: Vec<EventRec>,
+    /// Buffered observer hooks for replayable observers (empty on
+    /// unobserved runs).
+    obs: ObsLog,
 }
 
-/// One processed event in a shard's window log: its timestamp and the
+/// One processed event in a shard's window log: its timestamp, the
 /// deltas it applied to that shard's pending-event count and live-call
-/// count. Merging the logs in `(t, shard)` order and prefix-summing the
-/// deltas reconstructs the oracle's exact post-event queue length and
-/// call population — and therefore its peaks — without any shared
-/// counter on the hot path.
+/// count, and how many observer hooks it buffered. Merging the logs in
+/// `(t, shard)` order and prefix-summing the deltas reconstructs the
+/// oracle's exact post-event queue length and call population — and
+/// therefore its peaks — without any shared counter on the hot path;
+/// the hook counts let the same merge replay the buffered observer
+/// stream in the oracle's order.
 #[derive(Debug, Clone, Copy)]
 struct EventRec {
     t: f64,
     qd: i64,
     ld: i64,
+    obs: u32,
+}
+
+/// One buffered [`KernelObserver`] hook call. The event's timestamp is
+/// not stored: every hook an event emits shares the event's `now`,
+/// which already sits in the matching [`EventRec`].
+#[derive(Debug, Clone, Copy)]
+enum ObsRec {
+    ArrivalRouted {
+        tag: u32,
+        tier: Tier,
+        path_start: u32,
+        path_len: u32,
+        hold: f64,
+        measured: bool,
+    },
+    ArrivalBlocked {
+        tag: u32,
+        hold: f64,
+        measured: bool,
+    },
+    Occupancy {
+        link: Link,
+        occupancy: u32,
+    },
+    Departure {
+        call: u32,
+        gen: u32,
+        stale: bool,
+    },
+    Teardown {
+        call: u32,
+        gen: u32,
+        measured: bool,
+    },
+    LinkChange {
+        link: u32,
+        up: bool,
+    },
+}
+
+/// A buffer of observer hook calls: handlers append (it implements
+/// [`KernelObserver`]), the barrier replays in merged order. Routed
+/// paths live in a flat arena so buffering an arrival costs two pushes,
+/// no per-event allocation.
+#[derive(Default)]
+struct ObsLog {
+    recs: Vec<ObsRec>,
+    paths: Vec<Link>,
+}
+
+impl ObsLog {
+    /// Delivers `count` buffered hooks starting at `*cursor` to
+    /// `observer`, all at time `now`, advancing the cursor.
+    fn replay<O: KernelObserver>(
+        &self,
+        cursor: &mut usize,
+        count: usize,
+        now: f64,
+        observer: &mut O,
+    ) {
+        for rec in &self.recs[*cursor..*cursor + count] {
+            match *rec {
+                ObsRec::ArrivalRouted {
+                    tag,
+                    tier,
+                    path_start,
+                    path_len,
+                    hold,
+                    measured,
+                } => {
+                    let path = &self.paths[path_start as usize..(path_start + path_len) as usize];
+                    observer.arrival_routed(now, tag, tier, path, hold, measured);
+                }
+                ObsRec::ArrivalBlocked {
+                    tag,
+                    hold,
+                    measured,
+                } => observer.arrival_blocked(now, tag, hold, measured),
+                ObsRec::Occupancy { link, occupancy } => {
+                    observer.occupancy_changed(now, link, occupancy);
+                }
+                ObsRec::Departure { call, gen, stale } => observer.departure(now, call, gen, stale),
+                ObsRec::Teardown {
+                    call,
+                    gen,
+                    measured,
+                } => observer.teardown(now, call, gen, measured),
+                ObsRec::LinkChange { link, up } => observer.link_change(now, link, up),
+            }
+        }
+        *cursor += count;
+    }
+
+    /// Delivers every buffered hook at time `now` and empties the log
+    /// (the coordinator's per-event cycle).
+    fn replay_all<O: KernelObserver>(&mut self, now: f64, observer: &mut O) {
+        let count = self.recs.len();
+        self.replay(&mut 0, count, now, observer);
+        self.clear();
+    }
+
+    fn clear(&mut self) {
+        self.recs.clear();
+        self.paths.clear();
+    }
+}
+
+impl KernelObserver for ObsLog {
+    fn arrival_routed(
+        &mut self,
+        _now: f64,
+        tag: u32,
+        tier: Tier,
+        links: &[Link],
+        hold: f64,
+        measured: bool,
+    ) {
+        let path_start = self.paths.len() as u32;
+        self.paths.extend_from_slice(links);
+        self.recs.push(ObsRec::ArrivalRouted {
+            tag,
+            tier,
+            path_start,
+            path_len: links.len() as u32,
+            hold,
+            measured,
+        });
+    }
+
+    fn arrival_blocked(&mut self, _now: f64, tag: u32, hold: f64, measured: bool) {
+        self.recs.push(ObsRec::ArrivalBlocked {
+            tag,
+            hold,
+            measured,
+        });
+    }
+
+    fn occupancy_changed(&mut self, _now: f64, link: Link, occupancy: u32) {
+        self.recs.push(ObsRec::Occupancy { link, occupancy });
+    }
+
+    fn departure(&mut self, _now: f64, call: u32, gen: u32, stale: bool) {
+        self.recs.push(ObsRec::Departure { call, gen, stale });
+    }
+
+    fn teardown(&mut self, _now: f64, call: u32, gen: u32, measured: bool) {
+        self.recs.push(ObsRec::Teardown {
+            call,
+            gen,
+            measured,
+        });
+    }
+
+    fn link_change(&mut self, _now: f64, link: u32, up: bool) {
+        self.recs.push(ObsRec::LinkChange { link, up });
+    }
+}
+
+/// Forwards every hook except `link_change`. A coordinator link event
+/// runs [`LoopState::link_change`] twice — on the master for the cross
+/// calls, then on the owner shard for its local calls — and the second
+/// run must not log the state change a second time.
+struct SkipLinkChange<'a, O>(&'a mut O);
+
+impl<O: KernelObserver> KernelObserver for SkipLinkChange<'_, O> {
+    fn arrival_routed(
+        &mut self,
+        now: f64,
+        tag: u32,
+        tier: Tier,
+        links: &[Link],
+        hold: f64,
+        measured: bool,
+    ) {
+        self.0.arrival_routed(now, tag, tier, links, hold, measured);
+    }
+
+    fn arrival_blocked(&mut self, now: f64, tag: u32, hold: f64, measured: bool) {
+        self.0.arrival_blocked(now, tag, hold, measured);
+    }
+
+    fn occupancy_changed(&mut self, now: f64, link: Link, occupancy: u32) {
+        self.0.occupancy_changed(now, link, occupancy);
+    }
+
+    fn departure(&mut self, now: f64, call: u32, gen: u32, stale: bool) {
+        self.0.departure(now, call, gen, stale);
+    }
+
+    fn teardown(&mut self, now: f64, call: u32, gen: u32, measured: bool) {
+        self.0.teardown(now, call, gen, measured);
+    }
 }
 
 /// Running reconstruction of the oracle's global gauges.
@@ -198,44 +410,68 @@ impl MergeAcc {
 }
 
 /// Processes every event of `run` strictly before `t_b`, appending one
-/// [`EventRec`] per event. Runs on the worker thread.
+/// [`EventRec`] per event (and, when `instrumented`, the event's hooks
+/// to the shard's [`ObsLog`]). Runs on the worker thread.
 fn run_window<'p, A, R>(
     spec: &KernelSpec<'_>,
     run: &mut ShardRun,
     admission: &A,
     selector: &mut R,
     t_b: f64,
+    instrumented: bool,
 ) where
     A: AdmissionPolicy,
     R: RouteSelector<'p>,
 {
-    while run.queue.peek_time().is_some_and(|t| t < t_b) {
-        let (now, event) = run.queue.pop().expect("peeked event exists");
-        let q_before = run.queue.len() + 1;
-        let l_before = run.state.calls.live();
+    let ShardRun {
+        state,
+        queue,
+        counters,
+        metrics,
+        log,
+        obs,
+    } = run;
+    while queue.peek_time().is_some_and(|t| t < t_b) {
+        let (now, event) = queue.pop().expect("peeked event exists");
+        let q_before = queue.len() + 1;
+        let l_before = state.calls.live();
+        let obs_before = obs.recs.len();
         match event {
-            Event::Arrival { source } => run.state.arrival(
-                now,
-                source,
-                spec,
-                admission,
-                selector,
-                &mut NullObserver,
-                &mut run.queue,
-                &mut run.counters,
-                &mut run.metrics,
-            ),
+            Event::Arrival { source } => {
+                if instrumented {
+                    state.arrival(
+                        now, source, spec, admission, selector, &mut *obs, queue, counters, metrics,
+                    );
+                } else {
+                    state.arrival(
+                        now,
+                        source,
+                        spec,
+                        admission,
+                        selector,
+                        &mut NullObserver,
+                        queue,
+                        counters,
+                        metrics,
+                    );
+                }
+            }
             Event::Departure { call, gen } => {
-                run.state.departure(now, call, gen, &mut NullObserver);
+                if instrumented {
+                    state.departure(now, call, gen, &mut *obs);
+                } else {
+                    state.departure(now, call, gen, &mut NullObserver);
+                }
             }
             Event::Link { .. } | Event::Tick => {
                 unreachable!("link and tick events are coordinator-owned")
             }
         }
-        run.log.push(EventRec {
+        log.push(EventRec {
             t: now,
-            qd: run.queue.len() as i64 - q_before as i64,
-            ld: run.state.calls.live() as i64 - l_before as i64,
+            qd: queue.len() as i64 - q_before as i64,
+            ld: state.calls.live() as i64 - l_before as i64,
+            obs: (obs.recs.len() - obs_before) as u32,
         });
     }
 }
@@ -266,15 +502,20 @@ fn sync_shard_to_master(master: &mut LoopState, run: &mut ShardRun) {
 }
 
 /// Merges the shards' window logs in `(timestamp, shard)` order into
-/// the global gauge reconstruction, then clears them.
-fn merge_window_logs(
+/// the global gauge reconstruction, replaying each event's buffered
+/// observer hooks in that same order, then clears the logs.
+fn merge_window_logs<O: KernelObserver>(
     shards: &mut [ShardRun],
     idx: &mut Vec<usize>,
+    obs_idx: &mut Vec<usize>,
     acc: &mut MergeAcc,
     metrics: &mut EngineMetrics,
+    observer: &mut O,
 ) {
     idx.clear();
     idx.resize(shards.len(), 0);
+    obs_idx.clear();
+    obs_idx.resize(shards.len(), 0);
     loop {
         let mut best: Option<(f64, usize)> = None;
         for (s, run) in shards.iter().enumerate() {
@@ -287,10 +528,89 @@ fn merge_window_logs(
         let Some((_, s)) = best else { break };
         let rec = shards[s].log[idx[s]];
         idx[s] += 1;
+        // The oracle's per-event order: handler hooks, the queue-length
+        // gauge, then `event_processed` with the post-event length.
+        shards[s]
+            .obs
+            .replay(&mut obs_idx[s], rec.obs as usize, rec.t, observer);
         acc.apply(rec, metrics);
+        observer.event_processed(rec.t, usize::try_from(acc.qlen).expect("queue length >= 0"));
     }
     for run in shards.iter_mut() {
         run.log.clear();
+        run.obs.clear();
+    }
+}
+
+/// Executes one coordinator event against the master view (and, for
+/// link events, the owning shard), returning how many *shard-local*
+/// calls a link failure tore down — their live-count drop is in the
+/// owner's table, not the master's.
+#[allow(clippy::too_many_arguments)]
+fn coord_event<'p, A, R, O>(
+    now: f64,
+    event: Event,
+    spec: &KernelSpec<'_>,
+    master: &mut LoopState,
+    runs: &mut [ShardRun],
+    link_shard: &[u32],
+    admission: &A,
+    selector: &mut R,
+    coord_queue: &mut CalendarQueue<Event>,
+    coord_counters: &mut Counters,
+    coord_metrics: &mut EngineMetrics,
+    obs: &mut O,
+) -> usize
+where
+    A: AdmissionPolicy,
+    R: RouteSelector<'p>,
+    O: KernelObserver,
+{
+    match event {
+        Event::Arrival { source } => {
+            master.arrival(
+                now,
+                source,
+                spec,
+                admission,
+                selector,
+                &mut *obs,
+                coord_queue,
+                coord_counters,
+                coord_metrics,
+            );
+            write_through(master, runs, link_shard, now);
+            0
+        }
+        Event::Departure { call, gen } => {
+            master.departure(now, call, gen, &mut *obs);
+            write_through(master, runs, link_shard, now);
+            0
+        }
+        Event::Link { link, up } => {
+            let link = link as usize;
+            // Cross calls first (master's index holds them),
+            // their releases written through; then the owner
+            // shard tears down its local calls on the link
+            // and its releases sync back. Either order
+            // yields the oracle's state: same-time gauge
+            // records carry zero weight and the releases
+            // commute.
+            master.link_change(now, link, up, spec.config.warmup, &mut *obs, coord_counters);
+            write_through(master, runs, link_shard, now);
+            let owner = &mut runs[link_shard[link] as usize];
+            let local_torn = owner.state.link_change(
+                now,
+                link,
+                up,
+                spec.config.warmup,
+                &mut SkipLinkChange(obs),
+                &mut owner.counters,
+            );
+            sync_shard_to_master(master, owner);
+            local_torn
+        }
+        Event::Tick => unreachable!("sharded runs never schedule ticks"),
     }
 }
 
@@ -339,7 +659,7 @@ where
     let serial = shards.num_shards <= 1
         || spec.config.tick_interval.is_some()
         || !selector.shardable()
-        || !observer.is_noop()
+        || !(observer.is_noop() || observer.replayable())
         || !spec.initial_occupancy.is_empty();
     if serial {
         return run_pooled(spec, admission, selector, observer, scratch);
@@ -366,6 +686,9 @@ where
     let config = &spec.config;
     validate_config(config);
     let end = config.warmup + config.horizon;
+    // Replayable observers buffer their hooks per shard and receive
+    // them at the barriers; pure no-ops skip the buffering entirely.
+    let instrumented = !observer.is_noop();
 
     // The coordinator's master view: authoritative at every barrier.
     // Its call table and link index hold the cross calls.
@@ -388,6 +711,7 @@ where
                 counters: Counters::new(config.tally_slots),
                 metrics: EngineMetrics::default(),
                 log: Vec::new(),
+                obs: ObsLog::default(),
             };
             run.state.prepare(spec);
             run.state.track_dirty = true;
@@ -418,7 +742,14 @@ where
             let mut worker_selector = selector.clone();
             scope.spawn(move || {
                 while let Ok((mut run, t_b)) = job_rx.recv() {
-                    run_window(spec, &mut run, &worker_admission, &mut worker_selector, t_b);
+                    run_window(
+                        spec,
+                        &mut run,
+                        &worker_admission,
+                        &mut worker_selector,
+                        t_b,
+                        instrumented,
+                    );
                     if res_tx.send(run).is_err() {
                         break;
                     }
@@ -430,6 +761,8 @@ where
 
         let mut slots: Vec<Option<ShardRun>> = shard_runs.into_iter().map(Some).collect();
         let mut merge_idx: Vec<usize> = Vec::new();
+        let mut merge_obs_idx: Vec<usize> = Vec::new();
+        let mut coord_obs = ObsLog::default();
         let mut next_flush = flush;
         let mut warmup_wall: Option<f64> = None;
         loop {
@@ -451,71 +784,70 @@ where
                 slots.iter_mut().map(|s| s.take().expect("run")).collect();
 
             // Reconcile: master absorbs every link the shards touched,
-            // then the logs rebuild the global gauges up to t_b.
+            // then the logs rebuild the global gauges (and replay the
+            // buffered hooks) up to t_b.
             for run in runs.iter_mut() {
                 sync_shard_to_master(&mut master, run);
             }
-            merge_window_logs(&mut runs, &mut merge_idx, &mut acc, &mut metrics);
+            merge_window_logs(
+                &mut runs,
+                &mut merge_idx,
+                &mut merge_obs_idx,
+                &mut acc,
+                &mut metrics,
+                observer,
+            );
 
             // The coordinator's own events at exactly t_b.
             while coord_queue.peek_time().is_some_and(|t| t < end && t <= t_b) {
                 let (now, event) = coord_queue.pop().expect("peeked event exists");
                 let q_before = coord_queue.len() + 1;
                 let live_before = master.calls.live();
-                let mut local_torn = 0usize;
-                match event {
-                    Event::Arrival { source } => {
-                        master.arrival(
-                            now,
-                            source,
-                            spec,
-                            &*admission,
-                            selector,
-                            &mut NullObserver,
-                            &mut coord_queue,
-                            &mut coord_counters,
-                            &mut coord_metrics,
-                        );
-                        write_through(&mut master, &mut runs, link_shard, now);
-                    }
-                    Event::Departure { call, gen } => {
-                        master.departure(now, call, gen, &mut NullObserver);
-                        write_through(&mut master, &mut runs, link_shard, now);
-                    }
-                    Event::Link { link, up } => {
-                        let link = link as usize;
-                        // Cross calls first (master's index holds them),
-                        // their releases written through; then the owner
-                        // shard tears down its local calls on the link
-                        // and its releases sync back. Either order
-                        // yields the oracle's state: same-time gauge
-                        // records carry zero weight and the releases
-                        // commute.
-                        master.link_change(
-                            now,
-                            link,
-                            up,
-                            config.warmup,
-                            &mut NullObserver,
-                            &mut coord_counters,
-                        );
-                        write_through(&mut master, &mut runs, link_shard, now);
-                        let owner = &mut runs[link_shard[link] as usize];
-                        local_torn = owner.state.link_change(
-                            now,
-                            link,
-                            up,
-                            config.warmup,
-                            &mut NullObserver,
-                            &mut owner.counters,
-                        );
-                        sync_shard_to_master(&mut master, owner);
-                    }
-                    Event::Tick => unreachable!("sharded runs never schedule ticks"),
-                }
+                let local_torn = if instrumented {
+                    coord_event(
+                        now,
+                        event,
+                        spec,
+                        &mut master,
+                        &mut runs,
+                        link_shard,
+                        &*admission,
+                        selector,
+                        &mut coord_queue,
+                        &mut coord_counters,
+                        &mut coord_metrics,
+                        &mut coord_obs,
+                    )
+                } else {
+                    coord_event(
+                        now,
+                        event,
+                        spec,
+                        &mut master,
+                        &mut runs,
+                        link_shard,
+                        &*admission,
+                        selector,
+                        &mut coord_queue,
+                        &mut coord_counters,
+                        &mut coord_metrics,
+                        &mut NullObserver,
+                    )
+                };
                 let qd = coord_queue.len() as i64 - q_before as i64;
                 let ld = master.calls.live() as i64 - live_before as i64 - local_torn as i64;
-                acc.apply(EventRec { t: now, qd, ld }, &mut metrics);
+                coord_obs.replay_all(now, observer);
+                acc.apply(
+                    EventRec {
+                        t: now,
+                        qd,
+                        ld,
+                        obs: 0,
+                    },
+                    &mut metrics,
+                );
+                observer
+                    .event_processed(now, usize::try_from(acc.qlen).expect("queue length >= 0"));
             }
 
             if warmup_wall.is_none() && t_b >= config.warmup {
@@ -685,6 +1017,74 @@ mod tests {
         }
     }
 
+    /// A replayable observer recording everything a handle-insensitive
+    /// consumer could: full hook streams keyed on times, tags, links
+    /// and flags, with occupancy kept per link (the one place where a
+    /// coordinator link event may permute same-time hooks across
+    /// links).
+    #[derive(Debug, Default, PartialEq)]
+    struct Digest {
+        routed: Vec<(f64, u32, Tier, Vec<Link>, f64, bool)>,
+        blocked: Vec<(f64, u32, f64, bool)>,
+        departures: Vec<(f64, bool)>,
+        teardowns: Vec<(f64, bool)>,
+        link_changes: Vec<(f64, u32, bool)>,
+        occupancy: Vec<Vec<(f64, u32)>>,
+        queue_lens: Vec<(f64, usize)>,
+    }
+
+    impl Digest {
+        fn new(num_links: usize) -> Self {
+            Self {
+                occupancy: vec![Vec::new(); num_links],
+                ..Self::default()
+            }
+        }
+    }
+
+    impl KernelObserver for Digest {
+        fn arrival_routed(
+            &mut self,
+            now: f64,
+            tag: u32,
+            tier: Tier,
+            links: &[Link],
+            hold: f64,
+            measured: bool,
+        ) {
+            self.routed
+                .push((now, tag, tier, links.to_vec(), hold, measured));
+        }
+
+        fn arrival_blocked(&mut self, now: f64, tag: u32, hold: f64, measured: bool) {
+            self.blocked.push((now, tag, hold, measured));
+        }
+
+        fn occupancy_changed(&mut self, now: f64, link: Link, occupancy: u32) {
+            self.occupancy[link].push((now, occupancy));
+        }
+
+        fn departure(&mut self, now: f64, _call: u32, _gen: u32, stale: bool) {
+            self.departures.push((now, stale));
+        }
+
+        fn teardown(&mut self, now: f64, _call: u32, _gen: u32, measured: bool) {
+            self.teardowns.push((now, measured));
+        }
+
+        fn link_change(&mut self, now: f64, link: u32, up: bool) {
+            self.link_changes.push((now, link, up));
+        }
+
+        fn event_processed(&mut self, now: f64, queue_len: usize) {
+            self.queue_lens.push((now, queue_len));
+        }
+
+        fn replayable(&self) -> bool {
+            true
+        }
+    }
+
     #[test]
     fn disjoint_sources_match_the_oracle_at_every_shard_count() {
         // Six independent single-link sources: every source is local
@@ -803,6 +1203,76 @@ mod tests {
                 &mut KernelScratch::new(),
             );
             assert_eq!(out, oracle, "{num_shards} shards");
+        }
+    }
+
+    #[test]
+    fn replayable_observer_sees_the_oracles_hook_stream() {
+        // The cross-sources-and-outages workload again — cross calls,
+        // trunk reservation, teardowns — but with a replayable observer
+        // attached: the sharded run must stay on the parallel path and
+        // replay the serial oracle's exact hook stream.
+        let caps = [6u32, 6, 6, 6];
+        let primary: Vec<Vec<Link>> = vec![vec![0], vec![1], vec![2], vec![3], vec![0, 2], vec![1]];
+        let alternate: Vec<Vec<Link>> = vec![
+            vec![1],
+            Vec::new(),
+            vec![3],
+            Vec::new(),
+            vec![1, 3],
+            vec![0, 3],
+        ];
+        let srcs = sources(6, 4.0);
+        let events = [
+            LinkEvent {
+                at: 31.25,
+                link: 0,
+                up: false,
+            },
+            LinkEvent {
+                at: 57.5,
+                link: 0,
+                up: true,
+            },
+        ];
+        let spec = KernelSpec {
+            config: config(10.0, 150.0, 23, 6),
+            capacities: &caps,
+            static_down: &[],
+            sources: &srcs,
+            link_events: &events,
+            initial_occupancy: &[],
+        };
+        let fps = footprints(&primary, &alternate);
+        let selector = TwoChoice {
+            primary: &primary,
+            alternate: &alternate,
+        };
+        let admission = TrunkReservation::new(vec![2, 2, 2, 2]);
+        let mut oracle_digest = Digest::new(caps.len());
+        let oracle = run(
+            &spec,
+            &mut admission.clone(),
+            &mut selector.clone(),
+            &mut oracle_digest,
+        );
+        assert!(oracle.dropped > 0, "the outage must tear down calls");
+        assert!(!oracle_digest.teardowns.is_empty());
+        for num_shards in [2, 3, 4] {
+            let shards = ShardSpec::new(caps.len(), num_shards, Partition::Contiguous)
+                .with_flush_interval(3.0);
+            let mut digest = Digest::new(caps.len());
+            let out = run_sharded(
+                &spec,
+                &shards,
+                &fps,
+                &mut admission.clone(),
+                &mut selector.clone(),
+                &mut digest,
+                &mut KernelScratch::new(),
+            );
+            assert_eq!(out, oracle, "{num_shards} shards");
+            assert_eq!(digest, oracle_digest, "{num_shards} shards");
         }
     }
 

@@ -297,6 +297,56 @@ mod tests {
     }
 
     #[test]
+    fn mode_prometheus_has_every_family_and_parses_line_shaped() {
+        use crate::mode::{detect, ModeThresholds};
+        use crate::series::TimeGrid;
+        let grid = TimeGrid::new(1.0, 6.0);
+        let r = detect(
+            grid,
+            &[0.1, 0.9, 0.9, 0.2, 0.9, 0.9],
+            ModeThresholds::new(0.8, 0.5),
+        );
+        let text = mode_prometheus(&r);
+        // Exactly one # HELP and one # TYPE per family, in that order.
+        for family in [
+            "altroute_mode_switches_total",
+            "altroute_mode_fraction_high",
+            "altroute_mode_time_seconds",
+            "altroute_mode_dwell_low",
+            "altroute_mode_dwell_high",
+        ] {
+            for comment in ["# HELP", "# TYPE"] {
+                let marker = format!("{comment} {family} ");
+                assert_eq!(
+                    text.matches(&marker).count(),
+                    1,
+                    "expected exactly one `{marker}` in:\n{text}"
+                );
+            }
+            assert!(
+                text.find(&format!("# HELP {family} ")) < text.find(&format!("# TYPE {family} ")),
+                "# HELP must precede # TYPE for {family}"
+            );
+        }
+        // Every sample line is `name[{labels}] value` with a numeric
+        // value — the exposition-format shape.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(
+                name.starts_with("altroute_mode_"),
+                "sample outside the mode namespace: {line}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "unparseable value in line: {line}"
+            );
+        }
+        // Dwell histogram buckets end with +Inf carrying the total count.
+        assert!(text.contains("altroute_mode_dwell_low_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("altroute_mode_dwell_high_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
     fn blocking_csv_has_one_row_per_window() {
         let csv = blocking_csv(&snapshot());
         let lines: Vec<&str> = csv.lines().collect();

@@ -28,6 +28,13 @@
 //! * [`export`] — Prometheus text exposition and CSV time-series
 //!   renderers (JSON export lives in `altroute-experiments`, next to the
 //!   existing metrics JSON).
+//! * [`flight`] — the anomaly flight recorder: a preallocated
+//!   overwrite-oldest [`FlightRing`] of recent kernel events frozen by a
+//!   windowed [`FlightTrigger`] (hysteresis mode switch or blocking above
+//!   threshold), so the lead-up to an anomaly survives to be dumped.
+//! * [`serve`] — a std-only live HTTP endpoint ([`MetricsServer`])
+//!   exposing `/metrics`, `/healthz`, and `/status` while a run is in
+//!   flight, fed at window boundaries by the [`LiveRecorder`] wrapper.
 //!
 //! The crate is dependency-free (std only) so any layer of the workspace
 //! can use it without cycles, and recorder callbacks use primitive types
@@ -37,14 +44,18 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod mode;
 pub mod recorder;
 pub mod series;
+pub mod serve;
 pub mod span;
 
+pub use flight::{FlightEvent, FlightRing, FlightTrigger, TriggerReason, FLIGHT_MAX_HOPS};
 pub use hist::Histogram;
 pub use mode::{Mode, ModeReport, ModeSwitch, ModeThresholds};
 pub use recorder::{ArrivalOutcome, NullRecorder, Recorder, RunTelemetry};
 pub use series::{TimeGrid, WindowedCounter, WindowedTimeWeighted};
+pub use serve::{LiveRecorder, MetricsServer, ServeStatus};
 pub use span::{SpanProfile, SpanStats};

@@ -32,10 +32,13 @@ pub enum ArrivalOutcome {
 /// simulation (the engine's results are required to be byte-identical
 /// under any recorder).
 pub trait Recorder {
-    /// True when every hook is a no-op: parallel simulation backends may
-    /// only engage when all observers are inert, because they cannot
-    /// replay hooks in global event order. Defaults to `false`; only
-    /// recorders that override no methods may set it to `true`.
+    /// True when every hook is a no-op. Parallel simulation backends
+    /// skip hook buffering entirely for inert recorders; a live
+    /// recorder's hooks are buffered per shard and replayed at the
+    /// synchronization barriers in global event order (recorder hooks
+    /// carry no shard-local identifiers, so the replayed stream equals
+    /// the serial one). Defaults to `false`; only recorders that
+    /// override no methods may set it to `true`.
     const IS_NOOP: bool = false;
 
     /// An event was popped and processed; `queue_len` is the pending

@@ -1,0 +1,622 @@
+//! Std-only live metrics endpoint: a tiny HTTP/1.1 server over
+//! [`std::net::TcpListener`].
+//!
+//! Long simulation campaigns are opaque from the outside: the CSV and
+//! Prometheus files appear only when the run ends. This module serves a
+//! point-in-time view while the run is live, with zero dependencies:
+//!
+//! * `GET /metrics` — the Prometheus text exposition last published via
+//!   [`MetricsServer::publish_metrics`] (snapshots are rendered by the
+//!   producer at window or replication boundaries, never per event).
+//! * `GET /healthz` — liveness probe, always `ok`.
+//! * `GET /status` — a small JSON document: run label, phase, current
+//!   mode classification, event counts and rate, replication progress,
+//!   and sim-time progress.
+//!
+//! The server owns one accept-loop thread; producers hand it preformatted
+//! strings under a mutex, so the hot path never formats anything. The
+//! [`LiveRecorder`] wrapper turns any [`RunTelemetry`] into a publishing
+//! producer: it forwards every hook unchanged (the wrapped telemetry
+//! stays byte-identical to an unwrapped run) and, at each completed
+//! window, snapshots the telemetry for `/metrics`, re-classifies the
+//! mode, and evaluates the anomaly [`FlightTrigger`](crate::flight).
+
+use crate::export::prometheus;
+use crate::flight::{FlightRing, FlightTrigger};
+use crate::mode::Mode;
+use crate::recorder::{ArrivalOutcome, Recorder, RunTelemetry};
+use std::cell::RefCell;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The live-run status served as JSON at `/status`.
+#[derive(Debug, Clone)]
+pub struct ServeStatus {
+    /// Human label of the run (experiment and preset).
+    pub label: String,
+    /// Current phase (policy or arm under simulation).
+    pub phase: String,
+    /// Latest mode classification (`"low"` / `"high"`), when tracked.
+    pub mode: Option<&'static str>,
+    /// Kernel events processed so far in the current replication.
+    pub events: u64,
+    /// Events per wall-clock second, measured over the replication.
+    pub events_per_second: f64,
+    /// Sim time reached in the current replication.
+    pub sim_time: f64,
+    /// Sim time the current replication ends at.
+    pub sim_end: f64,
+    /// Replications completed across the whole run.
+    pub replications_done: usize,
+    /// Total replications the run will execute.
+    pub replications_total: usize,
+}
+
+impl ServeStatus {
+    fn new(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            phase: String::new(),
+            mode: None,
+            events: 0,
+            events_per_second: 0.0,
+            sim_time: 0.0,
+            sim_end: 0.0,
+            replications_done: 0,
+            replications_total: 0,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mode = match self.mode {
+            Some(m) => format!("\"{m}\""),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"phase\":\"{}\",\"mode\":{},",
+                "\"events\":{},\"events_per_second\":{},",
+                "\"sim_time\":{},\"sim_end\":{},",
+                "\"replications_done\":{},\"replications_total\":{}}}\n"
+            ),
+            json_escape(&self.label),
+            json_escape(&self.phase),
+            mode,
+            self.events,
+            json_number(self.events_per_second),
+            json_number(self.sim_time),
+            json_number(self.sim_end),
+            self.replications_done,
+            self.replications_total,
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Rust's `f64` Display is JSON-compatible except for non-finite values.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct State {
+    metrics: String,
+    status: ServeStatus,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    state: Mutex<State>,
+}
+
+/// The background HTTP server. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop and joins the
+/// thread, so the CLI exits cleanly.
+pub struct MetricsServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port)
+    /// and starts serving. `label` seeds the `/status` document.
+    pub fn bind(addr: &str, label: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            state: Mutex::new(State {
+                metrics: String::new(),
+                status: ServeStatus::new(label),
+            }),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("altroute-metrics".to_string())
+            .spawn(move || accept_loop(&listener, &worker))?;
+        Ok(Self {
+            shared,
+            addr: local,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the `/metrics` exposition with `text`.
+    pub fn publish_metrics(&self, text: String) {
+        self.lock_state().metrics = text;
+    }
+
+    /// Mutates the `/status` document in place.
+    pub fn update_status(&self, f: impl FnOnce(&mut ServeStatus)) {
+        f(&mut self.lock_state().status);
+    }
+
+    /// Stops accepting, closes the listener, and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        // Request handlers only read under the lock; a poisoned mutex
+        // means a panicking reader, and the data is still sound.
+        match self.shared.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept() call so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            // Slow or hung clients must not wedge the run's shutdown.
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = handle_connection(stream, shared);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; the routes take no request body.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        );
+    }
+    let state = match shared.state.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    match path {
+        "/metrics" => {
+            let body = state.metrics.clone();
+            drop(state);
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => {
+            drop(state);
+            respond(&mut stream, "200 OK", "text/plain", "ok\n")
+        }
+        "/status" => {
+            let body = state.status.to_json();
+            drop(state);
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        _ => {
+            drop(state);
+            respond(&mut stream, "404 Not Found", "text/plain", "not found\n")
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Live window machinery for one instrumented replication: wraps a
+/// [`RunTelemetry`], forwards every hook unchanged, and at each completed
+/// grid window (a) evaluates the [`FlightTrigger`] against the window's
+/// network utilization and blocking, freezing the attached
+/// [`FlightRing`] when it fires, and (b) publishes a finished clone of
+/// the telemetry to the [`MetricsServer`] plus a `/status` refresh.
+///
+/// The wrapped telemetry is untouched by the wrapper — a run recorded
+/// through `LiveRecorder` is byte-identical to the same run recorded
+/// directly — because window accounting is kept in parallel (a running
+/// occupancy sum and per-window offered/blocked counts) rather than read
+/// back out of the partially-filled series.
+pub struct LiveRecorder<'a> {
+    inner: &'a mut RunTelemetry,
+    server: Option<&'a MetricsServer>,
+    flight: Option<(&'a RefCell<FlightRing>, &'a mut FlightTrigger)>,
+    /// Next grid window to complete.
+    window: usize,
+    /// Time up to which `integral` has absorbed `occupied_sum`.
+    last_t: f64,
+    /// Current occupancy per link (integer-valued, exact in f64).
+    occupied: Vec<f64>,
+    occupied_sum: f64,
+    total_capacity: f64,
+    /// Occupancy time-integral accumulated within the current window.
+    integral: f64,
+    offered_in_window: u64,
+    blocked_in_window: u64,
+    events: u64,
+    started: Instant,
+}
+
+impl<'a> LiveRecorder<'a> {
+    /// Wraps `inner`, publishing to `server` and/or feeding `flight`
+    /// (ring + trigger) at window boundaries. Either may be absent.
+    pub fn new(
+        inner: &'a mut RunTelemetry,
+        server: Option<&'a MetricsServer>,
+        flight: Option<(&'a RefCell<FlightRing>, &'a mut FlightTrigger)>,
+    ) -> Self {
+        let occupied = vec![0.0; inner.capacities.len()];
+        let total_capacity = inner.capacities.iter().map(|&c| f64::from(c)).sum();
+        Self {
+            inner,
+            server,
+            flight,
+            window: 0,
+            last_t: 0.0,
+            occupied,
+            occupied_sum: 0.0,
+            total_capacity,
+            integral: 0.0,
+            offered_in_window: 0,
+            blocked_in_window: 0,
+            events: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// The latest mode classification, once one window has completed
+    /// (requires a flight trigger configured with mode thresholds).
+    pub fn mode(&self) -> Option<Mode> {
+        self.flight.as_ref().and_then(|(_, t)| t.mode())
+    }
+
+    /// Advances the window clock to `now`, completing every window that
+    /// ended at or before it.
+    fn roll(&mut self, now: f64) {
+        let grid = self.inner.grid();
+        while self.window < grid.num_windows() {
+            let (start, end) = grid.window_range(self.window);
+            if now < end {
+                break;
+            }
+            self.integral += self.occupied_sum * (end - self.last_t).max(0.0);
+            self.last_t = end;
+            let len = grid.window_len(self.window);
+            let utilization = if self.total_capacity > 0.0 && len > 0.0 {
+                self.integral / (len * self.total_capacity)
+            } else {
+                0.0
+            };
+            let blocking = if self.offered_in_window == 0 {
+                0.0
+            } else {
+                self.blocked_in_window as f64 / self.offered_in_window as f64
+            };
+            self.complete_window(start, end, utilization, blocking);
+            self.integral = 0.0;
+            self.offered_in_window = 0;
+            self.blocked_in_window = 0;
+            self.window += 1;
+        }
+        if now > self.last_t {
+            self.integral += self.occupied_sum * (now - self.last_t);
+            self.last_t = now;
+        }
+    }
+
+    fn complete_window(&mut self, start: f64, end: f64, utilization: f64, blocking: f64) {
+        if let Some((ring, trigger)) = &mut self.flight {
+            if let Some(reason) = trigger.observe_window(start, utilization, blocking) {
+                ring.borrow_mut().freeze(reason);
+            }
+        }
+        if let Some(server) = self.server {
+            // The exporter requires finished telemetry; finishing a clone
+            // leaves the live recorder untouched.
+            let mut snapshot = self.inner.clone();
+            snapshot.finish(snapshot.grid().end());
+            server.publish_metrics(prometheus(&snapshot));
+            let mode = self.mode().map(|m| match m {
+                Mode::Low => "low",
+                Mode::High => "high",
+            });
+            let events = self.events;
+            let rate = events as f64 / self.started.elapsed().as_secs_f64().max(1e-9);
+            server.update_status(|s| {
+                s.sim_time = end;
+                s.events = events;
+                s.events_per_second = rate;
+                s.mode = mode;
+            });
+        }
+    }
+}
+
+impl Recorder for LiveRecorder<'_> {
+    fn event(&mut self, now: f64, queue_len: usize) {
+        self.roll(now);
+        self.events += 1;
+        self.inner.event(now, queue_len);
+    }
+
+    fn arrival(
+        &mut self,
+        now: f64,
+        measured: bool,
+        outcome: ArrivalOutcome,
+        hops: u8,
+        holding: f64,
+    ) {
+        self.roll(now);
+        self.offered_in_window += 1;
+        if outcome == ArrivalOutcome::Blocked {
+            self.blocked_in_window += 1;
+        }
+        self.inner.arrival(now, measured, outcome, hops, holding);
+    }
+
+    fn departure(&mut self, now: f64, stale: bool) {
+        self.roll(now);
+        self.inner.departure(now, stale);
+    }
+
+    fn occupancy(&mut self, now: f64, link: u32, occupancy: u32) {
+        self.roll(now);
+        let v = f64::from(occupancy);
+        self.occupied_sum += v - self.occupied[link as usize];
+        self.occupied[link as usize] = v;
+        self.inner.occupancy(now, link, occupancy);
+    }
+
+    fn link_state(&mut self, now: f64, link: u32, up: bool) {
+        self.roll(now);
+        self.inner.link_state(now, link, up);
+    }
+
+    fn teardown(&mut self, now: f64, measured: bool) {
+        self.roll(now);
+        self.inner.teardown(now, measured);
+    }
+
+    fn span(&mut self, name: &'static str, secs: f64) {
+        self.inner.span(name, secs);
+    }
+
+    fn finish(&mut self, end: f64) {
+        // Complete the remaining windows (the trigger must see the full
+        // series) before closing the wrapped telemetry.
+        self.roll(end);
+        self.inner.finish(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::TriggerReason;
+    use crate::mode::ModeThresholds;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_status() {
+        let server = MetricsServer::bind("127.0.0.1:0", "unit").expect("bind");
+        server.publish_metrics("altroute_events_total 42\n".to_string());
+        server.update_status(|s| {
+            s.phase = "warmup".to_string();
+            s.events = 42;
+            s.replications_total = 3;
+        });
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert_eq!(body, "altroute_events_total 42\n");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "ok\n");
+
+        let (head, body) = get(addr, "/status");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"label\":\"unit\""), "{body}");
+        assert!(body.contains("\"phase\":\"warmup\""), "{body}");
+        assert!(body.contains("\"mode\":null"), "{body}");
+        assert!(body.contains("\"events\":42"), "{body}");
+        assert!(body.contains("\"replications_total\":3"), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn published_metrics_replace_prior_ones() {
+        let server = MetricsServer::bind("127.0.0.1:0", "unit").expect("bind");
+        server.publish_metrics("a 1\n".to_string());
+        server.publish_metrics("a 2\n".to_string());
+        let (_, body) = get(server.addr(), "/metrics");
+        assert_eq!(body, "a 2\n");
+    }
+
+    #[test]
+    fn status_json_escapes_labels() {
+        let s = ServeStatus::new("quo\"te\\path");
+        let json = s.to_json();
+        assert!(json.contains("quo\\\"te\\\\path"), "{json}");
+    }
+
+    /// Drives the same feed through a bare RunTelemetry and a
+    /// LiveRecorder-wrapped one; the wrapped result must be identical and
+    /// the live window accounting must fire the trigger exactly where the
+    /// offline detector places the switch.
+    #[test]
+    fn live_recorder_is_transparent_and_triggers_on_mode_switch() {
+        fn feed<R: Recorder>(r: &mut R) {
+            // Capacity 10 on one link, unit windows over [0, 4). Occupancy
+            // 9 over [0.5, 2.5) puts windows 1 and 2 above 0.8; back to 0
+            // afterwards drops window 3 below 0.5.
+            r.event(0.5, 1);
+            r.arrival(0.5, true, ArrivalOutcome::Primary, 1, 2.0);
+            r.occupancy(0.5, 0, 9);
+            r.event(2.5, 1);
+            r.arrival(2.5, true, ArrivalOutcome::Blocked, 0, 1.0);
+            r.occupancy(2.5, 0, 0);
+            r.event(3.5, 0);
+            r.departure(3.5, false);
+            r.finish(4.0);
+        }
+
+        let mut bare = RunTelemetry::new(0.0, 4.0, 1.0, vec![10]);
+        feed(&mut bare);
+
+        let ring = RefCell::new(FlightRing::new(16));
+        let mut trigger = FlightTrigger::new(Some(ModeThresholds::new(0.8, 0.5)), None);
+        let mut wrapped = RunTelemetry::new(0.0, 4.0, 1.0, vec![10]);
+        {
+            let mut live = LiveRecorder::new(&mut wrapped, None, Some((&ring, &mut trigger)));
+            feed(&mut live);
+            assert_eq!(live.mode(), Some(Mode::Low), "switched back by window 3");
+        }
+        assert_eq!(bare, wrapped, "wrapper must not perturb telemetry");
+
+        // Offline detector on the finished series agrees with the live
+        // trigger: High enters at window 1 (start 1.0).
+        let report = wrapped.mode_report(ModeThresholds::new(0.8, 0.5));
+        assert_eq!(report.switches[0].at, 1.0);
+        assert_eq!(
+            ring.borrow().trigger(),
+            Some(TriggerReason::ModeSwitch {
+                at: 1.0,
+                to: Mode::High
+            })
+        );
+    }
+
+    #[test]
+    fn live_recorder_publishes_finished_snapshots_per_window() {
+        let server = MetricsServer::bind("127.0.0.1:0", "unit").expect("bind");
+        let mut t = RunTelemetry::new(0.0, 2.0, 1.0, vec![5]);
+        {
+            let mut live = LiveRecorder::new(&mut t, Some(&server), None);
+            live.event(0.5, 1);
+            live.arrival(0.5, true, ArrivalOutcome::Primary, 1, 1.0);
+            live.occupancy(0.5, 0, 1);
+            // Crossing into window 1 publishes window 0's snapshot.
+            live.event(1.5, 0);
+            live.departure(1.5, false);
+            let (_, body) = get(server.addr(), "/metrics");
+            assert!(
+                body.contains("altroute_calls_offered_total 1"),
+                "mid-run snapshot carries the totals so far:\n{body}"
+            );
+            let (_, status) = get(server.addr(), "/status");
+            assert!(status.contains("\"sim_time\":1"), "{status}");
+            live.finish(2.0);
+        }
+        let (_, body) = get(server.addr(), "/metrics");
+        assert!(body.contains("altroute_events_total 2"), "{body}");
+        server.shutdown();
+    }
+}

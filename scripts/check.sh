@@ -5,9 +5,9 @@
 #
 #   scripts/check.sh [stage ...]
 #
-# Stages: fmt | clippy | test | conformance | telemetry | parity |
-# shard-parity | metastability-smoke | bench-smoke | all (default).
-# Unknown stages fail fast.
+# Stages: fmt | clippy | test | conformance | telemetry |
+# telemetry-overhead | parity | shard-parity | metastability-smoke |
+# bench-smoke | all (default). Unknown stages fail fast.
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,6 +65,53 @@ EOF
   grep -q '"window_width": 5' "$tmpdir/out/telemetry.json"
   cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
     telemetry "$tmpdir/out" > /dev/null
+}
+
+# Telemetry overhead: recording is a pure observer with a bounded cost.
+# A plain run (no-op recorder path) and a full --telemetry run of the
+# same seeds must render byte-identical results, and full recording must
+# stay within the documented overhead budget (DESIGN.md: < 5x wall clock
+# on this workload; the gate adds 2 s of absolute slack for CI noise).
+# Also pins the uniform parse-time flag validation: every engine rejects
+# a degenerate --window with the same message.
+stage_telemetry_overhead() {
+  cat > "$tmpdir/overhead.json" <<'EOF'
+{
+  "topology": { "builtin": "quadrangle" },
+  "traffic": { "uniform": 85.0 },
+  "policies": ["single-path", "controlled"],
+  "max_hops": 3,
+  "warmup": 10.0,
+  "horizon": 100.0,
+  "seeds": 6,
+  "base_seed": 42
+}
+EOF
+  overhead_cli() {
+    cargo run --release -q -p altroute-experiments --bin altroute_cli -- "$@"
+  }
+  # Warm the build so the timed legs measure the runs, not the compiler.
+  cargo build --release -q -p altroute-experiments --bin altroute_cli
+  local t0 t1 t2 plain recorded
+  t0=$(date +%s%N)
+  overhead_cli simulate "$tmpdir/overhead.json" > "$tmpdir/overhead.plain"
+  t1=$(date +%s%N)
+  overhead_cli simulate "$tmpdir/overhead.json" \
+    --telemetry "$tmpdir/overhead_out" --window 5 > "$tmpdir/overhead.recorded"
+  t2=$(date +%s%N)
+  cmp "$tmpdir/overhead.plain" "$tmpdir/overhead.recorded"
+  plain=$(( t1 - t0 )); recorded=$(( t2 - t1 ))
+  echo "telemetry overhead: plain $(( plain / 1000000 ))ms, recorded $(( recorded / 1000000 ))ms"
+  [ "$recorded" -le $(( 5 * plain + 2000000000 )) ]
+  for cmd in "simulate $tmpdir/overhead.json" "metastability" \
+             "adaptive $tmpdir/overhead.json" "multirate $tmpdir/overhead.json" \
+             "signaling $tmpdir/overhead.json"; do
+    # shellcheck disable=SC2086  # word-split the subcommand on purpose
+    if overhead_cli $cmd --window 0 2> "$tmpdir/overhead.err"; then
+      echo "expected $cmd --window 0 to fail" >&2; exit 1
+    fi
+    grep -q '^error: --window must be positive, got 0$' "$tmpdir/overhead.err"
+  done
 }
 
 # Kernel parity: the golden traces must replay byte-identically through
@@ -154,6 +201,13 @@ stage_metastability_smoke() {
   grep -q '^altroute_mode_fraction_high 1$' "$tmpdir/meta_out/r0_saturated.prom"
   grep -q '^altroute_calls_offered_total ' "$tmpdir/meta_out/r0_saturated.prom"
   head -1 "$tmpdir/meta_out/eq15_saturated_modes.csv" | grep -q '^time,mode$'
+  # The reserved saturated arm's forced flip trips the anomaly flight
+  # recorder, and the dump replays through the trace decoder.
+  grep -q '"flight_trigger": "mode switch to low' "$tmpdir/meta.a"
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    replay "$tmpdir/meta_out/eq15_saturated_flight.trace" > "$tmpdir/meta_replay"
+  grep -q 'label "flight:eq15_saturated"' "$tmpdir/meta_replay"
+  grep -q '^4096 records over t = ' "$tmpdir/meta_replay"
 }
 
 # Bench smoke: the perf-baseline binary must run end to end in --quick
@@ -174,17 +228,19 @@ run_stage() {
     test)        stage_test ;;
     conformance) stage_conformance ;;
     telemetry)   stage_telemetry ;;
+    telemetry-overhead) stage_telemetry_overhead ;;
     parity)      stage_parity ;;
     shard-parity) stage_shard_parity ;;
     metastability-smoke) stage_metastability_smoke ;;
     bench-smoke) stage_bench_smoke ;;
     all)
       stage_fmt; stage_clippy; stage_test
-      stage_conformance; stage_telemetry; stage_parity
-      stage_shard_parity; stage_metastability_smoke; stage_bench_smoke
+      stage_conformance; stage_telemetry; stage_telemetry_overhead
+      stage_parity; stage_shard_parity; stage_metastability_smoke
+      stage_bench_smoke
       ;;
     *)
-      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry parity shard-parity metastability-smoke bench-smoke all" >&2
+      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry telemetry-overhead parity shard-parity metastability-smoke bench-smoke all" >&2
       exit 2
       ;;
   esac

@@ -1,11 +1,14 @@
 //! Machine-readable kernel performance baseline.
 //!
-//! Runs four fixed-seed macro workloads through the engine twice — once
+//! Runs five fixed-seed macro workloads through the engine twice — once
 //! on the calendar-queue kernel (`run_seed_pooled` with one recycled
 //! [`KernelScratch`]) and once on the `BinaryHeap` reference backend
 //! (`run_seed_reference`) — asserts the results are byte-identical, and
 //! writes `BENCH_kernel.json` with wall-clock, events/sec, peak RSS, and
-//! the calendar/reference speedup per workload.
+//! the calendar/reference speedup per workload. Two non-engine sections
+//! ride along: the shard-scaling curve and a `path_enumeration` row
+//! timing the lazy `PathStore`'s incremental invalidation against full
+//! re-enumeration after a single-link failure on a power-law mesh.
 //!
 //! The committed `BENCH_kernel.json` at the repo root is the baseline
 //! that `scripts/bench_gate.sh` compares fresh runs against. Refresh it
@@ -28,6 +31,7 @@ use altroute_core::plan::RoutingPlan;
 use altroute_core::policy::PolicyKind;
 use altroute_json::{obj, parse, Value};
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
+use altroute_netgraph::store::PathStore;
 use altroute_netgraph::topologies;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_sim::engine::{
@@ -170,6 +174,68 @@ fn metastability(horizon: f64) -> Workload {
             warmup: 2.0,
             horizon,
             seed: 0x0B0D_0010,
+        }],
+    }
+}
+
+/// Samples `count` distinct ordered demand pairs, seeded (the same
+/// scheme the `largemesh` experiment tier uses).
+fn sample_demand_pairs(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut next = topologies::xorshift_stream(seed ^ 0xDE3A_4D5A_3313_7E55);
+    let mut pairs = Vec::with_capacity(count);
+    let mut taken = vec![false; n * n];
+    while pairs.len() < count {
+        let i = (next() % n as u64) as usize;
+        let j = (next() % n as u64) as usize;
+        if i == j || taken[i * n + j] {
+            continue;
+        }
+        taken[i * n + j] = true;
+        pairs.push((i, j));
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// The `largemesh` tier's operating regime as an engine workload: a
+/// 120-node power-law mesh with sparse sampled demand and rolling
+/// SRLG-group outages driven through the dynamic failure schedule, so
+/// the event loop sees correlated mass teardowns on a mesh whose
+/// candidate sets come from the lazy capped store.
+fn largemesh_churn(horizon: f64) -> Workload {
+    let seed = 0x1A26_E0ED;
+    let topo = topologies::power_law_mesh(120, 40, seed);
+    let groups = topologies::srlg_groups(&topo, 10, seed);
+    let n = topo.num_nodes();
+    let demand = sample_demand_pairs(n, 400, seed);
+    let mut loads = vec![0.0_f64; n * n];
+    for &(i, j) in &demand {
+        loads[i * n + j] = 10.0;
+    }
+    let traffic = TrafficMatrix::from_fn(n, |i, j| loads[i * n + j]);
+    let plan = RoutingPlan::min_hop_capped(topo, &traffic, 4, 6);
+    let mut failures = FailureSchedule::none();
+    let mut down = 3.0;
+    let mut group = 0;
+    while down + 2.0 < horizon {
+        for &l in &groups[group % groups.len()] {
+            failures = failures.with_outage(l, down, down + 2.0);
+        }
+        down += 4.0;
+        group += 1;
+    }
+    Workload {
+        name: "largemesh_churn",
+        description: "power_law_mesh(120, C=40), 400 pairs @ 10 Erlang, \
+                      rolling SRLG groups down 2.0 of every 4.0",
+        specs: vec![Spec {
+            plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 4 },
+            traffic,
+            failures,
+            warmup: 2.0,
+            horizon,
+            seed: 0x1A26_0BEF,
         }],
     }
 }
@@ -344,6 +410,100 @@ fn measure_shard_scaling(spec: &Spec, reps: usize, scratch: &mut KernelScratch) 
     }
 }
 
+struct PathEnumeration {
+    description: &'static str,
+    nodes: usize,
+    links: usize,
+    demand_pairs: usize,
+    invalidated_pairs: usize,
+    full_secs: f64,
+    incremental_secs: f64,
+}
+
+impl PathEnumeration {
+    fn speedup(&self) -> f64 {
+        self.full_secs / self.incremental_secs
+    }
+}
+
+/// Times recomputing a warmed demand set after a single-link failure two
+/// ways: a cold store re-enumerating every demanded pair from scratch
+/// (the pre-`PathStore` obligation) versus the incremental path — one
+/// `set_link_state` eviction plus lazy refills of only the pairs whose
+/// cached sets crossed the failed link. The failed link is the one with
+/// the *median* traversal count among traversed links, a representative
+/// (not best-case) choice; both paths are asserted to produce identical
+/// candidate sets before anything is timed. Wall times are best-of-`reps`.
+fn measure_path_enumeration(nodes: usize, demand_pairs: usize, reps: usize) -> PathEnumeration {
+    const MAX_HOPS: usize = 4;
+    const CAP: usize = 8;
+    let seed = 0x1A26_E0ED;
+    let topo = topologies::power_law_mesh(nodes, 60, seed);
+    let links = topo.num_links();
+    let demand = sample_demand_pairs(nodes, demand_pairs, seed);
+
+    let warm = {
+        let store = PathStore::with_cap(topo.clone(), MAX_HOPS, CAP);
+        for &(i, j) in &demand {
+            store.candidates(i, j);
+        }
+        store
+    };
+    let mut traversed: Vec<(usize, usize)> = (0..links)
+        .map(|l| (warm.pairs_traversing(l).len(), l))
+        .filter(|&(count, _)| count > 0)
+        .collect();
+    traversed.sort_unstable();
+    let (invalidated_pairs, victim) = traversed[traversed.len() / 2];
+
+    // Untimed oracle pass: the incremental store must match a full
+    // re-enumeration against the same surviving links.
+    let mut incremental = warm.clone();
+    incremental.set_link_state(victim, false);
+    let mut full = PathStore::with_cap(topo.clone(), MAX_HOPS, CAP);
+    full.set_link_state(victim, false);
+    for &(i, j) in &demand {
+        assert_eq!(
+            incremental.candidates(i, j),
+            full.candidates(i, j),
+            "path_enumeration: incremental recompute diverged from full for {i}->{j}"
+        );
+    }
+
+    let mut full_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let mut store = PathStore::with_cap(topo.clone(), MAX_HOPS, CAP);
+        store.set_link_state(victim, false);
+        let t = Instant::now();
+        for &(i, j) in &demand {
+            black_box(store.candidates(i, j));
+        }
+        full_secs = full_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let mut incremental_secs = f64::INFINITY;
+    for _ in 0..reps {
+        let mut store = warm.clone();
+        let t = Instant::now();
+        black_box(store.set_link_state(victim, false));
+        for &(i, j) in &demand {
+            black_box(store.candidates(i, j));
+        }
+        incremental_secs = incremental_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    PathEnumeration {
+        description: "power_law_mesh(C=60), H=4 cap=8: recompute the demanded pairs after \
+                      failing the median-traversal link — cold store vs incremental eviction",
+        nodes,
+        links,
+        demand_pairs: demand.len(),
+        invalidated_pairs,
+        full_secs,
+        incremental_secs,
+    }
+}
+
 /// Peak resident set size in bytes, from `/proc/self/status` `VmHWM`
 /// (Linux only; 0 where the file or field is unavailable).
 fn peak_rss_bytes() -> u64 {
@@ -364,9 +524,14 @@ fn peak_rss_bytes() -> u64 {
     0
 }
 
-const SCHEMA: &str = "altroute-bench-kernel/v2";
+const SCHEMA: &str = "altroute-bench-kernel/v3";
 
-fn report(measurements: &[Measurement], scaling: &ShardScaling, quick: bool) -> Value {
+fn report(
+    measurements: &[Measurement],
+    scaling: &ShardScaling,
+    path_enum: &PathEnumeration,
+    quick: bool,
+) -> Value {
     let workloads: Vec<Value> = measurements
         .iter()
         .map(|m| {
@@ -415,6 +580,16 @@ fn report(measurements: &[Measurement], scaling: &ShardScaling, quick: bool) -> 
                 "events_per_sec" => scaling.events as f64 / scaling.serial_secs,
             },
             "curve" => Value::Array(curve),
+        },
+        "path_enumeration" => obj! {
+            "description" => path_enum.description,
+            "nodes" => path_enum.nodes as f64,
+            "links" => path_enum.links as f64,
+            "demand_pairs" => path_enum.demand_pairs as f64,
+            "invalidated_pairs" => path_enum.invalidated_pairs as f64,
+            "full_secs" => path_enum.full_secs,
+            "incremental_secs" => path_enum.incremental_secs,
+            "speedup" => path_enum.speedup(),
         },
         "peak_rss_bytes" => peak_rss_bytes() as f64,
     }
@@ -529,6 +704,34 @@ fn validate(value: &Value) -> Vec<String> {
         }
         Some(_) => problems.push("shard_scaling: `curve` is empty".to_string()),
         None => problems.push("shard_scaling: missing array field `curve`".to_string()),
+    }
+    let Some(path_enum) = value.get("path_enumeration") else {
+        problems.push("missing object field `path_enumeration`".to_string());
+        return problems;
+    };
+    if path_enum
+        .get("description")
+        .and_then(Value::as_str)
+        .is_none()
+    {
+        problems.push("path_enumeration: missing string field `description`".to_string());
+    }
+    for field in [
+        "nodes",
+        "links",
+        "demand_pairs",
+        "invalidated_pairs",
+        "full_secs",
+        "incremental_secs",
+        "speedup",
+    ] {
+        match path_enum.get(field).and_then(Value::as_f64) {
+            Some(x) if x > 0.0 && x.is_finite() => {}
+            Some(x) => problems.push(format!(
+                "path_enumeration: `{field}` = {x} is not positive and finite"
+            )),
+            None => problems.push(format!("path_enumeration: missing numeric field `{field}`")),
+        }
     }
     problems
 }
@@ -659,6 +862,27 @@ fn gate(baseline: &Value, fresh: &Value, tolerance: f64) -> Result<Vec<String>, 
         )),
         None => lines.push("shard_scaling@4: no 4-shard point in fresh report".to_string()),
     }
+    // Path-enumeration gate. The speedup is a within-run ratio (full vs
+    // incremental on the same machine), so unlike raw events/sec it is
+    // stable across hardware — the acceptance bar (incremental recompute
+    // at least 10x faster than full re-enumeration after a single-link
+    // change) is enforced absolutely on the fresh report.
+    let pe_speedup = |v: &Value| {
+        v.get("path_enumeration")
+            .and_then(|p| p.get("speedup"))
+            .and_then(Value::as_f64)
+    };
+    match (pe_speedup(baseline), pe_speedup(fresh)) {
+        (Some(base), Some(now)) => {
+            let line = format!("path_enumeration: incremental speedup {base:.1}x -> {now:.1}x");
+            if now < 10.0 {
+                failures.push(format!("{line} — below the 10x acceptance bar"));
+            } else {
+                lines.push(line);
+            }
+        }
+        _ => lines.push("path_enumeration: missing from a report (skipped)".to_string()),
+    }
     if failures.is_empty() {
         Ok(lines)
     } else {
@@ -668,16 +892,18 @@ fn gate(baseline: &Value, fresh: &Value, tolerance: f64) -> Result<Vec<String>, 
 }
 
 fn run_benchmarks(quick: bool, out: &str) -> ExitCode {
-    let (churn_h, quad_h, nsf_h, meta_h, scaling_h, reps) = if quick {
-        (60.0, 40.0, 6.0, 2.0, 8.0, 1)
+    let (churn_h, quad_h, nsf_h, meta_h, mesh_h, scaling_h, reps) = if quick {
+        (60.0, 40.0, 6.0, 2.0, 6.0, 8.0, 1)
     } else {
-        (400.0, 300.0, 25.0, 20.0, 400.0, 3)
+        (400.0, 300.0, 25.0, 20.0, 30.0, 400.0, 3)
     };
+    let (pe_nodes, pe_pairs) = if quick { (240, 800) } else { (1000, 4000) };
     let workloads = [
         outage_churn(churn_h),
         quadrangle_high_load(quad_h),
         nsfnet_sweep(nsf_h),
         metastability(meta_h),
+        largemesh_churn(mesh_h),
     ];
     let mut scratch = KernelScratch::new();
     let mut measurements = Vec::new();
@@ -713,7 +939,17 @@ fn run_benchmarks(quick: bool, out: &str) -> ExitCode {
             scaling.serial_secs / wall,
         );
     }
-    let value = report(&measurements, &scaling, quick);
+    eprintln!("running path_enumeration (power_law_mesh({pe_nodes}), {pe_pairs} pairs)...");
+    let path_enum = measure_path_enumeration(pe_nodes, pe_pairs, reps);
+    eprintln!(
+        "  full {:.4}s | incremental {:.4}s | {} of {} pairs invalidated | speedup {:.1}x",
+        path_enum.full_secs,
+        path_enum.incremental_secs,
+        path_enum.invalidated_pairs,
+        path_enum.demand_pairs,
+        path_enum.speedup(),
+    );
+    let value = report(&measurements, &scaling, &path_enum, quick);
     debug_assert!(
         validate(&value).is_empty(),
         "emitted report fails own schema"

@@ -13,10 +13,20 @@
 //! The plan depends only on topology, traffic, the primary rule, and the
 //! design parameter `H`; the per-call state-dependent decision is made by
 //! [`crate::policy::Router`] against current occupancies.
+//!
+//! Candidate paths are no longer enumerated eagerly at construction: the
+//! plan is a thin view over an [`altroute_netgraph::store::PathStore`],
+//! which fills each pair's set on first [`RoutingPlan::candidates`] call
+//! (byte-identical to the old eager enumeration) and supports incremental
+//! invalidation when links fail or revive — see
+//! [`RoutingPlan::set_link_state`]. Loads, protection levels, and shadow
+//! tables still depend on the traffic matrix, so those require a plan
+//! rebuild when *traffic* changes; link availability alone does not.
 
 use crate::primary::PrimaryAssignment;
 use altroute_netgraph::graph::{LinkId, Topology};
-use altroute_netgraph::paths::{loop_free_paths, loop_free_paths_capped, Path};
+use altroute_netgraph::paths::Path;
+use altroute_netgraph::store::PathStore;
 use altroute_netgraph::traffic::TrafficMatrix;
 use altroute_teletraffic::reservation::protection_level;
 use altroute_teletraffic::shadow::ShadowPriceTable;
@@ -24,12 +34,13 @@ use altroute_teletraffic::shadow::ShadowPriceTable;
 /// Everything state-independent that routing needs, precomputed.
 #[derive(Debug, Clone)]
 pub struct RoutingPlan {
-    topo: Topology,
     primaries: PrimaryAssignment,
-    /// Row-major per pair: loop-free paths of ≤ `max_alternate_hops` hops
-    /// in attempt order (primary paths are *not* removed here — they are
-    /// skipped at decision time against the sampled primary).
-    candidates: Vec<Vec<Path>>,
+    /// Per ordered pair, the loop-free paths of ≤ `max_alternate_hops`
+    /// hops in attempt order (primary paths are *not* removed here — they
+    /// are skipped at decision time against the sampled primary), behind
+    /// the lazy incrementally-invalidated cache. The store also owns the
+    /// topology.
+    store: PathStore,
     /// Per-link primary load Λ^k.
     loads: Vec<f64>,
     /// Per-link protection level r^k.
@@ -111,19 +122,6 @@ impl RoutingPlan {
             topo.num_nodes(),
             "primary assignment size mismatch"
         );
-        let n = topo.num_nodes();
-        let mut candidates = Vec::with_capacity(n * n);
-        for i in 0..n {
-            for j in 0..n {
-                candidates.push(if i == j {
-                    Vec::new()
-                } else if candidate_cap == usize::MAX {
-                    loop_free_paths(&topo, i, j, max_alternate_hops as usize)
-                } else {
-                    loop_free_paths_capped(&topo, i, j, max_alternate_hops as usize, candidate_cap)
-                });
-            }
-        }
         let loads = primaries.link_loads(&topo, traffic);
         let protection = loads
             .iter()
@@ -135,10 +133,14 @@ impl RoutingPlan {
             .zip(topo.links())
             .map(|(&a, l)| ShadowPriceTable::new(a, l.capacity))
             .collect();
+        let store = if candidate_cap == usize::MAX {
+            PathStore::new(topo, max_alternate_hops as usize)
+        } else {
+            PathStore::with_cap(topo, max_alternate_hops as usize, candidate_cap)
+        };
         Self {
-            topo,
             primaries,
-            candidates,
+            store,
             loads,
             protection,
             shadows,
@@ -160,28 +162,32 @@ impl RoutingPlan {
     /// Links traversed by no alternate candidate keep `r = 0` (they can
     /// never carry an alternate-routed call).
     pub fn with_per_link_hop_bounds(mut self) -> Self {
-        let mut per_link_h = vec![0u32; self.topo.num_links()];
-        for (idx, paths) in self.candidates.iter().enumerate() {
-            let n = self.topo.num_nodes();
-            let (i, j) = (idx / n, idx % n);
-            let primary_paths = self.primaries.split(i, j);
-            for path in paths {
-                // Only alternate-routed calls count towards H^k; paths
-                // that are (part of) the primary split never arrive as
-                // alternates on their own links.
-                let is_primary = primary_paths.iter().any(|(p, _)| p == path);
-                if is_primary {
+        let mut per_link_h = vec![0u32; self.topology().num_links()];
+        let n = self.topology().num_nodes();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
                     continue;
                 }
-                for &l in path.links() {
-                    per_link_h[l] = per_link_h[l].max(path.hops() as u32);
+                let primary_paths = self.primaries.split(i, j);
+                for path in self.store.candidates(i, j) {
+                    // Only alternate-routed calls count towards H^k; paths
+                    // that are (part of) the primary split never arrive as
+                    // alternates on their own links.
+                    let is_primary = primary_paths.iter().any(|(p, _)| p == path);
+                    if is_primary {
+                        continue;
+                    }
+                    for &l in path.links() {
+                        per_link_h[l] = per_link_h[l].max(path.hops() as u32);
+                    }
                 }
             }
         }
         self.protection = self
             .loads
             .iter()
-            .zip(self.topo.links())
+            .zip(self.store.topology().links())
             .zip(&per_link_h)
             .map(|((&a, l), &h)| {
                 if h == 0 {
@@ -211,10 +217,10 @@ impl RoutingPlan {
     pub fn with_protection_levels(mut self, levels: Vec<u32>) -> Self {
         assert_eq!(
             levels.len(),
-            self.topo.num_links(),
+            self.topology().num_links(),
             "need one protection level per link"
         );
-        for (l, (&r, link)) in levels.iter().zip(self.topo.links()).enumerate() {
+        for (l, (&r, link)) in levels.iter().zip(self.store.topology().links()).enumerate() {
             assert!(
                 r <= link.capacity,
                 "link {l}: protection {r} exceeds capacity {}",
@@ -227,7 +233,7 @@ impl RoutingPlan {
 
     /// The topology the plan was built for.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        self.store.topology()
     }
 
     /// The primary assignment.
@@ -237,8 +243,36 @@ impl RoutingPlan {
 
     /// The candidate (loop-free, ≤ H hops) paths of a pair in attempt
     /// order, including whichever paths serve as primaries.
+    ///
+    /// Computed lazily on first access over the currently-live links and
+    /// memoized; see [`Self::set_link_state`] for invalidation.
     pub fn candidates(&self, src: usize, dst: usize) -> &[Path] {
-        &self.candidates[src * self.topo.num_nodes() + dst]
+        self.store.candidates(src, dst)
+    }
+
+    /// The underlying lazy candidate-path cache.
+    pub fn path_store(&self) -> &PathStore {
+        &self.store
+    }
+
+    /// Mutable access to the candidate-path cache, for callers driving
+    /// invalidation directly (the engine's outage handling).
+    pub fn path_store_mut(&mut self) -> &mut PathStore {
+        &mut self.store
+    }
+
+    /// Marks a link up or down in the candidate cache, evicting exactly
+    /// the pairs whose cached sets may change (down: pairs traversing the
+    /// link, via the reverse index; up: pairs within hop range of the
+    /// revived link). Returns the number of evicted pairs; they recompute
+    /// lazily on next access.
+    ///
+    /// This keeps `candidates()` consistent with the surviving topology
+    /// without an O(N²) plan rebuild. Loads, protection levels, and
+    /// shadow tables are *not* recomputed — they encode the engineered
+    /// (design-time) traffic, which is unchanged by an outage.
+    pub fn set_link_state(&mut self, link: LinkId, up: bool) -> usize {
+        self.store.set_link_state(link, up)
     }
 
     /// Per-link primary loads `Λ^k`.
@@ -468,6 +502,30 @@ mod tests {
         let baseline = network_wide.protection_levels().to_vec();
         let per_link = network_wide.with_per_link_hop_bounds();
         assert_eq!(baseline, per_link.protection_levels());
+    }
+
+    #[test]
+    fn link_state_changes_update_candidates_without_a_rebuild() {
+        let topo = topologies::nsfnet(100);
+        let traffic = TrafficMatrix::uniform(12, 5.0);
+        let mut plan = RoutingPlan::min_hop(topo, &traffic, 4);
+        let link = plan.topology().link_between(5, 6).unwrap();
+        let before = plan.candidates(5, 6).to_vec();
+        assert!(before.iter().any(|p| p.uses_link(link)));
+        let loads = plan.link_loads().to_vec();
+        let protection = plan.protection_levels().to_vec();
+
+        let evicted = plan.set_link_state(link, false);
+        assert!(evicted > 0);
+        assert!(!plan.path_store().is_up(link));
+        // Candidates now reflect the surviving subgraph...
+        assert!(plan.candidates(5, 6).iter().all(|p| !p.uses_link(link)));
+        // ...while the engineered loads and Eq.-15 levels are untouched.
+        assert_eq!(plan.link_loads(), &loads[..]);
+        assert_eq!(plan.protection_levels(), &protection[..]);
+
+        plan.set_link_state(link, true);
+        assert_eq!(plan.candidates(5, 6), &before[..]);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! altroute_cli metastability [--preset <smoke|paper>] [--nodes <N>] [--d <K>]
 //!                       [--window <width>] [--metrics-json] [--telemetry <dir>]
 //!                       [--serve <addr>]            four-arm hysteresis demonstration
+//! altroute_cli largemesh [--preset <smoke|full>] [--nodes <N>] [--metrics-json]
+//!                                                   ISP-scale mesh under rolling SRLG failures
 //! altroute_cli telemetry <dir>                      human-readable telemetry report
 //! altroute_cli replay <file.trace>                  decode and summarise a binary trace
 //! altroute_cli example-config                       print a commented example config
@@ -89,13 +91,24 @@
 //! flight recorder froze — a replayable `<arm>_flight.trace` dump of
 //! the kernel events leading up to the trigger. `replay <file>`
 //! summarises such a dump (or any conformance golden trace).
+//!
+//! `largemesh` runs the ISP-scale tier from
+//! `altroute_experiments::largemesh`: a power-law-degree mesh under
+//! rolling SRLG (correlated-conduit) failures, with each round's outage
+//! applied as an incremental candidate-path-store invalidation instead
+//! of a plan rebuild. `--preset smoke` (default, 200 nodes) is the
+//! CI-sized instance; `--preset full` is the minutes-scale 1000-node
+//! instance; `--nodes` overrides the mesh size. The report carries
+//! per-round eviction counts and blocking, and is deterministic per
+//! preset — identical across repeated runs.
 
 use altroute_core::policy::PolicyKind;
 use altroute_experiments::output::{
     blocking_summary_json, fmt_prob, metrics_document, telemetry_document,
 };
 use altroute_experiments::{
-    run_metastability_served, ArmResult, Heartbeat, MetastabilityConfig, Series, Table,
+    run_largemesh, run_metastability_served, ArmResult, Heartbeat, LargeMeshConfig,
+    MetastabilityConfig, Series, Table,
 };
 use altroute_json::{obj, Value};
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
@@ -721,6 +734,98 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
     }
     if let Some(server) = server {
         server.shutdown();
+    }
+    Ok(())
+}
+
+fn cmd_largemesh(flags: &Flags) -> Result<(), String> {
+    let preset = flags.preset.as_deref().unwrap_or("smoke");
+    let mut cfg = LargeMeshConfig::preset(preset)
+        .ok_or_else(|| format!("unknown preset '{preset}' (try smoke, full)"))?;
+    if let Some(n) = flags.nodes {
+        if n < 5 {
+            return Err("--nodes must be at least 5 (power-law seed ring)".into());
+        }
+        cfg.nodes = n;
+        // Keep demand sparse relative to the mesh when shrunk.
+        cfg.demand_pairs = cfg.demand_pairs.min(n * (n - 1) / 2);
+    }
+    let report = run_largemesh(&cfg);
+
+    if flags.metrics_json {
+        let rounds: Vec<Value> = report
+            .rounds
+            .iter()
+            .map(|r| {
+                obj! {
+                    "round" => r.round,
+                    "group" => r.group,
+                    "links_down" => r.links_down,
+                    "evicted_on_failure" => r.evicted_on_failure,
+                    "evicted_on_revival" => r.evicted_on_revival,
+                    "offered" => r.offered,
+                    "blocked" => r.blocked,
+                    "blocking" => r.blocking,
+                    "carried_alternate" => r.carried_alternate,
+                }
+            })
+            .collect();
+        let doc = obj! {
+            "label" => format!("largemesh:{preset}"),
+            "nodes" => cfg.nodes,
+            "links" => report.num_links,
+            "capacity" => cfg.capacity,
+            "max_hops" => cfg.max_hops,
+            "candidate_cap" => cfg.candidate_cap,
+            "demand_pairs" => cfg.demand_pairs,
+            "load_per_pair" => cfg.load_per_pair,
+            "srlg_groups" => cfg.srlg_groups,
+            "total_pairs" => report.total_pairs,
+            "warmed_pairs" => report.warmed_pairs,
+            "total_offered" => report.total_offered(),
+            "total_blocked" => report.total_blocked(),
+            "blocking" => report.blocking(),
+            "max_evicted" => report.max_evicted(),
+            "rounds" => Value::Array(rounds),
+        };
+        println!("{}", doc.to_string_pretty());
+    } else {
+        let mut table = Table::new([
+            "round",
+            "group",
+            "links-down",
+            "evicted-fail",
+            "evicted-revive",
+            "offered",
+            "blocked",
+            "blocking",
+        ]);
+        for r in &report.rounds {
+            table.row([
+                r.round.to_string(),
+                r.group.to_string(),
+                r.links_down.to_string(),
+                r.evicted_on_failure.to_string(),
+                r.evicted_on_revival.to_string(),
+                r.offered.to_string(),
+                r.blocked.to_string(),
+                fmt_prob(r.blocking),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "mesh: {} nodes, {} links, {} demanded of {} pairs; whole-run blocking {}",
+            cfg.nodes,
+            report.num_links,
+            report.warmed_pairs,
+            report.total_pairs,
+            fmt_prob(report.blocking())
+        );
+        println!(
+            "incremental invalidation: worst round evicted {} pairs (full rebuild would redo {})",
+            report.max_evicted(),
+            report.total_pairs
+        );
     }
     Ok(())
 }
@@ -1804,6 +1909,10 @@ fn run() -> Result<(), String> {
             )?;
             cmd_metastability(&flags)
         }
+        ["largemesh"] => {
+            flags.allow_only("largemesh", &["--preset", "--nodes", "--metrics-json"])?;
+            cmd_largemesh(&flags)
+        }
         ["adaptive", config] => {
             flags.allow_only(
                 "adaptive",
@@ -1875,6 +1984,7 @@ fn run() -> Result<(), String> {
                   [--hop-delay D] [--shards S] | \
                   metastability [--preset smoke|paper] [--nodes N] [--d K] \
                   [--window W] [--metrics-json] [--telemetry DIR] [--serve ADDR] | \
+                  largemesh [--preset smoke|full] [--nodes N] [--metrics-json] | \
                   telemetry DIR | replay TRACE | example-config | conformance [--bless]>"
                 .into(),
         ),

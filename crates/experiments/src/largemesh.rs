@@ -1,0 +1,317 @@
+//! ISP-scale meshes under rolling correlated (SRLG) failures.
+//!
+//! The paper's experiments stop at a 12-node backbone; this tier runs the
+//! same controlled-alternate machinery on thousand-node power-law meshes
+//! ([`altroute_netgraph::topologies::power_law_mesh`]) where the
+//! candidate-path preprocessing — not the event loop — used to be the
+//! dominant cost. The lazy [`altroute_netgraph::store::PathStore`] behind
+//! every [`RoutingPlan`] changes the regime: only the demanded O-D pairs
+//! are ever enumerated, and each round of correlated link failures is an
+//! *incremental* store invalidation
+//! ([`altroute_sim::engine::apply_static_failures`]) touching just the
+//! pairs whose cached sets crossed the failed conduit, instead of an
+//! O(N²) plan rebuild.
+//!
+//! A run proceeds in rounds over the SRLG groups of the mesh: fail one
+//! group as a unit, re-warm the demanded pairs (the lazy recompute),
+//! simulate the surviving network, revive the group, continue. The report
+//! carries per-round eviction counts — the direct measure of invalidation
+//! work — alongside the usual blocking statistics. All quantities are
+//! deterministic per seed (timings never enter the report), so two runs
+//! of the same preset produce identical reports.
+
+use altroute_core::plan::RoutingPlan;
+use altroute_core::policy::PolicyKind;
+use altroute_netgraph::topologies::{power_law_mesh, srlg_groups, xorshift_stream};
+use altroute_netgraph::traffic::TrafficMatrix;
+use altroute_sim::engine::{apply_static_failures, run_seed, RunConfig};
+use altroute_sim::failures::FailureSchedule;
+
+/// Parameters of one rolling-SRLG-failure run on a power-law mesh.
+#[derive(Debug, Clone)]
+pub struct LargeMeshConfig {
+    /// Mesh size (preferential-attachment nodes).
+    pub nodes: usize,
+    /// Circuits per directed link.
+    pub capacity: u32,
+    /// Hop bound `H` for candidate paths (and Eq. 15).
+    pub max_hops: u32,
+    /// Candidate cap per ordered pair (the store stays O(pairs·cap)).
+    pub candidate_cap: usize,
+    /// Number of demanded ordered pairs (sampled uniformly, seeded).
+    pub demand_pairs: usize,
+    /// Offered Erlangs per demanded pair.
+    pub load_per_pair: f64,
+    /// Number of SRLG outage groups the links are partitioned into.
+    pub srlg_groups: usize,
+    /// Failure rounds (round `r` fails group `r mod srlg_groups`).
+    pub rounds: usize,
+    /// Warm-up before each round's measured window.
+    pub warmup: f64,
+    /// Measured horizon per round.
+    pub horizon: f64,
+    /// Base seed: topology, demand sampling, and per-round replication
+    /// seeds all derive from it.
+    pub seed: u64,
+}
+
+impl LargeMeshConfig {
+    /// CI-sized instance: a 200-node mesh, seconds-scale in debug builds,
+    /// but already deep into the regime where eager full enumeration
+    /// would dominate.
+    pub fn smoke() -> Self {
+        Self {
+            nodes: 200,
+            capacity: 40,
+            max_hops: 4,
+            candidate_cap: 6,
+            demand_pairs: 300,
+            load_per_pair: 8.0,
+            srlg_groups: 8,
+            rounds: 3,
+            warmup: 2.0,
+            horizon: 12.0,
+            seed: 0x1A26_E0ED,
+        }
+    }
+
+    /// The ROADMAP's 1000-node tier: thousand-node power-law mesh under
+    /// a full rolling sweep of correlated failures. Minutes-scale in
+    /// release builds; never run by the test suite.
+    pub fn full() -> Self {
+        Self {
+            nodes: 1000,
+            capacity: 60,
+            max_hops: 4,
+            candidate_cap: 8,
+            demand_pairs: 2000,
+            load_per_pair: 12.0,
+            srlg_groups: 25,
+            rounds: 10,
+            warmup: 4.0,
+            horizon: 30.0,
+            seed: 0x1A26_E0ED,
+        }
+    }
+
+    /// Looks up a named preset (`smoke` | `full`).
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Self::smoke()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+}
+
+/// One failure round: which group went down, how much invalidation work
+/// it caused, and how the surviving network carried the load.
+#[derive(Debug, Clone)]
+pub struct RoundResult {
+    /// Round index.
+    pub round: usize,
+    /// SRLG group failed this round.
+    pub group: usize,
+    /// Directed links in the failed group.
+    pub links_down: usize,
+    /// Cached O-D pairs evicted when the group failed (the incremental
+    /// invalidation's whole recompute obligation for this round).
+    pub evicted_on_failure: usize,
+    /// Cached pairs evicted when the group revived at round end.
+    pub evicted_on_revival: usize,
+    /// Calls offered in the measured window.
+    pub offered: u64,
+    /// Calls blocked.
+    pub blocked: u64,
+    /// Blocking probability.
+    pub blocking: f64,
+    /// Carried calls routed on alternates.
+    pub carried_alternate: u64,
+}
+
+/// The full rolling-failure report.
+#[derive(Debug, Clone)]
+pub struct LargeMeshReport {
+    /// The configuration that produced it.
+    pub config: LargeMeshConfig,
+    /// Directed links in the generated mesh.
+    pub num_links: usize,
+    /// Total ordered pairs of the mesh (the store's cell count).
+    pub total_pairs: usize,
+    /// Pairs warmed before the first round (= demanded pairs).
+    pub warmed_pairs: usize,
+    /// Per-round results, in order.
+    pub rounds: Vec<RoundResult>,
+}
+
+impl LargeMeshReport {
+    /// Offered calls across all rounds.
+    pub fn total_offered(&self) -> u64 {
+        self.rounds.iter().map(|r| r.offered).sum()
+    }
+
+    /// Blocked calls across all rounds.
+    pub fn total_blocked(&self) -> u64 {
+        self.rounds.iter().map(|r| r.blocked).sum()
+    }
+
+    /// Whole-run blocking probability.
+    pub fn blocking(&self) -> f64 {
+        altroute_simcore::stats::blocking_ratio(self.total_blocked(), self.total_offered())
+    }
+
+    /// Largest per-round eviction count — the worst-case incremental
+    /// recompute obligation, to compare against `total_pairs` (a full
+    /// rebuild's obligation).
+    pub fn max_evicted(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.evicted_on_failure.max(r.evicted_on_revival))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Samples `count` distinct ordered demand pairs, seeded.
+fn sample_demand_pairs(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut next = xorshift_stream(seed ^ 0xDE3A_4D5A_3313_7E55);
+    let mut pairs = Vec::with_capacity(count);
+    let mut taken = vec![false; n * n];
+    while pairs.len() < count {
+        let i = (next() % n as u64) as usize;
+        let j = (next() % n as u64) as usize;
+        if i == j || taken[i * n + j] {
+            continue;
+        }
+        taken[i * n + j] = true;
+        pairs.push((i, j));
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Runs the rolling-SRLG-failure experiment.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero rounds, more demand
+/// pairs than ordered pairs, or more SRLG groups than duplex conduits).
+pub fn run_largemesh(cfg: &LargeMeshConfig) -> LargeMeshReport {
+    assert!(cfg.rounds > 0, "need at least one failure round");
+    let topo = power_law_mesh(cfg.nodes, cfg.capacity, cfg.seed);
+    let groups = srlg_groups(&topo, cfg.srlg_groups, cfg.seed);
+    let n = topo.num_nodes();
+    assert!(
+        cfg.demand_pairs <= n * n - n,
+        "more demand pairs than ordered pairs"
+    );
+    let demand = sample_demand_pairs(n, cfg.demand_pairs, cfg.seed);
+    let mut loads = vec![0.0_f64; n * n];
+    for &(i, j) in &demand {
+        loads[i * n + j] = cfg.load_per_pair;
+    }
+    let traffic = TrafficMatrix::from_fn(n, |i, j| loads[i * n + j]);
+    let num_links = topo.num_links();
+    let mut plan = RoutingPlan::min_hop_capped(topo, &traffic, cfg.max_hops, cfg.candidate_cap);
+
+    // Warm the demanded pairs: after this, every eviction count below is
+    // real invalidation work the incremental store saves the rest of.
+    for &(i, j) in &demand {
+        plan.candidates(i, j);
+    }
+    let warmed_pairs = plan.path_store().cached_pairs();
+
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    for round in 0..cfg.rounds {
+        let group = round % groups.len();
+        let failures = FailureSchedule::static_down(groups[group].iter().copied());
+        let evicted_on_failure = apply_static_failures(&mut plan, &failures);
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate {
+                max_hops: cfg.max_hops,
+            },
+            traffic: &traffic,
+            warmup: cfg.warmup,
+            horizon: cfg.horizon,
+            seed: cfg.seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            failures: &failures,
+        });
+        let mut evicted_on_revival = 0;
+        for &l in &groups[group] {
+            evicted_on_revival += plan.set_link_state(l, true);
+        }
+        rounds.push(RoundResult {
+            round,
+            group,
+            links_down: groups[group].len(),
+            evicted_on_failure,
+            evicted_on_revival,
+            offered: r.offered,
+            blocked: r.blocked,
+            blocking: r.blocking(),
+            carried_alternate: r.carried_alternate,
+        });
+    }
+    LargeMeshReport {
+        config: cfg.clone(),
+        num_links,
+        total_pairs: n * n - n,
+        warmed_pairs,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert_eq!(LargeMeshConfig::preset("smoke").unwrap().nodes, 200);
+        assert_eq!(LargeMeshConfig::preset("full").unwrap().nodes, 1000);
+        assert!(LargeMeshConfig::preset("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_run_is_deterministic_and_incremental() {
+        let cfg = LargeMeshConfig {
+            // Trimmed further for the unit suite; the CI smoke stage runs
+            // the real smoke preset through the CLI.
+            nodes: 80,
+            demand_pairs: 120,
+            rounds: 3,
+            horizon: 6.0,
+            ..LargeMeshConfig::smoke()
+        };
+        let a = run_largemesh(&cfg);
+        assert_eq!(a.rounds.len(), 3);
+        assert_eq!(a.warmed_pairs, cfg.demand_pairs);
+        assert!(a.total_offered() > 0);
+        for r in &a.rounds {
+            assert!(r.links_down > 0);
+            assert!(r.offered > 0);
+            // Incremental work stays well under a full rebuild.
+            assert!(
+                r.evicted_on_failure * 2 < a.total_pairs,
+                "round {} evicted {} of {} pairs",
+                r.round,
+                r.evicted_on_failure,
+                a.total_pairs
+            );
+        }
+        // Rolling failures really do invalidate something.
+        assert!(a.rounds.iter().any(|r| r.evicted_on_failure > 0));
+
+        // Deterministic: a second run reproduces every number.
+        let b = run_largemesh(&cfg);
+        assert_eq!(a.total_offered(), b.total_offered());
+        assert_eq!(a.total_blocked(), b.total_blocked());
+        for (x, y) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(x.evicted_on_failure, y.evicted_on_failure);
+            assert_eq!(x.evicted_on_revival, y.evicted_on_revival);
+            assert_eq!(x.offered, y.offered);
+            assert_eq!(x.blocked, y.blocked);
+        }
+    }
+}

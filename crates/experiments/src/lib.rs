@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod largemesh;
 pub mod metastability;
 pub mod output;
 pub mod progress;
 pub mod runs;
 
 pub use chart::{render as render_chart, Series};
+pub use largemesh::{run_largemesh, LargeMeshConfig, LargeMeshReport, RoundResult};
 pub use metastability::{
     run_metastability, run_metastability_served, ArmResult, FlightCapture, HysteresisReport,
     MetastabilityConfig, StartState,

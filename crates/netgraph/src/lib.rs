@@ -14,10 +14,16 @@
 //!   alternate-path sets produced by the DALFAR-style distributed
 //!   algorithm the paper cites), Dijkstra shortest paths under arbitrary
 //!   non-negative link weights, and Yen's K-shortest loop-free paths.
+//! * [`store`] — a lazy, incrementally-maintained cache of per-O-D
+//!   candidate path sets ([`store::PathStore`]): demand-driven fill
+//!   through the enumerators above, a reverse link→pair index so a link
+//!   state change evicts only the pairs whose cached sets traverse it,
+//!   and hop-bounded eviction on link revival.
 //! * [`topologies`] — the paper's two experimental networks (the fully
 //!   connected quadrangle of §4.1 and the 12-node NSFNet T3 backbone of
 //!   §4.2/Fig. 5) plus generic generators (full mesh, ring, line, grid,
-//!   deterministic random mesh).
+//!   deterministic random mesh) and an ISP-scale tier (power-law-degree
+//!   meshes, grid/ring composites, SRLG-style correlated outage groups).
 //! * [`traffic`] — traffic matrices (Erlangs per ordered node pair),
 //!   generators, linear scaling for load sweeps, and the per-link primary
 //!   traffic demand `Λ^k` of the paper's Eq. 1.
@@ -37,9 +43,11 @@ pub mod disjoint;
 pub mod estimate;
 pub mod graph;
 pub mod paths;
+pub mod store;
 pub mod topologies;
 pub mod traffic;
 
 pub use graph::{LinkId, NodeId, Topology};
 pub use paths::Path;
+pub use store::PathStore;
 pub use traffic::TrafficMatrix;

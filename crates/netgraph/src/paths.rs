@@ -129,22 +129,104 @@ pub fn min_hop_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
     Path::from_nodes(topo, &nodes)
 }
 
+/// The BFS shortest-path tree rooted at `src`: for every node, its parent
+/// on the lexicographically smallest minimum-hop path from `src` (`None`
+/// for `src` itself and for unreachable nodes).
+///
+/// Because [`Topology::out_links`] is sorted by destination, the first
+/// parent BFS assigns to each node is exactly the parent the per-pair
+/// search in [`min_hop_path`] would assign — that search's early exit at
+/// `dst` only truncates exploration *after* every settled node already
+/// holds its final parent, so one full tree reconstructs the identical
+/// path for every destination.
+pub fn min_hop_tree(topo: &Topology, src: NodeId) -> Vec<Option<NodeId>> {
+    let n = topo.num_nodes();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    if src >= n {
+        return parent;
+    }
+    seen[src] = true;
+    let mut frontier = std::collections::VecDeque::new();
+    frontier.push_back(src);
+    while let Some(u) = frontier.pop_front() {
+        for &l in topo.out_links(u) {
+            let v = topo.link(l).dst;
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some(u);
+                frontier.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
 /// The complete minimum-hop primary path assignment: one path per ordered
 /// pair (row-major `src * n + dst`; `None` on the diagonal and for
 /// unreachable pairs).
+///
+/// Computed from one shortest-path tree per source ([`min_hop_tree`],
+/// O(N·E) total) rather than one BFS per ordered pair (O(N²·E)); the
+/// resulting paths are byte-identical to per-pair [`min_hop_path`] calls
+/// (pinned by a parity test), because the tree *is* the per-pair search's
+/// parent assignment.
 pub fn min_hop_primaries(topo: &Topology) -> Vec<Option<Path>> {
     let n = topo.num_nodes();
     let mut out = Vec::with_capacity(n * n);
+    let mut nodes: Vec<NodeId> = Vec::new();
     for i in 0..n {
-        for j in 0..n {
-            out.push(if i == j {
-                None
-            } else {
-                min_hop_path(topo, i, j)
-            });
+        let tree = min_hop_tree(topo, i);
+        for (j, parent) in tree.iter().enumerate() {
+            if i == j || parent.is_none() {
+                out.push(None);
+                continue;
+            }
+            nodes.clear();
+            nodes.push(j);
+            let mut cur = j;
+            while let Some(p) = tree[cur] {
+                nodes.push(p);
+                cur = p;
+            }
+            nodes.reverse();
+            debug_assert_eq!(nodes[0], i);
+            out.push(Path::from_nodes(topo, &nodes));
         }
     }
     out
+}
+
+/// Reusable depth-first-search scratch for the loop-free path
+/// enumerators: the visited bitmap and the node stack that
+/// [`loop_free_paths`]/[`loop_free_paths_capped`] would otherwise
+/// allocate afresh on every call.
+///
+/// Callers enumerating many pairs (plan construction, the
+/// [`crate::store::PathStore`] cache) thread one scratch through
+/// [`loop_free_paths_in`]/[`loop_free_paths_capped_in`] to amortise the
+/// allocations; the buffers are re-prepared per call, so a scratch can be
+/// reused across topologies of any size.
+#[derive(Debug, Clone, Default)]
+pub struct DfsScratch {
+    visited: Vec<bool>,
+    stack: Vec<NodeId>,
+}
+
+impl DfsScratch {
+    /// A fresh (empty) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the buffers for a search from `src` on an `n`-node graph.
+    fn prepare(&mut self, n: usize, src: NodeId) {
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.visited[src] = true;
+        self.stack.clear();
+        self.stack.push(src);
+    }
 }
 
 /// All loop-free paths from `src` to `dst` with at most `max_hops` links,
@@ -155,14 +237,34 @@ pub fn min_hop_primaries(topo: &Topology) -> Vec<Option<Path>> {
 /// meshes like NSFNet the result sets are small (§4.2.2 reports ~9 paths
 /// per pair on average).
 pub fn loop_free_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usize) -> Vec<Path> {
+    loop_free_paths_in(topo, src, dst, max_hops, &mut DfsScratch::new(), |_| true)
+}
+
+/// As [`loop_free_paths`], but reusing a caller-provided [`DfsScratch`]
+/// and restricted to links for which `live(link)` is true.
+///
+/// With `live` always true the output is identical to
+/// [`loop_free_paths`]; a mask that excludes failed links yields exactly
+/// the enumeration of the surviving subgraph, in the same canonical
+/// `(hop count, node sequence)` order.
+pub fn loop_free_paths_in<F>(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    scratch: &mut DfsScratch,
+    live: F,
+) -> Vec<Path>
+where
+    F: Fn(LinkId) -> bool,
+{
     let mut result = Vec::new();
     if src == dst || src >= topo.num_nodes() || dst >= topo.num_nodes() || max_hops == 0 {
         return result;
     }
-    let mut visited = vec![false; topo.num_nodes()];
-    let mut stack = vec![src];
-    visited[src] = true;
-    dfs_paths(topo, dst, max_hops, &mut visited, &mut stack, &mut result);
+    scratch.prepare(topo.num_nodes(), src);
+    let DfsScratch { visited, stack } = scratch;
+    dfs_paths(topo, dst, max_hops, visited, stack, &mut result, &live);
     // DFS in sorted-adjacency order yields lexicographic order per length
     // already for equal-length prefixes, but mixed lengths interleave;
     // sort by (hops, node sequence) for the canonical attempt order.
@@ -174,19 +276,25 @@ pub fn loop_free_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usiz
     result
 }
 
-fn dfs_paths(
+fn dfs_paths<F>(
     topo: &Topology,
     dst: NodeId,
     max_hops: usize,
     visited: &mut [bool],
     stack: &mut Vec<NodeId>,
     result: &mut Vec<Path>,
-) {
+    live: &F,
+) where
+    F: Fn(LinkId) -> bool,
+{
     let u = *stack.last().unwrap();
     if stack.len() - 1 == max_hops {
         return;
     }
     for &l in topo.out_links(u) {
+        if !live(l) {
+            continue;
+        }
         let v = topo.link(l).dst;
         if v == dst {
             stack.push(v);
@@ -195,7 +303,7 @@ fn dfs_paths(
         } else if !visited[v] {
             visited[v] = true;
             stack.push(v);
-            dfs_paths(topo, dst, max_hops, visited, stack, result);
+            dfs_paths(topo, dst, max_hops, visited, stack, result, live);
             stack.pop();
             visited[v] = false;
         }
@@ -221,19 +329,47 @@ pub fn loop_free_paths_capped(
     max_hops: usize,
     cap: usize,
 ) -> Vec<Path> {
+    loop_free_paths_capped_in(
+        topo,
+        src,
+        dst,
+        max_hops,
+        cap,
+        &mut DfsScratch::new(),
+        |_| true,
+    )
+}
+
+/// As [`loop_free_paths_capped`], but reusing a caller-provided
+/// [`DfsScratch`] and restricted to links for which `live(link)` is true.
+///
+/// With `live` always true the output is identical to
+/// [`loop_free_paths_capped`]; with a failure mask it is the first `cap`
+/// entries of the surviving subgraph's canonical enumeration.
+pub fn loop_free_paths_capped_in<F>(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    max_hops: usize,
+    cap: usize,
+    scratch: &mut DfsScratch,
+    live: F,
+) -> Vec<Path>
+where
+    F: Fn(LinkId) -> bool,
+{
     let mut result = Vec::new();
     if src == dst || src >= topo.num_nodes() || dst >= topo.num_nodes() || max_hops == 0 || cap == 0
     {
         return result;
     }
-    let mut visited = vec![false; topo.num_nodes()];
-    let mut stack = vec![src];
-    visited[src] = true;
+    scratch.prepare(topo.num_nodes(), src);
+    let DfsScratch { visited, stack } = scratch;
     for hops in 1..=max_hops {
         if result.len() >= cap {
             break;
         }
-        dfs_paths_exact(topo, dst, hops, &mut visited, &mut stack, &mut result, cap);
+        dfs_paths_exact(topo, dst, hops, visited, stack, &mut result, cap, &live);
     }
     result
 }
@@ -241,7 +377,8 @@ pub fn loop_free_paths_capped(
 /// Emit the simple paths with exactly `hops` links ending at `dst`, in
 /// lexicographic node-sequence order, stopping once `result` holds `cap`
 /// paths.
-fn dfs_paths_exact(
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths_exact<F>(
     topo: &Topology,
     dst: NodeId,
     hops: usize,
@@ -249,13 +386,19 @@ fn dfs_paths_exact(
     stack: &mut Vec<NodeId>,
     result: &mut Vec<Path>,
     cap: usize,
-) {
+    live: &F,
+) where
+    F: Fn(LinkId) -> bool,
+{
     if result.len() >= cap {
         return;
     }
     let u = *stack.last().unwrap();
     let remaining = hops + 1 - stack.len();
     for &l in topo.out_links(u) {
+        if !live(l) {
+            continue;
+        }
         let v = topo.link(l).dst;
         if remaining == 1 {
             if v == dst {
@@ -269,7 +412,7 @@ fn dfs_paths_exact(
         } else if v != dst && !visited[v] {
             visited[v] = true;
             stack.push(v);
-            dfs_paths_exact(topo, dst, hops, visited, stack, result, cap);
+            dfs_paths_exact(topo, dst, hops, visited, stack, result, cap, live);
             stack.pop();
             visited[v] = false;
             if result.len() >= cap {
@@ -509,6 +652,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tree_primaries_match_per_pair_bfs() {
+        // The one-tree-per-source assignment must be byte-identical to the
+        // old one-BFS-per-pair construction on every topology shape we ship.
+        let topos = [
+            diamond(),
+            topologies::nsfnet(100),
+            topologies::full_mesh(6, 10),
+            topologies::grid(4, 5, 30),
+            topologies::random_mesh(12, 8, 40, 0xA11CE),
+        ];
+        for t in &topos {
+            let n = t.num_nodes();
+            let prim = min_hop_primaries(t);
+            for i in 0..n {
+                for j in 0..n {
+                    let direct = if i == j { None } else { min_hop_path(t, i, j) };
+                    assert_eq!(prim[i * n + j], direct, "pair {i}->{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_enumeration_matches_subgraph_filter() {
+        // Enumerating with a live-link mask must equal filtering the full
+        // enumeration down to paths avoiding the dead links (same order).
+        let t = topologies::nsfnet(100);
+        let dead = [
+            t.link_between(1, 2).unwrap(),
+            t.link_between(2, 1).unwrap(),
+            t.link_between(5, 6).unwrap(),
+        ];
+        let live = |l: LinkId| !dead.contains(&l);
+        let mut scratch = DfsScratch::new();
+        for (i, j) in [(0usize, 6usize), (3, 9), (1, 13)] {
+            let expected: Vec<Path> = loop_free_paths(&t, i, j, 4)
+                .into_iter()
+                .filter(|p| p.links().iter().all(|&l| live(l)))
+                .collect();
+            let got = loop_free_paths_in(&t, i, j, 4, &mut scratch, live);
+            assert_eq!(got, expected, "pair {i}->{j}");
+            let capped = loop_free_paths_capped_in(&t, i, j, 4, 3, &mut scratch, live);
+            assert_eq!(capped.as_slice(), &expected[..3.min(expected.len())]);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_topologies_is_clean() {
+        // A scratch carried from a larger graph must not leak state into a
+        // search on a smaller one.
+        let mut scratch = DfsScratch::new();
+        let big = topologies::full_mesh(20, 10);
+        let _ = loop_free_paths_in(&big, 0, 19, 3, &mut scratch, |_| true);
+        let small = diamond();
+        let reused = loop_free_paths_in(&small, 0, 3, 3, &mut scratch, |_| true);
+        assert_eq!(reused, loop_free_paths(&small, 0, 3, 3));
     }
 
     #[test]

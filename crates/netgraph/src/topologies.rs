@@ -6,16 +6,24 @@
 //!   reconstructed from the 30 directed links listed in Table 1.
 //! * [`full_mesh`], [`ring`], [`line()`], [`grid`], [`random_mesh`] —
 //!   generators for tests, examples, and benches.
+//! * [`power_law_mesh`], [`grid_ring`], [`srlg_groups`] — the ISP-scale
+//!   tier: thousand-node preferential-attachment meshes with realistic
+//!   skewed degree distributions, grid-core/ring-periphery composites,
+//!   and SRLG-style correlated outage groups that fail as a unit.
 //!
 //! All links are duplex pairs of unidirectional links with equal capacity,
 //! matching the paper's modelling assumption.
 
-use crate::graph::Topology;
+use crate::graph::{LinkId, Topology};
 use crate::traffic::TrafficMatrix;
 
 /// Deterministic u64 stream: splitmix64 seeding then xorshift64*.
 /// Dependency-free, and adjacent seeds give unrelated streams.
-fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
+///
+/// Public so downstream tiers (demand sampling in the `largemesh`
+/// experiment, SRLG schedules) can derive reproducible randomness from
+/// the same generator family the topology generators use.
+pub fn xorshift_stream(seed: u64) -> impl FnMut() -> u64 {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -280,6 +288,127 @@ pub fn random_instance(seed: u64) -> RandomInstance {
     }
 }
 
+/// An ISP-scale mesh with a power-law-ish degree distribution, grown by
+/// preferential attachment: a 4-node seed ring, then each new node
+/// attaches two duplex uplinks to distinct existing nodes sampled with
+/// probability proportional to current degree (Barabási–Albert with
+/// m = 2). Early nodes accumulate hub degrees while the tail stays at
+/// degree ~2–3, matching the skewed degree profiles of real backbone
+/// topologies.
+///
+/// Strongly connected by construction (every node attaches to the
+/// existing connected component with duplex links) and deterministic per
+/// seed.
+///
+/// # Panics
+///
+/// Panics if `n < 5`.
+pub fn power_law_mesh(n: usize, capacity: u32, seed: u64) -> Topology {
+    assert!(n >= 5, "power-law mesh needs at least 5 nodes");
+    let mut t = Topology::new();
+    t.add_nodes(n);
+    // Degree-weighted sampling pool: every duplex edge contributes both
+    // endpoints, so a uniform draw from the pool is a draw proportional
+    // to degree.
+    let mut pool: Vec<usize> = Vec::with_capacity(4 * n);
+    for i in 0..4 {
+        let j = (i + 1) % 4;
+        t.add_duplex(i, j, capacity);
+        pool.push(i);
+        pool.push(j);
+    }
+    let mut next = xorshift_stream(seed ^ 0x15B4_BA51_A77A_C4ED);
+    for i in 4..n {
+        let mut attached = 0;
+        while attached < 2 {
+            let target = pool[(next() % pool.len() as u64) as usize];
+            if target == i || t.link_between(i, target).is_some() {
+                continue;
+            }
+            t.add_duplex(i, target, capacity);
+            pool.push(i);
+            pool.push(target);
+            attached += 1;
+        }
+    }
+    t
+}
+
+/// A grid/ring composite: a `rows × cols` grid core (a metro backbone)
+/// surrounded by a `ring_nodes`-node peripheral ring (an access loop),
+/// with one spoke from every ring node down to a grid node, spread evenly
+/// around the core. Node ids are grid-first (`0 .. rows·cols`), ring
+/// nodes follow.
+///
+/// Deterministic (no randomness) and strongly connected.
+///
+/// # Panics
+///
+/// Panics if the grid is smaller than 2 nodes or `ring_nodes < 3`.
+pub fn grid_ring(rows: usize, cols: usize, ring_nodes: usize, capacity: u32) -> Topology {
+    assert!(ring_nodes >= 3, "ring needs at least 3 nodes");
+    let mut t = grid(rows, cols, capacity);
+    let core = rows * cols;
+    t.add_nodes(ring_nodes);
+    for k in 0..ring_nodes {
+        t.add_duplex(core + k, core + (k + 1) % ring_nodes, capacity);
+    }
+    for k in 0..ring_nodes {
+        t.add_duplex(core + k, k * core / ring_nodes, capacity);
+    }
+    t
+}
+
+/// Partitions a topology's links into `num_groups` SRLG-style correlated
+/// outage groups that fail (and recover) as a unit, modelling shared
+/// conduits: the two directions of a duplex pair always land in the same
+/// group, duplex units are dealt round-robin after a seeded shuffle, and
+/// each group's link ids come back sorted. Every link appears in exactly
+/// one group; deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `num_groups` is zero or exceeds the number of duplex units.
+pub fn srlg_groups(topo: &Topology, num_groups: usize, seed: u64) -> Vec<Vec<LinkId>> {
+    assert!(num_groups > 0, "need at least one SRLG group");
+    // Collect duplex units: a link and its reverse (if any) form one unit.
+    let mut units: Vec<Vec<LinkId>> = Vec::new();
+    let mut claimed = vec![false; topo.num_links()];
+    for l in 0..topo.num_links() {
+        if claimed[l] {
+            continue;
+        }
+        claimed[l] = true;
+        let link = topo.link(l);
+        let mut unit = vec![l];
+        if let Some(rev) = topo.link_between(link.dst, link.src) {
+            if !claimed[rev] {
+                claimed[rev] = true;
+                unit.push(rev);
+            }
+        }
+        units.push(unit);
+    }
+    assert!(
+        num_groups <= units.len(),
+        "at most {} duplex units exist",
+        units.len()
+    );
+    let mut next = xorshift_stream(seed ^ 0x5317_6CA7_7E57_D0D0);
+    for i in (1..units.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        units.swap(i, j);
+    }
+    let mut groups = vec![Vec::new(); num_groups];
+    for (i, unit) in units.into_iter().enumerate() {
+        groups[i % num_groups].extend(unit);
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +552,83 @@ mod tests {
     #[should_panic(expected = "at most")]
     fn random_mesh_chord_budget_enforced() {
         random_mesh(4, 100, 1, 1);
+    }
+
+    #[test]
+    fn power_law_mesh_is_deterministic_connected_and_skewed() {
+        let n = 300;
+        let a = power_law_mesh(n, 48, 7);
+        let b = power_law_mesh(n, 48, 7);
+        assert_eq!(a.num_links(), b.num_links());
+        for l in 0..a.num_links() {
+            assert_eq!(
+                (a.link(l).src, a.link(l).dst),
+                (b.link(l).src, b.link(l).dst)
+            );
+        }
+        assert!(a.is_strongly_connected());
+        // Ring seed (4 edges) + 2 duplex uplinks per later node.
+        assert_eq!(a.num_links(), 2 * (4 + 2 * (n - 4)));
+        // Preferential attachment concentrates degree: some hub must hold
+        // several times the mean degree, while the median stays small.
+        let mut degrees: Vec<usize> = (0..n).map(|v| a.out_degree(v)).collect();
+        degrees.sort_unstable();
+        let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+        assert!(
+            *degrees.last().unwrap() as f64 >= 3.0 * mean,
+            "max degree {} vs mean {mean}",
+            degrees.last().unwrap()
+        );
+        assert!(degrees[n / 2] <= 3, "median degree {}", degrees[n / 2]);
+        // Distinct seeds give distinct graphs.
+        let c = power_law_mesh(n, 48, 8);
+        let same = (0..a.num_links())
+            .all(|l| (a.link(l).src, a.link(l).dst) == (c.link(l).src, c.link(l).dst));
+        assert!(!same, "distinct seeds should differ");
+    }
+
+    #[test]
+    fn grid_ring_composite_is_connected_with_expected_size() {
+        let t = grid_ring(3, 4, 6, 20);
+        assert_eq!(t.num_nodes(), 3 * 4 + 6);
+        // Grid: horizontal 3·3 + vertical 2·4 = 17 duplex; ring 6; spokes 6.
+        assert_eq!(t.num_links(), 2 * (17 + 6 + 6));
+        assert!(t.is_strongly_connected());
+        // Every ring node carries exactly one spoke into the core.
+        for k in 0..6 {
+            assert!(t.link_between(12 + k, k * 12 / 6).is_some());
+        }
+    }
+
+    #[test]
+    fn srlg_groups_partition_links_with_duplex_mates_together() {
+        let t = power_law_mesh(60, 10, 3);
+        let groups = srlg_groups(&t, 7, 99);
+        assert_eq!(groups, srlg_groups(&t, 7, 99), "deterministic per seed");
+        assert_ne!(groups, srlg_groups(&t, 7, 100), "seed-sensitive");
+        assert_eq!(groups.len(), 7);
+        let mut seen = vec![0usize; t.num_links()];
+        for g in &groups {
+            assert!(!g.is_empty());
+            assert!(g.windows(2).all(|w| w[0] < w[1]), "sorted within group");
+            for &l in g {
+                seen[l] += 1;
+                let link = t.link(l);
+                let rev = t.link_between(link.dst, link.src).expect("duplex mesh");
+                assert!(g.contains(&rev), "duplex mate of {l} in another group");
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each link in exactly one group"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn srlg_group_count_bounded_by_units() {
+        let t = quadrangle();
+        srlg_groups(&t, 100, 1);
     }
 
     #[test]

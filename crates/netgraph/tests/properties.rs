@@ -4,7 +4,7 @@ use altroute_netgraph::cuts::{cut_load, erlang_bound};
 use altroute_netgraph::paths::{
     dijkstra, loop_free_paths, min_hop_path, min_hop_primaries, yen_k_shortest,
 };
-use altroute_netgraph::topologies::random_mesh;
+use altroute_netgraph::topologies::{power_law_mesh, random_mesh, srlg_groups};
 use altroute_netgraph::traffic::{min_hop_primary_loads, TrafficMatrix};
 use proptest::prelude::*;
 
@@ -84,6 +84,74 @@ proptest! {
         h1.sort_unstable();
         h2.sort_unstable();
         prop_assert_eq!(h1, h2);
+    }
+
+    /// Yen's *ranking* agrees with the exhaustive enumeration's canonical
+    /// order: for every prefix length k, the k shortest paths Yen returns
+    /// have exactly the hop counts of the first k enumerated paths (ties
+    /// may be ordered differently within a hop class, but never across
+    /// one).
+    #[test]
+    fn yen_ranking_agrees_with_enumeration_prefixes(
+        topo in mesh(),
+        src_sel in 0usize..100,
+        dst_sel in 0usize..100,
+    ) {
+        let n = topo.num_nodes();
+        let (src, dst) = (src_sel % n, dst_sel % n);
+        prop_assume!(src != dst);
+        let all = loop_free_paths(&topo, src, dst, n - 1);
+        for k in 1..=all.len() {
+            let yen = yen_k_shortest(&topo, src, dst, k, |_| 1.0);
+            prop_assert_eq!(yen.len(), k);
+            for (y, a) in yen.iter().zip(&all) {
+                prop_assert_eq!(y.hops(), a.hops(), "rank mismatch at k={}", k);
+            }
+            // Each returned path really is one of the enumerated ones.
+            for y in &yen {
+                prop_assert!(all.contains(y));
+            }
+        }
+    }
+
+    /// The ISP-scale generators are deterministic per seed and emit valid
+    /// topologies: power-law meshes are strongly connected with the exact
+    /// preferential-attachment link budget, and SRLG groups partition the
+    /// links with duplex mates kept together.
+    #[test]
+    fn isp_scale_generators_are_deterministic_and_valid(
+        n in 5usize..60,
+        groups in 1usize..8,
+        seed in 1u64..10_000,
+    ) {
+        let a = power_law_mesh(n, 16, seed);
+        let b = power_law_mesh(n, 16, seed);
+        prop_assert_eq!(a.num_links(), b.num_links());
+        for l in 0..a.num_links() {
+            prop_assert_eq!(
+                (a.link(l).src, a.link(l).dst),
+                (b.link(l).src, b.link(l).dst)
+            );
+        }
+        prop_assert!(a.is_strongly_connected());
+        prop_assert_eq!(a.num_links(), 2 * (4 + 2 * (n - 4)));
+
+        let units = a.num_links() / 2;
+        let groups = groups.min(units);
+        let sg = srlg_groups(&a, groups, seed);
+        prop_assert_eq!(&sg, &srlg_groups(&a, groups, seed));
+        prop_assert_eq!(sg.len(), groups);
+        let mut seen = vec![0usize; a.num_links()];
+        for g in &sg {
+            prop_assert!(!g.is_empty());
+            for &l in g {
+                seen[l] += 1;
+                let link = a.link(l);
+                let rev = a.link_between(link.dst, link.src).expect("duplex");
+                prop_assert!(g.contains(&rev));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
     }
 
     /// Dijkstra under unit weights equals BFS hop count.

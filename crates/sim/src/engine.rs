@@ -629,6 +629,27 @@ fn build_spec(
     (capacities, sources, link_events, kernel_config)
 }
 
+/// Pushes a schedule's *static* outages into the plan's candidate-path
+/// store, so selectors see post-outage candidate sets (paths through the
+/// downed links disappear from `plan.candidates()`) instead of burning
+/// attempts on links the kernel will refuse anyway. Returns the number
+/// of O-D pairs whose cached sets were evicted (each recomputes lazily).
+///
+/// This is deliberately opt-in rather than part of `run_seed`: the
+/// historical contract — and every checked-in golden trace — has blocked
+/// calls *attempt* paths through statically-down links and overflow past
+/// them, so rewriting candidate sets implicitly would change traces.
+/// Large-mesh tiers under rolling correlated failures call this per
+/// round (and revive with [`RoutingPlan::set_link_state`]) to keep
+/// attempt sequences proportional to the surviving topology.
+pub fn apply_static_failures(plan: &mut RoutingPlan, failures: &FailureSchedule) -> usize {
+    failures
+        .statically_down()
+        .iter()
+        .map(|&l| plan.set_link_state(l, false))
+        .sum()
+}
+
 /// Runs one replication with both a trace sink and a telemetry recorder
 /// attached. [`run_seed`], [`run_seed_traced`], and [`run_seed_recorded`]
 /// are this function with the respective no-op observers; both no-ops
@@ -1000,6 +1021,37 @@ mod tests {
         });
         assert_eq!(r2.per_pair_blocked[1], 0);
         assert!(r2.carried_alternate > 0);
+    }
+
+    #[test]
+    fn static_failures_can_be_pushed_into_the_path_store() {
+        let topo = topologies::quadrangle();
+        let m = TrafficMatrix::uniform(4, 10.0);
+        let mut plan = RoutingPlan::min_hop(topo, &m, 3);
+        let direct = plan.topology().link_between(0, 1).unwrap();
+        // Force the cache so there is something to invalidate.
+        for (i, j) in [(0usize, 1usize), (2, 3)] {
+            plan.candidates(i, j);
+        }
+        let failures = FailureSchedule::static_down([direct]);
+        let evicted = apply_static_failures(&mut plan, &failures);
+        assert!(evicted > 0);
+        assert!(plan.candidates(0, 1).iter().all(|p| !p.uses_link(direct)));
+        // Re-applying is a no-op (the store tracks link state).
+        assert_eq!(apply_static_failures(&mut plan, &failures), 0);
+        // The store-aware plan runs fine: alternates still rescue (0, 1)
+        // without ever attempting the dead direct link.
+        let r = run_seed(&RunConfig {
+            plan: &plan,
+            policy: PolicyKind::ControlledAlternate { max_hops: 3 },
+            traffic: &m,
+            warmup: 2.0,
+            horizon: 30.0,
+            seed: 3,
+            failures: &failures,
+        });
+        assert_eq!(r.per_pair_blocked[1], 0);
+        assert!(r.carried_alternate > 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 #
 # Stages: fmt | clippy | test | conformance | telemetry |
 # telemetry-overhead | parity | shard-parity | metastability-smoke |
-# bench-smoke | all (default). Unknown stages fail fast.
+# largemesh-smoke | bench-smoke | all (default). Unknown stages fail fast.
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -210,6 +210,29 @@ stage_metastability_smoke() {
   grep -q '^4096 records over t = ' "$tmpdir/meta_replay"
 }
 
+# Largemesh smoke: the ISP-scale rolling-SRLG tier must run end to end
+# on the CI-sized preset (200-node power-law mesh), be bit-stable across
+# two invocations, and demonstrate the incremental invalidation it
+# exists to exercise: rolling correlated failures evict some cached
+# pairs each round, and the worst round stays far below the full-rebuild
+# obligation (every ordered pair). Deterministic (timings never enter
+# the report); seconds-scale in release.
+stage_largemesh_smoke() {
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    largemesh --metrics-json > "$tmpdir/largemesh.a"
+  cargo run --release -q -p altroute-experiments --bin altroute_cli -- \
+    largemesh --metrics-json > "$tmpdir/largemesh.b"
+  cmp "$tmpdir/largemesh.a" "$tmpdir/largemesh.b"
+  grep -q '"label": "largemesh:smoke"' "$tmpdir/largemesh.a"
+  grep -q '"nodes": 200' "$tmpdir/largemesh.a"
+  grep -q '"evicted_on_failure"' "$tmpdir/largemesh.a"
+  local max_evicted total_pairs
+  max_evicted=$(grep -o '"max_evicted": [0-9]*' "$tmpdir/largemesh.a" | grep -o '[0-9]*$')
+  total_pairs=$(grep -o '"total_pairs": [0-9]*' "$tmpdir/largemesh.a" | grep -o '[0-9]*$')
+  [ "$max_evicted" -gt 0 ]
+  [ $(( max_evicted * 10 )) -lt "$total_pairs" ]
+}
+
 # Bench smoke: the perf-baseline binary must run end to end in --quick
 # mode and emit a report that passes its own schema validation. No
 # timing thresholds here — the non-blocking regression gate is
@@ -232,15 +255,16 @@ run_stage() {
     parity)      stage_parity ;;
     shard-parity) stage_shard_parity ;;
     metastability-smoke) stage_metastability_smoke ;;
+    largemesh-smoke) stage_largemesh_smoke ;;
     bench-smoke) stage_bench_smoke ;;
     all)
       stage_fmt; stage_clippy; stage_test
       stage_conformance; stage_telemetry; stage_telemetry_overhead
       stage_parity; stage_shard_parity; stage_metastability_smoke
-      stage_bench_smoke
+      stage_largemesh_smoke; stage_bench_smoke
       ;;
     *)
-      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry telemetry-overhead parity shard-parity metastability-smoke bench-smoke all" >&2
+      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry telemetry-overhead parity shard-parity metastability-smoke largemesh-smoke bench-smoke all" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,237 @@
+//! JSON daemon configuration.
+//!
+//! A config file describes the controlled network and the estimator
+//! knobs (shown with the defaults every optional key falls back to):
+//!
+//! ```json
+//! {
+//!   "mesh": { "nodes": 4, "capacity": 20 },
+//!   "max_hops": 2,
+//!   "window": 1.0,
+//!   "recompute_every": 1,
+//!   "alpha": 1.0,
+//!   "mean_holding": 1.0
+//! }
+//! ```
+//!
+//! `mesh` declares a fully-connected `K_N` with uniform link capacity —
+//! the topology family of the metastability tier the control loop is
+//! demonstrated on. The pair→link incidence Eq. 15 needs is derived
+//! from the same minimum-hop primary assignment the simulator uses
+//! ([`PrimaryAssignment::min_hop`]), so the daemon's link numbering is
+//! the simulator's link numbering.
+
+use crate::control::{ControlPlane, Controller, ControllerTuning};
+use altroute_core::primary::PrimaryAssignment;
+use altroute_json::Value;
+use altroute_netgraph::topologies;
+
+/// Estimator/cadence knobs, re-exported under the config-surface name.
+pub type ControllerConfig = ControllerTuning;
+
+/// A fully parsed daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// What the controller controls.
+    pub plane: ControlPlane,
+    /// How it estimates and when it re-solves.
+    pub tuning: ControllerTuning,
+}
+
+fn get_f64(v: &Value, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .ok_or_else(|| format!("missing `{key}`"))?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
+impl DaemonConfig {
+    /// Decodes a configuration document.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        for key in v.keys() {
+            if !matches!(
+                key,
+                "mesh" | "max_hops" | "window" | "recompute_every" | "alpha" | "mean_holding"
+            ) {
+                return Err(format!("unknown config key `{key}`"));
+            }
+        }
+        let mesh = v.get("mesh").ok_or("missing `mesh`")?;
+        let nodes = get_u64(mesh, "nodes")? as usize;
+        let capacity = get_u64(mesh, "capacity")?;
+        if nodes < 2 {
+            return Err(format!("mesh needs at least 2 nodes, got {nodes}"));
+        }
+        let capacity =
+            u32::try_from(capacity).map_err(|_| format!("capacity {capacity} out of range"))?;
+        let max_hops = get_u64(v, "max_hops")?;
+        let max_hops =
+            u32::try_from(max_hops).map_err(|_| format!("max_hops {max_hops} out of range"))?;
+        if max_hops == 0 {
+            return Err("max_hops must be positive".to_string());
+        }
+        let defaults = ControllerTuning::default();
+        let tuning = ControllerTuning {
+            window: get_f64(v, "window", defaults.window)?,
+            recompute_every: {
+                let c = match v.get("recompute_every") {
+                    None => u64::from(defaults.recompute_every),
+                    Some(x) => x
+                        .as_u64()
+                        .ok_or("`recompute_every` must be a non-negative integer")?,
+                };
+                u32::try_from(c).map_err(|_| format!("recompute_every {c} out of range"))?
+            },
+            alpha: get_f64(v, "alpha", defaults.alpha)?,
+            mean_holding: get_f64(v, "mean_holding", defaults.mean_holding)?,
+        };
+        if !(tuning.window > 0.0 && tuning.window.is_finite()) {
+            return Err(format!("window must be positive, got {}", tuning.window));
+        }
+        if tuning.recompute_every == 0 {
+            return Err("recompute_every must be >= 1".to_string());
+        }
+        if !(tuning.alpha > 0.0 && tuning.alpha <= 1.0) {
+            return Err(format!("alpha must be in (0, 1], got {}", tuning.alpha));
+        }
+        if !(tuning.mean_holding > 0.0 && tuning.mean_holding.is_finite()) {
+            return Err(format!(
+                "mean_holding must be positive, got {}",
+                tuning.mean_holding
+            ));
+        }
+        Ok(Self {
+            plane: mesh_plane(nodes, capacity, max_hops),
+            tuning,
+        })
+    }
+
+    /// Reads and decodes a configuration file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let value = altroute_json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        Self::from_json(&value)
+    }
+
+    /// Builds the controller this configuration describes (all-zero
+    /// initial levels).
+    pub fn controller(&self) -> Controller {
+        Controller::new(self.plane.clone(), self.tuning)
+    }
+}
+
+/// The Eq.-15 control plane of `K_nodes` with uniform `capacity`:
+/// minimum-hop primaries (the direct link of each ordered pair) and the
+/// mesh's own link numbering.
+pub fn mesh_plane(nodes: usize, capacity: u32, max_hops: u32) -> ControlPlane {
+    let topo = topologies::full_mesh(nodes, capacity);
+    let primaries = PrimaryAssignment::min_hop(&topo);
+    let pair_links = (0..nodes * nodes)
+        .map(|idx| {
+            let (i, j) = (idx / nodes, idx % nodes);
+            primaries
+                .choose(i, j, 0.0)
+                .map(|p| p.links().to_vec())
+                .unwrap_or_default()
+        })
+        .collect();
+    let capacities = topo.links().iter().map(|l| l.capacity).collect();
+    ControlPlane {
+        nodes,
+        pair_links,
+        capacities,
+        max_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<DaemonConfig, String> {
+        DaemonConfig::from_json(&altroute_json::parse(text).expect("valid JSON"))
+    }
+
+    #[test]
+    fn full_config_round_trips() {
+        let cfg = parse(
+            r#"{ "mesh": { "nodes": 4, "capacity": 20 }, "max_hops": 2,
+                 "window": 2.0, "recompute_every": 3, "alpha": 0.5, "mean_holding": 1.5 }"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.plane.nodes, 4);
+        assert_eq!(cfg.plane.capacities.len(), 12, "K_4 has 12 directed links");
+        assert!(cfg.plane.capacities.iter().all(|&c| c == 20));
+        assert_eq!(cfg.tuning.window, 2.0);
+        assert_eq!(cfg.tuning.recompute_every, 3);
+        assert_eq!(cfg.tuning.alpha, 0.5);
+        assert_eq!(cfg.tuning.mean_holding, 1.5);
+        // On a full mesh every off-diagonal pair's primary is one link,
+        // and the incidence covers every link exactly once.
+        let mut seen = vec![0u32; cfg.plane.capacities.len()];
+        for (idx, links) in cfg.plane.pair_links.iter().enumerate() {
+            let (i, j) = (idx / 4, idx % 4);
+            if i == j {
+                assert!(links.is_empty());
+            } else {
+                assert_eq!(links.len(), 1);
+                seen[links[0]] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        cfg.controller(); // must not panic
+    }
+
+    #[test]
+    fn defaults_fill_optional_keys() {
+        let cfg = parse(r#"{ "mesh": { "nodes": 3, "capacity": 5 }, "max_hops": 2 }"#)
+            .expect("minimal config");
+        assert_eq!(cfg.tuning.window, 1.0);
+        assert_eq!(cfg.tuning.recompute_every, 1);
+        assert_eq!(cfg.tuning.alpha, 1.0);
+        assert_eq!(cfg.tuning.mean_holding, 1.0);
+    }
+
+    #[test]
+    fn bad_configs_are_rejected_with_reasons() {
+        for (text, needle) in [
+            (r#"{ "max_hops": 2 }"#, "missing `mesh`"),
+            (
+                r#"{ "mesh": { "nodes": 1, "capacity": 5 }, "max_hops": 2 }"#,
+                "at least 2 nodes",
+            ),
+            (
+                r#"{ "mesh": { "nodes": 3, "capacity": 5 } }"#,
+                "missing `max_hops`",
+            ),
+            (
+                r#"{ "mesh": { "nodes": 3, "capacity": 5 }, "max_hops": 0 }"#,
+                "max_hops must be positive",
+            ),
+            (
+                r#"{ "mesh": { "nodes": 3, "capacity": 5 }, "max_hops": 2, "window": 0 }"#,
+                "window must be positive",
+            ),
+            (
+                r#"{ "mesh": { "nodes": 3, "capacity": 5 }, "max_hops": 2, "alpha": 1.5 }"#,
+                "alpha must be in (0, 1]",
+            ),
+            (
+                r#"{ "mesh": { "nodes": 3, "capacity": 5 }, "max_hops": 2, "typo": 1 }"#,
+                "unknown config key `typo`",
+            ),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+}

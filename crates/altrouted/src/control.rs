@@ -1,0 +1,541 @@
+//! The deterministic controller: feed events in, level updates out.
+//!
+//! [`Controller`] is the whole control law with the I/O stripped away.
+//! It consumes validated [`FeedEvent`]s (or, on the in-process path,
+//! per-window arrival counts straight from a simulating selector),
+//! maintains the [`LoadEstimator`], and at every `recompute_every`-th
+//! completed window re-solves Eq. 15 over all links from the estimated
+//! `Λ^k`. When the re-solve changes any level it emits a
+//! [`LevelsUpdate`] — the unit the daemon writes to its update stream,
+//! pushes into an [`AdmissionPolicy::set_levels`] hook, and publishes to
+//! `/status`.
+//!
+//! Nothing in here reads a clock, allocates nondeterministically, or
+//! touches a socket: given the same event sequence the update sequence
+//! is byte-reproducible, which is what the golden fixture test pins.
+//!
+//! [`AdmissionPolicy::set_levels`]: LevelsUpdate
+
+use altroute_telemetry::feed::{FeedEvent, LoadEstimator};
+use altroute_teletraffic::estimate::{offered_link_loads, protection_levels_for};
+
+/// The static description of what the controller controls: the demand
+/// pairs, each pair's primary-path links (the Eq.-15 incidence), and the
+/// per-link capacities and design parameter `H`.
+///
+/// Pair indexing is dense row-major `src * nodes + dst`; pairs with no
+/// primary (the diagonal, or disconnected pairs) have an empty link
+/// list and their arrivals contribute to no link.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    /// Number of nodes (feed arrivals must have `src, dst < nodes`).
+    pub nodes: usize,
+    /// `nodes * nodes` entries: link ids of each pair's primary path.
+    pub pair_links: Vec<Vec<usize>>,
+    /// Per-link capacities `C^k`.
+    pub capacities: Vec<u32>,
+    /// The paper's `H`: the worst alternate-path hop count Eq. 15
+    /// guards against.
+    pub max_hops: u32,
+}
+
+impl ControlPlane {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair_links` is not `nodes * nodes` long or any link id
+    /// is out of range.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.pair_links.len(),
+            self.nodes * self.nodes,
+            "one primary link list per ordered pair"
+        );
+        let links = self.capacities.len();
+        for pl in &self.pair_links {
+            for &k in pl {
+                assert!(k < links, "primary link id {k} out of range (< {links})");
+            }
+        }
+        assert!(self.max_hops > 0, "H must be positive");
+    }
+}
+
+/// Estimator and cadence knobs (see [`crate::config`] for the JSON
+/// surface and defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerTuning {
+    /// Estimator window width (sim-time units).
+    pub window: f64,
+    /// Re-solve Eq. 15 every this many completed windows.
+    pub recompute_every: u32,
+    /// EWMA weight on the newest window (`1.0` = latest window only).
+    pub alpha: f64,
+    /// Mean call holding time, converting arrival rates to Erlangs
+    /// (`1.0` for the kernel's unit-mean exponential holds).
+    pub mean_holding: f64,
+}
+
+impl Default for ControllerTuning {
+    fn default() -> Self {
+        Self {
+            window: 1.0,
+            recompute_every: 1,
+            alpha: 1.0,
+            mean_holding: 1.0,
+        }
+    }
+}
+
+/// One emitted level change: the re-solve at window boundary `at`
+/// produced levels different from the ones currently pushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelsUpdate {
+    /// The window boundary (sim time) the re-solve happened at.
+    pub at: f64,
+    /// Completed-window count at emission (1-based: the first window
+    /// closes as window 1).
+    pub window: u64,
+    /// How many links changed level.
+    pub changed: usize,
+    /// The full new per-link level vector `r^k`.
+    pub levels: Vec<u32>,
+    /// Largest estimated link load `Λ^k` at the re-solve (diagnostic).
+    pub max_load: f64,
+}
+
+/// Why the controller refused a structurally valid feed record. The
+/// daemon counts these and keeps going (skip-and-count), exactly like
+/// parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// `src` or `dst` is not a node of the controlled network, or the
+    /// pair is degenerate (`src == dst`).
+    NodeOutOfRange,
+    /// The record's time precedes an already-accepted record.
+    TimeRegressed,
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Reject::NodeOutOfRange => "node id out of range",
+            Reject::TimeRegressed => "time regressed",
+        })
+    }
+}
+
+/// The resident control law. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    plane: ControlPlane,
+    tuning: ControllerTuning,
+    estimator: LoadEstimator,
+    levels: Vec<u32>,
+    updates: u64,
+    solves: u64,
+    arrivals: u64,
+    windows_since_solve: u32,
+    done: bool,
+}
+
+impl Controller {
+    /// A controller for `plane`, starting from all-zero levels (no
+    /// reservation until the first measured re-solve says otherwise —
+    /// levels are never hand-set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent `plane` ([`ControlPlane::validate`])
+    /// or out-of-domain `tuning` (non-positive window, zero cadence,
+    /// EWMA weight outside `(0, 1]`, non-positive holding time).
+    pub fn new(plane: ControlPlane, tuning: ControllerTuning) -> Self {
+        plane.validate();
+        assert!(tuning.recompute_every > 0, "recompute cadence must be >= 1");
+        assert!(
+            tuning.mean_holding > 0.0 && tuning.mean_holding.is_finite(),
+            "mean holding time must be positive"
+        );
+        let estimator = LoadEstimator::new(plane.nodes * plane.nodes, tuning.window, tuning.alpha);
+        let levels = vec![0; plane.capacities.len()];
+        Self {
+            plane,
+            tuning,
+            estimator,
+            levels,
+            updates: 0,
+            solves: 0,
+            arrivals: 0,
+            windows_since_solve: 0,
+            done: false,
+        }
+    }
+
+    /// The controlled network description.
+    pub fn plane(&self) -> &ControlPlane {
+        &self.plane
+    }
+
+    /// The currently pushed per-link levels.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// Number of emitted [`LevelsUpdate`]s (re-solves that changed
+    /// something).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of Eq.-15 re-solves (including no-change ones).
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Accepted arrivals.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Completed estimator windows.
+    pub fn windows(&self) -> u64 {
+        self.estimator.windows_completed()
+    }
+
+    /// Timestamp of the last accepted record — the estimate's freshness.
+    pub fn last_time(&self) -> f64 {
+        self.estimator.last_time()
+    }
+
+    /// Whether an `end` record has been accepted.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Feeds one validated event. Emitted updates (zero or more — a
+    /// sparse feed can close several windows at once) are appended to
+    /// `out`. Rejected events leave the controller untouched.
+    pub fn push(&mut self, ev: FeedEvent, out: &mut Vec<LevelsUpdate>) -> Result<(), Reject> {
+        if ev.time() < self.estimator.last_time() {
+            return Err(Reject::TimeRegressed);
+        }
+        match ev {
+            FeedEvent::Arrival { time, src, dst } => {
+                let n = self.plane.nodes;
+                if src >= n || dst >= n || src == dst {
+                    return Err(Reject::NodeOutOfRange);
+                }
+                self.advance_to(time, out);
+                self.estimator.record(time, src * n + dst);
+                self.arrivals += 1;
+            }
+            FeedEvent::End { time } => {
+                self.advance_to(time, out);
+                self.estimator.touch(time);
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// The in-process path: a controlling selector tallied one whole
+    /// window of per-pair arrival counts itself (between kernel ticks)
+    /// and hands it over at the boundary. Returns the update when the
+    /// cadence fired and the re-solve changed a level. Equivalent to
+    /// pushing the same arrivals through [`push`](Self::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is not one entry per ordered pair.
+    pub fn ingest_window(&mut self, counts: &[u64]) -> Option<LevelsUpdate> {
+        self.arrivals += counts.iter().sum::<u64>();
+        let end = self.estimator.fold_window(counts);
+        self.after_window(end)
+    }
+
+    /// Closes every window the feed time `t` has passed, re-solving on
+    /// cadence.
+    fn advance_to(&mut self, t: f64, out: &mut Vec<LevelsUpdate>) {
+        while self.estimator.pending_boundary(t).is_some() {
+            let end = self.estimator.close_window();
+            if let Some(update) = self.after_window(end) {
+                out.push(update);
+            }
+        }
+    }
+
+    fn after_window(&mut self, end: f64) -> Option<LevelsUpdate> {
+        self.windows_since_solve += 1;
+        if self.windows_since_solve < self.tuning.recompute_every {
+            return None;
+        }
+        self.windows_since_solve = 0;
+        self.solve(end)
+    }
+
+    /// Maps the current rate estimates to `Λ^k` and re-solves Eq. 15.
+    fn solve(&mut self, at: f64) -> Option<LevelsUpdate> {
+        self.solves += 1;
+        let erlangs: Vec<f64> = self
+            .estimator
+            .rates()
+            .iter()
+            .map(|r| r * self.tuning.mean_holding)
+            .collect();
+        let loads = offered_link_loads(
+            &self.plane.pair_links,
+            &erlangs,
+            self.plane.capacities.len(),
+        );
+        let levels = protection_levels_for(&loads, &self.plane.capacities, self.plane.max_hops);
+        let changed = levels
+            .iter()
+            .zip(&self.levels)
+            .filter(|(a, b)| a != b)
+            .count();
+        if changed == 0 {
+            return None;
+        }
+        self.levels.clone_from(&levels);
+        self.updates += 1;
+        Some(LevelsUpdate {
+            at,
+            window: self.estimator.windows_completed(),
+            changed,
+            levels,
+            max_load: loads.iter().cloned().fold(0.0, f64::max),
+        })
+    }
+
+    /// Renders the controller's state as JSON members for the `/status`
+    /// document (no surrounding braces; see
+    /// [`ServeStatus::extra`](altroute_telemetry::ServeStatus)).
+    pub fn status_extra(&self, parse_errors: u64, rejected: u64) -> String {
+        use std::fmt::Write as _;
+        let mut levels = String::new();
+        for (i, r) in self.levels.iter().enumerate() {
+            if i > 0 {
+                levels.push(',');
+            }
+            let _ = write!(levels, "{r}");
+        }
+        format!(
+            concat!(
+                "\"controller\":{{\"nodes\":{},\"links\":{},\"arrivals\":{},",
+                "\"parse_errors\":{},\"rejected\":{},\"windows\":{},",
+                "\"solves\":{},\"updates\":{},\"last_time\":{},",
+                "\"feed_done\":{},\"levels\":[{}]}}"
+            ),
+            self.plane.nodes,
+            self.plane.capacities.len(),
+            self.arrivals,
+            parse_errors,
+            rejected,
+            self.windows(),
+            self.solves,
+            self.updates,
+            self.last_time(),
+            self.done,
+            levels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two nodes, one duplex pair of links; pair (0,1) -> link 0,
+    /// pair (1,0) -> link 1.
+    fn tiny_plane(capacity: u32) -> ControlPlane {
+        ControlPlane {
+            nodes: 2,
+            pair_links: vec![vec![], vec![0], vec![1], vec![]],
+            capacities: vec![capacity, capacity],
+            max_hops: 2,
+        }
+    }
+
+    fn arrivals(
+        controller: &mut Controller,
+        t0: f64,
+        dt: f64,
+        count: usize,
+        src: usize,
+        dst: usize,
+        out: &mut Vec<LevelsUpdate>,
+    ) {
+        for i in 0..count {
+            controller
+                .push(
+                    FeedEvent::Arrival {
+                        time: t0 + dt * i as f64,
+                        src,
+                        dst,
+                    },
+                    out,
+                )
+                .expect("valid arrival");
+        }
+    }
+
+    #[test]
+    fn levels_rise_with_measured_load_and_updates_only_on_change() {
+        let mut c = Controller::new(
+            tiny_plane(20),
+            ControllerTuning {
+                window: 1.0,
+                ..ControllerTuning::default()
+            },
+        );
+        assert_eq!(c.levels(), &[0, 0]);
+        let mut out = Vec::new();
+        // Window 0: 18 arrivals on (0,1) -> 18 Erlangs on link 0.
+        arrivals(&mut c, 0.0, 0.05, 18, 0, 1, &mut out);
+        assert!(out.is_empty(), "no boundary crossed yet");
+        // First arrival of window 1 closes window 0 and re-solves.
+        c.push(
+            FeedEvent::Arrival {
+                time: 1.1,
+                src: 0,
+                dst: 1,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1, "measured load must raise levels");
+        let up = &out[0];
+        assert_eq!(up.window, 1);
+        assert_eq!(up.at, 1.0);
+        assert!(up.levels[0] > 0, "18 Erlangs on C=20 wants protection");
+        assert_eq!(up.levels[1], 0, "reverse link saw no traffic");
+        assert_eq!(up.changed, 1);
+        assert_eq!(c.levels(), up.levels.as_slice());
+        assert_eq!(c.updates(), 1);
+
+        // A steady second window re-solves to the same levels: no update.
+        let before = out.len();
+        arrivals(&mut c, 1.15, 0.05, 17, 0, 1, &mut out);
+        c.push(FeedEvent::End { time: 3.0 }, &mut out).unwrap();
+        // End at 3.0 closes windows 1 and 2; window 2 is empty so the
+        // estimate collapses to zero and levels drop back.
+        let tail: Vec<_> = out[before..].iter().collect();
+        assert_eq!(c.solves(), 3);
+        assert!(c.done());
+        assert_eq!(
+            tail.last().unwrap().levels,
+            vec![0, 0],
+            "idle window drains the estimate"
+        );
+    }
+
+    #[test]
+    fn rejects_are_counted_not_fatal_and_leave_state_untouched() {
+        let mut c = Controller::new(tiny_plane(10), ControllerTuning::default());
+        let mut out = Vec::new();
+        c.push(
+            FeedEvent::Arrival {
+                time: 5.0,
+                src: 0,
+                dst: 1,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(
+            c.push(
+                FeedEvent::Arrival {
+                    time: 4.0,
+                    src: 0,
+                    dst: 1
+                },
+                &mut out
+            ),
+            Err(Reject::TimeRegressed)
+        );
+        assert_eq!(
+            c.push(
+                FeedEvent::Arrival {
+                    time: 5.0,
+                    src: 0,
+                    dst: 7
+                },
+                &mut out
+            ),
+            Err(Reject::NodeOutOfRange)
+        );
+        assert_eq!(
+            c.push(
+                FeedEvent::Arrival {
+                    time: 5.0,
+                    src: 1,
+                    dst: 1
+                },
+                &mut out
+            ),
+            Err(Reject::NodeOutOfRange)
+        );
+        assert_eq!(c.arrivals(), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ingest_window_equals_feed_path() {
+        let tuning = ControllerTuning {
+            window: 2.0,
+            alpha: 0.5,
+            ..ControllerTuning::default()
+        };
+        let mut by_feed = Controller::new(tiny_plane(20), tuning);
+        let mut out = Vec::new();
+        arrivals(&mut by_feed, 0.0, 0.05, 30, 0, 1, &mut out);
+        arrivals(&mut by_feed, 1.5, 0.01, 10, 1, 0, &mut out);
+
+        let mut by_counts = Controller::new(tiny_plane(20), tuning);
+        let update = by_counts.ingest_window(&[0, 30, 10, 0]);
+
+        // Drive the feed-path controller over the same boundary.
+        by_feed
+            .push(FeedEvent::End { time: 2.0 }, &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let update = update.expect("load must raise levels");
+        assert_eq!(update, out[0]);
+        assert_eq!(by_feed.levels(), by_counts.levels());
+        assert_eq!(by_feed.arrivals(), by_counts.arrivals());
+    }
+
+    #[test]
+    fn cadence_spaces_out_re_solves() {
+        let mut c = Controller::new(
+            tiny_plane(20),
+            ControllerTuning {
+                window: 1.0,
+                recompute_every: 3,
+                ..ControllerTuning::default()
+            },
+        );
+        for _ in 0..2 {
+            assert!(c.ingest_window(&[0, 18, 0, 0]).is_none());
+        }
+        let up = c
+            .ingest_window(&[0, 18, 0, 0])
+            .expect("third window solves");
+        assert_eq!(up.window, 3);
+        assert_eq!(c.solves(), 1);
+    }
+
+    #[test]
+    fn status_extra_is_valid_json_members() {
+        let mut c = Controller::new(tiny_plane(20), ControllerTuning::default());
+        c.ingest_window(&[0, 18, 0, 0]);
+        let extra = c.status_extra(2, 1);
+        let wrapped = format!("{{{extra}}}");
+        let v = altroute_json::parse(&wrapped).expect("valid JSON");
+        let ctl = v.get("controller").expect("controller member");
+        assert_eq!(ctl.get("parse_errors").unwrap().as_u64(), Some(2));
+        assert_eq!(ctl.get("updates").unwrap().as_u64(), Some(1));
+        assert!(ctl.get("levels").unwrap().as_array().unwrap().len() == 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! The `altrouted` binary: flag parsing and wiring around the library.
+//!
+//! ```text
+//! altrouted --config <file> [--listen <addr>] [--metrics <addr>]
+//!           [--linger] [--max-conns <n>]
+//! ```
+//!
+//! Without `--listen` the daemon reads one feed from stdin; with it,
+//! feed connections are accepted sequentially on a TCP socket (port 0
+//! picks a free port; the chosen address is announced on stderr). Level
+//! updates go to stdout — deterministically, so two runs over the same
+//! recorded feed are byte-identical. `--metrics` serves `/metrics`,
+//! `/healthz`, and `/status` while the daemon runs; `--linger` keeps
+//! serving them after the stdin feed ends (until killed), which is how
+//! the CI smoke stage scrapes the post-feed state.
+
+use altroute_telemetry::serve::MetricsServer;
+use altrouted::config::DaemonConfig;
+use altrouted::service::{run_feed, serve_listener};
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: altrouted --config <file> [--listen <addr>] \
+                     [--metrics <addr>] [--linger] [--max-conns <n>]";
+
+struct Args {
+    config: String,
+    listen: Option<String>,
+    metrics: Option<String>,
+    linger: bool,
+    max_conns: Option<u64>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = None;
+    let mut listen = None;
+    let mut metrics = None;
+    let mut linger = false;
+    let mut max_conns = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--listen" => listen = Some(value("--listen")?),
+            "--metrics" => metrics = Some(value("--metrics")?),
+            "--linger" => linger = true,
+            "--max-conns" => {
+                let v = value("--max-conns")?;
+                max_conns = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-conns value `{v}`"))?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        config: config.ok_or_else(|| format!("--config is required\n{USAGE}"))?,
+        listen,
+        metrics,
+        linger,
+        max_conns,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let config = DaemonConfig::load(&args.config)?;
+    let mut controller = config.controller();
+    let server = match &args.metrics {
+        None => None,
+        Some(addr) => {
+            let server = MetricsServer::bind(addr, "altrouted")
+                .map_err(|e| format!("--metrics {addr}: {e}"))?;
+            eprintln!("altrouted: metrics on http://{}/", server.addr());
+            Some(server)
+        }
+    };
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+
+    match &args.listen {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr).map_err(|e| format!("--listen {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("altrouted: listening for feeds on {local}");
+            serve_listener(
+                &listener,
+                &mut controller,
+                &mut out,
+                &mut io::stderr(),
+                server.as_ref(),
+                args.max_conns,
+            )
+            .map_err(|e| format!("accept loop: {e}"))?;
+        }
+        None => {
+            let stdin = io::stdin();
+            let summary = run_feed(&mut controller, stdin.lock(), &mut out, server.as_ref())
+                .map_err(|e| format!("stdin feed: {e}"))?;
+            writeln!(
+                out,
+                "done lines={} arrivals={} parse_errors={} rejected={} windows={} solves={} updates={} ended={}",
+                summary.lines,
+                controller.arrivals(),
+                summary.parse_errors,
+                summary.rejected,
+                controller.windows(),
+                controller.solves(),
+                summary.updates,
+                summary.ended,
+            )
+            .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            if args.linger {
+                eprintln!("altrouted: feed done; lingering (kill to exit)");
+                loop {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("altrouted: error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -101,14 +101,29 @@
 //! instance; `--nodes` overrides the mesh size. The report carries
 //! per-round eviction counts and blocking, and is deterministic per
 //! preset — identical across repeated runs.
+//!
+//! `feed` records an arrival feed in the `altrouted` line protocol
+//! (`altroute_experiments::feed`): the `ramp` preset plays three
+//! constant-load segments of increasing per-pair load on `K_4`, the
+//! drifting-load input the resident control plane is demonstrated on.
+//! The feed goes to stdout (byte-identical across runs); pipe it into
+//! `altrouted --config <mesh config>`.
+//!
+//! `controlled` runs the closed-loop demonstration from
+//! `altroute_experiments::controlled`: from the same saturated start,
+//! an arm with levels frozen at `r = 0` stays stuck in the
+//! high-blocking mode while an arm carrying a resident `altrouted`
+//! controller — re-estimating loads and re-solving Eq. 15 at every
+//! window boundary, starting from zero levels — escapes. `--metrics-json`
+//! emits the machine-readable report the CI smoke stage asserts on.
 
 use altroute_core::policy::PolicyKind;
 use altroute_experiments::output::{
     blocking_summary_json, fmt_prob, metrics_document, telemetry_document,
 };
 use altroute_experiments::{
-    run_largemesh, run_metastability_served, ArmResult, Heartbeat, LargeMeshConfig,
-    MetastabilityConfig, Series, Table,
+    render_feed, run_controlled_served, run_largemesh, run_metastability_served, ArmResult,
+    ControlledConfig, FeedConfig, Heartbeat, LargeMeshConfig, MetastabilityConfig, Series, Table,
 };
 use altroute_json::{obj, Value};
 use altroute_netgraph::estimate::nsfnet_nominal_traffic;
@@ -730,6 +745,116 @@ fn cmd_metastability(flags: &Flags) -> Result<(), String> {
                     f.seed,
                 );
             }
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+fn cmd_feed(flags: &Flags) -> Result<(), String> {
+    let preset = flags.preset.as_deref().unwrap_or("ramp");
+    let cfg = FeedConfig::preset(preset)
+        .ok_or_else(|| format!("unknown preset '{preset}' (try ramp)"))?;
+    let (text, stats) = render_feed(&cfg);
+    print!("{text}");
+    eprintln!(
+        "feed: {} arrivals over {} segments, end {}",
+        stats.arrivals,
+        stats.segments,
+        cfg.total_horizon()
+    );
+    Ok(())
+}
+
+fn cmd_controlled(flags: &Flags) -> Result<(), String> {
+    let preset = flags.preset.as_deref().unwrap_or("smoke");
+    let cfg = ControlledConfig::preset(preset)
+        .ok_or_else(|| format!("unknown preset '{preset}' (try smoke)"))?;
+    let server = flags.bind_server(&format!("controlled:{preset}"))?;
+    let report = run_controlled_served(&cfg, server.as_ref());
+
+    if flags.metrics_json {
+        let arms: Vec<Value> = [&report.static_arm, &report.online_arm]
+            .iter()
+            .map(|a| {
+                obj! {
+                    "arm" => a.name,
+                    "blocking" => a.blocking,
+                    "alternate_fraction" => a.alternate_fraction,
+                    "tail_utilization" => a.tail_utilization,
+                    "final_mode" => mode_name(a.modes.final_mode()),
+                    "fraction_high" => a.modes.fraction_high(),
+                    "mode_switches" => a.modes.num_switches() as u64,
+                }
+            })
+            .collect();
+        let updates: Vec<Value> = report
+            .updates
+            .iter()
+            .map(|u| {
+                obj! {
+                    "at" => u.at,
+                    "window" => u.window,
+                    "changed" => u.changed as u64,
+                    "max_load" => u.max_load,
+                    "max_level" => u.levels.iter().copied().max().unwrap_or(0),
+                }
+            })
+            .collect();
+        let doc = obj! {
+            "label" => format!("controlled:{preset}"),
+            "nodes" => cfg.meta.nodes,
+            "capacity" => cfg.meta.capacity,
+            "load_per_pair" => cfg.meta.load_per_pair,
+            "d" => cfg.meta.d,
+            "horizon" => cfg.meta.horizon,
+            "window" => cfg.meta.window,
+            "seeds" => cfg.meta.seeds,
+            "recompute_every" => cfg.recompute_every,
+            "update_count" => report.update_count,
+            "final_max_level" => report.final_levels.iter().copied().max().unwrap_or(0),
+            "arms" => Value::Array(arms),
+            "updates" => Value::Array(updates),
+        };
+        println!("{}", doc.to_string_pretty());
+    } else {
+        let mut table = Table::new([
+            "arm",
+            "blocking",
+            "alt-fraction",
+            "tail-util",
+            "final-mode",
+            "frac-high",
+            "switches",
+        ]);
+        for a in [&report.static_arm, &report.online_arm] {
+            table.row([
+                a.name.to_string(),
+                fmt_prob(a.blocking),
+                format!("{:.4}", a.alternate_fraction),
+                format!("{:.4}", a.tail_utilization),
+                mode_name(a.modes.final_mode()).to_string(),
+                format!("{:.3}", a.modes.fraction_high()),
+                a.modes.num_switches().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "controller: {} level update(s), final max r = {}",
+            report.update_count,
+            report.final_levels.iter().copied().max().unwrap_or(0)
+        );
+        for u in &report.updates {
+            println!(
+                "  levels at={} window={} changed={} max_load={:.1} max_r={}",
+                u.at,
+                u.window,
+                u.changed,
+                u.max_load,
+                u.levels.iter().copied().max().unwrap_or(0)
+            );
         }
     }
     if let Some(server) = server {
@@ -1913,6 +2038,14 @@ fn run() -> Result<(), String> {
             flags.allow_only("largemesh", &["--preset", "--nodes", "--metrics-json"])?;
             cmd_largemesh(&flags)
         }
+        ["feed"] => {
+            flags.allow_only("feed", &["--preset"])?;
+            cmd_feed(&flags)
+        }
+        ["controlled"] => {
+            flags.allow_only("controlled", &["--preset", "--metrics-json", "--serve"])?;
+            cmd_controlled(&flags)
+        }
         ["adaptive", config] => {
             flags.allow_only(
                 "adaptive",
@@ -1985,6 +2118,8 @@ fn run() -> Result<(), String> {
                   metastability [--preset smoke|paper] [--nodes N] [--d K] \
                   [--window W] [--metrics-json] [--telemetry DIR] [--serve ADDR] | \
                   largemesh [--preset smoke|full] [--nodes N] [--metrics-json] | \
+                  feed [--preset ramp] | \
+                  controlled [--preset smoke] [--metrics-json] [--serve ADDR] | \
                   telemetry DIR | replay TRACE | example-config | conformance [--bless]>"
                 .into(),
         ),

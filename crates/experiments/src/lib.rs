@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod controlled;
+pub mod feed;
 pub mod largemesh;
 pub mod metastability;
 pub mod output;
@@ -16,6 +18,10 @@ pub mod progress;
 pub mod runs;
 
 pub use chart::{render as render_chart, Series};
+pub use controlled::{
+    run_controlled, run_controlled_served, ControlledArm, ControlledConfig, ControlledReport,
+};
+pub use feed::{render_feed, FeedConfig, FeedSegment, FeedStats};
 pub use largemesh::{run_largemesh, LargeMeshConfig, LargeMeshReport, RoundResult};
 pub use metastability::{
     run_metastability, run_metastability_served, ArmResult, FlightCapture, HysteresisReport,

@@ -806,20 +806,56 @@ where
     S: TraceSink,
     R: Recorder,
 {
+    run_seed_with_policy_warm(config, &[], None, admission, selector, sink, recorder)
+}
+
+/// As [`run_seed_with_policy`], with the two hooks an *online
+/// controller* needs: a warm start (`initial_occupancy`, as in
+/// [`run_seed_warm`]) and a periodic selector tick
+/// ([`KernelConfig::tick_interval`]): with `tick_interval =
+/// Some(window)` the kernel calls [`RouteSelector::tick`] at every
+/// window boundary, which is where a controlling selector re-estimates
+/// loads and pushes fresh levels through
+/// [`AdmissionPolicy::set_levels`]. With `initial_occupancy` empty and
+/// `tick_interval` `None` this *is* [`run_seed_with_policy`] — the
+/// controller hooks are byte-inert when unused, which is what keeps the
+/// existing golden traces valid.
+///
+/// # Panics
+///
+/// As [`run_seed`]; additionally if `initial_occupancy` is non-empty
+/// but not one entry per link, or `tick_interval` is non-positive
+/// (kernel contract).
+pub fn run_seed_with_policy_warm<'p, A, Sel, S, R>(
+    config: &RunConfig<'_>,
+    initial_occupancy: &[u32],
+    tick_interval: Option<f64>,
+    admission: &mut A,
+    selector: &mut Sel,
+    sink: &mut S,
+    recorder: &mut R,
+) -> SeedResult
+where
+    A: AdmissionPolicy,
+    Sel: RouteSelector<'p>,
+    S: TraceSink,
+    R: Recorder,
+{
     let n = config.plan.topology().num_nodes();
     assert_eq!(
         config.traffic.num_nodes(),
         n,
         "traffic matrix size mismatch"
     );
-    let (capacities, sources, link_events, kernel_config) = build_spec(config);
+    let (capacities, sources, link_events, mut kernel_config) = build_spec(config);
+    kernel_config.tick_interval = tick_interval;
     let spec = KernelSpec {
         config: kernel_config,
         capacities: &capacities,
         static_down: config.failures.statically_down(),
         sources: &sources,
         link_events: &link_events,
-        initial_occupancy: &[],
+        initial_occupancy,
     };
     let mut observer = Instruments {
         sink,

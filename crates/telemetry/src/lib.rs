@@ -35,6 +35,10 @@
 //! * [`serve`] — a std-only live HTTP endpoint ([`MetricsServer`])
 //!   exposing `/metrics`, `/healthz`, and `/status` while a run is in
 //!   flight, fed at window boundaries by the [`LiveRecorder`] wrapper.
+//! * [`feed`] — the line-oriented arrival-feed protocol the control
+//!   plane ingests (header + `a <t> <src> <dst>` records) and the
+//!   [`LoadEstimator`] folding accepted arrivals into EWMA-smoothed
+//!   per-pair offered-load estimates on [`TimeGrid`] windows.
 //!
 //! The crate is dependency-free (std only) so any layer of the workspace
 //! can use it without cycles, and recorder callbacks use primitive types
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod feed;
 pub mod flight;
 pub mod hist;
 pub mod mode;
@@ -52,6 +57,7 @@ pub mod series;
 pub mod serve;
 pub mod span;
 
+pub use feed::{FeedEvent, FeedHeader, FeedLine, FeedParseError, LoadEstimator};
 pub use flight::{FlightEvent, FlightRing, FlightTrigger, TriggerReason, FLIGHT_MAX_HOPS};
 pub use hist::Histogram;
 pub use mode::{Mode, ModeReport, ModeSwitch, ModeThresholds};

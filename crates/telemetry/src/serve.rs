@@ -54,6 +54,12 @@ pub struct ServeStatus {
     pub replications_done: usize,
     /// Total replications the run will execute.
     pub replications_total: usize,
+    /// Extra pre-rendered JSON members appended verbatim to the status
+    /// document (no surrounding braces, e.g.
+    /// `"updates":3,"levels":[0,2]`). The control-plane daemon publishes
+    /// its controller state here without `serve` having to know its
+    /// shape. The caller owns the rendering being valid JSON.
+    pub extra: Option<String>,
 }
 
 impl ServeStatus {
@@ -68,6 +74,7 @@ impl ServeStatus {
             sim_end: 0.0,
             replications_done: 0,
             replications_total: 0,
+            extra: None,
         }
     }
 
@@ -76,12 +83,16 @@ impl ServeStatus {
             Some(m) => format!("\"{m}\""),
             None => "null".to_string(),
         };
+        let extra = match self.extra.as_deref() {
+            Some(e) if !e.is_empty() => format!(",{e}"),
+            _ => String::new(),
+        };
         format!(
             concat!(
                 "{{\"label\":\"{}\",\"phase\":\"{}\",\"mode\":{},",
                 "\"events\":{},\"events_per_second\":{},",
                 "\"sim_time\":{},\"sim_end\":{},",
-                "\"replications_done\":{},\"replications_total\":{}}}\n"
+                "\"replications_done\":{},\"replications_total\":{}{}}}\n"
             ),
             json_escape(&self.label),
             json_escape(&self.phase),
@@ -92,6 +103,7 @@ impl ServeStatus {
             json_number(self.sim_end),
             self.replications_done,
             self.replications_total,
+            extra,
         )
     }
 }
@@ -545,6 +557,17 @@ mod tests {
         let s = ServeStatus::new("quo\"te\\path");
         let json = s.to_json();
         assert!(json.contains("quo\\\"te\\\\path"), "{json}");
+    }
+
+    #[test]
+    fn status_extra_members_are_appended_verbatim() {
+        let mut s = ServeStatus::new("ctl");
+        assert!(!s.to_json().contains("updates"), "no extra by default");
+        s.extra = Some("\"updates\":3,\"levels\":[0,2]".to_string());
+        let json = s.to_json();
+        assert!(json.contains(",\"updates\":3,\"levels\":[0,2]}"), "{json}");
+        s.extra = Some(String::new());
+        assert!(s.to_json().ends_with("\"replications_total\":0}\n"));
     }
 
     /// Drives the same feed through a bare RunTelemetry and a

@@ -16,6 +16,10 @@
 //!   the paper's Eq. 15,
 //!   `r^k = min { r : B(Λ^k, C^k) / B(Λ^k, C^k − r) ≤ 1/H }` — see
 //!   [`reservation`];
+//! * the **measured-load bridge** used by the online controller: mapping
+//!   per-pair offered-load estimates onto per-link `Λ^k` via the primary
+//!   incidence and re-solving Eq. 15 over every link at once — see
+//!   [`estimate`];
 //! * per-link **shadow prices** `p(s) = B(Λ, C) / B(Λ, s+1)` for the
 //!   Ott–Krishnan separable routing baseline — see [`shadow`];
 //! * **overflow-traffic moments** (Riordan variance, peakedness,
@@ -57,6 +61,7 @@
 pub mod birth_death;
 pub mod bound;
 pub mod erlang;
+pub mod estimate;
 pub mod fixed_point;
 pub mod kaufman_roberts;
 pub mod loss;
@@ -66,6 +71,7 @@ pub mod shadow;
 
 pub use birth_death::BirthDeathChain;
 pub use erlang::{erlang_b, erlang_b_derivative, inverse_erlang_b_log_table};
+pub use estimate::{offered_link_loads, protection_levels_for};
 pub use loss::{lost_traffic, lost_traffic_derivative};
 pub use reservation::{protection_level, shadow_price_bound};
 pub use shadow::ShadowPriceTable;

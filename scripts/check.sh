@@ -7,13 +7,23 @@
 #
 # Stages: fmt | clippy | test | conformance | telemetry |
 # telemetry-overhead | parity | shard-parity | metastability-smoke |
-# largemesh-smoke | bench-smoke | all (default). Unknown stages fail fast.
-# Run from anywhere; operates on the workspace containing this script.
+# largemesh-smoke | altrouted-smoke | bench-smoke | all (default).
+# Unknown stages fail fast. Run from anywhere; operates on the workspace
+# containing this script.
+#
+# Scratch files live in a throwaway mktemp dir unless CHECK_TMPDIR is
+# set, in which case they go there and are kept — CI sets it so a failing
+# stage's intermediate JSON/trace outputs can be uploaded as artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
+if [ -n "${CHECK_TMPDIR:-}" ]; then
+  mkdir -p "$CHECK_TMPDIR"
+  tmpdir="$CHECK_TMPDIR"
+else
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+fi
 
 stage_fmt() {
   cargo fmt --all --check
@@ -233,6 +243,98 @@ stage_largemesh_smoke() {
   [ $(( max_evicted * 10 )) -lt "$total_pairs" ]
 }
 
+# Altrouted smoke: the resident control plane must close its loop end to
+# end. Four legs, all fixed-seed deterministic:
+#   1. `altroute_cli feed` re-records the drifting-load ramp feed
+#      byte-identically to the checked-in fixture.
+#   2. Two daemon replays of that feed emit byte-identical level-update
+#      streams matching the golden fixtures/ramp.levels.
+#   3. A live daemon (ephemeral port, --linger) ingests the feed over
+#      stdin and its /status, /metrics, /healthz reflect the recomputed
+#      levels after the feed ends.
+#   4. The in-process closed-loop demo: from a saturated start, static
+#      r=0 stays stuck in the high-blocking mode while the online
+#      Eq.-15 controller escapes, with the switch detector-recorded.
+stage_altrouted_smoke() {
+  cargo build --release -q -p altroute-experiments --bin altroute_cli
+  cargo build --release -q -p altrouted --bin altrouted
+  local cli=target/release/altroute_cli daemon=target/release/altrouted
+  local fixtures=crates/altrouted/tests/fixtures
+
+  # Leg 1: feed recording, reproducible and pinned by the fixture.
+  "$cli" feed --preset ramp > "$tmpdir/ramp.feed"  2> /dev/null
+  "$cli" feed --preset ramp > "$tmpdir/ramp2.feed" 2> /dev/null
+  cmp "$tmpdir/ramp.feed" "$tmpdir/ramp2.feed"
+  cmp "$tmpdir/ramp.feed" "$fixtures/ramp.feed"
+
+  # Leg 2: deterministic replay against the golden level sequence.
+  "$daemon" --config "$fixtures/ramp-config.json" \
+    < "$tmpdir/ramp.feed" > "$tmpdir/ramp.levels.a"
+  "$daemon" --config "$fixtures/ramp-config.json" \
+    < "$tmpdir/ramp.feed" > "$tmpdir/ramp.levels.b"
+  cmp "$tmpdir/ramp.levels.a" "$tmpdir/ramp.levels.b"
+  cmp "$tmpdir/ramp.levels.a" "$fixtures/ramp.levels"
+  grep -q '^levels at=2 ' "$tmpdir/ramp.levels.a"
+  grep -q '^done lines=1654 arrivals=1649 .* ended=true$' "$tmpdir/ramp.levels.a"
+
+  # Leg 3: the resident service. Port 0 picks a free port (announced on
+  # stderr); --linger keeps /status alive after the stdin feed ends.
+  "$daemon" --config "$fixtures/ramp-config.json" --metrics 127.0.0.1:0 --linger \
+    < "$tmpdir/ramp.feed" > "$tmpdir/live.levels" 2> "$tmpdir/live.err" &
+  local pid=$! hostport="" i
+  for i in $(seq 1 100); do
+    if grep -q 'lingering' "$tmpdir/live.err" 2>/dev/null; then
+      hostport=$(grep -o 'http://[0-9.:]*/' "$tmpdir/live.err" | head -1)
+      hostport=${hostport#http://}; hostport=${hostport%/}
+      break
+    fi
+    sleep 0.1
+  done
+  if [ -z "$hostport" ]; then
+    echo "altrouted never finished the feed; stderr:" >&2
+    cat "$tmpdir/live.err" >&2
+    kill "$pid" 2>/dev/null || true
+    exit 1
+  fi
+  scrape() { # <path> — raw HTTP/1.0 GET over bash's /dev/tcp
+    exec 3<>"/dev/tcp/${hostport%:*}/${hostport##*:}"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+  }
+  scrape /status  > "$tmpdir/live.status"
+  scrape /metrics > "$tmpdir/live.metrics"
+  scrape /healthz > "$tmpdir/live.healthz"
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  cmp "$tmpdir/live.levels" "$fixtures/ramp.levels"
+  grep -q '^ok$' "$tmpdir/live.healthz"
+  grep -q '"controller":{' "$tmpdir/live.status"
+  grep -q '"feed_done":true' "$tmpdir/live.status"
+  grep -q '"updates":5' "$tmpdir/live.status"
+  grep -q '^altroute_ctl_arrivals_total 1649$' "$tmpdir/live.metrics"
+  grep -q '^altroute_ctl_updates_total 5$' "$tmpdir/live.metrics"
+  grep -q '^altroute_ctl_level{link="0"} ' "$tmpdir/live.metrics"
+
+  # Leg 4: the closed-loop drifting demo — online recomputation escapes
+  # the saturated start that static r=0 mishandles, reproducibly.
+  "$cli" controlled --metrics-json > "$tmpdir/controlled.a"
+  "$cli" controlled --metrics-json > "$tmpdir/controlled.b"
+  cmp "$tmpdir/controlled.a" "$tmpdir/controlled.b"
+  grep -q '"label": "controlled:smoke"' "$tmpdir/controlled.a"
+  grep -A6 '"arm": "static"' "$tmpdir/controlled.a" | grep -q '"final_mode": "high"'
+  grep -A6 '"arm": "static"' "$tmpdir/controlled.a" | grep -q '"mode_switches": 0'
+  grep -A6 '"arm": "online"' "$tmpdir/controlled.a" | grep -q '"final_mode": "low"'
+  local switches updates max_level
+  switches=$(grep -A6 '"arm": "online"' "$tmpdir/controlled.a" \
+    | grep -o '"mode_switches": [0-9]*' | grep -o '[0-9]*$')
+  [ "$switches" -ge 1 ]
+  updates=$(grep -o '"update_count": [0-9]*' "$tmpdir/controlled.a" | grep -o '[0-9]*$')
+  [ "$updates" -ge 1 ]
+  max_level=$(grep -o '"final_max_level": [0-9]*' "$tmpdir/controlled.a" | grep -o '[0-9]*$')
+  [ "$max_level" -gt 0 ]
+}
+
 # Bench smoke: the perf-baseline binary must run end to end in --quick
 # mode and emit a report that passes its own schema validation. No
 # timing thresholds here — the non-blocking regression gate is
@@ -243,6 +345,15 @@ stage_bench_smoke() {
   cargo run --release -q -p altroute-bench --bin bench_report -- \
     --validate "$tmpdir/bench_quick.json"
 }
+
+# Every selectable stage, in the order `all` runs them. The case arm,
+# the unknown-stage diagnostic, and `all` are all derived from this
+# list, so adding a stage means adding its function and one entry here.
+STAGES=(
+  fmt clippy test conformance telemetry telemetry-overhead parity
+  shard-parity metastability-smoke largemesh-smoke altrouted-smoke
+  bench-smoke
+)
 
 run_stage() {
   case "$1" in
@@ -256,15 +367,22 @@ run_stage() {
     shard-parity) stage_shard_parity ;;
     metastability-smoke) stage_metastability_smoke ;;
     largemesh-smoke) stage_largemesh_smoke ;;
+    altrouted-smoke) stage_altrouted_smoke ;;
     bench-smoke) stage_bench_smoke ;;
     all)
-      stage_fmt; stage_clippy; stage_test
-      stage_conformance; stage_telemetry; stage_telemetry_overhead
-      stage_parity; stage_shard_parity; stage_metastability_smoke
-      stage_largemesh_smoke; stage_bench_smoke
+      local summary="" s t0 t1
+      for s in "${STAGES[@]}"; do
+        echo "== check.sh: $s =="
+        t0=$(date +%s)
+        run_stage "$s"
+        t1=$(date +%s)
+        summary+=$(printf '%5ss  %s' "$(( t1 - t0 ))" "$s")$'\n'
+      done
+      echo "== check.sh: per-stage timing =="
+      printf '%s' "$summary"
       ;;
     *)
-      echo "unknown stage \`$1\`; valid: fmt clippy test conformance telemetry telemetry-overhead parity shard-parity metastability-smoke largemesh-smoke bench-smoke all" >&2
+      echo "unknown stage \`$1\`; valid: ${STAGES[*]} all" >&2
       exit 2
       ;;
   esac
